@@ -1,0 +1,262 @@
+// Repository-level benchmarks: one benchmark per table/figure of the
+// paper's evaluation (the experiment harness functions regenerate the
+// exact rows; these benches time them and report the headline numbers as
+// custom metrics), plus microbenchmarks for the hot paths of the RT
+// layer: the feasibility test, admission, the EDF queue, the frame
+// codecs and the simulator core.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig18_5 -v        # headline figure with its table
+package repro_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/exp"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// benchTable runs an experiment once per iteration, logging the table on
+// the first iteration so `-v` shows the regenerated figure.
+func benchTable(b *testing.B, run func() interface{ String() string }) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb := run()
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+// --- E1: Figure 18.5 ---------------------------------------------------
+
+func BenchmarkFig18_5(b *testing.B) {
+	var lastSDPS, lastADPS int
+	for i := 0; i < b.N; i++ {
+		tb := exp.Fig185()
+		rows := tb.Rows()
+		last := rows[len(rows)-1]
+		lastSDPS, _ = strconv.Atoi(last[1])
+		lastADPS, _ = strconv.Atoi(last[2])
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+	b.ReportMetric(float64(lastSDPS), "accepted-SDPS@200")
+	b.ReportMetric(float64(lastADPS), "accepted-ADPS@200")
+}
+
+// --- E2: admission-policy soundness -------------------------------------
+
+func BenchmarkFeasibilityModes(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.FeasibilityModes() })
+}
+
+// --- E3: delay guarantee under simulation --------------------------------
+
+func BenchmarkDelayGuarantee(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.DelayGuarantee() })
+}
+
+// --- E4: shaping ablation -------------------------------------------------
+
+func BenchmarkShapingAblation(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.ShapingAblation() })
+}
+
+// --- E5: RT / non-RT coexistence -------------------------------------------
+
+func BenchmarkCoexistence(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.Coexistence() })
+}
+
+// --- E6: multi-switch fabrics ----------------------------------------------
+
+func BenchmarkMultiSwitch(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.MultiSwitch() })
+}
+
+// --- E7: alternative schedulers --------------------------------------------
+
+func BenchmarkAltSched(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.AltSched() })
+}
+
+// --- E8: deadline sweep -----------------------------------------------------
+
+func BenchmarkDeadlineSweep(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.DeadlineSweep() })
+}
+
+// --- E9: DPS fallback search -------------------------------------------------
+
+func BenchmarkDPSSearch(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.DPSSearch() })
+}
+
+// --- E10: fabric simulation ----------------------------------------------------
+
+func BenchmarkFabricDelay(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.FabricDelay() })
+}
+
+// --- E11: dispatcher mismatch ---------------------------------------------------
+
+func BenchmarkDisciplineMismatch(b *testing.B) {
+	benchTable(b, func() interface{ String() string } { return exp.DisciplineMismatch() })
+}
+
+// --- Microbenchmarks: analysis hot paths -----------------------------------
+
+// BenchmarkFeasibilityTest measures one full two-constraint EDF test on a
+// link carrying 100 mixed-deadline channels — the admission-control inner
+// loop.
+func BenchmarkFeasibilityTest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([]edf.Task, 100)
+	for i := range tasks {
+		c := int64(rng.Intn(3) + 1)
+		tasks[i] = edf.Task{C: c, P: int64(rng.Intn(150) + 50), D: 2*c + int64(rng.Intn(60))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := edf.TestDefault(tasks)
+		if res.Verdict == edf.InvalidTask {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkAdmissionSequence measures the full Fig. 18.5 admission
+// sequence (200 requests with repartitioning and per-link verification).
+func BenchmarkAdmissionSequence(b *testing.B) {
+	requests := traffic.PaperLayout.Requests(200, traffic.PaperSpec)
+	for _, dps := range []core.DPS{core.SDPS{}, core.ADPS{}} {
+		b.Run(dps.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(core.Config{DPS: dps})
+				for _, s := range requests {
+					_, _ = ctrl.Request(s)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmissionIncrementalVsFull is the ablation for the
+// changed-links optimization: identical decisions, fewer link tests.
+func BenchmarkAdmissionIncrementalVsFull(b *testing.B) {
+	requests := traffic.PaperLayout.Requests(200, traffic.PaperSpec)
+	for _, full := range []bool{false, true} {
+		name := "incremental"
+		if full {
+			name = "full-recheck"
+		}
+		b.Run(name, func(b *testing.B) {
+			var checked int64
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(core.Config{DPS: core.ADPS{}, FullRecheck: full})
+				for _, s := range requests {
+					_, _ = ctrl.Request(s)
+				}
+				checked = int64(ctrl.Stats().LinksChecked)
+			}
+			b.ReportMetric(float64(checked), "link-tests/seq")
+		})
+	}
+}
+
+// BenchmarkEDFQueue measures push+pop through the deadline-sorted queue
+// at a realistic backlog (64 frames).
+func BenchmarkEDFQueue(b *testing.B) {
+	var q sched.EDFQueue
+	for i := 0; i < 64; i++ {
+		q.Push(int64(i%17), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(int64(i%29), nil)
+		q.Pop()
+	}
+}
+
+// BenchmarkFrameEncodeDecode measures the RT data frame codec round trip
+// (stamp deadline, checksum, parse, verify).
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	payload := make([]byte, 64)
+	d := frame.Data{
+		SrcMAC: frame.NodeMAC(1), DstMAC: frame.NodeMAC(2),
+		Deadline: 123456, Channel: 42, Payload: payload,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := frame.EncodeData(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := frame.DecodeData(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated slots per second with
+// the saturated ADPS Fig. 18.5 workload (110 channels, ~330 frames per
+// 100 slots across 120 links).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	n := netsim.New(netsim.Config{DPS: core.ADPS{}})
+	for _, id := range traffic.PaperLayout.Nodes() {
+		n.MustAddNode(id)
+	}
+	var ids []core.ChannelID
+	for _, s := range traffic.PaperLayout.Requests(200, traffic.PaperSpec) {
+		if id, err := n.EstablishChannel(s); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		ch := n.Controller().State().Get(id)
+		if err := n.Node(ch.Spec.Src).StartTraffic(id, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	const chunk = 1000
+	for i := 0; i < b.N; i++ {
+		n.Run(n.Engine().Now() + chunk)
+	}
+	b.StopTimer()
+	if n.Report().TotalMisses() != 0 {
+		b.Fatal("guarantee violated during benchmark")
+	}
+	b.ReportMetric(float64(chunk), "slots/op")
+}
+
+// BenchmarkEstablishment measures the full over-the-wire handshake
+// (request frame, admission, forward, response, commit).
+func BenchmarkEstablishment(b *testing.B) {
+	n := netsim.New(netsim.Config{DPS: core.ADPS{}})
+	for _, id := range traffic.PaperLayout.Nodes() {
+		n.MustAddNode(id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := traffic.PaperSpec
+		spec.Src = traffic.PaperLayout.Master(i)
+		spec.Dst = traffic.PaperLayout.Slave(i)
+		id, err := n.EstablishChannel(spec)
+		if err != nil {
+			continue // saturated: rejections still exercise the path
+		}
+		if i%2 == 0 {
+			_ = n.ReleaseChannel(id)
+		}
+	}
+}

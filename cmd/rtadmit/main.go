@@ -1,0 +1,118 @@
+// Command rtadmit is an offline admission-control what-if tool: it reads
+// RT channel requests (one per line: "src dst C P D"), feeds them to the
+// switch's feasibility test under the selected deadline partitioning
+// scheme, and reports each decision with its reason plus a final system
+// summary.
+//
+//	echo "1 100 3 100 40" | rtadmit -dps adps
+//	rtadmit -dps sdps -f requests.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtadmit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dpsName = fs.String("dps", "sdps", "deadline partitioning scheme: sdps | adps")
+		file    = fs.String("f", "-", "requests file ('-' = stdin)")
+		quiet   = fs.Bool("q", false, "suppress per-request lines, print only the summary")
+		dump    = fs.Bool("dump", false, "emit the accepted channels as a JSON snapshot instead of the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dps, err := parseDPS(*dpsName)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtadmit: %v\n", err)
+		return 2
+	}
+
+	in := stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtadmit: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	ctrl := core.NewController(core.Config{DPS: dps})
+	scanner := bufio.NewScanner(in)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var src, dst uint16
+		var c, p, d int64
+		if _, err := fmt.Sscanf(line, "%d %d %d %d %d", &src, &dst, &c, &p, &d); err != nil {
+			fmt.Fprintf(stderr, "rtadmit: line %d: want 'src dst C P D': %v\n", lineNo, err)
+			return 1
+		}
+		spec := core.ChannelSpec{
+			Src: core.NodeID(src), Dst: core.NodeID(dst), C: c, P: p, D: d,
+		}
+		ch, err := ctrl.Request(spec)
+		if *quiet {
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(stdout, "line %-4d REJECT %v: %v\n", lineNo, spec, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "line %-4d ACCEPT %v as RT#%d (d_up=%d d_down=%d)\n",
+			lineNo, spec, ch.ID, ch.Part.Up, ch.Part.Down)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(stderr, "rtadmit: read: %v\n", err)
+		return 1
+	}
+
+	if *dump {
+		if err := ctrl.WriteSnapshot(stdout); err != nil {
+			fmt.Fprintf(stderr, "rtadmit: snapshot: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	st := ctrl.Stats()
+	fmt.Fprintf(stdout, "\nsummary (%s): %d requests, %d accepted, %d rejected "+
+		"(%d invalid, %d utilization, %d demand), %d feasibility tests run\n",
+		dps.Name(), st.Requests, st.Accepted,
+		st.Requests-st.Accepted, st.RejectedInvalid,
+		st.RejectedUtilization, st.RejectedDemand, st.LinksChecked)
+	fmt.Fprintf(stdout, "mean link utilization: %.4f over %d loaded links\n",
+		ctrl.State().TotalUtilization(), len(ctrl.State().Links()))
+	return 0
+}
+
+func parseDPS(name string) (core.DPS, error) {
+	switch name {
+	case "sdps":
+		return core.SDPS{}, nil
+	case "adps":
+		return core.ADPS{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -dps %q (want sdps or adps)", name)
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAcceptAndReject(t *testing.T) {
+	// Seven channels on one uplink under SDPS: six accepted.
+	var in strings.Builder
+	for i := 0; i < 7; i++ {
+		in.WriteString("1 10")
+		in.WriteByte(byte('0' + i))
+		in.WriteString(" 3 100 40\n")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-dps", "sdps"}, strings.NewReader(in.String()), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if got := strings.Count(s, "ACCEPT"); got != 6 {
+		t.Errorf("ACCEPT lines = %d, want 6\n%s", got, s)
+	}
+	if got := strings.Count(s, "REJECT"); got != 1 {
+		t.Errorf("REJECT lines = %d, want 1", got)
+	}
+	if !strings.Contains(s, "6 accepted") || !strings.Contains(s, "1 rejected") {
+		t.Errorf("summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "d_up=20 d_down=20") {
+		t.Errorf("SDPS partition not reported:\n%s", s)
+	}
+}
+
+func TestCommentsAndBlanksSkipped(t *testing.T) {
+	input := "# header comment\n\n1 2 3 100 40\n"
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(input), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 requests, 1 accepted") {
+		t.Errorf("summary wrong:\n%s", out.String())
+	}
+}
+
+func TestQuietMode(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-q"}, strings.NewReader("1 2 3 100 40\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	if strings.Contains(out.String(), "ACCEPT") {
+		t.Error("-q printed per-request lines")
+	}
+	if !strings.Contains(out.String(), "summary") {
+		t.Error("-q suppressed the summary")
+	}
+}
+
+func TestMalformedLine(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader("not a spec\n"), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "line 1") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestUnknownDPS(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dps", "xyz"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestADPSPartitionReported(t *testing.T) {
+	// Five channels from one master: ADPS settles at up=33/down=7.
+	var in strings.Builder
+	for i := 0; i < 5; i++ {
+		in.WriteString("1 10")
+		in.WriteByte(byte('0' + i))
+		in.WriteString(" 3 100 40\n")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-dps", "adps"}, strings.NewReader(in.String()), &out, &errOut); code != 0 {
+		t.Fatal("exit", code)
+	}
+	if !strings.Contains(out.String(), "ADPS") {
+		t.Error("scheme name missing from summary")
+	}
+}
+
+func TestDumpSnapshot(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-q", "-dump"}, strings.NewReader("1 2 3 100 40\n5 6 2 50 20\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{`"id": 1`, `"up": 20`, `"down": 20`, `"src": 5`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInvalidSpecRejectedWithReason(t *testing.T) {
+	var out, errOut strings.Builder
+	// D < 2C.
+	if code := run(nil, strings.NewReader("1 2 3 100 5\n"), &out, &errOut); code != 0 {
+		t.Fatal("exit", code)
+	}
+	if !strings.Contains(out.String(), "REJECT") ||
+		!strings.Contains(out.String(), "store-and-forward") {
+		t.Errorf("rejection reason missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,86 @@
+// Command rtexp regenerates the paper's evaluation: every table and
+// figure in DESIGN.md's experiment index. With no flags it runs
+// everything; -exp selects a comma-separated subset; -csv switches the
+// output to machine-readable CSV.
+//
+//	rtexp                      # all experiments, aligned tables
+//	rtexp -exp fig18.5         # just the headline figure
+//	rtexp -exp fig18.5,dsweep -csv
+//	rtexp -list                # enumerate experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sel  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csv  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := exp.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Desc)
+		}
+		return 0
+	}
+
+	want := map[string]bool{}
+	if *sel != "all" {
+		for _, id := range strings.Split(*sel, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			if !knownID(all, id) {
+				fmt.Fprintf(stderr, "rtexp: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *sel != "all" && !want[e.ID] {
+			continue
+		}
+		tb := e.Run()
+		if *csv {
+			fmt.Fprintf(stdout, "# %s — %s\n%s\n", e.ID, e.Desc, tb.CSV())
+		} else {
+			fmt.Fprintf(stdout, "%s\n", tb)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(stderr, "rtexp: nothing selected")
+		return 2
+	}
+	return 0
+}
+
+func knownID(all []exp.Experiment, id string) bool {
+	for _, e := range all {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+// Command rtsim runs one configurable simulation of the switched-Ethernet
+// real-time network and prints a measurement summary: acceptance,
+// per-channel worst-case delays against their guarantees, deadline
+// misses, and best-effort throughput.
+//
+//	rtsim -masters 10 -slaves 50 -requests 200 -dps adps -slots 5000
+//	rtsim -dps sdps -bg-rate 0.2 -shaping=false -trace 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		masters  = fs.Int("masters", 10, "number of master nodes")
+		slaves   = fs.Int("slaves", 50, "number of slave nodes")
+		requests = fs.Int("requests", 200, "channel requests (round-robin master→slave)")
+		dpsName  = fs.String("dps", "adps", "deadline partitioning scheme: sdps | adps")
+		c        = fs.Int64("c", 3, "channel capacity C (frames/period)")
+		p        = fs.Int64("p", 100, "channel period P (slots)")
+		d        = fs.Int64("d", 40, "channel deadline d (slots)")
+		slots    = fs.Int64("slots", 5000, "measurement horizon after load (slots)")
+		shaping  = fs.Bool("shaping", true, "enable the switch release-guard shaper")
+		bgRate   = fs.Float64("bg-rate", 0, "background non-RT frames/slot per master")
+		offsets  = fs.Int64("max-offset", 0, "max random release offset (0 = synchronous)")
+		prop     = fs.Int64("propagation", 0, "per-hop propagation delay (slots)")
+		seed     = fs.Int64("seed", 1, "random seed for offsets/background")
+		linkMbps = fs.Int64("mbps", 100, "link rate for real-time conversion of results")
+		traceN   = fs.Int("trace", 0, "print the last N trace events (0 = off)")
+		scenFile = fs.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *scenFile != "" {
+		return runScenario(*scenFile, stdout, stderr)
+	}
+
+	var dps core.DPS
+	switch *dpsName {
+	case "sdps":
+		dps = core.SDPS{}
+	case "adps":
+		dps = core.ADPS{}
+	default:
+		fmt.Fprintf(stderr, "rtsim: unknown -dps %q\n", *dpsName)
+		return 2
+	}
+
+	layout := traffic.MasterSlaveLayout{Masters: *masters, Slaves: *slaves, SlaveBase: 100}
+	params := core.ChannelSpec{C: *c, P: *p, D: *d}
+	rng := rand.New(rand.NewSource(*seed))
+
+	net := netsim.New(netsim.Config{
+		DPS:            dps,
+		DisableShaping: !*shaping,
+		NonRTQueueCap:  256,
+		Propagation:    *prop,
+	})
+	var tracer *netsim.RingTracer
+	if *traceN > 0 {
+		tracer = netsim.NewRingTracer(*traceN)
+		net.SetTracer(tracer)
+	}
+	for _, id := range layout.Nodes() {
+		net.MustAddNode(id)
+	}
+
+	var accepted []core.ChannelID
+	rejected := 0
+	for _, spec := range layout.Requests(*requests, params) {
+		id, err := net.EstablishChannel(spec)
+		if err != nil {
+			rejected++
+			continue
+		}
+		accepted = append(accepted, id)
+	}
+	for _, id := range accepted {
+		ch := net.Controller().State().Get(id)
+		var off int64
+		if *offsets > 0 {
+			off = rng.Int63n(*offsets + 1)
+		}
+		if err := net.Node(ch.Spec.Src).StartTraffic(id, off); err != nil {
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
+		}
+	}
+
+	start := net.Engine().Now()
+	bgSent := 0
+	if *bgRate > 0 {
+		for m := 0; m < layout.Masters; m++ {
+			src, dst := layout.Master(m), layout.Slave(m)
+			for _, at := range traffic.PoissonArrivals(rng, *bgRate, *slots) {
+				src, dst := src, dst
+				net.Engine().At(start+at, func() { net.Node(src).SendNonRT(dst, []byte("bg")) })
+				bgSent++
+			}
+		}
+	}
+	net.Run(start + *slots)
+	rep := net.Report()
+
+	fmt.Fprintf(stdout, "rtsim: %d masters, %d slaves, %s, %d requested\n",
+		*masters, *slaves, dps.Name(), *requests)
+	fmt.Fprintf(stdout, "  slot = %d ns at %d Mbit/s\n", slotNanos(*linkMbps), *linkMbps)
+	fmt.Fprintf(stdout, "  accepted %d, rejected %d\n", len(accepted), rejected)
+
+	tb := stats.NewTable("per-channel summary (worst 10 by max delay)",
+		"channel", "delivered", "misses", "min", "mean", "p99", "max", "guarantee")
+	type row struct {
+		id    core.ChannelID
+		m     *netsim.ChannelMetrics
+		bound int64
+	}
+	var rows []row
+	for _, id := range accepted {
+		m := rep.Channels[id]
+		if m == nil {
+			continue
+		}
+		ch := net.Controller().State().Get(id)
+		rows = append(rows, row{id, m, ch.Spec.D + net.ExtraLatency()})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].m.Delays.Max() > rows[i].m.Delays.Max() {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	for i, r := range rows {
+		if i >= 10 {
+			break
+		}
+		tb.AddRowf(r.id, r.m.Delivered, r.m.Misses,
+			r.m.Delays.Min(), r.m.Delays.Mean(), r.m.Delays.Percentile(99),
+			r.m.Delays.Max(), r.bound)
+	}
+	fmt.Fprintln(stdout, tb)
+
+	_, worst := rep.WorstDelay()
+	fmt.Fprintf(stdout, "  RT: delivered %d frames, %d deadline misses, worst delay %d slots (%.1f µs)\n",
+		rep.TotalDelivered(), rep.TotalMisses(), worst,
+		float64(worst*slotNanos(*linkMbps))/1000)
+	if bgSent > 0 || rep.NonRTDelivered > 0 {
+		fmt.Fprintf(stdout, "  non-RT: sent %d, delivered %d, dropped %d, mean delay %.1f slots\n",
+			bgSent, rep.NonRTDelivered, rep.NonRTDrops, rep.NonRTDelay.Mean())
+	}
+	if tracer != nil {
+		fmt.Fprintf(stdout, "  trace (last %d of %d events):\n", len(tracer.Events()), tracer.Total())
+		for _, e := range tracer.Events() {
+			fmt.Fprintf(stdout, "    %v\n", e)
+		}
+	}
+	if rep.TotalMisses() > 0 {
+		fmt.Fprintln(stdout, "  VERDICT: GUARANTEE VIOLATED")
+		return 1
+	}
+	fmt.Fprintln(stdout, "  VERDICT: all guarantees held")
+	return 0
+}
+
+func slotNanos(mbps int64) int64 {
+	const slotBytes = 1538
+	return slotBytes * 8 * 1000 / mbps
+}
+
+// runScenario executes a declarative JSON scenario file.
+func runScenario(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtsim: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	scen, err := scenario.Load(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtsim: %v\n", err)
+		return 1
+	}
+	res, err := scen.Run()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtsim: %v\n", err)
+		return 1
+	}
+	rep := res.Report
+	_, worst := rep.WorstDelay()
+	fmt.Fprintf(stdout, "scenario %q: %d channels accepted, %d rejected (optional)\n",
+		scen.Name, len(res.Accepted), res.Rejected)
+	fmt.Fprintf(stdout, "  RT: delivered %d frames, %d deadline misses, worst delay %d slots\n",
+		rep.TotalDelivered(), rep.TotalMisses(), worst)
+	if res.BgSent > 0 {
+		fmt.Fprintf(stdout, "  non-RT: sent %d, delivered %d, dropped %d, mean delay %.1f slots\n",
+			res.BgSent, rep.NonRTDelivered, rep.NonRTDrops, rep.NonRTDelay.Mean())
+	}
+	if rep.TotalMisses() > 0 {
+		fmt.Fprintln(stdout, "  VERDICT: GUARANTEE VIOLATED")
+		return 1
+	}
+	fmt.Fprintln(stdout, "  VERDICT: all guarantees held")
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultRunHoldsGuarantees(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-masters", "3", "-slaves", "9", "-requests", "30", "-slots", "1500"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "VERDICT: all guarantees held") {
+		t.Errorf("verdict missing:\n%s", s)
+	}
+	if !strings.Contains(s, "0 deadline misses") {
+		t.Errorf("miss line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "per-channel summary") {
+		t.Errorf("table missing:\n%s", s)
+	}
+}
+
+func TestBackgroundTrafficRun(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-masters", "2", "-slaves", "4", "-requests", "8",
+		"-slots", "800", "-bg-rate", "0.1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "non-RT: sent") {
+		t.Errorf("non-RT summary missing:\n%s", out.String())
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-masters", "1", "-slaves", "2", "-requests", "2",
+		"-slots", "300", "-trace", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace (last 5 of") {
+		t.Errorf("trace output missing:\n%s", out.String())
+	}
+}
+
+func TestUnknownDPSFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dps", "wat"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRandomOffsetsAndSDPS(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-dps", "sdps", "-masters", "2", "-slaves", "6",
+		"-requests", "20", "-slots", "1000", "-max-offset", "50", "-seed", "7"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "SDPS") {
+		t.Error("scheme name missing")
+	}
+}
+
+func TestScenarioFile(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "testdata/cell.json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, `scenario "assembly cell"`) ||
+		!strings.Contains(s, "4 channels accepted") ||
+		!strings.Contains(s, "VERDICT: all guarantees held") {
+		t.Errorf("scenario output:\n%s", s)
+	}
+}
+
+func TestScenarioFileMissing(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "testdata/nope.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a Go reproduction of Hoang & Jonsson, "Real-Time
+// Communication for Industrial Embedded Systems Using Switched Ethernet"
+// (IPPS 2004): real-time channels with guaranteed worst-case delay over
+// full-duplex switched Ethernet, EDF frame scheduling in end-nodes and
+// switch, per-link feasibility analysis for admission control, and the
+// SDPS/ADPS deadline partitioning schemes.
+//
+// The public API lives in the rtether subpackage; this root package only
+// anchors the module documentation and the repository-level benchmarks
+// (bench_test.go), which regenerate every table and figure of the paper's
+// evaluation. See README.md for a tour and DESIGN.md for the experiment
+// index.
+package repro

@@ -1,0 +1,84 @@
+// Masterslave reproduces the paper's headline scenario in miniature: an
+// industrial cell with master controllers polling many slave devices over
+// one switch. It requests channels until the network refuses, under both
+// SDPS and ADPS, showing why the asymmetric scheme accepts almost twice
+// as many channels — then actually runs the accepted set and verifies
+// every deadline.
+//
+//	go run ./examples/masterslave
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rtether"
+)
+
+const (
+	masters   = 4
+	slaves    = 20
+	requested = 80
+)
+
+func build(dps rtether.DPS) (*rtether.Network, []rtether.ChannelID) {
+	net := rtether.New(rtether.WithDPS(dps))
+	for m := 0; m < masters; m++ {
+		net.MustAddNode(rtether.NodeID(m))
+	}
+	for s := 0; s < slaves; s++ {
+		net.MustAddNode(rtether.NodeID(100 + s))
+	}
+	var accepted []rtether.ChannelID
+	for k := 0; k < requested; k++ {
+		spec := rtether.ChannelSpec{
+			Src: rtether.NodeID(k % masters),
+			Dst: rtether.NodeID(100 + k%slaves),
+			C:   3, P: 100, D: 40,
+		}
+		if id, err := net.Establish(spec); err == nil {
+			accepted = append(accepted, id)
+		}
+	}
+	return net, accepted
+}
+
+func main() {
+	for _, scheme := range []struct {
+		name string
+		dps  rtether.DPS
+	}{
+		{"SDPS (symmetric)", nil},
+		{"ADPS (asymmetric)", rtether.ADPS()},
+	} {
+		dps := scheme.dps
+		if dps == nil {
+			dps = rtether.SDPS()
+		}
+		net, accepted := build(dps)
+		fmt.Printf("%-18s accepted %d of %d requested channels\n",
+			scheme.name, len(accepted), requested)
+
+		// The loads explain the difference: master uplinks carry ~5x the
+		// channels of slave downlinks, and ADPS gives them deadline budget
+		// in proportion.
+		if _, part, ok := net.Channel(accepted[0]); ok {
+			fmt.Printf("%-18s first channel split: up=%d down=%d (LL up=%d, LL down=%d)\n",
+				"", part.Up, part.Down,
+				net.LinkLoadUp(0), net.LinkLoadDown(100))
+		}
+
+		// Drive every accepted channel simultaneously (synchronous worst
+		// case) and verify the guarantee end to end.
+		for _, id := range accepted {
+			if err := net.StartTraffic(id, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		net.RunFor(3000)
+		rep := net.Report()
+		_, worst := rep.WorstDelay()
+		fmt.Printf("%-18s simulated: %d frames delivered, %d misses, worst delay %d/40 slots\n\n",
+			"", rep.TotalDelivered(), rep.TotalMisses(), worst)
+	}
+}

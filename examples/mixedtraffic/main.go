@@ -1,0 +1,74 @@
+// Mixedtraffic demonstrates the paper's coexistence claim: hard real-time
+// channels and ordinary best-effort (TCP-like) traffic share the same
+// unmodified Ethernet, and the RT layer's strict-priority EDF queues keep
+// the guarantees intact no matter how hard the best-effort side pushes.
+//
+// A control loop (RT channel, 2 frames / 50 slots / deadline 20) runs
+// while a bulk file transfer floods the same links. The RT delays stay
+// flat; the bulk transfer gets exactly the leftover bandwidth.
+//
+//	go run ./examples/mixedtraffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rtether"
+)
+
+func main() {
+	net := rtether.New(
+		rtether.WithADPS(),
+		rtether.WithNonRTQueueCap(128), // bounded FCFS queues, like real switch buffers
+	)
+	const (
+		plc    = rtether.NodeID(1) // programmable logic controller
+		drive  = rtether.NodeID(2) // servo drive, gets the control loop
+		backup = rtether.NodeID(3) // backup server, receives the bulk flow
+	)
+	net.MustAddNode(plc)
+	net.MustAddNode(drive)
+	net.MustAddNode(backup)
+
+	loop := rtether.ChannelSpec{Src: plc, Dst: drive, C: 2, P: 50, D: 20}
+	id, err := net.Establish(loop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.StartTraffic(id, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: control loop alone.
+	net.RunFor(2000)
+	quiet := net.Report().Channels[id]
+	fmt.Printf("control loop alone:      delay mean=%.2f max=%d slots, misses=%d\n",
+		quiet.Delays.Mean(), quiet.Delays.Max(), quiet.Misses)
+
+	// Phase 2: the PLC also pushes a saturating bulk transfer to the
+	// backup server — one frame attempted every slot, far beyond what the
+	// shared uplink can carry alongside the control loop.
+	start := net.Now()
+	sent, queued := 0, 0
+	for t := int64(0); t < 4000; t++ {
+		// Attempt one bulk frame per slot by running one slot at a time.
+		if net.SendBestEffort(plc, backup, []byte("chunk")) {
+			queued++
+		}
+		sent++
+		net.RunUntil(start + t + 1)
+	}
+	rep := net.Report()
+	busyPhase := rep.Channels[id]
+	fmt.Printf("with saturating bulk:    delay mean=%.2f max=%d slots, misses=%d\n",
+		busyPhase.Delays.Mean(), busyPhase.Delays.Max(), busyPhase.Misses)
+	fmt.Printf("bulk transfer:           attempted=%d queued=%d delivered=%d dropped=%d\n",
+		sent, queued, rep.NonRTDelivered, rep.NonRTDrops)
+
+	if busyPhase.Misses == 0 && busyPhase.Delays.Max() <= net.GuaranteedDelay(loop) {
+		fmt.Println("RT guarantee unaffected by best-effort load ✓")
+	} else {
+		fmt.Println("RT guarantee VIOLATED ✗")
+	}
+}

@@ -1,0 +1,88 @@
+// Multiswitch explores the paper's future-work direction: real-time
+// channels across a fabric of interconnected switches. Two production
+// cells (each its own switch) are joined by a trunk; channels from cell A
+// masters to cell B devices cross three links, and the deadline is
+// partitioned per hop. The load-weighted H-ADPS scheme concentrates
+// deadline budget on the shared trunk — the bottleneck — and admits
+// substantially more channels than the equal split.
+//
+//	go run ./examples/multiswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rtether"
+)
+
+func build(dps rtether.HDPS) *rtether.Fabric {
+	f := rtether.NewFabric(dps)
+	for _, sw := range []rtether.SwitchID{0, 1} {
+		if err := f.AddSwitch(sw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := f.Trunk(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	// Cell A: masters 0..5 on switch 0. Cell B: devices 100..111 on switch 1.
+	for m := 0; m < 6; m++ {
+		if err := f.AttachNode(rtether.NodeID(m), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for d := 0; d < 12; d++ {
+		if err := f.AttachNode(rtether.NodeID(100+d), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return f
+}
+
+func main() {
+	for _, scheme := range []struct {
+		name string
+		dps  rtether.HDPS
+	}{
+		{"H-SDPS (equal split)", rtether.HSDPS()},
+		{"H-ADPS (load weighted)", rtether.HADPS()},
+	} {
+		f := build(scheme.dps)
+		hops, err := f.RouteLength(0, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		accepted := 0
+		var firstBudgets []int64
+		for k := 0; k < 120; k++ {
+			spec := rtether.ChannelSpec{
+				Src: rtether.NodeID(k % 6),
+				Dst: rtether.NodeID(100 + k%12),
+				C:   3, P: 300, D: 60,
+			}
+			_, budgets, err := f.Establish(spec)
+			if err != nil {
+				continue
+			}
+			if accepted == 0 {
+				firstBudgets = budgets
+			}
+			accepted++
+		}
+		// Actually run the admitted channels hop by hop and verify the
+		// end-to-end deadline dynamically.
+		run, err := f.Simulate(3000, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %d hops/channel, accepted %d of 120, first split %v\n",
+			scheme.name, hops, accepted, firstBudgets)
+		fmt.Printf("%-24s simulated: %d frames, %d misses, worst delay %d/60 slots\n",
+			"", run.Delivered, run.Misses, run.WorstDelay)
+	}
+	fmt.Println("\nthe trunk carries every channel; weighting its share of each deadline")
+	fmt.Println("by link load is what lets H-ADPS admit more — the paper's ADPS insight,")
+	fmt.Println("generalized to routed fabrics (§18.5 future work).")
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/edf"
+)
+
+// ErrInfeasible is the sentinel wrapped by every feasibility-based
+// rejection, so callers can errors.Is(err, ErrInfeasible) regardless of
+// which link or constraint failed.
+var ErrInfeasible = errors.New("core: RT channel not feasible")
+
+// RejectionError reports which link failed the admission test and why.
+type RejectionError struct {
+	Link   Link
+	Result edf.Result
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("core: RT channel not feasible on %v: %v", e.Link, e.Result)
+}
+
+// Unwrap lets errors.Is match ErrInfeasible.
+func (e *RejectionError) Unwrap() error { return ErrInfeasible }
+
+// Stats counts admission outcomes, mirroring what the switch's RT channel
+// management software would expose.
+type Stats struct {
+	Requests             int // total Request calls
+	Accepted             int // channels admitted
+	RejectedInvalid      int // spec validation failures
+	RejectedUtilization  int // first-constraint rejections
+	RejectedDemand       int // second-constraint rejections
+	RejectedInconclusive int // analysis hit configured limits
+	Released             int // channels torn down
+	LinksChecked         int // cumulative feasibility tests run
+}
+
+// Config tunes the admission controller.
+type Config struct {
+	// DPS is the deadline partitioning scheme; nil means SDPS (the paper's
+	// baseline).
+	DPS DPS
+	// Fallbacks are additional schemes tried in order when the primary
+	// DPS yields an infeasible partitioning for a request. The paper
+	// frames a DPS as one point in a vector field of possible splits;
+	// searching a handful of points before rejecting squeezes out extra
+	// capacity at the cost of extra feasibility tests (experiment E9).
+	// The committed state always reflects exactly one scheme's output.
+	Fallbacks []DPS
+	// Feasibility passes through to the per-link EDF test.
+	Feasibility edf.Options
+	// FullRecheck forces every loaded link to be re-verified on each
+	// request. The default re-verifies only links whose task set changed
+	// (the new channel's links plus any link holding a repartitioned
+	// channel), which is equivalent but cheaper; FullRecheck exists for the
+	// ablation benchmark and as a belt-and-braces mode.
+	FullRecheck bool
+	// Latency is T_latency of Eq. 18.1: the constant medium propagation
+	// plus access delay added to every guarantee, in slots.
+	Latency int64
+}
+
+// Controller is the switch-resident admission control of §18.2.2/§18.3:
+// it owns the system state, applies the configured DPS to (re)partition
+// deadlines, and accepts a new RT channel only if every affected link
+// remains EDF-feasible.
+//
+// Controller is not safe for concurrent use; the surrounding switch model
+// serializes establishment traffic (as a single management process would).
+type Controller struct {
+	cfg   Config
+	state *State
+	stats Stats
+}
+
+// NewController returns a Controller with the given configuration.
+func NewController(cfg Config) *Controller {
+	if cfg.DPS == nil {
+		cfg.DPS = SDPS{}
+	}
+	cfg.Feasibility.SkipValidation = true // specs are validated on entry
+	return &Controller{cfg: cfg, state: NewState()}
+}
+
+// DPS returns the active deadline partitioning scheme.
+func (c *Controller) DPS() DPS { return c.cfg.DPS }
+
+// Stats returns a copy of the admission counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// State returns the live system state. Callers must treat it as read-only.
+func (c *Controller) State() *State { return c.state }
+
+// GuaranteedDelay returns T_maxdelay,i = d_i + T_latency (Eq. 18.1) for an
+// accepted spec.
+func (c *Controller) GuaranteedDelay(s ChannelSpec) int64 { return s.D + c.cfg.Latency }
+
+// Request runs the admission test for a new RT channel and, if feasible,
+// commits it and returns the established channel. The decision procedure
+// follows §18.3.2 and §18.4:
+//
+//  1. Validate the spec (including D >= 2C, condition (9)).
+//  2. Build the tentative state: current channels plus the new one.
+//  3. Apply the DPS to the whole tentative state — the DPS is a function
+//     of the system state, so existing channels may be repartitioned.
+//  4. Test EDF feasibility of every link whose task set changed (or every
+//     link under FullRecheck). If any link fails, reject and leave the
+//     committed state untouched.
+func (c *Controller) Request(spec ChannelSpec) (*Channel, error) {
+	c.stats.Requests++
+	if err := spec.Validate(); err != nil {
+		c.stats.RejectedInvalid++
+		return nil, err
+	}
+
+	var firstRej *RejectionError
+	for _, dps := range append([]DPS{c.cfg.DPS}, c.cfg.Fallbacks...) {
+		tentative := c.state.clone()
+		ch := &Channel{ID: tentative.allocID(), Spec: spec}
+		tentative.add(ch)
+
+		parts := dps.Partition(tentative)
+		changed := applyPartitions(tentative, parts)
+
+		rej := c.verify(tentative, changed)
+		if rej == nil {
+			c.state = tentative
+			c.stats.Accepted++
+			return ch, nil
+		}
+		if firstRej == nil {
+			firstRej = rej
+		}
+	}
+
+	switch firstRej.Result.Verdict {
+	case edf.InfeasibleUtilization:
+		c.stats.RejectedUtilization++
+	case edf.InfeasibleDemand:
+		c.stats.RejectedDemand++
+	default:
+		c.stats.RejectedInconclusive++
+	}
+	return nil, firstRej
+}
+
+// ForceAdd installs a channel without any feasibility test, using the
+// given partition (or the DPS split for a singleton state when zero).
+// It exists for experiments that need to compare guaranteed operation
+// against deliberately over-admitted systems (e.g. showing that a
+// utilization-only admission test is unsound for d < P); production
+// callers use Request.
+func (c *Controller) ForceAdd(spec ChannelSpec, part Partition) (*Channel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if part == (Partition{}) {
+		part = clampPartition(spec, spec.D/2)
+	}
+	if !part.ValidFor(spec) {
+		return nil, fmt.Errorf("core: forced partition %+v violates conditions (8)/(9) for %v", part, spec)
+	}
+	ch := &Channel{ID: c.state.allocID(), Spec: spec, Part: part}
+	c.state.add(ch)
+	return ch, nil
+}
+
+// Release tears down an established channel. The remaining channels are
+// repartitioned (the DPS depends on the system state); in the unlikely
+// event that repartitioning a smaller system makes some link infeasible,
+// the previous partitions are kept — removing load can never invalidate
+// the schedule under unchanged partitions.
+func (c *Controller) Release(id ChannelID) error {
+	if c.state.Get(id) == nil {
+		return fmt.Errorf("core: release of unknown RT channel %d", id)
+	}
+	next := c.state.clone()
+	next.remove(id)
+
+	repartitioned := next.clone()
+	parts := c.cfg.DPS.Partition(repartitioned)
+	changed := applyPartitions(repartitioned, parts)
+	if rej := c.verify(repartitioned, changed); rej == nil {
+		c.state = repartitioned
+	} else {
+		c.state = next
+	}
+	c.stats.Released++
+	return nil
+}
+
+// verify tests feasibility of the given links (or all loaded links under
+// FullRecheck) and returns a RejectionError for the first failure. The
+// links are visited in deterministic order.
+func (c *Controller) verify(st *State, changed map[Link]struct{}) *RejectionError {
+	links := st.Links()
+	for _, l := range links {
+		if !c.cfg.FullRecheck {
+			if _, ok := changed[l]; !ok {
+				continue
+			}
+		}
+		c.stats.LinksChecked++
+		res := edf.Test(st.TasksOn(l), c.cfg.Feasibility)
+		if !res.OK() {
+			return &RejectionError{Link: l, Result: res}
+		}
+	}
+	return nil
+}

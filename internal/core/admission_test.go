@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/edf"
+)
+
+// paperSpec is the Fig. 18.5 channel: C=3, P=100, d=40.
+func paperSpec(src, dst NodeID) ChannelSpec {
+	return ChannelSpec{Src: src, Dst: dst, C: 3, P: 100, D: 40}
+}
+
+// masterSlaveRequests yields n requests in the paper's master-slave
+// pattern: 10 masters (nodes 0..9), 50 slaves (nodes 100..149), channel k
+// from master k%10 to slave 100+k%50.
+func masterSlaveRequests(n int) []ChannelSpec {
+	specs := make([]ChannelSpec, n)
+	for k := 0; k < n; k++ {
+		specs[k] = paperSpec(NodeID(k%10), NodeID(100+k%50))
+	}
+	return specs
+}
+
+func acceptedCount(c *Controller, specs []ChannelSpec) int {
+	accepted := 0
+	for _, s := range specs {
+		if _, err := c.Request(s); err == nil {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+func TestAdmissionSDPSMasterCapacityIsSix(t *testing.T) {
+	// Analytic anchor from DESIGN.md: with SDPS the master uplink tasks are
+	// {C=3, P=100, D=20}; exactly 6 fit (h(20)=18<=20, busy period 18).
+	c := NewController(Config{DPS: SDPS{}})
+	for i := 0; i < 6; i++ {
+		if _, err := c.Request(paperSpec(1, NodeID(100+i))); err != nil {
+			t.Fatalf("channel %d rejected: %v", i, err)
+		}
+	}
+	_, err := c.Request(paperSpec(1, 107))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("seventh channel: err = %v, want ErrInfeasible", err)
+	}
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err %T is not a *RejectionError", err)
+	}
+	if rej.Link != Uplink(1) {
+		t.Errorf("rejection on %v, want master uplink", rej.Link)
+	}
+	if rej.Result.Verdict != edf.InfeasibleDemand {
+		t.Errorf("verdict = %v, want demand violation", rej.Result.Verdict)
+	}
+}
+
+func TestAdmissionFig185Anchors(t *testing.T) {
+	// The headline comparison: on the paper's 10-master/50-slave workload
+	// SDPS saturates at 60 accepted channels while ADPS accepts
+	// substantially more (the paper's figure shows ≈110).
+	requests := masterSlaveRequests(200)
+
+	sdps := acceptedCount(NewController(Config{DPS: SDPS{}}), requests)
+	if sdps != 60 {
+		t.Errorf("SDPS accepted %d of 200, want exactly 60 (6 per master)", sdps)
+	}
+
+	adps := acceptedCount(NewController(Config{DPS: ADPS{}}), requests)
+	if adps <= sdps {
+		t.Errorf("ADPS accepted %d, SDPS %d: ADPS must dominate", adps, sdps)
+	}
+	if adps < 90 {
+		t.Errorf("ADPS accepted %d, want >= 90 (paper shows ≈110)", adps)
+	}
+	t.Logf("accepted of 200 requested: SDPS=%d ADPS=%d", sdps, adps)
+}
+
+func TestAdmissionBelowSaturationAllAccepted(t *testing.T) {
+	for _, scheme := range []DPS{SDPS{}, ADPS{}} {
+		c := NewController(Config{DPS: scheme})
+		if got := acceptedCount(c, masterSlaveRequests(40)); got != 40 {
+			t.Errorf("%s: accepted %d of 40 light requests, want all", scheme.Name(), got)
+		}
+	}
+}
+
+func TestAdmissionInvalidSpecCounted(t *testing.T) {
+	c := NewController(Config{})
+	_, err := c.Request(ChannelSpec{Src: 1, Dst: 1, C: 1, P: 10, D: 10})
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.RejectedInvalid != 1 || st.Accepted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionStateUntouchedOnReject(t *testing.T) {
+	c := NewController(Config{DPS: SDPS{}})
+	for i := 0; i < 6; i++ {
+		if _, err := c.Request(paperSpec(1, NodeID(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.State().Len()
+	if _, err := c.Request(paperSpec(1, 120)); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if c.State().Len() != before {
+		t.Error("rejected request mutated committed state")
+	}
+	// The still-committed channels must keep valid partitions.
+	for _, ch := range c.State().Channels() {
+		if !ch.Part.ValidFor(ch.Spec) {
+			t.Errorf("channel %v has invalid partition after rejection", ch)
+		}
+	}
+}
+
+func TestAdmissionReleaseFreesCapacity(t *testing.T) {
+	c := NewController(Config{DPS: SDPS{}})
+	ids := make([]ChannelID, 0, 6)
+	for i := 0; i < 6; i++ {
+		ch, err := c.Request(paperSpec(1, NodeID(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ch.ID)
+	}
+	if _, err := c.Request(paperSpec(1, 120)); err == nil {
+		t.Fatal("link should be full")
+	}
+	if err := c.Release(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request(paperSpec(1, 120)); err != nil {
+		t.Errorf("request after release rejected: %v", err)
+	}
+	if err := c.Release(9999); err == nil {
+		t.Error("release of unknown channel did not error")
+	}
+}
+
+func TestAdmissionUtilizationRejection(t *testing.T) {
+	// Implicit deadlines (D == P) trigger the Liu & Layland shortcut: the
+	// only possible rejection is utilization.
+	c := NewController(Config{DPS: SDPS{}})
+	// D == P == 2C: each channel uses C/P = 1/2 of both links... with SDPS
+	// the per-link task has D = P/2 < P though. Use ADPS-free direct
+	// utilization overload instead: C=50, P=100, D=200 (D/2=100=P).
+	spec := ChannelSpec{Src: 1, Dst: 2, C: 50, P: 100, D: 200}
+	if _, err := c.Request(spec); err != nil {
+		t.Fatalf("first half-utilization channel rejected: %v", err)
+	}
+	if _, err := c.Request(spec.withDst(3)); err != nil {
+		t.Fatalf("second half-utilization channel rejected: %v", err)
+	}
+	_, err := c.Request(spec.withDst(4))
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Result.Verdict != edf.InfeasibleUtilization {
+		t.Fatalf("third channel err = %v, want utilization rejection", err)
+	}
+	if got := c.Stats().RejectedUtilization; got != 1 {
+		t.Errorf("RejectedUtilization = %d, want 1", got)
+	}
+}
+
+func (s ChannelSpec) withDst(d NodeID) ChannelSpec { s.Dst = d; return s }
+
+func TestAdmissionIncrementalMatchesFullRecheck(t *testing.T) {
+	// The incremental changed-links optimization must agree decision-for-
+	// decision with re-verifying every link.
+	rng := rand.New(rand.NewSource(5))
+	specs := make([]ChannelSpec, 300)
+	for i := range specs {
+		c := int64(rng.Intn(4) + 1)
+		specs[i] = ChannelSpec{
+			Src: NodeID(rng.Intn(6)),
+			Dst: NodeID(10 + rng.Intn(12)),
+			C:   c,
+			P:   int64(rng.Intn(150) + 50),
+			D:   2*c + int64(rng.Intn(60)),
+		}
+		if specs[i].P < specs[i].C {
+			specs[i].P = specs[i].C
+		}
+	}
+	for _, scheme := range []DPS{SDPS{}, ADPS{}} {
+		inc := NewController(Config{DPS: scheme})
+		full := NewController(Config{DPS: scheme, FullRecheck: true})
+		for i, s := range specs {
+			_, errInc := inc.Request(s)
+			_, errFull := full.Request(s)
+			if (errInc == nil) != (errFull == nil) {
+				t.Fatalf("%s request %d: incremental err=%v, full err=%v", scheme.Name(), i, errInc, errFull)
+			}
+		}
+		if inc.Stats().Accepted != full.Stats().Accepted {
+			t.Fatalf("%s: incremental accepted %d, full %d", scheme.Name(), inc.Stats().Accepted, full.Stats().Accepted)
+		}
+		if inc.Stats().LinksChecked >= full.Stats().LinksChecked {
+			t.Errorf("%s: incremental checked %d links, full %d — optimization had no effect",
+				scheme.Name(), inc.Stats().LinksChecked, full.Stats().LinksChecked)
+		}
+	}
+}
+
+// TestAdmissionCommittedStateAlwaysFeasible is the safety property: after
+// any sequence of requests and releases, every loaded link in the
+// committed state passes the EDF feasibility test.
+func TestAdmissionCommittedStateAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, scheme := range []DPS{SDPS{}, ADPS{}} {
+		c := NewController(Config{DPS: scheme})
+		var live []ChannelID
+		for step := 0; step < 400; step++ {
+			if len(live) > 0 && rng.Intn(4) == 0 {
+				i := rng.Intn(len(live))
+				if err := c.Release(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				cc := int64(rng.Intn(4) + 1)
+				spec := ChannelSpec{
+					Src: NodeID(rng.Intn(5)),
+					Dst: NodeID(8 + rng.Intn(10)),
+					C:   cc,
+					P:   int64(rng.Intn(120) + 40),
+					D:   2*cc + int64(rng.Intn(50)),
+				}
+				if ch, err := c.Request(spec); err == nil {
+					live = append(live, ch.ID)
+				}
+			}
+			for _, l := range c.State().Links() {
+				if res := edf.TestDefault(c.State().TasksOn(l)); !res.OK() {
+					t.Fatalf("%s step %d: committed state infeasible on %v: %v", scheme.Name(), step, l, res)
+				}
+			}
+		}
+	}
+}
+
+func TestGuaranteedDelay(t *testing.T) {
+	c := NewController(Config{Latency: 2})
+	spec := paperSpec(1, 100)
+	if got := c.GuaranteedDelay(spec); got != 42 {
+		t.Errorf("GuaranteedDelay = %d, want D + T_latency = 42", got)
+	}
+}
+
+func TestFallbackDPSRescuesRejections(t *testing.T) {
+	// Primary SDPS saturates master uplinks at 6 channels; an ADPS
+	// fallback must rescue requests SDPS alone rejects.
+	requests := masterSlaveRequests(200)
+	plain := acceptedCount(NewController(Config{DPS: SDPS{}}), requests)
+	withFallback := acceptedCount(NewController(Config{
+		DPS:       SDPS{},
+		Fallbacks: []DPS{ADPS{}},
+	}), requests)
+	if plain != 60 {
+		t.Fatalf("SDPS-only accepted %d, want 60", plain)
+	}
+	if withFallback <= plain {
+		t.Errorf("fallback accepted %d, want > %d", withFallback, plain)
+	}
+}
+
+// TestFallbackMonotonePerRequest pins the correct monotonicity property:
+// from an identical committed state, any request the primary-only
+// controller accepts is also accepted with fallbacks configured (the
+// primary is tried first). Whole *sequences* are not monotone — an extra
+// early acceptance can block several later requests — which is exactly
+// why experiment E9 reports sequence-level numbers separately.
+func TestFallbackMonotonePerRequest(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rescues, agreements := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		primary := NewController(Config{DPS: ADPS{}})
+		search := NewController(Config{
+			DPS:       ADPS{},
+			Fallbacks: []DPS{SDPS{}, FixedDPS{UpNum: 2, UpDen: 3}, FixedDPS{UpNum: 1, UpDen: 3}},
+		})
+		for step := 0; step < 120; step++ {
+			cc := int64(rng.Intn(4) + 1)
+			spec := ChannelSpec{
+				Src: NodeID(rng.Intn(5)),
+				Dst: NodeID(10 + rng.Intn(10)),
+				C:   cc,
+				P:   int64(rng.Intn(150) + 50),
+				D:   2*cc + int64(rng.Intn(50)),
+			}
+			_, errP := primary.Request(spec)
+			_, errS := search.Request(spec)
+			if errP == nil {
+				agreements++
+				if errS != nil {
+					t.Fatalf("trial %d step %d: primary accepted %v but search rejected: %v",
+						trial, step, spec, errS)
+				}
+				continue
+			}
+			if errS == nil {
+				// A genuine rescue; states now diverge, end the trial.
+				rescues++
+				break
+			}
+		}
+	}
+	if agreements == 0 {
+		t.Fatal("fuzz produced no accepted requests")
+	}
+	t.Logf("per-request agreement on %d accepts; %d fallback rescues observed", agreements, rescues)
+}
+
+func TestFallbackCommittedStateStaysFeasible(t *testing.T) {
+	ctrl := NewController(Config{
+		DPS:       SDPS{},
+		Fallbacks: []DPS{ADPS{}, FixedDPS{UpNum: 5, UpDen: 6}},
+	})
+	for _, s := range masterSlaveRequests(200) {
+		_, _ = ctrl.Request(s)
+	}
+	for _, l := range ctrl.State().Links() {
+		if res := edf.TestDefault(ctrl.State().TasksOn(l)); !res.OK() {
+			t.Fatalf("committed state infeasible on %v after fallback search: %v", l, res)
+		}
+	}
+	for _, ch := range ctrl.State().Channels() {
+		if !ch.Part.ValidFor(ch.Spec) {
+			t.Fatalf("channel %v has invalid partition", ch)
+		}
+	}
+}
+
+func TestFallbackRejectionReportsPrimaryReason(t *testing.T) {
+	ctrl := NewController(Config{DPS: SDPS{}, Fallbacks: []DPS{ADPS{}}})
+	// Saturate utterly: C=50/P=100 channels, two fill each link direction.
+	spec := ChannelSpec{Src: 1, Dst: 2, C: 50, P: 100, D: 200}
+	for i := 0; i < 2; i++ {
+		if _, err := ctrl.Request(spec.withDst(NodeID(2 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := ctrl.Request(spec.withDst(9))
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectionError after all schemes fail", err)
+	}
+}
+
+func TestForceAddBypassesFeasibility(t *testing.T) {
+	c := NewController(Config{DPS: SDPS{}})
+	// Cram 10 channels onto one uplink; Request would stop at 6.
+	for i := 0; i < 10; i++ {
+		if _, err := c.ForceAdd(paperSpec(1, NodeID(100+i)), Partition{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.State().Len() != 10 {
+		t.Errorf("forced state has %d channels, want 10", c.State().Len())
+	}
+	// Invalid spec and invalid partition still rejected.
+	if _, err := c.ForceAdd(ChannelSpec{Src: 1, Dst: 1, C: 1, P: 2, D: 2}, Partition{}); err == nil {
+		t.Error("ForceAdd accepted an invalid spec")
+	}
+	if _, err := c.ForceAdd(paperSpec(1, 120), Partition{Up: 1, Down: 39}); err == nil {
+		t.Error("ForceAdd accepted a partition violating condition (9)")
+	}
+}
+
+func TestControllerDefaultsToSDPS(t *testing.T) {
+	c := NewController(Config{})
+	if c.DPS().Name() != "SDPS" {
+		t.Errorf("default DPS = %q, want SDPS", c.DPS().Name())
+	}
+}

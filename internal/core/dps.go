@@ -1,0 +1,139 @@
+package core
+
+import "fmt"
+
+// DPS is a deadline partitioning scheme (§18.4): a function that maps the
+// deadline d_i of every channel in a system state into the pair
+// {d_iu, d_id} such that d_iu + d_id = d_i (condition (8)). The paper
+// stresses that a DPS is not optional — the system cannot operate without
+// one — and that it is a function of the whole system state, so Partition
+// receives the full (tentative) state and returns a split for every
+// channel in it.
+//
+// Implementations must be deterministic and must return partitions
+// satisfying ValidFor for every channel (the helper clampPartition takes
+// care of condition (9) rounding at the boundaries).
+type DPS interface {
+	// Name identifies the scheme in reports ("SDPS", "ADPS", ...).
+	Name() string
+	// Partition computes {d_iu, d_id} for every channel in st.
+	Partition(st *State) map[ChannelID]Partition
+}
+
+// clampPartition builds the partition with the requested uplink share,
+// clamped so that both halves respect condition (9): d_iu, d_id >= C_i.
+// The spec must already satisfy D >= 2C (checked at validation), so a
+// valid clamp always exists.
+func clampPartition(s ChannelSpec, up int64) Partition {
+	if up < s.C {
+		up = s.C
+	}
+	if max := s.D - s.C; up > max {
+		up = max
+	}
+	return Partition{Up: up, Down: s.D - up}
+}
+
+// SDPS is the Symmetric Deadline Partitioning Scheme (§18.4.1): every
+// channel's deadline is split in half, d_iu = d_id = d_i/2, regardless of
+// the system state. With integer slots an odd deadline gives the floor to
+// the uplink and the remainder to the downlink.
+//
+// Viewed as the paper's vector field, SDPS is the constant vector 0.5.
+type SDPS struct{}
+
+// Name implements DPS.
+func (SDPS) Name() string { return "SDPS" }
+
+// Partition implements DPS.
+func (SDPS) Partition(st *State) map[ChannelID]Partition {
+	parts := make(map[ChannelID]Partition, st.Len())
+	for _, ch := range st.Channels() {
+		parts[ch.ID] = clampPartition(ch.Spec, ch.Spec.D/2)
+	}
+	return parts
+}
+
+// ADPS is the Asymmetric Deadline Partitioning Scheme (§18.4.2): the
+// deadline budget is distributed to where it is most needed, in proportion
+// to the link loads of the two links the channel traverses:
+//
+//	U_part,i = LL(Source_i) / (LL(Source_i) + LL(Destination_i))   (Eq. 18.16)
+//	D_part,i = LL(Destination_i) / (LL(Source_i) + LL(Destination_i))
+//
+// where LL is the number of channels traversing a link. A bottlenecked
+// uplink (many channels, as on a master node's uplink in master-slave
+// traffic) therefore receives a larger share of every deadline that
+// crosses it, relieving the bottleneck.
+type ADPS struct{}
+
+// Name implements DPS.
+func (ADPS) Name() string { return "ADPS" }
+
+// Partition implements DPS.
+func (ADPS) Partition(st *State) map[ChannelID]Partition {
+	parts := make(map[ChannelID]Partition, st.Len())
+	for _, ch := range st.Channels() {
+		llUp := int64(st.LinkLoad(Uplink(ch.Spec.Src)))
+		llDown := int64(st.LinkLoad(Downlink(ch.Spec.Dst)))
+		total := llUp + llDown
+		var up int64
+		if total == 0 {
+			// Unreachable for channels inside st (their own traversal
+			// counts), but keep a sane symmetric fallback.
+			up = ch.Spec.D / 2
+		} else {
+			up = ch.Spec.D * llUp / total
+		}
+		parts[ch.ID] = clampPartition(ch.Spec, up)
+	}
+	return parts
+}
+
+// FixedDPS assigns every channel the same uplink fraction of its deadline.
+// It is not part of the paper; it generalizes SDPS (fraction 0.5) and is
+// used by ablation experiments to show that no static split matches ADPS
+// on asymmetric workloads.
+type FixedDPS struct {
+	// UpNum/UpDen is the uplink fraction, e.g. 5/6.
+	UpNum, UpDen int64
+}
+
+// Name implements DPS.
+func (f FixedDPS) Name() string { return fmt.Sprintf("Fixed(%d/%d)", f.UpNum, f.UpDen) }
+
+// Partition implements DPS.
+func (f FixedDPS) Partition(st *State) map[ChannelID]Partition {
+	parts := make(map[ChannelID]Partition, st.Len())
+	for _, ch := range st.Channels() {
+		up := ch.Spec.D * f.UpNum / f.UpDen
+		parts[ch.ID] = clampPartition(ch.Spec, up)
+	}
+	return parts
+}
+
+// applyPartitions installs the computed splits into the state's channels,
+// returning the set of links whose task sets changed (any link touched by
+// a channel whose partition moved). It panics if a partition violates
+// conditions (8)/(9) — that would be a DPS implementation bug, not an
+// admission rejection.
+func applyPartitions(st *State, parts map[ChannelID]Partition) map[Link]struct{} {
+	changed := make(map[Link]struct{})
+	for _, ch := range st.Channels() {
+		p, ok := parts[ch.ID]
+		if !ok {
+			panic(fmt.Sprintf("core: DPS returned no partition for %v", ch))
+		}
+		if !p.ValidFor(ch.Spec) {
+			panic(fmt.Sprintf("core: DPS partition %+v violates conditions (8)/(9) for %v", p, ch))
+		}
+		if ch.Part == p {
+			continue
+		}
+		ch.Part = p
+		for _, l := range LinksOf(ch.Spec) {
+			changed[l] = struct{}{}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// Direction distinguishes the two independent pseudo-processors of one
+// full-duplex physical link (§18.3.2): the uplink carries frames from an
+// end-node to the switch, the downlink from the switch to the end-node.
+type Direction uint8
+
+const (
+	// Up is the end-node → switch direction, scheduled by the end-node.
+	Up Direction = iota
+	// Down is the switch → end-node direction, scheduled by the switch.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// Link identifies one directed pseudo-processor: the physical link of one
+// end-node in one direction. In the star topology every RT channel
+// traverses exactly two Links: Uplink(src) and Downlink(dst).
+type Link struct {
+	Node NodeID
+	Dir  Direction
+}
+
+// Uplink returns the end-node→switch link of a node.
+func Uplink(n NodeID) Link { return Link{Node: n, Dir: Up} }
+
+// Downlink returns the switch→end-node link of a node.
+func Downlink(n NodeID) Link { return Link{Node: n, Dir: Down} }
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("link(%d,%s)", l.Node, l.Dir)
+}
+
+// LinksOf returns the two directed links traversed by a channel with the
+// given spec: its source uplink and destination downlink.
+func LinksOf(s ChannelSpec) [2]Link {
+	return [2]Link{Uplink(s.Src), Downlink(s.Dst)}
+}

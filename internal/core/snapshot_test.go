@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func loadedController(t *testing.T) *Controller {
+	t.Helper()
+	c := NewController(Config{DPS: ADPS{}})
+	for _, s := range masterSlaveRequests(80) {
+		_, _ = c.Request(s)
+	}
+	if c.Stats().Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	return c
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c := loadedController(t)
+	snap := c.Snapshot()
+	if len(snap) != c.State().Len() {
+		t.Fatalf("snapshot has %d records for %d channels", len(snap), c.State().Len())
+	}
+
+	restored := NewController(Config{DPS: ADPS{}})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.State().Len() != c.State().Len() {
+		t.Fatalf("restored %d channels, want %d", restored.State().Len(), c.State().Len())
+	}
+	for _, ch := range c.State().Channels() {
+		got := restored.State().Get(ch.ID)
+		if got == nil || got.Spec != ch.Spec || got.Part != ch.Part {
+			t.Fatalf("channel %d mismatch: %v vs %v", ch.ID, got, ch)
+		}
+	}
+	// The restored controller keeps admitting where the original would.
+	_, errOrig := c.Request(paperSpec(9, 149))
+	_, errRest := restored.Request(paperSpec(9, 149))
+	if (errOrig == nil) != (errRest == nil) {
+		t.Errorf("post-restore divergence: %v vs %v", errOrig, errRest)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := loadedController(t)
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != c.State().Len() {
+		t.Fatalf("parsed %d records", len(records))
+	}
+	restored := NewController(Config{})
+	if err := restored.Restore(records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	good := ChannelRecord{ID: 1, Src: 1, Dst: 2, C: 3, P: 100, D: 40, Up: 20, Down: 20}
+	cases := []struct {
+		name    string
+		records []ChannelRecord
+	}{
+		{"zero ID", []ChannelRecord{{ID: 0, Src: 1, Dst: 2, C: 3, P: 100, D: 40, Up: 20, Down: 20}}},
+		{"duplicate ID", []ChannelRecord{good, good}},
+		{"invalid spec", []ChannelRecord{{ID: 1, Src: 1, Dst: 1, C: 3, P: 100, D: 40, Up: 20, Down: 20}}},
+		{"partition sum", []ChannelRecord{{ID: 1, Src: 1, Dst: 2, C: 3, P: 100, D: 40, Up: 20, Down: 19}}},
+		{"partition below C", []ChannelRecord{{ID: 1, Src: 1, Dst: 2, C: 3, P: 100, D: 40, Up: 2, Down: 38}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewController(Config{})
+			if err := c.Restore(tc.records); err == nil {
+				t.Error("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsInfeasibleSnapshot(t *testing.T) {
+	// Seven paper channels on one uplink with d_iu = 20: h(20) = 21 > 20.
+	var records []ChannelRecord
+	for i := 0; i < 7; i++ {
+		records = append(records, ChannelRecord{
+			ID: ChannelID(i + 1), Src: 1, Dst: NodeID(100 + i),
+			C: 3, P: 100, D: 40, Up: 20, Down: 20,
+		})
+	}
+	c := NewController(Config{})
+	err := c.Restore(records)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if c.State().Len() != 0 {
+		t.Error("failed restore left partial state")
+	}
+}
+
+func TestRestoreOnNonEmptyControllerFails(t *testing.T) {
+	c := NewController(Config{})
+	if _, err := c.Request(paperSpec(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(nil); err == nil {
+		t.Error("Restore on loaded controller accepted")
+	}
+}
+
+func TestRestorePreservesIDAllocation(t *testing.T) {
+	c := NewController(Config{})
+	if err := c.Restore([]ChannelRecord{
+		{ID: 40, Src: 1, Dst: 2, C: 3, P: 100, D: 40, Up: 20, Down: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Request(paperSpec(3, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ID <= 40 {
+		t.Errorf("new channel ID %d collides with restored ID space", ch.ID)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(`{"not":"a list"}`))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(`[{"id":1,"bogus":2}]`))); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

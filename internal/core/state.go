@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/edf"
+)
+
+// State is the system state SS = {N, K} of §18.3.2: the set of currently
+// active RT channels together with the link loads they induce. The node
+// set N is implicit — any NodeID may appear; the star topology means a
+// node's links exist as soon as a channel uses them.
+//
+// State is not safe for concurrent use; the admission Controller
+// serializes access.
+type State struct {
+	channels map[ChannelID]*Channel
+	order    []ChannelID // insertion order, for deterministic iteration
+	loads    map[Link]int
+	nextID   ChannelID
+}
+
+// NewState returns an empty system state.
+func NewState() *State {
+	return &State{
+		channels: make(map[ChannelID]*Channel),
+		loads:    make(map[Link]int),
+		nextID:   1,
+	}
+}
+
+// Len returns the number of active channels, size(K).
+func (st *State) Len() int { return len(st.channels) }
+
+// Get returns the channel with the given ID, or nil.
+func (st *State) Get(id ChannelID) *Channel { return st.channels[id] }
+
+// Channels returns the active channels in establishment order. The caller
+// must not mutate the returned channels.
+func (st *State) Channels() []*Channel {
+	out := make([]*Channel, 0, len(st.order))
+	for _, id := range st.order {
+		if ch, ok := st.channels[id]; ok {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// allocID returns the next unused network-unique channel ID. IDs wrap at
+// 16 bits (the width of the RT channel ID field); allocID skips IDs still
+// in use. It panics when all 65535 IDs are active, which a real switch
+// could not handle either.
+func (st *State) allocID() ChannelID {
+	for i := 0; i < 1<<16; i++ {
+		id := st.nextID
+		st.nextID++
+		if st.nextID == 0 { // reserve 0 as "unset" (request frames carry 0)
+			st.nextID = 1
+		}
+		if _, used := st.channels[id]; !used && id != 0 {
+			return id
+		}
+	}
+	panic("core: all 65535 RT channel IDs in use")
+}
+
+// add inserts a channel and updates link loads. The channel's ID must be
+// unused.
+func (st *State) add(ch *Channel) {
+	if _, dup := st.channels[ch.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate channel ID %d", ch.ID))
+	}
+	st.channels[ch.ID] = ch
+	st.order = append(st.order, ch.ID)
+	for _, l := range LinksOf(ch.Spec) {
+		st.loads[l]++
+	}
+}
+
+// remove deletes a channel and updates link loads. It reports whether the
+// channel existed.
+func (st *State) remove(id ChannelID) bool {
+	ch, ok := st.channels[id]
+	if !ok {
+		return false
+	}
+	delete(st.channels, id)
+	for _, l := range LinksOf(ch.Spec) {
+		if st.loads[l]--; st.loads[l] == 0 {
+			delete(st.loads, l)
+		}
+	}
+	// Compact the order slice lazily: rebuild when over half are gone.
+	if len(st.order) >= 2*len(st.channels)+8 {
+		kept := st.order[:0]
+		for _, oid := range st.order {
+			if _, alive := st.channels[oid]; alive {
+				kept = append(kept, oid)
+			}
+		}
+		st.order = kept
+	}
+	return true
+}
+
+// LinkLoad returns LL(l): the number of channels traversing the link
+// (§18.4.2). Links with no channels have load zero.
+func (st *State) LinkLoad(l Link) int { return st.loads[l] }
+
+// Links returns every link with at least one channel, in a deterministic
+// order (by node, uplinks before downlinks).
+func (st *State) Links() []Link {
+	out := make([]Link, 0, len(st.loads))
+	for l := range st.loads {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// TasksOn derives the supposed periodic task set of one link
+// pseudo-processor (Eqs. 18.6-18.7): for every channel whose uplink is l,
+// the task {C_i, P_i, d_iu}; for every channel whose downlink is l, the
+// task {C_i, P_i, d_id}.
+func (st *State) TasksOn(l Link) []edf.Task {
+	var tasks []edf.Task
+	for _, id := range st.order {
+		ch, ok := st.channels[id]
+		if !ok {
+			continue
+		}
+		switch {
+		case l.Dir == Up && ch.Spec.Src == l.Node:
+			tasks = append(tasks, edf.Task{
+				C: ch.Spec.C, P: ch.Spec.P, D: ch.Part.Up,
+				Tag: fmt.Sprintf("RT#%d", ch.ID),
+			})
+		case l.Dir == Down && ch.Spec.Dst == l.Node:
+			tasks = append(tasks, edf.Task{
+				C: ch.Spec.C, P: ch.Spec.P, D: ch.Part.Down,
+				Tag: fmt.Sprintf("RT#%d", ch.ID),
+			})
+		}
+	}
+	return tasks
+}
+
+// clone returns a deep copy of the state sharing nothing with the
+// original. Channel structs are copied so tentative partitions can be
+// applied without touching the committed state.
+func (st *State) clone() *State {
+	cp := &State{
+		channels: make(map[ChannelID]*Channel, len(st.channels)),
+		order:    append([]ChannelID(nil), st.order...),
+		loads:    make(map[Link]int, len(st.loads)),
+		nextID:   st.nextID,
+	}
+	for id, ch := range st.channels {
+		c := *ch
+		cp.channels[id] = &c
+	}
+	for l, n := range st.loads {
+		cp.loads[l] = n
+	}
+	return cp
+}
+
+// TotalUtilization returns the sum over all links of each link's
+// utilization divided by the number of links — a coarse load metric used
+// in reports. Returns 0 for an empty state.
+func (st *State) TotalUtilization() float64 {
+	links := st.Links()
+	if len(links) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range links {
+		sum += edf.UtilizationFloat(st.TasksOn(l))
+	}
+	return sum / float64(len(links))
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+)
+
+func testChannel(id ChannelID, src, dst NodeID) *Channel {
+	return &Channel{
+		ID:   id,
+		Spec: ChannelSpec{Src: src, Dst: dst, C: 3, P: 100, D: 40},
+		Part: Partition{20, 20},
+	}
+}
+
+func TestStateAddRemove(t *testing.T) {
+	st := NewState()
+	if st.Len() != 0 {
+		t.Fatal("new state not empty")
+	}
+	ch := testChannel(1, 1, 2)
+	st.add(ch)
+	if st.Len() != 1 || st.Get(1) != ch {
+		t.Fatal("add/get mismatch")
+	}
+	if st.LinkLoad(Uplink(1)) != 1 || st.LinkLoad(Downlink(2)) != 1 {
+		t.Error("link loads not updated on add")
+	}
+	if st.LinkLoad(Uplink(2)) != 0 || st.LinkLoad(Downlink(1)) != 0 {
+		t.Error("unrelated link loads non-zero")
+	}
+	if !st.remove(1) {
+		t.Fatal("remove returned false for existing channel")
+	}
+	if st.remove(1) {
+		t.Fatal("remove returned true for missing channel")
+	}
+	if st.Len() != 0 || st.LinkLoad(Uplink(1)) != 0 {
+		t.Error("state not empty after remove")
+	}
+}
+
+func TestStateChannelsOrdered(t *testing.T) {
+	st := NewState()
+	for i := ChannelID(1); i <= 5; i++ {
+		st.add(testChannel(i, NodeID(i), NodeID(i+10)))
+	}
+	st.remove(3)
+	got := st.Channels()
+	want := []ChannelID{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Channels() length %d, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("Channels() order %v, want IDs %v", got, want)
+		}
+	}
+}
+
+func TestStateAllocIDSkipsUsed(t *testing.T) {
+	st := NewState()
+	id1 := st.allocID()
+	st.add(testChannel(id1, 1, 2))
+	id2 := st.allocID()
+	if id1 == id2 {
+		t.Fatalf("allocID repeated %d", id1)
+	}
+	if id1 == 0 || id2 == 0 {
+		t.Fatal("allocID returned reserved ID 0")
+	}
+}
+
+func TestStateAllocIDWrapsAround(t *testing.T) {
+	st := NewState()
+	st.nextID = 65535
+	st.add(testChannel(65535, 1, 2))
+	id := st.allocID()
+	if id == 0 || id == 65535 {
+		t.Fatalf("allocID after wrap = %d", id)
+	}
+}
+
+func TestStateDuplicateAddPanics(t *testing.T) {
+	st := NewState()
+	st.add(testChannel(1, 1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate add did not panic")
+		}
+	}()
+	st.add(testChannel(1, 3, 4))
+}
+
+func TestStateLinksDeterministic(t *testing.T) {
+	st := NewState()
+	st.add(testChannel(1, 5, 2))
+	st.add(testChannel(2, 2, 5))
+	st.add(testChannel(3, 5, 9))
+	links := st.Links()
+	want := []Link{Uplink(2), Downlink(2), Uplink(5), Downlink(5), Downlink(9)}
+	if len(links) != len(want) {
+		t.Fatalf("Links() = %v, want %v", links, want)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("Links() = %v, want %v", links, want)
+		}
+	}
+}
+
+func TestStateTasksOn(t *testing.T) {
+	st := NewState()
+	a := &Channel{ID: 1, Spec: ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}, Part: Partition{33, 7}}
+	b := &Channel{ID: 2, Spec: ChannelSpec{Src: 1, Dst: 3, C: 2, P: 50, D: 20}, Part: Partition{10, 10}}
+	c := &Channel{ID: 3, Spec: ChannelSpec{Src: 4, Dst: 1, C: 1, P: 10, D: 8}, Part: Partition{4, 4}}
+	st.add(a)
+	st.add(b)
+	st.add(c)
+
+	up1 := st.TasksOn(Uplink(1))
+	if len(up1) != 2 {
+		t.Fatalf("TasksOn(up1) = %v, want 2 tasks", up1)
+	}
+	if up1[0].D != 33 || up1[1].D != 10 {
+		t.Errorf("uplink tasks use d_iu: got D=%d,%d want 33,10", up1[0].D, up1[1].D)
+	}
+	down1 := st.TasksOn(Downlink(1))
+	if len(down1) != 1 || down1[0].D != 4 {
+		t.Errorf("TasksOn(down1) = %v, want one task with D=4 (d_id)", down1)
+	}
+	if got := st.TasksOn(Uplink(99)); len(got) != 0 {
+		t.Errorf("TasksOn(unused link) = %v, want empty", got)
+	}
+}
+
+func TestStateCloneIndependence(t *testing.T) {
+	st := NewState()
+	st.add(testChannel(1, 1, 2))
+	cp := st.clone()
+	cp.add(testChannel(2, 3, 4))
+	cp.Get(1).Part = Partition{30, 10}
+
+	if st.Len() != 1 {
+		t.Error("clone add leaked into original")
+	}
+	if st.Get(1).Part != (Partition{20, 20}) {
+		t.Error("clone partition mutation leaked into original")
+	}
+	if st.LinkLoad(Uplink(3)) != 0 {
+		t.Error("clone load leaked into original")
+	}
+	if cp.Len() != 2 || cp.LinkLoad(Uplink(3)) != 1 {
+		t.Error("clone did not apply its own mutations")
+	}
+}
+
+func TestStateRemoveCompactsOrder(t *testing.T) {
+	st := NewState()
+	for i := ChannelID(1); i <= 64; i++ {
+		st.add(testChannel(i, NodeID(i), NodeID(i+100)))
+	}
+	for i := ChannelID(1); i <= 60; i++ {
+		st.remove(i)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", st.Len())
+	}
+	if len(st.order) > 2*st.Len()+8 {
+		t.Errorf("order slice not compacted: len=%d for %d channels", len(st.order), st.Len())
+	}
+	got := st.Channels()
+	if len(got) != 4 || got[0].ID != 61 || got[3].ID != 64 {
+		t.Errorf("Channels() after compaction = %v", got)
+	}
+}
+
+func TestTotalUtilization(t *testing.T) {
+	st := NewState()
+	if st.TotalUtilization() != 0 {
+		t.Error("empty state utilization != 0")
+	}
+	st.add(testChannel(1, 1, 2)) // C=3 P=100 on two links: U=0.03 each
+	got := st.TotalUtilization()
+	if got < 0.029 || got > 0.031 {
+		t.Errorf("TotalUtilization = %v, want ~0.03", got)
+	}
+}

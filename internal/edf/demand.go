@@ -1,0 +1,131 @@
+package edf
+
+import "container/heap"
+
+// Demand computes the processor demand function h(t) of the task set: the
+// total capacity of all jobs with both release and absolute deadline inside
+// [0, t] under the synchronous release pattern. This is the paper's workload
+// function h(n, t) (Eq. 18.3):
+//
+//	h(t) = sum over tasks with D_i <= t of (1 + floor((t - D_i)/P_i)) * C_i
+//
+// Demand(tasks, t) is nondecreasing in t and Demand(tasks, 0) == 0.
+func Demand(tasks []Task, t int64) int64 {
+	var h int64
+	for _, task := range tasks {
+		if task.D > t {
+			continue
+		}
+		h += (1 + (t-task.D)/task.P) * task.C
+	}
+	return h
+}
+
+// BusyPeriodLimit caps the fixed-point iteration in BusyPeriod. The
+// iteration converges whenever U <= 1; the limit only guards against
+// pathological inputs (U > 1) where the workload never drains.
+const BusyPeriodLimit = 1 << 20
+
+// BusyPeriod returns the length of the first synchronous busy period: the
+// least fixed point L of
+//
+//	L(0)   = sum C_i
+//	L(k+1) = sum ceil(L(k)/P_i) * C_i
+//
+// It is the interval during which the link is continuously non-idle when
+// every task releases a job at time 0. If the iteration does not converge
+// within BusyPeriodLimit rounds (only possible when U > 1), ok is false.
+//
+// Per Stankovic et al. (the paper's reference [6]), any EDF deadline miss
+// under the synchronous pattern occurs within this interval, so the demand
+// criterion h(t) <= t only needs checking for t <= BusyPeriod (Eq. 18.4).
+func BusyPeriod(tasks []Task) (length int64, ok bool) {
+	if len(tasks) == 0 {
+		return 0, true
+	}
+	l := TotalCapacity(tasks)
+	for iter := 0; iter < BusyPeriodLimit; iter++ {
+		var next int64
+		for _, t := range tasks {
+			next += ceilDiv(l, t.P) * t.C
+		}
+		if next == l {
+			return l, true
+		}
+		l = next
+	}
+	return 0, false
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// deadlineHeap iterates the absolute-deadline checkpoints t = m*P_i + D_i
+// (Eq. 18.5) in increasing order, merging the per-task arithmetic
+// progressions without materializing them.
+type deadlineHeap []deadlineCursor
+
+type deadlineCursor struct {
+	next   int64 // next checkpoint value for this task
+	period int64
+}
+
+func (h deadlineHeap) Len() int            { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
+func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x interface{}) { *h = append(*h, x.(deadlineCursor)) }
+func (h *deadlineHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Checkpoints calls fn for every distinct t in {m*P_i + D_i : m >= 0} with
+// t <= bound, in strictly increasing order. Iteration stops early when fn
+// returns false. These are the only instants at which the demand function
+// increases, so they are the only instants the demand criterion must be
+// evaluated at.
+func Checkpoints(tasks []Task, bound int64, fn func(t int64) bool) {
+	h := make(deadlineHeap, 0, len(tasks))
+	for _, t := range tasks {
+		if t.D <= bound {
+			h = append(h, deadlineCursor{next: t.D, period: t.P})
+		}
+	}
+	heap.Init(&h)
+	last := int64(-1)
+	for h.Len() > 0 {
+		cur := h[0]
+		t := cur.next
+		if t > bound {
+			heap.Pop(&h)
+			continue
+		}
+		next := t + cur.period
+		if next <= bound {
+			h[0].next = next
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if t == last {
+			continue // deduplicate coincident deadlines
+		}
+		last = t
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// CheckpointCount returns the number of distinct checkpoints in [1, bound].
+// It is used for diagnostics and complexity reporting.
+func CheckpointCount(tasks []Task, bound int64) int {
+	n := 0
+	Checkpoints(tasks, bound, func(int64) bool { n++; return true })
+	return n
+}

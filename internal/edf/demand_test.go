@@ -1,0 +1,260 @@
+package edf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteDemand recomputes h(t) by expanding jobs explicitly.
+func bruteDemand(tasks []Task, t int64) int64 {
+	var h int64
+	for _, task := range tasks {
+		for release := int64(0); release+task.D <= t; release += task.P {
+			h += task.C
+		}
+	}
+	return h
+}
+
+func TestDemandBasics(t *testing.T) {
+	tasks := []Task{{C: 3, P: 100, D: 40}}
+	cases := []struct{ t, want int64 }{
+		{0, 0}, {39, 0}, {40, 3}, {139, 3}, {140, 6}, {240, 9},
+	}
+	for _, tc := range cases {
+		if got := Demand(tasks, tc.t); got != tc.want {
+			t.Errorf("Demand(t=%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestDemandEmpty(t *testing.T) {
+	if got := Demand(nil, 1000); got != 0 {
+		t.Errorf("Demand(nil) = %d, want 0", got)
+	}
+}
+
+func TestDemandMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomTaskSet(rng, 5, 30)
+		for _, tt := range []int64{0, 1, 7, 29, 30, 31, 57, 100, 301} {
+			if got, want := Demand(tasks, tt), bruteDemand(tasks, tt); got != want {
+				t.Fatalf("trial %d: Demand(%v, %d) = %d, brute = %d", trial, tasks, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestDemandMonotone(t *testing.T) {
+	f := func(seed int64, probe uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := randomTaskSet(rng, 4, 20)
+		t1 := int64(probe % 200)
+		t2 := t1 + int64(probe%17)
+		return Demand(tasks, t1) <= Demand(tasks, t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyPeriodKnownValues(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []Task
+		want  int64
+	}{
+		{"empty", nil, 0},
+		{"single", []Task{{C: 3, P: 100, D: 40}}, 3},
+		{"six masters worth", repeatTask(Task{C: 3, P: 100, D: 20}, 6), 18},
+		{"seven overflows deadline", repeatTask(Task{C: 3, P: 100, D: 20}, 7), 21},
+		// L0 = 3, then sum ceil(3/P_i)*C_i = 2 + 1 = 3: fixed point right away.
+		{"fixed point at first iterate", []Task{{C: 2, P: 3, D: 3}, {C: 1, P: 4, D: 4}}, 3},
+		// L0 = 4, L1 = ceil(4/3)*2 + ceil(4/8)*2 = 6, L2 = 4 + 2 = 6: two rounds.
+		{"grows past first estimate", []Task{{C: 2, P: 3, D: 3}, {C: 2, P: 8, D: 8}}, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := BusyPeriod(tc.tasks)
+			if !ok {
+				t.Fatal("BusyPeriod did not converge")
+			}
+			if got != tc.want {
+				t.Errorf("BusyPeriod = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBusyPeriodFixedPointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		tasks := randomFeasibleUtilSet(rng, 5, 30)
+		l, ok := BusyPeriod(tasks)
+		if !ok {
+			t.Fatalf("trial %d: busy period diverged for U<=1 set %v", trial, tasks)
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		// l is a fixed point: sum ceil(l/P)*C == l.
+		var next int64
+		for _, task := range tasks {
+			next += ceilDiv(l, task.P) * task.C
+		}
+		if next != l {
+			t.Fatalf("trial %d: BusyPeriod=%d is not a fixed point (next=%d) for %v", trial, l, next, tasks)
+		}
+		// And it is at least the total capacity.
+		if l < TotalCapacity(tasks) {
+			t.Fatalf("trial %d: busy period %d < total capacity %d", trial, l, TotalCapacity(tasks))
+		}
+	}
+}
+
+func TestBusyPeriodDivergesWhenOverloaded(t *testing.T) {
+	tasks := []Task{{C: 3, P: 4, D: 4}, {C: 2, P: 4, D: 4}} // U = 5/4
+	if _, ok := BusyPeriod(tasks); ok {
+		t.Error("BusyPeriod converged for U > 1")
+	}
+}
+
+func TestCheckpointsEnumeration(t *testing.T) {
+	tasks := []Task{
+		{C: 1, P: 10, D: 4},
+		{C: 1, P: 6, D: 6},
+	}
+	var got []int64
+	Checkpoints(tasks, 30, func(t int64) bool {
+		got = append(got, t)
+		return true
+	})
+	want := []int64{4, 6, 12, 14, 18, 24, 30}
+	if len(got) != len(want) {
+		t.Fatalf("Checkpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Checkpoints = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCheckpointsDeduplicates(t *testing.T) {
+	tasks := []Task{{C: 1, P: 5, D: 5}, {C: 1, P: 5, D: 5}, {C: 1, P: 10, D: 5}}
+	var got []int64
+	Checkpoints(tasks, 20, func(t int64) bool {
+		got = append(got, t)
+		return true
+	})
+	want := []int64{5, 10, 15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Checkpoints = %v, want %v (duplicates must be merged)", got, want)
+	}
+}
+
+func TestCheckpointsEarlyStop(t *testing.T) {
+	tasks := []Task{{C: 1, P: 2, D: 2}}
+	calls := 0
+	Checkpoints(tasks, 100, func(t int64) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop: fn called %d times, want 3", calls)
+	}
+}
+
+func TestCheckpointsStrictlyIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomTaskSet(rng, 6, 25)
+		prev := int64(0)
+		Checkpoints(tasks, 200, func(cp int64) bool {
+			if cp <= prev {
+				t.Fatalf("trial %d: checkpoint %d not strictly after %d", trial, cp, prev)
+			}
+			prev = cp
+			return true
+		})
+	}
+}
+
+func TestCheckpointCount(t *testing.T) {
+	tasks := []Task{{C: 1, P: 10, D: 10}}
+	if got := CheckpointCount(tasks, 35); got != 3 {
+		t.Errorf("CheckpointCount = %d, want 3 (t=10,20,30)", got)
+	}
+	if got := CheckpointCount(nil, 100); got != 0 {
+		t.Errorf("CheckpointCount(nil) = %d, want 0", got)
+	}
+}
+
+// TestDemandLinearBound pins the classic inequality linking the demand
+// function to utilization: h(t) <= U*t + sum(C) for all t >= 0 (each task
+// contributes at most ceil(t/P)*C <= (t/P)*C + C once t >= D).
+func TestDemandLinearBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomTaskSet(rng, 6, 25)
+		if len(tasks) == 0 {
+			continue
+		}
+		u := UtilizationFloat(tasks)
+		bound := func(tt int64) float64 { return u*float64(tt) + float64(TotalCapacity(tasks)) }
+		for _, tt := range []int64{0, 1, 13, 50, 199, 1000} {
+			if h := Demand(tasks, tt); float64(h) > bound(tt)+1e-6 {
+				t.Fatalf("trial %d: h(%d)=%d exceeds U*t+sumC=%.2f for %v",
+					trial, tt, h, bound(tt), tasks)
+			}
+		}
+	}
+}
+
+// TestDemandSubadditiveInTaskSets: demand of a union is the sum of
+// demands — h is linear over disjoint task multisets.
+func TestDemandAdditiveOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		a := randomTaskSet(rng, 4, 20)
+		b := randomTaskSet(rng, 4, 20)
+		union := append(append([]Task{}, a...), b...)
+		for _, tt := range []int64{0, 5, 17, 60, 240} {
+			if Demand(union, tt) != Demand(a, tt)+Demand(b, tt) {
+				t.Fatalf("trial %d: demand not additive at t=%d", trial, tt)
+			}
+		}
+	}
+}
+
+// randomTaskSet generates up to n random valid tasks with P in [1, maxP].
+func randomTaskSet(rng *rand.Rand, n, maxP int) []Task {
+	k := rng.Intn(n + 1)
+	tasks := make([]Task, 0, k)
+	for i := 0; i < k; i++ {
+		p := int64(rng.Intn(maxP) + 1)
+		c := int64(rng.Intn(int(p)) + 1)
+		d := c + int64(rng.Intn(int(p)))
+		tasks = append(tasks, Task{C: c, P: p, D: d})
+	}
+	return tasks
+}
+
+// randomFeasibleUtilSet generates tasks and drops entries until U <= 1.
+func randomFeasibleUtilSet(rng *rand.Rand, n, maxP int) []Task {
+	tasks := randomTaskSet(rng, n, maxP)
+	for len(tasks) > 0 && UtilizationExceedsOne(tasks) {
+		tasks = tasks[:len(tasks)-1]
+	}
+	return tasks
+}
+
+func repeatTask(t Task, n int) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package edf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verdict classifies the outcome of a feasibility test.
+type Verdict int
+
+const (
+	// Feasible: the task set is EDF-schedulable on one link direction.
+	Feasible Verdict = iota
+	// InfeasibleUtilization: first constraint violated (U > 1).
+	InfeasibleUtilization
+	// InfeasibleDemand: second constraint violated (h(t) > t for some t).
+	InfeasibleDemand
+	// InvalidTask: a task failed parameter validation.
+	InvalidTask
+	// Inconclusive: analysis exceeded configured limits; callers must treat
+	// this as a rejection for admission-control purposes.
+	Inconclusive
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Feasible:
+		return "feasible"
+	case InfeasibleUtilization:
+		return "infeasible(utilization)"
+	case InfeasibleDemand:
+		return "infeasible(demand)"
+	case InvalidTask:
+		return "invalid-task"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result carries the verdict of a feasibility test plus diagnostics.
+type Result struct {
+	Verdict      Verdict
+	Err          error   // non-nil for InvalidTask and Inconclusive
+	Utilization  float64 // total utilization of the set (approximate, reporting only)
+	BusyPeriod   int64   // synchronous busy period, 0 when not computed
+	ViolationAt  int64   // first t with h(t) > t, when Verdict == InfeasibleDemand
+	DemandAt     int64   // h(ViolationAt)
+	Checked      int     // number of checkpoints evaluated
+	ShortCircuit bool    // true when the Liu & Layland D==P shortcut applied
+}
+
+// OK reports whether the task set was proven feasible.
+func (r Result) OK() bool { return r.Verdict == Feasible }
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r.Verdict {
+	case InfeasibleDemand:
+		return fmt.Sprintf("%v at t=%d (h=%d), U=%.4f", r.Verdict, r.ViolationAt, r.DemandAt, r.Utilization)
+	case InfeasibleUtilization:
+		return fmt.Sprintf("%v U=%.4f", r.Verdict, r.Utilization)
+	default:
+		return fmt.Sprintf("%v U=%.4f busy=%d checked=%d", r.Verdict, r.Utilization, r.BusyPeriod, r.Checked)
+	}
+}
+
+// Options configures the feasibility test.
+type Options struct {
+	// MaxCheckpoints bounds the number of demand evaluations; 0 means
+	// DefaultMaxCheckpoints. If the bound is hit the test returns
+	// Inconclusive rather than an unsound "feasible".
+	MaxCheckpoints int
+	// SkipValidation omits per-task parameter validation (callers that have
+	// already validated can save the pass).
+	SkipValidation bool
+}
+
+// DefaultMaxCheckpoints is the default cap on demand evaluations per test.
+// The Fig. 18.5 workload needs well under a thousand.
+const DefaultMaxCheckpoints = 1 << 22
+
+// ErrTooManyCheckpoints is wrapped in Result.Err when a test gives up.
+var ErrTooManyCheckpoints = errors.New("edf: checkpoint limit exceeded")
+
+// ErrBusyPeriodDiverged is wrapped in Result.Err when the busy-period
+// iteration fails to converge (only possible for U > 1 inputs, which the
+// utilization constraint catches first under exact arithmetic).
+var ErrBusyPeriodDiverged = errors.New("edf: busy period iteration diverged")
+
+// Test runs the two-step feasibility test of §18.3.2 on one link direction:
+//
+//  1. First constraint: U <= 1 (exact rational arithmetic).
+//  2. Second constraint: h(t) <= t for every checkpoint t = m*P_i + D_i in
+//     [1, busy period].
+//
+// When every task has D == P the first constraint alone is necessary and
+// sufficient (Liu & Layland) and step 2 is skipped.
+func Test(tasks []Task, opts Options) Result {
+	res := Result{Verdict: Feasible}
+	if !opts.SkipValidation {
+		if err := ValidateTasks(tasks); err != nil {
+			return Result{Verdict: InvalidTask, Err: err}
+		}
+	}
+	if len(tasks) == 0 {
+		return res
+	}
+	res.Utilization = UtilizationFloat(tasks)
+
+	// First constraint (Eq. 18.2): utilization at most 100%.
+	if UtilizationExceedsOne(tasks) {
+		res.Verdict = InfeasibleUtilization
+		return res
+	}
+
+	// Liu & Layland shortcut: with implicit deadlines the utilization test
+	// is exact, as the paper notes.
+	if ImplicitDeadlines(tasks) {
+		res.ShortCircuit = true
+		return res
+	}
+
+	// Second constraint (Eq. 18.3-18.5): demand criterion over the first
+	// synchronous busy period, evaluated only at absolute deadlines.
+	bp, ok := BusyPeriod(tasks)
+	if !ok {
+		return Result{Verdict: Inconclusive, Err: ErrBusyPeriodDiverged, Utilization: res.Utilization}
+	}
+	res.BusyPeriod = bp
+
+	maxChecks := opts.MaxCheckpoints
+	if maxChecks <= 0 {
+		maxChecks = DefaultMaxCheckpoints
+	}
+	exceeded := false
+	Checkpoints(tasks, bp, func(t int64) bool {
+		if res.Checked >= maxChecks {
+			exceeded = true
+			return false
+		}
+		res.Checked++
+		if h := Demand(tasks, t); h > t {
+			res.Verdict = InfeasibleDemand
+			res.ViolationAt = t
+			res.DemandAt = h
+			return false
+		}
+		return true
+	})
+	if exceeded {
+		return Result{
+			Verdict:     Inconclusive,
+			Err:         fmt.Errorf("%w (limit %d, busy period %d)", ErrTooManyCheckpoints, maxChecks, bp),
+			Utilization: res.Utilization,
+			BusyPeriod:  bp,
+			Checked:     res.Checked,
+		}
+	}
+	return res
+}
+
+// TestDefault runs Test with default options.
+func TestDefault(tasks []Task) Result {
+	return Test(tasks, Options{})
+}
+
+// FeasibleSet is a convenience wrapper returning only the boolean verdict.
+func FeasibleSet(tasks []Task) bool {
+	return TestDefault(tasks).OK()
+}

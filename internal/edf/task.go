@@ -1,0 +1,122 @@
+// Package edf implements Earliest-Deadline-First schedulability theory for
+// sets of periodic tasks, as used by the switch admission control in the
+// switched-Ethernet real-time network of Hoang & Jonsson (IPPS 2004).
+//
+// Every physical link direction in the network is modelled as a
+// pseudo-processor; the uplink or downlink part of an RT channel is a
+// periodic task on that processor. All quantities are integer timeslots,
+// where one slot is the transmission time of one maximal-sized Ethernet
+// frame. The package provides:
+//
+//   - exact utilization computation (Liu & Layland first constraint),
+//   - the processor demand function h(t) (the paper's workload function
+//     h(n,t), Eq. 18.3),
+//   - the synchronous busy period used to bound the demand check (Eq. 18.4),
+//   - checkpoint enumeration t = m*P_i + d_i (Eq. 18.5), and
+//   - the combined feasibility test.
+package edf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Task is one periodic task on a link pseudo-processor. For an RT channel
+// {P_i, C_i, d_i} the uplink task is {C: C_i, P: P_i, D: d_iu} and the
+// downlink task is {C: C_i, P: P_i, D: d_id}, per Eqs. 18.6-18.7.
+type Task struct {
+	C   int64  // capacity (worst-case transmission demand) per period, in slots; > 0
+	P   int64  // period, in slots; >= C
+	D   int64  // relative deadline, in slots; >= C
+	Tag string // optional label used in diagnostics (e.g. channel ID)
+}
+
+// Validation errors returned by Task.Validate and ValidateTasks.
+var (
+	ErrNonPositiveC = errors.New("edf: task capacity C must be positive")
+	ErrNonPositiveP = errors.New("edf: task period P must be positive")
+	ErrNonPositiveD = errors.New("edf: task deadline D must be positive")
+	ErrCExceedsP    = errors.New("edf: task capacity C exceeds period P")
+	ErrCExceedsD    = errors.New("edf: task capacity C exceeds deadline D")
+)
+
+// Validate reports whether the task parameters are internally consistent.
+// A task whose capacity exceeds its deadline can never meet that deadline
+// (the capacity is the WCET of the supposed task, §18.4), and a capacity
+// exceeding the period alone makes the task infeasible on any link.
+func (t Task) Validate() error {
+	switch {
+	case t.C <= 0:
+		return fmt.Errorf("%w (C=%d, tag=%q)", ErrNonPositiveC, t.C, t.Tag)
+	case t.P <= 0:
+		return fmt.Errorf("%w (P=%d, tag=%q)", ErrNonPositiveP, t.P, t.Tag)
+	case t.D <= 0:
+		return fmt.Errorf("%w (D=%d, tag=%q)", ErrNonPositiveD, t.D, t.Tag)
+	case t.C > t.P:
+		return fmt.Errorf("%w (C=%d > P=%d, tag=%q)", ErrCExceedsP, t.C, t.P, t.Tag)
+	case t.C > t.D:
+		return fmt.Errorf("%w (C=%d > D=%d, tag=%q)", ErrCExceedsD, t.C, t.D, t.Tag)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if t.Tag != "" {
+		return fmt.Sprintf("task[%s]{C=%d P=%d D=%d}", t.Tag, t.C, t.P, t.D)
+	}
+	return fmt.Sprintf("task{C=%d P=%d D=%d}", t.C, t.P, t.D)
+}
+
+// ValidateTasks validates every task in the set, returning the first error.
+func ValidateTasks(tasks []Task) error {
+	for i, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TotalCapacity returns the sum of all task capacities, i.e. the length of
+// the initial synchronous workload burst L(0) used to seed the busy-period
+// iteration.
+func TotalCapacity(tasks []Task) int64 {
+	var sum int64
+	for _, t := range tasks {
+		sum += t.C
+	}
+	return sum
+}
+
+// ImplicitDeadlines reports whether every task has D == P. In that case the
+// Liu & Layland utilization bound (first constraint) is both necessary and
+// sufficient for EDF feasibility and the demand check can be skipped, as
+// the paper notes in §18.3.2.
+func ImplicitDeadlines(tasks []Task) bool {
+	for _, t := range tasks {
+		if t.D != t.P {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByDeadline returns a copy of tasks ordered by increasing relative
+// deadline, breaking ties by period then capacity. Diagnostic output uses
+// this ordering so that reports are stable across runs.
+func SortByDeadline(tasks []Task) []Task {
+	out := make([]Task, len(tasks))
+	copy(out, tasks)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].D != out[j].D {
+			return out[i].D < out[j].D
+		}
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}

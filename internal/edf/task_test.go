@@ -1,0 +1,113 @@
+package edf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		want error
+	}{
+		{"valid", Task{C: 3, P: 100, D: 40}, nil},
+		{"valid implicit deadline", Task{C: 1, P: 10, D: 10}, nil},
+		{"valid C equals D", Task{C: 5, P: 20, D: 5}, nil},
+		{"zero C", Task{C: 0, P: 10, D: 10}, ErrNonPositiveC},
+		{"negative C", Task{C: -1, P: 10, D: 10}, ErrNonPositiveC},
+		{"zero P", Task{C: 1, P: 0, D: 10}, ErrNonPositiveP},
+		{"negative P", Task{C: 1, P: -5, D: 10}, ErrNonPositiveP},
+		{"zero D", Task{C: 1, P: 10, D: 0}, ErrNonPositiveD},
+		{"negative D", Task{C: 1, P: 10, D: -3}, ErrNonPositiveD},
+		{"C exceeds P", Task{C: 11, P: 10, D: 12}, ErrCExceedsP},
+		{"C exceeds D", Task{C: 5, P: 10, D: 4}, ErrCExceedsD},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.task.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(_, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateTasksReportsIndex(t *testing.T) {
+	tasks := []Task{
+		{C: 1, P: 10, D: 10},
+		{C: 0, P: 10, D: 10},
+	}
+	err := ValidateTasks(tasks)
+	if err == nil {
+		t.Fatal("ValidateTasks() = nil, want error")
+	}
+	if !errors.Is(err, ErrNonPositiveC) {
+		t.Fatalf("ValidateTasks() = %v, want ErrNonPositiveC", err)
+	}
+	if !strings.Contains(err.Error(), "task 1") {
+		t.Fatalf("error %q does not name the offending index", err)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	got := Task{C: 3, P: 100, D: 40, Tag: "ch7"}.String()
+	for _, want := range []string{"ch7", "C=3", "P=100", "D=40"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	plain := Task{C: 1, P: 2, D: 2}.String()
+	if strings.Contains(plain, "[") {
+		t.Errorf("untagged String() = %q, should not contain tag brackets", plain)
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	if got := TotalCapacity(nil); got != 0 {
+		t.Errorf("TotalCapacity(nil) = %d, want 0", got)
+	}
+	tasks := []Task{{C: 3, P: 10, D: 10}, {C: 4, P: 20, D: 20}, {C: 5, P: 30, D: 15}}
+	if got := TotalCapacity(tasks); got != 12 {
+		t.Errorf("TotalCapacity = %d, want 12", got)
+	}
+}
+
+func TestImplicitDeadlines(t *testing.T) {
+	if !ImplicitDeadlines(nil) {
+		t.Error("ImplicitDeadlines(nil) = false, want true")
+	}
+	if !ImplicitDeadlines([]Task{{C: 1, P: 10, D: 10}, {C: 2, P: 5, D: 5}}) {
+		t.Error("ImplicitDeadlines(all D==P) = false, want true")
+	}
+	if ImplicitDeadlines([]Task{{C: 1, P: 10, D: 10}, {C: 2, P: 5, D: 4}}) {
+		t.Error("ImplicitDeadlines(one D<P) = true, want false")
+	}
+}
+
+func TestSortByDeadline(t *testing.T) {
+	tasks := []Task{
+		{C: 2, P: 50, D: 30, Tag: "b"},
+		{C: 1, P: 40, D: 10, Tag: "a"},
+		{C: 3, P: 20, D: 30, Tag: "c"},
+		{C: 1, P: 20, D: 30, Tag: "d"},
+	}
+	got := SortByDeadline(tasks)
+	wantOrder := []string{"a", "d", "c", "b"}
+	for i, tag := range wantOrder {
+		if got[i].Tag != tag {
+			t.Fatalf("SortByDeadline order = %v, want tags %v", got, wantOrder)
+		}
+	}
+	// Input must be untouched.
+	if tasks[0].Tag != "b" {
+		t.Error("SortByDeadline mutated its input")
+	}
+}

@@ -1,0 +1,119 @@
+package edf
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []Task
+		want  *big.Rat
+	}{
+		{"empty", nil, big.NewRat(0, 1)},
+		{"single", []Task{{C: 3, P: 100, D: 40}}, big.NewRat(3, 100)},
+		{"sums", []Task{{C: 1, P: 3, D: 3}, {C: 1, P: 6, D: 6}}, big.NewRat(1, 2)},
+		{"exactly one", []Task{{C: 1, P: 2, D: 2}, {C: 1, P: 2, D: 2}}, big.NewRat(1, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Utilization(tc.tasks); got.Cmp(tc.want) != 0 {
+				t.Errorf("Utilization = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUtilizationExceedsOneExactBoundary(t *testing.T) {
+	// Three tasks of 1/3 each sum to exactly one: not exceeding.
+	atOne := []Task{{C: 1, P: 3, D: 3}, {C: 1, P: 3, D: 3}, {C: 1, P: 3, D: 3}}
+	if UtilizationExceedsOne(atOne) {
+		t.Error("U == 1 reported as exceeding one")
+	}
+	// Floating point would struggle with 1/3*3 + tiny; exact must not.
+	over := append(append([]Task{}, atOne...), Task{C: 1, P: math.MaxInt64 - 1, D: math.MaxInt64 - 1})
+	if !UtilizationExceedsOne(over) {
+		t.Error("U = 1 + epsilon reported as not exceeding one")
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {18, 12, 6},
+		{7, 13, 1}, {-12, 18, 6}, {12, -18, 6}, {100, 100, 100},
+	}
+	for _, tc := range cases {
+		if got := GCD(tc.a, tc.b); got != tc.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{0, 5, 0, true}, {4, 6, 12, true}, {100, 100, 100, true},
+		{7, 13, 91, true}, {math.MaxInt64, 2, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := LCM(tc.a, tc.b)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("LCM(%d, %d) = (%d, %v), want (%d, %v)", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	h, ok := Hyperperiod(nil)
+	if !ok || h != 1 {
+		t.Errorf("Hyperperiod(nil) = (%d, %v), want (1, true)", h, ok)
+	}
+	tasks := []Task{{C: 1, P: 4, D: 4}, {C: 1, P: 6, D: 6}, {C: 1, P: 10, D: 10}}
+	h, ok = Hyperperiod(tasks)
+	if !ok || h != 60 {
+		t.Errorf("Hyperperiod = (%d, %v), want (60, true)", h, ok)
+	}
+	huge := []Task{{C: 1, P: math.MaxInt64 - 1, D: 1}, {C: 1, P: math.MaxInt64 - 2, D: 1}}
+	if _, ok := Hyperperiod(huge); ok {
+		t.Error("Hyperperiod overflow not detected")
+	}
+}
+
+func TestGCDLCMProperties(t *testing.T) {
+	// For positive a, b within a safe range: gcd*lcm == a*b.
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		l, ok := LCM(x, y)
+		if !ok {
+			return false
+		}
+		return GCD(x, y)*l == x*y && l%x == 0 && l%y == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationMatchesFloat(t *testing.T) {
+	f := func(specs []struct{ C, P uint8 }) bool {
+		var tasks []Task
+		for _, s := range specs {
+			c, p := int64(s.C%16)+1, int64(s.P%64)+16
+			if c > p {
+				c = p
+			}
+			tasks = append(tasks, Task{C: c, P: p, D: p})
+		}
+		exact, _ := Utilization(tasks).Float64()
+		approx := UtilizationFloat(tasks)
+		return math.Abs(exact-approx) < 1e-9*(1+math.Abs(exact))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

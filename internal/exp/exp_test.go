@@ -1,0 +1,310 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer", s)
+	}
+	return v
+}
+
+// TestFig185Shape pins the reproduction target: SDPS plateaus at exactly
+// 60 accepted channels; ADPS strictly dominates SDPS at saturation and
+// lands in the paper's ≈110 region; both accept everything while
+// unsaturated.
+func TestFig185Shape(t *testing.T) {
+	tb := Fig185()
+	rows := tb.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("Fig. 18.5 has %d rows, want 10 (requested 20..200)", len(rows))
+	}
+	for i, row := range rows {
+		requested := atoi(t, row[0])
+		sdps := atoi(t, row[1])
+		adps := atoi(t, row[2])
+		if requested != 20*(i+1) {
+			t.Fatalf("row %d requested = %d", i, requested)
+		}
+		wantSDPS := requested
+		if wantSDPS > 60 {
+			wantSDPS = 60
+		}
+		if sdps != wantSDPS {
+			t.Errorf("requested=%d: SDPS accepted %d, want %d", requested, sdps, wantSDPS)
+		}
+		if adps < sdps {
+			t.Errorf("requested=%d: ADPS %d below SDPS %d", requested, adps, sdps)
+		}
+	}
+	last := rows[len(rows)-1]
+	adpsFinal := atoi(t, last[2])
+	if adpsFinal < 90 || adpsFinal > 130 {
+		t.Errorf("ADPS at 200 requested = %d, paper shows ≈110", adpsFinal)
+	}
+}
+
+func TestDeadlineSweepShape(t *testing.T) {
+	tb := DeadlineSweep()
+	rows := tb.Rows()
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	adpsWinsSomewhere := false
+	for _, row := range rows {
+		s, a := atoi(t, row[1]), atoi(t, row[2])
+		if a < s {
+			t.Errorf("d=%s: ADPS %d < SDPS %d", row[0], a, s)
+		}
+		if a > s {
+			adpsWinsSomewhere = true
+		}
+	}
+	if !adpsWinsSomewhere {
+		t.Error("ADPS never beat SDPS across the deadline sweep")
+	}
+}
+
+func TestMultiSwitchShape(t *testing.T) {
+	tb := MultiSwitch()
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		hsdps, hadps := atoi(t, row[2]), atoi(t, row[3])
+		if hadps < hsdps {
+			t.Errorf("%s switches: H-ADPS %d < H-SDPS %d", row[0], hadps, hsdps)
+		}
+	}
+	// More switches → more hops per fixed deadline → capacity cannot grow.
+	first := atoi(t, rows[0][3])
+	lastRow := atoi(t, rows[len(rows)-1][3])
+	if lastRow > first {
+		t.Errorf("H-ADPS capacity grew with fabric length: %d → %d", first, lastRow)
+	}
+}
+
+func TestAltSchedShape(t *testing.T) {
+	tb := AltSched()
+	rows := tb.Rows()
+	fifoLosesSomewhere, dmLosesSomewhere := false, false
+	for _, row := range rows {
+		edfCap := atoi(t, row[1])
+		dmCap := atoi(t, row[2])
+		fifoCap := atoi(t, row[3])
+		if edfCap < dmCap || dmCap < fifoCap {
+			t.Errorf("%s: capacity order broken EDF=%d DM=%d FIFO=%d",
+				row[0], edfCap, dmCap, fifoCap)
+		}
+		if fifoCap < edfCap {
+			fifoLosesSomewhere = true
+		}
+		if dmCap < edfCap {
+			dmLosesSomewhere = true
+		}
+	}
+	if !fifoLosesSomewhere {
+		t.Error("FIFO never lost to EDF — mixed-deadline scenario missing")
+	}
+	if !dmLosesSomewhere {
+		t.Error("DM never lost to EDF — harmonic scenario missing")
+	}
+}
+
+func TestDelayGuaranteePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := DelayGuarantee()
+	for _, row := range tb.Rows() {
+		if row[6] != "PASS" {
+			t.Errorf("scheme %s violated its guarantee: %v", row[0], row)
+		}
+		if atoi(t, row[3]) != 0 {
+			t.Errorf("scheme %s missed deadlines: %v", row[0], row)
+		}
+		worst, guarantee := atoi(t, row[4]), atoi(t, row[5])
+		if worst > guarantee {
+			t.Errorf("scheme %s worst %d > guarantee %d", row[0], worst, guarantee)
+		}
+	}
+}
+
+func TestFeasibilityModesShowsUnsoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := FeasibilityModes()
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][6] != "PASS" || atoi(t, rows[0][3]) != 0 {
+		t.Errorf("paper policy row: %v", rows[0])
+	}
+	if rows[1][6] != "FAIL" || atoi(t, rows[1][3]) == 0 {
+		t.Errorf("utilization-only policy should miss deadlines: %v", rows[1])
+	}
+	if atoi(t, rows[1][1]) <= atoi(t, rows[0][1]) {
+		t.Error("utilization-only should over-admit relative to the full test")
+	}
+}
+
+func TestShapingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := ShapingAblation()
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if atoi(t, row[3]) != 0 {
+			t.Errorf("mode %q missed deadlines: %v", row[0], row)
+		}
+	}
+	shapedHolds, _ := strconv.Atoi(rows[0][6])
+	unshapedHolds, _ := strconv.Atoi(rows[1][6])
+	if shapedHolds == 0 {
+		t.Error("shaped mode reported zero holds")
+	}
+	if unshapedHolds != 0 {
+		t.Error("unshaped mode reported holds")
+	}
+}
+
+func TestCoexistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := Coexistence()
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if atoi(t, row[1]) != 0 {
+			t.Errorf("rate %s: RT misses %s under background load", row[0], row[1])
+		}
+	}
+	// At non-zero rates background traffic must actually flow.
+	if atoi(t, rows[1][4]) == 0 {
+		t.Error("no background frames delivered at the lowest non-zero rate")
+	}
+}
+
+func TestDPSSearchShape(t *testing.T) {
+	tb := DPSSearch()
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	improvedSomewhere := false
+	for _, row := range rows {
+		sdps, adps, search := atoi(t, row[1]), atoi(t, row[2]), atoi(t, row[3])
+		if adps < sdps {
+			t.Errorf("%s: ADPS %d < SDPS %d", row[0], adps, sdps)
+		}
+		if search < adps {
+			t.Errorf("%s: search %d < ADPS %d — fallbacks must never hurt", row[0], search, adps)
+		}
+		if search > adps {
+			improvedSomewhere = true
+		}
+		if atoi(t, row[5]) < atoi(t, row[4]) {
+			t.Errorf("%s: search ran fewer feasibility tests than single-scheme", row[0])
+		}
+	}
+	if !improvedSomewhere {
+		t.Log("note: fallback search matched ADPS exactly on both workloads")
+	}
+}
+
+func TestFabricDelayPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := FabricDelay()
+	rows := tb.Rows()
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 4 fabrics x 2 schemes", len(rows))
+	}
+	for _, row := range rows {
+		if row[7] != "PASS" {
+			t.Errorf("fabric guarantee violated: %v", row)
+		}
+		if atoi(t, row[4]) != 0 {
+			t.Errorf("misses in %v", row)
+		}
+		if atoi(t, row[3]) == 0 {
+			t.Errorf("no traffic in %v", row)
+		}
+	}
+}
+
+func TestDisciplineMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := DisciplineMismatch()
+	rows := tb.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range rows {
+		byName[row[0]] = row
+	}
+	if byName["EDF"][6] != "PASS" || atoi(t, byName["EDF"][3]) != 0 {
+		t.Errorf("EDF row: %v", byName["EDF"])
+	}
+	if byName["DM"][6] != "PASS" {
+		t.Errorf("DM row (tight channels have the shortest deadlines, DM must cope): %v", byName["DM"])
+	}
+	if byName["FIFO"][6] != "FAIL" || atoi(t, byName["FIFO"][4]) == 0 {
+		t.Errorf("FIFO row should miss tight-channel deadlines: %v", byName["FIFO"])
+	}
+}
+
+func TestAllExperimentsEnumerated(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("All() has %d experiments, want 11 (E1..E11)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Run == nil || e.Desc == "" {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if !seen["fig18.5"] {
+		t.Error("headline experiment missing")
+	}
+}
+
+func TestTablesRenderNonEmpty(t *testing.T) {
+	// Every fast experiment renders a non-empty table with its headers.
+	for _, e := range []Experiment{
+		{ID: "fig18.5", Desc: "x", Run: Fig185},
+		{ID: "dsweep", Desc: "x", Run: DeadlineSweep},
+		{ID: "altsched", Desc: "x", Run: AltSched},
+		{ID: "multiswitch", Desc: "x", Run: MultiSwitch},
+	} {
+		out := e.Run().String()
+		if !strings.Contains(out, "==") || len(strings.Split(out, "\n")) < 4 {
+			t.Errorf("%s renders poorly:\n%s", e.ID, out)
+		}
+	}
+}

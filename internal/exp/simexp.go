@@ -1,0 +1,318 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fabricsim"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// buildLoaded constructs a network with the paper layout, pushes the
+// request sequence through the wire-level establishment handshake, and
+// starts synchronized traffic on every accepted channel. It returns the
+// network and the accepted channel IDs.
+func buildLoaded(cfg netsim.Config, requests []core.ChannelSpec, offsets []int64) (*netsim.Network, []core.ChannelID) {
+	n := netsim.New(cfg)
+	for _, id := range traffic.PaperLayout.Nodes() {
+		n.MustAddNode(id)
+	}
+	var accepted []core.ChannelID
+	for _, spec := range requests {
+		id, err := n.EstablishChannel(spec)
+		if err != nil {
+			continue
+		}
+		accepted = append(accepted, id)
+	}
+	for k, id := range accepted {
+		ch := n.Controller().State().Get(id)
+		var off int64
+		if k < len(offsets) {
+			off = offsets[k]
+		}
+		if err := n.Node(ch.Spec.Src).StartTraffic(id, off); err != nil {
+			panic(err)
+		}
+	}
+	return n, accepted
+}
+
+// simHorizon is the default measurement window: 30 hyperperiods of the
+// paper workload after load completes.
+const simHorizon = 3000
+
+// DelayGuarantee (E3) simulates the full Fig. 18.5 workload under both
+// schemes and verifies Eq. 18.1: every frame of every admitted channel is
+// delivered within d_i + T_latency. It reports the worst observed delay
+// against the guarantee.
+func DelayGuarantee() *stats.Table {
+	tb := stats.NewTable(
+		"E3 — simulated delay vs guarantee, Fig. 18.5 workload (3000 slots)",
+		"scheme", "accepted", "delivered", "misses", "worst delay", "guarantee", "verdict")
+	for _, dps := range []core.DPS{core.SDPS{}, core.ADPS{}} {
+		requests := traffic.PaperLayout.Requests(200, traffic.PaperSpec)
+		n, accepted := buildLoaded(netsim.Config{DPS: dps}, requests, nil)
+		n.Run(n.Engine().Now() + simHorizon)
+		rep := n.Report()
+		_, worst := rep.WorstDelay()
+		guarantee := traffic.PaperSpec.D + n.ExtraLatency()
+		tb.AddRowf(dps.Name(), len(accepted), rep.TotalDelivered(), rep.TotalMisses(),
+			worst, guarantee, passFail(rep.TotalMisses() == 0 && worst <= guarantee))
+	}
+	return tb
+}
+
+// FeasibilityModes (E2) contrasts the paper's two-constraint admission
+// with a utilization-only test (sound only for d = P, as Liu & Layland
+// showed). The utilization-only column over-admits 33 channels on one
+// master uplink; simulation shows the resulting deadline misses, while
+// the demand-criterion system stays clean.
+func FeasibilityModes() *stats.Table {
+	tb := stats.NewTable(
+		"E2 — admission policy soundness, one master, C=3 P=100 d=40 (3000 slots)",
+		"policy", "accepted", "delivered", "misses", "worst delay", "guarantee", "verdict")
+
+	// Policy 1: the paper's full test (utilization + demand criterion).
+	{
+		n := netsim.New(netsim.Config{DPS: core.SDPS{}})
+		n.MustAddNode(0)
+		for s := 0; s < 40; s++ {
+			n.MustAddNode(core.NodeID(100 + s))
+		}
+		var ids []core.ChannelID
+		for s := 0; s < 40; s++ {
+			id, err := n.EstablishChannel(core.ChannelSpec{
+				Src: 0, Dst: core.NodeID(100 + s), C: 3, P: 100, D: 40})
+			if err != nil {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			ch := n.Controller().State().Get(id)
+			if err := n.Node(ch.Spec.Src).StartTraffic(id, 0); err != nil {
+				panic(err)
+			}
+		}
+		n.Run(n.Engine().Now() + simHorizon)
+		rep := n.Report()
+		_, worst := rep.WorstDelay()
+		tb.AddRowf("utilization+demand (paper)", len(ids), rep.TotalDelivered(),
+			rep.TotalMisses(), worst, 40, passFail(rep.TotalMisses() == 0))
+	}
+
+	// Policy 2: utilization-only. U = 3q/100 <= 1 admits q = 33 channels,
+	// far past the demand bound; the synchronous burst then blows the
+	// end-to-end budget.
+	{
+		n := netsim.New(netsim.Config{DPS: core.SDPS{}, DisableShaping: true})
+		n.MustAddNode(0)
+		for s := 0; s < 40; s++ {
+			n.MustAddNode(core.NodeID(100 + s))
+		}
+		var ids []core.ChannelID
+		for s := 0; s < 33; s++ {
+			id, err := n.ForceChannel(core.ChannelSpec{
+				Src: 0, Dst: core.NodeID(100 + s), C: 3, P: 100, D: 40}, core.Partition{})
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if err := n.Node(0).StartTraffic(id, 0); err != nil {
+				panic(err)
+			}
+		}
+		n.Run(n.Engine().Now() + simHorizon)
+		rep := n.Report()
+		_, worst := rep.WorstDelay()
+		tb.AddRowf("utilization only (unsound)", len(ids), rep.TotalDelivered(),
+			rep.TotalMisses(), worst, 40, passFail(rep.TotalMisses() == 0))
+	}
+	return tb
+}
+
+// ShapingAblation (E4) runs the ADPS-accepted workload with and without
+// the switch's release-guard shaper, with randomized release offsets so
+// uplink completion jitter is visible. Both modes must meet deadlines on
+// this workload; the shaped run shows held frames and a delay profile
+// closer to the analytical release pattern.
+func ShapingAblation() *stats.Table {
+	tb := stats.NewTable(
+		"E4 — release-guard shaping ablation, ADPS workload (3000 slots)",
+		"mode", "accepted", "delivered", "misses", "worst delay", "mean delay", "shaper holds")
+	for _, disable := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(77))
+		requests := traffic.PaperLayout.Requests(200, traffic.PaperSpec)
+		offsets := traffic.UniformOffsets(rng, 200, 99)
+		n, accepted := buildLoaded(netsim.Config{DPS: core.ADPS{}, DisableShaping: disable},
+			requests, offsets)
+		n.Run(n.Engine().Now() + simHorizon)
+		rep := n.Report()
+		_, worst := rep.WorstDelay()
+		var meanSum float64
+		var meanN int
+		for _, m := range rep.Channels {
+			meanSum += m.Delays.Mean()
+			meanN++
+		}
+		mean := 0.0
+		if meanN > 0 {
+			mean = meanSum / float64(meanN)
+		}
+		_, _, shaped, _, _ := n.Switch().Counters()
+		mode := "shaped (release guard)"
+		if disable {
+			mode = "unshaped (paper-naive)"
+		}
+		tb.AddRowf(mode, len(accepted), rep.TotalDelivered(), rep.TotalMisses(),
+			worst, mean, shaped)
+	}
+	return tb
+}
+
+// FabricDelay (E10) is the dynamic counterpart of E6: the channels the
+// fabric admission accepts on line fabrics of 1..4 switches are actually
+// simulated hop by hop, verifying that per-hop deadline partitioning
+// bounds end-to-end delay — the multi-hop generalization of Eq. 18.1.
+func FabricDelay() *stats.Table {
+	tb := stats.NewTable(
+		"E10 — fabric simulation: admitted channels meet end-to-end deadlines (1200 slots)",
+		"switches", "scheme", "admitted", "delivered", "misses", "worst delay", "deadline", "verdict")
+	for _, k := range []int{1, 2, 3, 4} {
+		for _, dps := range []topo.HDPS{topo.HSDPS{}, topo.HADPS{}} {
+			tp := topo.Line(k)
+			for m := 0; m < 10; m++ {
+				if err := tp.AttachNode(core.NodeID(m), 0); err != nil {
+					panic(err)
+				}
+			}
+			for s := 0; s < 50; s++ {
+				if err := tp.AttachNode(core.NodeID(100+s), topo.SwitchID(k-1)); err != nil {
+					panic(err)
+				}
+			}
+			ctrl := topo.NewController(tp, topo.Config{DPS: dps})
+			for q := 0; q < 150; q++ {
+				_, _ = ctrl.Request(core.ChannelSpec{
+					Src: core.NodeID(q % 10),
+					Dst: core.NodeID(100 + q%50),
+					C:   3, P: 300, D: 60,
+				})
+			}
+			s, err := fabricsim.New(ctrl.State(), nil, fabricsim.Config{})
+			if err != nil {
+				panic(err)
+			}
+			s.Run(1200)
+			delivered, misses, worst := s.Totals()
+			tb.AddRowf(k, dps.Name(), ctrl.State().Len(), delivered, misses, worst, 60,
+				passFail(misses == 0 && worst <= 60))
+		}
+	}
+	return tb
+}
+
+// DisciplineMismatch (E11) runs the same EDF-admitted channel set under
+// three dispatchers: EDF (the paper's, matching the analysis), DM and
+// FIFO. Each master carries five loose channels (C=3, d=80) plus one
+// tight one (C=2, d=12); EDF and DM serve the tight frames first, FIFO
+// lets them drown in the synchronous loose burst — deadline misses
+// despite a "feasible" admission, because the feasibility test models an
+// EDF dispatcher.
+func DisciplineMismatch() *stats.Table {
+	tb := stats.NewTable(
+		"E11 — EDF-admitted workload under different dispatchers (3000 slots)",
+		"dispatcher", "accepted", "delivered", "misses", "tight-channel misses", "worst delay", "verdict")
+	for _, disc := range []sched.Discipline{sched.DisciplineEDF, sched.DisciplineDM, sched.DisciplineFIFO} {
+		n := netsim.New(netsim.Config{DPS: core.SDPS{}, Discipline: disc})
+		const masters, slavesPerMaster = 4, 6
+		for m := 0; m < masters; m++ {
+			n.MustAddNode(core.NodeID(m))
+		}
+		for s := 0; s < masters*slavesPerMaster; s++ {
+			n.MustAddNode(core.NodeID(100 + s))
+		}
+		var loose, tight []core.ChannelID
+		for m := 0; m < masters; m++ {
+			base := 100 + m*slavesPerMaster
+			for k := 0; k < 5; k++ {
+				id, err := n.EstablishChannel(core.ChannelSpec{
+					Src: core.NodeID(m), Dst: core.NodeID(base + k), C: 3, P: 100, D: 80})
+				if err != nil {
+					panic(err)
+				}
+				loose = append(loose, id)
+			}
+			id, err := n.EstablishChannel(core.ChannelSpec{
+				Src: core.NodeID(m), Dst: core.NodeID(base + 5), C: 2, P: 100, D: 12})
+			if err != nil {
+				panic(err)
+			}
+			tight = append(tight, id)
+		}
+		// Loose sources attach (and therefore release) first — the FIFO
+		// worst case the analysis must survive under EDF.
+		for _, id := range append(append([]core.ChannelID{}, loose...), tight...) {
+			ch := n.Controller().State().Get(id)
+			if err := n.Node(ch.Spec.Src).StartTraffic(id, 0); err != nil {
+				panic(err)
+			}
+		}
+		n.Run(n.Engine().Now() + simHorizon)
+		rep := n.Report()
+		var tightMisses int64
+		for _, id := range tight {
+			if m := rep.Channels[id]; m != nil {
+				tightMisses += m.Misses
+			}
+		}
+		_, worst := rep.WorstDelay()
+		tb.AddRowf(disc.String(), len(loose)+len(tight), rep.TotalDelivered(),
+			rep.TotalMisses(), tightMisses, worst, passFail(rep.TotalMisses() == 0))
+	}
+	return tb
+}
+
+// Coexistence (E5) loads the ADPS RT workload and adds Poisson background
+// best-effort traffic between every master and its first slave at
+// increasing rates. RT guarantees must be untouched; non-RT throughput
+// degrades gracefully (drops at bounded queues).
+func Coexistence() *stats.Table {
+	tb := stats.NewTable(
+		"E5 — RT/non-RT coexistence, ADPS workload + Poisson background (3000 slots)",
+		"bg rate (frames/slot/node)", "rt misses", "rt worst", "bg sent", "bg delivered", "bg drops", "bg mean delay")
+	for _, rate := range []float64{0, 0.05, 0.2, 0.5} {
+		requests := traffic.PaperLayout.Requests(200, traffic.PaperSpec)
+		n, _ := buildLoaded(netsim.Config{DPS: core.ADPS{}, NonRTQueueCap: 256}, requests, nil)
+		start := n.Engine().Now()
+		sent := 0
+		if rate > 0 {
+			rng := rand.New(rand.NewSource(99))
+			for m := 0; m < traffic.PaperLayout.Masters; m++ {
+				src := traffic.PaperLayout.Master(m)
+				dst := traffic.PaperLayout.Slave(m)
+				for _, at := range traffic.PoissonArrivals(rng, rate, simHorizon) {
+					src, dst := src, dst
+					n.Engine().At(start+at, func() {
+						n.Node(src).SendNonRT(dst, []byte("bg"))
+					})
+					sent++
+				}
+			}
+		}
+		n.Run(start + simHorizon)
+		rep := n.Report()
+		_, worst := rep.WorstDelay()
+		tb.AddRowf(fmt.Sprintf("%.2f", rate), rep.TotalMisses(), worst,
+			sent, rep.NonRTDelivered, rep.NonRTDrops, rep.NonRTDelay.Mean())
+	}
+	return tb
+}

@@ -1,0 +1,223 @@
+// Package fabricsim simulates RT-channel traffic across multi-switch
+// fabrics (the topo package's future-work extension), validating that
+// the per-hop deadline partitioning produced by H-SDPS/H-ADPS admission
+// actually bounds end-to-end delay — the same role netsim plays for the
+// single-switch star.
+//
+// Scope: the fabric simulator carries RT traffic only and takes admitted
+// channels (with their routes and hop budgets) directly from the fabric
+// admission controller. The wire-protocol machinery — establishment
+// handshake, frame codecs, FCFS coexistence — is already validated
+// end-to-end on the star network in netsim and is hop-count agnostic, so
+// it is not duplicated here; frames travel as structured records.
+//
+// Scheduling model per directed link: EDF by hop-local absolute deadline
+// (release + cumulative hop budgets), one maximal frame per slot,
+// store-and-forward, and a release-guard shaper at every intermediate
+// hop (a frame becomes eligible for hop i only at its hop i-1 deadline),
+// which makes every link's periodic-task feasibility model exact.
+package fabricsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// rtFrame is one in-flight maximal frame.
+type rtFrame struct {
+	ch      *channelRT
+	release int64
+	hop     int // index into the route currently being traversed
+}
+
+// channelRT is the runtime state of one admitted channel.
+type channelRT struct {
+	id      core.ChannelID
+	spec    core.ChannelSpec
+	route   []topo.Edge
+	cum     []int64 // cumulative hop deadlines: cum[i] = sum(Hops[0..i])
+	next    int64   // next release slot
+	metrics *Metrics
+}
+
+// Metrics aggregates per-channel results.
+type Metrics struct {
+	Delivered int64
+	Misses    int64
+	Delays    *stats.Delay
+}
+
+// link is one directed edge's transmitter: an EDF queue served one frame
+// per slot.
+type link struct {
+	eng   *sim.Engine
+	queue sched.EDFQueue
+	busy  bool
+	armed bool
+	sim   *Sim
+}
+
+// Sim is one fabric simulation run.
+type Sim struct {
+	eng      *sim.Engine
+	links    map[topo.Edge]*link
+	channels []*channelRT
+	horizon  int64
+	shaping  bool
+}
+
+// Config tunes the fabric simulation.
+type Config struct {
+	// DisableShaping turns off the per-hop release guard (for ablation).
+	DisableShaping bool
+}
+
+// New builds a simulation over the admitted channels of a fabric
+// controller state. Offsets gives the release phase per channel (missing
+// entries mean 0).
+func New(st *topo.State, offsets map[core.ChannelID]int64, cfg Config) (*Sim, error) {
+	s := &Sim{
+		eng:     sim.NewEngine(),
+		links:   make(map[topo.Edge]*link),
+		shaping: !cfg.DisableShaping,
+	}
+	for _, hch := range st.Channels() {
+		if len(hch.Route) == 0 || len(hch.Hops) != len(hch.Route) {
+			return nil, fmt.Errorf("fabricsim: channel %v has no installed hop budgets", hch)
+		}
+		cum := make([]int64, len(hch.Hops))
+		var acc int64
+		for i, h := range hch.Hops {
+			acc += h
+			cum[i] = acc
+		}
+		rt := &channelRT{
+			id:      hch.ID,
+			spec:    hch.Spec,
+			route:   append([]topo.Edge(nil), hch.Route...),
+			cum:     cum,
+			next:    offsets[hch.ID],
+			metrics: &Metrics{Delays: stats.NewDelay(0)},
+		}
+		s.channels = append(s.channels, rt)
+		for _, e := range rt.route {
+			if s.links[e] == nil {
+				s.links[e] = &link{eng: s.eng, sim: s}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Run advances the simulation to the absolute slot horizon; callable
+// repeatedly with increasing horizons.
+func (s *Sim) Run(horizon int64) {
+	if horizon > s.horizon {
+		s.horizon = horizon
+	}
+	for _, ch := range s.channels {
+		s.armRelease(ch)
+	}
+	s.eng.RunUntil(s.horizon)
+}
+
+// armRelease schedules the channel's next periodic release if it falls
+// within the horizon.
+func (s *Sim) armRelease(ch *channelRT) {
+	if ch.next > s.horizon {
+		return
+	}
+	release := ch.next
+	ch.next += ch.spec.P
+	s.eng.AtPrio(release, sim.PrioRelease, func() {
+		for k := int64(0); k < ch.spec.C; k++ {
+			s.inject(&rtFrame{ch: ch, release: release, hop: 0})
+		}
+		s.armRelease(ch)
+	})
+}
+
+// inject enqueues a frame at its current hop under the hop-local EDF key.
+func (s *Sim) inject(f *rtFrame) {
+	l := s.links[f.ch.route[f.hop]]
+	l.queue.Push(f.release+f.ch.cum[f.hop], f)
+	l.kick()
+}
+
+func (l *link) kick() {
+	if l.busy || l.armed || l.queue.Len() == 0 {
+		return
+	}
+	l.armed = true
+	l.eng.AtPrio(l.eng.Now(), sim.PrioDecide, l.decide)
+}
+
+func (l *link) decide() {
+	l.armed = false
+	if l.busy {
+		return
+	}
+	it, ok := l.queue.Pop()
+	if !ok {
+		return
+	}
+	f := it.Payload.(*rtFrame)
+	l.busy = true
+	l.eng.AtPrio(l.eng.Now()+1, sim.PrioDeliver, func() {
+		l.busy = false
+		l.kick()
+		l.sim.arrive(f)
+	})
+}
+
+// arrive handles a frame completing one hop: final delivery measurement
+// or hand-off (optionally shaped) to the next hop.
+func (s *Sim) arrive(f *rtFrame) {
+	now := s.eng.Now()
+	if f.hop == len(f.ch.route)-1 {
+		delay := now - f.release
+		f.ch.metrics.Delivered++
+		f.ch.metrics.Delays.Observe(delay)
+		if delay > f.ch.spec.D {
+			f.ch.metrics.Misses++
+		}
+		return
+	}
+	prevDeadline := f.release + f.ch.cum[f.hop]
+	f.hop++
+	if s.shaping && prevDeadline > now {
+		s.eng.At(prevDeadline, func() { s.inject(f) })
+		return
+	}
+	s.inject(f)
+}
+
+// Channel returns the metrics of one channel, or nil.
+func (s *Sim) Channel(id core.ChannelID) *Metrics {
+	for _, ch := range s.channels {
+		if ch.id == id {
+			return ch.metrics
+		}
+	}
+	return nil
+}
+
+// Totals sums delivered frames, misses and the worst observed delay.
+func (s *Sim) Totals() (delivered, misses, worst int64) {
+	for _, ch := range s.channels {
+		delivered += ch.metrics.Delivered
+		misses += ch.metrics.Misses
+		if m := ch.metrics.Delays.Max(); m > worst {
+			worst = m
+		}
+	}
+	return delivered, misses, worst
+}
+
+// Now returns the simulation clock.
+func (s *Sim) Now() int64 { return s.eng.Now() }

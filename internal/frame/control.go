@@ -1,0 +1,184 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Control frame type codes (the 8-bit Type field of Figs. 18.3/18.4).
+// Teardown is this library's extension: the paper defines dynamic channel
+// establishment but no wire format for release; a deployable system needs
+// both, so type 0x03 is allocated from the same Type space.
+const (
+	controlTypeConnect  = 0x01
+	controlTypeResponse = 0x02
+	controlTypeTeardown = 0x03
+)
+
+// Request is the connection request of Fig. 18.3. The Ethernet destination
+// is always the switch; the frame body carries the endpoint addresses of
+// the requested RT channel and its {P, C, d} triple. The RT channel ID
+// field is zero in the source→switch leg and is filled in by the switch
+// (with a network-unique ID) before forwarding to the destination node.
+type Request struct {
+	SrcMAC   MAC    // MAC source address field (requesting node)
+	DstMAC   MAC    // MAC destination address field (channel destination)
+	SrcIP    IPv4   // IP source address
+	DstIP    IPv4   // IP destination address
+	Period   uint32 // Tperiod, slots
+	Capacity uint32 // C, maximal-sized frames per period
+	Deadline uint32 // Tdeadline, slots
+	Channel  uint16 // RT channel ID (0 until assigned by the switch)
+	ReqID    uint8  // connection request ID, source-node unique
+}
+
+// requestBodyLen is the encoded body size:
+// type(1) + dstMAC(6) + srcMAC(6) + srcIP(4) + dstIP(4) +
+// period(4) + C(4) + deadline(4) + channel(2) + reqID(1).
+const requestBodyLen = 1 + 6 + 6 + 4 + 4 + 4 + 4 + 4 + 2 + 1
+
+// Encode serializes the request into a full Ethernet frame addressed to
+// the switch, per Fig. 18.3.
+func (r Request) Encode() []byte {
+	b := make([]byte, HeaderLen+requestBodyLen)
+	putHeader(b, Header{Dst: SwitchMAC, Src: r.SrcMAC, EtherType: EtherTypeRTControl})
+	p := b[HeaderLen:]
+	p[0] = controlTypeConnect
+	copy(p[1:7], r.DstMAC[:])
+	copy(p[7:13], r.SrcMAC[:])
+	copy(p[13:17], r.SrcIP[:])
+	copy(p[17:21], r.DstIP[:])
+	binary.BigEndian.PutUint32(p[21:25], r.Period)
+	binary.BigEndian.PutUint32(p[25:29], r.Capacity)
+	binary.BigEndian.PutUint32(p[29:33], r.Deadline)
+	binary.BigEndian.PutUint16(p[33:35], r.Channel)
+	p[35] = r.ReqID
+	return b
+}
+
+// DecodeRequest parses a RequestFrame.
+func DecodeRequest(b []byte) (Request, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return Request{}, err
+	}
+	if h.EtherType != EtherTypeRTControl {
+		return Request{}, fmt.Errorf("%w: 0x%04x", ErrEtherType, h.EtherType)
+	}
+	if len(b) < HeaderLen+requestBodyLen {
+		return Request{}, fmt.Errorf("%w: request body %d bytes, need %d",
+			ErrTruncated, len(b)-HeaderLen, requestBodyLen)
+	}
+	p := b[HeaderLen:]
+	if p[0] != controlTypeConnect {
+		return Request{}, fmt.Errorf("%w: type 0x%02x, want connect", ErrControlType, p[0])
+	}
+	var r Request
+	copy(r.DstMAC[:], p[1:7])
+	copy(r.SrcMAC[:], p[7:13])
+	copy(r.SrcIP[:], p[13:17])
+	copy(r.DstIP[:], p[17:21])
+	r.Period = binary.BigEndian.Uint32(p[21:25])
+	r.Capacity = binary.BigEndian.Uint32(p[25:29])
+	r.Deadline = binary.BigEndian.Uint32(p[29:33])
+	r.Channel = binary.BigEndian.Uint16(p[33:35])
+	r.ReqID = p[35]
+	return r, nil
+}
+
+// Teardown releases an established RT channel (extension, see the Type
+// constants). The source node sends it to the switch; the switch frees
+// the channel's reservation and forwards the frame to the destination so
+// its RT layer can drop per-channel state.
+type Teardown struct {
+	SrcMAC  MAC    // requesting node (must be the channel's source)
+	Channel uint16 // RT channel ID to release
+}
+
+// teardownBodyLen: type(1) + channel(2).
+const teardownBodyLen = 1 + 2
+
+// Encode serializes the teardown into a full Ethernet frame addressed to
+// the switch.
+func (t Teardown) Encode() []byte {
+	b := make([]byte, HeaderLen+teardownBodyLen)
+	putHeader(b, Header{Dst: SwitchMAC, Src: t.SrcMAC, EtherType: EtherTypeRTControl})
+	p := b[HeaderLen:]
+	p[0] = controlTypeTeardown
+	binary.BigEndian.PutUint16(p[1:3], t.Channel)
+	return b
+}
+
+// DecodeTeardown parses a teardown frame.
+func DecodeTeardown(b []byte) (Teardown, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return Teardown{}, err
+	}
+	if h.EtherType != EtherTypeRTControl {
+		return Teardown{}, fmt.Errorf("%w: 0x%04x", ErrEtherType, h.EtherType)
+	}
+	if len(b) < HeaderLen+teardownBodyLen {
+		return Teardown{}, fmt.Errorf("%w: teardown body %d bytes, need %d",
+			ErrTruncated, len(b)-HeaderLen, teardownBodyLen)
+	}
+	p := b[HeaderLen:]
+	if p[0] != controlTypeTeardown {
+		return Teardown{}, fmt.Errorf("%w: type 0x%02x, want teardown", ErrControlType, p[0])
+	}
+	return Teardown{SrcMAC: h.Src, Channel: binary.BigEndian.Uint16(p[1:3])}, nil
+}
+
+// Response is the connection response of Fig. 18.4, sent by the
+// destination node (accept/reject) or directly by the switch (reject
+// after a failed feasibility test). The Ethernet source address is the
+// switch when it forwards or originates the response.
+type Response struct {
+	Channel uint16 // RT channel ID assigned by the switch
+	Accept  bool   // Response field: 1 = OK, 0 = Not OK
+	ReqID   uint8  // echoes the connection request ID
+}
+
+// responseBodyLen: type(1) + channel(2) + response(1) + reqID(1). The
+// paper's response field is a single bit; it occupies the low bit of one
+// byte on the wire.
+const responseBodyLen = 1 + 2 + 1 + 1
+
+// Encode serializes the response into a full Ethernet frame from the
+// switch to dst, per Fig. 18.4.
+func (r Response) Encode(dst MAC) []byte {
+	b := make([]byte, HeaderLen+responseBodyLen)
+	putHeader(b, Header{Dst: dst, Src: SwitchMAC, EtherType: EtherTypeRTControl})
+	p := b[HeaderLen:]
+	p[0] = controlTypeResponse
+	binary.BigEndian.PutUint16(p[1:3], r.Channel)
+	if r.Accept {
+		p[3] = 1
+	}
+	p[4] = r.ReqID
+	return b
+}
+
+// DecodeResponse parses a ResponseFrame.
+func DecodeResponse(b []byte) (Response, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return Response{}, err
+	}
+	if h.EtherType != EtherTypeRTControl {
+		return Response{}, fmt.Errorf("%w: 0x%04x", ErrEtherType, h.EtherType)
+	}
+	if len(b) < HeaderLen+responseBodyLen {
+		return Response{}, fmt.Errorf("%w: response body %d bytes, need %d",
+			ErrTruncated, len(b)-HeaderLen, responseBodyLen)
+	}
+	p := b[HeaderLen:]
+	if p[0] != controlTypeResponse {
+		return Response{}, fmt.Errorf("%w: type 0x%02x, want response", ErrControlType, p[0])
+	}
+	return Response{
+		Channel: binary.BigEndian.Uint16(p[1:3]),
+		Accept:  p[3]&1 == 1,
+		ReqID:   p[4],
+	}, nil
+}

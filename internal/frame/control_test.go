@@ -1,0 +1,167 @@
+package frame
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := Request{
+		SrcMAC:   NodeMAC(3),
+		DstMAC:   NodeMAC(108),
+		SrcIP:    NodeIP(3),
+		DstIP:    NodeIP(108),
+		Period:   100,
+		Capacity: 3,
+		Deadline: 40,
+		Channel:  0,
+		ReqID:    7,
+	}
+	b := r.Encode()
+	h, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dst != SwitchMAC {
+		t.Errorf("request Ethernet dst = %v, want switch", h.Dst)
+	}
+	if h.Src != r.SrcMAC {
+		t.Errorf("request Ethernet src = %v, want node", h.Src)
+	}
+	got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint16, p, c, d uint32, ch uint16, reqID uint8) bool {
+		r := Request{
+			SrcMAC: NodeMAC(src), DstMAC: NodeMAC(dst),
+			SrcIP: NodeIP(src), DstIP: NodeIP(dst),
+			Period: p, Capacity: c, Deadline: d,
+			Channel: ch, ReqID: reqID,
+		}
+		got, err := DecodeRequest(r.Encode())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	good := Request{SrcMAC: NodeMAC(1)}.Encode()
+
+	short := good[:HeaderLen+requestBodyLen-1]
+	if _, err := DecodeRequest(short); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v, want ErrTruncated", err)
+	}
+
+	wrongType := append([]byte(nil), good...)
+	wrongType[12], wrongType[13] = 0x08, 0x00 // IPv4 ethertype
+	if _, err := DecodeRequest(wrongType); !errors.Is(err, ErrEtherType) {
+		t.Errorf("wrong EtherType: %v, want ErrEtherType", err)
+	}
+
+	wrongSub := append([]byte(nil), good...)
+	wrongSub[HeaderLen] = controlTypeResponse
+	if _, err := DecodeRequest(wrongSub); !errors.Is(err, ErrControlType) {
+		t.Errorf("wrong subtype: %v, want ErrControlType", err)
+	}
+}
+
+func TestTeardownRoundTrip(t *testing.T) {
+	td := Teardown{SrcMAC: NodeMAC(7), Channel: 999}
+	b := td.Encode()
+	if Classify(b) != KindTeardown {
+		t.Fatalf("teardown classified as %v", Classify(b))
+	}
+	got, err := DecodeTeardown(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != td {
+		t.Errorf("round trip: %+v vs %+v", got, td)
+	}
+	h, _ := ParseHeader(b)
+	if h.Dst != SwitchMAC {
+		t.Errorf("teardown dst = %v, want switch", h.Dst)
+	}
+}
+
+func TestDecodeTeardownErrors(t *testing.T) {
+	good := Teardown{SrcMAC: NodeMAC(1), Channel: 5}.Encode()
+	if _, err := DecodeTeardown(good[:HeaderLen+1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	wrongSub := append([]byte(nil), good...)
+	wrongSub[HeaderLen] = controlTypeConnect
+	if _, err := DecodeTeardown(wrongSub); !errors.Is(err, ErrControlType) {
+		t.Errorf("wrong subtype: %v", err)
+	}
+	wrongType := append([]byte(nil), good...)
+	wrongType[12], wrongType[13] = 0x08, 0x00
+	if _, err := DecodeTeardown(wrongType); !errors.Is(err, ErrEtherType) {
+		t.Errorf("wrong EtherType: %v", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, accept := range []bool{true, false} {
+		r := Response{Channel: 42, Accept: accept, ReqID: 9}
+		b := r.Encode(NodeMAC(5))
+		h, _ := ParseHeader(b)
+		if h.Src != SwitchMAC {
+			t.Errorf("response Ethernet src = %v, want switch (Fig. 18.4)", h.Src)
+		}
+		if h.Dst != NodeMAC(5) {
+			t.Errorf("response Ethernet dst = %v", h.Dst)
+		}
+		got, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Errorf("round trip: got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestResponseAcceptBitIsSingleBit(t *testing.T) {
+	// Only the low bit of the response byte is significant; a sloppy
+	// sender setting extra bits must still decode by bit 0.
+	b := Response{Channel: 1, Accept: true, ReqID: 2}.Encode(NodeMAC(1))
+	b[HeaderLen+3] = 0xFF
+	got, err := DecodeResponse(b)
+	if err != nil || !got.Accept {
+		t.Errorf("decode = %+v, %v; want accept from bit 0", got, err)
+	}
+	b[HeaderLen+3] = 0xFE
+	got, err = DecodeResponse(b)
+	if err != nil || got.Accept {
+		t.Errorf("decode = %+v, %v; want reject from bit 0", got, err)
+	}
+}
+
+func TestDecodeResponseErrors(t *testing.T) {
+	good := Response{Channel: 1}.Encode(NodeMAC(1))
+	if _, err := DecodeResponse(good[:HeaderLen+2]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v, want ErrTruncated", err)
+	}
+	wrongSub := append([]byte(nil), good...)
+	wrongSub[HeaderLen] = controlTypeConnect
+	if _, err := DecodeResponse(wrongSub); !errors.Is(err, ErrControlType) {
+		t.Errorf("wrong subtype: %v, want ErrControlType", err)
+	}
+	wrongType := append([]byte(nil), good...)
+	wrongType[12] = 0x08
+	wrongType[13] = 0x00
+	if _, err := DecodeResponse(wrongType); !errors.Is(err, ErrEtherType) {
+		t.Errorf("wrong EtherType: %v, want ErrEtherType", err)
+	}
+}

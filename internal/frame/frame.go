@@ -1,0 +1,179 @@
+// Package frame implements byte-exact encodings of the Ethernet frames the
+// RT layer exchanges: the RequestFrame and ResponseFrame of the channel
+// establishment protocol (Figs. 18.3 and 18.4) and the deadline-stamped RT
+// data frames of §18.2.2, where the RT layer rewrites the IP header so
+// that the IP source address plus the 16 most significant bits of the IP
+// destination address carry the 48-bit absolute deadline, the 16 least
+// significant bits of the IP destination carry the RT channel ID, and the
+// Type-of-Service field is set to 255.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// String implements fmt.Stringer ("aa:bb:cc:dd:ee:ff").
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// NodeMAC returns the deterministic locally-administered MAC the simulator
+// assigns to end-node n. Bit 1 of the first octet marks it locally
+// administered, so these can never collide with real vendor addresses.
+func NodeMAC(n uint16) MAC {
+	return MAC{0x02, 0x52, 0x54, 0x00, byte(n >> 8), byte(n)}
+}
+
+// SwitchMAC is the address of the switch's RT channel management entity.
+var SwitchMAC = MAC{0x02, 0x52, 0x54, 0xff, 0xff, 0xfe}
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IPv4 is a 32-bit IP address as carried in the establishment frames.
+type IPv4 [4]byte
+
+// String implements fmt.Stringer ("a.b.c.d").
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// NodeIP returns the deterministic address 10.82.x.y assigned to node n.
+func NodeIP(n uint16) IPv4 {
+	return IPv4{10, 82, byte(n >> 8), byte(n)}
+}
+
+// EtherTypes used by the RT layer. RT data travels as ordinary IPv4; the
+// establishment protocol uses a dedicated experimental EtherType so that
+// unmodified stacks ignore it.
+const (
+	EtherTypeIPv4      = 0x0800
+	EtherTypeRTControl = 0x88D7
+)
+
+// Physical size constants (bytes). One timeslot is the transmission time
+// of one maximal frame: MaxFrame plus preamble and inter-frame gap.
+const (
+	HeaderLen      = 14                         // dst MAC + src MAC + EtherType
+	MaxPayload     = 1500                       // standard Ethernet MTU
+	MinPayload     = 46                         // minimum payload (frames are padded up)
+	MaxFrame       = HeaderLen + MaxPayload + 4 // incl. FCS
+	PreambleAndGap = 8 + 12
+	SlotBytes      = MaxFrame + PreambleAndGap
+)
+
+// SlotNanos returns the duration of one timeslot in nanoseconds on a link
+// of the given rate in megabits per second (e.g. 100 for Fast Ethernet).
+func SlotNanos(mbps int64) int64 {
+	return SlotBytes * 8 * 1000 / mbps
+}
+
+// Header is the Ethernet MAC header common to every frame.
+type Header struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// Decoding errors.
+var (
+	ErrTruncated     = errors.New("frame: truncated")
+	ErrEtherType     = errors.New("frame: unexpected EtherType")
+	ErrControlType   = errors.New("frame: unknown RT control type")
+	ErrNotRTData     = errors.New("frame: not an RT data frame (ToS != 255)")
+	ErrBadIPVersion  = errors.New("frame: unsupported IP version/IHL")
+	ErrBadChecksum   = errors.New("frame: IP header checksum mismatch")
+	ErrBadLength     = errors.New("frame: inconsistent length fields")
+	ErrDeadlineRange = errors.New("frame: absolute deadline exceeds 48 bits")
+	ErrPayloadSize   = errors.New("frame: payload exceeds MTU")
+)
+
+// putHeader writes the 14-byte Ethernet header.
+func putHeader(b []byte, h Header) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+}
+
+// ParseHeader reads the Ethernet header of a raw frame.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("%w: %d bytes, need %d", ErrTruncated, len(b), HeaderLen)
+	}
+	var h Header
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// Kind classifies a raw frame for the RT layer's input demultiplexing.
+type Kind int
+
+const (
+	// KindOther: anything the RT layer passes through untouched
+	// (non-real-time TCP/IP traffic).
+	KindOther Kind = iota
+	// KindRTData: an IPv4 frame with ToS 255 — an RT channel datagram.
+	KindRTData
+	// KindConnect: an establishment RequestFrame.
+	KindConnect
+	// KindResponse: an establishment ResponseFrame.
+	KindResponse
+	// KindTeardown: a channel release frame (extension).
+	KindTeardown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOther:
+		return "other"
+	case KindRTData:
+		return "rt-data"
+	case KindConnect:
+		return "connect"
+	case KindResponse:
+		return "response"
+	case KindTeardown:
+		return "teardown"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Classify inspects a raw frame just enough to route it inside the RT
+// layer: EtherType plus, for IPv4, the ToS field (§18.2.2: ToS 255 marks
+// RT traffic; other values are reserved for future services).
+func Classify(b []byte) Kind {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return KindOther
+	}
+	switch h.EtherType {
+	case EtherTypeRTControl:
+		if len(b) > HeaderLen {
+			switch b[HeaderLen] {
+			case controlTypeConnect:
+				return KindConnect
+			case controlTypeResponse:
+				return KindResponse
+			case controlTypeTeardown:
+				return KindTeardown
+			}
+		}
+		return KindOther
+	case EtherTypeIPv4:
+		// ToS is the second byte of the IP header.
+		if len(b) >= HeaderLen+2 && b[HeaderLen+1] == rtTOS {
+			return KindRTData
+		}
+		return KindOther
+	default:
+		return KindOther
+	}
+}

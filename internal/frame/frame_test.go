@@ -1,0 +1,138 @@
+package frame
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNodeMACDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[MAC]bool)
+	for n := uint16(0); n < 300; n++ {
+		m := NodeMAC(n)
+		if seen[m] {
+			t.Fatalf("NodeMAC(%d) = %v collides", n, m)
+		}
+		seen[m] = true
+		if m[0]&0x02 == 0 {
+			t.Fatalf("NodeMAC(%d) = %v not locally administered", n, m)
+		}
+		if m == SwitchMAC {
+			t.Fatalf("NodeMAC(%d) collides with SwitchMAC", n)
+		}
+	}
+	if NodeMAC(7) != NodeMAC(7) {
+		t.Error("NodeMAC not deterministic")
+	}
+}
+
+func TestMACAndIPString(t *testing.T) {
+	m := MAC{0x02, 0x52, 0x54, 0x00, 0x01, 0x0a}
+	if got := m.String(); got != "02:52:54:00:01:0a" {
+		t.Errorf("MAC.String() = %q", got)
+	}
+	ip := IPv4{10, 82, 0, 7}
+	if got := ip.String(); got != "10.82.0.7" {
+		t.Errorf("IPv4.String() = %q", got)
+	}
+	if NodeIP(7) != ip {
+		t.Errorf("NodeIP(7) = %v, want %v", NodeIP(7), ip)
+	}
+}
+
+func TestSlotNanos(t *testing.T) {
+	// 1538 bytes on wire * 8 bits = 12304 bits; at 100 Mbit/s that is
+	// 123040 ns.
+	if got := SlotNanos(100); got != 123040 {
+		t.Errorf("SlotNanos(100) = %d, want 123040", got)
+	}
+	// Gigabit: one tenth.
+	if got := SlotNanos(1000); got != 12304 {
+		t.Errorf("SlotNanos(1000) = %d, want 12304", got)
+	}
+}
+
+func TestParseHeaderRoundTrip(t *testing.T) {
+	h := Header{Dst: NodeMAC(2), Src: NodeMAC(1), EtherType: EtherTypeIPv4}
+	b := make([]byte, HeaderLen)
+	putHeader(b, h)
+	got, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("ParseHeader = %+v, want %+v", got, h)
+	}
+	if _, err := ParseHeader(b[:13]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	req := Request{SrcMAC: NodeMAC(1), DstMAC: NodeMAC(2)}.Encode()
+	resp := Response{Channel: 3, Accept: true}.Encode(NodeMAC(1))
+	data, err := EncodeData(Data{SrcMAC: NodeMAC(1), DstMAC: NodeMAC(2), Deadline: 100, Channel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want Kind
+	}{
+		{"connect", req, KindConnect},
+		{"response", resp, KindResponse},
+		{"rt data", data, KindRTData},
+		{"empty", nil, KindOther},
+		{"short", data[:10], KindOther},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.b); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Plain IPv4 with a normal ToS must pass through as non-RT.
+	plain := append([]byte(nil), data...)
+	plain[HeaderLen+1] = 0 // ToS
+	if got := Classify(plain); got != KindOther {
+		t.Errorf("Classify(plain IPv4) = %v, want other", got)
+	}
+
+	// Unknown control subtype.
+	bogus := append([]byte(nil), req...)
+	bogus[HeaderLen] = 0x7F
+	if got := Classify(bogus); got != KindOther {
+		t.Errorf("Classify(bogus control) = %v, want other", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindOther: "other", KindRTData: "rt-data",
+		KindConnect: "connect", KindResponse: "response",
+		Kind(9): "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestFrameSizesMatchFigures(t *testing.T) {
+	// Fig. 18.3 field widths: 8+48+48+32+32+32+32+32+16+8 = 288 bits = 36 B.
+	if requestBodyLen != 36 {
+		t.Errorf("request body = %d bytes, want 36 per Fig. 18.3", requestBodyLen)
+	}
+	// Fig. 18.4: 8+16+1(+pad to byte)+8 = 5 B with the 1-bit response in
+	// its own byte.
+	if responseBodyLen != 5 {
+		t.Errorf("response body = %d bytes, want 5 per Fig. 18.4", responseBodyLen)
+	}
+}
+
+func TestKindAndDirectionStringsStable(t *testing.T) {
+	if !strings.Contains(KindRTData.String(), "rt") {
+		t.Error("KindRTData string changed")
+	}
+}

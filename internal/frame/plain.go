@@ -1,0 +1,76 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Plain is an ordinary (non-real-time) IPv4/UDP frame as produced by an
+// unmodified TCP/IP stack above the RT layer. Its ToS is zero, so the RT
+// layer classifies it as KindOther and routes it through the FCFS queues
+// (§18.2.1). The simulator uses it for background best-effort traffic.
+type Plain struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   IPv4
+	Payload        []byte
+}
+
+// EncodePlain serializes a best-effort datagram.
+func EncodePlain(p Plain) ([]byte, error) {
+	if len(p.Payload) > MaxDataPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadSize, len(p.Payload), MaxDataPayload)
+	}
+	total := ipHeaderLen + udpHeaderLen + len(p.Payload)
+	b := make([]byte, HeaderLen+total)
+	putHeader(b, Header{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeIPv4})
+
+	ip := b[HeaderLen : HeaderLen+ipHeaderLen]
+	ip[0] = 0x45
+	ip[1] = 0 // best-effort ToS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(total))
+	ip[8] = defaultTTL
+	ip[9] = protoUDP
+	copy(ip[12:16], p.SrcIP[:])
+	copy(ip[16:20], p.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip))
+
+	udp := b[HeaderLen+ipHeaderLen:]
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpHeaderLen+len(p.Payload)))
+	copy(udp[8:], p.Payload)
+	return b, nil
+}
+
+// DecodePlain parses a best-effort IPv4 frame. RT data frames (ToS 255)
+// are rejected with ErrNotRTData's counterpart semantics: callers should
+// Classify first.
+func DecodePlain(b []byte) (Plain, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return Plain{}, err
+	}
+	if h.EtherType != EtherTypeIPv4 {
+		return Plain{}, fmt.Errorf("%w: 0x%04x", ErrEtherType, h.EtherType)
+	}
+	if len(b) < HeaderLen+ipHeaderLen+udpHeaderLen {
+		return Plain{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	ip := b[HeaderLen : HeaderLen+ipHeaderLen]
+	if ip[0] != 0x45 {
+		return Plain{}, fmt.Errorf("%w: 0x%02x", ErrBadIPVersion, ip[0])
+	}
+	if Checksum(ip) != 0 {
+		return Plain{}, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(ip[2:4]))
+	if total < ipHeaderLen+udpHeaderLen || HeaderLen+total > len(b) {
+		return Plain{}, fmt.Errorf("%w: IP total length %d, frame %d", ErrBadLength, total, len(b))
+	}
+	p := Plain{SrcMAC: h.Src, DstMAC: h.Dst}
+	copy(p.SrcIP[:], ip[12:16])
+	copy(p.DstIP[:], ip[16:20])
+	udp := b[HeaderLen+ipHeaderLen : HeaderLen+total]
+	if payload := udp[8:]; len(payload) > 0 {
+		p.Payload = append([]byte(nil), payload...)
+	}
+	return p, nil
+}

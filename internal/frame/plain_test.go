@@ -1,0 +1,62 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPlainRoundTrip(t *testing.T) {
+	p := Plain{
+		SrcMAC:  NodeMAC(1),
+		DstMAC:  NodeMAC(2),
+		SrcIP:   NodeIP(1),
+		DstIP:   NodeIP(2),
+		Payload: []byte("hello tcp world"),
+	}
+	b, err := EncodePlain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcMAC != p.SrcMAC || got.DstMAC != p.DstMAC ||
+		got.SrcIP != p.SrcIP || got.DstIP != p.DstIP ||
+		!bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestPlainClassifiesAsOther(t *testing.T) {
+	b, err := EncodePlain(Plain{SrcMAC: NodeMAC(1), DstMAC: NodeMAC(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(b); got != KindOther {
+		t.Errorf("plain frame classified as %v, want other", got)
+	}
+}
+
+func TestPlainPayloadTooBig(t *testing.T) {
+	p := Plain{Payload: make([]byte, MaxDataPayload+1)}
+	if _, err := EncodePlain(p); !errors.Is(err, ErrPayloadSize) {
+		t.Errorf("oversize: %v, want ErrPayloadSize", err)
+	}
+}
+
+func TestPlainChecksumValidated(t *testing.T) {
+	b, _ := EncodePlain(Plain{SrcMAC: NodeMAC(1), DstMAC: NodeMAC(2), Payload: []byte("x")})
+	b[HeaderLen+13] ^= 0x01
+	if _, err := DecodePlain(b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("tampered plain frame: %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestPlainTruncation(t *testing.T) {
+	b, _ := EncodePlain(Plain{SrcMAC: NodeMAC(1), DstMAC: NodeMAC(2)})
+	if _, err := DecodePlain(b[:HeaderLen+8]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v, want ErrTruncated", err)
+	}
+}

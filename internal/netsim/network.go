@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config tunes the simulated network.
+type Config struct {
+	// DPS is the deadline partitioning scheme used by the switch's
+	// admission control; nil means SDPS.
+	DPS core.DPS
+	// DisableShaping turns off the switch's release-guard regulator, which
+	// holds a frame back from the downlink queue until
+	// absDeadline - d_id. Shaping (the default) makes the downlink's
+	// periodic-task assumption hold exactly; disabling it reproduces the
+	// paper's naive work-conserving behaviour for the ablation experiment.
+	DisableShaping bool
+	// NonRTQueueCap bounds every FCFS queue (frames); 0 = unbounded.
+	NonRTQueueCap int
+	// Discipline selects the RT queue ordering on every link: EDF (the
+	// paper's scheduler, the default), FIFO or DM. Admission control is
+	// EDF-based regardless — mismatched combinations exist to demonstrate
+	// (experiment E11) that the analysis is only valid for the dispatcher
+	// it models.
+	Discipline sched.Discipline
+	// Propagation is the constant per-hop propagation delay in whole
+	// slots (one half of T_latency; a channel crosses two hops).
+	Propagation int64
+	// FaultInjector, when non-nil, intercepts every frame at delivery:
+	// it may corrupt the bytes (return a modified slice) or drop the
+	// frame entirely (return nil). Used by failure-injection tests to
+	// verify the RT layer degrades gracefully — corrupt frames are
+	// counted and discarded by the codecs' checksum/length validation,
+	// never crash the stack.
+	FaultInjector func(slot int64, b []byte) []byte
+	// Feasibility passes through to the admission controller.
+	Feasibility edf.Options
+}
+
+// Network is one star network: a switch plus end-nodes, sharing a
+// deterministic event engine. All methods must be called from a single
+// goroutine.
+type Network struct {
+	cfg  Config
+	eng  *sim.Engine
+	ctrl *core.Controller
+	sw   *Switch
+
+	nodes   map[core.NodeID]*Node
+	nodeIDs []core.NodeID // insertion order for deterministic reports
+
+	tracer  Tracer
+	horizon int64
+}
+
+// New constructs an empty network.
+func New(cfg Config) *Network {
+	n := &Network{
+		cfg:   cfg,
+		eng:   sim.NewEngine(),
+		nodes: make(map[core.NodeID]*Node),
+	}
+	n.ctrl = core.NewController(core.Config{
+		DPS:         cfg.DPS,
+		Feasibility: cfg.Feasibility,
+		Latency:     2 * cfg.Propagation,
+	})
+	n.sw = newSwitch(n)
+	return n
+}
+
+// Engine exposes the event engine (for custom generators and tests).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Controller exposes the switch's admission controller.
+func (n *Network) Controller() *core.Controller { return n.ctrl }
+
+// Switch exposes the switch model.
+func (n *Network) Switch() *Switch { return n.sw }
+
+// ExtraLatency returns T_latency: the constant propagation/access delay a
+// frame accumulates end to end beyond its deadline budget (Eq. 18.1).
+func (n *Network) ExtraLatency() int64 { return 2 * n.cfg.Propagation }
+
+// AddNode creates an end-node with the given ID and plugs it into the
+// switch. Adding a duplicate ID returns an error.
+func (n *Network) AddNode(id core.NodeID) (*Node, error) {
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("netsim: node %d already exists", id)
+	}
+	node := newNode(n, id)
+	n.nodes[id] = node
+	n.nodeIDs = append(n.nodeIDs, id)
+	n.sw.attachNode(node)
+	return node, nil
+}
+
+// MustAddNode is AddNode for static topologies built in examples/tests.
+func (n *Network) MustAddNode(id core.NodeID) *Node {
+	node, err := n.AddNode(id)
+	if err != nil {
+		panic(err)
+	}
+	return node
+}
+
+// Node returns the end-node with the given ID, or nil.
+func (n *Network) Node(id core.NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all node IDs in creation order.
+func (n *Network) Nodes() []core.NodeID {
+	return append([]core.NodeID(nil), n.nodeIDs...)
+}
+
+// Run advances the simulation to the given absolute slot. Periodic
+// sources emit traffic up to that horizon. Run may be called repeatedly
+// with increasing horizons.
+func (n *Network) Run(untilSlot int64) {
+	if untilSlot > n.horizon {
+		n.horizon = untilSlot
+	}
+	for _, id := range n.nodeIDs {
+		n.nodes[id].armSources()
+	}
+	n.eng.RunUntil(n.horizon)
+}
+
+// EstablishChannel performs the full request/response handshake of
+// §18.2.2 over the simulated wire and blocks (by stepping the simulation)
+// until the source node receives the ResponseFrame. It returns the
+// network-unique channel ID on acceptance.
+//
+// The handshake consumes simulated time (control frames queue behind
+// other traffic), so establishment is itself part of the experiment.
+func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error) {
+	src := n.nodes[spec.Src]
+	if src == nil {
+		return 0, fmt.Errorf("netsim: unknown source node %d", spec.Src)
+	}
+	if n.nodes[spec.Dst] == nil {
+		return 0, fmt.Errorf("netsim: unknown destination node %d", spec.Dst)
+	}
+	type outcome struct {
+		id  core.ChannelID
+		err error
+	}
+	var result *outcome
+	src.requestChannel(spec, func(id core.ChannelID, err error) {
+		result = &outcome{id: id, err: err}
+	})
+	// Step the simulation until the response lands. The handshake crosses
+	// four link traversals plus queueing; cap generously to detect wedges.
+	deadline := n.eng.Now() + 1<<20
+	for result == nil {
+		if !n.eng.Step() || n.eng.Now() > deadline {
+			return 0, fmt.Errorf("netsim: channel establishment did not complete (engine stalled at %d)", n.eng.Now())
+		}
+	}
+	if result.err != nil {
+		return 0, result.err
+	}
+	return result.id, nil
+}
+
+// ForceChannel installs a channel in both the admission state and the
+// switch dataplane without any feasibility test or handshake. Experiments
+// use it to simulate deliberately over-admitted systems; see
+// core.Controller.ForceAdd.
+func (n *Network) ForceChannel(spec core.ChannelSpec, part core.Partition) (core.ChannelID, error) {
+	if n.nodes[spec.Src] == nil || n.nodes[spec.Dst] == nil {
+		return 0, fmt.Errorf("netsim: unknown endpoint in %v", spec)
+	}
+	ch, err := n.ctrl.ForceAdd(spec, part)
+	if err != nil {
+		return 0, err
+	}
+	n.sw.dataplane[ch.ID] = spec.Dst
+	return ch.ID, nil
+}
+
+// ReleaseChannel tears down an established channel and stops its traffic
+// source if one is attached.
+func (n *Network) ReleaseChannel(id core.ChannelID) error {
+	ch := n.ctrl.State().Get(id)
+	if ch == nil {
+		return fmt.Errorf("netsim: unknown channel %d", id)
+	}
+	if node := n.nodes[ch.Spec.Src]; node != nil {
+		node.stopSource(id)
+	}
+	n.sw.forget(id)
+	return n.ctrl.Release(id)
+}

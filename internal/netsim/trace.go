@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// EventKind labels a trace event.
+type EventKind int
+
+// Trace event kinds, in rough dataflow order.
+const (
+	// EvRelease: a source released one RT frame (one per frame, so a
+	// period with C=3 yields three events).
+	EvRelease EventKind = iota
+	// EvShaperHold: the switch held an early frame until its downlink
+	// eligibility instant.
+	EvShaperHold
+	// EvDeliver: an RT frame reached its destination RT layer.
+	EvDeliver
+	// EvMiss: the delivered frame violated its guarantee.
+	EvMiss
+	// EvAdmitted: the switch accepted an establishment request.
+	EvAdmitted
+	// EvRejected: the switch rejected an establishment request.
+	EvRejected
+	// EvNonRTDrop: a bounded FCFS queue dropped a best-effort frame.
+	EvNonRTDrop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelease:
+		return "release"
+	case EvShaperHold:
+		return "hold"
+	case EvDeliver:
+		return "deliver"
+	case EvMiss:
+		return "MISS"
+	case EvAdmitted:
+		return "admit"
+	case EvRejected:
+		return "reject"
+	case EvNonRTDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("ev(%d)", int(k))
+	}
+}
+
+// TraceEvent is one timestamped observation from inside the network.
+type TraceEvent struct {
+	At      int64 // slot
+	Kind    EventKind
+	Node    core.NodeID    // the node the event concerns (source, destination, requester)
+	Channel core.ChannelID // 0 when not channel-related
+	Value   int64          // kind-specific: deadline, delay, hold-until, ...
+}
+
+// String implements fmt.Stringer.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%6d] %-7s node=%d ch=%d v=%d", e.At, e.Kind, e.Node, e.Channel, e.Value)
+}
+
+// Tracer receives every trace event. Implementations must be cheap — the
+// hot path calls them per frame.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// RingTracer retains the most recent Cap events with O(1) insertion —
+// the flight-recorder pattern: always on, inspected after something
+// interesting happened.
+type RingTracer struct {
+	buf   []TraceEvent
+	next  int
+	total int64
+}
+
+// NewRingTracer returns a tracer retaining the last capacity events.
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &RingTracer{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(e TraceEvent) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Total returns how many events were observed (including evicted ones).
+func (r *RingTracer) Total() int64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *RingTracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// FilterTracer forwards only selected kinds to the inner tracer.
+type FilterTracer struct {
+	Inner Tracer
+	Keep  map[EventKind]bool
+}
+
+// Trace implements Tracer.
+func (f FilterTracer) Trace(e TraceEvent) {
+	if f.Keep[e.Kind] {
+		f.Inner.Trace(e)
+	}
+}
+
+// SetTracer installs a tracer; nil disables tracing (the default).
+// Install before running traffic.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// emit sends an event to the installed tracer, if any.
+func (n *Network) emit(kind EventKind, node core.NodeID, ch core.ChannelID, value int64) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Trace(TraceEvent{At: n.eng.Now(), Kind: kind, Node: node, Channel: ch, Value: value})
+}

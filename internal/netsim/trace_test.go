@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRingTracerRetention(t *testing.T) {
+	r := NewRingTracer(4)
+	for i := int64(0); i < 10; i++ {
+		r.Trace(TraceEvent{At: i, Kind: EvRelease})
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != int64(6+i) {
+			t.Fatalf("events = %v, want the last four oldest-first", evs)
+		}
+	}
+}
+
+func TestRingTracerPartialFill(t *testing.T) {
+	r := NewRingTracer(8)
+	r.Trace(TraceEvent{At: 1})
+	r.Trace(TraceEvent{At: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Errorf("events = %v", evs)
+	}
+	if NewRingTracer(0) == nil {
+		t.Error("zero capacity should default, not fail")
+	}
+}
+
+func TestFilterTracer(t *testing.T) {
+	inner := NewRingTracer(16)
+	f := FilterTracer{Inner: inner, Keep: map[EventKind]bool{EvMiss: true}}
+	f.Trace(TraceEvent{Kind: EvRelease})
+	f.Trace(TraceEvent{Kind: EvMiss})
+	f.Trace(TraceEvent{Kind: EvDeliver})
+	if inner.Total() != 1 {
+		t.Errorf("filter passed %d events, want 1", inner.Total())
+	}
+}
+
+func TestNetworkEmitsTraceEvents(t *testing.T) {
+	n := buildStar(Config{}, 1, 2, 3, 4, 5, 6, 7, 8)
+	tr := NewRingTracer(4096)
+	n.SetTracer(tr)
+
+	// Saturate node 1's uplink so the 7th request is rejected.
+	var ids []core.ChannelID
+	for i := 0; i < 7; i++ {
+		if id, err := n.EstablishChannel(spec(1, core.NodeID(2+i), 3, 100, 40)); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		if err := n.Node(1).StartTraffic(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(n.Engine().Now() + 500)
+
+	counts := map[EventKind]int{}
+	for _, e := range tr.Events() {
+		counts[e.Kind]++
+	}
+	if counts[EvAdmitted] != 6 {
+		t.Errorf("admit events = %d, want 6", counts[EvAdmitted])
+	}
+	if counts[EvRejected] != 1 {
+		t.Errorf("reject events = %d, want 1", counts[EvRejected])
+	}
+	if counts[EvRelease] == 0 || counts[EvDeliver] == 0 {
+		t.Errorf("dataflow events missing: %v", counts)
+	}
+	if counts[EvMiss] != 0 {
+		t.Errorf("misses traced on a feasible workload: %d", counts[EvMiss])
+	}
+	// Releases and deliveries pair up, minus the in-flight tail (up to
+	// one full release batch of 6 channels x C=3 at the horizon, plus a
+	// few frames queued on the wire).
+	if counts[EvRelease]-counts[EvDeliver] > 25 {
+		t.Errorf("release=%d deliver=%d: too many lost frames", counts[EvRelease], counts[EvDeliver])
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{At: 42, Kind: EvMiss, Node: 3, Channel: 7, Value: 55}
+	s := e.String()
+	for _, want := range []string{"42", "MISS", "node=3", "ch=7", "v=55"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if EventKind(99).String() != "ev(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestReportLinkBusy(t *testing.T) {
+	n := buildStar(Config{}, 1, 2)
+	id, err := n.EstablishChannel(spec(1, 2, 3, 100, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Node(1).StartTraffic(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(n.Engine().Now() + 2000)
+	rep := n.Report()
+	up := rep.LinkBusy[core.Uplink(1)]
+	down := rep.LinkBusy[core.Downlink(2)]
+	// 3 frames per 100 slots ≈ 3% utilization (plus handshake noise).
+	if up < 0.02 || up > 0.06 {
+		t.Errorf("uplink busy = %v, want ≈0.03", up)
+	}
+	if down < 0.02 || down > 0.06 {
+		t.Errorf("downlink busy = %v, want ≈0.03", down)
+	}
+	if rep.LinkBusy[core.Uplink(2)] > 0.01 {
+		t.Errorf("idle uplink shows busy %v", rep.LinkBusy[core.Uplink(2)])
+	}
+}

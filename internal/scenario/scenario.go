@@ -1,0 +1,222 @@
+// Package scenario loads declarative simulation descriptions from JSON
+// and turns them into configured, loaded networks. It exists so that
+// experiments can be shared as data: cmd/rtsim -scenario plant.json runs
+// the exact same deterministic simulation everywhere.
+//
+// A scenario file:
+//
+//	{
+//	  "name": "packaging line",
+//	  "dps": "adps",
+//	  "discipline": "edf",
+//	  "nonRTQueueCap": 256,
+//	  "slots": 5000,
+//	  "nodes": [1, 2, 3],
+//	  "channels": [
+//	    {"src": 1, "dst": 2, "c": 3, "p": 100, "d": 40},
+//	    {"src": 1, "dst": 3, "c": 2, "p": 50,  "d": 20, "offset": 7}
+//	  ],
+//	  "background": [
+//	    {"src": 1, "dst": 3, "rate": 0.1}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// ChannelDef is one requested RT channel.
+type ChannelDef struct {
+	Src    uint16 `json:"src"`
+	Dst    uint16 `json:"dst"`
+	C      int64  `json:"c"`
+	P      int64  `json:"p"`
+	D      int64  `json:"d"`
+	Offset int64  `json:"offset,omitempty"` // release phase, slots
+	// Optional toleration of rejection: by default a rejected channel
+	// fails the scenario (declared channels are presumed load-bearing).
+	Optional bool `json:"optional,omitempty"`
+}
+
+// BackgroundDef is one Poisson best-effort flow.
+type BackgroundDef struct {
+	Src  uint16  `json:"src"`
+	Dst  uint16  `json:"dst"`
+	Rate float64 `json:"rate"` // frames per slot
+}
+
+// Scenario is the root document.
+type Scenario struct {
+	Name          string          `json:"name"`
+	DPS           string          `json:"dps,omitempty"`        // "sdps" (default) | "adps"
+	Discipline    string          `json:"discipline,omitempty"` // "edf" (default) | "fifo" | "dm"
+	Shaping       *bool           `json:"shaping,omitempty"`    // default true
+	NonRTQueueCap int             `json:"nonRTQueueCap,omitempty"`
+	Propagation   int64           `json:"propagation,omitempty"`
+	Slots         int64           `json:"slots"`
+	Seed          int64           `json:"seed,omitempty"`
+	Nodes         []uint16        `json:"nodes"`
+	Channels      []ChannelDef    `json:"channels"`
+	Background    []BackgroundDef `json:"background,omitempty"`
+}
+
+// Load parses and validates a scenario document.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the document for internal consistency.
+func (s *Scenario) Validate() error {
+	if s.Slots <= 0 {
+		return fmt.Errorf("scenario: slots must be positive, got %d", s.Slots)
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("scenario: no nodes")
+	}
+	nodeSet := make(map[uint16]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if nodeSet[n] {
+			return fmt.Errorf("scenario: duplicate node %d", n)
+		}
+		nodeSet[n] = true
+	}
+	if _, err := s.dps(); err != nil {
+		return err
+	}
+	if _, err := s.discipline(); err != nil {
+		return err
+	}
+	for i, ch := range s.Channels {
+		if !nodeSet[ch.Src] || !nodeSet[ch.Dst] {
+			return fmt.Errorf("scenario: channel %d references undeclared node", i)
+		}
+		spec := core.ChannelSpec{
+			Src: core.NodeID(ch.Src), Dst: core.NodeID(ch.Dst),
+			C: ch.C, P: ch.P, D: ch.D,
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("scenario: channel %d: %w", i, err)
+		}
+		if ch.Offset < 0 {
+			return fmt.Errorf("scenario: channel %d: negative offset", i)
+		}
+	}
+	for i, bg := range s.Background {
+		if !nodeSet[bg.Src] || !nodeSet[bg.Dst] {
+			return fmt.Errorf("scenario: background flow %d references undeclared node", i)
+		}
+		if bg.Rate <= 0 {
+			return fmt.Errorf("scenario: background flow %d: rate must be positive", i)
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) dps() (core.DPS, error) {
+	switch strings.ToLower(s.DPS) {
+	case "", "sdps":
+		return core.SDPS{}, nil
+	case "adps":
+		return core.ADPS{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown dps %q", s.DPS)
+	}
+}
+
+func (s *Scenario) discipline() (sched.Discipline, error) {
+	switch strings.ToLower(s.Discipline) {
+	case "", "edf":
+		return sched.DisciplineEDF, nil
+	case "fifo":
+		return sched.DisciplineFIFO, nil
+	case "dm":
+		return sched.DisciplineDM, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown discipline %q", s.Discipline)
+	}
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Network  *netsim.Network
+	Accepted []core.ChannelID
+	Rejected int
+	BgSent   int
+	Report   *netsim.Report
+}
+
+// Run builds the network, establishes every channel over the wire,
+// schedules background traffic and runs to the configured horizon.
+func (s *Scenario) Run() (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dps, _ := s.dps()
+	disc, _ := s.discipline()
+	cfg := netsim.Config{
+		DPS:           dps,
+		Discipline:    disc,
+		NonRTQueueCap: s.NonRTQueueCap,
+		Propagation:   s.Propagation,
+	}
+	if s.Shaping != nil && !*s.Shaping {
+		cfg.DisableShaping = true
+	}
+	net := netsim.New(cfg)
+	for _, n := range s.Nodes {
+		net.MustAddNode(core.NodeID(n))
+	}
+
+	res := &Result{Network: net}
+	for i, ch := range s.Channels {
+		spec := core.ChannelSpec{
+			Src: core.NodeID(ch.Src), Dst: core.NodeID(ch.Dst),
+			C: ch.C, P: ch.P, D: ch.D,
+		}
+		id, err := net.EstablishChannel(spec)
+		if err != nil {
+			if ch.Optional {
+				res.Rejected++
+				continue
+			}
+			return nil, fmt.Errorf("scenario: channel %d (%v) rejected: %w", i, spec, err)
+		}
+		if err := net.Node(spec.Src).StartTraffic(id, ch.Offset); err != nil {
+			return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
+		}
+		res.Accepted = append(res.Accepted, id)
+	}
+
+	start := net.Engine().Now()
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	for _, bg := range s.Background {
+		src, dst := core.NodeID(bg.Src), core.NodeID(bg.Dst)
+		for _, at := range traffic.PoissonArrivals(rng, bg.Rate, s.Slots) {
+			src, dst := src, dst
+			net.Engine().At(start+at, func() { net.Node(src).SendNonRT(dst, []byte("bg")) })
+			res.BgSent++
+		}
+	}
+	net.Run(start + s.Slots)
+	res.Report = net.Report()
+	return res, nil
+}

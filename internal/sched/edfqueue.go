@@ -1,0 +1,84 @@
+// Package sched implements the output queues of the RT layer (§18.2.1,
+// Fig. 18.2): a deadline-sorted queue for real-time frames, an FCFS queue
+// for non-real-time frames, and the per-port scheduler that serves the RT
+// queue with strict priority over the FCFS queue.
+package sched
+
+import "container/heap"
+
+// Item is one queued frame. The scheduler only needs the sort key (the
+// absolute deadline in slots); the opaque payload travels untouched.
+type Item struct {
+	Deadline int64       // absolute deadline used as the EDF sort key
+	Payload  interface{} // opaque frame handle
+
+	seq uint64 // insertion sequence for stable FIFO tie-breaking
+	idx int    // heap index, maintained by the heap interface
+}
+
+// EDFQueue is the deadline-sorted output queue: Pop always returns the
+// frame with the earliest absolute deadline, breaking ties in insertion
+// order so that equal-deadline frames stay FIFO (deterministic and
+// starvation-free among ties).
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type EDFQueue struct {
+	h   edfHeap
+	seq uint64
+}
+
+type edfHeap []*Item
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	if h[i].Deadline != h[j].Deadline {
+		return h[i].Deadline < h[j].Deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h edfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *edfHeap) Push(x interface{}) {
+	it := x.(*Item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *edfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Len returns the number of queued frames.
+func (q *EDFQueue) Len() int { return len(q.h) }
+
+// Push enqueues a frame with the given absolute deadline.
+func (q *EDFQueue) Push(deadline int64, payload interface{}) {
+	it := &Item{Deadline: deadline, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, it)
+}
+
+// Pop removes and returns the earliest-deadline frame. It returns false
+// when the queue is empty.
+func (q *EDFQueue) Pop() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	it := heap.Pop(&q.h).(*Item)
+	return *it, true
+}
+
+// Peek returns the earliest-deadline frame without removing it.
+func (q *EDFQueue) Peek() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return *q.h[0], true
+}

@@ -1,0 +1,139 @@
+// Package sim provides a deterministic discrete-event simulation engine in
+// integer virtual time. Time is measured in timeslots (one slot = the
+// transmission time of one maximal-sized Ethernet frame), matching the
+// unit system of the paper's analysis. Determinism is total: events at the
+// same instant run in (priority, scheduling order), so two runs of the
+// same scenario produce identical traces — the property that makes a Go
+// reproduction of a hard-real-time system meaningful despite GC jitter.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priority orders events that fire at the same instant. Lower runs first.
+// The network model uses three phases per slot boundary: frame deliveries
+// land first, then traffic sources release new frames, then transmitters
+// decide what to send in the coming slot — so a decision always sees every
+// frame that exists at that instant.
+type Priority int
+
+// Standard phases of one slot boundary.
+const (
+	PrioDeliver Priority = 0 // frame receptions, shaper releases
+	PrioRelease Priority = 1 // periodic source releases
+	PrioDecide  Priority = 2 // transmit decisions
+)
+
+type event struct {
+	at   int64
+	prio Priority
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the whole simulation runs on one goroutine (shared
+// memory never races because nothing is shared across goroutines — "do
+// not communicate by sharing memory" taken to its deterministic extreme).
+type Engine struct {
+	now   int64
+	seq   uint64
+	queue eventHeap
+	fired int64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in slots.
+func (e *Engine) Now() int64 { return e.now }
+
+// Fired returns the total number of events executed (diagnostics).
+func (e *Engine) Fired() int64 { return e.fired }
+
+// Pending returns the number of scheduled events not yet run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute time t with PrioDeliver. Scheduling in the
+// past panics — that is always a model bug.
+func (e *Engine) At(t int64, fn func()) { e.AtPrio(t, PrioDeliver, fn) }
+
+// AtPrio schedules fn at absolute time t in the given phase.
+func (e *Engine) AtPrio(t int64, prio Priority, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := &event{at: t, prio: prio, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// After schedules fn d slots from now (d >= 0) with PrioDeliver.
+func (e *Engine) After(d int64, fn func()) { e.AtPrio(e.now+d, PrioDeliver, fn) }
+
+// Step runs every event at the earliest pending instant (all priorities)
+// and advances the clock to it. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	t := e.queue[0].at
+	e.now = t
+	for len(e.queue) > 0 && e.queue[0].at == t {
+		ev := heap.Pop(&e.queue).(*event)
+		e.fired++
+		ev.fn()
+	}
+	return true
+}
+
+// RunUntil executes all events with time <= horizon and then sets the
+// clock to horizon. Events scheduled during execution are honored if they
+// fall within the horizon.
+func (e *Engine) RunUntil(horizon int64) {
+	for len(e.queue) > 0 && e.queue[0].at <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Drain runs events until none remain or the event budget is exhausted,
+// returning true if the queue emptied. The budget guards against
+// self-perpetuating models (periodic sources never stop by themselves).
+func (e *Engine) Drain(budget int64) bool {
+	for i := int64(0); i < budget; i++ {
+		if !e.Step() {
+			return true
+		}
+	}
+	return len(e.queue) == 0
+}

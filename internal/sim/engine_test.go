@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(5, func() { got = append(got, 5) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	e.RunUntil(10)
+	want := []int{1, 3, 5}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want horizon 10", e.Now())
+	}
+}
+
+func TestEnginePriorityPhases(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.AtPrio(2, PrioDecide, func() { got = append(got, "decide") })
+	e.AtPrio(2, PrioDeliver, func() { got = append(got, "deliver") })
+	e.AtPrio(2, PrioRelease, func() { got = append(got, "release") })
+	e.RunUntil(2)
+	want := []string{"deliver", "release", "decide"}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOWithinSamePriority(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e.AtPrio(1, PrioDeliver, func() { got = append(got, i) })
+	}
+	e.RunUntil(1)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO broken: %v", got)
+		}
+	}
+}
+
+func TestEngineEventsScheduledDuringStep(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(1, func() {
+		got = append(got, "a")
+		e.At(1, func() { got = append(got, "same-slot") }) // same instant, later seq
+		e.At(2, func() { got = append(got, "next-slot") })
+	})
+	e.RunUntil(5)
+	want := []string{"a", "same-slot", "next-slot"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(3, func() {})
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	fired := int64(-1)
+	e.At(4, func() {
+		e.After(3, func() { fired = e.Now() })
+	})
+	e.RunUntil(10)
+	if fired != 7 {
+		t.Errorf("After(3) from t=4 fired at %d, want 7", fired)
+	}
+}
+
+func TestEngineRunUntilHonorsHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunUntil(99)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if !fired {
+		t.Error("event at horizon did not fire")
+	}
+}
+
+func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+}
+
+func TestEngineStepRunsWholeInstant(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.AtPrio(3, PrioDeliver, func() { count++ })
+	e.AtPrio(3, PrioDecide, func() { count++ })
+	e.At(9, func() { count += 10 })
+	if !e.Step() {
+		t.Fatal("Step returned false")
+	}
+	if count != 2 || e.Now() != 3 {
+		t.Errorf("after first Step: count=%d now=%d, want 2 and 3", count, e.Now())
+	}
+}
+
+// TestEngineExecutionOrderProperty fuzzes random schedules: execution
+// order must be exactly (time, priority, scheduling sequence).
+func TestEngineExecutionOrderProperty(t *testing.T) {
+	type key struct {
+		at   int64
+		prio Priority
+		seq  int
+	}
+	for trial := 0; trial < 100; trial++ {
+		e := NewEngine()
+		var got []key
+		n := 50
+		keys := make([]key, n)
+		for i := 0; i < n; i++ {
+			k := key{
+				at:   int64((i * 7919) % 13),
+				prio: Priority((i * 31) % 3),
+				seq:  i,
+			}
+			keys[i] = k
+			kk := k
+			e.AtPrio(kk.at, kk.prio, func() { got = append(got, kk) })
+		}
+		e.RunUntil(20)
+		if len(got) != n {
+			t.Fatalf("trial %d: executed %d of %d", trial, len(got), n)
+		}
+		for i := 1; i < n; i++ {
+			a, b := got[i-1], got[i]
+			ok := a.at < b.at ||
+				(a.at == b.at && a.prio < b.prio) ||
+				(a.at == b.at && a.prio == b.prio && a.seq < b.seq)
+			if !ok {
+				t.Fatalf("trial %d: order violated at %d: %+v then %+v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+func TestEngineDrain(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n < 5 {
+			e.After(1, reschedule)
+		}
+	}
+	e.At(0, reschedule)
+	if !e.Drain(100) {
+		t.Error("Drain did not empty a finite chain")
+	}
+	if n != 5 {
+		t.Errorf("chain ran %d times, want 5", n)
+	}
+
+	// Infinite chain: budget must stop it.
+	var forever func()
+	forever = func() { e.After(1, forever) }
+	e.After(1, forever)
+	if e.Drain(50) {
+		t.Error("Drain claimed to empty an infinite chain")
+	}
+	if e.Fired() == 0 {
+		t.Error("Fired counter not advancing")
+	}
+}

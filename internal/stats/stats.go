@@ -1,0 +1,164 @@
+// Package stats provides the measurement primitives used by the network
+// simulator and the experiment harness: streaming delay statistics,
+// fixed-capacity sampling for percentiles, and simple aligned-table /
+// CSV rendering for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Delay accumulates integer delay observations (in slots) with O(1)
+// memory for the streaming aggregates plus a bounded sample buffer for
+// percentile estimates.
+type Delay struct {
+	count int64
+	sum   int64
+	sumSq float64
+	min   int64
+	max   int64
+
+	samples   []int64
+	sampleCap int
+	seen      int64
+	rng       uint64 // xorshift state for reservoir sampling
+	sorted    bool
+}
+
+// NewDelay returns a Delay keeping at most sampleCap observations for
+// percentile queries (0 picks a default of 4096).
+func NewDelay(sampleCap int) *Delay {
+	if sampleCap <= 0 {
+		sampleCap = 4096
+	}
+	return &Delay{min: math.MaxInt64, sampleCap: sampleCap, rng: 0x9E3779B97F4A7C15}
+}
+
+// Observe records one delay value.
+func (d *Delay) Observe(v int64) {
+	d.count++
+	d.sum += v
+	d.sumSq += float64(v) * float64(v)
+	if v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	// Algorithm R reservoir sampling keeps percentiles unbiased under any
+	// arrival pattern while bounding memory.
+	d.seen++
+	if len(d.samples) < d.sampleCap {
+		d.samples = append(d.samples, v)
+		d.sorted = false
+		return
+	}
+	d.rng ^= d.rng << 13
+	d.rng ^= d.rng >> 7
+	d.rng ^= d.rng << 17
+	if idx := d.rng % uint64(d.seen); idx < uint64(d.sampleCap) {
+		d.samples[idx] = v
+		d.sorted = false
+	}
+}
+
+// Count returns the number of observations.
+func (d *Delay) Count() int64 { return d.count }
+
+// Min returns the smallest observation (0 when empty).
+func (d *Delay) Min() int64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (d *Delay) Max() int64 { return d.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (d *Delay) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// StdDev returns the population standard deviation (0 when empty).
+func (d *Delay) StdDev() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.sumSq/float64(d.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from the sample
+// buffer, 0 when empty.
+func (d *Delay) Percentile(p float64) int64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// Merge folds another Delay into this one. Count, sum, min, max and
+// standard deviation merge exactly; percentile samples are unioned and
+// re-sampled down to capacity.
+func (d *Delay) Merge(o *Delay) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	d.count += o.count
+	d.sum += o.sum
+	d.sumSq += o.sumSq
+	if o.min < d.min {
+		d.min = o.min
+	}
+	if o.max > d.max {
+		d.max = o.max
+	}
+	d.seen += o.seen
+	for _, s := range o.samples {
+		if len(d.samples) < d.sampleCap {
+			d.samples = append(d.samples, s)
+			continue
+		}
+		d.rng ^= d.rng << 13
+		d.rng ^= d.rng >> 7
+		d.rng ^= d.rng << 17
+		if idx := d.rng % uint64(len(d.samples)); int(idx) < d.sampleCap {
+			d.samples[idx] = s
+		}
+	}
+	d.sorted = false
+}
+
+// String implements fmt.Stringer.
+func (d *Delay) String() string {
+	if d.count == 0 {
+		return "delay{empty}"
+	}
+	return fmt.Sprintf("delay{n=%d min=%d mean=%.2f p99=%d max=%d}",
+		d.count, d.Min(), d.Mean(), d.Percentile(99), d.Max())
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDelayEmpty(t *testing.T) {
+	d := NewDelay(0)
+	if d.Count() != 0 || d.Min() != 0 || d.Max() != 0 || d.Mean() != 0 || d.StdDev() != 0 {
+		t.Error("empty Delay aggregates non-zero")
+	}
+	if d.Percentile(50) != 0 {
+		t.Error("empty percentile non-zero")
+	}
+	if !strings.Contains(d.String(), "empty") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestDelayAggregates(t *testing.T) {
+	d := NewDelay(0)
+	for _, v := range []int64{4, 2, 8, 6} {
+		d.Observe(v)
+	}
+	if d.Count() != 4 || d.Min() != 2 || d.Max() != 8 {
+		t.Errorf("count=%d min=%d max=%d", d.Count(), d.Min(), d.Max())
+	}
+	if d.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", d.Mean())
+	}
+	// Population stddev of {4,2,8,6} = sqrt(5).
+	if math.Abs(d.StdDev()-math.Sqrt(5)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(5)", d.StdDev())
+	}
+}
+
+func TestDelayPercentiles(t *testing.T) {
+	d := NewDelay(1000)
+	for v := int64(1); v <= 100; v++ {
+		d.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100},
+	}
+	for _, tc := range cases {
+		if got := d.Percentile(tc.p); got != tc.want {
+			t.Errorf("P%.0f = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestDelayReservoirBounded(t *testing.T) {
+	d := NewDelay(64)
+	for v := int64(0); v < 100000; v++ {
+		d.Observe(v % 1000)
+	}
+	if len(d.samples) > 64 {
+		t.Errorf("sample buffer grew to %d, cap 64", len(d.samples))
+	}
+	if d.Count() != 100000 {
+		t.Errorf("count = %d", d.Count())
+	}
+	// Percentile must still be a real observed value.
+	p := d.Percentile(50)
+	if p < 0 || p >= 1000 {
+		t.Errorf("P50 = %d out of observed range", p)
+	}
+	// Exact aggregates are unaffected by sampling.
+	if d.Min() != 0 || d.Max() != 999 {
+		t.Errorf("min=%d max=%d", d.Min(), d.Max())
+	}
+}
+
+func TestDelayObserveAfterPercentileKeepsSorting(t *testing.T) {
+	d := NewDelay(16)
+	d.Observe(5)
+	d.Observe(1)
+	if d.Percentile(100) != 5 {
+		t.Fatal("P100 wrong")
+	}
+	d.Observe(9)
+	if d.Percentile(100) != 9 {
+		t.Error("percentile stale after new observation")
+	}
+}
+
+func TestDelayMerge(t *testing.T) {
+	a := NewDelay(100)
+	b := NewDelay(100)
+	for v := int64(1); v <= 10; v++ {
+		a.Observe(v)
+	}
+	for v := int64(11); v <= 20; v++ {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 20 || a.Min() != 1 || a.Max() != 20 {
+		t.Errorf("merged count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	if a.Mean() != 10.5 {
+		t.Errorf("merged mean = %v, want 10.5", a.Mean())
+	}
+	if got := a.Percentile(100); got != 20 {
+		t.Errorf("merged P100 = %d, want 20", got)
+	}
+	// Merging nil or empty is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(NewDelay(0))
+	if a.Count() != before {
+		t.Error("empty merge changed count")
+	}
+}
+
+func TestDelayMergeRespectsSampleCap(t *testing.T) {
+	a := NewDelay(8)
+	b := NewDelay(1000)
+	for v := int64(0); v < 500; v++ {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if len(a.samples) > 8 {
+		t.Errorf("merged samples = %d, cap 8", len(a.samples))
+	}
+	if a.Count() != 500 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Fig 18.5", "requested", "SDPS", "ADPS")
+	tb.AddRowf(20, 20, 20)
+	tb.AddRowf(200, 60, 110)
+	s := tb.String()
+	for _, want := range []string{"Fig 18.5", "requested", "SDPS", "ADPS", "200", "60", "110"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTableRowsCopy(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("x")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "x" {
+		t.Error("Rows() exposed internal storage")
+	}
+}
+
+func TestTableAddRowfFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(1.23456)
+	if got := tb.Rows()[0][0]; got != "1.235" {
+		t.Errorf("float cell = %q, want 3 decimals", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `has,comma and "quote"`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,plain" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"has,comma and ""quote"""`) {
+		t.Errorf("row 2 not quoted correctly: %q", lines[2])
+	}
+}

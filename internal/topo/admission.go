@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+)
+
+// ErrDeadlineTooShortForRoute generalizes condition (9): a channel
+// crossing h store-and-forward hops needs D >= h*C.
+var ErrDeadlineTooShortForRoute = errors.New("topo: deadline below hops*C for the route")
+
+// RejectionError reports the edge that failed admission.
+type RejectionError struct {
+	Edge   Edge
+	Result edf.Result
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("topo: channel not feasible on %v: %v", e.Edge, e.Result)
+}
+
+// Unwrap lets errors.Is match core.ErrInfeasible.
+func (e *RejectionError) Unwrap() error { return core.ErrInfeasible }
+
+// Config tunes the fabric admission controller.
+type Config struct {
+	// DPS is the hop partitioning scheme; nil means HSDPS.
+	DPS HDPS
+	// Feasibility passes through to the per-edge EDF test.
+	Feasibility edf.Options
+}
+
+// Controller is the fabric-wide admission control: route, partition the
+// deadline over the route's directed links, and verify EDF feasibility of
+// every affected link — §18.3.2 generalized to many switches.
+type Controller struct {
+	topo  *Topology
+	cfg   Config
+	state *State
+
+	requests int
+	accepted int
+}
+
+// NewController builds a controller over a fixed topology.
+func NewController(t *Topology, cfg Config) *Controller {
+	if cfg.DPS == nil {
+		cfg.DPS = HSDPS{}
+	}
+	cfg.Feasibility.SkipValidation = true
+	return &Controller{topo: t, cfg: cfg, state: NewState()}
+}
+
+// State exposes the committed state (read-only for callers).
+func (c *Controller) State() *State { return c.state }
+
+// DPS returns the active partitioning scheme.
+func (c *Controller) DPS() HDPS { return c.cfg.DPS }
+
+// Accepted returns how many requests have been admitted.
+func (c *Controller) Accepted() int { return c.accepted }
+
+// Requests returns how many requests have been made.
+func (c *Controller) Requests() int { return c.requests }
+
+// Request routes and admission-tests a channel; on success it is
+// committed and returned.
+func (c *Controller) Request(spec core.ChannelSpec) (*HChannel, error) {
+	c.requests++
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	route, err := c.topo.Route(spec.Src, spec.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if spec.D < int64(len(route))*spec.C {
+		return nil, fmt.Errorf("%w (D=%d, hops=%d, C=%d)",
+			ErrDeadlineTooShortForRoute, spec.D, len(route), spec.C)
+	}
+
+	tentative := c.state.clone()
+	ch := &HChannel{ID: tentative.allocID(), Spec: spec, Route: route}
+	tentative.add(ch)
+
+	parts := c.cfg.DPS.Partition(tentative)
+	changed := applyHops(tentative, parts)
+
+	for _, e := range tentative.Edges() {
+		if _, ok := changed[e]; !ok {
+			continue
+		}
+		res := edf.Test(tentative.TasksOn(e), c.cfg.Feasibility)
+		if !res.OK() {
+			return nil, &RejectionError{Edge: e, Result: res}
+		}
+	}
+	c.state = tentative
+	c.accepted++
+	return ch, nil
+}
+
+// Release tears down a channel; remaining channels are repartitioned when
+// that keeps every edge feasible, otherwise partitions stay as they were.
+func (c *Controller) Release(id core.ChannelID) error {
+	if c.state.Get(id) == nil {
+		return fmt.Errorf("topo: release of unknown channel %d", id)
+	}
+	next := c.state.clone()
+	next.remove(id)
+
+	repart := next.clone()
+	parts := c.cfg.DPS.Partition(repart)
+	changed := applyHops(repart, parts)
+	ok := true
+	for _, e := range repart.Edges() {
+		if _, hit := changed[e]; !hit {
+			continue
+		}
+		if !edf.Test(repart.TasksOn(e), c.cfg.Feasibility).OK() {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		c.state = repart
+	} else {
+		c.state = next
+	}
+	return nil
+}
+
+// applyHops installs partition vectors, returning edges whose task sets
+// changed. Invalid vectors panic — they are HDPS bugs, not rejections.
+func applyHops(st *State, parts map[core.ChannelID][]int64) map[Edge]struct{} {
+	changed := make(map[Edge]struct{})
+	for _, ch := range st.Channels() {
+		v, ok := parts[ch.ID]
+		if !ok {
+			panic(fmt.Sprintf("topo: HDPS returned no vector for %v", ch))
+		}
+		if len(v) != len(ch.Route) {
+			panic(fmt.Sprintf("topo: HDPS vector length %d for %d hops", len(v), len(ch.Route)))
+		}
+		var sum int64
+		for _, hop := range v {
+			if hop < ch.Spec.C {
+				panic(fmt.Sprintf("topo: hop budget %d below C=%d for %v", hop, ch.Spec.C, ch))
+			}
+			sum += hop
+		}
+		if sum != ch.Spec.D {
+			panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
+		}
+		if equalVec(ch.Hops, v) {
+			continue
+		}
+		ch.Hops = append(ch.Hops[:0], v...)
+		for _, e := range ch.Route {
+			changed[e] = struct{}{}
+		}
+	}
+	return changed
+}
+
+func equalVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+// Package topo extends the paper's star network to the multi-switch
+// topologies its future-work section calls for (§18.5: "networks
+// consisting of many interconnected Switches"). End-nodes attach to
+// switches, switches interconnect arbitrarily, channels are routed along
+// shortest paths, and the deadline of a channel is partitioned over every
+// directed link of its route — generalizing SDPS/ADPS from two hops to h
+// hops. Admission control tests EDF feasibility of every directed link,
+// exactly as in the star case.
+//
+// The package is analysis-level (like the paper's own evaluation): it
+// decides acceptance; the cycle-accurate simulator remains single-switch.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// SwitchID identifies a switch in the fabric.
+type SwitchID uint16
+
+// Endpoint is one end of a directed link: either an end-node or a switch.
+type Endpoint struct {
+	Switch bool
+	ID     uint16
+}
+
+// NodeEnd returns the endpoint of an end-node.
+func NodeEnd(n core.NodeID) Endpoint { return Endpoint{ID: uint16(n)} }
+
+// SwitchEnd returns the endpoint of a switch.
+func SwitchEnd(s SwitchID) Endpoint { return Endpoint{Switch: true, ID: uint16(s)} }
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	if e.Switch {
+		return fmt.Sprintf("sw%d", e.ID)
+	}
+	return fmt.Sprintf("n%d", e.ID)
+}
+
+// Edge is one directed link (one pseudo-processor, as in §18.3.2 — each
+// full-duplex physical link contributes two Edges).
+type Edge struct {
+	From, To Endpoint
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return e.From.String() + "→" + e.To.String() }
+
+// Topology is the physical layout: switches, inter-switch links and node
+// attachments. Construction is not safe for concurrent use.
+type Topology struct {
+	switches map[SwitchID]struct{}
+	adj      map[SwitchID][]SwitchID    // sorted adjacency, both directions
+	home     map[core.NodeID]SwitchID   // node → attachment switch
+	nodesAt  map[SwitchID][]core.NodeID // reverse, sorted
+}
+
+// Topology construction errors.
+var (
+	ErrUnknownSwitch = errors.New("topo: unknown switch")
+	ErrUnknownNode   = errors.New("topo: unknown node")
+	ErrDuplicate     = errors.New("topo: duplicate element")
+	ErrNoRoute       = errors.New("topo: no route between nodes")
+)
+
+// NewTopology returns an empty fabric.
+func NewTopology() *Topology {
+	return &Topology{
+		switches: make(map[SwitchID]struct{}),
+		adj:      make(map[SwitchID][]SwitchID),
+		home:     make(map[core.NodeID]SwitchID),
+		nodesAt:  make(map[SwitchID][]core.NodeID),
+	}
+}
+
+// AddSwitch registers a switch.
+func (t *Topology) AddSwitch(id SwitchID) error {
+	if _, dup := t.switches[id]; dup {
+		return fmt.Errorf("%w: switch %d", ErrDuplicate, id)
+	}
+	t.switches[id] = struct{}{}
+	return nil
+}
+
+// ConnectSwitches adds a full-duplex trunk between two switches.
+func (t *Topology) ConnectSwitches(a, b SwitchID) error {
+	if _, ok := t.switches[a]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSwitch, a)
+	}
+	if _, ok := t.switches[b]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSwitch, b)
+	}
+	if a == b {
+		return fmt.Errorf("%w: self-link on switch %d", ErrDuplicate, a)
+	}
+	for _, n := range t.adj[a] {
+		if n == b {
+			return fmt.Errorf("%w: trunk %d-%d", ErrDuplicate, a, b)
+		}
+	}
+	t.adj[a] = insertSorted(t.adj[a], b)
+	t.adj[b] = insertSorted(t.adj[b], a)
+	return nil
+}
+
+func insertSorted(s []SwitchID, v SwitchID) []SwitchID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// AttachNode homes an end-node on a switch.
+func (t *Topology) AttachNode(n core.NodeID, s SwitchID) error {
+	if _, ok := t.switches[s]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSwitch, s)
+	}
+	if _, dup := t.home[n]; dup {
+		return fmt.Errorf("%w: node %d", ErrDuplicate, n)
+	}
+	t.home[n] = s
+	t.nodesAt[s] = append(t.nodesAt[s], n)
+	sort.Slice(t.nodesAt[s], func(i, j int) bool { return t.nodesAt[s][i] < t.nodesAt[s][j] })
+	return nil
+}
+
+// Home returns the switch a node attaches to.
+func (t *Topology) Home(n core.NodeID) (SwitchID, bool) {
+	s, ok := t.home[n]
+	return s, ok
+}
+
+// Route returns the directed links of the shortest path from src to dst:
+// src→home(src), a shortest switch-to-switch trunk sequence, and
+// home(dst)→dst. BFS with sorted adjacency makes the choice deterministic
+// among equal-length paths.
+func (t *Topology) Route(src, dst core.NodeID) ([]Edge, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topo: route from node %d to itself", src)
+	}
+	sSrc, ok := t.home[src]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, src)
+	}
+	sDst, ok := t.home[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, dst)
+	}
+	swPath, err := t.switchPath(sSrc, sDst)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]Edge, 0, len(swPath)+1)
+	edges = append(edges, Edge{From: NodeEnd(src), To: SwitchEnd(sSrc)})
+	for i := 1; i < len(swPath); i++ {
+		edges = append(edges, Edge{From: SwitchEnd(swPath[i-1]), To: SwitchEnd(swPath[i])})
+	}
+	edges = append(edges, Edge{From: SwitchEnd(sDst), To: NodeEnd(dst)})
+	return edges, nil
+}
+
+// switchPath runs BFS over the trunk graph.
+func (t *Topology) switchPath(from, to SwitchID) ([]SwitchID, error) {
+	if from == to {
+		return []SwitchID{from}, nil
+	}
+	prev := map[SwitchID]SwitchID{from: from}
+	queue := []SwitchID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range t.adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []SwitchID
+				for at := to; ; at = prev[at] {
+					path = append(path, at)
+					if at == from {
+						break
+					}
+				}
+				// Reverse in place.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("%w: sw%d to sw%d", ErrNoRoute, from, to)
+}
+
+// Line builds a chain of k switches (IDs 0..k-1) with trunks between
+// neighbours — the canonical multi-switch evaluation fabric.
+func Line(k int) *Topology {
+	t := NewTopology()
+	for i := 0; i < k; i++ {
+		if err := t.AddSwitch(SwitchID(i)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < k; i++ {
+		if err := t.ConnectSwitches(SwitchID(i-1), SwitchID(i)); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}

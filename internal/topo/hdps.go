@@ -1,0 +1,275 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+)
+
+// HChannel is an RT channel routed across the fabric: the spec, its
+// route, and the per-hop deadline split d_i = sum(Hops).
+type HChannel struct {
+	ID    core.ChannelID
+	Spec  core.ChannelSpec
+	Route []Edge
+	Hops  []int64 // per-hop deadline budget, len == len(Route)
+}
+
+// String implements fmt.Stringer.
+func (c *HChannel) String() string {
+	return fmt.Sprintf("HRT#%d %v hops=%v", c.ID, c.Spec, c.Hops)
+}
+
+// State holds the routed channels and per-edge loads of a fabric.
+type State struct {
+	channels map[core.ChannelID]*HChannel
+	order    []core.ChannelID
+	loads    map[Edge]int
+	nextID   core.ChannelID
+}
+
+// NewState returns an empty fabric state.
+func NewState() *State {
+	return &State{
+		channels: make(map[core.ChannelID]*HChannel),
+		loads:    make(map[Edge]int),
+		nextID:   1,
+	}
+}
+
+// Len returns the number of routed channels.
+func (st *State) Len() int { return len(st.channels) }
+
+// Get returns a channel by ID, or nil.
+func (st *State) Get(id core.ChannelID) *HChannel { return st.channels[id] }
+
+// Channels returns channels in establishment order.
+func (st *State) Channels() []*HChannel {
+	out := make([]*HChannel, 0, len(st.order))
+	for _, id := range st.order {
+		if ch, ok := st.channels[id]; ok {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// LinkLoad returns the number of channels traversing the directed edge.
+func (st *State) LinkLoad(e Edge) int { return st.loads[e] }
+
+// Edges returns every loaded edge in deterministic order.
+func (st *State) Edges() []Edge {
+	out := make([]Edge, 0, len(st.loads))
+	for e := range st.loads {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(edges []Edge) {
+	less := func(a, b Endpoint) int {
+		switch {
+		case a.Switch != b.Switch:
+			if !a.Switch {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	}
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0; j-- {
+			a, b := edges[j-1], edges[j]
+			c := less(a.From, b.From)
+			if c == 0 {
+				c = less(a.To, b.To)
+			}
+			if c <= 0 {
+				break
+			}
+			edges[j-1], edges[j] = edges[j], edges[j-1]
+		}
+	}
+}
+
+// TasksOn derives the supposed task set of one directed edge.
+func (st *State) TasksOn(e Edge) []edf.Task {
+	var tasks []edf.Task
+	for _, id := range st.order {
+		ch, ok := st.channels[id]
+		if !ok {
+			continue
+		}
+		for i, hop := range ch.Route {
+			if hop == e {
+				tasks = append(tasks, edf.Task{
+					C: ch.Spec.C, P: ch.Spec.P, D: ch.Hops[i],
+					Tag: fmt.Sprintf("HRT#%d/%d", ch.ID, i),
+				})
+			}
+		}
+	}
+	return tasks
+}
+
+func (st *State) add(ch *HChannel) {
+	st.channels[ch.ID] = ch
+	st.order = append(st.order, ch.ID)
+	for _, e := range ch.Route {
+		st.loads[e]++
+	}
+}
+
+func (st *State) remove(id core.ChannelID) bool {
+	ch, ok := st.channels[id]
+	if !ok {
+		return false
+	}
+	delete(st.channels, id)
+	for _, e := range ch.Route {
+		if st.loads[e]--; st.loads[e] == 0 {
+			delete(st.loads, e)
+		}
+	}
+	if len(st.order) >= 2*len(st.channels)+8 {
+		kept := st.order[:0]
+		for _, oid := range st.order {
+			if _, alive := st.channels[oid]; alive {
+				kept = append(kept, oid)
+			}
+		}
+		st.order = kept
+	}
+	return true
+}
+
+func (st *State) allocID() core.ChannelID {
+	for i := 0; i < 1<<16; i++ {
+		id := st.nextID
+		st.nextID++
+		if st.nextID == 0 {
+			st.nextID = 1
+		}
+		if _, used := st.channels[id]; !used && id != 0 {
+			return id
+		}
+	}
+	panic("topo: all channel IDs in use")
+}
+
+func (st *State) clone() *State {
+	cp := &State{
+		channels: make(map[core.ChannelID]*HChannel, len(st.channels)),
+		order:    append([]core.ChannelID(nil), st.order...),
+		loads:    make(map[Edge]int, len(st.loads)),
+		nextID:   st.nextID,
+	}
+	for id, ch := range st.channels {
+		c := *ch
+		c.Hops = append([]int64(nil), ch.Hops...)
+		cp.channels[id] = &c
+	}
+	for e, n := range st.loads {
+		cp.loads[e] = n
+	}
+	return cp
+}
+
+// HDPS is a hop-count-general deadline partitioning scheme: it assigns a
+// per-hop deadline vector to every channel in the state such that the
+// vector sums to d_i (condition (8) generalized) and every element is at
+// least C_i (condition (9) generalized).
+type HDPS interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Partition returns per-hop deadline vectors for all channels.
+	Partition(st *State) map[core.ChannelID][]int64
+}
+
+// HSDPS splits every channel's deadline equally over its hops —
+// SDPS generalized (on two-hop routes it reduces to SDPS exactly).
+type HSDPS struct{}
+
+// Name implements HDPS.
+func (HSDPS) Name() string { return "H-SDPS" }
+
+// Partition implements HDPS.
+func (HSDPS) Partition(st *State) map[core.ChannelID][]int64 {
+	parts := make(map[core.ChannelID][]int64, st.Len())
+	for _, ch := range st.Channels() {
+		weights := make([]int64, len(ch.Route))
+		for i := range weights {
+			weights[i] = 1
+		}
+		parts[ch.ID] = splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+	}
+	return parts
+}
+
+// HADPS weights each hop's share by that directed edge's link load —
+// ADPS generalized (on two-hop routes it reduces to ADPS up to rounding).
+type HADPS struct{}
+
+// Name implements HDPS.
+func (HADPS) Name() string { return "H-ADPS" }
+
+// Partition implements HDPS.
+func (HADPS) Partition(st *State) map[core.ChannelID][]int64 {
+	parts := make(map[core.ChannelID][]int64, st.Len())
+	for _, ch := range st.Channels() {
+		weights := make([]int64, len(ch.Route))
+		for i, e := range ch.Route {
+			weights[i] = int64(st.LinkLoad(e))
+		}
+		parts[ch.ID] = splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+	}
+	return parts
+}
+
+// splitDeadline distributes D over len(weights) hops proportionally to
+// the weights, with every hop getting at least C, summing exactly to D.
+// Requires D >= len(weights)*C (checked by admission). Deterministic.
+func splitDeadline(d, c int64, weights []int64) []int64 {
+	h := len(weights)
+	out := make([]int64, h)
+	var totalW int64
+	for _, w := range weights {
+		totalW += w
+	}
+	if totalW == 0 {
+		totalW = int64(h)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var acc int64
+	for i, w := range weights {
+		share := d * w / totalW
+		if share < c {
+			share = c
+		}
+		out[i] = share
+		acc += share
+	}
+	// Rebalance to sum exactly to D: shave overweight hops round-robin,
+	// then pour any remainder round-robin.
+	for i := 0; acc > d; i = (i + 1) % h {
+		if out[i] > c {
+			out[i]--
+			acc--
+		}
+	}
+	for i := 0; acc < d; i = (i + 1) % h {
+		out[i]++
+		acc++
+	}
+	return out
+}

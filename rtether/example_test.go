@@ -1,0 +1,117 @@
+package rtether_test
+
+import (
+	"fmt"
+
+	"repro/rtether"
+)
+
+// The canonical session: build a star network, establish a guaranteed
+// channel, run traffic, verify the guarantee.
+func Example() {
+	net := rtether.New(rtether.WithADPS())
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+
+	spec := rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
+	id, err := net.Establish(spec)
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	net.StartTraffic(id, 0)
+	net.RunFor(1000)
+
+	m := net.Report().Channels[id]
+	fmt.Printf("misses=%d worst<=guarantee=%v\n",
+		m.Misses, m.Delays.Max() <= net.GuaranteedDelay(spec))
+	// Output: misses=0 worst<=guarantee=true
+}
+
+// Admission control rejects what it cannot guarantee: the seventh
+// channel on one uplink under SDPS.
+func ExampleNetwork_Establish_rejection() {
+	net := rtether.New() // SDPS by default
+	for id := rtether.NodeID(1); id <= 8; id++ {
+		net.MustAddNode(id)
+	}
+	accepted := 0
+	for i := 0; i < 7; i++ {
+		_, err := net.Establish(rtether.ChannelSpec{
+			Src: 1, Dst: rtether.NodeID(2 + i), C: 3, P: 100, D: 40,
+		})
+		if err == nil {
+			accepted++
+		}
+	}
+	fmt.Println("accepted:", accepted)
+	// Output: accepted: 6
+}
+
+// ADPS splits deadlines by link load: a master uplink carrying five
+// channels gets five sixths of each deadline.
+func ExampleADPS() {
+	net := rtether.New(rtether.WithADPS())
+	net.MustAddNode(1)
+	for id := rtether.NodeID(10); id < 15; id++ {
+		net.MustAddNode(id)
+	}
+	var last rtether.ChannelID
+	for id := rtether.NodeID(10); id < 15; id++ {
+		ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: id, C: 3, P: 100, D: 40})
+		if err != nil {
+			panic(err)
+		}
+		last = ch
+	}
+	_, part, _ := net.Channel(last)
+	fmt.Printf("up=%d down=%d\n", part.Up, part.Down)
+	// Output: up=33 down=7
+}
+
+// A fabric routes channels across multiple switches and splits deadlines
+// per hop.
+func ExampleFabric() {
+	f := rtether.NewFabric(rtether.HADPS())
+	f.AddSwitch(0)
+	f.AddSwitch(1)
+	f.Trunk(0, 1)
+	f.AttachNode(1, 0)
+	f.AttachNode(2, 1)
+
+	_, budgets, err := f.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 42})
+	if err != nil {
+		panic(err)
+	}
+	sum := int64(0)
+	for _, b := range budgets {
+		sum += b
+	}
+	fmt.Printf("hops=%d sum=%d\n", len(budgets), sum)
+	// Output: hops=3 sum=42
+}
+
+// The flight recorder captures admission decisions and per-frame events.
+func ExampleNetwork_SetTracer() {
+	net := rtether.New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	tr := rtether.NewRingTracer(128)
+	net.SetTracer(tr)
+
+	id, _ := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 1, P: 50, D: 20})
+	net.StartTraffic(id, 0)
+	net.RunFor(200)
+
+	admits, delivers := 0, 0
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case rtether.EvAdmitted:
+			admits++
+		case rtether.EvDeliver:
+			delivers++
+		}
+	}
+	fmt.Printf("admits=%d delivered>0=%v\n", admits, delivers > 0)
+	// Output: admits=1 delivered>0=true
+}

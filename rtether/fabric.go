@@ -1,0 +1,137 @@
+package rtether
+
+import (
+	"repro/internal/fabricsim"
+	"repro/internal/topo"
+)
+
+// SwitchID identifies a switch in a multi-switch fabric.
+type SwitchID = topo.SwitchID
+
+// HDPS is a hop-general deadline partitioning scheme for fabrics.
+type HDPS = topo.HDPS
+
+// HSDPS returns the equal-split hop partitioning scheme (SDPS
+// generalized to h hops).
+func HSDPS() HDPS { return topo.HSDPS{} }
+
+// HADPS returns the link-load-weighted hop partitioning scheme (ADPS
+// generalized to h hops).
+func HADPS() HDPS { return topo.HADPS{} }
+
+// Fabric is the multi-switch extension of the paper's future-work section
+// (§18.5): end-nodes attach to switches, switches interconnect, channels
+// are routed along shortest paths and their deadlines are partitioned
+// over every hop. Admission control verifies per-directed-link EDF
+// feasibility exactly as in the star network.
+//
+// Fabric is analysis-level: it decides channel acceptance and computes
+// the per-hop deadline budgets; it does not carry simulated traffic (the
+// cycle-accurate simulator is the single-switch Network).
+type Fabric struct {
+	topo *topo.Topology
+	ctrl *topo.Controller
+	dps  HDPS
+	open bool
+}
+
+// NewFabric creates an empty fabric using the given hop partitioning
+// scheme (nil means HSDPS).
+func NewFabric(dps HDPS) *Fabric {
+	return &Fabric{topo: topo.NewTopology(), dps: dps}
+}
+
+// AddSwitch registers a switch. Topology must be complete before the
+// first Establish call.
+func (f *Fabric) AddSwitch(id SwitchID) error {
+	if f.open {
+		return errTopologyFrozen{}
+	}
+	return f.topo.AddSwitch(id)
+}
+
+// Trunk connects two switches with a full-duplex link.
+func (f *Fabric) Trunk(a, b SwitchID) error {
+	if f.open {
+		return errTopologyFrozen{}
+	}
+	return f.topo.ConnectSwitches(a, b)
+}
+
+// AttachNode homes an end-node on a switch.
+func (f *Fabric) AttachNode(n NodeID, s SwitchID) error {
+	if f.open {
+		return errTopologyFrozen{}
+	}
+	return f.topo.AttachNode(n, s)
+}
+
+// Establish routes and admission-tests a channel. On acceptance it
+// returns the channel ID and the per-hop deadline budgets.
+func (f *Fabric) Establish(spec ChannelSpec) (ChannelID, []int64, error) {
+	if !f.open {
+		f.ctrl = topo.NewController(f.topo, topo.Config{DPS: f.dps})
+		f.open = true
+	}
+	ch, err := f.ctrl.Request(spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ch.ID, append([]int64(nil), ch.Hops...), nil
+}
+
+// Release tears down a fabric channel.
+func (f *Fabric) Release(id ChannelID) error {
+	if !f.open {
+		return errUnknownChannel(id)
+	}
+	return f.ctrl.Release(id)
+}
+
+// Accepted returns the number of currently admitted channels.
+func (f *Fabric) Accepted() int {
+	if !f.open {
+		return 0
+	}
+	return f.ctrl.State().Len()
+}
+
+// RouteLength returns the number of hops a channel between the two nodes
+// would traverse (useful to pre-check D >= hops*C).
+func (f *Fabric) RouteLength(src, dst NodeID) (int, error) {
+	route, err := f.topo.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(route), nil
+}
+
+// FabricRun is the outcome of simulating a fabric's admitted channels.
+type FabricRun struct {
+	Delivered  int64 // RT frames delivered end to end
+	Misses     int64 // frames exceeding their end-to-end deadline
+	WorstDelay int64 // maximum observed end-to-end delay (slots)
+}
+
+// Simulate runs the currently admitted channels hop by hop for the given
+// number of slots (periodic traffic, optional per-channel release
+// offsets) and reports delivery against the end-to-end deadlines — the
+// dynamic validation of the per-hop partitioning. Deterministic.
+func (f *Fabric) Simulate(slots int64, offsets map[ChannelID]int64) (FabricRun, error) {
+	if !f.open || f.ctrl.State().Len() == 0 {
+		return FabricRun{}, nil
+	}
+	s, err := fabricsim.New(f.ctrl.State(), offsets, fabricsim.Config{})
+	if err != nil {
+		return FabricRun{}, err
+	}
+	s.Run(slots)
+	d, m, w := s.Totals()
+	return FabricRun{Delivered: d, Misses: m, WorstDelay: w}, nil
+}
+
+type errTopologyFrozen struct{}
+
+func (errTopologyFrozen) Error() string {
+	return "rtether: fabric topology is frozen after the first Establish"
+}

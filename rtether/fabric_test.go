@@ -1,0 +1,147 @@
+package rtether
+
+import (
+	"errors"
+	"testing"
+)
+
+func lineFabric(t *testing.T, dps HDPS, switches int) *Fabric {
+	t.Helper()
+	f := NewFabric(dps)
+	for i := 0; i < switches; i++ {
+		if err := f.AddSwitch(SwitchID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < switches; i++ {
+		if err := f.Trunk(SwitchID(i-1), SwitchID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFabricEstablishAcrossTrunk(t *testing.T) {
+	f := lineFabric(t, HADPS(), 2)
+	if err := f.AttachNode(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	hops, err := f.RouteLength(1, 2)
+	if err != nil || hops != 3 {
+		t.Fatalf("RouteLength = %d,%v, want 3", hops, err)
+	}
+	id, budgets, err := f.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) != 3 {
+		t.Fatalf("budgets = %v", budgets)
+	}
+	var sum int64
+	for _, b := range budgets {
+		if b < 3 {
+			t.Errorf("hop budget %d below C", b)
+		}
+		sum += b
+	}
+	if sum != 40 {
+		t.Errorf("budgets sum to %d, want 40", sum)
+	}
+	if f.Accepted() != 1 {
+		t.Error("Accepted() != 1")
+	}
+	if err := f.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if f.Accepted() != 0 {
+		t.Error("release did not clear")
+	}
+}
+
+func TestFabricTopologyFreezes(t *testing.T) {
+	f := lineFabric(t, nil, 1)
+	f.AttachNode(1, 0)
+	f.AttachNode(2, 0)
+	if _, _, err := f.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSwitch(9); err == nil {
+		t.Error("AddSwitch after Establish accepted")
+	}
+	if err := f.Trunk(0, 9); err == nil {
+		t.Error("Trunk after Establish accepted")
+	}
+	if err := f.AttachNode(9, 0); err == nil {
+		t.Error("AttachNode after Establish accepted")
+	}
+}
+
+func TestFabricRejectionSurfacesInfeasible(t *testing.T) {
+	f := lineFabric(t, nil, 1)
+	for n := NodeID(1); n <= 9; n++ {
+		f.AttachNode(n, 0)
+	}
+	var lastErr error
+	accepted := 0
+	for i := 0; i < 9; i++ {
+		_, _, err := f.Establish(ChannelSpec{Src: 1, Dst: NodeID(2 + i%8), C: 3, P: 100, D: 40})
+		if err == nil {
+			accepted++
+		} else {
+			lastErr = err
+		}
+	}
+	if accepted != 6 {
+		t.Errorf("star fabric accepted %d, want 6", accepted)
+	}
+	if !errors.Is(lastErr, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", lastErr)
+	}
+}
+
+func TestFabricSimulate(t *testing.T) {
+	f := lineFabric(t, HADPS(), 3)
+	f.AttachNode(1, 0)
+	f.AttachNode(2, 2)
+	f.AttachNode(3, 2)
+	var ids []ChannelID
+	for _, dst := range []NodeID{2, 3} {
+		id, _, err := f.Establish(ChannelSpec{Src: 1, Dst: dst, C: 2, P: 50, D: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	run, err := f.Simulate(2000, map[ChannelID]int64{ids[1]: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Delivered < 150 { // 2 channels x 2 frames x ~40 periods
+		t.Errorf("delivered %d", run.Delivered)
+	}
+	if run.Misses != 0 {
+		t.Errorf("misses %d", run.Misses)
+	}
+	if run.WorstDelay > 40 || run.WorstDelay < 4 {
+		t.Errorf("worst delay %d outside (4, 40]", run.WorstDelay)
+	}
+
+	// Empty fabric simulates to zeros.
+	empty := NewFabric(nil)
+	if run, err := empty.Simulate(100, nil); err != nil || run != (FabricRun{}) {
+		t.Errorf("empty fabric: %+v, %v", run, err)
+	}
+}
+
+func TestFabricReleaseBeforeEstablish(t *testing.T) {
+	f := NewFabric(nil)
+	if err := f.Release(1); err == nil {
+		t.Error("release on closed fabric accepted")
+	}
+	if f.Accepted() != 0 {
+		t.Error("Accepted on closed fabric != 0")
+	}
+}

@@ -1,0 +1,250 @@
+// Package rtether is the public API of the switched-Ethernet real-time
+// communication library, a reproduction of Hoang & Jonsson, "Real-Time
+// Communication for Industrial Embedded Systems Using Switched Ethernet"
+// (IPPS 2004).
+//
+// The library provides RT channels — virtual connections {P, C, d} with a
+// guaranteed worst-case delivery delay — over a simulated full-duplex
+// switched Ethernet star network. The switch performs admission control
+// using per-link EDF feasibility analysis; both end-nodes and switch
+// schedule real-time frames Earliest-Deadline-First while unmodified
+// best-effort (TCP-like) traffic shares the wire through FCFS queues.
+// Deadlines are split across uplink and downlink by a pluggable deadline
+// partitioning scheme: symmetric (SDPS) or load-weighted asymmetric
+// (ADPS), the paper's contribution.
+//
+// A minimal session:
+//
+//	net := rtether.New(rtether.WithADPS())
+//	net.MustAddNode(1)
+//	net.MustAddNode(2)
+//	id, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+//	if err != nil { ... }           // admission control said no
+//	net.StartTraffic(id, 0)         // C frames every P slots
+//	net.RunFor(1000)                // advance virtual time
+//	rep := net.Report()             // delays, misses, throughput
+//
+// All times are integer timeslots (one slot = the transmission time of
+// one maximal Ethernet frame; see SlotNanos to convert). The simulation
+// is fully deterministic: identical call sequences produce identical
+// results.
+package rtether
+
+import (
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Re-exported core types. External users refer to them through these
+// names; the internal packages stay private.
+type (
+	// NodeID identifies an end-node.
+	NodeID = core.NodeID
+	// ChannelID is the network-unique RT channel identifier (16 bits on
+	// the wire).
+	ChannelID = core.ChannelID
+	// ChannelSpec is a channel request {Src, Dst, P, C, D} in slots.
+	ChannelSpec = core.ChannelSpec
+	// Partition is a deadline split {Up, Down}.
+	Partition = core.Partition
+	// DPS is a deadline partitioning scheme.
+	DPS = core.DPS
+	// Report is a measurement snapshot; see Network.Report.
+	Report = netsim.Report
+	// ChannelMetrics holds one channel's delivery measurements.
+	ChannelMetrics = netsim.ChannelMetrics
+	// DelayStats is a delay distribution summary.
+	DelayStats = stats.Delay
+)
+
+// ErrInfeasible is returned when admission control rejects a channel.
+var ErrInfeasible = core.ErrInfeasible
+
+// SDPS returns the Symmetric Deadline Partitioning Scheme (d/2 each way).
+func SDPS() DPS { return core.SDPS{} }
+
+// ADPS returns the Asymmetric Deadline Partitioning Scheme (link-load
+// weighted), the paper's preferred scheme.
+func ADPS() DPS { return core.ADPS{} }
+
+// SlotNanos converts one timeslot to nanoseconds for a link of the given
+// rate in Mbit/s (e.g. 100 for Fast Ethernet): 1538 wire bytes per
+// maximal frame including preamble and inter-frame gap.
+func SlotNanos(mbps int64) int64 { return frame.SlotNanos(mbps) }
+
+// Option configures a Network.
+type Option func(*netsim.Config)
+
+// WithDPS selects the deadline partitioning scheme (default SDPS).
+func WithDPS(d DPS) Option { return func(c *netsim.Config) { c.DPS = d } }
+
+// WithADPS is shorthand for WithDPS(ADPS()).
+func WithADPS() Option { return WithDPS(core.ADPS{}) }
+
+// WithShaping enables or disables the switch's release-guard regulator
+// (enabled by default). Disabling reproduces the paper's plain
+// work-conserving switch.
+func WithShaping(enabled bool) Option {
+	return func(c *netsim.Config) { c.DisableShaping = !enabled }
+}
+
+// WithNonRTQueueCap bounds every best-effort FCFS queue to the given
+// number of frames (0 = unbounded, the default).
+func WithNonRTQueueCap(frames int) Option {
+	return func(c *netsim.Config) { c.NonRTQueueCap = frames }
+}
+
+// WithPropagation sets the per-hop propagation delay in whole slots
+// (default 0). It contributes to T_latency in the delivery guarantee
+// T_max = d + T_latency (Eq. 18.1 of the paper).
+func WithPropagation(slots int64) Option {
+	return func(c *netsim.Config) { c.Propagation = slots }
+}
+
+// Discipline selects the real-time queue ordering on every link.
+type Discipline = sched.Discipline
+
+// Queue disciplines. Admission control always models EDF; the weaker
+// dispatchers exist for comparison experiments (an EDF-admitted set run
+// under FIFO misses deadlines — see EXPERIMENTS.md E11).
+const (
+	DisciplineEDF  = sched.DisciplineEDF
+	DisciplineFIFO = sched.DisciplineFIFO
+	DisciplineDM   = sched.DisciplineDM
+)
+
+// WithDiscipline overrides the RT dispatcher (default EDF, the paper's).
+func WithDiscipline(d Discipline) Option {
+	return func(c *netsim.Config) { c.Discipline = d }
+}
+
+// Network is one simulated star network: a switch plus end-nodes. Not
+// safe for concurrent use — drive it from one goroutine.
+type Network struct {
+	inner *netsim.Network
+}
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	var cfg netsim.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Network{inner: netsim.New(cfg)}
+}
+
+// AddNode attaches an end-node to the switch.
+func (n *Network) AddNode(id NodeID) error {
+	_, err := n.inner.AddNode(id)
+	return err
+}
+
+// MustAddNode is AddNode panicking on error, for static topologies.
+func (n *Network) MustAddNode(id NodeID) {
+	n.inner.MustAddNode(id)
+}
+
+// Establish runs the RequestFrame/ResponseFrame handshake over the
+// simulated wire and returns the assigned channel ID, or ErrInfeasible
+// when the switch's feasibility test (or the destination) rejects it.
+// Establishment consumes virtual time.
+func (n *Network) Establish(spec ChannelSpec) (ChannelID, error) {
+	return n.inner.EstablishChannel(spec)
+}
+
+// Release tears down an established channel and stops its traffic
+// immediately through the management plane.
+func (n *Network) Release(id ChannelID) error {
+	return n.inner.ReleaseChannel(id)
+}
+
+// Teardown releases a channel over the wire: the source node stops its
+// traffic and sends a Teardown control frame; the switch frees the
+// reservation when the frame arrives (so teardown consumes virtual time,
+// unlike Release). Extension — the paper defines establishment only.
+func (n *Network) Teardown(id ChannelID) error {
+	ch := n.inner.Controller().State().Get(id)
+	if ch == nil {
+		return errUnknownChannel(id)
+	}
+	return n.inner.Node(ch.Spec.Src).CloseChannel(id)
+}
+
+// StartTraffic attaches the periodic source of a channel: C maximal
+// frames every P slots, first release `offset` slots from now.
+func (n *Network) StartTraffic(id ChannelID, offset int64) error {
+	ch := n.inner.Controller().State().Get(id)
+	if ch == nil {
+		return errUnknownChannel(id)
+	}
+	return n.inner.Node(ch.Spec.Src).StartTraffic(id, offset)
+}
+
+// SendBestEffort queues one non-real-time frame from src to dst through
+// the FCFS path. It reports false if a bounded queue dropped the frame.
+func (n *Network) SendBestEffort(src, dst NodeID, payload []byte) bool {
+	node := n.inner.Node(src)
+	if node == nil {
+		return false
+	}
+	return node.SendNonRT(dst, payload)
+}
+
+// Now returns the current virtual time in slots.
+func (n *Network) Now() int64 { return n.inner.Engine().Now() }
+
+// RunFor advances the simulation by d slots.
+func (n *Network) RunFor(d int64) { n.inner.Run(n.Now() + d) }
+
+// RunUntil advances the simulation to the absolute slot t.
+func (n *Network) RunUntil(t int64) { n.inner.Run(t) }
+
+// Report snapshots all measurements: per-channel delays and misses,
+// best-effort throughput and drops.
+func (n *Network) Report() *Report { return n.inner.Report() }
+
+// Channel returns the committed spec and current deadline partition of an
+// established channel.
+func (n *Network) Channel(id ChannelID) (ChannelSpec, Partition, bool) {
+	ch := n.inner.Controller().State().Get(id)
+	if ch == nil {
+		return ChannelSpec{}, Partition{}, false
+	}
+	return ch.Spec, ch.Part, true
+}
+
+// Channels lists established channel IDs in establishment order.
+func (n *Network) Channels() []ChannelID {
+	chs := n.inner.Controller().State().Channels()
+	out := make([]ChannelID, len(chs))
+	for i, ch := range chs {
+		out[i] = ch.ID
+	}
+	return out
+}
+
+// GuaranteedDelay returns the delivery guarantee T_max = d + T_latency
+// for a spec on this network (Eq. 18.1).
+func (n *Network) GuaranteedDelay(spec ChannelSpec) int64 {
+	return spec.D + n.inner.ExtraLatency()
+}
+
+// LinkLoadUp returns the number of channels on a node's uplink — LL in
+// the paper's ADPS definition.
+func (n *Network) LinkLoadUp(id NodeID) int {
+	return n.inner.Controller().State().LinkLoad(core.Uplink(id))
+}
+
+// LinkLoadDown returns the number of channels on a node's downlink.
+func (n *Network) LinkLoadDown(id NodeID) int {
+	return n.inner.Controller().State().LinkLoad(core.Downlink(id))
+}
+
+type errUnknownChannel ChannelID
+
+func (e errUnknownChannel) Error() string {
+	return "rtether: unknown channel"
+}

@@ -1,0 +1,181 @@
+package rtether
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net := New(WithADPS())
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartTraffic(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(1000)
+	rep := net.Report()
+	m := rep.Channels[id]
+	if m == nil || m.Delivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+	if m.Misses != 0 {
+		t.Errorf("misses = %d", m.Misses)
+	}
+	if m.Delays.Max() > net.GuaranteedDelay(ChannelSpec{D: 40}) {
+		t.Errorf("worst delay %d beyond guarantee", m.Delays.Max())
+	}
+}
+
+func TestAdmissionRejectionSurfaces(t *testing.T) {
+	net := New() // SDPS default
+	for id := NodeID(1); id <= 8; id++ {
+		net.MustAddNode(id)
+	}
+	accepted := 0
+	var lastErr error
+	for i := 0; i < 8; i++ {
+		_, err := net.Establish(ChannelSpec{Src: 1, Dst: NodeID(2 + i%7), C: 3, P: 100, D: 40})
+		if err == nil {
+			accepted++
+		} else {
+			lastErr = err
+		}
+	}
+	if accepted != 6 {
+		t.Errorf("accepted %d, want 6 under SDPS", accepted)
+	}
+	if !errors.Is(lastErr, ErrInfeasible) {
+		t.Errorf("rejection error = %v, want ErrInfeasible", lastErr)
+	}
+}
+
+func TestChannelIntrospection(t *testing.T) {
+	net := New(WithADPS())
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	spec := ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
+	id, err := net.Establish(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, part, ok := net.Channel(id)
+	if !ok || gotSpec != spec {
+		t.Fatalf("Channel() = %v,%v,%v", gotSpec, part, ok)
+	}
+	if part.Up+part.Down != spec.D {
+		t.Errorf("partition %v does not sum to D", part)
+	}
+	if _, _, ok := net.Channel(999); ok {
+		t.Error("unknown channel introspected")
+	}
+	ids := net.Channels()
+	if len(ids) != 1 || ids[0] != id {
+		t.Errorf("Channels() = %v", ids)
+	}
+	if net.LinkLoadUp(1) != 1 || net.LinkLoadDown(2) != 1 || net.LinkLoadUp(2) != 0 {
+		t.Error("link loads wrong")
+	}
+}
+
+func TestReleaseViaFacade(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Channels()) != 0 {
+		t.Error("channel survived release")
+	}
+	if err := net.StartTraffic(id, 0); err == nil {
+		t.Error("StartTraffic on released channel accepted")
+	}
+}
+
+func TestTeardownViaFacade(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Teardown(id); err != nil {
+		t.Fatal(err)
+	}
+	// Reservation persists until the frame crosses the uplink.
+	net.RunFor(20)
+	if len(net.Channels()) != 0 {
+		t.Error("channel survived wire teardown")
+	}
+	if err := net.Teardown(id); err == nil {
+		t.Error("double teardown accepted")
+	}
+}
+
+func TestBestEffortViaFacade(t *testing.T) {
+	net := New(WithNonRTQueueCap(128))
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	if !net.SendBestEffort(1, 2, []byte("hello")) {
+		t.Fatal("send failed")
+	}
+	if net.SendBestEffort(99, 2, nil) {
+		t.Error("send from unknown node succeeded")
+	}
+	net.RunFor(100)
+	if net.Report().NonRTDelivered != 1 {
+		t.Error("best-effort frame not delivered")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	net := New(WithPropagation(2), WithShaping(false))
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	if got := net.GuaranteedDelay(ChannelSpec{D: 40}); got != 44 {
+		t.Errorf("GuaranteedDelay = %d, want 40 + 2*2", got)
+	}
+}
+
+func TestSlotNanos(t *testing.T) {
+	if SlotNanos(100) != 123040 {
+		t.Errorf("SlotNanos(100) = %d", SlotNanos(100))
+	}
+}
+
+func TestDeterministicFacadeRuns(t *testing.T) {
+	run := func() int64 {
+		net := New(WithADPS())
+		for id := NodeID(1); id <= 6; id++ {
+			net.MustAddNode(id)
+		}
+		var ids []ChannelID
+		for i := 0; i < 10; i++ {
+			if id, err := net.Establish(ChannelSpec{
+				Src: NodeID(1 + i%3), Dst: NodeID(4 + i%3), C: 2, P: 50, D: 30}); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			if err := net.StartTraffic(id, int64(id)%7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.RunFor(2000)
+		rep := net.Report()
+		_, worst := rep.WorstDelay()
+		return rep.TotalDelivered()*1000 + worst
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("facade runs diverged: %d vs %d", a, b)
+	}
+}
