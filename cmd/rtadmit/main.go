@@ -1,8 +1,9 @@
 // Command rtadmit is an offline admission-control what-if tool: it reads
-// RT channel requests (one per line: "src dst C P D"), feeds them to the
-// switch's feasibility test under the selected deadline partitioning
-// scheme, and reports each decision with its reason plus a final system
-// summary.
+// RT channel requests (one per line: "src dst C P D"), plays them
+// against a network's admission control under the selected deadline
+// partitioning scheme, and reports each decision with its reason plus a
+// final system summary. Rejections carry the rtether.AdmissionError
+// diagnostics: the saturated link, its direction, and its utilization.
 //
 //	echo "1 100 3 100 40" | rtadmit -dps adps
 //	rtadmit -dps sdps -f requests.txt
@@ -10,13 +11,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/rtether"
 )
 
 func main() {
@@ -53,7 +55,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in = f
 	}
 
-	ctrl := core.NewController(core.Config{DPS: dps})
+	net := rtether.New(rtether.WithDPS(dps))
+	known := make(map[rtether.NodeID]bool)
+	ensure := func(id rtether.NodeID) {
+		if !known[id] {
+			known[id] = true
+			net.MustAddNode(id)
+		}
+	}
+
 	scanner := bufio.NewScanner(in)
 	lineNo := 0
 	for scanner.Scan() {
@@ -68,19 +78,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rtadmit: line %d: want 'src dst C P D': %v\n", lineNo, err)
 			return 1
 		}
-		spec := core.ChannelSpec{
-			Src: core.NodeID(src), Dst: core.NodeID(dst), C: c, P: p, D: d,
+		ensure(rtether.NodeID(src))
+		ensure(rtether.NodeID(dst))
+		spec := rtether.ChannelSpec{
+			Src: rtether.NodeID(src), Dst: rtether.NodeID(dst), C: c, P: p, D: d,
 		}
-		ch, err := ctrl.Request(spec)
+		ch, err := net.Establish(spec)
 		if *quiet {
 			continue
 		}
 		if err != nil {
-			fmt.Fprintf(stdout, "line %-4d REJECT %v: %v\n", lineNo, spec, err)
+			var ae *rtether.AdmissionError
+			if errors.As(err, &ae) {
+				fmt.Fprintf(stdout, "line %-4d REJECT %v: %s (%s) %s\n",
+					lineNo, spec, ae.Link, ae.Dir, ae.Reason)
+			} else {
+				fmt.Fprintf(stdout, "line %-4d REJECT %v: %v\n", lineNo, spec, err)
+			}
 			continue
 		}
+		b := ch.Budgets()
 		fmt.Fprintf(stdout, "line %-4d ACCEPT %v as RT#%d (d_up=%d d_down=%d)\n",
-			lineNo, spec, ch.ID, ch.Part.Up, ch.Part.Down)
+			lineNo, spec, ch.ID(), b[0], b[1])
 	}
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintf(stderr, "rtadmit: read: %v\n", err)
@@ -88,30 +107,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *dump {
-		if err := ctrl.WriteSnapshot(stdout); err != nil {
+		if err := net.WriteSnapshot(stdout); err != nil {
 			fmt.Fprintf(stderr, "rtadmit: snapshot: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	st := ctrl.Stats()
+	st := net.AdmissionStats()
 	fmt.Fprintf(stdout, "\nsummary (%s): %d requests, %d accepted, %d rejected "+
 		"(%d invalid, %d utilization, %d demand), %d feasibility tests run\n",
 		dps.Name(), st.Requests, st.Accepted,
 		st.Requests-st.Accepted, st.RejectedInvalid,
 		st.RejectedUtilization, st.RejectedDemand, st.LinksChecked)
 	fmt.Fprintf(stdout, "mean link utilization: %.4f over %d loaded links\n",
-		ctrl.State().TotalUtilization(), len(ctrl.State().Links()))
+		st.MeanLinkUtilization, st.LoadedLinks)
 	return 0
 }
 
-func parseDPS(name string) (core.DPS, error) {
+func parseDPS(name string) (rtether.DPS, error) {
 	switch name {
 	case "sdps":
-		return core.SDPS{}, nil
+		return rtether.SDPS(), nil
 	case "adps":
-		return core.ADPS{}, nil
+		return rtether.ADPS(), nil
 	default:
 		return nil, fmt.Errorf("unknown -dps %q (want sdps or adps)", name)
 	}

@@ -1,5 +1,5 @@
 // Command rtexp regenerates the paper's evaluation: every table and
-// figure in DESIGN.md's experiment index. With no flags it runs
+// figure in the experiment index (rtexp -list). With no flags it runs
 // everything; -exp selects a comma-separated subset; -csv switches the
 // output to machine-readable CSV.
 //

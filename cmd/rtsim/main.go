@@ -14,11 +14,10 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/netsim"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/rtether"
 )
 
 func main() {
@@ -54,93 +53,91 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runScenario(*scenFile, stdout, stderr)
 	}
 
-	var dps core.DPS
+	var dps rtether.DPS
 	switch *dpsName {
 	case "sdps":
-		dps = core.SDPS{}
+		dps = rtether.SDPS()
 	case "adps":
-		dps = core.ADPS{}
+		dps = rtether.ADPS()
 	default:
 		fmt.Fprintf(stderr, "rtsim: unknown -dps %q\n", *dpsName)
 		return 2
 	}
 
 	layout := traffic.MasterSlaveLayout{Masters: *masters, Slaves: *slaves, SlaveBase: 100}
-	params := core.ChannelSpec{C: *c, P: *p, D: *d}
+	params := rtether.ChannelSpec{C: *c, P: *p, D: *d}
 	rng := rand.New(rand.NewSource(*seed))
 
-	net := netsim.New(netsim.Config{
-		DPS:            dps,
-		DisableShaping: !*shaping,
-		NonRTQueueCap:  256,
-		Propagation:    *prop,
-	})
-	var tracer *netsim.RingTracer
+	net := rtether.New(
+		rtether.WithDPS(dps),
+		rtether.WithShaping(*shaping),
+		rtether.WithNonRTQueueCap(256),
+		rtether.WithPropagation(*prop),
+	)
+	var tracer *rtether.RingTracer
 	if *traceN > 0 {
-		tracer = netsim.NewRingTracer(*traceN)
+		tracer = rtether.NewRingTracer(*traceN)
 		net.SetTracer(tracer)
 	}
 	for _, id := range layout.Nodes() {
 		net.MustAddNode(id)
 	}
 
-	var accepted []core.ChannelID
+	var accepted []*rtether.Channel
 	rejected := 0
 	for _, spec := range layout.Requests(*requests, params) {
-		id, err := net.EstablishChannel(spec)
+		ch, err := net.Establish(spec)
 		if err != nil {
 			rejected++
 			continue
 		}
-		accepted = append(accepted, id)
+		accepted = append(accepted, ch)
 	}
-	for _, id := range accepted {
-		ch := net.Controller().State().Get(id)
+	for _, ch := range accepted {
 		var off int64
 		if *offsets > 0 {
 			off = rng.Int63n(*offsets + 1)
 		}
-		if err := net.Node(ch.Spec.Src).StartTraffic(id, off); err != nil {
+		if err := ch.Start(off); err != nil {
 			fmt.Fprintf(stderr, "rtsim: %v\n", err)
 			return 1
 		}
 	}
 
-	start := net.Engine().Now()
+	start := net.Now()
 	bgSent := 0
 	if *bgRate > 0 {
 		for m := 0; m < layout.Masters; m++ {
 			src, dst := layout.Master(m), layout.Slave(m)
 			for _, at := range traffic.PoissonArrivals(rng, *bgRate, *slots) {
 				src, dst := src, dst
-				net.Engine().At(start+at, func() { net.Node(src).SendNonRT(dst, []byte("bg")) })
+				net.Schedule(start+at, func() { net.SendBestEffort(src, dst, []byte("bg")) })
 				bgSent++
 			}
 		}
 	}
-	net.Run(start + *slots)
+	net.RunUntil(start + *slots)
 	rep := net.Report()
 
 	fmt.Fprintf(stdout, "rtsim: %d masters, %d slaves, %s, %d requested\n",
 		*masters, *slaves, dps.Name(), *requests)
-	fmt.Fprintf(stdout, "  slot = %d ns at %d Mbit/s\n", slotNanos(*linkMbps), *linkMbps)
+	fmt.Fprintf(stdout, "  slot = %d ns at %d Mbit/s\n", rtether.SlotNanos(*linkMbps), *linkMbps)
 	fmt.Fprintf(stdout, "  accepted %d, rejected %d\n", len(accepted), rejected)
 
 	tb := stats.NewTable("per-channel summary (worst 10 by max delay)",
 		"channel", "delivered", "misses", "min", "mean", "p99", "max", "guarantee")
 	type row struct {
-		id    core.ChannelID
-		m     *netsim.ChannelMetrics
+		id    rtether.ChannelID
+		m     *rtether.ChannelMetrics
 		bound int64
 	}
 	var rows []row
-	for _, id := range accepted {
-		m := rep.Channels[id]
+	for _, ch := range accepted {
+		m := rep.Channels[ch.ID()]
 		if m == nil {
 			continue
 		}
-		ch := net.Controller().State().Get(id)
-		rows = append(rows, row{id, m, ch.Spec.D + net.ExtraLatency()})
+		rows = append(rows, row{ch.ID(), m, ch.GuaranteedDelay()})
 	}
 	for i := 0; i < len(rows); i++ {
 		for j := i + 1; j < len(rows); j++ {
@@ -162,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	_, worst := rep.WorstDelay()
 	fmt.Fprintf(stdout, "  RT: delivered %d frames, %d deadline misses, worst delay %d slots (%.1f µs)\n",
 		rep.TotalDelivered(), rep.TotalMisses(), worst,
-		float64(worst*slotNanos(*linkMbps))/1000)
+		float64(worst*rtether.SlotNanos(*linkMbps))/1000)
 	if bgSent > 0 || rep.NonRTDelivered > 0 {
 		fmt.Fprintf(stdout, "  non-RT: sent %d, delivered %d, dropped %d, mean delay %.1f slots\n",
 			bgSent, rep.NonRTDelivered, rep.NonRTDrops, rep.NonRTDelay.Mean())
@@ -179,11 +176,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "  VERDICT: all guarantees held")
 	return 0
-}
-
-func slotNanos(mbps int64) int64 {
-	const slotBytes = 1538
-	return slotBytes * 8 * 1000 / mbps
 }
 
 // runScenario executes a declarative JSON scenario file.

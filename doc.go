@@ -5,9 +5,12 @@
 // switch, per-link feasibility analysis for admission control, and the
 // SDPS/ADPS deadline partitioning schemes.
 //
-// The public API lives in the rtether subpackage; this root package only
-// anchors the module documentation and the repository-level benchmarks
-// (bench_test.go), which regenerate every table and figure of the paper's
-// evaluation. See README.md for a tour and DESIGN.md for the experiment
-// index.
+// The public API lives in the rtether subpackage: one topology-aware
+// Network type covering the paper's single-switch star and the §18.5
+// multi-switch fabrics, with *Channel handles and typed *AdmissionError
+// rejection diagnostics. This root package only anchors the module
+// documentation and the repository-level benchmarks (bench_test.go),
+// which regenerate the tables and figures of the paper's evaluation
+// (cmd/rtexp runs them; rtexp -list is the experiment index). See
+// README.md for a tour of the API and migration notes.
 package repro

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ const (
 	requested = 80
 )
 
-func build(dps rtether.DPS) (*rtether.Network, []rtether.ChannelID) {
+func build(dps rtether.DPS) (*rtether.Network, []*rtether.Channel, *rtether.AdmissionError) {
 	net := rtether.New(rtether.WithDPS(dps))
 	for m := 0; m < masters; m++ {
 		net.MustAddNode(rtether.NodeID(m))
@@ -29,18 +30,25 @@ func build(dps rtether.DPS) (*rtether.Network, []rtether.ChannelID) {
 	for s := 0; s < slaves; s++ {
 		net.MustAddNode(rtether.NodeID(100 + s))
 	}
-	var accepted []rtether.ChannelID
+	var accepted []*rtether.Channel
+	var firstReject *rtether.AdmissionError
 	for k := 0; k < requested; k++ {
 		spec := rtether.ChannelSpec{
 			Src: rtether.NodeID(k % masters),
 			Dst: rtether.NodeID(100 + k%slaves),
 			C:   3, P: 100, D: 40,
 		}
-		if id, err := net.Establish(spec); err == nil {
-			accepted = append(accepted, id)
+		ch, err := net.Establish(spec)
+		if err != nil {
+			var ae *rtether.AdmissionError
+			if firstReject == nil && errors.As(err, &ae) {
+				firstReject = ae
+			}
+			continue
 		}
+		accepted = append(accepted, ch)
 	}
-	return net, accepted
+	return net, accepted, firstReject
 }
 
 func main() {
@@ -48,30 +56,28 @@ func main() {
 		name string
 		dps  rtether.DPS
 	}{
-		{"SDPS (symmetric)", nil},
+		{"SDPS (symmetric)", rtether.SDPS()},
 		{"ADPS (asymmetric)", rtether.ADPS()},
 	} {
-		dps := scheme.dps
-		if dps == nil {
-			dps = rtether.SDPS()
-		}
-		net, accepted := build(dps)
+		net, accepted, firstReject := build(scheme.dps)
 		fmt.Printf("%-18s accepted %d of %d requested channels\n",
 			scheme.name, len(accepted), requested)
 
 		// The loads explain the difference: master uplinks carry ~5x the
 		// channels of slave downlinks, and ADPS gives them deadline budget
 		// in proportion.
-		if _, part, ok := net.Channel(accepted[0]); ok {
-			fmt.Printf("%-18s first channel split: up=%d down=%d (LL up=%d, LL down=%d)\n",
-				"", part.Up, part.Down,
-				net.LinkLoadUp(0), net.LinkLoadDown(100))
+		b := accepted[0].Budgets()
+		fmt.Printf("%-18s first channel split: up=%d down=%d (LL up=%d, LL down=%d)\n",
+			"", b[0], b[1], net.LinkLoadUp(0), net.LinkLoadDown(100))
+		if firstReject != nil {
+			fmt.Printf("%-18s first rejection at %s: %s\n",
+				"", firstReject.Link, firstReject.Reason)
 		}
 
 		// Drive every accepted channel simultaneously (synchronous worst
 		// case) and verify the guarantee end to end.
-		for _, id := range accepted {
-			if err := net.StartTraffic(id, 0); err != nil {
+		for _, ch := range accepted {
+			if err := ch.Start(0); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -31,18 +31,17 @@ func main() {
 	net.MustAddNode(drive)
 	net.MustAddNode(backup)
 
-	loop := rtether.ChannelSpec{Src: plc, Dst: drive, C: 2, P: 50, D: 20}
-	id, err := net.Establish(loop)
+	loop, err := net.Establish(rtether.ChannelSpec{Src: plc, Dst: drive, C: 2, P: 50, D: 20})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := net.StartTraffic(id, 0); err != nil {
+	if err := loop.Start(0); err != nil {
 		log.Fatal(err)
 	}
 
 	// Phase 1: control loop alone.
 	net.RunFor(2000)
-	quiet := net.Report().Channels[id]
+	quiet := loop.Metrics()
 	fmt.Printf("control loop alone:      delay mean=%.2f max=%d slots, misses=%d\n",
 		quiet.Delays.Mean(), quiet.Delays.Max(), quiet.Misses)
 
@@ -60,13 +59,13 @@ func main() {
 		net.RunUntil(start + t + 1)
 	}
 	rep := net.Report()
-	busyPhase := rep.Channels[id]
+	busyPhase := loop.Metrics()
 	fmt.Printf("with saturating bulk:    delay mean=%.2f max=%d slots, misses=%d\n",
 		busyPhase.Delays.Mean(), busyPhase.Delays.Max(), busyPhase.Misses)
 	fmt.Printf("bulk transfer:           attempted=%d queued=%d delivered=%d dropped=%d\n",
 		sent, queued, rep.NonRTDelivered, rep.NonRTDrops)
 
-	if busyPhase.Misses == 0 && busyPhase.Delays.Max() <= net.GuaranteedDelay(loop) {
+	if busyPhase.Misses == 0 && busyPhase.Delays.Max() <= loop.GuaranteedDelay() {
 		fmt.Println("RT guarantee unaffected by best-effort load ✓")
 	} else {
 		fmt.Println("RT guarantee VIOLATED ✗")

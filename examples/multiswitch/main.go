@@ -1,46 +1,55 @@
-// Multiswitch explores the paper's future-work direction: real-time
-// channels across a fabric of interconnected switches. Two production
-// cells (each its own switch) are joined by a trunk; channels from cell A
-// masters to cell B devices cross three links, and the deadline is
-// partitioned per hop. The load-weighted H-ADPS scheme concentrates
-// deadline budget on the shared trunk — the bottleneck — and admits
-// substantially more channels than the equal split.
+// Multiswitch explores the paper's future-work direction with the
+// unified API: real-time channels across a fabric of interconnected
+// switches. Two production cells (each its own switch) are joined by a
+// trunk; channels from cell A masters to cell B devices cross three
+// links, and the deadline is partitioned per hop. The load-weighted
+// H-ADPS scheme concentrates deadline budget on the shared trunk — the
+// bottleneck — and admits substantially more channels than the equal
+// split. When admission says no, the *AdmissionError names the saturated
+// link.
 //
 //	go run ./examples/multiswitch
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	"repro/rtether"
 )
 
-func build(dps rtether.HDPS) *rtether.Fabric {
-	f := rtether.NewFabric(dps)
+func buildTopology() *rtether.Topology {
+	top := rtether.NewTopology()
 	for _, sw := range []rtether.SwitchID{0, 1} {
-		if err := f.AddSwitch(sw); err != nil {
+		if err := top.AddSwitch(sw); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := f.Trunk(0, 1); err != nil {
+	if err := top.Trunk(0, 1); err != nil {
 		log.Fatal(err)
 	}
 	// Cell A: masters 0..5 on switch 0. Cell B: devices 100..111 on switch 1.
 	for m := 0; m < 6; m++ {
-		if err := f.AttachNode(rtether.NodeID(m), 0); err != nil {
+		if err := top.Attach(rtether.NodeID(m), 0); err != nil {
 			log.Fatal(err)
 		}
 	}
 	for d := 0; d < 12; d++ {
-		if err := f.AttachNode(rtether.NodeID(100+d), 1); err != nil {
+		if err := top.Attach(rtether.NodeID(100+d), 1); err != nil {
 			log.Fatal(err)
 		}
 	}
-	return f
+	return top
 }
 
 func main() {
+	top := buildTopology()
+	hops, err := top.RouteLength(0, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, scheme := range []struct {
 		name string
 		dps  rtether.HDPS
@@ -48,39 +57,57 @@ func main() {
 		{"H-SDPS (equal split)", rtether.HSDPS()},
 		{"H-ADPS (load weighted)", rtether.HADPS()},
 	} {
-		f := build(scheme.dps)
-		hops, err := f.RouteLength(0, 100)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// One Network type covers star and fabric: the topology makes it
+		// a routed multi-switch network.
+		net := rtether.New(rtether.WithTopology(top), rtether.WithHDPS(scheme.dps))
 
-		accepted := 0
+		var accepted []*rtether.Channel
 		var firstBudgets []int64
+		var firstReject *rtether.AdmissionError
 		for k := 0; k < 120; k++ {
 			spec := rtether.ChannelSpec{
 				Src: rtether.NodeID(k % 6),
 				Dst: rtether.NodeID(100 + k%12),
 				C:   3, P: 300, D: 60,
 			}
-			_, budgets, err := f.Establish(spec)
+			ch, err := net.Establish(spec)
 			if err != nil {
+				// Typed diagnostics: which link was saturated, where on the
+				// route it sits, and how overloaded it was.
+				var ae *rtether.AdmissionError
+				if firstReject == nil && errors.As(err, &ae) {
+					if !errors.Is(err, rtether.ErrInfeasible) {
+						log.Fatal("AdmissionError must unwrap to ErrInfeasible")
+					}
+					firstReject = ae
+				}
 				continue
 			}
-			if accepted == 0 {
-				firstBudgets = budgets
+			if len(accepted) == 0 {
+				firstBudgets = ch.Budgets()
 			}
-			accepted++
+			accepted = append(accepted, ch)
 		}
+
 		// Actually run the admitted channels hop by hop and verify the
 		// end-to-end deadline dynamically.
-		run, err := f.Simulate(3000, nil)
-		if err != nil {
-			log.Fatal(err)
+		for _, ch := range accepted {
+			if err := ch.Start(0); err != nil {
+				log.Fatal(err)
+			}
 		}
+		net.RunFor(3000)
+		rep := net.Report()
+		_, worst := rep.WorstDelay()
+
 		fmt.Printf("%-24s %d hops/channel, accepted %d of 120, first split %v\n",
-			scheme.name, hops, accepted, firstBudgets)
+			scheme.name, hops, len(accepted), firstBudgets)
+		if firstReject != nil {
+			fmt.Printf("%-24s first rejection at %s (hop %d, %s): U=%.2f\n",
+				"", firstReject.Link, firstReject.Hop, firstReject.Dir, firstReject.Utilization)
+		}
 		fmt.Printf("%-24s simulated: %d frames, %d misses, worst delay %d/60 slots\n",
-			"", run.Delivered, run.Misses, run.WorstDelay)
+			"", rep.TotalDelivered(), rep.TotalMisses(), worst)
 	}
 	fmt.Println("\nthe trunk carries every channel; weighting its share of each deadline")
 	fmt.Println("by link load is what lets H-ADPS admit more — the paper's ADPS insight,")

@@ -1,10 +1,12 @@
 // Quickstart: establish one RT channel between two nodes, run periodic
-// traffic, and check the delivery guarantee.
+// traffic, and check the delivery guarantee — then push the network past
+// its capacity and read the typed admission diagnostics.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -20,32 +22,47 @@ func main() {
 
 	// Request an RT channel: 3 maximal frames every 100 slots, delivered
 	// within 40 slots, node 1 → node 2. The request/response handshake
-	// travels over the simulated wire and consumes virtual time.
+	// travels over the simulated wire and consumes virtual time. The
+	// returned handle carries the channel's whole lifecycle.
 	spec := rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
-	id, err := net.Establish(spec)
+	ch, err := net.Establish(spec)
 	if err != nil {
 		log.Fatalf("admission control rejected the channel: %v", err)
 	}
-	_, part, _ := net.Channel(id)
+	b := ch.Budgets()
 	fmt.Printf("channel RT#%d established: deadline split %d slots uplink / %d slots downlink\n",
-		id, part.Up, part.Down)
+		ch.ID(), b[0], b[1])
 	fmt.Printf("guaranteed delivery within %d slots (%.1f µs at 100 Mbit/s)\n",
-		net.GuaranteedDelay(spec),
-		float64(net.GuaranteedDelay(spec)*rtether.SlotNanos(100))/1000)
+		ch.GuaranteedDelay(),
+		float64(ch.GuaranteedDelay()*rtether.SlotNanos(100))/1000)
 
 	// Generate periodic traffic for 5000 slots and measure.
-	if err := net.StartTraffic(id, 0); err != nil {
+	if err := ch.Start(0); err != nil {
 		log.Fatal(err)
 	}
 	net.RunFor(5000)
 
-	rep := net.Report()
-	m := rep.Channels[id]
+	m := ch.Metrics()
 	fmt.Printf("delivered %d frames: delay min=%d mean=%.1f max=%d slots, %d deadline misses\n",
 		m.Delivered, m.Delays.Min(), m.Delays.Mean(), m.Delays.Max(), m.Misses)
-	if m.Misses == 0 && m.Delays.Max() <= net.GuaranteedDelay(spec) {
+	if m.Misses == 0 && m.Delays.Max() <= ch.GuaranteedDelay() {
 		fmt.Println("guarantee held ✓")
 	} else {
 		fmt.Println("guarantee VIOLATED ✗")
+	}
+
+	// Now ask for more than the uplink can carry. The rejection is a
+	// typed *AdmissionError naming the saturated link and how overloaded
+	// it was — not just a bare "no".
+	_, err = net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 45, P: 100, D: 90})
+	var ae *rtether.AdmissionError
+	if errors.As(err, &ae) {
+		fmt.Printf("over-subscription rejected at %s (hop %d, %s): U=%.2f slack=%d\n",
+			ae.Link, ae.Hop, ae.Dir, ae.Utilization, ae.Slack)
+		fmt.Printf("errors.Is(err, ErrInfeasible) = %v\n", errors.Is(err, rtether.ErrInfeasible))
+	} else if err != nil {
+		log.Fatalf("expected an AdmissionError, got: %v", err)
+	} else {
+		log.Fatal("over-subscription unexpectedly accepted")
 	}
 }

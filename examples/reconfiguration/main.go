@@ -30,16 +30,16 @@ func main() {
 
 	// Phase 1 — monitoring: slow, loose channels to every sensor.
 	fmt.Println("phase 1: monitoring (C=2, P=200, d=100)")
-	var phase1 []rtether.ChannelID
+	var phase1 []*rtether.Channel
 	for _, s := range sensors {
-		id, err := net.Establish(rtether.ChannelSpec{Src: controller, Dst: s, C: 2, P: 200, D: 100})
+		ch, err := net.Establish(rtether.ChannelSpec{Src: controller, Dst: s, C: 2, P: 200, D: 100})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := net.StartTraffic(id, 0); err != nil {
+		if err := ch.Start(0); err != nil {
 			log.Fatal(err)
 		}
-		phase1 = append(phase1, id)
+		phase1 = append(phase1, ch)
 	}
 	net.RunFor(2000)
 	rep := net.Report()
@@ -49,18 +49,18 @@ func main() {
 	// Phase 2 — tight control on the first two sensors: tear the old
 	// channels down over the wire and establish faster, tighter ones.
 	fmt.Println("phase 2: reconfigure sensors 10, 11 to control mode (C=2, P=50, d=20)")
-	for _, id := range phase1[:2] {
-		if err := net.Teardown(id); err != nil {
+	for _, ch := range phase1[:2] {
+		if err := ch.Teardown(); err != nil {
 			log.Fatal(err)
 		}
 	}
 	net.RunFor(10) // let the teardown frames reach the switch
 	for _, s := range sensors[:2] {
-		id, err := net.Establish(rtether.ChannelSpec{Src: controller, Dst: s, C: 2, P: 50, D: 20})
+		ch, err := net.Establish(rtether.ChannelSpec{Src: controller, Dst: s, C: 2, P: 50, D: 20})
 		if err != nil {
 			log.Fatalf("reconfiguration rejected: %v", err)
 		}
-		if err := net.StartTraffic(id, 0); err != nil {
+		if err := ch.Start(0); err != nil {
 			log.Fatal(err)
 		}
 	}

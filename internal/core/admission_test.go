@@ -35,7 +35,7 @@ func acceptedCount(c *Controller, specs []ChannelSpec) int {
 }
 
 func TestAdmissionSDPSMasterCapacityIsSix(t *testing.T) {
-	// Analytic anchor from DESIGN.md: with SDPS the master uplink tasks are
+	// Analytic anchor: with SDPS the master uplink tasks are
 	// {C=3, P=100, D=20}; exactly 6 fit (h(20)=18<=20, busy period 18).
 	c := NewController(Config{DPS: SDPS{}})
 	for i := 0; i < 6; i++ {

@@ -1,6 +1,6 @@
 // Package exp is the experiment harness: one function per table/figure of
 // the paper's evaluation (plus the supporting and future-work experiments
-// catalogued in DESIGN.md), each returning a printable table with the
+// catalogued by rtexp -list), each returning a printable table with the
 // same rows/series the paper reports. The cmd/rtexp binary and the
 // repository benchmarks both drive these functions, so "regenerate the
 // figure" is one call.
@@ -23,7 +23,7 @@ type Experiment struct {
 	Run  func() *stats.Table
 }
 
-// All returns every experiment in DESIGN.md order.
+// All returns every experiment in catalogue order.
 func All() []Experiment {
 	return []Experiment{
 		{"fig18.5", "E1: accepted vs requested channels, SDPS vs ADPS (Fig. 18.5)", Fig185},

@@ -5,7 +5,7 @@ import "testing"
 // The experiments are fully deterministic, so the headline tables can be
 // locked byte-for-byte. If an intentional change to the admission control
 // or the schemes moves these numbers, the new values belong here AND in
-// EXPERIMENTS.md.
+// the experiment catalogue.
 
 const fig185GoldenCSV = `requested,accepted(SDPS),accepted(ADPS)
 20,20,20

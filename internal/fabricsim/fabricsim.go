@@ -43,6 +43,11 @@ type channelRT struct {
 	cum     []int64 // cumulative hop deadlines: cum[i] = sum(Hops[0..i])
 	next    int64   // next release slot
 	metrics *Metrics
+
+	started bool // a periodic source has been attached
+	stopped bool // traffic stopped (Stop/Remove); in-flight frames drain
+	armed   bool // a release event is scheduled
+	gen     int  // bumped by Start/Stop/Remove to invalidate armed events
 }
 
 // Metrics aggregates per-channel results.
@@ -67,6 +72,7 @@ type Sim struct {
 	eng      *sim.Engine
 	links    map[topo.Edge]*link
 	channels []*channelRT
+	byID     map[core.ChannelID]*channelRT
 	horizon  int64
 	shaping  bool
 }
@@ -77,41 +83,136 @@ type Config struct {
 	DisableShaping bool
 }
 
-// New builds a simulation over the admitted channels of a fabric
-// controller state. Offsets gives the release phase per channel (missing
-// entries mean 0).
-func New(st *topo.State, offsets map[core.ChannelID]int64, cfg Config) (*Sim, error) {
-	s := &Sim{
+// NewSim returns an empty incremental simulation. Channels are installed
+// with Install as admission accepts them and start generating traffic
+// only after Start — the dynamic counterpart of the batch constructor New.
+func NewSim(cfg Config) *Sim {
+	return &Sim{
 		eng:     sim.NewEngine(),
 		links:   make(map[topo.Edge]*link),
+		byID:    make(map[core.ChannelID]*channelRT),
 		shaping: !cfg.DisableShaping,
 	}
+}
+
+// New builds a simulation over the admitted channels of a fabric
+// controller state. Offsets gives the release phase per channel (missing
+// entries mean 0). Every channel is started immediately.
+func New(st *topo.State, offsets map[core.ChannelID]int64, cfg Config) (*Sim, error) {
+	s := NewSim(cfg)
 	for _, hch := range st.Channels() {
-		if len(hch.Route) == 0 || len(hch.Hops) != len(hch.Route) {
-			return nil, fmt.Errorf("fabricsim: channel %v has no installed hop budgets", hch)
+		if err := s.Install(hch); err != nil {
+			return nil, err
 		}
-		cum := make([]int64, len(hch.Hops))
-		var acc int64
-		for i, h := range hch.Hops {
-			acc += h
-			cum[i] = acc
-		}
-		rt := &channelRT{
-			id:      hch.ID,
-			spec:    hch.Spec,
-			route:   append([]topo.Edge(nil), hch.Route...),
-			cum:     cum,
-			next:    offsets[hch.ID],
-			metrics: &Metrics{Delays: stats.NewDelay(0)},
-		}
-		s.channels = append(s.channels, rt)
-		for _, e := range rt.route {
-			if s.links[e] == nil {
-				s.links[e] = &link{eng: s.eng, sim: s}
-			}
+		if err := s.Start(hch.ID, offsets[hch.ID]); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// Install registers an admitted channel with the simulation without
+// attaching a traffic source. The route and hop budgets are copied; use
+// SetBudgets when a later admission repartitions the channel.
+func (s *Sim) Install(hch *topo.HChannel) error {
+	if len(hch.Route) == 0 || len(hch.Hops) != len(hch.Route) {
+		return fmt.Errorf("fabricsim: channel %v has no installed hop budgets", hch)
+	}
+	if old := s.byID[hch.ID]; old != nil && !old.stopped {
+		return fmt.Errorf("fabricsim: channel %d already installed", hch.ID)
+	}
+	rt := &channelRT{
+		id:      hch.ID,
+		spec:    hch.Spec,
+		route:   append([]topo.Edge(nil), hch.Route...),
+		cum:     cumBudgets(hch.Hops),
+		metrics: &Metrics{Delays: stats.NewDelay(0)},
+	}
+	s.channels = append(s.channels, rt)
+	s.byID[hch.ID] = rt
+	for _, e := range rt.route {
+		if s.links[e] == nil {
+			s.links[e] = &link{eng: s.eng, sim: s}
+		}
+	}
+	return nil
+}
+
+// SetBudgets replaces a channel's per-hop deadline budgets (the DPS is a
+// function of the whole system state, so admitting or releasing one
+// channel may repartition the others). Frames released from now on use
+// the new budgets; frames in flight keep moving under the vector they
+// were released with, hop indices being stable because routes never
+// change. The route length must match.
+func (s *Sim) SetBudgets(id core.ChannelID, hops []int64) error {
+	ch := s.byID[id]
+	if ch == nil {
+		return fmt.Errorf("fabricsim: unknown channel %d", id)
+	}
+	if len(hops) != len(ch.route) {
+		return fmt.Errorf("fabricsim: budget vector length %d for %d hops", len(hops), len(ch.route))
+	}
+	ch.cum = cumBudgets(hops)
+	return nil
+}
+
+// Start attaches the periodic source of an installed channel: C frames
+// every P slots, first release offset slots from now.
+func (s *Sim) Start(id core.ChannelID, offset int64) error {
+	ch := s.byID[id]
+	if ch == nil {
+		return fmt.Errorf("fabricsim: unknown channel %d", id)
+	}
+	if ch.started && !ch.stopped {
+		return fmt.Errorf("fabricsim: channel %d already has a source", id)
+	}
+	if offset < 0 {
+		return fmt.Errorf("fabricsim: negative release offset %d", offset)
+	}
+	ch.started = true
+	ch.stopped = false
+	ch.gen++ // orphan any release event armed before the restart
+	ch.armed = false
+	ch.next = s.eng.Now() + offset
+	s.armRelease(ch)
+	return nil
+}
+
+// Stop detaches a channel's traffic source. Frames already released keep
+// traversing the fabric and are measured on delivery.
+func (s *Sim) Stop(id core.ChannelID) error {
+	ch := s.byID[id]
+	if ch == nil || !ch.started || ch.stopped {
+		return fmt.Errorf("fabricsim: channel %d has no active source", id)
+	}
+	ch.stopped = true
+	ch.gen++
+	ch.armed = false
+	return nil
+}
+
+// Remove stops a channel and forgets its registration so the ID can be
+// reused by a later admission. Accumulated metrics remain readable.
+func (s *Sim) Remove(id core.ChannelID) error {
+	ch := s.byID[id]
+	if ch == nil {
+		return fmt.Errorf("fabricsim: unknown channel %d", id)
+	}
+	ch.stopped = true
+	ch.gen++
+	ch.armed = false
+	delete(s.byID, id)
+	return nil
+}
+
+func cumBudgets(hops []int64) []int64 {
+	cum := make([]int64, len(hops))
+	var acc int64
+	for i, h := range hops {
+		acc += h
+		cum[i] = acc
+	}
+	return cum
 }
 
 // Run advances the simulation to the absolute slot horizon; callable
@@ -129,12 +230,21 @@ func (s *Sim) Run(horizon int64) {
 // armRelease schedules the channel's next periodic release if it falls
 // within the horizon.
 func (s *Sim) armRelease(ch *channelRT) {
-	if ch.next > s.horizon {
+	if ch.armed || !ch.started || ch.stopped || ch.next > s.horizon {
 		return
 	}
 	release := ch.next
 	ch.next += ch.spec.P
+	ch.armed = true
+	gen := ch.gen
 	s.eng.AtPrio(release, sim.PrioRelease, func() {
+		if ch.gen != gen {
+			return // superseded by a Stop/Start cycle; the restart re-armed
+		}
+		ch.armed = false
+		if ch.stopped {
+			return
+		}
 		for k := int64(0); k < ch.spec.C; k++ {
 			s.inject(&rtFrame{ch: ch, release: release, hop: 0})
 		}
@@ -197,11 +307,15 @@ func (s *Sim) arrive(f *rtFrame) {
 	s.inject(f)
 }
 
-// Channel returns the metrics of one channel, or nil.
+// Channel returns the metrics of one channel, or nil. For a removed
+// channel whose ID was since reused, the newest incarnation wins.
 func (s *Sim) Channel(id core.ChannelID) *Metrics {
-	for _, ch := range s.channels {
-		if ch.id == id {
-			return ch.metrics
+	if ch := s.byID[id]; ch != nil {
+		return ch.metrics
+	}
+	for i := len(s.channels) - 1; i >= 0; i-- {
+		if s.channels[i].id == id {
+			return s.channels[i].metrics
 		}
 	}
 	return nil
@@ -221,3 +335,12 @@ func (s *Sim) Totals() (delivered, misses, worst int64) {
 
 // Now returns the simulation clock.
 func (s *Sim) Now() int64 { return s.eng.Now() }
+
+// Schedule registers fn at the absolute slot t (clamped to the current
+// clock), for custom generators and experiment drivers.
+func (s *Sim) Schedule(t int64, fn func()) {
+	if now := s.eng.Now(); t < now {
+		t = now
+	}
+	s.eng.At(t, fn)
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -56,6 +57,13 @@ type Network struct {
 
 	tracer  Tracer
 	horizon int64
+
+	// lastReject holds the admission controller's diagnostic for the most
+	// recent rejected establishment. The wire ResponseFrame only carries an
+	// accept bit (Fig. 18.4), so EstablishChannel — which serializes
+	// handshakes by stepping the simulation to completion — recovers the
+	// switch-side reason from here.
+	lastReject error
 }
 
 // New constructs an empty network.
@@ -150,6 +158,7 @@ func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error
 		err error
 	}
 	var result *outcome
+	n.lastReject = nil
 	src.requestChannel(spec, func(id core.ChannelID, err error) {
 		result = &outcome{id: id, err: err}
 	})
@@ -162,9 +171,43 @@ func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error
 		}
 	}
 	if result.err != nil {
+		// A bare wire-level rejection with a recorded switch-side reason:
+		// surface the diagnostic (it unwraps to ErrInfeasible when it is a
+		// feasibility failure). Handshakes are serialized, so the recorded
+		// reason belongs to this request.
+		if errors.Is(result.err, core.ErrInfeasible) && n.lastReject != nil {
+			return 0, n.lastReject
+		}
 		return 0, result.err
 	}
 	return result.id, nil
+}
+
+// StopTraffic detaches the periodic source of a channel without releasing
+// the reservation (the inverse of Node.StartTraffic).
+func (n *Network) StopTraffic(id core.ChannelID) error {
+	ch := n.ctrl.State().Get(id)
+	if ch == nil {
+		return fmt.Errorf("netsim: unknown channel %d", id)
+	}
+	node := n.nodes[ch.Spec.Src]
+	if node == nil || node.sources[id] == nil {
+		return fmt.Errorf("netsim: channel %d has no active source", id)
+	}
+	node.stopSource(id)
+	return nil
+}
+
+// ChannelMetrics returns the receiver-side measurements of one channel,
+// or nil when it has not delivered any traffic yet. The returned struct
+// is live — it keeps accumulating as the simulation advances.
+func (n *Network) ChannelMetrics(id core.ChannelID) *ChannelMetrics {
+	for _, nid := range n.nodeIDs {
+		if m := n.nodes[nid].rxChannels[id]; m != nil {
+			return m
+		}
+	}
+	return nil
 }
 
 // ForceChannel installs a channel in both the admission state and the

@@ -160,6 +160,7 @@ func (sw *Switch) ingressConnect(from *Node, b []byte) {
 	}
 	ch, err := sw.net.ctrl.Request(spec)
 	if err != nil {
+		sw.net.lastReject = err
 		sw.net.emit(EvRejected, from.id, 0, 0)
 		sw.reply(from.id, frame.Response{Accept: false, ReqID: req.ReqID})
 		return

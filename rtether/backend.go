@@ -1,0 +1,390 @@
+package rtether
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/fabricsim"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// AdmissionStats summarizes admission-control activity: what was
+// requested, what was admitted, and why rejections happened. Rejection
+// breakdowns and LinksChecked are reported where the backend tracks them
+// (the star network's controller; the fabric controller counts requests
+// and acceptances only).
+type AdmissionStats struct {
+	Requests             int // establishment requests seen
+	Accepted             int // channels admitted
+	RejectedInvalid      int // spec validation failures
+	RejectedUtilization  int // first-constraint (U > 1) rejections
+	RejectedDemand       int // second-constraint (h(t) > t) rejections
+	RejectedInconclusive int // analysis hit configured limits
+	Released             int // channels torn down
+	LinksChecked         int // cumulative per-link feasibility tests
+
+	MeanLinkUtilization float64 // mean utilization over loaded links
+	LoadedLinks         int     // links carrying at least one channel
+}
+
+// backend is the topology-specific engine behind a Network: the
+// cycle-accurate single-switch simulator (internal/netsim, full wire
+// protocol) or the routed multi-switch simulator (internal/fabricsim).
+type backend interface {
+	addNode(id NodeID) error
+	establish(spec ChannelSpec) (ChannelID, []int64, error)
+	release(id ChannelID) error
+	teardown(id ChannelID) error
+	startTraffic(id ChannelID, offset int64) error
+	stopTraffic(id ChannelID) error
+	sendBestEffort(src, dst NodeID, payload []byte) bool
+	schedule(at int64, fn func())
+	now() int64
+	run(untilSlot int64)
+	report() *Report
+	channelInfo(id ChannelID) (ChannelSpec, []int64, bool)
+	channelIDs() []ChannelID
+	metrics(id ChannelID) *ChannelMetrics
+	guaranteedDelay(spec ChannelSpec) int64
+	linkLoadUp(id NodeID) int
+	linkLoadDown(id NodeID) int
+	setTracer(t Tracer) bool
+	admissionStats() AdmissionStats
+	writeSnapshot(w io.Writer) error
+}
+
+// ---------------------------------------------------------------------------
+// Star backend: one switch, cycle-accurate, full wire protocol.
+
+type starBackend struct {
+	inner *netsim.Network
+}
+
+func newStarBackend(cfg netsim.Config, nodes []NodeID) *starBackend {
+	be := &starBackend{inner: netsim.New(cfg)}
+	for _, id := range nodes {
+		be.inner.MustAddNode(id)
+	}
+	return be
+}
+
+func (b *starBackend) addNode(id NodeID) error {
+	_, err := b.inner.AddNode(id)
+	return err
+}
+
+func (b *starBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
+	id, err := b.inner.EstablishChannel(spec)
+	if err != nil {
+		return 0, nil, starAdmissionError(spec, err)
+	}
+	_, budgets, _ := b.channelInfo(id)
+	return id, budgets, nil
+}
+
+func (b *starBackend) release(id ChannelID) error {
+	return b.inner.ReleaseChannel(id)
+}
+
+func (b *starBackend) teardown(id ChannelID) error {
+	ch := b.inner.Controller().State().Get(id)
+	if ch == nil {
+		return errUnknownChannel(id)
+	}
+	return b.inner.Node(ch.Spec.Src).CloseChannel(id)
+}
+
+func (b *starBackend) startTraffic(id ChannelID, offset int64) error {
+	ch := b.inner.Controller().State().Get(id)
+	if ch == nil {
+		return errUnknownChannel(id)
+	}
+	return b.inner.Node(ch.Spec.Src).StartTraffic(id, offset)
+}
+
+func (b *starBackend) stopTraffic(id ChannelID) error {
+	return b.inner.StopTraffic(id)
+}
+
+func (b *starBackend) sendBestEffort(src, dst NodeID, payload []byte) bool {
+	node := b.inner.Node(src)
+	if node == nil {
+		return false
+	}
+	return node.SendNonRT(dst, payload)
+}
+
+func (b *starBackend) schedule(at int64, fn func()) {
+	if now := b.inner.Engine().Now(); at < now {
+		at = now
+	}
+	b.inner.Engine().At(at, fn)
+}
+
+func (b *starBackend) now() int64          { return b.inner.Engine().Now() }
+func (b *starBackend) run(untilSlot int64) { b.inner.Run(untilSlot) }
+func (b *starBackend) report() *Report     { return b.inner.Report() }
+
+func (b *starBackend) channelInfo(id ChannelID) (ChannelSpec, []int64, bool) {
+	ch := b.inner.Controller().State().Get(id)
+	if ch == nil {
+		return ChannelSpec{}, nil, false
+	}
+	return ch.Spec, []int64{ch.Part.Up, ch.Part.Down}, true
+}
+
+func (b *starBackend) channelIDs() []ChannelID {
+	chs := b.inner.Controller().State().Channels()
+	out := make([]ChannelID, len(chs))
+	for i, ch := range chs {
+		out[i] = ch.ID
+	}
+	return out
+}
+
+func (b *starBackend) metrics(id ChannelID) *ChannelMetrics {
+	return b.inner.ChannelMetrics(id)
+}
+
+func (b *starBackend) guaranteedDelay(spec ChannelSpec) int64 {
+	return spec.D + b.inner.ExtraLatency()
+}
+
+func (b *starBackend) linkLoadUp(id NodeID) int {
+	return b.inner.Controller().State().LinkLoad(core.Uplink(id))
+}
+
+func (b *starBackend) linkLoadDown(id NodeID) int {
+	return b.inner.Controller().State().LinkLoad(core.Downlink(id))
+}
+
+func (b *starBackend) setTracer(t Tracer) bool {
+	b.inner.SetTracer(t)
+	return true
+}
+
+func (b *starBackend) admissionStats() AdmissionStats {
+	st := b.inner.Controller().Stats()
+	state := b.inner.Controller().State()
+	return AdmissionStats{
+		Requests:             st.Requests,
+		Accepted:             st.Accepted,
+		RejectedInvalid:      st.RejectedInvalid,
+		RejectedUtilization:  st.RejectedUtilization,
+		RejectedDemand:       st.RejectedDemand,
+		RejectedInconclusive: st.RejectedInconclusive,
+		Released:             st.Released,
+		LinksChecked:         st.LinksChecked,
+		MeanLinkUtilization:  state.TotalUtilization(),
+		LoadedLinks:          len(state.Links()),
+	}
+}
+
+func (b *starBackend) writeSnapshot(w io.Writer) error {
+	return b.inner.Controller().WriteSnapshot(w)
+}
+
+// ---------------------------------------------------------------------------
+// Fabric backend: routed multi-switch topology, RT traffic simulation.
+
+type fabricBackend struct {
+	top  *Topology
+	ctrl *topo.Controller
+	sim  *fabricsim.Sim
+	prop int64
+
+	stats AdmissionStats
+}
+
+func newFabricBackend(top *Topology, hdps topo.HDPS, cfg netsim.Config) *fabricBackend {
+	if hdps == nil {
+		hdps = topo.HSDPS{}
+	}
+	return &fabricBackend{
+		top:  top,
+		ctrl: topo.NewController(top.inner, topo.Config{DPS: hdps, Feasibility: cfg.Feasibility}),
+		sim:  fabricsim.NewSim(fabricsim.Config{DisableShaping: cfg.DisableShaping}),
+		prop: cfg.Propagation,
+	}
+}
+
+func (b *fabricBackend) addNode(id NodeID) error {
+	return fmt.Errorf("rtether: node %d: attach end-nodes via Topology.Attach before New on a multi-switch network", id)
+}
+
+func (b *fabricBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
+	b.stats.Requests++
+	ch, err := b.ctrl.Request(spec)
+	if err != nil {
+		b.noteRejection(err)
+		route, _ := b.top.inner.Route(spec.Src, spec.Dst)
+		return 0, nil, fabricAdmissionError(spec, err, route)
+	}
+	b.stats.Accepted++
+	if err := b.sim.Install(ch); err != nil {
+		// Admission and the simulator disagree on the channel's identity —
+		// a programming error, not a runtime condition.
+		panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
+	}
+	b.syncBudgets()
+	return ch.ID, append([]int64(nil), ch.Hops...), nil
+}
+
+func (b *fabricBackend) noteRejection(err error) {
+	rej, ok := err.(*topo.RejectionError)
+	if !ok {
+		b.stats.RejectedInvalid++
+		return
+	}
+	switch rej.Result.Verdict {
+	case edf.InfeasibleUtilization:
+		b.stats.RejectedUtilization++
+	case edf.InfeasibleDemand:
+		b.stats.RejectedDemand++
+	default:
+		b.stats.RejectedInconclusive++
+	}
+}
+
+// syncBudgets pushes the controller's committed per-hop budgets into the
+// running simulation: the DPS depends on the whole system state, so one
+// admission or release may repartition every channel.
+func (b *fabricBackend) syncBudgets() {
+	for _, hch := range b.ctrl.State().Channels() {
+		if err := b.sim.SetBudgets(hch.ID, hch.Hops); err != nil {
+			panic(fmt.Sprintf("rtether: syncing hop budgets: %v", err))
+		}
+	}
+}
+
+func (b *fabricBackend) release(id ChannelID) error {
+	if b.ctrl.State().Get(id) == nil {
+		return errUnknownChannel(id)
+	}
+	if err := b.ctrl.Release(id); err != nil {
+		return err
+	}
+	b.stats.Released++
+	_ = b.sim.Remove(id)
+	b.syncBudgets()
+	return nil
+}
+
+// teardown on a fabric is release: the multi-switch model carries RT
+// traffic only, so there is no wire-level teardown handshake to play out.
+func (b *fabricBackend) teardown(id ChannelID) error { return b.release(id) }
+
+func (b *fabricBackend) startTraffic(id ChannelID, offset int64) error {
+	if b.ctrl.State().Get(id) == nil {
+		return errUnknownChannel(id)
+	}
+	return b.sim.Start(id, offset)
+}
+
+func (b *fabricBackend) stopTraffic(id ChannelID) error {
+	if b.ctrl.State().Get(id) == nil {
+		return errUnknownChannel(id)
+	}
+	return b.sim.Stop(id)
+}
+
+// sendBestEffort is unsupported on fabrics: the multi-switch simulator
+// models RT traffic only (the wire-level FCFS coexistence is validated on
+// the star network).
+func (b *fabricBackend) sendBestEffort(NodeID, NodeID, []byte) bool { return false }
+
+func (b *fabricBackend) schedule(at int64, fn func()) { b.sim.Schedule(at, fn) }
+
+func (b *fabricBackend) now() int64          { return b.sim.Now() }
+func (b *fabricBackend) run(untilSlot int64) { b.sim.Run(untilSlot) }
+
+func (b *fabricBackend) report() *Report {
+	r := &Report{
+		Now:        b.sim.Now(),
+		Channels:   make(map[ChannelID]*ChannelMetrics),
+		NonRTDelay: stats.NewDelay(0),
+		LinkBusy:   make(map[core.Link]float64),
+	}
+	for _, hch := range b.ctrl.State().Channels() {
+		if m := b.metrics(hch.ID); m != nil {
+			r.Channels[hch.ID] = m
+		}
+	}
+	return r
+}
+
+func (b *fabricBackend) channelInfo(id ChannelID) (ChannelSpec, []int64, bool) {
+	hch := b.ctrl.State().Get(id)
+	if hch == nil {
+		return ChannelSpec{}, nil, false
+	}
+	return hch.Spec, append([]int64(nil), hch.Hops...), true
+}
+
+func (b *fabricBackend) channelIDs() []ChannelID {
+	chs := b.ctrl.State().Channels()
+	out := make([]ChannelID, len(chs))
+	for i, ch := range chs {
+		out[i] = ch.ID
+	}
+	return out
+}
+
+func (b *fabricBackend) metrics(id ChannelID) *ChannelMetrics {
+	m := b.sim.Channel(id)
+	if m == nil || m.Delivered == 0 {
+		return nil
+	}
+	return &ChannelMetrics{Delivered: m.Delivered, Misses: m.Misses, Delays: m.Delays}
+}
+
+func (b *fabricBackend) guaranteedDelay(spec ChannelSpec) int64 {
+	hops := 2
+	if route, err := b.top.inner.Route(spec.Src, spec.Dst); err == nil {
+		hops = len(route)
+	}
+	return spec.D + int64(hops)*b.prop
+}
+
+func (b *fabricBackend) linkLoadUp(id NodeID) int {
+	home, ok := b.top.inner.Home(id)
+	if !ok {
+		return 0
+	}
+	return b.ctrl.State().LinkLoad(topo.Edge{From: topo.NodeEnd(id), To: topo.SwitchEnd(home)})
+}
+
+func (b *fabricBackend) linkLoadDown(id NodeID) int {
+	home, ok := b.top.inner.Home(id)
+	if !ok {
+		return 0
+	}
+	return b.ctrl.State().LinkLoad(topo.Edge{From: topo.SwitchEnd(home), To: topo.NodeEnd(id)})
+}
+
+// setTracer reports false: the fabric simulator does not stream trace
+// events (flight recording is a star-network feature for now).
+func (b *fabricBackend) setTracer(Tracer) bool { return false }
+
+func (b *fabricBackend) admissionStats() AdmissionStats {
+	st := b.stats
+	state := b.ctrl.State()
+	edges := state.Edges()
+	st.LoadedLinks = len(edges)
+	if len(edges) > 0 {
+		var sum float64
+		for _, e := range edges {
+			sum += edf.UtilizationFloat(state.TasksOn(e))
+		}
+		st.MeanLinkUtilization = sum / float64(len(edges))
+	}
+	return st
+}
+
+func (b *fabricBackend) writeSnapshot(w io.Writer) error {
+	return fmt.Errorf("rtether: snapshots are not supported on multi-switch networks yet")
+}

@@ -1,0 +1,94 @@
+package rtether
+
+import "errors"
+
+// ErrChannelClosed is returned by Channel methods after the channel has
+// been released or torn down through any path (handle or ID-based).
+var ErrChannelClosed = errors.New("rtether: channel is closed")
+
+// Channel is the handle to one established RT channel. It is returned by
+// Network.Establish and carries the channel's whole lifecycle — traffic
+// control, introspection, and teardown — so callers never thread raw
+// ChannelIDs through Network methods.
+//
+// A Channel is bound to the Network that created it and shares its
+// single-goroutine discipline.
+type Channel struct {
+	net    *Network
+	id     ChannelID
+	spec   ChannelSpec
+	closed bool
+}
+
+// ID returns the network-unique RT channel identifier (16 bits on the
+// wire), for logs and for correlating with Report.Channels.
+func (c *Channel) ID() ChannelID { return c.id }
+
+// Spec returns the committed channel spec {Src, Dst, P, C, D}.
+func (c *Channel) Spec() ChannelSpec { return c.spec }
+
+// Budgets returns the channel's current per-hop deadline budgets, which
+// sum to D: [d_up, d_down] on a star network, one entry per routed link
+// on a fabric. The budgets may change when later admissions or releases
+// repartition the system; Budgets returns the committed values at the
+// time of the call.
+func (c *Channel) Budgets() []int64 {
+	if c.closed {
+		return nil
+	}
+	_, budgets, _ := c.net.be.channelInfo(c.id)
+	return budgets
+}
+
+// Start attaches the channel's periodic traffic source: C maximal frames
+// every P slots, first release offset slots from now.
+func (c *Channel) Start(offset int64) error {
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return c.net.be.startTraffic(c.id, offset)
+}
+
+// Stop detaches the traffic source without releasing the reservation;
+// Start may be called again later.
+func (c *Channel) Stop() error {
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return c.net.be.stopTraffic(c.id)
+}
+
+// Release tears the channel down through the management plane: traffic
+// stops and the reservation is freed immediately, without consuming
+// virtual time.
+func (c *Channel) Release() error {
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return c.net.releaseID(c.id)
+}
+
+// Teardown releases the channel over the wire: the source stops its
+// traffic and sends a Teardown control frame; the switch frees the
+// reservation when the frame arrives, so teardown consumes virtual time
+// (unlike Release). On a multi-switch network — which models RT traffic
+// only — Teardown is equivalent to Release.
+func (c *Channel) Teardown() error {
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return c.net.teardownID(c.id)
+}
+
+// Metrics returns the channel's delivery measurements as of the call, or
+// nil when nothing has been delivered yet. Measurements survive release
+// and teardown.
+func (c *Channel) Metrics() *ChannelMetrics {
+	return c.net.be.metrics(c.id)
+}
+
+// GuaranteedDelay returns the delivery guarantee for this channel,
+// T_max = d + T_latency (Eq. 18.1).
+func (c *Channel) GuaranteedDelay() int64 {
+	return c.net.be.guaranteedDelay(c.spec)
+}

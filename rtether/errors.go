@@ -1,0 +1,158 @@
+package rtether
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/topo"
+)
+
+// LinkDir classifies the direction of the pseudo-processor (one directed
+// half of a full-duplex physical link) named in an AdmissionError.
+type LinkDir uint8
+
+const (
+	// DirUp is an end-node → switch link.
+	DirUp LinkDir = iota
+	// DirDown is a switch → end-node link.
+	DirDown
+	// DirTrunk is a switch → switch link (multi-switch topologies only).
+	DirTrunk
+)
+
+// String implements fmt.Stringer.
+func (d LinkDir) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	case DirTrunk:
+		return "trunk"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// AdmissionError reports why admission control rejected a channel: which
+// directed link failed the per-link EDF feasibility test (§18.3.2), where
+// on the requested route it sits, and how overloaded it was. It wraps
+// ErrInfeasible, so errors.Is(err, rtether.ErrInfeasible) keeps working
+// for callers that only care about accept/reject.
+type AdmissionError struct {
+	// Spec is the rejected request.
+	Spec ChannelSpec
+	// Link names the rejecting directed link, e.g. "link(1,up)" on a star
+	// or "sw0→sw1" on a fabric.
+	Link string
+	// Node is the end-node of the rejecting link for DirUp/DirDown links;
+	// zero for trunks.
+	Node NodeID
+	// Dir is the rejecting link's direction.
+	Dir LinkDir
+	// Hop is the index of the rejecting link on the requested channel's
+	// route (0 = source uplink; on a star, 1 = destination downlink). It is
+	// -1 when the failure surfaced on a link the new channel does not
+	// traverse — repartitioning an existing channel made that link
+	// infeasible.
+	Hop int
+	// Utilization is the total utilization of the rejecting link's task
+	// set, including the tentative channel.
+	Utilization float64
+	// Slack is t - h(t) at the violated demand checkpoint (negative: the
+	// link was asked for more service than time available). Zero when the
+	// first constraint (utilization > 1) failed instead.
+	Slack int64
+	// Reason is the feasibility verdict in the analysis' own words, e.g.
+	// "infeasible(demand) at t=40 (h=45), U=0.9750".
+	Reason string
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	where := e.Link
+	if e.Hop >= 0 {
+		where = fmt.Sprintf("%s (hop %d, %s)", e.Link, e.Hop, e.Dir)
+	} else {
+		where = fmt.Sprintf("%s (%s, repartitioned channel)", e.Link, e.Dir)
+	}
+	return fmt.Sprintf("rtether: %v rejected at %s: %s", e.Spec, where, e.Reason)
+}
+
+// Unwrap lets errors.Is match ErrInfeasible.
+func (e *AdmissionError) Unwrap() error { return ErrInfeasible }
+
+// slackOf extracts the demand slack from a feasibility result.
+func slackOf(res edf.Result) int64 {
+	if res.Verdict == edf.InfeasibleDemand {
+		return res.ViolationAt - res.DemandAt
+	}
+	return 0
+}
+
+// starAdmissionError converts a star-network rejection into the typed
+// public diagnostic. Non-rejection errors pass through unchanged.
+func starAdmissionError(spec ChannelSpec, err error) error {
+	rej, ok := err.(*core.RejectionError)
+	if !ok {
+		return err
+	}
+	ae := &AdmissionError{
+		Spec:        spec,
+		Link:        rej.Link.String(),
+		Node:        rej.Link.Node,
+		Utilization: rej.Result.Utilization,
+		Slack:       slackOf(rej.Result),
+		Reason:      rej.Result.String(),
+		Hop:         -1,
+	}
+	switch rej.Link.Dir {
+	case core.Up:
+		ae.Dir = DirUp
+		if rej.Link.Node == spec.Src {
+			ae.Hop = 0
+		}
+	case core.Down:
+		ae.Dir = DirDown
+		if rej.Link.Node == spec.Dst {
+			ae.Hop = 1
+		}
+	}
+	return ae
+}
+
+// fabricAdmissionError converts a fabric rejection into the typed public
+// diagnostic. route is the requested channel's route (nil when routing
+// itself failed); non-rejection errors pass through unchanged.
+func fabricAdmissionError(spec ChannelSpec, err error, route []topo.Edge) error {
+	rej, ok := err.(*topo.RejectionError)
+	if !ok {
+		return err
+	}
+	ae := &AdmissionError{
+		Spec:        spec,
+		Link:        rej.Edge.String(),
+		Utilization: rej.Result.Utilization,
+		Slack:       slackOf(rej.Result),
+		Reason:      rej.Result.String(),
+		Hop:         -1,
+	}
+	switch {
+	case !rej.Edge.From.Switch:
+		ae.Dir = DirUp
+		ae.Node = NodeID(rej.Edge.From.ID)
+	case !rej.Edge.To.Switch:
+		ae.Dir = DirDown
+		ae.Node = NodeID(rej.Edge.To.ID)
+	default:
+		ae.Dir = DirTrunk
+	}
+	for i, e := range route {
+		if e == rej.Edge {
+			ae.Hop = i
+			break
+		}
+	}
+	return ae
+}

@@ -1,0 +1,179 @@
+package rtether
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// saturate establishes spec-shaped channels from the given src/dst
+// generator until one is rejected, returning the rejection.
+func saturate(t *testing.T, net *Network, next func(i int) (NodeID, NodeID), spec ChannelSpec, max int) error {
+	t.Helper()
+	for i := 0; i < max; i++ {
+		s := spec
+		s.Src, s.Dst = next(i)
+		if _, err := net.Establish(s); err != nil {
+			return err
+		}
+	}
+	t.Fatalf("no rejection within %d requests", max)
+	return nil
+}
+
+func TestAdmissionErrorSaturatedUplink(t *testing.T) {
+	net := New() // SDPS
+	for id := NodeID(1); id <= 9; id++ {
+		net.MustAddNode(id)
+	}
+	// All channels share uplink 1; destinations rotate.
+	err := saturate(t, net,
+		func(i int) (NodeID, NodeID) { return 1, NodeID(2 + i%8) },
+		ChannelSpec{C: 3, P: 100, D: 40}, 20)
+
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *AdmissionError", err, err)
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Error("AdmissionError does not unwrap to ErrInfeasible")
+	}
+	if ae.Dir != DirUp || ae.Node != 1 {
+		t.Errorf("rejecting link = %s node %d %s, want node 1 up", ae.Link, ae.Node, ae.Dir)
+	}
+	if ae.Hop != 0 {
+		t.Errorf("Hop = %d, want 0 (source uplink)", ae.Hop)
+	}
+	if ae.Utilization <= 0 {
+		t.Errorf("Utilization = %v, want > 0", ae.Utilization)
+	}
+	if ae.Slack >= 0 {
+		t.Errorf("Slack = %d, want negative (demand overload)", ae.Slack)
+	}
+	if ae.Spec.Src != 1 {
+		t.Errorf("Spec = %v, want the rejected request", ae.Spec)
+	}
+	if !strings.Contains(ae.Error(), "link(1,up)") {
+		t.Errorf("message does not name the link: %s", ae.Error())
+	}
+}
+
+func TestAdmissionErrorSaturatedDownlink(t *testing.T) {
+	net := New() // SDPS
+	for id := NodeID(1); id <= 9; id++ {
+		net.MustAddNode(id)
+	}
+	// All channels share downlink 9; sources rotate.
+	err := saturate(t, net,
+		func(i int) (NodeID, NodeID) { return NodeID(1 + i%8), 9 },
+		ChannelSpec{C: 3, P: 100, D: 40}, 20)
+
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *AdmissionError", err, err)
+	}
+	if ae.Dir != DirDown || ae.Node != 9 {
+		t.Errorf("rejecting link = %s node %d %s, want node 9 down", ae.Link, ae.Node, ae.Dir)
+	}
+	if ae.Hop != 1 {
+		t.Errorf("Hop = %d, want 1 (destination downlink)", ae.Hop)
+	}
+	if ae.Slack >= 0 {
+		t.Errorf("Slack = %d, want negative", ae.Slack)
+	}
+}
+
+func TestAdmissionErrorUtilizationOverload(t *testing.T) {
+	net := New()
+	for id := NodeID(1); id <= 4; id++ {
+		net.MustAddNode(id)
+	}
+	// Each channel consumes utilization 0.5 on downlink 4; the third
+	// pushes U to 1.5 and fails the first constraint.
+	err := saturate(t, net,
+		func(i int) (NodeID, NodeID) { return NodeID(1 + i%3), 4 },
+		ChannelSpec{C: 50, P: 100, D: 200}, 5)
+
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *AdmissionError", err, err)
+	}
+	if ae.Utilization <= 1 {
+		t.Errorf("Utilization = %v, want > 1", ae.Utilization)
+	}
+	if ae.Slack != 0 {
+		t.Errorf("Slack = %d, want 0 for a first-constraint rejection", ae.Slack)
+	}
+	if !strings.Contains(ae.Reason, "utilization") {
+		t.Errorf("Reason = %q, want a utilization verdict", ae.Reason)
+	}
+}
+
+func TestAdmissionErrorSaturatedTrunk(t *testing.T) {
+	top := NewTopology()
+	for _, sw := range []SwitchID{0, 1} {
+		if err := top.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.Trunk(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for n := NodeID(0); n < 6; n++ {
+		if err := top.Attach(n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := NodeID(100); n < 106; n++ {
+		if err := top.Attach(n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := New(WithTopology(top)) // H-SDPS
+
+	// Distinct node pairs: edge links stay lightly loaded while every
+	// channel crosses the one trunk, which saturates first.
+	err := saturate(t, net,
+		func(i int) (NodeID, NodeID) { return NodeID(i % 6), NodeID(100 + i%6) },
+		ChannelSpec{C: 3, P: 100, D: 40}, 40)
+
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *AdmissionError", err, err)
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Error("fabric AdmissionError does not unwrap to ErrInfeasible")
+	}
+	if ae.Dir != DirTrunk {
+		t.Errorf("Dir = %s, want trunk", ae.Dir)
+	}
+	if ae.Hop != 1 {
+		t.Errorf("Hop = %d, want 1 (the trunk is the middle hop)", ae.Hop)
+	}
+	if ae.Node != 0 {
+		t.Errorf("Node = %d, want 0 for a trunk rejection", ae.Node)
+	}
+	if !strings.Contains(ae.Link, "sw0") || !strings.Contains(ae.Link, "sw1") {
+		t.Errorf("Link = %q, want the trunk edge", ae.Link)
+	}
+	if ae.Utilization <= 0 {
+		t.Errorf("Utilization = %v, want > 0", ae.Utilization)
+	}
+}
+
+func TestInvalidSpecIsNotAdmissionError(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	_, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 5}) // D < 2C
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	var ae *AdmissionError
+	if errors.As(err, &ae) {
+		t.Errorf("validation failure surfaced as AdmissionError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "store-and-forward") {
+		t.Errorf("validation reason lost: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package rtether_test
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/rtether"
@@ -13,39 +14,38 @@ func Example() {
 	net.MustAddNode(1)
 	net.MustAddNode(2)
 
-	spec := rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
-	id, err := net.Establish(spec)
+	ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
 	if err != nil {
 		fmt.Println("rejected:", err)
 		return
 	}
-	net.StartTraffic(id, 0)
+	ch.Start(0)
 	net.RunFor(1000)
 
-	m := net.Report().Channels[id]
+	m := ch.Metrics()
 	fmt.Printf("misses=%d worst<=guarantee=%v\n",
-		m.Misses, m.Delays.Max() <= net.GuaranteedDelay(spec))
+		m.Misses, m.Delays.Max() <= ch.GuaranteedDelay())
 	// Output: misses=0 worst<=guarantee=true
 }
 
-// Admission control rejects what it cannot guarantee: the seventh
-// channel on one uplink under SDPS.
+// Admission control rejects what it cannot guarantee — and says why: the
+// seventh channel on one uplink under SDPS overloads link(1,up).
 func ExampleNetwork_Establish_rejection() {
 	net := rtether.New() // SDPS by default
 	for id := rtether.NodeID(1); id <= 8; id++ {
 		net.MustAddNode(id)
 	}
-	accepted := 0
 	for i := 0; i < 7; i++ {
 		_, err := net.Establish(rtether.ChannelSpec{
 			Src: 1, Dst: rtether.NodeID(2 + i), C: 3, P: 100, D: 40,
 		})
-		if err == nil {
-			accepted++
+		var ae *rtether.AdmissionError
+		if errors.As(err, &ae) {
+			fmt.Printf("rejected at %s (hop %d): infeasible=%v\n",
+				ae.Link, ae.Hop, errors.Is(err, rtether.ErrInfeasible))
 		}
 	}
-	fmt.Println("accepted:", accepted)
-	// Output: accepted: 6
+	// Output: rejected at link(1,up) (hop 0): infeasible=true
 }
 
 // ADPS splits deadlines by link load: a master uplink carrying five
@@ -56,7 +56,7 @@ func ExampleADPS() {
 	for id := rtether.NodeID(10); id < 15; id++ {
 		net.MustAddNode(id)
 	}
-	var last rtether.ChannelID
+	var last *rtether.Channel
 	for id := rtether.NodeID(10); id < 15; id++ {
 		ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: id, C: 3, P: 100, D: 40})
 		if err != nil {
@@ -64,13 +64,35 @@ func ExampleADPS() {
 		}
 		last = ch
 	}
-	_, part, _ := net.Channel(last)
-	fmt.Printf("up=%d down=%d\n", part.Up, part.Down)
+	b := last.Budgets()
+	fmt.Printf("up=%d down=%d\n", b[0], b[1])
 	// Output: up=33 down=7
 }
 
-// A fabric routes channels across multiple switches and splits deadlines
-// per hop.
+// A multi-switch topology routes channels across interconnected switches
+// and splits deadlines per hop.
+func ExampleWithTopology() {
+	top := rtether.NewTopology()
+	top.AddSwitch(0)
+	top.AddSwitch(1)
+	top.Trunk(0, 1)
+	top.Attach(1, 0)
+	top.Attach(2, 1)
+
+	net := rtether.New(rtether.WithTopology(top), rtether.WithHDPS(rtether.HADPS()))
+	ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 42})
+	if err != nil {
+		panic(err)
+	}
+	sum := int64(0)
+	for _, b := range ch.Budgets() {
+		sum += b
+	}
+	fmt.Printf("hops=%d sum=%d\n", len(ch.Budgets()), sum)
+	// Output: hops=3 sum=42
+}
+
+// The deprecated Fabric shim still works for one release.
 func ExampleFabric() {
 	f := rtether.NewFabric(rtether.HADPS())
 	f.AddSwitch(0)
@@ -99,8 +121,8 @@ func ExampleNetwork_SetTracer() {
 	tr := rtether.NewRingTracer(128)
 	net.SetTracer(tr)
 
-	id, _ := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 1, P: 50, D: 20})
-	net.StartTraffic(id, 0)
+	ch, _ := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 1, P: 50, D: 20})
+	ch.Start(0)
 	net.RunFor(200)
 
 	admits, delivers := 0, 0

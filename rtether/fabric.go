@@ -1,14 +1,14 @@
 package rtether
 
 import (
-	"repro/internal/fabricsim"
 	"repro/internal/topo"
 )
 
-// SwitchID identifies a switch in a multi-switch fabric.
+// SwitchID identifies a switch in a multi-switch topology.
 type SwitchID = topo.SwitchID
 
-// HDPS is a hop-general deadline partitioning scheme for fabrics.
+// HDPS is a hop-general deadline partitioning scheme for multi-switch
+// topologies.
 type HDPS = topo.HDPS
 
 // HSDPS returns the equal-split hop partitioning scheme (SDPS
@@ -19,91 +19,88 @@ func HSDPS() HDPS { return topo.HSDPS{} }
 // generalized to h hops).
 func HADPS() HDPS { return topo.HADPS{} }
 
-// Fabric is the multi-switch extension of the paper's future-work section
-// (§18.5): end-nodes attach to switches, switches interconnect, channels
-// are routed along shortest paths and their deadlines are partitioned
-// over every hop. Admission control verifies per-directed-link EDF
-// feasibility exactly as in the star network.
+// Fabric is the legacy multi-switch API. It survives as a thin shim over
+// the unified Network: the topology collected by AddSwitch/Trunk/
+// AttachNode freezes at the first Establish, which builds a Network with
+// WithTopology and the configured HDPS.
 //
-// Fabric is analysis-level: it decides channel acceptance and computes
-// the per-hop deadline budgets; it does not carry simulated traffic (the
-// cycle-accurate simulator is the single-switch Network).
+// Deprecated: build a Topology and use New(WithTopology(...)) — the
+// unified Network establishes channels with *Channel handles, reports
+// rejections as *AdmissionError, and runs traffic incrementally
+// (Channel.Start + RunFor) instead of batch Simulate.
 type Fabric struct {
-	topo *topo.Topology
-	ctrl *topo.Controller
-	dps  HDPS
-	open bool
+	top     *Topology
+	dps     HDPS
+	net     *Network
+	started map[ChannelID]bool // channels Simulate has attached sources to
 }
 
 // NewFabric creates an empty fabric using the given hop partitioning
 // scheme (nil means HSDPS).
+//
+// Deprecated: see Fabric.
 func NewFabric(dps HDPS) *Fabric {
-	return &Fabric{topo: topo.NewTopology(), dps: dps}
+	return &Fabric{top: NewTopology(), dps: dps}
 }
 
 // AddSwitch registers a switch. Topology must be complete before the
 // first Establish call.
 func (f *Fabric) AddSwitch(id SwitchID) error {
-	if f.open {
+	if f.net != nil {
 		return errTopologyFrozen{}
 	}
-	return f.topo.AddSwitch(id)
+	return f.top.AddSwitch(id)
 }
 
 // Trunk connects two switches with a full-duplex link.
 func (f *Fabric) Trunk(a, b SwitchID) error {
-	if f.open {
+	if f.net != nil {
 		return errTopologyFrozen{}
 	}
-	return f.topo.ConnectSwitches(a, b)
+	return f.top.Trunk(a, b)
 }
 
 // AttachNode homes an end-node on a switch.
 func (f *Fabric) AttachNode(n NodeID, s SwitchID) error {
-	if f.open {
+	if f.net != nil {
 		return errTopologyFrozen{}
 	}
-	return f.topo.AttachNode(n, s)
+	return f.top.Attach(n, s)
 }
 
 // Establish routes and admission-tests a channel. On acceptance it
 // returns the channel ID and the per-hop deadline budgets.
 func (f *Fabric) Establish(spec ChannelSpec) (ChannelID, []int64, error) {
-	if !f.open {
-		f.ctrl = topo.NewController(f.topo, topo.Config{DPS: f.dps})
-		f.open = true
+	if f.net == nil {
+		f.net = New(WithTopology(f.top), WithHDPS(f.dps))
 	}
-	ch, err := f.ctrl.Request(spec)
+	ch, err := f.net.Establish(spec)
 	if err != nil {
 		return 0, nil, err
 	}
-	return ch.ID, append([]int64(nil), ch.Hops...), nil
+	return ch.ID(), ch.Budgets(), nil
 }
 
 // Release tears down a fabric channel.
 func (f *Fabric) Release(id ChannelID) error {
-	if !f.open {
+	if f.net == nil {
 		return errUnknownChannel(id)
 	}
-	return f.ctrl.Release(id)
+	return f.net.Release(id)
 }
 
 // Accepted returns the number of currently admitted channels.
 func (f *Fabric) Accepted() int {
-	if !f.open {
+	if f.net == nil {
 		return 0
 	}
-	return f.ctrl.State().Len()
+	return len(f.net.Channels())
 }
 
 // RouteLength returns the number of hops a channel between the two nodes
 // would traverse (useful to pre-check D >= hops*C).
 func (f *Fabric) RouteLength(src, dst NodeID) (int, error) {
-	route, err := f.topo.Route(src, dst)
-	if err != nil {
-		return 0, err
-	}
-	return len(route), nil
+	return f.top.RouteLength(src, dst)
 }
 
 // FabricRun is the outcome of simulating a fabric's admitted channels.
@@ -113,21 +110,38 @@ type FabricRun struct {
 	WorstDelay int64 // maximum observed end-to-end delay (slots)
 }
 
-// Simulate runs the currently admitted channels hop by hop for the given
-// number of slots (periodic traffic, optional per-channel release
-// offsets) and reports delivery against the end-to-end deadlines — the
-// dynamic validation of the per-hop partitioning. Deterministic.
+// Simulate starts the admitted channels (periodic traffic, optional
+// per-channel release offsets) and advances the unified network to the
+// absolute slot horizon, reporting delivery against the end-to-end
+// deadlines. Unlike the pre-unification Fabric, repeated calls continue
+// the same run rather than restarting from slot zero; channels admitted
+// between calls are started (with their offsets relative to the current
+// clock) on the next call.
 func (f *Fabric) Simulate(slots int64, offsets map[ChannelID]int64) (FabricRun, error) {
-	if !f.open || f.ctrl.State().Len() == 0 {
+	if f.net == nil || len(f.net.Channels()) == 0 {
 		return FabricRun{}, nil
 	}
-	s, err := fabricsim.New(f.ctrl.State(), offsets, fabricsim.Config{})
-	if err != nil {
-		return FabricRun{}, err
+	if f.started == nil {
+		f.started = make(map[ChannelID]bool)
 	}
-	s.Run(slots)
-	d, m, w := s.Totals()
-	return FabricRun{Delivered: d, Misses: m, WorstDelay: w}, nil
+	for _, id := range f.net.Channels() {
+		ch := f.net.Lookup(id)
+		if ch == nil || f.started[id] {
+			continue
+		}
+		if err := ch.Start(offsets[id]); err != nil {
+			return FabricRun{}, err
+		}
+		f.started[id] = true
+	}
+	f.net.RunUntil(slots)
+	rep := f.net.Report()
+	_, worst := rep.WorstDelay()
+	return FabricRun{
+		Delivered:  rep.TotalDelivered(),
+		Misses:     rep.TotalMisses(),
+		WorstDelay: worst,
+	}, nil
 }
 
 type errTopologyFrozen struct{}

@@ -136,6 +136,40 @@ func TestFabricSimulate(t *testing.T) {
 	}
 }
 
+func TestFabricSimulateIncremental(t *testing.T) {
+	// Channels admitted between Simulate calls carry traffic on the next
+	// call.
+	f := lineFabric(t, HADPS(), 2)
+	f.AttachNode(1, 0)
+	f.AttachNode(2, 1)
+	f.AttachNode(3, 1)
+	if _, _, err := f.Establish(ChannelSpec{Src: 1, Dst: 2, C: 2, P: 50, D: 40}); err != nil {
+		t.Fatal(err)
+	}
+	run1, err := f.Simulate(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Delivered == 0 {
+		t.Fatal("first channel delivered nothing")
+	}
+	if _, _, err := f.Establish(ChannelSpec{Src: 1, Dst: 3, C: 2, P: 50, D: 40}); err != nil {
+		t.Fatal(err)
+	}
+	run2, err := f.Simulate(2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another 1000 slots with both channels: ~40 more frames each.
+	if run2.Delivered < run1.Delivered+70 {
+		t.Errorf("delivered %d → %d; the late-admitted channel carried no traffic",
+			run1.Delivered, run2.Delivered)
+	}
+	if run2.Misses != 0 {
+		t.Errorf("misses = %d", run2.Misses)
+	}
+}
+
 func TestFabricReleaseBeforeEstablish(t *testing.T) {
 	f := NewFabric(nil)
 	if err := f.Release(1); err == nil {

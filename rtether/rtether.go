@@ -4,33 +4,50 @@
 // (IPPS 2004).
 //
 // The library provides RT channels — virtual connections {P, C, d} with a
-// guaranteed worst-case delivery delay — over a simulated full-duplex
-// switched Ethernet star network. The switch performs admission control
-// using per-link EDF feasibility analysis; both end-nodes and switch
-// schedule real-time frames Earliest-Deadline-First while unmodified
-// best-effort (TCP-like) traffic shares the wire through FCFS queues.
-// Deadlines are split across uplink and downlink by a pluggable deadline
+// guaranteed worst-case delivery delay — over simulated full-duplex
+// switched Ethernet. Admission control uses per-link EDF feasibility
+// analysis; end-nodes and switches schedule real-time frames
+// Earliest-Deadline-First while unmodified best-effort (TCP-like)
+// traffic shares the wire through FCFS queues. Deadlines are split
+// across the links of a channel's route by a pluggable deadline
 // partitioning scheme: symmetric (SDPS) or load-weighted asymmetric
 // (ADPS), the paper's contribution.
+//
+// One Network type covers every topology. The default is the paper's
+// single-switch star, simulated cycle-accurately with the full wire
+// protocol; passing a multi-switch Topology (the paper's §18.5 future
+// work) routes channels across interconnected switches, partitions
+// deadlines per hop, and simulates the admitted RT traffic hop by hop.
 //
 // A minimal session:
 //
 //	net := rtether.New(rtether.WithADPS())
 //	net.MustAddNode(1)
 //	net.MustAddNode(2)
-//	id, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
-//	if err != nil { ... }           // admission control said no
-//	net.StartTraffic(id, 0)         // C frames every P slots
+//	ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+//	if err != nil { ... }           // admission said no — see *AdmissionError for why
+//	ch.Start(0)                     // C frames every P slots
 //	net.RunFor(1000)                // advance virtual time
-//	rep := net.Report()             // delays, misses, throughput
+//	m := ch.Metrics()               // delays, misses
+//
+// And across a fabric of switches:
+//
+//	top := rtether.NewTopology()
+//	top.AddSwitch(0); top.AddSwitch(1); top.Trunk(0, 1)
+//	top.Attach(1, 0); top.Attach(2, 1)
+//	net := rtether.New(rtether.WithTopology(top), rtether.WithHDPS(rtether.HADPS()))
+//	ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 42})
 //
 // All times are integer timeslots (one slot = the transmission time of
 // one maximal Ethernet frame; see SlotNanos to convert). The simulation
 // is fully deterministic: identical call sequences produce identical
-// results.
+// results. See README.md for a tour of the API and migration notes for
+// the deprecated ID-based methods.
 package rtether
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/netsim"
@@ -48,9 +65,9 @@ type (
 	ChannelID = core.ChannelID
 	// ChannelSpec is a channel request {Src, Dst, P, C, D} in slots.
 	ChannelSpec = core.ChannelSpec
-	// Partition is a deadline split {Up, Down}.
+	// Partition is a two-hop deadline split {Up, Down}.
 	Partition = core.Partition
-	// DPS is a deadline partitioning scheme.
+	// DPS is a deadline partitioning scheme for star networks.
 	DPS = core.DPS
 	// Report is a measurement snapshot; see Network.Report.
 	Report = netsim.Report
@@ -60,7 +77,10 @@ type (
 	DelayStats = stats.Delay
 )
 
-// ErrInfeasible is returned when admission control rejects a channel.
+// ErrInfeasible is the sentinel wrapped by every feasibility-based
+// rejection; errors.Is(err, ErrInfeasible) matches regardless of which
+// link failed. The concrete error returned by Establish is an
+// *AdmissionError carrying the rejecting link and its diagnostics.
 var ErrInfeasible = core.ErrInfeasible
 
 // SDPS returns the Symmetric Deadline Partitioning Scheme (d/2 each way).
@@ -75,33 +95,74 @@ func ADPS() DPS { return core.ADPS{} }
 // maximal frame including preamble and inter-frame gap.
 func SlotNanos(mbps int64) int64 { return frame.SlotNanos(mbps) }
 
-// Option configures a Network.
-type Option func(*netsim.Config)
+// config collects everything the options can set. The star fields feed
+// the netsim simulator directly; topology and hdps select and tune the
+// fabric backend.
+type config struct {
+	star     netsim.Config
+	topology *Topology
+	hdps     HDPS
+}
 
-// WithDPS selects the deadline partitioning scheme (default SDPS).
-func WithDPS(d DPS) Option { return func(c *netsim.Config) { c.DPS = d } }
+// Option configures a Network.
+type Option func(*config)
+
+// WithTopology selects the physical layout. A topology with one switch
+// (or none) is the degenerate star that New builds by default — its
+// attached nodes are pre-added in attachment order. A topology with
+// several switches turns the network into a routed fabric: channels
+// cross one uplink, zero or more trunks, and one downlink, and their
+// deadlines are partitioned per hop by the scheme set with WithHDPS.
+func WithTopology(t *Topology) Option {
+	return func(c *config) { c.topology = t }
+}
+
+// WithDPS selects the deadline partitioning scheme for star networks
+// (default SDPS). On a multi-switch topology, SDPS and ADPS map to their
+// hop-general forms H-SDPS and H-ADPS; custom DPS implementations do not
+// — use WithHDPS for those.
+func WithDPS(d DPS) Option {
+	return func(c *config) {
+		c.star.DPS = d
+		switch d.(type) {
+		case core.ADPS:
+			c.hdps = HADPS()
+		case core.SDPS:
+			c.hdps = HSDPS()
+		}
+	}
+}
 
 // WithADPS is shorthand for WithDPS(ADPS()).
 func WithADPS() Option { return WithDPS(core.ADPS{}) }
 
-// WithShaping enables or disables the switch's release-guard regulator
-// (enabled by default). Disabling reproduces the paper's plain
+// WithHDPS selects the hop-general deadline partitioning scheme used on
+// multi-switch topologies (default HSDPS). It has no effect on stars.
+func WithHDPS(h HDPS) Option {
+	return func(c *config) { c.hdps = h }
+}
+
+// WithShaping enables or disables the release-guard regulator at the
+// switches (enabled by default). Disabling reproduces the paper's plain
 // work-conserving switch.
 func WithShaping(enabled bool) Option {
-	return func(c *netsim.Config) { c.DisableShaping = !enabled }
+	return func(c *config) { c.star.DisableShaping = !enabled }
 }
 
 // WithNonRTQueueCap bounds every best-effort FCFS queue to the given
-// number of frames (0 = unbounded, the default).
+// number of frames (0 = unbounded, the default). Star networks only —
+// the fabric simulator carries RT traffic exclusively.
 func WithNonRTQueueCap(frames int) Option {
-	return func(c *netsim.Config) { c.NonRTQueueCap = frames }
+	return func(c *config) { c.star.NonRTQueueCap = frames }
 }
 
 // WithPropagation sets the per-hop propagation delay in whole slots
 // (default 0). It contributes to T_latency in the delivery guarantee
-// T_max = d + T_latency (Eq. 18.1 of the paper).
+// T_max = d + T_latency (Eq. 18.1), scaled by the route's hop count.
+// As in the paper, T_latency is an analytic constant padded onto the
+// guarantee; the simulators do not delay individual frames by it.
 func WithPropagation(slots int64) Option {
-	return func(c *netsim.Config) { c.Propagation = slots }
+	return func(c *config) { c.star.Propagation = slots }
 }
 
 // Discipline selects the real-time queue ordering on every link.
@@ -109,7 +170,7 @@ type Discipline = sched.Discipline
 
 // Queue disciplines. Admission control always models EDF; the weaker
 // dispatchers exist for comparison experiments (an EDF-admitted set run
-// under FIFO misses deadlines — see EXPERIMENTS.md E11).
+// under FIFO misses deadlines — see README.md).
 const (
 	DisciplineEDF  = sched.DisciplineEDF
 	DisciplineFIFO = sched.DisciplineFIFO
@@ -117,131 +178,215 @@ const (
 )
 
 // WithDiscipline overrides the RT dispatcher (default EDF, the paper's).
+// Star networks only.
 func WithDiscipline(d Discipline) Option {
-	return func(c *netsim.Config) { c.Discipline = d }
+	return func(c *config) { c.star.Discipline = d }
 }
 
-// Network is one simulated star network: a switch plus end-nodes. Not
-// safe for concurrent use — drive it from one goroutine.
+// Network is one simulated real-time Ethernet network: a single-switch
+// star by default, or a routed multi-switch fabric when built with
+// WithTopology. Not safe for concurrent use — drive it from one
+// goroutine.
 type Network struct {
-	inner *netsim.Network
+	be      backend
+	handles map[ChannelID]*Channel
 }
 
-// New creates an empty network.
+// New creates a network. Without WithTopology (or with a single-switch
+// topology) it is the paper's star network, simulated cycle-accurately
+// with the full wire protocol; with a multi-switch topology it routes
+// channels across the fabric and simulates their RT traffic hop by hop.
 func New(opts ...Option) *Network {
-	var cfg netsim.Config
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Network{inner: netsim.New(cfg)}
+	n := &Network{handles: make(map[ChannelID]*Channel)}
+	if cfg.topology == nil || cfg.topology.isStar() {
+		var nodes []NodeID
+		if cfg.topology != nil {
+			nodes = cfg.topology.nodes
+		}
+		n.be = newStarBackend(cfg.star, nodes)
+	} else {
+		n.be = newFabricBackend(cfg.topology, cfg.hdps, cfg.star)
+	}
+	return n
 }
 
-// AddNode attaches an end-node to the switch.
+// AddNode attaches an end-node to the switch of a star network. On a
+// multi-switch network nodes are attached via Topology.Attach before New
+// and AddNode returns an error.
 func (n *Network) AddNode(id NodeID) error {
-	_, err := n.inner.AddNode(id)
-	return err
+	return n.be.addNode(id)
 }
 
 // MustAddNode is AddNode panicking on error, for static topologies.
 func (n *Network) MustAddNode(id NodeID) {
-	n.inner.MustAddNode(id)
-}
-
-// Establish runs the RequestFrame/ResponseFrame handshake over the
-// simulated wire and returns the assigned channel ID, or ErrInfeasible
-// when the switch's feasibility test (or the destination) rejects it.
-// Establishment consumes virtual time.
-func (n *Network) Establish(spec ChannelSpec) (ChannelID, error) {
-	return n.inner.EstablishChannel(spec)
-}
-
-// Release tears down an established channel and stops its traffic
-// immediately through the management plane.
-func (n *Network) Release(id ChannelID) error {
-	return n.inner.ReleaseChannel(id)
-}
-
-// Teardown releases a channel over the wire: the source node stops its
-// traffic and sends a Teardown control frame; the switch frees the
-// reservation when the frame arrives (so teardown consumes virtual time,
-// unlike Release). Extension — the paper defines establishment only.
-func (n *Network) Teardown(id ChannelID) error {
-	ch := n.inner.Controller().State().Get(id)
-	if ch == nil {
-		return errUnknownChannel(id)
+	if err := n.be.addNode(id); err != nil {
+		panic(err)
 	}
-	return n.inner.Node(ch.Spec.Src).CloseChannel(id)
 }
 
-// StartTraffic attaches the periodic source of a channel: C maximal
-// frames every P slots, first release `offset` slots from now.
-func (n *Network) StartTraffic(id ChannelID, offset int64) error {
-	ch := n.inner.Controller().State().Get(id)
-	if ch == nil {
-		return errUnknownChannel(id)
+// Establish requests an RT channel and returns its handle. On a star
+// network the RequestFrame/ResponseFrame handshake runs over the
+// simulated wire and consumes virtual time; on a fabric the channel is
+// routed, its deadline partitioned per hop, and every affected link
+// re-verified, without consuming time.
+//
+// A feasibility rejection is returned as an *AdmissionError naming the
+// saturated link; errors.Is(err, ErrInfeasible) matches it.
+func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
+	id, _, err := n.be.establish(spec)
+	if err != nil {
+		return nil, err
 	}
-	return n.inner.Node(ch.Spec.Src).StartTraffic(id, offset)
+	ch := &Channel{net: n, id: id, spec: spec}
+	n.handles[id] = ch
+	return ch, nil
+}
+
+// Lookup returns the handle of an established channel, or nil. Handles
+// exist only for channels established through this Network value.
+func (n *Network) Lookup(id ChannelID) *Channel {
+	ch := n.handles[id]
+	if ch == nil || ch.closed {
+		return nil
+	}
+	return ch
+}
+
+// releaseID frees a channel through the management plane and closes its
+// handle.
+func (n *Network) releaseID(id ChannelID) error {
+	if err := n.be.release(id); err != nil {
+		return err
+	}
+	n.closeHandle(id)
+	return nil
+}
+
+// teardownID initiates a wire-level teardown and closes the handle (the
+// reservation itself is freed when the Teardown frame reaches the
+// switch).
+func (n *Network) teardownID(id ChannelID) error {
+	if err := n.be.teardown(id); err != nil {
+		return err
+	}
+	n.closeHandle(id)
+	return nil
+}
+
+func (n *Network) closeHandle(id ChannelID) {
+	if ch := n.handles[id]; ch != nil {
+		ch.closed = true
+		delete(n.handles, id)
+	}
 }
 
 // SendBestEffort queues one non-real-time frame from src to dst through
-// the FCFS path. It reports false if a bounded queue dropped the frame.
+// the FCFS path. It reports false if a bounded queue dropped the frame
+// or the network does not carry best-effort traffic (fabrics model RT
+// traffic only).
 func (n *Network) SendBestEffort(src, dst NodeID, payload []byte) bool {
-	node := n.inner.Node(src)
-	if node == nil {
-		return false
-	}
-	return node.SendNonRT(dst, payload)
+	return n.be.sendBestEffort(src, dst, payload)
+}
+
+// Schedule registers fn to run at the absolute slot t (clamped to the
+// current time), for custom traffic generators and experiment drivers.
+func (n *Network) Schedule(t int64, fn func()) {
+	n.be.schedule(t, fn)
 }
 
 // Now returns the current virtual time in slots.
-func (n *Network) Now() int64 { return n.inner.Engine().Now() }
+func (n *Network) Now() int64 { return n.be.now() }
 
 // RunFor advances the simulation by d slots.
-func (n *Network) RunFor(d int64) { n.inner.Run(n.Now() + d) }
+func (n *Network) RunFor(d int64) { n.be.run(n.be.now() + d) }
 
 // RunUntil advances the simulation to the absolute slot t.
-func (n *Network) RunUntil(t int64) { n.inner.Run(t) }
+func (n *Network) RunUntil(t int64) { n.be.run(t) }
 
 // Report snapshots all measurements: per-channel delays and misses,
-// best-effort throughput and drops.
-func (n *Network) Report() *Report { return n.inner.Report() }
-
-// Channel returns the committed spec and current deadline partition of an
-// established channel.
-func (n *Network) Channel(id ChannelID) (ChannelSpec, Partition, bool) {
-	ch := n.inner.Controller().State().Get(id)
-	if ch == nil {
-		return ChannelSpec{}, Partition{}, false
-	}
-	return ch.Spec, ch.Part, true
-}
-
-// Channels lists established channel IDs in establishment order.
-func (n *Network) Channels() []ChannelID {
-	chs := n.inner.Controller().State().Channels()
-	out := make([]ChannelID, len(chs))
-	for i, ch := range chs {
-		out[i] = ch.ID
-	}
-	return out
-}
+// best-effort throughput and drops (star networks).
+func (n *Network) Report() *Report { return n.be.report() }
 
 // GuaranteedDelay returns the delivery guarantee T_max = d + T_latency
-// for a spec on this network (Eq. 18.1).
+// for a spec on this network (Eq. 18.1); on fabrics T_latency scales
+// with the route's hop count.
 func (n *Network) GuaranteedDelay(spec ChannelSpec) int64 {
-	return spec.D + n.inner.ExtraLatency()
+	return n.be.guaranteedDelay(spec)
 }
 
 // LinkLoadUp returns the number of channels on a node's uplink — LL in
 // the paper's ADPS definition.
-func (n *Network) LinkLoadUp(id NodeID) int {
-	return n.inner.Controller().State().LinkLoad(core.Uplink(id))
-}
+func (n *Network) LinkLoadUp(id NodeID) int { return n.be.linkLoadUp(id) }
 
 // LinkLoadDown returns the number of channels on a node's downlink.
-func (n *Network) LinkLoadDown(id NodeID) int {
-	return n.inner.Controller().State().LinkLoad(core.Downlink(id))
+func (n *Network) LinkLoadDown(id NodeID) int { return n.be.linkLoadDown(id) }
+
+// AdmissionStats summarizes admission-control activity so far.
+func (n *Network) AdmissionStats() AdmissionStats { return n.be.admissionStats() }
+
+// WriteSnapshot serializes the established channels as indented JSON
+// (star networks; see core snapshot format).
+func (n *Network) WriteSnapshot(w io.Writer) error { return n.be.writeSnapshot(w) }
+
+// ---------------------------------------------------------------------------
+// Deprecated ID-based methods. They remain as thin wrappers for one
+// release; new code should use the *Channel handle returned by Establish.
+
+// EstablishID is Establish returning the raw channel ID.
+//
+// Deprecated: use Establish and the returned *Channel handle.
+func (n *Network) EstablishID(spec ChannelSpec) (ChannelID, error) {
+	ch, err := n.Establish(spec)
+	if err != nil {
+		return 0, err
+	}
+	return ch.id, nil
 }
+
+// Release tears down an established channel through the management
+// plane.
+//
+// Deprecated: use Channel.Release.
+func (n *Network) Release(id ChannelID) error { return n.releaseID(id) }
+
+// Teardown releases a channel over the wire.
+//
+// Deprecated: use Channel.Teardown.
+func (n *Network) Teardown(id ChannelID) error { return n.teardownID(id) }
+
+// StartTraffic attaches the periodic source of a channel.
+//
+// Deprecated: use Channel.Start.
+func (n *Network) StartTraffic(id ChannelID, offset int64) error {
+	return n.be.startTraffic(id, offset)
+}
+
+// StopTraffic detaches the periodic source of a channel.
+//
+// Deprecated: use Channel.Stop.
+func (n *Network) StopTraffic(id ChannelID) error {
+	return n.be.stopTraffic(id)
+}
+
+// Channel returns the committed spec and current two-hop deadline
+// partition of an established channel. On routes longer than two hops
+// the partition reports the first and last hop budgets.
+//
+// Deprecated: use the *Channel handle (Spec, Budgets).
+func (n *Network) Channel(id ChannelID) (ChannelSpec, Partition, bool) {
+	spec, budgets, ok := n.be.channelInfo(id)
+	if !ok || len(budgets) == 0 {
+		return ChannelSpec{}, Partition{}, false
+	}
+	return spec, Partition{Up: budgets[0], Down: budgets[len(budgets)-1]}, true
+}
+
+// Channels lists established channel IDs in establishment order.
+func (n *Network) Channels() []ChannelID { return n.be.channelIDs() }
 
 type errUnknownChannel ChannelID
 

@@ -9,24 +9,26 @@ func TestQuickstartFlow(t *testing.T) {
 	net := New(WithADPS())
 	net.MustAddNode(1)
 	net.MustAddNode(2)
-	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	ch, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := net.StartTraffic(id, 0); err != nil {
+	if err := ch.Start(0); err != nil {
 		t.Fatal(err)
 	}
 	net.RunFor(1000)
-	rep := net.Report()
-	m := rep.Channels[id]
+	m := ch.Metrics()
 	if m == nil || m.Delivered == 0 {
 		t.Fatal("no frames delivered")
 	}
 	if m.Misses != 0 {
 		t.Errorf("misses = %d", m.Misses)
 	}
-	if m.Delays.Max() > net.GuaranteedDelay(ChannelSpec{D: 40}) {
+	if m.Delays.Max() > ch.GuaranteedDelay() {
 		t.Errorf("worst delay %d beyond guarantee", m.Delays.Max())
+	}
+	if rep := net.Report(); rep.Channels[ch.ID()] == nil {
+		t.Error("report misses the channel")
 	}
 }
 
@@ -58,57 +60,71 @@ func TestChannelIntrospection(t *testing.T) {
 	net.MustAddNode(1)
 	net.MustAddNode(2)
 	spec := ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
-	id, err := net.Establish(spec)
+	ch, err := net.Establish(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotSpec, part, ok := net.Channel(id)
+	if ch.Spec() != spec {
+		t.Fatalf("Spec() = %v", ch.Spec())
+	}
+	budgets := ch.Budgets()
+	if len(budgets) != 2 || budgets[0]+budgets[1] != spec.D {
+		t.Errorf("budgets %v do not sum to D", budgets)
+	}
+	// Deprecated ID-based introspection keeps working.
+	gotSpec, part, ok := net.Channel(ch.ID())
 	if !ok || gotSpec != spec {
 		t.Fatalf("Channel() = %v,%v,%v", gotSpec, part, ok)
 	}
-	if part.Up+part.Down != spec.D {
-		t.Errorf("partition %v does not sum to D", part)
+	if part.Up != budgets[0] || part.Down != budgets[1] {
+		t.Errorf("partition %v does not match budgets %v", part, budgets)
 	}
 	if _, _, ok := net.Channel(999); ok {
 		t.Error("unknown channel introspected")
 	}
 	ids := net.Channels()
-	if len(ids) != 1 || ids[0] != id {
+	if len(ids) != 1 || ids[0] != ch.ID() {
 		t.Errorf("Channels() = %v", ids)
+	}
+	if net.Lookup(ch.ID()) != ch {
+		t.Error("Lookup did not return the handle")
 	}
 	if net.LinkLoadUp(1) != 1 || net.LinkLoadDown(2) != 1 || net.LinkLoadUp(2) != 0 {
 		t.Error("link loads wrong")
 	}
 }
 
-func TestReleaseViaFacade(t *testing.T) {
+func TestReleaseViaHandle(t *testing.T) {
 	net := New()
 	net.MustAddNode(1)
 	net.MustAddNode(2)
-	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	ch, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := net.Release(id); err != nil {
+	if err := ch.Release(); err != nil {
 		t.Fatal(err)
 	}
 	if len(net.Channels()) != 0 {
 		t.Error("channel survived release")
 	}
-	if err := net.StartTraffic(id, 0); err == nil {
-		t.Error("StartTraffic on released channel accepted")
+	if net.Lookup(ch.ID()) != nil {
+		t.Error("released handle still resolvable")
+	}
+	if err := ch.Start(0); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("Start after Release = %v, want ErrChannelClosed", err)
 	}
 }
 
-func TestTeardownViaFacade(t *testing.T) {
+func TestTeardownViaHandle(t *testing.T) {
 	net := New()
 	net.MustAddNode(1)
 	net.MustAddNode(2)
-	id, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	ch, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := net.Teardown(id); err != nil {
+	if err := ch.Teardown(); err != nil {
 		t.Fatal(err)
 	}
 	// Reservation persists until the frame crosses the uplink.
@@ -116,8 +132,55 @@ func TestTeardownViaFacade(t *testing.T) {
 	if len(net.Channels()) != 0 {
 		t.Error("channel survived wire teardown")
 	}
-	if err := net.Teardown(id); err == nil {
-		t.Error("double teardown accepted")
+	if err := ch.Teardown(); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("double teardown = %v, want ErrChannelClosed", err)
+	}
+}
+
+func TestDeprecatedIDMethods(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	id, err := net.EstablishID(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartTraffic(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StopTraffic(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartTraffic(id, 0); err == nil {
+		t.Error("StartTraffic on released channel accepted")
+	}
+	// Releasing through the deprecated path closed the handle too.
+	if net.Lookup(id) != nil {
+		t.Error("handle survived ID-based release")
+	}
+}
+
+func TestUnknownChannelErrors(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	const ghost = ChannelID(999)
+	if err := net.StartTraffic(ghost, 0); err == nil {
+		t.Error("StartTraffic on unknown channel accepted")
+	} else if err.Error() != "rtether: unknown channel" {
+		t.Errorf("unexpected error text: %q", err.Error())
+	}
+	if err := net.Teardown(ghost); err == nil {
+		t.Error("Teardown on unknown channel accepted")
+	}
+	if err := net.StopTraffic(ghost); err == nil {
+		t.Error("StopTraffic on unknown channel accepted")
+	}
+	if net.Lookup(ghost) != nil {
+		t.Error("Lookup resolved an unknown channel")
 	}
 }
 
@@ -152,21 +215,33 @@ func TestSlotNanos(t *testing.T) {
 	}
 }
 
+func TestScheduleRunsCallback(t *testing.T) {
+	net := New()
+	net.MustAddNode(1)
+	net.MustAddNode(2)
+	fired := int64(-1)
+	net.Schedule(net.Now()+50, func() { fired = net.Now() })
+	net.RunFor(100)
+	if fired < 0 {
+		t.Fatal("scheduled callback never ran")
+	}
+}
+
 func TestDeterministicFacadeRuns(t *testing.T) {
 	run := func() int64 {
 		net := New(WithADPS())
 		for id := NodeID(1); id <= 6; id++ {
 			net.MustAddNode(id)
 		}
-		var ids []ChannelID
+		var chans []*Channel
 		for i := 0; i < 10; i++ {
-			if id, err := net.Establish(ChannelSpec{
+			if ch, err := net.Establish(ChannelSpec{
 				Src: NodeID(1 + i%3), Dst: NodeID(4 + i%3), C: 2, P: 50, D: 30}); err == nil {
-				ids = append(ids, id)
+				chans = append(chans, ch)
 			}
 		}
-		for _, id := range ids {
-			if err := net.StartTraffic(id, int64(id)%7); err != nil {
+		for _, ch := range chans {
+			if err := ch.Start(int64(ch.ID()) % 7); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,79 @@
+package rtether
+
+import (
+	"repro/internal/topo"
+)
+
+// Topology describes the physical layout of a network before it is
+// brought up: switches, the full-duplex trunks between them, and which
+// switch each end-node attaches to. Pass a completed Topology to New via
+// WithTopology; a topology with a single switch (or none) is the
+// degenerate star that New builds by default.
+//
+// A Topology must be complete before it is handed to New — mutating it
+// afterwards has no effect on networks already built from it. The same
+// Topology may be shared by several Networks (e.g. to compare
+// partitioning schemes on identical layouts).
+type Topology struct {
+	inner    *topo.Topology
+	switches []SwitchID
+	trunks   int
+	nodes    []NodeID // attachment order
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{inner: topo.NewTopology()}
+}
+
+// AddSwitch registers a switch.
+func (t *Topology) AddSwitch(id SwitchID) error {
+	if err := t.inner.AddSwitch(id); err != nil {
+		return err
+	}
+	t.switches = append(t.switches, id)
+	return nil
+}
+
+// Trunk connects two switches with a full-duplex inter-switch link.
+func (t *Topology) Trunk(a, b SwitchID) error {
+	if err := t.inner.ConnectSwitches(a, b); err != nil {
+		return err
+	}
+	t.trunks++
+	return nil
+}
+
+// Attach homes an end-node on a switch.
+func (t *Topology) Attach(n NodeID, s SwitchID) error {
+	if err := t.inner.AttachNode(n, s); err != nil {
+		return err
+	}
+	t.nodes = append(t.nodes, n)
+	return nil
+}
+
+// Switches returns the registered switch IDs in registration order.
+func (t *Topology) Switches() []SwitchID {
+	return append([]SwitchID(nil), t.switches...)
+}
+
+// Nodes returns the attached end-nodes in attachment order.
+func (t *Topology) Nodes() []NodeID {
+	return append([]NodeID(nil), t.nodes...)
+}
+
+// RouteLength returns the number of directed links a channel between the
+// two nodes would traverse (useful to pre-check D >= hops*C before
+// requesting).
+func (t *Topology) RouteLength(src, dst NodeID) (int, error) {
+	route, err := t.inner.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(route), nil
+}
+
+// isStar reports whether the topology degenerates to the paper's
+// single-switch star network.
+func (t *Topology) isStar() bool { return len(t.switches) <= 1 }

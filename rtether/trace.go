@@ -34,5 +34,7 @@ const (
 // events (a default capacity when <= 0).
 func NewRingTracer(capacity int) *RingTracer { return netsim.NewRingTracer(capacity) }
 
-// SetTracer installs a tracer on the network; nil disables tracing.
-func (n *Network) SetTracer(t Tracer) { n.inner.SetTracer(t) }
+// SetTracer installs a tracer on the network; nil disables tracing. It
+// reports whether the network streams trace events — star networks do;
+// the multi-switch simulator does not (yet).
+func (n *Network) SetTracer(t Tracer) bool { return n.be.setTracer(t) }
