@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/netsim"
 	"repro/internal/sched"
+	"repro/internal/topo"
 	"repro/internal/traffic"
 )
 
@@ -144,6 +146,104 @@ func BenchmarkAdmissionSequence(b *testing.B) {
 				ctrl := core.NewController(core.Config{DPS: dps})
 				for _, s := range requests {
 					_, _ = ctrl.Request(s)
+				}
+			}
+		})
+	}
+}
+
+// scaleSpecs generates n feasible synthetic channels spread over a
+// 100-source x 100-sink grid, so per-link load grows to n/100 while the
+// population reaches fleet scale.
+func scaleSpecs(n int) []core.ChannelSpec {
+	specs := make([]core.ChannelSpec, n)
+	for i := range specs {
+		specs[i] = core.ChannelSpec{
+			Src: core.NodeID(1 + i%100),
+			Dst: core.NodeID(1001 + (i/100)%100),
+			C:   1, P: 10000, D: 2000,
+		}
+	}
+	return specs
+}
+
+// scaleFabricSpecs relaxes the periods so the trunk links — which
+// concentrate half the population each — stay EDF-feasible at 10k
+// channels (a trunk serving k unit-capacity channels needs a per-hop
+// budget of at least k slots).
+func scaleFabricSpecs(n int) []core.ChannelSpec {
+	specs := scaleSpecs(n)
+	for i := range specs {
+		specs[i].P = 100000
+		specs[i].D = 50000
+	}
+	return specs
+}
+
+// scaleFabric is a 4-switch line with the scale workload's sources on
+// switches 0-1 and sinks on switches 2-3, so routes cross up to 5 hops.
+func scaleFabric() *topo.Topology {
+	top := topo.Line(4)
+	for i := 0; i < 100; i++ {
+		if err := top.AttachNode(core.NodeID(1+i), topo.SwitchID(i%2)); err != nil {
+			panic(err)
+		}
+		if err := top.AttachNode(core.NodeID(1001+i), topo.SwitchID(2+i%2)); err != nil {
+			panic(err)
+		}
+	}
+	return top
+}
+
+// BenchmarkAdmissionScale measures the admission hot path at fleet scale
+// (N in {1k, 10k} active channels) on both backends, sequentially (N
+// Request calls, each repartitioning incrementally) and batched (one
+// RequestAll). The naive engine deep-cloned and repartitioned all N
+// channels per request — O(N^2) per sequence — and did not finish 10k in
+// sane time; the incremental engine must.
+func BenchmarkAdmissionScale(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		name := fmt.Sprintf("%dk", n/1000)
+		specs := scaleSpecs(n)
+
+		b.Run(name+"/star-sequential-ADPS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(core.Config{DPS: core.ADPS{}})
+				for _, s := range specs {
+					if _, err := ctrl.Request(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(name+"/star-batch-ADPS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(core.Config{DPS: core.ADPS{}})
+				if _, err := ctrl.RequestAll(specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fabricSpecs := scaleFabricSpecs(n)
+		b.Run(name+"/fabric-sequential-HSDPS", func(b *testing.B) {
+			top := scaleFabric()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl := topo.NewController(top, topo.Config{DPS: topo.HSDPS{}})
+				for _, s := range fabricSpecs {
+					if _, err := ctrl.Request(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(name+"/fabric-batch-HSDPS", func(b *testing.B) {
+			top := scaleFabric()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl := topo.NewController(top, topo.Config{DPS: topo.HSDPS{}})
+				if _, err := ctrl.RequestAll(fabricSpecs); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

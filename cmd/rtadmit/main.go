@@ -5,8 +5,15 @@
 // final system summary. Rejections carry the rtether.AdmissionError
 // diagnostics: the saturated link, its direction, and its utilization.
 //
+// With -batch the whole request set is admitted as one atomic decision
+// through Network.EstablishAll — one repartition and one verification
+// sweep instead of one per request, which is the scalable path for large
+// provisioning files. Either every request is accepted or the batch is
+// rejected with the first failure's diagnostics.
+//
 //	echo "1 100 3 100 40" | rtadmit -dps adps
 //	rtadmit -dps sdps -f requests.txt
+//	rtadmit -dps adps -batch -f provisioning.txt
 package main
 
 import (
@@ -33,6 +40,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		file    = fs.String("f", "-", "requests file ('-' = stdin)")
 		quiet   = fs.Bool("q", false, "suppress per-request lines, print only the summary")
 		dump    = fs.Bool("dump", false, "emit the accepted channels as a JSON snapshot instead of the summary")
+		batch   = fs.Bool("batch", false, "admit all requests as one atomic batch (EstablishAll) instead of one by one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +72,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	rejectLine := func(lineNo int, spec rtether.ChannelSpec, err error) {
+		var ae *rtether.AdmissionError
+		if errors.As(err, &ae) {
+			fmt.Fprintf(stdout, "line %-4d REJECT %v: %s (%s) %s\n",
+				lineNo, spec, ae.Link, ae.Dir, ae.Reason)
+		} else {
+			fmt.Fprintf(stdout, "line %-4d REJECT %v: %v\n", lineNo, spec, err)
+		}
+	}
+
+	// Sequential mode decides (and prints) request by request as lines
+	// arrive; batch mode collects the whole file for one EstablishAll.
+	type request struct {
+		lineNo int
+		spec   rtether.ChannelSpec
+	}
+	var requests []request
 	scanner := bufio.NewScanner(in)
 	lineNo := 0
 	for scanner.Scan() {
@@ -83,18 +108,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		spec := rtether.ChannelSpec{
 			Src: rtether.NodeID(src), Dst: rtether.NodeID(dst), C: c, P: p, D: d,
 		}
+		if *batch {
+			requests = append(requests, request{lineNo: lineNo, spec: spec})
+			continue
+		}
 		ch, err := net.Establish(spec)
 		if *quiet {
 			continue
 		}
 		if err != nil {
-			var ae *rtether.AdmissionError
-			if errors.As(err, &ae) {
-				fmt.Fprintf(stdout, "line %-4d REJECT %v: %s (%s) %s\n",
-					lineNo, spec, ae.Link, ae.Dir, ae.Reason)
-			} else {
-				fmt.Fprintf(stdout, "line %-4d REJECT %v: %v\n", lineNo, spec, err)
-			}
+			rejectLine(lineNo, spec, err)
 			continue
 		}
 		b := ch.Budgets()
@@ -104,6 +127,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintf(stderr, "rtadmit: read: %v\n", err)
 		return 1
+	}
+
+	if *batch {
+		specs := make([]rtether.ChannelSpec, len(requests))
+		for i, r := range requests {
+			specs[i] = r.spec
+		}
+		chs, err := net.EstablishAll(specs)
+		if err != nil {
+			if !*quiet {
+				fmt.Fprintf(stdout, "BATCH REJECT (%d requests): all-or-nothing admission failed\n", len(specs))
+				var ae *rtether.AdmissionError
+				if errors.As(err, &ae) {
+					// Recover the input line of the rejected spec for the
+					// usual line-numbered diagnostic.
+					lineNo := 0
+					for _, r := range requests {
+						if r.spec == ae.Spec {
+							lineNo = r.lineNo
+							break
+						}
+					}
+					rejectLine(lineNo, ae.Spec, err)
+				} else {
+					fmt.Fprintf(stdout, "reason: %v\n", err)
+				}
+			}
+		} else if !*quiet {
+			for i, ch := range chs {
+				b := ch.Budgets()
+				fmt.Fprintf(stdout, "line %-4d ACCEPT %v as RT#%d (d_up=%d d_down=%d)\n",
+					requests[i].lineNo, requests[i].spec, ch.ID(), b[0], b[len(b)-1])
+			}
+		}
 	}
 
 	if *dump {

@@ -107,6 +107,48 @@ func TestDumpSnapshot(t *testing.T) {
 	}
 }
 
+func TestBatchAcceptsAll(t *testing.T) {
+	input := "1 100 3 100 40\n2 101 3 100 40\n3 102 3 100 40\n"
+	var out, errOut strings.Builder
+	code := run([]string{"-dps", "adps", "-batch"}, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if got := strings.Count(s, "ACCEPT"); got != 3 {
+		t.Errorf("ACCEPT lines = %d, want 3\n%s", got, s)
+	}
+	if !strings.Contains(s, "3 requests, 3 accepted") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+}
+
+func TestBatchAllOrNothing(t *testing.T) {
+	// Seven channels on one uplink under SDPS: sequentially six fit, but
+	// as one batch the whole set is refused.
+	var in strings.Builder
+	for i := 0; i < 7; i++ {
+		in.WriteString("1 10")
+		in.WriteByte(byte('0' + i))
+		in.WriteString(" 3 100 40\n")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-dps", "sdps", "-batch"}, strings.NewReader(in.String()), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "BATCH REJECT") {
+		t.Errorf("batch rejection not reported:\n%s", s)
+	}
+	if strings.Contains(s, "ACCEPT") {
+		t.Errorf("all-or-nothing batch printed ACCEPT lines:\n%s", s)
+	}
+	if !strings.Contains(s, "7 requests, 0 accepted") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+}
+
 func TestInvalidSpecRejectedWithReason(t *testing.T) {
 	var out, errOut strings.Builder
 	// D < 2C.

@@ -99,29 +99,128 @@ func (c *Controller) State() *State { return c.state }
 // accepted spec.
 func (c *Controller) GuaranteedDelay(s ChannelSpec) int64 { return s.D + c.cfg.Latency }
 
+// schemes returns the primary DPS followed by the configured fallbacks.
+func (c *Controller) schemes() []DPS {
+	return append([]DPS{c.cfg.DPS}, c.cfg.Fallbacks...)
+}
+
+// incremental reports whether the controller can run the copy-on-write
+// admission path: every configured scheme must support incremental
+// repartitioning, and FullRecheck (the ablation/belt-and-braces mode,
+// which wants to see the whole tentative state) must be off.
+func (c *Controller) incremental() bool {
+	if c.cfg.FullRecheck {
+		return false
+	}
+	for _, d := range c.schemes() {
+		if _, ok := d.(IncrementalDPS); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Request runs the admission test for a new RT channel and, if feasible,
 // commits it and returns the established channel. The decision procedure
 // follows §18.3.2 and §18.4:
 //
 //  1. Validate the spec (including D >= 2C, condition (9)).
 //  2. Build the tentative state: current channels plus the new one.
-//  3. Apply the DPS to the whole tentative state — the DPS is a function
-//     of the system state, so existing channels may be repartitioned.
+//  3. Apply the DPS to the (tentative) system state — the DPS is a
+//     function of the system state, so existing channels may be
+//     repartitioned.
 //  4. Test EDF feasibility of every link whose task set changed (or every
 //     link under FullRecheck). If any link fails, reject and leave the
 //     committed state untouched.
+//
+// With an IncrementalDPS (SDPS/ADPS/FixedDPS) and FullRecheck off, steps
+// 2-4 run copy-on-write on the live state: only channels the DPS actually
+// repartitions are touched and rolled back on rejection, instead of
+// deep-cloning all N channels per request. Decisions are identical either
+// way — only Stats.LinksChecked can differ from FullRecheck mode.
 func (c *Controller) Request(spec ChannelSpec) (*Channel, error) {
 	c.stats.Requests++
 	if err := spec.Validate(); err != nil {
 		c.stats.RejectedInvalid++
 		return nil, err
 	}
+	var chs []*Channel
+	var rej *RejectionError
+	if c.incremental() {
+		chs, rej = c.admitDelta([]ChannelSpec{spec})
+	} else {
+		chs, rej = c.admitClone([]ChannelSpec{spec})
+	}
+	if rej != nil {
+		c.noteRejection(rej)
+		return nil, rej
+	}
+	c.stats.Accepted++
+	return chs[0], nil
+}
 
+// RequestAll runs one admission test for a whole batch of RT channels:
+// the batch is validated, added to a single tentative state, partitioned
+// once, and every affected link verified once — one repartition instead
+// of len(specs). Either every channel commits (returned in spec order) or
+// none does and the first failure is returned.
+//
+// Stats account the batch as len(specs) requests; on success all are
+// accepted, on rejection one rejection is recorded for the batch (the
+// constraint that failed first).
+func (c *Controller) RequestAll(specs []ChannelSpec) ([]*Channel, error) {
+	c.stats.Requests += len(specs)
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			c.stats.RejectedInvalid++
+			return nil, fmt.Errorf("batch spec %d (%v): %w", i, spec, err)
+		}
+	}
+	var chs []*Channel
+	var rej *RejectionError
+	if c.incremental() {
+		chs, rej = c.admitDelta(specs)
+	} else {
+		chs, rej = c.admitClone(specs)
+	}
+	if rej != nil {
+		c.noteRejection(rej)
+		return nil, rej
+	}
+	c.stats.Accepted += len(specs)
+	return chs, nil
+}
+
+// noteRejection classifies a feasibility rejection into the stats
+// counters.
+func (c *Controller) noteRejection(rej *RejectionError) {
+	switch rej.Result.Verdict {
+	case edf.InfeasibleUtilization:
+		c.stats.RejectedUtilization++
+	case edf.InfeasibleDemand:
+		c.stats.RejectedDemand++
+	default:
+		c.stats.RejectedInconclusive++
+	}
+}
+
+// admitClone is the clone-based admission engine: build a full tentative
+// copy of the state per scheme, repartition everything, verify, and swap
+// the state pointer on acceptance. It remains the reference path for
+// FullRecheck mode and for custom non-incremental DPS implementations.
+func (c *Controller) admitClone(specs []ChannelSpec) ([]*Channel, *RejectionError) {
 	var firstRej *RejectionError
-	for _, dps := range append([]DPS{c.cfg.DPS}, c.cfg.Fallbacks...) {
+	for _, dps := range c.schemes() {
 		tentative := c.state.clone()
-		ch := &Channel{ID: tentative.allocID(), Spec: spec}
-		tentative.add(ch)
+		chs := make([]*Channel, len(specs))
+		for i, spec := range specs {
+			ch := &Channel{ID: tentative.allocID(), Spec: spec}
+			tentative.add(ch)
+			chs[i] = ch
+		}
 
 		parts := dps.Partition(tentative)
 		changed := applyPartitions(tentative, parts)
@@ -129,21 +228,51 @@ func (c *Controller) Request(spec ChannelSpec) (*Channel, error) {
 		rej := c.verify(tentative, changed)
 		if rej == nil {
 			c.state = tentative
-			c.stats.Accepted++
-			return ch, nil
+			return chs, nil
 		}
 		if firstRej == nil {
 			firstRej = rej
 		}
 	}
+	return nil, firstRej
+}
 
-	switch firstRej.Result.Verdict {
-	case edf.InfeasibleUtilization:
-		c.stats.RejectedUtilization++
-	case edf.InfeasibleDemand:
-		c.stats.RejectedDemand++
-	default:
-		c.stats.RejectedInconclusive++
+// admitDelta is the copy-on-write admission engine: mutate the live state
+// tentatively (add the channels, repartition only what the DPS says can
+// have moved), verify only the changed links, and roll everything back on
+// rejection. The ID allocator is restored too, so a rejected request
+// leaves no observable trace — decisions and committed states are
+// bit-identical to admitClone.
+func (c *Controller) admitDelta(specs []ChannelSpec) ([]*Channel, *RejectionError) {
+	var firstRej *RejectionError
+	for _, dps := range c.schemes() {
+		inc := dps.(IncrementalDPS)
+		savedNext := c.state.nextID
+		chs := make([]*Channel, len(specs))
+		touched := make([]Link, 0, 2*len(specs))
+		for i, spec := range specs {
+			ch := &Channel{ID: c.state.allocID(), Spec: spec}
+			c.state.add(ch)
+			chs[i] = ch
+			ls := LinksOf(spec)
+			touched = append(touched, ls[0], ls[1])
+		}
+
+		parts := inc.PartitionTouched(c.state, touched)
+		undo, changed := applyPartitionsDelta(c.state, parts)
+
+		rej := c.verifyChanged(c.state, changed)
+		if rej == nil {
+			return chs, nil
+		}
+		rollbackPartitions(c.state, undo)
+		for i := len(chs) - 1; i >= 0; i-- {
+			c.state.undoAdd(chs[i])
+		}
+		c.state.nextID = savedNext
+		if firstRej == nil {
+			firstRej = rej
+		}
 	}
 	return nil, firstRej
 }
@@ -173,11 +302,26 @@ func (c *Controller) ForceAdd(spec ChannelSpec, part Partition) (*Channel, error
 // repartitioned (the DPS depends on the system state); in the unlikely
 // event that repartitioning a smaller system makes some link infeasible,
 // the previous partitions are kept — removing load can never invalidate
-// the schedule under unchanged partitions.
+// the schedule under unchanged partitions. Like Request, Release runs
+// copy-on-write when the primary DPS is incremental.
 func (c *Controller) Release(id ChannelID) error {
-	if c.state.Get(id) == nil {
+	ch := c.state.Get(id)
+	if ch == nil {
 		return fmt.Errorf("core: release of unknown RT channel %d", id)
 	}
+	inc, ok := c.cfg.DPS.(IncrementalDPS)
+	if ok && !c.cfg.FullRecheck {
+		c.state.remove(id)
+		ls := LinksOf(ch.Spec)
+		parts := inc.PartitionTouched(c.state, ls[:])
+		undo, changed := applyPartitionsDelta(c.state, parts)
+		if rej := c.verifyChanged(c.state, changed); rej != nil {
+			rollbackPartitions(c.state, undo)
+		}
+		c.stats.Released++
+		return nil
+	}
+
 	next := c.state.clone()
 	next.remove(id)
 
@@ -205,7 +349,35 @@ func (c *Controller) verify(st *State, changed map[Link]struct{}) *RejectionErro
 			}
 		}
 		c.stats.LinksChecked++
-		res := edf.Test(st.TasksOn(l), c.cfg.Feasibility)
+		res := edf.Test(st.tasksCached(l), c.cfg.Feasibility)
+		if !res.OK() {
+			return &RejectionError{Link: l, Result: res}
+		}
+	}
+	return nil
+}
+
+// verifyChanged tests feasibility of exactly the changed links, visited in
+// the same deterministic order verify uses (sorted by node, uplinks before
+// downlinks — the sorted restriction of the full link sequence, so the
+// first failure reported is identical). Links whose task sets did not
+// change were feasible at the previous commit and cannot have become
+// infeasible, which is what makes the restriction decision-preserving.
+func (c *Controller) verifyChanged(st *State, changed map[Link]struct{}) *RejectionError {
+	links := make([]Link, 0, len(changed))
+	for l := range changed {
+		links = append(links, l)
+	}
+	sortLinks(links)
+	opts := c.cfg.Feasibility
+	for _, l := range links {
+		c.stats.LinksChecked++
+		// The first constraint (U > 1, exact) comes from the state's
+		// incrementally maintained per-link sum — rational arithmetic is
+		// exact, so the answer matches a fresh summation bit for bit.
+		exceeds := st.utilExceedsOne(l)
+		opts.UtilizationExceeds = &exceeds
+		res := edf.Test(st.tasksCached(l), opts)
 		if !res.OK() {
 			return &RejectionError{Link: l, Result: res}
 		}

@@ -103,6 +103,18 @@ type Channel struct {
 	ID   ChannelID
 	Spec ChannelSpec
 	Part Partition
+
+	// tag memoizes the task-set label "RT#<id>" — formatting it on every
+	// per-link task rebuild showed up in admission profiles.
+	tag string
+}
+
+// taskTag returns the cached "RT#<id>" label for the channel's tasks.
+func (c *Channel) taskTag() string {
+	if c.tag == "" {
+		c.tag = fmt.Sprintf("RT#%d", c.ID)
+	}
+	return c.tag
 }
 
 // String implements fmt.Stringer.

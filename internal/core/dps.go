@@ -20,6 +20,24 @@ type DPS interface {
 	Partition(st *State) map[ChannelID]Partition
 }
 
+// IncrementalDPS is an optional refinement of DPS for schemes whose split
+// for a channel depends only on that channel's own spec and the loads of
+// the two links it traverses (true for SDPS, ADPS and FixedDPS). Such a
+// scheme can repartition incrementally: after a mutation that touched a
+// set of links, only channels traversing a touched link can have a
+// different split, so the admission controller skips the full-state
+// Partition call and clones nothing.
+type IncrementalDPS interface {
+	DPS
+	// PartitionTouched returns new partitions after a mutation that
+	// touched the given links. For each returned channel the value must
+	// equal what Partition(st) would return, and every channel omitted
+	// must already hold exactly that value — the controller relies on
+	// both halves of the contract to keep incremental decisions
+	// bit-identical to full repartitioning.
+	PartitionTouched(st *State, touched []Link) map[ChannelID]Partition
+}
+
 // clampPartition builds the partition with the requested uplink share,
 // clamped so that both halves respect condition (9): d_iu, d_id >= C_i.
 // The spec must already satisfy D >= 2C (checked at validation), so a
@@ -54,6 +72,55 @@ func (SDPS) Partition(st *State) map[ChannelID]Partition {
 	return parts
 }
 
+// partitionTouched is the shared shell of every IncrementalDPS
+// implementation: collect the split of each channel traversing a touched
+// link, deduplicating channels that traverse two of them.
+func partitionTouched(st *State, touched []Link, split func(*Channel) Partition) map[ChannelID]Partition {
+	parts := make(map[ChannelID]Partition)
+	for _, l := range touched {
+		for _, ch := range st.channelsOn(l) {
+			if _, done := parts[ch.ID]; done {
+				continue
+			}
+			parts[ch.ID] = split(ch)
+		}
+	}
+	return parts
+}
+
+// partitionTouchedNew is partitionTouched for schemes whose split depends
+// only on the channel's own spec: a committed channel's partition can
+// never change under such a scheme, so only channels that carry no
+// partition yet — the ones the current request just added — need a
+// split, keeping incremental admission O(new channels) per request. It
+// assumes every committed partition was produced by this scheme, which
+// holds for all Request/Release traffic; experiments that mix ForceAdd
+// with further Requests should run FullRecheck.
+func partitionTouchedNew(st *State, touched []Link, split func(*Channel) Partition) map[ChannelID]Partition {
+	parts := make(map[ChannelID]Partition)
+	for _, l := range touched {
+		for _, ch := range st.channelsOn(l) {
+			if ch.Part != (Partition{}) {
+				continue
+			}
+			if _, done := parts[ch.ID]; done {
+				continue
+			}
+			parts[ch.ID] = split(ch)
+		}
+	}
+	return parts
+}
+
+// PartitionTouched implements IncrementalDPS. The symmetric split depends
+// only on the spec, so beyond the request's own new channels nothing can
+// move.
+func (SDPS) PartitionTouched(st *State, touched []Link) map[ChannelID]Partition {
+	return partitionTouchedNew(st, touched, func(ch *Channel) Partition {
+		return clampPartition(ch.Spec, ch.Spec.D/2)
+	})
+}
+
 // ADPS is the Asymmetric Deadline Partitioning Scheme (§18.4.2): the
 // deadline budget is distributed to where it is most needed, in proportion
 // to the link loads of the two links the channel traverses:
@@ -71,23 +138,38 @@ type ADPS struct{}
 func (ADPS) Name() string { return "ADPS" }
 
 // Partition implements DPS.
-func (ADPS) Partition(st *State) map[ChannelID]Partition {
+func (a ADPS) Partition(st *State) map[ChannelID]Partition {
 	parts := make(map[ChannelID]Partition, st.Len())
 	for _, ch := range st.Channels() {
-		llUp := int64(st.LinkLoad(Uplink(ch.Spec.Src)))
-		llDown := int64(st.LinkLoad(Downlink(ch.Spec.Dst)))
-		total := llUp + llDown
-		var up int64
-		if total == 0 {
-			// Unreachable for channels inside st (their own traversal
-			// counts), but keep a sane symmetric fallback.
-			up = ch.Spec.D / 2
-		} else {
-			up = ch.Spec.D * llUp / total
-		}
-		parts[ch.ID] = clampPartition(ch.Spec, up)
+		parts[ch.ID] = a.partitionOf(st, ch)
 	}
 	return parts
+}
+
+// partitionOf computes the load-weighted split of one channel (Eq. 18.16)
+// — shared by the full and incremental paths so they agree bit for bit.
+func (ADPS) partitionOf(st *State, ch *Channel) Partition {
+	llUp := int64(st.LinkLoad(Uplink(ch.Spec.Src)))
+	llDown := int64(st.LinkLoad(Downlink(ch.Spec.Dst)))
+	total := llUp + llDown
+	var up int64
+	if total == 0 {
+		// Unreachable for channels inside st (their own traversal
+		// counts), but keep a sane symmetric fallback.
+		up = ch.Spec.D / 2
+	} else {
+		up = ch.Spec.D * llUp / total
+	}
+	return clampPartition(ch.Spec, up)
+}
+
+// PartitionTouched implements IncrementalDPS. A channel's split depends on
+// the loads of its own two links only, so after a mutation that touched a
+// link set, exactly the channels traversing those links can move.
+func (a ADPS) PartitionTouched(st *State, touched []Link) map[ChannelID]Partition {
+	return partitionTouched(st, touched, func(ch *Channel) Partition {
+		return a.partitionOf(st, ch)
+	})
 }
 
 // FixedDPS assigns every channel the same uplink fraction of its deadline.
@@ -112,6 +194,14 @@ func (f FixedDPS) Partition(st *State) map[ChannelID]Partition {
 	return parts
 }
 
+// PartitionTouched implements IncrementalDPS: like SDPS the split depends
+// only on the spec, so only the request's own new channels matter.
+func (f FixedDPS) PartitionTouched(st *State, touched []Link) map[ChannelID]Partition {
+	return partitionTouchedNew(st, touched, func(ch *Channel) Partition {
+		return clampPartition(ch.Spec, ch.Spec.D*f.UpNum/f.UpDen)
+	})
+}
+
 // applyPartitions installs the computed splits into the state's channels,
 // returning the set of links whose task sets changed (any link touched by
 // a channel whose partition moved). It panics if a partition violates
@@ -130,10 +220,53 @@ func applyPartitions(st *State, parts map[ChannelID]Partition) map[Link]struct{}
 		if ch.Part == p {
 			continue
 		}
-		ch.Part = p
+		st.setPart(ch, p)
 		for _, l := range LinksOf(ch.Spec) {
 			changed[l] = struct{}{}
 		}
 	}
 	return changed
+}
+
+// partitionUndo records one channel's previous split so a tentative
+// repartition can be rolled back in place.
+type partitionUndo struct {
+	ch  *Channel
+	old Partition
+}
+
+// applyPartitionsDelta installs the splits of an incremental repartition
+// directly into the live state, returning an undo log (for rollback on
+// rejection) and the set of links whose task sets changed. Validation
+// matches applyPartitions; channels absent from parts are untouched by
+// contract (IncrementalDPS covers every channel that can have moved).
+func applyPartitionsDelta(st *State, parts map[ChannelID]Partition) ([]partitionUndo, map[Link]struct{}) {
+	var undo []partitionUndo
+	changed := make(map[Link]struct{})
+	for id, p := range parts {
+		ch := st.channels[id]
+		if ch == nil {
+			panic(fmt.Sprintf("core: DPS returned a partition for unknown channel %d", id))
+		}
+		if !p.ValidFor(ch.Spec) {
+			panic(fmt.Sprintf("core: DPS partition %+v violates conditions (8)/(9) for %v", p, ch))
+		}
+		if ch.Part == p {
+			continue
+		}
+		undo = append(undo, partitionUndo{ch: ch, old: ch.Part})
+		st.setPart(ch, p)
+		for _, l := range LinksOf(ch.Spec) {
+			changed[l] = struct{}{}
+		}
+	}
+	return undo, changed
+}
+
+// rollbackPartitions restores the previous splits recorded by
+// applyPartitionsDelta.
+func rollbackPartitions(st *State, undo []partitionUndo) {
+	for _, u := range undo {
+		st.setPart(u.ch, u.old)
+	}
 }

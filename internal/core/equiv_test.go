@@ -1,0 +1,188 @@
+package core_test
+
+// Decision-equivalence tests for the copy-on-write admission engine: the
+// incremental path (persistent per-link caches, delta repartitioning,
+// changed-links verification) must be indistinguishable from the
+// clone-everything FullRecheck reference — identical accept/reject
+// verdicts, identical diagnostics, identical committed states and
+// identical stats counters (only LinksChecked, the work metric the
+// optimization exists to shrink, may differ).
+//
+// The tests live in an external package so they can replay the paper's
+// Fig. 18.5 workload from internal/traffic, which itself imports core.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// snapshotOf serializes a controller's committed state for comparison.
+func snapshotOf(t *testing.T, c *core.Controller) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.String()
+}
+
+// statsSansLinksChecked zeroes the one counter allowed to differ.
+func statsSansLinksChecked(s core.Stats) core.Stats {
+	s.LinksChecked = 0
+	return s
+}
+
+// TestAdmissionDecisionEquivalence replays the Fig. 18.5 establishment
+// sequence (extended past saturation, with interleaved releases) through
+// the old-style full-recheck engine and the incremental engine, asserting
+// identical decisions at every step and identical final state.
+func TestAdmissionDecisionEquivalence(t *testing.T) {
+	requests := traffic.PaperLayout.Requests(400, traffic.PaperSpec)
+	for _, dps := range []core.DPS{core.SDPS{}, core.ADPS{}, core.FixedDPS{UpNum: 5, UpDen: 6}} {
+		t.Run(dps.Name(), func(t *testing.T) {
+			inc := core.NewController(core.Config{DPS: dps})
+			full := core.NewController(core.Config{DPS: dps, FullRecheck: true})
+
+			var accepted []core.ChannelID
+			for i, spec := range requests {
+				chI, errI := inc.Request(spec)
+				chF, errF := full.Request(spec)
+				if (errI == nil) != (errF == nil) {
+					t.Fatalf("request %d (%v): incremental err=%v, full-recheck err=%v", i, spec, errI, errF)
+				}
+				if errI != nil {
+					if errI.Error() != errF.Error() {
+						t.Fatalf("request %d: rejection diagnostics diverge:\n  incremental: %v\n  full:        %v", i, errI, errF)
+					}
+					continue
+				}
+				if chI.ID != chF.ID {
+					t.Fatalf("request %d: channel IDs diverge: %d vs %d", i, chI.ID, chF.ID)
+				}
+				accepted = append(accepted, chI.ID)
+				// Interleave releases so the Release path (removal plus
+				// repartition-if-feasible) is equivalence-checked too.
+				if i%7 == 3 && len(accepted) > 2 {
+					victim := accepted[len(accepted)/2]
+					accepted = append(accepted[:len(accepted)/2], accepted[len(accepted)/2+1:]...)
+					if err := inc.Release(victim); err != nil {
+						t.Fatalf("request %d: incremental release: %v", i, err)
+					}
+					if err := full.Release(victim); err != nil {
+						t.Fatalf("request %d: full-recheck release: %v", i, err)
+					}
+				}
+			}
+
+			if got, want := snapshotOf(t, inc), snapshotOf(t, full); got != want {
+				t.Fatalf("committed states diverge:\nincremental:\n%s\nfull-recheck:\n%s", got, want)
+			}
+			gotStats := statsSansLinksChecked(inc.Stats())
+			wantStats := statsSansLinksChecked(full.Stats())
+			if gotStats != wantStats {
+				t.Fatalf("stats diverge (LinksChecked excluded):\nincremental: %+v\nfull:        %+v", gotStats, wantStats)
+			}
+			if inc.Stats().LinksChecked >= full.Stats().LinksChecked {
+				t.Errorf("incremental engine checked %d links, full recheck %d — expected strictly fewer",
+					inc.Stats().LinksChecked, full.Stats().LinksChecked)
+			}
+		})
+	}
+}
+
+// TestRejectionLeavesNoTrace verifies the copy-on-write rollback exactly:
+// a controller that suffered rejections must be bit-identical (state,
+// snapshot, subsequent IDs) to one that only ever saw the accepted
+// requests.
+func TestRejectionLeavesNoTrace(t *testing.T) {
+	requests := traffic.PaperLayout.Requests(300, traffic.PaperSpec)
+
+	dirty := core.NewController(core.Config{DPS: core.ADPS{}})
+	clean := core.NewController(core.Config{DPS: core.ADPS{}})
+	for _, spec := range requests {
+		if _, err := dirty.Request(spec); err == nil {
+			if _, err := clean.Request(spec); err != nil {
+				t.Fatalf("clean controller rejected a spec the dirty one accepted: %v", err)
+			}
+		}
+	}
+	if dirty.Stats().Accepted == dirty.Stats().Requests {
+		t.Fatal("workload saturated nothing — rejections were never exercised")
+	}
+	if got, want := snapshotOf(t, dirty), snapshotOf(t, clean); got != want {
+		t.Fatalf("rejections left a trace in the committed state:\n%s\nvs\n%s", got, want)
+	}
+	// The ID allocator must have been rolled back too: the next accepted
+	// channel gets the same ID on both.
+	fresh := core.ChannelSpec{Src: 60, Dst: 61, C: 1, P: 1000, D: 100}
+	chD, errD := dirty.Request(fresh)
+	chC, errC := clean.Request(fresh)
+	if errD != nil || errC != nil {
+		t.Fatalf("fresh request rejected: %v / %v", errD, errC)
+	}
+	if chD.ID != chC.ID {
+		t.Fatalf("ID allocator diverged after rejections: %d vs %d", chD.ID, chC.ID)
+	}
+}
+
+// TestRequestAllMatchesSequential verifies the batch API: admitting a
+// feasible batch in one RequestAll call must commit exactly the state a
+// sequential establishment sequence produces — same IDs, same partitions.
+func TestRequestAllMatchesSequential(t *testing.T) {
+	requests := traffic.PaperLayout.Requests(50, traffic.PaperSpec)
+	for _, dps := range []core.DPS{core.SDPS{}, core.ADPS{}} {
+		t.Run(dps.Name(), func(t *testing.T) {
+			seq := core.NewController(core.Config{DPS: dps})
+			for i, spec := range requests {
+				if _, err := seq.Request(spec); err != nil {
+					t.Fatalf("sequential request %d rejected: %v", i, err)
+				}
+			}
+			batch := core.NewController(core.Config{DPS: dps})
+			chs, err := batch.RequestAll(requests)
+			if err != nil {
+				t.Fatalf("RequestAll rejected: %v", err)
+			}
+			if len(chs) != len(requests) {
+				t.Fatalf("RequestAll returned %d channels for %d specs", len(chs), len(requests))
+			}
+			if got, want := snapshotOf(t, batch), snapshotOf(t, seq); got != want {
+				t.Fatalf("batch and sequential committed states diverge:\n%s\nvs\n%s", got, want)
+			}
+			st := batch.Stats()
+			if st.Requests != len(requests) || st.Accepted != len(requests) {
+				t.Fatalf("batch stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRequestAllAtomic verifies all-or-nothing batch semantics: one
+// infeasible member rejects the whole batch and leaves the controller
+// untouched.
+func TestRequestAllAtomic(t *testing.T) {
+	ok := core.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
+	hog := core.ChannelSpec{Src: 1, Dst: 3, C: 90, P: 100, D: 190} // U=0.9 on uplink 1
+	for _, full := range []bool{false, true} {
+		ctrl := core.NewController(core.Config{DPS: core.ADPS{}, FullRecheck: full})
+		// 3 uplink-1 channels of U=0.9 can never fit together.
+		_, err := ctrl.RequestAll([]core.ChannelSpec{ok, hog, hog, hog})
+		if err == nil {
+			t.Fatalf("full=%v: infeasible batch accepted", full)
+		}
+		if ctrl.State().Len() != 0 {
+			t.Fatalf("full=%v: rejected batch left %d channels committed", full, ctrl.State().Len())
+		}
+		st := ctrl.Stats()
+		if st.Requests != 4 || st.Accepted != 0 {
+			t.Fatalf("full=%v: batch stats %+v", full, st)
+		}
+		// The controller must still work afterwards.
+		if _, err := ctrl.Request(ok); err != nil {
+			t.Fatalf("full=%v: controller wedged after batch rejection: %v", full, err)
+		}
+	}
+}

@@ -2,15 +2,25 @@ package core
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 
 	"repro/internal/edf"
 )
 
+var ratOne = big.NewRat(1, 1)
+
 // State is the system state SS = {N, K} of §18.3.2: the set of currently
 // active RT channels together with the link loads they induce. The node
 // set N is implicit — any NodeID may appear; the star topology means a
 // node's links exist as soon as a channel uses them.
+//
+// Alongside the channel set, State maintains two per-link caches that the
+// admission hot path depends on: byLink maps every loaded link to the
+// channels traversing it (in establishment order, the per-link restriction
+// of the global order), and taskCache holds the materialized EDF task set
+// of a link. Both are maintained incrementally by add/remove/setPart, so
+// TasksOn and MeanLinkUtilization never scan the full channel map.
 //
 // State is not safe for concurrent use; the admission Controller
 // serializes access.
@@ -19,14 +29,29 @@ type State struct {
 	order    []ChannelID // insertion order, for deterministic iteration
 	loads    map[Link]int
 	nextID   ChannelID
+
+	// byLink lists the channels traversing each loaded link, in
+	// establishment order.
+	byLink map[Link][]*Channel
+	// taskCache memoizes TasksOn per link; entries are invalidated
+	// whenever a channel on the link is added, removed or repartitioned.
+	taskCache map[Link][]edf.Task
+	// utilSum maintains each loaded link's exact rational utilization
+	// sum(C/P) incrementally (partitions do not affect it). Rational
+	// arithmetic is exact, so the running sum always equals a fresh
+	// edf.Utilization over the link's task set.
+	utilSum map[Link]*big.Rat
 }
 
 // NewState returns an empty system state.
 func NewState() *State {
 	return &State{
-		channels: make(map[ChannelID]*Channel),
-		loads:    make(map[Link]int),
-		nextID:   1,
+		channels:  make(map[ChannelID]*Channel),
+		loads:     make(map[Link]int),
+		nextID:    1,
+		byLink:    make(map[Link][]*Channel),
+		taskCache: make(map[Link][]edf.Task),
+		utilSum:   make(map[Link]*big.Rat),
 	}
 }
 
@@ -48,6 +73,11 @@ func (st *State) Channels() []*Channel {
 	return out
 }
 
+// channelsOn returns the channels traversing a link in establishment
+// order. The returned slice is the live cache — callers must not mutate
+// or retain it.
+func (st *State) channelsOn(l Link) []*Channel { return st.byLink[l] }
+
 // allocID returns the next unused network-unique channel ID. IDs wrap at
 // 16 bits (the width of the RT channel ID field); allocID skips IDs still
 // in use. It panics when all 65535 IDs are active, which a real switch
@@ -66,8 +96,8 @@ func (st *State) allocID() ChannelID {
 	panic("core: all 65535 RT channel IDs in use")
 }
 
-// add inserts a channel and updates link loads. The channel's ID must be
-// unused.
+// add inserts a channel and updates link loads and per-link caches. The
+// channel's ID must be unused.
 func (st *State) add(ch *Channel) {
 	if _, dup := st.channels[ch.ID]; dup {
 		panic(fmt.Sprintf("core: duplicate channel ID %d", ch.ID))
@@ -76,11 +106,67 @@ func (st *State) add(ch *Channel) {
 	st.order = append(st.order, ch.ID)
 	for _, l := range LinksOf(ch.Spec) {
 		st.loads[l]++
+		st.byLink[l] = append(st.byLink[l], ch)
+		delete(st.taskCache, l)
+		st.addUtil(l, ch.Spec)
 	}
 }
 
-// remove deletes a channel and updates link loads. It reports whether the
-// channel existed.
+// addUtil folds one channel's C/P into a link's running utilization sum.
+func (st *State) addUtil(l Link, s ChannelSpec) {
+	u := st.utilSum[l]
+	if u == nil {
+		u = new(big.Rat)
+		st.utilSum[l] = u
+	}
+	u.Add(u, new(big.Rat).SetFrac64(s.C, s.P))
+}
+
+// subUtil removes one channel's C/P from a link's running utilization sum,
+// dropping the entry when the link is no longer loaded.
+func (st *State) subUtil(l Link, s ChannelSpec) {
+	if st.loads[l] == 0 {
+		delete(st.utilSum, l)
+		return
+	}
+	if u := st.utilSum[l]; u != nil {
+		u.Sub(u, new(big.Rat).SetFrac64(s.C, s.P))
+	}
+}
+
+// utilExceedsOne reports the exact first-constraint answer (U > 1) for a
+// link from the incrementally maintained sum.
+func (st *State) utilExceedsOne(l Link) bool {
+	u := st.utilSum[l]
+	return u != nil && u.Cmp(ratOne) > 0
+}
+
+// undoAdd reverses the most recent add exactly: the channel must be the
+// last one added and still present. Unlike remove it restores the order
+// slice verbatim, so a rolled-back tentative admission leaves no trace.
+func (st *State) undoAdd(ch *Channel) {
+	if len(st.order) == 0 || st.order[len(st.order)-1] != ch.ID {
+		panic(fmt.Sprintf("core: undoAdd of RT#%d out of order", ch.ID))
+	}
+	delete(st.channels, ch.ID)
+	st.order = st.order[:len(st.order)-1]
+	for _, l := range LinksOf(ch.Spec) {
+		if st.loads[l]--; st.loads[l] == 0 {
+			delete(st.loads, l)
+		}
+		chans := st.byLink[l]
+		if len(chans) == 1 {
+			delete(st.byLink, l)
+		} else {
+			st.byLink[l] = chans[:len(chans)-1]
+		}
+		delete(st.taskCache, l)
+		st.subUtil(l, ch.Spec)
+	}
+}
+
+// remove deletes a channel and updates link loads and per-link caches. It
+// reports whether the channel existed.
 func (st *State) remove(id ChannelID) bool {
 	ch, ok := st.channels[id]
 	if !ok {
@@ -91,6 +177,20 @@ func (st *State) remove(id ChannelID) bool {
 		if st.loads[l]--; st.loads[l] == 0 {
 			delete(st.loads, l)
 		}
+		chans := st.byLink[l]
+		kept := chans[:0]
+		for _, c := range chans {
+			if c.ID != id {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.byLink, l)
+		} else {
+			st.byLink[l] = kept
+		}
+		delete(st.taskCache, l)
+		st.subUtil(l, ch.Spec)
 	}
 	// Compact the order slice lazily: rebuild when over half are gone.
 	if len(st.order) >= 2*len(st.channels)+8 {
@@ -105,6 +205,16 @@ func (st *State) remove(id ChannelID) bool {
 	return true
 }
 
+// setPart installs a new deadline partition on a channel and invalidates
+// the task caches of its links. All repartitioning goes through here so
+// the caches can never go stale.
+func (st *State) setPart(ch *Channel, p Partition) {
+	ch.Part = p
+	for _, l := range LinksOf(ch.Spec) {
+		delete(st.taskCache, l)
+	}
+}
+
 // LinkLoad returns LL(l): the number of channels traversing the link
 // (§18.4.2). Links with no channels have load zero.
 func (st *State) LinkLoad(l Link) int { return st.loads[l] }
@@ -116,51 +226,74 @@ func (st *State) Links() []Link {
 	for l := range st.loads {
 		out = append(out, l)
 	}
+	sortLinks(out)
+	return out
+}
+
+// sortLinks orders links by node, uplinks before downlinks — the
+// deterministic verification order.
+func sortLinks(out []Link) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
 		}
 		return out[i].Dir < out[j].Dir
 	})
-	return out
 }
 
 // TasksOn derives the supposed periodic task set of one link
 // pseudo-processor (Eqs. 18.6-18.7): for every channel whose uplink is l,
 // the task {C_i, P_i, d_iu}; for every channel whose downlink is l, the
-// task {C_i, P_i, d_id}.
+// task {C_i, P_i, d_id}. The returned slice is freshly allocated; the
+// internal cache backing it is maintained incrementally.
 func (st *State) TasksOn(l Link) []edf.Task {
-	var tasks []edf.Task
-	for _, id := range st.order {
-		ch, ok := st.channels[id]
-		if !ok {
-			continue
-		}
-		switch {
-		case l.Dir == Up && ch.Spec.Src == l.Node:
-			tasks = append(tasks, edf.Task{
-				C: ch.Spec.C, P: ch.Spec.P, D: ch.Part.Up,
-				Tag: fmt.Sprintf("RT#%d", ch.ID),
-			})
-		case l.Dir == Down && ch.Spec.Dst == l.Node:
-			tasks = append(tasks, edf.Task{
-				C: ch.Spec.C, P: ch.Spec.P, D: ch.Part.Down,
-				Tag: fmt.Sprintf("RT#%d", ch.ID),
-			})
-		}
+	cached := st.tasksCached(l)
+	if cached == nil {
+		return nil
 	}
+	return append([]edf.Task(nil), cached...)
+}
+
+// tasksCached returns the memoized task set of a link, rebuilding it from
+// the per-link channel list when stale. The returned slice is shared —
+// internal read-only callers (the feasibility test) use it to avoid the
+// defensive copy TasksOn makes.
+func (st *State) tasksCached(l Link) []edf.Task {
+	if tasks, ok := st.taskCache[l]; ok {
+		return tasks
+	}
+	chans := st.byLink[l]
+	if len(chans) == 0 {
+		return nil
+	}
+	tasks := make([]edf.Task, 0, len(chans))
+	for _, ch := range chans {
+		d := ch.Part.Up
+		if l.Dir == Down {
+			d = ch.Part.Down
+		}
+		tasks = append(tasks, edf.Task{
+			C: ch.Spec.C, P: ch.Spec.P, D: d,
+			Tag: ch.taskTag(),
+		})
+	}
+	st.taskCache[l] = tasks
 	return tasks
 }
 
 // clone returns a deep copy of the state sharing nothing with the
 // original. Channel structs are copied so tentative partitions can be
-// applied without touching the committed state.
+// applied without touching the committed state. The task cache starts
+// empty and is rebuilt lazily.
 func (st *State) clone() *State {
 	cp := &State{
-		channels: make(map[ChannelID]*Channel, len(st.channels)),
-		order:    append([]ChannelID(nil), st.order...),
-		loads:    make(map[Link]int, len(st.loads)),
-		nextID:   st.nextID,
+		channels:  make(map[ChannelID]*Channel, len(st.channels)),
+		order:     append([]ChannelID(nil), st.order...),
+		loads:     make(map[Link]int, len(st.loads)),
+		nextID:    st.nextID,
+		byLink:    make(map[Link][]*Channel, len(st.byLink)),
+		taskCache: make(map[Link][]edf.Task),
+		utilSum:   make(map[Link]*big.Rat, len(st.utilSum)),
 	}
 	for id, ch := range st.channels {
 		c := *ch
@@ -169,20 +302,36 @@ func (st *State) clone() *State {
 	for l, n := range st.loads {
 		cp.loads[l] = n
 	}
+	for l, chans := range st.byLink {
+		cs := make([]*Channel, len(chans))
+		for i, ch := range chans {
+			cs[i] = cp.channels[ch.ID]
+		}
+		cp.byLink[l] = cs
+	}
+	for l, u := range st.utilSum {
+		cp.utilSum[l] = new(big.Rat).Set(u)
+	}
 	return cp
 }
 
-// TotalUtilization returns the sum over all links of each link's
-// utilization divided by the number of links — a coarse load metric used
-// in reports. Returns 0 for an empty state.
-func (st *State) TotalUtilization() float64 {
+// MeanLinkUtilization returns the mean of the per-link task-set
+// utilizations over all loaded links — a coarse load metric used in
+// reports. Returns 0 for an empty state.
+func (st *State) MeanLinkUtilization() float64 {
 	links := st.Links()
 	if len(links) == 0 {
 		return 0
 	}
 	var sum float64
 	for _, l := range links {
-		sum += edf.UtilizationFloat(st.TasksOn(l))
+		sum += edf.UtilizationFloat(st.tasksCached(l))
 	}
 	return sum / float64(len(links))
 }
+
+// TotalUtilization returns the mean per-link utilization.
+//
+// Deprecated: the name was misleading — the value has always been a mean
+// over loaded links, not a total. Use MeanLinkUtilization.
+func (st *State) TotalUtilization() float64 { return st.MeanLinkUtilization() }

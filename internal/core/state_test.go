@@ -174,14 +174,17 @@ func TestStateRemoveCompactsOrder(t *testing.T) {
 	}
 }
 
-func TestTotalUtilization(t *testing.T) {
+func TestMeanLinkUtilization(t *testing.T) {
 	st := NewState()
-	if st.TotalUtilization() != 0 {
+	if st.MeanLinkUtilization() != 0 {
 		t.Error("empty state utilization != 0")
 	}
 	st.add(testChannel(1, 1, 2)) // C=3 P=100 on two links: U=0.03 each
-	got := st.TotalUtilization()
+	got := st.MeanLinkUtilization()
 	if got < 0.029 || got > 0.031 {
-		t.Errorf("TotalUtilization = %v, want ~0.03", got)
+		t.Errorf("MeanLinkUtilization = %v, want ~0.03", got)
+	}
+	if st.TotalUtilization() != got {
+		t.Error("deprecated TotalUtilization wrapper disagrees with MeanLinkUtilization")
 	}
 }

@@ -76,6 +76,15 @@ type Options struct {
 	// SkipValidation omits per-task parameter validation (callers that have
 	// already validated can save the pass).
 	SkipValidation bool
+	// UtilizationExceeds, when non-nil, supplies the exact answer to the
+	// first constraint (U > 1) so Test can skip summing the rational
+	// utilization of the whole set. Callers that maintain a per-link
+	// utilization sum incrementally (the admission controller's hot path)
+	// use this; the value must equal UtilizationExceedsOne(tasks) exactly —
+	// rational arithmetic is exact, so an incrementally maintained sum
+	// matches a fresh one bit for bit. Result.Utilization (the float
+	// reporting value) is computed from the tasks either way.
+	UtilizationExceeds *bool
 }
 
 // DefaultMaxCheckpoints is the default cap on demand evaluations per test.
@@ -111,7 +120,13 @@ func Test(tasks []Task, opts Options) Result {
 	res.Utilization = UtilizationFloat(tasks)
 
 	// First constraint (Eq. 18.2): utilization at most 100%.
-	if UtilizationExceedsOne(tasks) {
+	exceeds := false
+	if opts.UtilizationExceeds != nil {
+		exceeds = *opts.UtilizationExceeds
+	} else {
+		exceeds = UtilizationExceedsOne(tasks)
+	}
+	if exceeds {
 		res.Verdict = InfeasibleUtilization
 		return res
 	}

@@ -183,6 +183,35 @@ func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error
 	return result.id, nil
 }
 
+// EstablishChannels admits a whole batch of channels through the
+// management plane as one admission decision
+// (core.Controller.RequestAll): the batch is validated, partitioned and
+// verified against a single tentative state. No wire handshake runs and
+// no virtual time elapses — this is the bulk-provisioning path (scenario
+// loading, offline what-if tools), not a model of the paper's
+// per-channel establishment protocol. Either every channel is committed
+// and registered with the switch dataplane, or none is.
+func (n *Network) EstablishChannels(specs []core.ChannelSpec) ([]core.ChannelID, error) {
+	for _, s := range specs {
+		if n.nodes[s.Src] == nil {
+			return nil, fmt.Errorf("netsim: unknown source node %d", s.Src)
+		}
+		if n.nodes[s.Dst] == nil {
+			return nil, fmt.Errorf("netsim: unknown destination node %d", s.Dst)
+		}
+	}
+	chs, err := n.ctrl.RequestAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]core.ChannelID, len(chs))
+	for i, ch := range chs {
+		n.sw.dataplane[ch.ID] = ch.Spec.Dst
+		ids[i] = ch.ID
+	}
+	return ids, nil
+}
+
 // StopTraffic detaches the periodic source of a channel without releasing
 // the reservation (the inverse of Node.StartTraffic).
 func (n *Network) StopTraffic(id core.ChannelID) error {

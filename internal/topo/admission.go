@@ -3,6 +3,7 @@ package topo
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/edf"
@@ -37,6 +38,11 @@ type Config struct {
 // Controller is the fabric-wide admission control: route, partition the
 // deadline over the route's directed links, and verify EDF feasibility of
 // every affected link — §18.3.2 generalized to many switches.
+//
+// With an IncrementalHDPS (HSDPS/HADPS) the controller works
+// copy-on-write: a request mutates the live state tentatively,
+// repartitions only the channels whose hop vectors can have moved, and
+// rolls back on rejection — no full-state clone, identical decisions.
 type Controller struct {
 	topo  *Topology
 	cfg   Config
@@ -44,6 +50,12 @@ type Controller struct {
 
 	requests int
 	accepted int
+
+	// repartitioned records which channels' hop vectors changed in the
+	// last committed mutation (establishments include the new channels),
+	// so callers syncing budgets into a running simulation touch only
+	// deltas.
+	repartitioned []core.ChannelID
 }
 
 // NewController builds a controller over a fixed topology.
@@ -67,10 +79,15 @@ func (c *Controller) Accepted() int { return c.accepted }
 // Requests returns how many requests have been made.
 func (c *Controller) Requests() int { return c.requests }
 
-// Request routes and admission-tests a channel; on success it is
-// committed and returned.
-func (c *Controller) Request(spec core.ChannelSpec) (*HChannel, error) {
-	c.requests++
+// Repartitioned returns the IDs (ascending) of the channels whose hop
+// budgets changed in the last successful Request, RequestAll or Release —
+// the precise set a running simulation must re-sync. The slice is
+// invalidated by the next state mutation.
+func (c *Controller) Repartitioned() []core.ChannelID { return c.repartitioned }
+
+// validate routes a spec and checks the route-generalized deadline
+// condition, returning the route.
+func (c *Controller) validate(spec core.ChannelSpec) ([]Edge, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,89 +99,256 @@ func (c *Controller) Request(spec core.ChannelSpec) (*HChannel, error) {
 		return nil, fmt.Errorf("%w (D=%d, hops=%d, C=%d)",
 			ErrDeadlineTooShortForRoute, spec.D, len(route), spec.C)
 	}
+	return route, nil
+}
 
+// Request routes and admission-tests a channel; on success it is
+// committed and returned.
+func (c *Controller) Request(spec core.ChannelSpec) (*HChannel, error) {
+	c.requests++
+	route, err := c.validate(spec)
+	if err != nil {
+		return nil, err
+	}
+	chs, rej := c.admit([]core.ChannelSpec{spec}, [][]Edge{route})
+	if rej != nil {
+		return nil, rej
+	}
+	c.accepted++
+	return chs[0], nil
+}
+
+// RequestAll routes and admission-tests a batch of channels as one
+// decision: all specs are validated and routed, added to one tentative
+// state, partitioned once, and every affected edge verified once — one
+// repartition instead of len(specs). Either every channel commits
+// (returned in spec order) or none does and the first failure is
+// returned.
+func (c *Controller) RequestAll(specs []core.ChannelSpec) ([]*HChannel, error) {
+	c.requests += len(specs)
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	routes := make([][]Edge, len(specs))
+	for i, spec := range specs {
+		route, err := c.validate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("batch spec %d (%v): %w", i, spec, err)
+		}
+		routes[i] = route
+	}
+	chs, rej := c.admit(specs, routes)
+	if rej != nil {
+		return nil, rej
+	}
+	c.accepted += len(specs)
+	return chs, nil
+}
+
+// admit runs the feasibility decision for pre-routed specs, committing on
+// success and recording the repartitioned set. It picks the
+// copy-on-write engine when the scheme supports it, else the clone-based
+// reference engine.
+func (c *Controller) admit(specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
+	if inc, ok := c.cfg.DPS.(IncrementalHDPS); ok {
+		return c.admitDelta(inc, specs, routes)
+	}
+	return c.admitClone(specs, routes)
+}
+
+// admitClone is the clone-based reference engine for custom HDPS
+// implementations: full tentative copy, full repartition, swap on accept.
+func (c *Controller) admitClone(specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
 	tentative := c.state.clone()
-	ch := &HChannel{ID: tentative.allocID(), Spec: spec, Route: route}
-	tentative.add(ch)
+	chs := make([]*HChannel, len(specs))
+	for i, spec := range specs {
+		ch := &HChannel{ID: tentative.allocID(), Spec: spec, Route: routes[i]}
+		tentative.add(ch)
+		chs[i] = ch
+	}
 
 	parts := c.cfg.DPS.Partition(tentative)
-	changed := applyHops(tentative, parts)
+	changed, changedIDs := applyHops(tentative, parts)
 
-	for _, e := range tentative.Edges() {
-		if _, ok := changed[e]; !ok {
-			continue
-		}
-		res := edf.Test(tentative.TasksOn(e), c.cfg.Feasibility)
-		if !res.OK() {
-			return nil, &RejectionError{Edge: e, Result: res}
-		}
+	if rej := c.verifyChanged(tentative, changed); rej != nil {
+		return nil, rej
 	}
 	c.state = tentative
-	c.accepted++
-	return ch, nil
+	c.repartitioned = changedIDs
+	return chs, nil
+}
+
+// admitDelta is the copy-on-write engine: mutate the live state
+// tentatively, repartition only channels on the touched edges, verify
+// only the changed edges, roll back on rejection. Decisions and committed
+// states are bit-identical to admitClone.
+func (c *Controller) admitDelta(inc IncrementalHDPS, specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
+	savedNext := c.state.nextID
+	chs := make([]*HChannel, len(specs))
+	var touched []Edge
+	for i, spec := range specs {
+		ch := &HChannel{ID: c.state.allocID(), Spec: spec, Route: routes[i]}
+		c.state.add(ch)
+		chs[i] = ch
+		touched = append(touched, routes[i]...)
+	}
+
+	parts := inc.PartitionTouched(c.state, touched)
+	undo, changed, changedIDs := applyHopsDelta(c.state, parts)
+
+	if rej := c.verifyChanged(c.state, changed); rej != nil {
+		rollbackHops(c.state, undo)
+		for i := len(chs) - 1; i >= 0; i-- {
+			c.state.undoAdd(chs[i])
+		}
+		c.state.nextID = savedNext
+		return nil, rej
+	}
+	c.repartitioned = changedIDs
+	return chs, nil
+}
+
+// verifyChanged tests feasibility of exactly the changed edges, visited
+// in the deterministic Edges() order (the sorted restriction of the full
+// edge sequence — unchanged edges were feasible at the previous commit
+// and cannot have become infeasible, so the first failure reported is
+// identical to a full sweep).
+func (c *Controller) verifyChanged(st *State, changed map[Edge]struct{}) *RejectionError {
+	edges := make([]Edge, 0, len(changed))
+	for e := range changed {
+		edges = append(edges, e)
+	}
+	sortEdges(edges)
+	opts := c.cfg.Feasibility
+	for _, e := range edges {
+		// The first constraint (U > 1, exact) comes from the state's
+		// incrementally maintained per-edge sum.
+		exceeds := st.utilExceedsOne(e)
+		opts.UtilizationExceeds = &exceeds
+		res := edf.Test(st.tasksCached(e), opts)
+		if !res.OK() {
+			return &RejectionError{Edge: e, Result: res}
+		}
+	}
+	return nil
 }
 
 // Release tears down a channel; remaining channels are repartitioned when
 // that keeps every edge feasible, otherwise partitions stay as they were.
 func (c *Controller) Release(id core.ChannelID) error {
-	if c.state.Get(id) == nil {
+	ch := c.state.Get(id)
+	if ch == nil {
 		return fmt.Errorf("topo: release of unknown channel %d", id)
 	}
+	if inc, ok := c.cfg.DPS.(IncrementalHDPS); ok {
+		c.state.remove(id)
+		parts := inc.PartitionTouched(c.state, ch.Route)
+		undo, changed, changedIDs := applyHopsDelta(c.state, parts)
+		if rej := c.verifyChanged(c.state, changed); rej != nil {
+			rollbackHops(c.state, undo)
+			changedIDs = nil
+		}
+		c.repartitioned = changedIDs
+		return nil
+	}
+
 	next := c.state.clone()
 	next.remove(id)
 
 	repart := next.clone()
 	parts := c.cfg.DPS.Partition(repart)
-	changed := applyHops(repart, parts)
-	ok := true
-	for _, e := range repart.Edges() {
-		if _, hit := changed[e]; !hit {
-			continue
-		}
-		if !edf.Test(repart.TasksOn(e), c.cfg.Feasibility).OK() {
-			ok = false
-			break
-		}
-	}
-	if ok {
+	changed, changedIDs := applyHops(repart, parts)
+	if rej := c.verifyChanged(repart, changed); rej == nil {
 		c.state = repart
+		c.repartitioned = changedIDs
 	} else {
 		c.state = next
+		c.repartitioned = nil
 	}
 	return nil
 }
 
-// applyHops installs partition vectors, returning edges whose task sets
-// changed. Invalid vectors panic — they are HDPS bugs, not rejections.
-func applyHops(st *State, parts map[core.ChannelID][]int64) map[Edge]struct{} {
+// validateVector panics when a hop-budget vector violates the generalized
+// conditions (8)/(9) — an HDPS bug, not an admission rejection.
+func validateVector(ch *HChannel, v []int64) {
+	if len(v) != len(ch.Route) {
+		panic(fmt.Sprintf("topo: HDPS vector length %d for %d hops", len(v), len(ch.Route)))
+	}
+	var sum int64
+	for _, hop := range v {
+		if hop < ch.Spec.C {
+			panic(fmt.Sprintf("topo: hop budget %d below C=%d for %v", hop, ch.Spec.C, ch))
+		}
+		sum += hop
+	}
+	if sum != ch.Spec.D {
+		panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
+	}
+}
+
+// applyHops installs partition vectors on every channel, returning the
+// edges whose task sets changed and the IDs of the channels that moved
+// (ascending, matching the Repartitioned contract).
+func applyHops(st *State, parts map[core.ChannelID][]int64) (map[Edge]struct{}, []core.ChannelID) {
 	changed := make(map[Edge]struct{})
+	var changedIDs []core.ChannelID
 	for _, ch := range st.Channels() {
 		v, ok := parts[ch.ID]
 		if !ok {
 			panic(fmt.Sprintf("topo: HDPS returned no vector for %v", ch))
 		}
-		if len(v) != len(ch.Route) {
-			panic(fmt.Sprintf("topo: HDPS vector length %d for %d hops", len(v), len(ch.Route)))
-		}
-		var sum int64
-		for _, hop := range v {
-			if hop < ch.Spec.C {
-				panic(fmt.Sprintf("topo: hop budget %d below C=%d for %v", hop, ch.Spec.C, ch))
-			}
-			sum += hop
-		}
-		if sum != ch.Spec.D {
-			panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
-		}
+		validateVector(ch, v)
 		if equalVec(ch.Hops, v) {
 			continue
 		}
-		ch.Hops = append(ch.Hops[:0], v...)
+		st.setHops(ch, v)
+		changedIDs = append(changedIDs, ch.ID)
 		for _, e := range ch.Route {
 			changed[e] = struct{}{}
 		}
 	}
-	return changed
+	sort.Slice(changedIDs, func(i, j int) bool { return changedIDs[i] < changedIDs[j] })
+	return changed, changedIDs
+}
+
+// hopsUndo records one channel's previous hop vector for rollback.
+type hopsUndo struct {
+	ch  *HChannel
+	old []int64
+}
+
+// applyHopsDelta installs the vectors of an incremental repartition
+// directly into the live state, returning an undo log, the changed edge
+// set, and the IDs of the channels that moved (ascending).
+func applyHopsDelta(st *State, parts map[core.ChannelID][]int64) ([]hopsUndo, map[Edge]struct{}, []core.ChannelID) {
+	var undo []hopsUndo
+	changed := make(map[Edge]struct{})
+	var changedIDs []core.ChannelID
+	for id, v := range parts {
+		ch := st.channels[id]
+		if ch == nil {
+			panic(fmt.Sprintf("topo: HDPS returned a vector for unknown channel %d", id))
+		}
+		validateVector(ch, v)
+		if equalVec(ch.Hops, v) {
+			continue
+		}
+		undo = append(undo, hopsUndo{ch: ch, old: append([]int64(nil), ch.Hops...)})
+		st.setHops(ch, v)
+		changedIDs = append(changedIDs, ch.ID)
+		for _, e := range ch.Route {
+			changed[e] = struct{}{}
+		}
+	}
+	sort.Slice(changedIDs, func(i, j int) bool { return changedIDs[i] < changedIDs[j] })
+	return undo, changed, changedIDs
+}
+
+// rollbackHops restores the previous vectors recorded by applyHopsDelta.
+func rollbackHops(st *State, undo []hopsUndo) {
+	for _, u := range undo {
+		st.setHops(u.ch, u.old)
+	}
 }
 
 func equalVec(a, b []int64) bool {

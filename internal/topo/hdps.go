@@ -2,10 +2,14 @@ package topo
 
 import (
 	"fmt"
+	"math/big"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/edf"
 )
+
+var ratOne = big.NewRat(1, 1)
 
 // HChannel is an RT channel routed across the fabric: the spec, its
 // route, and the per-hop deadline split d_i = sum(Hops).
@@ -14,6 +18,10 @@ type HChannel struct {
 	Spec  core.ChannelSpec
 	Route []Edge
 	Hops  []int64 // per-hop deadline budget, len == len(Route)
+
+	// tags memoizes the per-hop task labels "HRT#<id>/<hop>" — formatting
+	// them on every per-edge task rebuild showed up in admission profiles.
+	tags []string
 }
 
 // String implements fmt.Stringer.
@@ -21,20 +29,51 @@ func (c *HChannel) String() string {
 	return fmt.Sprintf("HRT#%d %v hops=%v", c.ID, c.Spec, c.Hops)
 }
 
+// taskTag returns the cached task label of one hop.
+func (c *HChannel) taskTag(hop int) string {
+	if c.tags == nil {
+		c.tags = make([]string, len(c.Route))
+	}
+	if c.tags[hop] == "" {
+		c.tags[hop] = fmt.Sprintf("HRT#%d/%d", c.ID, hop)
+	}
+	return c.tags[hop]
+}
+
+// edgeRef locates one hop of one channel on an edge's task list.
+type edgeRef struct {
+	ch  *HChannel
+	hop int
+}
+
 // State holds the routed channels and per-edge loads of a fabric.
+//
+// Like the star state (core.State), it maintains per-edge caches
+// incrementally: byEdge maps every loaded edge to the channel hops
+// traversing it (in establishment order), taskCache memoizes each edge's
+// EDF task set, and utilSum keeps each edge's exact rational utilization —
+// so TasksOn and the admission verify loop never scan the full channel
+// map.
 type State struct {
 	channels map[core.ChannelID]*HChannel
 	order    []core.ChannelID
 	loads    map[Edge]int
 	nextID   core.ChannelID
+
+	byEdge    map[Edge][]edgeRef
+	taskCache map[Edge][]edf.Task
+	utilSum   map[Edge]*big.Rat
 }
 
 // NewState returns an empty fabric state.
 func NewState() *State {
 	return &State{
-		channels: make(map[core.ChannelID]*HChannel),
-		loads:    make(map[Edge]int),
-		nextID:   1,
+		channels:  make(map[core.ChannelID]*HChannel),
+		loads:     make(map[Edge]int),
+		nextID:    1,
+		byEdge:    make(map[Edge][]edgeRef),
+		taskCache: make(map[Edge][]edf.Task),
+		utilSum:   make(map[Edge]*big.Rat),
 	}
 }
 
@@ -85,46 +124,101 @@ func sortEdges(edges []Edge) {
 			return 0
 		}
 	}
-	for i := 1; i < len(edges); i++ {
-		for j := i; j > 0; j-- {
-			a, b := edges[j-1], edges[j]
-			c := less(a.From, b.From)
-			if c == 0 {
-				c = less(a.To, b.To)
-			}
-			if c <= 0 {
-				break
-			}
-			edges[j-1], edges[j] = edges[j], edges[j-1]
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		c := less(a.From, b.From)
+		if c == 0 {
+			c = less(a.To, b.To)
 		}
-	}
+		return c < 0
+	})
 }
 
-// TasksOn derives the supposed task set of one directed edge.
+// TasksOn derives the supposed task set of one directed edge. The
+// returned slice is freshly allocated; the internal cache backing it is
+// maintained incrementally.
 func (st *State) TasksOn(e Edge) []edf.Task {
-	var tasks []edf.Task
-	for _, id := range st.order {
-		ch, ok := st.channels[id]
-		if !ok {
-			continue
-		}
-		for i, hop := range ch.Route {
-			if hop == e {
-				tasks = append(tasks, edf.Task{
-					C: ch.Spec.C, P: ch.Spec.P, D: ch.Hops[i],
-					Tag: fmt.Sprintf("HRT#%d/%d", ch.ID, i),
-				})
-			}
-		}
+	cached := st.tasksCached(e)
+	if cached == nil {
+		return nil
 	}
+	return append([]edf.Task(nil), cached...)
+}
+
+// tasksCached returns the memoized task set of an edge, rebuilding it from
+// the per-edge hop list when stale. The returned slice is shared —
+// internal read-only callers (the feasibility test) use it to avoid the
+// defensive copy TasksOn makes.
+func (st *State) tasksCached(e Edge) []edf.Task {
+	if tasks, ok := st.taskCache[e]; ok {
+		return tasks
+	}
+	refs := st.byEdge[e]
+	if len(refs) == 0 {
+		return nil
+	}
+	tasks := make([]edf.Task, 0, len(refs))
+	for _, r := range refs {
+		tasks = append(tasks, edf.Task{
+			C: r.ch.Spec.C, P: r.ch.Spec.P, D: r.ch.Hops[r.hop],
+			Tag: r.ch.taskTag(r.hop),
+		})
+	}
+	st.taskCache[e] = tasks
 	return tasks
+}
+
+// channelsOn returns the channels traversing an edge in establishment
+// order. The returned slice is the live cache — callers must not mutate
+// or retain it.
+func (st *State) channelsOn(e Edge) []edgeRef { return st.byEdge[e] }
+
+// MeanLinkUtilization returns the mean of the per-edge task-set
+// utilizations over all loaded edges. Returns 0 for an empty state.
+func (st *State) MeanLinkUtilization() float64 {
+	edges := st.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range edges {
+		sum += edf.UtilizationFloat(st.tasksCached(e))
+	}
+	return sum / float64(len(edges))
 }
 
 func (st *State) add(ch *HChannel) {
 	st.channels[ch.ID] = ch
 	st.order = append(st.order, ch.ID)
-	for _, e := range ch.Route {
+	for i, e := range ch.Route {
 		st.loads[e]++
+		st.byEdge[e] = append(st.byEdge[e], edgeRef{ch: ch, hop: i})
+		delete(st.taskCache, e)
+		st.addUtil(e, ch.Spec)
+	}
+}
+
+// undoAdd reverses the most recent add exactly: the channel must be the
+// last one added and still present, so a rolled-back tentative admission
+// leaves no trace.
+func (st *State) undoAdd(ch *HChannel) {
+	if len(st.order) == 0 || st.order[len(st.order)-1] != ch.ID {
+		panic(fmt.Sprintf("topo: undoAdd of HRT#%d out of order", ch.ID))
+	}
+	delete(st.channels, ch.ID)
+	st.order = st.order[:len(st.order)-1]
+	for _, e := range ch.Route {
+		if st.loads[e]--; st.loads[e] == 0 {
+			delete(st.loads, e)
+		}
+		refs := st.byEdge[e]
+		if len(refs) == 1 {
+			delete(st.byEdge, e)
+		} else {
+			st.byEdge[e] = refs[:len(refs)-1]
+		}
+		delete(st.taskCache, e)
+		st.subUtil(e, ch.Spec)
 	}
 }
 
@@ -138,6 +232,20 @@ func (st *State) remove(id core.ChannelID) bool {
 		if st.loads[e]--; st.loads[e] == 0 {
 			delete(st.loads, e)
 		}
+		refs := st.byEdge[e]
+		kept := refs[:0]
+		for _, r := range refs {
+			if r.ch.ID != id {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.byEdge, e)
+		} else {
+			st.byEdge[e] = kept
+		}
+		delete(st.taskCache, e)
+		st.subUtil(e, ch.Spec)
 	}
 	if len(st.order) >= 2*len(st.channels)+8 {
 		kept := st.order[:0]
@@ -149,6 +257,45 @@ func (st *State) remove(id core.ChannelID) bool {
 		st.order = kept
 	}
 	return true
+}
+
+// setHops installs a new hop-budget vector on a channel and invalidates
+// the task caches of its route edges. All repartitioning goes through
+// here so the caches can never go stale.
+func (st *State) setHops(ch *HChannel, v []int64) {
+	ch.Hops = append(ch.Hops[:0], v...)
+	for _, e := range ch.Route {
+		delete(st.taskCache, e)
+	}
+}
+
+// addUtil folds one channel's C/P into an edge's running utilization sum.
+func (st *State) addUtil(e Edge, s core.ChannelSpec) {
+	u := st.utilSum[e]
+	if u == nil {
+		u = new(big.Rat)
+		st.utilSum[e] = u
+	}
+	u.Add(u, new(big.Rat).SetFrac64(s.C, s.P))
+}
+
+// subUtil removes one channel's C/P from an edge's running sum, dropping
+// the entry when the edge is no longer loaded.
+func (st *State) subUtil(e Edge, s core.ChannelSpec) {
+	if st.loads[e] == 0 {
+		delete(st.utilSum, e)
+		return
+	}
+	if u := st.utilSum[e]; u != nil {
+		u.Sub(u, new(big.Rat).SetFrac64(s.C, s.P))
+	}
+}
+
+// utilExceedsOne reports the exact first-constraint answer (U > 1) for an
+// edge from the incrementally maintained sum.
+func (st *State) utilExceedsOne(e Edge) bool {
+	u := st.utilSum[e]
+	return u != nil && u.Cmp(ratOne) > 0
 }
 
 func (st *State) allocID() core.ChannelID {
@@ -167,10 +314,13 @@ func (st *State) allocID() core.ChannelID {
 
 func (st *State) clone() *State {
 	cp := &State{
-		channels: make(map[core.ChannelID]*HChannel, len(st.channels)),
-		order:    append([]core.ChannelID(nil), st.order...),
-		loads:    make(map[Edge]int, len(st.loads)),
-		nextID:   st.nextID,
+		channels:  make(map[core.ChannelID]*HChannel, len(st.channels)),
+		order:     append([]core.ChannelID(nil), st.order...),
+		loads:     make(map[Edge]int, len(st.loads)),
+		nextID:    st.nextID,
+		byEdge:    make(map[Edge][]edgeRef, len(st.byEdge)),
+		taskCache: make(map[Edge][]edf.Task),
+		utilSum:   make(map[Edge]*big.Rat, len(st.utilSum)),
 	}
 	for id, ch := range st.channels {
 		c := *ch
@@ -179,6 +329,16 @@ func (st *State) clone() *State {
 	}
 	for e, n := range st.loads {
 		cp.loads[e] = n
+	}
+	for e, refs := range st.byEdge {
+		rs := make([]edgeRef, len(refs))
+		for i, r := range refs {
+			rs[i] = edgeRef{ch: cp.channels[r.ch.ID], hop: r.hop}
+		}
+		cp.byEdge[e] = rs
+	}
+	for e, u := range st.utilSum {
+		cp.utilSum[e] = new(big.Rat).Set(u)
 	}
 	return cp
 }
@@ -194,6 +354,19 @@ type HDPS interface {
 	Partition(st *State) map[core.ChannelID][]int64
 }
 
+// IncrementalHDPS is an optional refinement of HDPS for schemes whose
+// vector for a channel depends only on that channel's own spec/route and
+// the loads of the edges it traverses (true for HSDPS and HADPS). The
+// fabric admission controller uses it to repartition copy-on-write.
+type IncrementalHDPS interface {
+	HDPS
+	// PartitionTouched returns new vectors after a mutation that touched
+	// the given edges. For each returned channel the value must equal
+	// what Partition(st) would return, and every channel omitted must
+	// already hold exactly that value.
+	PartitionTouched(st *State, touched []Edge) map[core.ChannelID][]int64
+}
+
 // HSDPS splits every channel's deadline equally over its hops —
 // SDPS generalized (on two-hop routes it reduces to SDPS exactly).
 type HSDPS struct{}
@@ -201,17 +374,67 @@ type HSDPS struct{}
 // Name implements HDPS.
 func (HSDPS) Name() string { return "H-SDPS" }
 
+// vectorOf computes the equal split of one channel — shared by the full
+// and incremental paths so they agree bit for bit.
+func (HSDPS) vectorOf(ch *HChannel) []int64 {
+	weights := make([]int64, len(ch.Route))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+}
+
 // Partition implements HDPS.
-func (HSDPS) Partition(st *State) map[core.ChannelID][]int64 {
+func (h HSDPS) Partition(st *State) map[core.ChannelID][]int64 {
 	parts := make(map[core.ChannelID][]int64, st.Len())
 	for _, ch := range st.Channels() {
-		weights := make([]int64, len(ch.Route))
-		for i := range weights {
-			weights[i] = 1
-		}
-		parts[ch.ID] = splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+		parts[ch.ID] = h.vectorOf(ch)
 	}
 	return parts
+}
+
+// partitionTouched is the shared shell of every IncrementalHDPS
+// implementation: collect the vector of each channel traversing a
+// touched edge, deduplicating channels that traverse several of them.
+func partitionTouched(st *State, touched []Edge, vector func(*HChannel) []int64) map[core.ChannelID][]int64 {
+	parts := make(map[core.ChannelID][]int64)
+	for _, e := range touched {
+		for _, r := range st.channelsOn(e) {
+			if _, done := parts[r.ch.ID]; done {
+				continue
+			}
+			parts[r.ch.ID] = vector(r.ch)
+		}
+	}
+	return parts
+}
+
+// partitionTouchedNew is partitionTouched for schemes whose vector
+// depends only on the channel's own spec and route: committed vectors
+// can never change, so only channels without one — the request's own new
+// channels — need computing, keeping incremental admission O(new
+// channels) per request.
+func partitionTouchedNew(st *State, touched []Edge, vector func(*HChannel) []int64) map[core.ChannelID][]int64 {
+	parts := make(map[core.ChannelID][]int64)
+	for _, e := range touched {
+		for _, r := range st.channelsOn(e) {
+			if len(r.ch.Hops) != 0 {
+				continue
+			}
+			if _, done := parts[r.ch.ID]; done {
+				continue
+			}
+			parts[r.ch.ID] = vector(r.ch)
+		}
+	}
+	return parts
+}
+
+// PartitionTouched implements IncrementalHDPS. The equal split depends
+// only on the spec and hop count, so beyond the request's own new
+// channels nothing can move.
+func (h HSDPS) PartitionTouched(st *State, touched []Edge) map[core.ChannelID][]int64 {
+	return partitionTouchedNew(st, touched, h.vectorOf)
 }
 
 // HADPS weights each hop's share by that directed edge's link load —
@@ -221,17 +444,33 @@ type HADPS struct{}
 // Name implements HDPS.
 func (HADPS) Name() string { return "H-ADPS" }
 
+// vectorOf computes the load-weighted split of one channel — shared by
+// the full and incremental paths so they agree bit for bit.
+func (HADPS) vectorOf(st *State, ch *HChannel) []int64 {
+	weights := make([]int64, len(ch.Route))
+	for i, e := range ch.Route {
+		weights[i] = int64(st.LinkLoad(e))
+	}
+	return splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+}
+
 // Partition implements HDPS.
-func (HADPS) Partition(st *State) map[core.ChannelID][]int64 {
+func (h HADPS) Partition(st *State) map[core.ChannelID][]int64 {
 	parts := make(map[core.ChannelID][]int64, st.Len())
 	for _, ch := range st.Channels() {
-		weights := make([]int64, len(ch.Route))
-		for i, e := range ch.Route {
-			weights[i] = int64(st.LinkLoad(e))
-		}
-		parts[ch.ID] = splitDeadline(ch.Spec.D, ch.Spec.C, weights)
+		parts[ch.ID] = h.vectorOf(st, ch)
 	}
 	return parts
+}
+
+// PartitionTouched implements IncrementalHDPS. A channel's vector depends
+// on the loads of its own route edges only, so after a mutation that
+// touched an edge set, exactly the channels traversing those edges can
+// move.
+func (h HADPS) PartitionTouched(st *State, touched []Edge) map[core.ChannelID][]int64 {
+	return partitionTouched(st, touched, func(ch *HChannel) []int64 {
+		return h.vectorOf(st, ch)
+	})
 }
 
 // splitDeadline distributes D over len(weights) hops proportionally to

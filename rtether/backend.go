@@ -37,6 +37,7 @@ type AdmissionStats struct {
 type backend interface {
 	addNode(id NodeID) error
 	establish(spec ChannelSpec) (ChannelID, []int64, error)
+	establishAll(specs []ChannelSpec) ([]ChannelID, error)
 	release(id ChannelID) error
 	teardown(id ChannelID) error
 	startTraffic(id ChannelID, offset int64) error
@@ -84,6 +85,33 @@ func (b *starBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
 	}
 	_, budgets, _ := b.channelInfo(id)
 	return id, budgets, nil
+}
+
+func (b *starBackend) establishAll(specs []ChannelSpec) ([]ChannelID, error) {
+	ids, err := b.inner.EstablishChannels(specs)
+	if err != nil {
+		return nil, batchAdmissionError(specs, err)
+	}
+	return ids, nil
+}
+
+// batchAdmissionError attributes a batch rejection to the batch spec that
+// traverses the rejecting link (the failure may also sit on a link of a
+// repartitioned pre-existing channel; then the first spec stands in).
+func batchAdmissionError(specs []ChannelSpec, err error) error {
+	rej, ok := err.(*core.RejectionError)
+	if !ok || len(specs) == 0 {
+		return err
+	}
+	spec := specs[0]
+	for _, s := range specs {
+		if (rej.Link.Dir == core.Up && s.Src == rej.Link.Node) ||
+			(rej.Link.Dir == core.Down && s.Dst == rej.Link.Node) {
+			spec = s
+			break
+		}
+	}
+	return starAdmissionError(spec, err)
 }
 
 func (b *starBackend) release(id ChannelID) error {
@@ -179,7 +207,7 @@ func (b *starBackend) admissionStats() AdmissionStats {
 		RejectedInconclusive: st.RejectedInconclusive,
 		Released:             st.Released,
 		LinksChecked:         st.LinksChecked,
-		MeanLinkUtilization:  state.TotalUtilization(),
+		MeanLinkUtilization:  state.MeanLinkUtilization(),
 		LoadedLinks:          len(state.Links()),
 	}
 }
@@ -230,8 +258,51 @@ func (b *fabricBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) 
 		// a programming error, not a runtime condition.
 		panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
 	}
-	b.syncBudgets()
+	b.syncBudgets(b.ctrl.Repartitioned())
 	return ch.ID, append([]int64(nil), ch.Hops...), nil
+}
+
+func (b *fabricBackend) establishAll(specs []ChannelSpec) ([]ChannelID, error) {
+	b.stats.Requests += len(specs)
+	chs, err := b.ctrl.RequestAll(specs)
+	if err != nil {
+		b.noteRejection(err)
+		return nil, b.fabricBatchError(specs, err)
+	}
+	b.stats.Accepted += len(specs)
+	ids := make([]ChannelID, len(chs))
+	for i, ch := range chs {
+		if err := b.sim.Install(ch); err != nil {
+			panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
+		}
+		ids[i] = ch.ID
+	}
+	b.syncBudgets(b.ctrl.Repartitioned())
+	return ids, nil
+}
+
+// fabricBatchError attributes a batch rejection to the batch spec whose
+// route crosses the rejecting edge (falling back to the first spec when
+// the failure sits on a repartitioned pre-existing channel's edge).
+func (b *fabricBackend) fabricBatchError(specs []ChannelSpec, err error) error {
+	rej, ok := err.(*topo.RejectionError)
+	if !ok || len(specs) == 0 {
+		return err
+	}
+	spec := specs[0]
+	route, _ := b.top.inner.Route(spec.Src, spec.Dst)
+	for _, s := range specs {
+		r, rErr := b.top.inner.Route(s.Src, s.Dst)
+		if rErr != nil {
+			continue
+		}
+		for _, e := range r {
+			if e == rej.Edge {
+				return fabricAdmissionError(s, err, r)
+			}
+		}
+	}
+	return fabricAdmissionError(spec, err, route)
 }
 
 func (b *fabricBackend) noteRejection(err error) {
@@ -250,11 +321,17 @@ func (b *fabricBackend) noteRejection(err error) {
 	}
 }
 
-// syncBudgets pushes the controller's committed per-hop budgets into the
-// running simulation: the DPS depends on the whole system state, so one
-// admission or release may repartition every channel.
-func (b *fabricBackend) syncBudgets() {
-	for _, hch := range b.ctrl.State().Channels() {
+// syncBudgets pushes committed per-hop budgets into the running
+// simulation for exactly the given channels — the controller reports the
+// precise set a mutation repartitioned (Repartitioned), so establish and
+// release touch only deltas instead of re-pushing all N channels.
+func (b *fabricBackend) syncBudgets(ids []core.ChannelID) {
+	st := b.ctrl.State()
+	for _, id := range ids {
+		hch := st.Get(id)
+		if hch == nil {
+			continue // repartition delta of a just-released channel
+		}
 		if err := b.sim.SetBudgets(hch.ID, hch.Hops); err != nil {
 			panic(fmt.Sprintf("rtether: syncing hop budgets: %v", err))
 		}
@@ -269,8 +346,14 @@ func (b *fabricBackend) release(id ChannelID) error {
 		return err
 	}
 	b.stats.Released++
-	_ = b.sim.Remove(id)
-	b.syncBudgets()
+	if err := b.sim.Remove(id); err != nil {
+		// The controller released a channel the simulation does not know —
+		// admission state and the running sim have diverged, which is a
+		// programming error, not a runtime condition (same contract as the
+		// Install panic in establish).
+		panic(fmt.Sprintf("rtether: removing released channel from simulation: %v", err))
+	}
+	b.syncBudgets(b.ctrl.Repartitioned())
 	return nil
 }
 
@@ -336,18 +419,25 @@ func (b *fabricBackend) channelIDs() []ChannelID {
 
 func (b *fabricBackend) metrics(id ChannelID) *ChannelMetrics {
 	m := b.sim.Channel(id)
-	if m == nil || m.Delivered == 0 {
+	// A channel counts in reports as soon as it has any measurement —
+	// gating on Delivered alone would make a channel whose every frame
+	// missed its deadline vanish from Report() and undercount
+	// TotalMisses().
+	if m == nil || m.Delivered+m.Misses == 0 {
 		return nil
 	}
 	return &ChannelMetrics{Delivered: m.Delivered, Misses: m.Misses, Delays: m.Delays}
 }
 
 func (b *fabricBackend) guaranteedDelay(spec ChannelSpec) int64 {
-	hops := 2
-	if route, err := b.top.inner.Route(spec.Src, spec.Dst); err == nil {
-		hops = len(route)
+	route, err := b.top.inner.Route(spec.Src, spec.Dst)
+	if err != nil {
+		// No route between the endpoints: there is no delivery guarantee
+		// to state. Fabricating a hop count here would hand callers a
+		// bound admission control can never back.
+		return 0
 	}
-	return spec.D + int64(hops)*b.prop
+	return spec.D + int64(len(route))*b.prop
 }
 
 func (b *fabricBackend) linkLoadUp(id NodeID) int {
@@ -373,15 +463,8 @@ func (b *fabricBackend) setTracer(Tracer) bool { return false }
 func (b *fabricBackend) admissionStats() AdmissionStats {
 	st := b.stats
 	state := b.ctrl.State()
-	edges := state.Edges()
-	st.LoadedLinks = len(edges)
-	if len(edges) > 0 {
-		var sum float64
-		for _, e := range edges {
-			sum += edf.UtilizationFloat(state.TasksOn(e))
-		}
-		st.MeanLinkUtilization = sum / float64(len(edges))
-	}
+	st.LoadedLinks = len(state.Edges())
+	st.MeanLinkUtilization = state.MeanLinkUtilization()
 	return st
 }
 

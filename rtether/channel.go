@@ -81,14 +81,17 @@ func (c *Channel) Teardown() error {
 }
 
 // Metrics returns the channel's delivery measurements as of the call, or
-// nil when nothing has been delivered yet. Measurements survive release
-// and teardown.
+// nil when nothing has been measured yet — a channel with only deadline
+// misses on record still reports them. Measurements survive release and
+// teardown.
 func (c *Channel) Metrics() *ChannelMetrics {
 	return c.net.be.metrics(c.id)
 }
 
 // GuaranteedDelay returns the delivery guarantee for this channel,
-// T_max = d + T_latency (Eq. 18.1).
+// T_max = d + T_latency (Eq. 18.1). An established channel always has a
+// route, so the value is positive (see Network.GuaranteedDelay for the
+// 0 = "no route" convention on raw specs).
 func (c *Channel) GuaranteedDelay() int64 {
 	return c.net.be.guaranteedDelay(c.spec)
 }

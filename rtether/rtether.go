@@ -246,6 +246,33 @@ func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
 	return ch, nil
 }
 
+// EstablishAll requests a whole batch of RT channels as one atomic
+// admission decision: the batch is validated, routed (on fabrics),
+// partitioned and verified against a single tentative system state — one
+// repartition and one verification sweep instead of len(specs) — and
+// either every channel is established (handles returned in spec order) or
+// none is and the first failure is returned as the usual *AdmissionError.
+//
+// This is the bulk-provisioning path for scenario loading and offline
+// what-if tools: it runs through the management plane directly, so no
+// establishment handshake crosses the wire and no virtual time elapses
+// even on star networks. It is also the scalable path — admitting N
+// channels one Establish at a time repartitions the system N times, while
+// EstablishAll does it once (see BenchmarkAdmissionScale).
+func (n *Network) EstablishAll(specs []ChannelSpec) ([]*Channel, error) {
+	ids, err := n.be.establishAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	chs := make([]*Channel, len(ids))
+	for i, id := range ids {
+		ch := &Channel{net: n, id: id, spec: specs[i]}
+		n.handles[id] = ch
+		chs[i] = ch
+	}
+	return chs, nil
+}
+
 // Lookup returns the handle of an established channel, or nil. Handles
 // exist only for channels established through this Network value.
 func (n *Network) Lookup(id ChannelID) *Channel {
@@ -313,7 +340,9 @@ func (n *Network) Report() *Report { return n.be.report() }
 
 // GuaranteedDelay returns the delivery guarantee T_max = d + T_latency
 // for a spec on this network (Eq. 18.1); on fabrics T_latency scales
-// with the route's hop count.
+// with the route's hop count. It returns 0 when the spec's endpoints
+// have no route on this network — no guarantee can be stated for a
+// channel admission control could never accept.
 func (n *Network) GuaranteedDelay(spec ChannelSpec) int64 {
 	return n.be.guaranteedDelay(spec)
 }
