@@ -9,11 +9,13 @@
 // through Network.EstablishAll — one repartition and one verification
 // sweep instead of one per request, which is the scalable path for large
 // provisioning files. Either every request is accepted or the batch is
-// rejected with the first failure's diagnostics.
+// rejected with the first failure's diagnostics. -workers sizes the
+// verification worker pool for that sweep (0 = GOMAXPROCS, 1 =
+// sequential); decisions and diagnostics are identical at any count.
 //
 //	echo "1 100 3 100 40" | rtadmit -dps adps
 //	rtadmit -dps sdps -f requests.txt
-//	rtadmit -dps adps -batch -f provisioning.txt
+//	rtadmit -dps adps -batch -workers 8 -f provisioning.txt
 package main
 
 import (
@@ -41,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		quiet   = fs.Bool("q", false, "suppress per-request lines, print only the summary")
 		dump    = fs.Bool("dump", false, "emit the accepted channels as a JSON snapshot instead of the summary")
 		batch   = fs.Bool("batch", false, "admit all requests as one atomic batch (EstablishAll) instead of one by one")
+		workers = fs.Int("workers", 0, "verification worker pool for batch sweeps (0 = GOMAXPROCS, 1 = sequential); decisions are identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,7 +66,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in = f
 	}
 
-	net := rtether.New(rtether.WithDPS(dps))
+	net := rtether.New(rtether.WithDPS(dps), rtether.WithVerifyWorkers(*workers))
 	known := make(map[rtether.NodeID]bool)
 	ensure := func(id rtether.NodeID) {
 		if !known[id] {

@@ -1,0 +1,108 @@
+package main
+
+// Bench-output parsing: `rtexp -parsebench file` converts the text
+// output of `go test -bench` into a machine-readable JSON artifact, so
+// CI can archive benchmark trajectories (BENCH_*.json) instead of
+// grepping logs.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line: the name (procs suffix stripped),
+// the iteration count, and every reported metric keyed by its unit
+// (ns/op, B/op, allocs/op, custom b.ReportMetric units).
+type BenchResult struct {
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the parsed artifact: the run's environment header plus
+// every benchmark line, in file order.
+type BenchReport struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` text output. Unrecognized lines
+// (test logs, PASS/ok trailers) are skipped — the parser is meant to run
+// on a `| tee` of the raw CI log.
+func parseBench(r io.Reader) (*BenchReport, error) {
+	rep := &BenchReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, runs, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Runs: runs, Metrics: make(map[string]float64)}
+		res.Name = fields[0]
+		if i := strings.LastIndex(res.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Name = res.Name[:i]
+				res.Procs = procs
+			}
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if !ok || len(res.Metrics) == 0 {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// writeBenchJSON emits the parsed report as indented JSON.
+func writeBenchJSON(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

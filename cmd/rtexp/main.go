@@ -1,12 +1,14 @@
 // Command rtexp regenerates the paper's evaluation: every table and
 // figure in the experiment index (rtexp -list). With no flags it runs
 // everything; -exp selects a comma-separated subset; -csv switches the
-// output to machine-readable CSV.
+// output to machine-readable CSV. -parsebench turns `go test -bench`
+// text output into a JSON artifact for CI benchmark trajectories.
 //
 //	rtexp                      # all experiments, aligned tables
 //	rtexp -exp fig18.5         # just the headline figure
 //	rtexp -exp fig18.5,dsweep -csv
 //	rtexp -list                # enumerate experiment IDs
+//	go test -bench A . | tee bench.txt && rtexp -parsebench bench.txt > BENCH_A.json
 package main
 
 import (
@@ -27,12 +29,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sel  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		csv  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		list = fs.Bool("list", false, "list experiment IDs and exit")
+		sel   = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		bench = fs.String("parsebench", "", "parse `go test -bench` output from the given file ('-' = stdin) and emit JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *bench != "" {
+		in := io.Reader(os.Stdin)
+		if *bench != "-" {
+			f, err := os.Open(*bench)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtexp: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			in = f
+		}
+		rep, err := parseBench(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
+			return 1
+		}
+		if err := writeBenchJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	all := exp.All()

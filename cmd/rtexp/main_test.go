@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +60,73 @@ func TestRunBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestParseBenchJSON(t *testing.T) {
+	const benchOut = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAdmissionScale/10k/star-batch-ADPS-4         	       1	  41000000 ns/op
+BenchmarkAdmissionScaleVerifyWorkers/10k/star-batch-verify/workers=1 	       3	 146722567 ns/op
+BenchmarkFig18_5-4 	       2	   7700000 ns/op	        110 accepted-ADPS@200	         93.0 accepted-SDPS@200
+PASS
+ok  	repro	2.313s
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(benchOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-parsebench", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep struct {
+		Goos       string `json:"goos"`
+		CPU        string `json:"cpu"`
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Procs   int                `json:"procs"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Goos != "linux" || rep.CPU == "" {
+		t.Errorf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3:\n%s", len(rep.Benchmarks), out.String())
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkAdmissionScale/10k/star-batch-ADPS" || b0.Procs != 4 || b0.Runs != 1 {
+		t.Errorf("benchmark 0 parsed wrong: %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 41000000 {
+		t.Errorf("ns/op = %v", b0.Metrics["ns/op"])
+	}
+	// The workers=1 sub-benchmark name must survive (no procs suffix).
+	if rep.Benchmarks[1].Name != "BenchmarkAdmissionScaleVerifyWorkers/10k/star-batch-verify/workers=1" {
+		t.Errorf("benchmark 1 name = %q", rep.Benchmarks[1].Name)
+	}
+	// Custom b.ReportMetric units are captured.
+	if rep.Benchmarks[2].Metrics["accepted-ADPS@200"] != 110 {
+		t.Errorf("custom metric lost: %+v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseBenchEmptyInputFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(path, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-parsebench", path}, &out, &errOut); code == 0 {
+		t.Fatal("empty bench output parsed successfully")
 	}
 }

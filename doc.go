@@ -5,12 +5,17 @@
 // switch, per-link feasibility analysis for admission control, and the
 // SDPS/ADPS deadline partitioning schemes.
 //
-// The public API lives in the rtether subpackage: one topology-aware
-// Network type covering the paper's single-switch star and the §18.5
-// multi-switch fabrics, with *Channel handles and typed *AdmissionError
-// rejection diagnostics. This root package only anchors the module
-// documentation and the repository-level benchmarks (bench_test.go),
-// which regenerate the tables and figures of the paper's evaluation
-// (cmd/rtexp runs them; rtexp -list is the experiment index). See
-// README.md for a tour of the API and migration notes.
+// The public API lives in the rtether subpackage: one topology-aware,
+// concurrency-safe Network type covering the paper's single-switch star
+// and the §18.5 multi-switch fabrics, with *Channel handles that are
+// safe to use from any goroutine and typed *AdmissionError rejection
+// diagnostics. Both topologies run their admission control on one
+// generic copy-on-write kernel (internal/admit) whose batch
+// verification sweep parallelizes across cores (rtether.
+// WithVerifyWorkers) without changing a single decision. This root
+// package only anchors the module documentation and the
+// repository-level benchmarks (bench_test.go), which regenerate the
+// tables and figures of the paper's evaluation (cmd/rtexp runs them;
+// rtexp -list is the experiment index). See README.md for a tour of the
+// API and the concurrency contract.
 package repro

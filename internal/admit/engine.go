@@ -1,0 +1,470 @@
+package admit
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/edf"
+)
+
+// Rejection reports which link failed the admission test and why. The
+// adapters wrap it into their public error types (core.RejectionError,
+// topo.RejectionError).
+type Rejection[K comparable] struct {
+	Link   K
+	Result edf.Result
+}
+
+// Scheme is one deadline partitioning scheme as the kernel sees it: a
+// full-state partition function (the reference engine's view) and,
+// optionally, an incremental one. A nil PartitionTouched marks the scheme
+// non-incremental, forcing the clone-based reference engine.
+//
+// PartitionTouched must obey the incremental contract: for each returned
+// channel the value must equal what Partition would return on the same
+// state, and every channel omitted must already hold exactly that value.
+type Scheme[K comparable, Ch any, P any] struct {
+	Partition        func(st *State[K, Ch, P]) map[ID]P
+	PartitionTouched func(st *State[K, Ch, P], touched []K) map[ID]P
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Feasibility passes through to the per-link EDF test.
+	Feasibility edf.Options
+	// FullRecheck forces every loaded link to be re-verified on each
+	// mutation and disables the copy-on-write engine — the
+	// ablation/belt-and-braces reference mode.
+	FullRecheck bool
+	// Workers bounds the verification worker pool; 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the sequential sweep. Decisions,
+	// diagnostics and the LinksChecked accounting are identical for every
+	// worker count.
+	Workers int
+}
+
+// minParallelLinks is the sweep size below which verification stays
+// sequential: spawning workers for the one-or-two changed links of a
+// single establishment (or the handful of hops of one routed channel)
+// costs more than the tests themselves.
+const minParallelLinks = 8
+
+// Engine owns a State and runs admission decisions against it: the
+// copy-on-write delta engine when every scheme is incremental, the
+// clone-everything reference engine otherwise. Both make bit-identical
+// decisions; the equivalence is proven by the adapters' replay suites.
+//
+// Engine is not safe for concurrent use (the verification worker pool is
+// internal to a single decision); the public rtether.Network serializes
+// access.
+type Engine[K comparable, Ch any, P any] struct {
+	ops     *Ops[K, Ch, P]
+	cfg     Config
+	workers int
+	state   *State[K, Ch, P]
+
+	linksChecked  int
+	repartitioned []ID
+
+	scratch  edf.Scratch
+	touchBuf []K
+}
+
+// NewEngine returns an engine over an empty state.
+func NewEngine[K comparable, Ch any, P any](ops *Ops[K, Ch, P], cfg Config) *Engine[K, Ch, P] {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine[K, Ch, P]{ops: ops, cfg: cfg, workers: workers, state: NewState(ops)}
+}
+
+// State returns the live committed state. Callers must treat it as
+// read-only.
+func (e *Engine[K, Ch, P]) State() *State[K, Ch, P] { return e.state }
+
+// ReplaceState swaps in a state assembled elsewhere (snapshot restore).
+func (e *Engine[K, Ch, P]) ReplaceState(st *State[K, Ch, P]) { e.state = st }
+
+// LinksChecked returns the cumulative number of per-link feasibility
+// tests the engine accounts for. The count is deterministic and
+// independent of the worker count: a parallel sweep that rejects reports
+// the tests a sequential early-exit sweep would have run, even if idle
+// workers raced ahead of the failure.
+func (e *Engine[K, Ch, P]) LinksChecked() int { return e.linksChecked }
+
+// Repartitioned returns the IDs (ascending) of the channels whose
+// partitions changed in the last successful Admit or Release —
+// establishments include the new channels. The slice is invalidated by
+// the next mutation.
+func (e *Engine[K, Ch, P]) Repartitioned() []ID { return e.repartitioned }
+
+// incremental reports whether the copy-on-write engine may run: every
+// scheme must be incremental and FullRecheck (which wants to see the
+// whole tentative state) must be off.
+func (e *Engine[K, Ch, P]) incremental(schemes []Scheme[K, Ch, P]) bool {
+	if e.cfg.FullRecheck {
+		return false
+	}
+	for _, s := range schemes {
+		if s.PartitionTouched == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Admit runs one admission decision for a batch of n new channels:
+// mk(i, id) constructs the i-th channel with its allocated ID (the
+// adapter has validated and routed the specs already). The schemes are
+// tried in order — the paper's fallback search — and the first whose
+// tentative system passes verification commits. On rejection the
+// committed state is untouched (bit for bit, including the ID allocator)
+// and the first scheme's rejection is returned.
+func (e *Engine[K, Ch, P]) Admit(n int, mk func(i int, id ID) Ch, schemes []Scheme[K, Ch, P]) ([]Ch, *Rejection[K]) {
+	if e.incremental(schemes) {
+		return e.admitDelta(n, mk, schemes)
+	}
+	return e.admitClone(n, mk, schemes)
+}
+
+// admitClone is the clone-based reference engine: build a full tentative
+// copy of the state per scheme, repartition everything, verify, and swap
+// the state pointer on acceptance. It remains the reference path for
+// FullRecheck mode and for custom non-incremental scheme implementations.
+func (e *Engine[K, Ch, P]) admitClone(n int, mk func(i int, id ID) Ch, schemes []Scheme[K, Ch, P]) ([]Ch, *Rejection[K]) {
+	var firstRej *Rejection[K]
+	for _, scheme := range schemes {
+		tentative := e.state.Clone()
+		chs := make([]Ch, n)
+		for i := 0; i < n; i++ {
+			ch := mk(i, tentative.AllocID())
+			tentative.Add(ch)
+			chs[i] = ch
+		}
+
+		parts := scheme.Partition(tentative)
+		changed, changedIDs := e.apply(tentative, parts)
+
+		rej := e.verify(tentative, changed)
+		if rej == nil {
+			e.state = tentative
+			e.repartitioned = changedIDs
+			return chs, nil
+		}
+		if firstRej == nil {
+			firstRej = rej
+		}
+	}
+	return nil, firstRej
+}
+
+// admitDelta is the copy-on-write engine: mutate the live state
+// tentatively (add the channels, repartition only what the scheme says
+// can have moved), verify only the changed links, and roll everything
+// back on rejection. The ID allocator is restored too, so a rejected
+// request leaves no observable trace — decisions and committed states
+// are bit-identical to admitClone.
+func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes []Scheme[K, Ch, P]) ([]Ch, *Rejection[K]) {
+	var firstRej *Rejection[K]
+	for _, scheme := range schemes {
+		savedNext := e.state.nextID
+		chs := make([]Ch, n)
+		touched := e.touchBuf[:0]
+		for i := 0; i < n; i++ {
+			ch := mk(i, e.state.AllocID())
+			e.state.Add(ch)
+			chs[i] = ch
+			touched = append(touched, e.state.LinksOf(ch)...)
+		}
+		e.touchBuf = touched[:0]
+		touched = dedupKeys(touched)
+
+		parts := scheme.PartitionTouched(e.state, touched)
+		undo, changed, changedIDs := e.applyDelta(e.state, parts)
+
+		rej := e.verify(e.state, changed)
+		if rej == nil {
+			e.repartitioned = changedIDs
+			return chs, nil
+		}
+		e.rollback(e.state, undo)
+		for i := n - 1; i >= 0; i-- {
+			e.state.UndoAdd(chs[i])
+		}
+		e.state.nextID = savedNext
+		if firstRej == nil {
+			firstRej = rej
+		}
+	}
+	return nil, firstRej
+}
+
+// dedupKeys removes duplicate link keys preserving first-occurrence
+// order. A batch of thousands of channels names the same few trunk links
+// over and over; scanning each link's channel list once instead of once
+// per occurrence keeps the incremental repartition O(sum of link loads)
+// rather than O(batch x load). Scheme results are unaffected — the
+// incremental contract makes PartitionTouched a pure function of the
+// touched link set.
+func dedupKeys[K comparable](keys []K) []K {
+	if len(keys) <= 8 {
+		out := keys[:0:0]
+		for _, k := range keys {
+			dup := false
+			for _, seen := range out {
+				if seen == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	seen := make(map[K]struct{}, len(keys))
+	out := make([]K, 0, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Release tears down a channel. The remaining channels are repartitioned
+// (a scheme is a function of the system state); in the unlikely event
+// that repartitioning a smaller system makes some link infeasible, the
+// previous partitions are kept — removing load can never invalidate the
+// schedule under unchanged partitions. It reports whether the channel
+// existed.
+func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
+	entry, ok := e.state.channels[id]
+	if !ok {
+		return false
+	}
+	if scheme.PartitionTouched != nil && !e.cfg.FullRecheck {
+		links := entry.links
+		e.state.Remove(id)
+		parts := scheme.PartitionTouched(e.state, links)
+		undo, changed, changedIDs := e.applyDelta(e.state, parts)
+		if rej := e.verify(e.state, changed); rej != nil {
+			e.rollback(e.state, undo)
+			changedIDs = nil
+		}
+		e.repartitioned = changedIDs
+		return true
+	}
+
+	next := e.state.Clone()
+	next.Remove(id)
+
+	repart := next.Clone()
+	parts := scheme.Partition(repart)
+	changed, changedIDs := e.apply(repart, parts)
+	if rej := e.verify(repart, changed); rej == nil {
+		e.state = repart
+		e.repartitioned = changedIDs
+	} else {
+		e.state = next
+		e.repartitioned = nil
+	}
+	return true
+}
+
+// apply installs the computed partitions into the state's channels,
+// returning the set of links whose task sets changed and the IDs of the
+// channels that moved (ascending). The reference-engine contract: a
+// partition must be present for every channel. Partition validation is
+// the adapter's Validate hook — a violation is a scheme implementation
+// bug and panics.
+func (e *Engine[K, Ch, P]) apply(st *State[K, Ch, P], parts map[ID]P) (map[K]struct{}, []ID) {
+	changed := make(map[K]struct{})
+	var changedIDs []ID
+	for _, id := range st.order {
+		entry, ok := st.channels[id]
+		if !ok {
+			continue
+		}
+		ch := entry.ch
+		p, ok := parts[id]
+		if !ok {
+			panic(fmt.Sprintf("admit: scheme returned no partition for channel %d", id))
+		}
+		e.ops.Validate(ch, p)
+		if e.ops.HasPart(ch, p) {
+			continue
+		}
+		st.SetPart(ch, p)
+		changedIDs = append(changedIDs, id)
+		for _, l := range entry.links {
+			changed[l] = struct{}{}
+		}
+	}
+	sortIDs(changedIDs)
+	return changed, changedIDs
+}
+
+// partUndo records one channel's previous partition so a tentative
+// repartition can be rolled back in place.
+type partUndo[Ch any, P any] struct {
+	ch  Ch
+	old P
+}
+
+// applyDelta installs the partitions of an incremental repartition
+// directly into the live state, returning an undo log (for rollback on
+// rejection), the set of links whose task sets changed, and the IDs of
+// the channels that moved (ascending). Channels absent from parts are
+// untouched by contract — an incremental scheme covers every channel
+// that can have moved.
+func (e *Engine[K, Ch, P]) applyDelta(st *State[K, Ch, P], parts map[ID]P) ([]partUndo[Ch, P], map[K]struct{}, []ID) {
+	var undo []partUndo[Ch, P]
+	changed := make(map[K]struct{})
+	var changedIDs []ID
+	for id, p := range parts {
+		entry, ok := st.channels[id]
+		if !ok {
+			panic(fmt.Sprintf("admit: scheme returned a partition for unknown channel %d", id))
+		}
+		ch := entry.ch
+		e.ops.Validate(ch, p)
+		if e.ops.HasPart(ch, p) {
+			continue
+		}
+		undo = append(undo, partUndo[Ch, P]{ch: ch, old: e.ops.Part(ch)})
+		st.SetPart(ch, p)
+		changedIDs = append(changedIDs, id)
+		for _, l := range entry.links {
+			changed[l] = struct{}{}
+		}
+	}
+	sortIDs(changedIDs)
+	return undo, changed, changedIDs
+}
+
+// rollback restores the previous partitions recorded by applyDelta.
+func (e *Engine[K, Ch, P]) rollback(st *State[K, Ch, P], undo []partUndo[Ch, P]) {
+	for _, u := range undo {
+		st.SetPart(u.ch, u.old)
+	}
+}
+
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// verify tests feasibility of the changed links — every loaded link under
+// FullRecheck — in the deterministic sorted order (the sorted restriction
+// of the full link sequence: links whose task sets did not change were
+// feasible at the previous commit and cannot have become infeasible,
+// which is what makes the restriction decision-preserving). The first
+// failure in that order is returned regardless of how many workers swept
+// the links.
+func (e *Engine[K, Ch, P]) verify(st *State[K, Ch, P], changed map[K]struct{}) *Rejection[K] {
+	var links []K
+	if e.cfg.FullRecheck {
+		links = st.Links()
+	} else {
+		links = make([]K, 0, len(changed))
+		for l := range changed {
+			links = append(links, l)
+		}
+		st.sortLinks(links)
+	}
+	var checked int
+	var rej *Rejection[K]
+	if e.workers > 1 && len(links) >= minParallelLinks {
+		checked, rej = e.sweepParallel(st, links)
+	} else {
+		checked, rej = e.sweepSequential(st, links)
+	}
+	e.linksChecked += checked
+	return rej
+}
+
+// sweepSequential checks the links in order, stopping at the first
+// failure. The first constraint (U > 1, exact) comes from the state's
+// incrementally maintained per-link sum — rational arithmetic is exact,
+// so the answer matches a fresh summation bit for bit.
+func (e *Engine[K, Ch, P]) sweepSequential(st *State[K, Ch, P], links []K) (int, *Rejection[K]) {
+	opts := e.cfg.Feasibility
+	for i, l := range links {
+		exceeds := st.UtilExceedsOne(l)
+		opts.UtilizationExceeds = &exceeds
+		res := edf.TestScratch(st.TasksShared(l), opts, &e.scratch)
+		if !res.OK() {
+			return i + 1, &Rejection[K]{Link: l, Result: res}
+		}
+	}
+	return len(links), nil
+}
+
+// sweepParallel fans the per-link tests out over the worker pool. Task
+// sets and utilization answers are materialized sequentially first (the
+// lazy task cache is not safe for concurrent rebuilds); the workers then
+// run pure feasibility tests with per-worker scratch buffers. Workers
+// skip links past the lowest failing index found so far, and the lowest
+// failing index wins — the verdict, the named link and the reported
+// check count are identical to the sequential sweep.
+func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K) (int, *Rejection[K]) {
+	n := len(links)
+	tasks := make([][]edf.Task, n)
+	exceeds := make([]bool, n)
+	for i, l := range links {
+		tasks[i] = st.TasksShared(l)
+		exceeds[i] = st.UtilExceedsOne(l)
+	}
+
+	results := make([]edf.Result, n)
+	var next atomic.Int64
+	var minFail atomic.Int64
+	minFail.Store(int64(n))
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch edf.Scratch
+			opts := e.cfg.Feasibility
+			for {
+				i := next.Add(1) - 1
+				// next is monotone: once i passes the lowest known
+				// failure nothing this worker could pick up can matter.
+				if i >= int64(n) || i >= minFail.Load() {
+					return
+				}
+				ex := exceeds[i]
+				opts.UtilizationExceeds = &ex
+				res := edf.TestScratch(tasks[i], opts, &scratch)
+				if !res.OK() {
+					results[i] = res
+					for {
+						cur := minFail.Load()
+						if i >= cur || minFail.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if f := minFail.Load(); f < int64(n) {
+		return int(f) + 1, &Rejection[K]{Link: links[f], Result: results[f]}
+	}
+	return n, nil
+}

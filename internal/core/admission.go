@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/admit"
 	"repro/internal/edf"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// Latency is T_latency of Eq. 18.1: the constant medium propagation
 	// plus access delay added to every guarantee, in slots.
 	Latency int64
+	// VerifyWorkers bounds the verification worker pool used for large
+	// changed-link sweeps (batch admissions); 0 means GOMAXPROCS, 1 forces
+	// the sequential sweep. Decisions, diagnostics and LinksChecked are
+	// identical for every worker count.
+	VerifyWorkers int
 }
 
 // Controller is the switch-resident admission control of §18.2.2/§18.3:
@@ -69,12 +75,19 @@ type Config struct {
 // deadlines, and accepts a new RT channel only if every affected link
 // remains EDF-feasible.
 //
+// The decision machinery — copy-on-write state, delta repartitioning,
+// rollback, changed-links verification, and the clone-everything
+// reference engine — lives in the shared kernel (internal/admit); this
+// type contributes spec validation, the DPS plug-in glue and the stats.
+//
 // Controller is not safe for concurrent use; the surrounding switch model
-// serializes establishment traffic (as a single management process would).
+// (and, above it, rtether.Network's lock) serializes establishment
+// traffic as a single management process would.
 type Controller struct {
-	cfg   Config
-	state *State
-	stats Stats
+	cfg     Config
+	eng     *admit.Engine[Link, *Channel, Partition]
+	schemes []admit.Scheme[Link, *Channel, Partition]
+	stats   Stats
 }
 
 // NewController returns a Controller with the given configuration.
@@ -83,42 +96,57 @@ func NewController(cfg Config) *Controller {
 		cfg.DPS = SDPS{}
 	}
 	cfg.Feasibility.SkipValidation = true // specs are validated on entry
-	return &Controller{cfg: cfg, state: NewState()}
+	c := &Controller{cfg: cfg}
+	c.eng = admit.NewEngine(coreOps, admit.Config{
+		Feasibility: cfg.Feasibility,
+		FullRecheck: cfg.FullRecheck,
+		Workers:     cfg.VerifyWorkers,
+	})
+	for _, d := range append([]DPS{cfg.DPS}, cfg.Fallbacks...) {
+		c.schemes = append(c.schemes, kernelScheme(d))
+	}
+	return c
+}
+
+// kernelScheme adapts a DPS to the kernel's scheme vocabulary. A scheme
+// implementing IncrementalDPS gets a PartitionTouched hook, enabling the
+// kernel's copy-on-write engine.
+func kernelScheme(d DPS) admit.Scheme[Link, *Channel, Partition] {
+	s := admit.Scheme[Link, *Channel, Partition]{
+		Partition: func(k *admit.State[Link, *Channel, Partition]) map[ChannelID]Partition {
+			return d.Partition(&State{k: k})
+		},
+	}
+	if inc, ok := d.(IncrementalDPS); ok {
+		s.PartitionTouched = func(k *admit.State[Link, *Channel, Partition], touched []Link) map[ChannelID]Partition {
+			return inc.PartitionTouched(&State{k: k}, touched)
+		}
+	}
+	return s
 }
 
 // DPS returns the active deadline partitioning scheme.
 func (c *Controller) DPS() DPS { return c.cfg.DPS }
 
 // Stats returns a copy of the admission counters.
-func (c *Controller) Stats() Stats { return c.stats }
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.LinksChecked = c.eng.LinksChecked()
+	return s
+}
 
 // State returns the live system state. Callers must treat it as read-only.
-func (c *Controller) State() *State { return c.state }
+func (c *Controller) State() *State { return &State{k: c.eng.State()} }
+
+// Repartitioned returns the IDs (ascending) of the channels whose
+// partitions changed in the last successful Request, RequestAll or
+// Release — establishments include the new channels. The slice is
+// invalidated by the next state mutation.
+func (c *Controller) Repartitioned() []ChannelID { return c.eng.Repartitioned() }
 
 // GuaranteedDelay returns T_maxdelay,i = d_i + T_latency (Eq. 18.1) for an
 // accepted spec.
 func (c *Controller) GuaranteedDelay(s ChannelSpec) int64 { return s.D + c.cfg.Latency }
-
-// schemes returns the primary DPS followed by the configured fallbacks.
-func (c *Controller) schemes() []DPS {
-	return append([]DPS{c.cfg.DPS}, c.cfg.Fallbacks...)
-}
-
-// incremental reports whether the controller can run the copy-on-write
-// admission path: every configured scheme must support incremental
-// repartitioning, and FullRecheck (the ablation/belt-and-braces mode,
-// which wants to see the whole tentative state) must be off.
-func (c *Controller) incremental() bool {
-	if c.cfg.FullRecheck {
-		return false
-	}
-	for _, d := range c.schemes() {
-		if _, ok := d.(IncrementalDPS); !ok {
-			return false
-		}
-	}
-	return true
-}
 
 // Request runs the admission test for a new RT channel and, if feasible,
 // commits it and returns the established channel. The decision procedure
@@ -144,13 +172,7 @@ func (c *Controller) Request(spec ChannelSpec) (*Channel, error) {
 		c.stats.RejectedInvalid++
 		return nil, err
 	}
-	var chs []*Channel
-	var rej *RejectionError
-	if c.incremental() {
-		chs, rej = c.admitDelta([]ChannelSpec{spec})
-	} else {
-		chs, rej = c.admitClone([]ChannelSpec{spec})
-	}
+	chs, rej := c.admit([]ChannelSpec{spec})
 	if rej != nil {
 		c.noteRejection(rej)
 		return nil, rej
@@ -179,18 +201,23 @@ func (c *Controller) RequestAll(specs []ChannelSpec) ([]*Channel, error) {
 			return nil, fmt.Errorf("batch spec %d (%v): %w", i, spec, err)
 		}
 	}
-	var chs []*Channel
-	var rej *RejectionError
-	if c.incremental() {
-		chs, rej = c.admitDelta(specs)
-	} else {
-		chs, rej = c.admitClone(specs)
-	}
+	chs, rej := c.admit(specs)
 	if rej != nil {
 		c.noteRejection(rej)
 		return nil, rej
 	}
 	c.stats.Accepted += len(specs)
+	return chs, nil
+}
+
+// admit runs the kernel decision for pre-validated specs.
+func (c *Controller) admit(specs []ChannelSpec) ([]*Channel, *RejectionError) {
+	chs, rej := c.eng.Admit(len(specs), func(i int, id ChannelID) *Channel {
+		return &Channel{ID: id, Spec: specs[i]}
+	}, c.schemes)
+	if rej != nil {
+		return nil, &RejectionError{Link: rej.Link, Result: rej.Result}
+	}
 	return chs, nil
 }
 
@@ -205,76 +232,6 @@ func (c *Controller) noteRejection(rej *RejectionError) {
 	default:
 		c.stats.RejectedInconclusive++
 	}
-}
-
-// admitClone is the clone-based admission engine: build a full tentative
-// copy of the state per scheme, repartition everything, verify, and swap
-// the state pointer on acceptance. It remains the reference path for
-// FullRecheck mode and for custom non-incremental DPS implementations.
-func (c *Controller) admitClone(specs []ChannelSpec) ([]*Channel, *RejectionError) {
-	var firstRej *RejectionError
-	for _, dps := range c.schemes() {
-		tentative := c.state.clone()
-		chs := make([]*Channel, len(specs))
-		for i, spec := range specs {
-			ch := &Channel{ID: tentative.allocID(), Spec: spec}
-			tentative.add(ch)
-			chs[i] = ch
-		}
-
-		parts := dps.Partition(tentative)
-		changed := applyPartitions(tentative, parts)
-
-		rej := c.verify(tentative, changed)
-		if rej == nil {
-			c.state = tentative
-			return chs, nil
-		}
-		if firstRej == nil {
-			firstRej = rej
-		}
-	}
-	return nil, firstRej
-}
-
-// admitDelta is the copy-on-write admission engine: mutate the live state
-// tentatively (add the channels, repartition only what the DPS says can
-// have moved), verify only the changed links, and roll everything back on
-// rejection. The ID allocator is restored too, so a rejected request
-// leaves no observable trace — decisions and committed states are
-// bit-identical to admitClone.
-func (c *Controller) admitDelta(specs []ChannelSpec) ([]*Channel, *RejectionError) {
-	var firstRej *RejectionError
-	for _, dps := range c.schemes() {
-		inc := dps.(IncrementalDPS)
-		savedNext := c.state.nextID
-		chs := make([]*Channel, len(specs))
-		touched := make([]Link, 0, 2*len(specs))
-		for i, spec := range specs {
-			ch := &Channel{ID: c.state.allocID(), Spec: spec}
-			c.state.add(ch)
-			chs[i] = ch
-			ls := LinksOf(spec)
-			touched = append(touched, ls[0], ls[1])
-		}
-
-		parts := inc.PartitionTouched(c.state, touched)
-		undo, changed := applyPartitionsDelta(c.state, parts)
-
-		rej := c.verifyChanged(c.state, changed)
-		if rej == nil {
-			return chs, nil
-		}
-		rollbackPartitions(c.state, undo)
-		for i := len(chs) - 1; i >= 0; i-- {
-			c.state.undoAdd(chs[i])
-		}
-		c.state.nextID = savedNext
-		if firstRej == nil {
-			firstRej = rej
-		}
-	}
-	return nil, firstRej
 }
 
 // ForceAdd installs a channel without any feasibility test, using the
@@ -293,8 +250,9 @@ func (c *Controller) ForceAdd(spec ChannelSpec, part Partition) (*Channel, error
 	if !part.ValidFor(spec) {
 		return nil, fmt.Errorf("core: forced partition %+v violates conditions (8)/(9) for %v", part, spec)
 	}
-	ch := &Channel{ID: c.state.allocID(), Spec: spec, Part: part}
-	c.state.add(ch)
+	st := c.eng.State()
+	ch := &Channel{ID: st.AllocID(), Spec: spec, Part: part}
+	st.Add(ch)
 	return ch, nil
 }
 
@@ -305,82 +263,9 @@ func (c *Controller) ForceAdd(spec ChannelSpec, part Partition) (*Channel, error
 // the schedule under unchanged partitions. Like Request, Release runs
 // copy-on-write when the primary DPS is incremental.
 func (c *Controller) Release(id ChannelID) error {
-	ch := c.state.Get(id)
-	if ch == nil {
+	if !c.eng.Release(id, c.schemes[0]) {
 		return fmt.Errorf("core: release of unknown RT channel %d", id)
 	}
-	inc, ok := c.cfg.DPS.(IncrementalDPS)
-	if ok && !c.cfg.FullRecheck {
-		c.state.remove(id)
-		ls := LinksOf(ch.Spec)
-		parts := inc.PartitionTouched(c.state, ls[:])
-		undo, changed := applyPartitionsDelta(c.state, parts)
-		if rej := c.verifyChanged(c.state, changed); rej != nil {
-			rollbackPartitions(c.state, undo)
-		}
-		c.stats.Released++
-		return nil
-	}
-
-	next := c.state.clone()
-	next.remove(id)
-
-	repartitioned := next.clone()
-	parts := c.cfg.DPS.Partition(repartitioned)
-	changed := applyPartitions(repartitioned, parts)
-	if rej := c.verify(repartitioned, changed); rej == nil {
-		c.state = repartitioned
-	} else {
-		c.state = next
-	}
 	c.stats.Released++
-	return nil
-}
-
-// verify tests feasibility of the given links (or all loaded links under
-// FullRecheck) and returns a RejectionError for the first failure. The
-// links are visited in deterministic order.
-func (c *Controller) verify(st *State, changed map[Link]struct{}) *RejectionError {
-	links := st.Links()
-	for _, l := range links {
-		if !c.cfg.FullRecheck {
-			if _, ok := changed[l]; !ok {
-				continue
-			}
-		}
-		c.stats.LinksChecked++
-		res := edf.Test(st.tasksCached(l), c.cfg.Feasibility)
-		if !res.OK() {
-			return &RejectionError{Link: l, Result: res}
-		}
-	}
-	return nil
-}
-
-// verifyChanged tests feasibility of exactly the changed links, visited in
-// the same deterministic order verify uses (sorted by node, uplinks before
-// downlinks — the sorted restriction of the full link sequence, so the
-// first failure reported is identical). Links whose task sets did not
-// change were feasible at the previous commit and cannot have become
-// infeasible, which is what makes the restriction decision-preserving.
-func (c *Controller) verifyChanged(st *State, changed map[Link]struct{}) *RejectionError {
-	links := make([]Link, 0, len(changed))
-	for l := range changed {
-		links = append(links, l)
-	}
-	sortLinks(links)
-	opts := c.cfg.Feasibility
-	for _, l := range links {
-		c.stats.LinksChecked++
-		// The first constraint (U > 1, exact) comes from the state's
-		// incrementally maintained per-link sum — rational arithmetic is
-		// exact, so the answer matches a fresh summation bit for bit.
-		exceeds := st.utilExceedsOne(l)
-		opts.UtilizationExceeds = &exceeds
-		res := edf.Test(st.tasksCached(l), opts)
-		if !res.OK() {
-			return &RejectionError{Link: l, Result: res}
-		}
-	}
 	return nil
 }

@@ -16,6 +16,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/admit"
 )
 
 // NodeID identifies an end-node in the star network.
@@ -24,8 +26,9 @@ type NodeID uint16
 // ChannelID is the network-unique RT channel identifier assigned by the
 // switch during establishment. The 16-bit width matches the RT channel ID
 // field of the establishment frames and of the stamped IP destination
-// address (§18.2.2).
-type ChannelID uint16
+// address (§18.2.2). It aliases the admission kernel's ID type so the
+// star and fabric controllers share one allocator implementation.
+type ChannelID = admit.ID
 
 // ChannelSpec is a request for an RT channel: the {P_i, C_i, d_i} triple of
 // §18.2.2 plus the endpoints. All quantities are integer timeslots where

@@ -78,7 +78,8 @@ func (SDPS) Partition(st *State) map[ChannelID]Partition {
 func partitionTouched(st *State, touched []Link, split func(*Channel) Partition) map[ChannelID]Partition {
 	parts := make(map[ChannelID]Partition)
 	for _, l := range touched {
-		for _, ch := range st.channelsOn(l) {
+		for _, r := range st.channelsOn(l) {
+			ch := r.Ch
 			if _, done := parts[ch.ID]; done {
 				continue
 			}
@@ -99,7 +100,8 @@ func partitionTouched(st *State, touched []Link, split func(*Channel) Partition)
 func partitionTouchedNew(st *State, touched []Link, split func(*Channel) Partition) map[ChannelID]Partition {
 	parts := make(map[ChannelID]Partition)
 	for _, l := range touched {
-		for _, ch := range st.channelsOn(l) {
+		for _, r := range st.channelsOn(l) {
+			ch := r.Ch
 			if ch.Part != (Partition{}) {
 				continue
 			}
@@ -202,71 +204,6 @@ func (f FixedDPS) PartitionTouched(st *State, touched []Link) map[ChannelID]Part
 	})
 }
 
-// applyPartitions installs the computed splits into the state's channels,
-// returning the set of links whose task sets changed (any link touched by
-// a channel whose partition moved). It panics if a partition violates
-// conditions (8)/(9) — that would be a DPS implementation bug, not an
-// admission rejection.
-func applyPartitions(st *State, parts map[ChannelID]Partition) map[Link]struct{} {
-	changed := make(map[Link]struct{})
-	for _, ch := range st.Channels() {
-		p, ok := parts[ch.ID]
-		if !ok {
-			panic(fmt.Sprintf("core: DPS returned no partition for %v", ch))
-		}
-		if !p.ValidFor(ch.Spec) {
-			panic(fmt.Sprintf("core: DPS partition %+v violates conditions (8)/(9) for %v", p, ch))
-		}
-		if ch.Part == p {
-			continue
-		}
-		st.setPart(ch, p)
-		for _, l := range LinksOf(ch.Spec) {
-			changed[l] = struct{}{}
-		}
-	}
-	return changed
-}
-
-// partitionUndo records one channel's previous split so a tentative
-// repartition can be rolled back in place.
-type partitionUndo struct {
-	ch  *Channel
-	old Partition
-}
-
-// applyPartitionsDelta installs the splits of an incremental repartition
-// directly into the live state, returning an undo log (for rollback on
-// rejection) and the set of links whose task sets changed. Validation
-// matches applyPartitions; channels absent from parts are untouched by
-// contract (IncrementalDPS covers every channel that can have moved).
-func applyPartitionsDelta(st *State, parts map[ChannelID]Partition) ([]partitionUndo, map[Link]struct{}) {
-	var undo []partitionUndo
-	changed := make(map[Link]struct{})
-	for id, p := range parts {
-		ch := st.channels[id]
-		if ch == nil {
-			panic(fmt.Sprintf("core: DPS returned a partition for unknown channel %d", id))
-		}
-		if !p.ValidFor(ch.Spec) {
-			panic(fmt.Sprintf("core: DPS partition %+v violates conditions (8)/(9) for %v", p, ch))
-		}
-		if ch.Part == p {
-			continue
-		}
-		undo = append(undo, partitionUndo{ch: ch, old: ch.Part})
-		st.setPart(ch, p)
-		for _, l := range LinksOf(ch.Spec) {
-			changed[l] = struct{}{}
-		}
-	}
-	return undo, changed
-}
-
-// rollbackPartitions restores the previous splits recorded by
-// applyPartitionsDelta.
-func rollbackPartitions(st *State, undo []partitionUndo) {
-	for _, u := range undo {
-		st.setPart(u.ch, u.old)
-	}
-}
+// Partition installation — writing the computed splits into the state,
+// tracking which links changed, and rolling back rejected repartitions —
+// is the shared kernel's job; see internal/admit.Engine.

@@ -200,47 +200,6 @@ func TestADPSLocality(t *testing.T) {
 	}
 }
 
-func TestApplyPartitionsReportsChangedLinks(t *testing.T) {
-	st := buildState([]ChannelSpec{
-		{Src: 1, Dst: 2, C: 3, P: 100, D: 40},
-		{Src: 3, Dst: 4, C: 3, P: 100, D: 40},
-	})
-	chs := st.Channels()
-	// First apply a symmetric partitioning to settle state.
-	applyPartitions(st, SDPS{}.Partition(st))
-
-	// Now move only the first channel's split.
-	parts := map[ChannelID]Partition{
-		chs[0].ID: {25, 15},
-		chs[1].ID: chs[1].Part, // unchanged
-	}
-	changed := applyPartitions(st, parts)
-	if len(changed) != 2 {
-		t.Fatalf("changed links = %v, want exactly the 2 links of channel 1", changed)
-	}
-	for _, l := range LinksOf(chs[0].Spec) {
-		if _, ok := changed[l]; !ok {
-			t.Errorf("link %v of repartitioned channel not reported", l)
-		}
-	}
-}
-
-func TestApplyPartitionsPanicsOnMissing(t *testing.T) {
-	st := buildState([]ChannelSpec{{Src: 1, Dst: 2, C: 3, P: 100, D: 40}})
-	defer func() {
-		if recover() == nil {
-			t.Error("missing partition did not panic")
-		}
-	}()
-	applyPartitions(st, map[ChannelID]Partition{})
-}
-
-func TestApplyPartitionsPanicsOnInvalid(t *testing.T) {
-	st := buildState([]ChannelSpec{{Src: 1, Dst: 2, C: 3, P: 100, D: 40}})
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid partition did not panic")
-		}
-	}()
-	applyPartitions(st, map[ChannelID]Partition{st.Channels()[0].ID: {1, 39}})
-}
+// Partition installation (changed-link tracking, missing/invalid
+// partition panics) moved into the shared kernel; see the apply tests in
+// internal/admit.

@@ -24,7 +24,7 @@ type ChannelRecord struct {
 
 // Snapshot exports all established channels in establishment order.
 func (c *Controller) Snapshot() []ChannelRecord {
-	chs := c.state.Channels()
+	chs := c.eng.State().Channels()
 	out := make([]ChannelRecord, 0, len(chs))
 	for _, ch := range chs {
 		out = append(out, ChannelRecord{
@@ -49,15 +49,15 @@ func (c *Controller) WriteSnapshot(w io.Writer) error {
 // per-link feasibility test — a corrupted or hand-edited snapshot cannot
 // smuggle an unschedulable system past the switch.
 func (c *Controller) Restore(records []ChannelRecord) error {
-	if c.state.Len() != 0 {
-		return fmt.Errorf("core: Restore on a non-empty controller (%d channels)", c.state.Len())
+	if n := c.eng.State().Len(); n != 0 {
+		return fmt.Errorf("core: Restore on a non-empty controller (%d channels)", n)
 	}
 	st := NewState()
 	for i, r := range records {
 		if r.ID == 0 {
 			return fmt.Errorf("core: record %d: channel ID 0 is reserved", i)
 		}
-		if st.channels[r.ID] != nil {
+		if st.Get(r.ID) != nil {
 			return fmt.Errorf("core: record %d: duplicate channel ID %d", i, r.ID)
 		}
 		spec := ChannelSpec{Src: r.Src, Dst: r.Dst, C: r.C, P: r.P, D: r.D}
@@ -69,11 +69,12 @@ func (c *Controller) Restore(records []ChannelRecord) error {
 			return fmt.Errorf("core: record %d: partition {%d %d} violates conditions (8)/(9)", i, r.Up, r.Down)
 		}
 		st.add(&Channel{ID: r.ID, Spec: spec, Part: part})
-		if r.ID >= st.nextID {
-			st.nextID = r.ID + 1
-			if st.nextID == 0 {
-				st.nextID = 1
+		if r.ID >= st.k.NextID() {
+			next := r.ID + 1
+			if next == 0 {
+				next = 1
 			}
+			st.k.SetNextID(next)
 		}
 	}
 	for _, l := range st.Links() {
@@ -82,7 +83,7 @@ func (c *Controller) Restore(records []ChannelRecord) error {
 			return &RejectionError{Link: l, Result: res}
 		}
 	}
-	c.state = st
+	c.eng.ReplaceState(st.k)
 	return nil
 }
 

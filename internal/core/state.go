@@ -2,336 +2,135 @@ package core
 
 import (
 	"fmt"
-	"math/big"
-	"sort"
 
+	"repro/internal/admit"
 	"repro/internal/edf"
 )
 
-var ratOne = big.NewRat(1, 1)
+// coreOps teaches the generic admission kernel (internal/admit) the star
+// vocabulary: a channel traverses exactly two links — its source uplink
+// (hop 0) and destination downlink (hop 1) — and its partition is the
+// two-way split {d_iu, d_id}.
+var coreOps = &admit.Ops[Link, *Channel, Partition]{
+	ID:     func(ch *Channel) admit.ID { return ch.ID },
+	UtilCP: func(ch *Channel) (int64, int64) { return ch.Spec.C, ch.Spec.P },
+	Links: func(ch *Channel) []Link {
+		ls := LinksOf(ch.Spec)
+		return ls[:]
+	},
+	Task: func(ch *Channel, hop int) edf.Task {
+		d := ch.Part.Up
+		if hop == 1 {
+			d = ch.Part.Down
+		}
+		return edf.Task{C: ch.Spec.C, P: ch.Spec.P, D: d, Tag: ch.taskTag()}
+	},
+	Less: func(a, b Link) bool {
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Dir < b.Dir
+	},
+	Part:    func(ch *Channel) Partition { return ch.Part },
+	SetPart: func(ch *Channel, p Partition) { ch.Part = p },
+	HasPart: func(ch *Channel, p Partition) bool { return ch.Part == p },
+	Validate: func(ch *Channel, p Partition) {
+		if !p.ValidFor(ch.Spec) {
+			panic(fmt.Sprintf("core: DPS partition %+v violates conditions (8)/(9) for %v", p, ch))
+		}
+	},
+	Clone: func(ch *Channel) *Channel {
+		c := *ch
+		return &c
+	},
+}
 
 // State is the system state SS = {N, K} of §18.3.2: the set of currently
 // active RT channels together with the link loads they induce. The node
 // set N is implicit — any NodeID may appear; the star topology means a
 // node's links exist as soon as a channel uses them.
 //
-// Alongside the channel set, State maintains two per-link caches that the
-// admission hot path depends on: byLink maps every loaded link to the
-// channels traversing it (in establishment order, the per-link restriction
-// of the global order), and taskCache holds the materialized EDF task set
-// of a link. Both are maintained incrementally by add/remove/setPart, so
-// TasksOn and MeanLinkUtilization never scan the full channel map.
+// State is a thin view over the shared copy-on-write admission kernel
+// (internal/admit), which maintains the per-link channel lists, the
+// memoized EDF task sets and the exact rational utilization sums
+// incrementally — so TasksOn and MeanLinkUtilization never scan the full
+// channel map.
 //
-// State is not safe for concurrent use; the admission Controller
-// serializes access.
+// State is not safe for concurrent use; the admission Controller (and
+// above it, rtether.Network's lock) serializes access.
 type State struct {
-	channels map[ChannelID]*Channel
-	order    []ChannelID // insertion order, for deterministic iteration
-	loads    map[Link]int
-	nextID   ChannelID
-
-	// byLink lists the channels traversing each loaded link, in
-	// establishment order.
-	byLink map[Link][]*Channel
-	// taskCache memoizes TasksOn per link; entries are invalidated
-	// whenever a channel on the link is added, removed or repartitioned.
-	taskCache map[Link][]edf.Task
-	// utilSum maintains each loaded link's exact rational utilization
-	// sum(C/P) incrementally (partitions do not affect it). Rational
-	// arithmetic is exact, so the running sum always equals a fresh
-	// edf.Utilization over the link's task set.
-	utilSum map[Link]*big.Rat
+	k *admit.State[Link, *Channel, Partition]
 }
 
 // NewState returns an empty system state.
 func NewState() *State {
-	return &State{
-		channels:  make(map[ChannelID]*Channel),
-		loads:     make(map[Link]int),
-		nextID:    1,
-		byLink:    make(map[Link][]*Channel),
-		taskCache: make(map[Link][]edf.Task),
-		utilSum:   make(map[Link]*big.Rat),
-	}
+	return &State{k: admit.NewState(coreOps)}
 }
 
 // Len returns the number of active channels, size(K).
-func (st *State) Len() int { return len(st.channels) }
+func (st *State) Len() int { return st.k.Len() }
 
 // Get returns the channel with the given ID, or nil.
-func (st *State) Get(id ChannelID) *Channel { return st.channels[id] }
+func (st *State) Get(id ChannelID) *Channel { return st.k.Get(id) }
 
 // Channels returns the active channels in establishment order. The caller
 // must not mutate the returned channels.
-func (st *State) Channels() []*Channel {
-	out := make([]*Channel, 0, len(st.order))
-	for _, id := range st.order {
-		if ch, ok := st.channels[id]; ok {
-			out = append(out, ch)
-		}
-	}
-	return out
-}
+func (st *State) Channels() []*Channel { return st.k.Channels() }
 
-// channelsOn returns the channels traversing a link in establishment
-// order. The returned slice is the live cache — callers must not mutate
-// or retain it.
-func (st *State) channelsOn(l Link) []*Channel { return st.byLink[l] }
+// channelsOn returns the channel hops traversing a link in establishment
+// order. The returned slice is the live kernel cache — callers must not
+// mutate or retain it.
+func (st *State) channelsOn(l Link) []admit.Ref[*Channel] { return st.k.ChannelsOn(l) }
 
-// allocID returns the next unused network-unique channel ID. IDs wrap at
-// 16 bits (the width of the RT channel ID field); allocID skips IDs still
-// in use. It panics when all 65535 IDs are active, which a real switch
-// could not handle either.
-func (st *State) allocID() ChannelID {
-	for i := 0; i < 1<<16; i++ {
-		id := st.nextID
-		st.nextID++
-		if st.nextID == 0 { // reserve 0 as "unset" (request frames carry 0)
-			st.nextID = 1
-		}
-		if _, used := st.channels[id]; !used && id != 0 {
-			return id
-		}
-	}
-	panic("core: all 65535 RT channel IDs in use")
-}
+// allocID returns the next unused network-unique channel ID (see
+// admit.State.AllocID for the wrap-around rules).
+func (st *State) allocID() ChannelID { return st.k.AllocID() }
 
 // add inserts a channel and updates link loads and per-link caches. The
 // channel's ID must be unused.
-func (st *State) add(ch *Channel) {
-	if _, dup := st.channels[ch.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate channel ID %d", ch.ID))
-	}
-	st.channels[ch.ID] = ch
-	st.order = append(st.order, ch.ID)
-	for _, l := range LinksOf(ch.Spec) {
-		st.loads[l]++
-		st.byLink[l] = append(st.byLink[l], ch)
-		delete(st.taskCache, l)
-		st.addUtil(l, ch.Spec)
-	}
-}
+func (st *State) add(ch *Channel) { st.k.Add(ch) }
 
-// addUtil folds one channel's C/P into a link's running utilization sum.
-func (st *State) addUtil(l Link, s ChannelSpec) {
-	u := st.utilSum[l]
-	if u == nil {
-		u = new(big.Rat)
-		st.utilSum[l] = u
-	}
-	u.Add(u, new(big.Rat).SetFrac64(s.C, s.P))
-}
-
-// subUtil removes one channel's C/P from a link's running utilization sum,
-// dropping the entry when the link is no longer loaded.
-func (st *State) subUtil(l Link, s ChannelSpec) {
-	if st.loads[l] == 0 {
-		delete(st.utilSum, l)
-		return
-	}
-	if u := st.utilSum[l]; u != nil {
-		u.Sub(u, new(big.Rat).SetFrac64(s.C, s.P))
-	}
-}
-
-// utilExceedsOne reports the exact first-constraint answer (U > 1) for a
-// link from the incrementally maintained sum.
-func (st *State) utilExceedsOne(l Link) bool {
-	u := st.utilSum[l]
-	return u != nil && u.Cmp(ratOne) > 0
-}
-
-// undoAdd reverses the most recent add exactly: the channel must be the
-// last one added and still present. Unlike remove it restores the order
-// slice verbatim, so a rolled-back tentative admission leaves no trace.
-func (st *State) undoAdd(ch *Channel) {
-	if len(st.order) == 0 || st.order[len(st.order)-1] != ch.ID {
-		panic(fmt.Sprintf("core: undoAdd of RT#%d out of order", ch.ID))
-	}
-	delete(st.channels, ch.ID)
-	st.order = st.order[:len(st.order)-1]
-	for _, l := range LinksOf(ch.Spec) {
-		if st.loads[l]--; st.loads[l] == 0 {
-			delete(st.loads, l)
-		}
-		chans := st.byLink[l]
-		if len(chans) == 1 {
-			delete(st.byLink, l)
-		} else {
-			st.byLink[l] = chans[:len(chans)-1]
-		}
-		delete(st.taskCache, l)
-		st.subUtil(l, ch.Spec)
-	}
-}
+// undoAdd reverses the most recent add exactly; see admit.State.UndoAdd.
+func (st *State) undoAdd(ch *Channel) { st.k.UndoAdd(ch) }
 
 // remove deletes a channel and updates link loads and per-link caches. It
 // reports whether the channel existed.
-func (st *State) remove(id ChannelID) bool {
-	ch, ok := st.channels[id]
-	if !ok {
-		return false
-	}
-	delete(st.channels, id)
-	for _, l := range LinksOf(ch.Spec) {
-		if st.loads[l]--; st.loads[l] == 0 {
-			delete(st.loads, l)
-		}
-		chans := st.byLink[l]
-		kept := chans[:0]
-		for _, c := range chans {
-			if c.ID != id {
-				kept = append(kept, c)
-			}
-		}
-		if len(kept) == 0 {
-			delete(st.byLink, l)
-		} else {
-			st.byLink[l] = kept
-		}
-		delete(st.taskCache, l)
-		st.subUtil(l, ch.Spec)
-	}
-	// Compact the order slice lazily: rebuild when over half are gone.
-	if len(st.order) >= 2*len(st.channels)+8 {
-		kept := st.order[:0]
-		for _, oid := range st.order {
-			if _, alive := st.channels[oid]; alive {
-				kept = append(kept, oid)
-			}
-		}
-		st.order = kept
-	}
-	return true
-}
+func (st *State) remove(id ChannelID) bool { return st.k.Remove(id) }
 
 // setPart installs a new deadline partition on a channel and invalidates
 // the task caches of its links. All repartitioning goes through here so
 // the caches can never go stale.
-func (st *State) setPart(ch *Channel, p Partition) {
-	ch.Part = p
-	for _, l := range LinksOf(ch.Spec) {
-		delete(st.taskCache, l)
-	}
-}
+func (st *State) setPart(ch *Channel, p Partition) { st.k.SetPart(ch, p) }
+
+// utilExceedsOne reports the exact first-constraint answer (U > 1) for a
+// link from the incrementally maintained sum.
+func (st *State) utilExceedsOne(l Link) bool { return st.k.UtilExceedsOne(l) }
 
 // LinkLoad returns LL(l): the number of channels traversing the link
 // (§18.4.2). Links with no channels have load zero.
-func (st *State) LinkLoad(l Link) int { return st.loads[l] }
+func (st *State) LinkLoad(l Link) int { return st.k.LinkLoad(l) }
 
 // Links returns every link with at least one channel, in a deterministic
 // order (by node, uplinks before downlinks).
-func (st *State) Links() []Link {
-	out := make([]Link, 0, len(st.loads))
-	for l := range st.loads {
-		out = append(out, l)
-	}
-	sortLinks(out)
-	return out
-}
-
-// sortLinks orders links by node, uplinks before downlinks — the
-// deterministic verification order.
-func sortLinks(out []Link) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Dir < out[j].Dir
-	})
-}
+func (st *State) Links() []Link { return st.k.Links() }
 
 // TasksOn derives the supposed periodic task set of one link
 // pseudo-processor (Eqs. 18.6-18.7): for every channel whose uplink is l,
 // the task {C_i, P_i, d_iu}; for every channel whose downlink is l, the
 // task {C_i, P_i, d_id}. The returned slice is freshly allocated; the
 // internal cache backing it is maintained incrementally.
-func (st *State) TasksOn(l Link) []edf.Task {
-	cached := st.tasksCached(l)
-	if cached == nil {
-		return nil
-	}
-	return append([]edf.Task(nil), cached...)
-}
+func (st *State) TasksOn(l Link) []edf.Task { return st.k.TasksOn(l) }
 
-// tasksCached returns the memoized task set of a link, rebuilding it from
-// the per-link channel list when stale. The returned slice is shared —
-// internal read-only callers (the feasibility test) use it to avoid the
-// defensive copy TasksOn makes.
-func (st *State) tasksCached(l Link) []edf.Task {
-	if tasks, ok := st.taskCache[l]; ok {
-		return tasks
-	}
-	chans := st.byLink[l]
-	if len(chans) == 0 {
-		return nil
-	}
-	tasks := make([]edf.Task, 0, len(chans))
-	for _, ch := range chans {
-		d := ch.Part.Up
-		if l.Dir == Down {
-			d = ch.Part.Down
-		}
-		tasks = append(tasks, edf.Task{
-			C: ch.Spec.C, P: ch.Spec.P, D: d,
-			Tag: ch.taskTag(),
-		})
-	}
-	st.taskCache[l] = tasks
-	return tasks
-}
+// tasksCached returns the memoized task set of a link. The returned slice
+// is shared — internal read-only callers use it to avoid the defensive
+// copy TasksOn makes.
+func (st *State) tasksCached(l Link) []edf.Task { return st.k.TasksShared(l) }
 
-// clone returns a deep copy of the state sharing nothing with the
-// original. Channel structs are copied so tentative partitions can be
-// applied without touching the committed state. The task cache starts
-// empty and is rebuilt lazily.
-func (st *State) clone() *State {
-	cp := &State{
-		channels:  make(map[ChannelID]*Channel, len(st.channels)),
-		order:     append([]ChannelID(nil), st.order...),
-		loads:     make(map[Link]int, len(st.loads)),
-		nextID:    st.nextID,
-		byLink:    make(map[Link][]*Channel, len(st.byLink)),
-		taskCache: make(map[Link][]edf.Task),
-		utilSum:   make(map[Link]*big.Rat, len(st.utilSum)),
-	}
-	for id, ch := range st.channels {
-		c := *ch
-		cp.channels[id] = &c
-	}
-	for l, n := range st.loads {
-		cp.loads[l] = n
-	}
-	for l, chans := range st.byLink {
-		cs := make([]*Channel, len(chans))
-		for i, ch := range chans {
-			cs[i] = cp.channels[ch.ID]
-		}
-		cp.byLink[l] = cs
-	}
-	for l, u := range st.utilSum {
-		cp.utilSum[l] = new(big.Rat).Set(u)
-	}
-	return cp
-}
+// clone returns a deep copy of the state sharing nothing mutable with the
+// original.
+func (st *State) clone() *State { return &State{k: st.k.Clone()} }
 
 // MeanLinkUtilization returns the mean of the per-link task-set
 // utilizations over all loaded links — a coarse load metric used in
 // reports. Returns 0 for an empty state.
-func (st *State) MeanLinkUtilization() float64 {
-	links := st.Links()
-	if len(links) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, l := range links {
-		sum += edf.UtilizationFloat(st.tasksCached(l))
-	}
-	return sum / float64(len(links))
-}
-
-// TotalUtilization returns the mean per-link utilization.
-//
-// Deprecated: the name was misleading — the value has always been a mean
-// over loaded links, not a total. Use MeanLinkUtilization.
-func (st *State) TotalUtilization() float64 { return st.MeanLinkUtilization() }
+func (st *State) MeanLinkUtilization() float64 { return st.k.MeanLinkUtilization() }

@@ -72,7 +72,7 @@ func TestStateAllocIDSkipsUsed(t *testing.T) {
 
 func TestStateAllocIDWrapsAround(t *testing.T) {
 	st := NewState()
-	st.nextID = 65535
+	st.k.SetNextID(65535)
 	st.add(testChannel(65535, 1, 2))
 	id := st.allocID()
 	if id == 0 || id == 65535 {
@@ -165,8 +165,8 @@ func TestStateRemoveCompactsOrder(t *testing.T) {
 	if st.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", st.Len())
 	}
-	if len(st.order) > 2*st.Len()+8 {
-		t.Errorf("order slice not compacted: len=%d for %d channels", len(st.order), st.Len())
+	if st.k.OrderLen() > 2*st.Len()+8 {
+		t.Errorf("order slice not compacted: len=%d for %d channels", st.k.OrderLen(), st.Len())
 	}
 	got := st.Channels()
 	if len(got) != 4 || got[0].ID != 61 || got[3].ID != 64 {
@@ -183,8 +183,5 @@ func TestMeanLinkUtilization(t *testing.T) {
 	got := st.MeanLinkUtilization()
 	if got < 0.029 || got > 0.031 {
 		t.Errorf("MeanLinkUtilization = %v, want ~0.03", got)
-	}
-	if st.TotalUtilization() != got {
-		t.Error("deprecated TotalUtilization wrapper disagrees with MeanLinkUtilization")
 	}
 }

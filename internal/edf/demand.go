@@ -84,17 +84,38 @@ func (h *deadlineHeap) Pop() interface{} {
 	return item
 }
 
+// Scratch holds reusable buffers for repeated feasibility testing. A
+// verification worker owns one Scratch and passes it to TestScratch so
+// batch sweeps over thousands of links run allocation-free; the zero
+// value is ready to use. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	heap deadlineHeap
+}
+
 // Checkpoints calls fn for every distinct t in {m*P_i + D_i : m >= 0} with
 // t <= bound, in strictly increasing order. Iteration stops early when fn
 // returns false. These are the only instants at which the demand function
 // increases, so they are the only instants the demand criterion must be
 // evaluated at.
 func Checkpoints(tasks []Task, bound int64, fn func(t int64) bool) {
-	h := make(deadlineHeap, 0, len(tasks))
+	checkpoints(tasks, bound, fn, nil)
+}
+
+// checkpoints is Checkpoints with an optional caller-owned heap buffer.
+func checkpoints(tasks []Task, bound int64, fn func(t int64) bool, s *Scratch) {
+	var h deadlineHeap
+	if s != nil {
+		h = s.heap[:0]
+	} else {
+		h = make(deadlineHeap, 0, len(tasks))
+	}
 	for _, t := range tasks {
 		if t.D <= bound {
 			h = append(h, deadlineCursor{next: t.D, period: t.P})
 		}
+	}
+	if s != nil {
+		s.heap = h // retain the (possibly grown) buffer for reuse
 	}
 	heap.Init(&h)
 	last := int64(-1)

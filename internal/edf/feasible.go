@@ -108,6 +108,13 @@ var ErrBusyPeriodDiverged = errors.New("edf: busy period iteration diverged")
 // When every task has D == P the first constraint alone is necessary and
 // sufficient (Liu & Layland) and step 2 is skipped.
 func Test(tasks []Task, opts Options) Result {
+	return TestScratch(tasks, opts, nil)
+}
+
+// TestScratch is Test with a caller-owned Scratch for allocation-free
+// repeated testing (one Scratch per verification worker); nil behaves
+// like Test. Results are identical either way.
+func TestScratch(tasks []Task, opts Options, scratch *Scratch) Result {
 	res := Result{Verdict: Feasible}
 	if !opts.SkipValidation {
 		if err := ValidateTasks(tasks); err != nil {
@@ -151,7 +158,7 @@ func Test(tasks []Task, opts Options) Result {
 		maxChecks = DefaultMaxCheckpoints
 	}
 	exceeded := false
-	Checkpoints(tasks, bp, func(t int64) bool {
+	checkpoints(tasks, bp, func(t int64) bool {
 		if res.Checked >= maxChecks {
 			exceeded = true
 			return false
@@ -164,7 +171,7 @@ func Test(tasks []Task, opts Options) Result {
 			return false
 		}
 		return true
-	})
+	}, scratch)
 	if exceeded {
 		return Result{
 			Verdict:     Inconclusive,

@@ -41,11 +41,18 @@ type Config struct {
 	FaultInjector func(slot int64, b []byte) []byte
 	// Feasibility passes through to the admission controller.
 	Feasibility edf.Options
+	// VerifyWorkers passes through to the admission controller's
+	// verification worker pool (0 = GOMAXPROCS, 1 = sequential).
+	VerifyWorkers int
 }
 
 // Network is one star network: a switch plus end-nodes, sharing a
-// deterministic event engine. All methods must be called from a single
-// goroutine.
+// deterministic event engine. Network itself is not safe for concurrent
+// use — every method must run under external serialization. The public
+// rtether.Network provides exactly that (one lock around the whole
+// management/simulation plane), which is what makes the top-level API
+// safe for concurrent use while this simulator stays single-threaded and
+// deterministic.
 type Network struct {
 	cfg  Config
 	eng  *sim.Engine
@@ -74,9 +81,10 @@ func New(cfg Config) *Network {
 		nodes: make(map[core.NodeID]*Node),
 	}
 	n.ctrl = core.NewController(core.Config{
-		DPS:         cfg.DPS,
-		Feasibility: cfg.Feasibility,
-		Latency:     2 * cfg.Propagation,
+		DPS:           cfg.DPS,
+		Feasibility:   cfg.Feasibility,
+		Latency:       2 * cfg.Propagation,
+		VerifyWorkers: cfg.VerifyWorkers,
 	})
 	n.sw = newSwitch(n)
 	return n

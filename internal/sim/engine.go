@@ -62,6 +62,9 @@ func (h *eventHeap) Pop() interface{} {
 // for concurrent use; the whole simulation runs on one goroutine (shared
 // memory never races because nothing is shared across goroutines — "do
 // not communicate by sharing memory" taken to its deterministic extreme).
+// Concurrency lives one layer up: rtether.Network serializes every entry
+// into the simulation behind its lock, so the engine always observes the
+// single-goroutine discipline it assumes.
 type Engine struct {
 	now   int64
 	seq   uint64

@@ -154,6 +154,18 @@ func (d *Delay) Merge(o *Delay) {
 	d.sorted = false
 }
 
+// Clone returns an independent deep copy: the snapshot keeps answering
+// queries (including the sample-sorting Percentile) while the original
+// continues accumulating.
+func (d *Delay) Clone() *Delay {
+	if d == nil {
+		return nil
+	}
+	cp := *d
+	cp.samples = append([]int64(nil), d.samples...)
+	return &cp
+}
+
 // String implements fmt.Stringer.
 func (d *Delay) String() string {
 	if d.count == 0 {

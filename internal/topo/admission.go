@@ -3,8 +3,8 @@ package topo
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/edf"
 )
@@ -33,29 +33,31 @@ type Config struct {
 	DPS HDPS
 	// Feasibility passes through to the per-edge EDF test.
 	Feasibility edf.Options
+	// VerifyWorkers bounds the verification worker pool used for large
+	// changed-edge sweeps (batch admissions); 0 means GOMAXPROCS, 1
+	// forces the sequential sweep. Decisions and diagnostics are
+	// identical for every worker count.
+	VerifyWorkers int
 }
 
 // Controller is the fabric-wide admission control: route, partition the
 // deadline over the route's directed links, and verify EDF feasibility of
 // every affected link — §18.3.2 generalized to many switches.
 //
-// With an IncrementalHDPS (HSDPS/HADPS) the controller works
-// copy-on-write: a request mutates the live state tentatively,
-// repartitions only the channels whose hop vectors can have moved, and
-// rolls back on rejection — no full-state clone, identical decisions.
+// The copy-on-write decision machinery is the shared kernel
+// (internal/admit), the same engine the star controller runs on: with an
+// IncrementalHDPS (HSDPS/HADPS) a request mutates the live state
+// tentatively, repartitions only the channels whose hop vectors can have
+// moved, and rolls back on rejection; custom schemes fall back to the
+// clone-based reference engine with identical decisions.
 type Controller struct {
-	topo  *Topology
-	cfg   Config
-	state *State
+	topo   *Topology
+	cfg    Config
+	eng    *admit.Engine[Edge, *HChannel, []int64]
+	scheme admit.Scheme[Edge, *HChannel, []int64]
 
 	requests int
 	accepted int
-
-	// repartitioned records which channels' hop vectors changed in the
-	// last committed mutation (establishments include the new channels),
-	// so callers syncing budgets into a running simulation touch only
-	// deltas.
-	repartitioned []core.ChannelID
 }
 
 // NewController builds a controller over a fixed topology.
@@ -64,11 +66,26 @@ func NewController(t *Topology, cfg Config) *Controller {
 		cfg.DPS = HSDPS{}
 	}
 	cfg.Feasibility.SkipValidation = true
-	return &Controller{topo: t, cfg: cfg, state: NewState()}
+	c := &Controller{topo: t, cfg: cfg}
+	c.eng = admit.NewEngine(topoOps, admit.Config{
+		Feasibility: cfg.Feasibility,
+		Workers:     cfg.VerifyWorkers,
+	})
+	c.scheme = admit.Scheme[Edge, *HChannel, []int64]{
+		Partition: func(k *admit.State[Edge, *HChannel, []int64]) map[core.ChannelID][]int64 {
+			return cfg.DPS.Partition(&State{k: k})
+		},
+	}
+	if inc, ok := cfg.DPS.(IncrementalHDPS); ok {
+		c.scheme.PartitionTouched = func(k *admit.State[Edge, *HChannel, []int64], touched []Edge) map[core.ChannelID][]int64 {
+			return inc.PartitionTouched(&State{k: k}, touched)
+		}
+	}
+	return c
 }
 
 // State exposes the committed state (read-only for callers).
-func (c *Controller) State() *State { return c.state }
+func (c *Controller) State() *State { return &State{k: c.eng.State()} }
 
 // DPS returns the active partitioning scheme.
 func (c *Controller) DPS() HDPS { return c.cfg.DPS }
@@ -83,7 +100,7 @@ func (c *Controller) Requests() int { return c.requests }
 // budgets changed in the last successful Request, RequestAll or Release —
 // the precise set a running simulation must re-sync. The slice is
 // invalidated by the next state mutation.
-func (c *Controller) Repartitioned() []core.ChannelID { return c.repartitioned }
+func (c *Controller) Repartitioned() []core.ChannelID { return c.eng.Repartitioned() }
 
 // validate routes a spec and checks the route-generalized deadline
 // condition, returning the route.
@@ -145,125 +162,22 @@ func (c *Controller) RequestAll(specs []core.ChannelSpec) ([]*HChannel, error) {
 	return chs, nil
 }
 
-// admit runs the feasibility decision for pre-routed specs, committing on
-// success and recording the repartitioned set. It picks the
-// copy-on-write engine when the scheme supports it, else the clone-based
-// reference engine.
+// admit runs the kernel decision for pre-routed specs.
 func (c *Controller) admit(specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
-	if inc, ok := c.cfg.DPS.(IncrementalHDPS); ok {
-		return c.admitDelta(inc, specs, routes)
+	chs, rej := c.eng.Admit(len(specs), func(i int, id core.ChannelID) *HChannel {
+		return &HChannel{ID: id, Spec: specs[i], Route: routes[i]}
+	}, []admit.Scheme[Edge, *HChannel, []int64]{c.scheme})
+	if rej != nil {
+		return nil, &RejectionError{Edge: rej.Link, Result: rej.Result}
 	}
-	return c.admitClone(specs, routes)
-}
-
-// admitClone is the clone-based reference engine for custom HDPS
-// implementations: full tentative copy, full repartition, swap on accept.
-func (c *Controller) admitClone(specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
-	tentative := c.state.clone()
-	chs := make([]*HChannel, len(specs))
-	for i, spec := range specs {
-		ch := &HChannel{ID: tentative.allocID(), Spec: spec, Route: routes[i]}
-		tentative.add(ch)
-		chs[i] = ch
-	}
-
-	parts := c.cfg.DPS.Partition(tentative)
-	changed, changedIDs := applyHops(tentative, parts)
-
-	if rej := c.verifyChanged(tentative, changed); rej != nil {
-		return nil, rej
-	}
-	c.state = tentative
-	c.repartitioned = changedIDs
 	return chs, nil
-}
-
-// admitDelta is the copy-on-write engine: mutate the live state
-// tentatively, repartition only channels on the touched edges, verify
-// only the changed edges, roll back on rejection. Decisions and committed
-// states are bit-identical to admitClone.
-func (c *Controller) admitDelta(inc IncrementalHDPS, specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
-	savedNext := c.state.nextID
-	chs := make([]*HChannel, len(specs))
-	var touched []Edge
-	for i, spec := range specs {
-		ch := &HChannel{ID: c.state.allocID(), Spec: spec, Route: routes[i]}
-		c.state.add(ch)
-		chs[i] = ch
-		touched = append(touched, routes[i]...)
-	}
-
-	parts := inc.PartitionTouched(c.state, touched)
-	undo, changed, changedIDs := applyHopsDelta(c.state, parts)
-
-	if rej := c.verifyChanged(c.state, changed); rej != nil {
-		rollbackHops(c.state, undo)
-		for i := len(chs) - 1; i >= 0; i-- {
-			c.state.undoAdd(chs[i])
-		}
-		c.state.nextID = savedNext
-		return nil, rej
-	}
-	c.repartitioned = changedIDs
-	return chs, nil
-}
-
-// verifyChanged tests feasibility of exactly the changed edges, visited
-// in the deterministic Edges() order (the sorted restriction of the full
-// edge sequence — unchanged edges were feasible at the previous commit
-// and cannot have become infeasible, so the first failure reported is
-// identical to a full sweep).
-func (c *Controller) verifyChanged(st *State, changed map[Edge]struct{}) *RejectionError {
-	edges := make([]Edge, 0, len(changed))
-	for e := range changed {
-		edges = append(edges, e)
-	}
-	sortEdges(edges)
-	opts := c.cfg.Feasibility
-	for _, e := range edges {
-		// The first constraint (U > 1, exact) comes from the state's
-		// incrementally maintained per-edge sum.
-		exceeds := st.utilExceedsOne(e)
-		opts.UtilizationExceeds = &exceeds
-		res := edf.Test(st.tasksCached(e), opts)
-		if !res.OK() {
-			return &RejectionError{Edge: e, Result: res}
-		}
-	}
-	return nil
 }
 
 // Release tears down a channel; remaining channels are repartitioned when
 // that keeps every edge feasible, otherwise partitions stay as they were.
 func (c *Controller) Release(id core.ChannelID) error {
-	ch := c.state.Get(id)
-	if ch == nil {
+	if !c.eng.Release(id, c.scheme) {
 		return fmt.Errorf("topo: release of unknown channel %d", id)
-	}
-	if inc, ok := c.cfg.DPS.(IncrementalHDPS); ok {
-		c.state.remove(id)
-		parts := inc.PartitionTouched(c.state, ch.Route)
-		undo, changed, changedIDs := applyHopsDelta(c.state, parts)
-		if rej := c.verifyChanged(c.state, changed); rej != nil {
-			rollbackHops(c.state, undo)
-			changedIDs = nil
-		}
-		c.repartitioned = changedIDs
-		return nil
-	}
-
-	next := c.state.clone()
-	next.remove(id)
-
-	repart := next.clone()
-	parts := c.cfg.DPS.Partition(repart)
-	changed, changedIDs := applyHops(repart, parts)
-	if rej := c.verifyChanged(repart, changed); rej == nil {
-		c.state = repart
-		c.repartitioned = changedIDs
-	} else {
-		c.state = next
-		c.repartitioned = nil
 	}
 	return nil
 }
@@ -283,71 +197,6 @@ func validateVector(ch *HChannel, v []int64) {
 	}
 	if sum != ch.Spec.D {
 		panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
-	}
-}
-
-// applyHops installs partition vectors on every channel, returning the
-// edges whose task sets changed and the IDs of the channels that moved
-// (ascending, matching the Repartitioned contract).
-func applyHops(st *State, parts map[core.ChannelID][]int64) (map[Edge]struct{}, []core.ChannelID) {
-	changed := make(map[Edge]struct{})
-	var changedIDs []core.ChannelID
-	for _, ch := range st.Channels() {
-		v, ok := parts[ch.ID]
-		if !ok {
-			panic(fmt.Sprintf("topo: HDPS returned no vector for %v", ch))
-		}
-		validateVector(ch, v)
-		if equalVec(ch.Hops, v) {
-			continue
-		}
-		st.setHops(ch, v)
-		changedIDs = append(changedIDs, ch.ID)
-		for _, e := range ch.Route {
-			changed[e] = struct{}{}
-		}
-	}
-	sort.Slice(changedIDs, func(i, j int) bool { return changedIDs[i] < changedIDs[j] })
-	return changed, changedIDs
-}
-
-// hopsUndo records one channel's previous hop vector for rollback.
-type hopsUndo struct {
-	ch  *HChannel
-	old []int64
-}
-
-// applyHopsDelta installs the vectors of an incremental repartition
-// directly into the live state, returning an undo log, the changed edge
-// set, and the IDs of the channels that moved (ascending).
-func applyHopsDelta(st *State, parts map[core.ChannelID][]int64) ([]hopsUndo, map[Edge]struct{}, []core.ChannelID) {
-	var undo []hopsUndo
-	changed := make(map[Edge]struct{})
-	var changedIDs []core.ChannelID
-	for id, v := range parts {
-		ch := st.channels[id]
-		if ch == nil {
-			panic(fmt.Sprintf("topo: HDPS returned a vector for unknown channel %d", id))
-		}
-		validateVector(ch, v)
-		if equalVec(ch.Hops, v) {
-			continue
-		}
-		undo = append(undo, hopsUndo{ch: ch, old: append([]int64(nil), ch.Hops...)})
-		st.setHops(ch, v)
-		changedIDs = append(changedIDs, ch.ID)
-		for _, e := range ch.Route {
-			changed[e] = struct{}{}
-		}
-	}
-	sort.Slice(changedIDs, func(i, j int) bool { return changedIDs[i] < changedIDs[j] })
-	return undo, changed, changedIDs
-}
-
-// rollbackHops restores the previous vectors recorded by applyHopsDelta.
-func rollbackHops(st *State, undo []hopsUndo) {
-	for _, u := range undo {
-		st.setHops(u.ch, u.old)
 	}
 }
 

@@ -2,14 +2,11 @@ package topo
 
 import (
 	"fmt"
-	"math/big"
-	"sort"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/edf"
 )
-
-var ratOne = big.NewRat(1, 1)
 
 // HChannel is an RT channel routed across the fabric: the spec, its
 // route, and the per-hop deadline split d_i = sum(Hops).
@@ -40,74 +37,63 @@ func (c *HChannel) taskTag(hop int) string {
 	return c.tags[hop]
 }
 
-// edgeRef locates one hop of one channel on an edge's task list.
-type edgeRef struct {
-	ch  *HChannel
-	hop int
+// topoOps teaches the generic admission kernel (internal/admit) the
+// fabric vocabulary: a channel traverses the directed edges of its route,
+// and its partition is the per-hop deadline budget vector.
+var topoOps = &admit.Ops[Edge, *HChannel, []int64]{
+	ID:     func(ch *HChannel) admit.ID { return ch.ID },
+	UtilCP: func(ch *HChannel) (int64, int64) { return ch.Spec.C, ch.Spec.P },
+	Links:  func(ch *HChannel) []Edge { return ch.Route },
+	Task: func(ch *HChannel, hop int) edf.Task {
+		return edf.Task{C: ch.Spec.C, P: ch.Spec.P, D: ch.Hops[hop], Tag: ch.taskTag(hop)}
+	},
+	Less: edgeLess,
+	Part: func(ch *HChannel) []int64 { return append([]int64(nil), ch.Hops...) },
+	SetPart: func(ch *HChannel, v []int64) {
+		ch.Hops = append(ch.Hops[:0], v...)
+	},
+	HasPart:  func(ch *HChannel, v []int64) bool { return equalVec(ch.Hops, v) },
+	Validate: validateVector,
+	Clone: func(ch *HChannel) *HChannel {
+		c := *ch
+		c.Hops = append([]int64(nil), ch.Hops...)
+		return &c
+	},
 }
 
 // State holds the routed channels and per-edge loads of a fabric.
 //
-// Like the star state (core.State), it maintains per-edge caches
-// incrementally: byEdge maps every loaded edge to the channel hops
-// traversing it (in establishment order), taskCache memoizes each edge's
-// EDF task set, and utilSum keeps each edge's exact rational utilization —
-// so TasksOn and the admission verify loop never scan the full channel
-// map.
+// Like the star state (core.State), it is a thin view over the shared
+// copy-on-write admission kernel (internal/admit), which maintains the
+// per-edge channel lists, memoized EDF task sets and exact rational
+// utilization sums incrementally — so TasksOn and the admission verify
+// sweep never scan the full channel map.
 type State struct {
-	channels map[core.ChannelID]*HChannel
-	order    []core.ChannelID
-	loads    map[Edge]int
-	nextID   core.ChannelID
-
-	byEdge    map[Edge][]edgeRef
-	taskCache map[Edge][]edf.Task
-	utilSum   map[Edge]*big.Rat
+	k *admit.State[Edge, *HChannel, []int64]
 }
 
 // NewState returns an empty fabric state.
 func NewState() *State {
-	return &State{
-		channels:  make(map[core.ChannelID]*HChannel),
-		loads:     make(map[Edge]int),
-		nextID:    1,
-		byEdge:    make(map[Edge][]edgeRef),
-		taskCache: make(map[Edge][]edf.Task),
-		utilSum:   make(map[Edge]*big.Rat),
-	}
+	return &State{k: admit.NewState(topoOps)}
 }
 
 // Len returns the number of routed channels.
-func (st *State) Len() int { return len(st.channels) }
+func (st *State) Len() int { return st.k.Len() }
 
 // Get returns a channel by ID, or nil.
-func (st *State) Get(id core.ChannelID) *HChannel { return st.channels[id] }
+func (st *State) Get(id core.ChannelID) *HChannel { return st.k.Get(id) }
 
 // Channels returns channels in establishment order.
-func (st *State) Channels() []*HChannel {
-	out := make([]*HChannel, 0, len(st.order))
-	for _, id := range st.order {
-		if ch, ok := st.channels[id]; ok {
-			out = append(out, ch)
-		}
-	}
-	return out
-}
+func (st *State) Channels() []*HChannel { return st.k.Channels() }
 
 // LinkLoad returns the number of channels traversing the directed edge.
-func (st *State) LinkLoad(e Edge) int { return st.loads[e] }
+func (st *State) LinkLoad(e Edge) int { return st.k.LinkLoad(e) }
 
 // Edges returns every loaded edge in deterministic order.
-func (st *State) Edges() []Edge {
-	out := make([]Edge, 0, len(st.loads))
-	for e := range st.loads {
-		out = append(out, e)
-	}
-	sortEdges(out)
-	return out
-}
+func (st *State) Edges() []Edge { return st.k.Links() }
 
-func sortEdges(edges []Edge) {
+// edgeLess is the deterministic verification order on directed edges.
+func edgeLess(a, b Edge) bool {
 	less := func(a, b Endpoint) int {
 		switch {
 		case a.Switch != b.Switch:
@@ -124,224 +110,42 @@ func sortEdges(edges []Edge) {
 			return 0
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		c := less(a.From, b.From)
-		if c == 0 {
-			c = less(a.To, b.To)
-		}
-		return c < 0
-	})
+	c := less(a.From, b.From)
+	if c == 0 {
+		c = less(a.To, b.To)
+	}
+	return c < 0
 }
 
 // TasksOn derives the supposed task set of one directed edge. The
 // returned slice is freshly allocated; the internal cache backing it is
 // maintained incrementally.
-func (st *State) TasksOn(e Edge) []edf.Task {
-	cached := st.tasksCached(e)
-	if cached == nil {
-		return nil
-	}
-	return append([]edf.Task(nil), cached...)
-}
+func (st *State) TasksOn(e Edge) []edf.Task { return st.k.TasksOn(e) }
 
-// tasksCached returns the memoized task set of an edge, rebuilding it from
-// the per-edge hop list when stale. The returned slice is shared —
-// internal read-only callers (the feasibility test) use it to avoid the
+// tasksCached returns the memoized task set of an edge. The returned
+// slice is shared — internal read-only callers use it to avoid the
 // defensive copy TasksOn makes.
-func (st *State) tasksCached(e Edge) []edf.Task {
-	if tasks, ok := st.taskCache[e]; ok {
-		return tasks
-	}
-	refs := st.byEdge[e]
-	if len(refs) == 0 {
-		return nil
-	}
-	tasks := make([]edf.Task, 0, len(refs))
-	for _, r := range refs {
-		tasks = append(tasks, edf.Task{
-			C: r.ch.Spec.C, P: r.ch.Spec.P, D: r.ch.Hops[r.hop],
-			Tag: r.ch.taskTag(r.hop),
-		})
-	}
-	st.taskCache[e] = tasks
-	return tasks
-}
+func (st *State) tasksCached(e Edge) []edf.Task { return st.k.TasksShared(e) }
 
-// channelsOn returns the channels traversing an edge in establishment
-// order. The returned slice is the live cache — callers must not mutate
-// or retain it.
-func (st *State) channelsOn(e Edge) []edgeRef { return st.byEdge[e] }
+// channelsOn returns the channel hops traversing an edge in establishment
+// order. The returned slice is the live kernel cache — callers must not
+// mutate or retain it.
+func (st *State) channelsOn(e Edge) []admit.Ref[*HChannel] { return st.k.ChannelsOn(e) }
 
 // MeanLinkUtilization returns the mean of the per-edge task-set
 // utilizations over all loaded edges. Returns 0 for an empty state.
-func (st *State) MeanLinkUtilization() float64 {
-	edges := st.Edges()
-	if len(edges) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, e := range edges {
-		sum += edf.UtilizationFloat(st.tasksCached(e))
-	}
-	return sum / float64(len(edges))
-}
+func (st *State) MeanLinkUtilization() float64 { return st.k.MeanLinkUtilization() }
 
-func (st *State) add(ch *HChannel) {
-	st.channels[ch.ID] = ch
-	st.order = append(st.order, ch.ID)
-	for i, e := range ch.Route {
-		st.loads[e]++
-		st.byEdge[e] = append(st.byEdge[e], edgeRef{ch: ch, hop: i})
-		delete(st.taskCache, e)
-		st.addUtil(e, ch.Spec)
-	}
-}
-
-// undoAdd reverses the most recent add exactly: the channel must be the
-// last one added and still present, so a rolled-back tentative admission
-// leaves no trace.
-func (st *State) undoAdd(ch *HChannel) {
-	if len(st.order) == 0 || st.order[len(st.order)-1] != ch.ID {
-		panic(fmt.Sprintf("topo: undoAdd of HRT#%d out of order", ch.ID))
-	}
-	delete(st.channels, ch.ID)
-	st.order = st.order[:len(st.order)-1]
-	for _, e := range ch.Route {
-		if st.loads[e]--; st.loads[e] == 0 {
-			delete(st.loads, e)
-		}
-		refs := st.byEdge[e]
-		if len(refs) == 1 {
-			delete(st.byEdge, e)
-		} else {
-			st.byEdge[e] = refs[:len(refs)-1]
-		}
-		delete(st.taskCache, e)
-		st.subUtil(e, ch.Spec)
-	}
-}
-
-func (st *State) remove(id core.ChannelID) bool {
-	ch, ok := st.channels[id]
-	if !ok {
-		return false
-	}
-	delete(st.channels, id)
-	for _, e := range ch.Route {
-		if st.loads[e]--; st.loads[e] == 0 {
-			delete(st.loads, e)
-		}
-		refs := st.byEdge[e]
-		kept := refs[:0]
-		for _, r := range refs {
-			if r.ch.ID != id {
-				kept = append(kept, r)
-			}
-		}
-		if len(kept) == 0 {
-			delete(st.byEdge, e)
-		} else {
-			st.byEdge[e] = kept
-		}
-		delete(st.taskCache, e)
-		st.subUtil(e, ch.Spec)
-	}
-	if len(st.order) >= 2*len(st.channels)+8 {
-		kept := st.order[:0]
-		for _, oid := range st.order {
-			if _, alive := st.channels[oid]; alive {
-				kept = append(kept, oid)
-			}
-		}
-		st.order = kept
-	}
-	return true
-}
+// add, remove and clone delegate to the kernel (tests use them to build
+// states directly).
+func (st *State) add(ch *HChannel)              { st.k.Add(ch) }
+func (st *State) remove(id core.ChannelID) bool { return st.k.Remove(id) }
+func (st *State) allocID() core.ChannelID       { return st.k.AllocID() }
+func (st *State) clone() *State                 { return &State{k: st.k.Clone()} }
 
 // setHops installs a new hop-budget vector on a channel and invalidates
-// the task caches of its route edges. All repartitioning goes through
-// here so the caches can never go stale.
-func (st *State) setHops(ch *HChannel, v []int64) {
-	ch.Hops = append(ch.Hops[:0], v...)
-	for _, e := range ch.Route {
-		delete(st.taskCache, e)
-	}
-}
-
-// addUtil folds one channel's C/P into an edge's running utilization sum.
-func (st *State) addUtil(e Edge, s core.ChannelSpec) {
-	u := st.utilSum[e]
-	if u == nil {
-		u = new(big.Rat)
-		st.utilSum[e] = u
-	}
-	u.Add(u, new(big.Rat).SetFrac64(s.C, s.P))
-}
-
-// subUtil removes one channel's C/P from an edge's running sum, dropping
-// the entry when the edge is no longer loaded.
-func (st *State) subUtil(e Edge, s core.ChannelSpec) {
-	if st.loads[e] == 0 {
-		delete(st.utilSum, e)
-		return
-	}
-	if u := st.utilSum[e]; u != nil {
-		u.Sub(u, new(big.Rat).SetFrac64(s.C, s.P))
-	}
-}
-
-// utilExceedsOne reports the exact first-constraint answer (U > 1) for an
-// edge from the incrementally maintained sum.
-func (st *State) utilExceedsOne(e Edge) bool {
-	u := st.utilSum[e]
-	return u != nil && u.Cmp(ratOne) > 0
-}
-
-func (st *State) allocID() core.ChannelID {
-	for i := 0; i < 1<<16; i++ {
-		id := st.nextID
-		st.nextID++
-		if st.nextID == 0 {
-			st.nextID = 1
-		}
-		if _, used := st.channels[id]; !used && id != 0 {
-			return id
-		}
-	}
-	panic("topo: all channel IDs in use")
-}
-
-func (st *State) clone() *State {
-	cp := &State{
-		channels:  make(map[core.ChannelID]*HChannel, len(st.channels)),
-		order:     append([]core.ChannelID(nil), st.order...),
-		loads:     make(map[Edge]int, len(st.loads)),
-		nextID:    st.nextID,
-		byEdge:    make(map[Edge][]edgeRef, len(st.byEdge)),
-		taskCache: make(map[Edge][]edf.Task),
-		utilSum:   make(map[Edge]*big.Rat, len(st.utilSum)),
-	}
-	for id, ch := range st.channels {
-		c := *ch
-		c.Hops = append([]int64(nil), ch.Hops...)
-		cp.channels[id] = &c
-	}
-	for e, n := range st.loads {
-		cp.loads[e] = n
-	}
-	for e, refs := range st.byEdge {
-		rs := make([]edgeRef, len(refs))
-		for i, r := range refs {
-			rs[i] = edgeRef{ch: cp.channels[r.ch.ID], hop: r.hop}
-		}
-		cp.byEdge[e] = rs
-	}
-	for e, u := range st.utilSum {
-		cp.utilSum[e] = new(big.Rat).Set(u)
-	}
-	return cp
-}
+// the task caches of its route edges.
+func (st *State) setHops(ch *HChannel, v []int64) { st.k.SetPart(ch, v) }
 
 // HDPS is a hop-count-general deadline partitioning scheme: it assigns a
 // per-hop deadline vector to every channel in the state such that the
@@ -400,10 +204,10 @@ func partitionTouched(st *State, touched []Edge, vector func(*HChannel) []int64)
 	parts := make(map[core.ChannelID][]int64)
 	for _, e := range touched {
 		for _, r := range st.channelsOn(e) {
-			if _, done := parts[r.ch.ID]; done {
+			if _, done := parts[r.Ch.ID]; done {
 				continue
 			}
-			parts[r.ch.ID] = vector(r.ch)
+			parts[r.Ch.ID] = vector(r.Ch)
 		}
 	}
 	return parts
@@ -418,13 +222,13 @@ func partitionTouchedNew(st *State, touched []Edge, vector func(*HChannel) []int
 	parts := make(map[core.ChannelID][]int64)
 	for _, e := range touched {
 		for _, r := range st.channelsOn(e) {
-			if len(r.ch.Hops) != 0 {
+			if len(r.Ch.Hops) != 0 {
 				continue
 			}
-			if _, done := parts[r.ch.ID]; done {
+			if _, done := parts[r.Ch.ID]; done {
 				continue
 			}
-			parts[r.ch.ID] = vector(r.ch)
+			parts[r.Ch.ID] = vector(r.Ch)
 		}
 	}
 	return parts

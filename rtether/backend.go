@@ -155,7 +155,25 @@ func (b *starBackend) schedule(at int64, fn func()) {
 
 func (b *starBackend) now() int64          { return b.inner.Engine().Now() }
 func (b *starBackend) run(untilSlot int64) { b.inner.Run(untilSlot) }
-func (b *starBackend) report() *Report     { return b.inner.Report() }
+
+// report snapshots the simulator's live report: the per-channel metrics
+// the simulator keeps accumulating are deep-copied so the caller can
+// read the report while the simulation advances on another goroutine.
+func (b *starBackend) report() *Report {
+	r := b.inner.Report()
+	for id, m := range r.Channels {
+		r.Channels[id] = cloneMetrics(m)
+	}
+	return r
+}
+
+// cloneMetrics deep-copies one channel's measurements.
+func cloneMetrics(m *netsim.ChannelMetrics) *ChannelMetrics {
+	if m == nil {
+		return nil
+	}
+	return &ChannelMetrics{Delivered: m.Delivered, Misses: m.Misses, Delays: m.Delays.Clone()}
+}
 
 func (b *starBackend) channelInfo(id ChannelID) (ChannelSpec, []int64, bool) {
 	ch := b.inner.Controller().State().Get(id)
@@ -175,7 +193,7 @@ func (b *starBackend) channelIDs() []ChannelID {
 }
 
 func (b *starBackend) metrics(id ChannelID) *ChannelMetrics {
-	return b.inner.ChannelMetrics(id)
+	return cloneMetrics(b.inner.ChannelMetrics(id))
 }
 
 func (b *starBackend) guaranteedDelay(spec ChannelSpec) int64 {
@@ -233,8 +251,12 @@ func newFabricBackend(top *Topology, hdps topo.HDPS, cfg netsim.Config) *fabricB
 		hdps = topo.HSDPS{}
 	}
 	return &fabricBackend{
-		top:  top,
-		ctrl: topo.NewController(top.inner, topo.Config{DPS: hdps, Feasibility: cfg.Feasibility}),
+		top: top,
+		ctrl: topo.NewController(top.inner, topo.Config{
+			DPS:           hdps,
+			Feasibility:   cfg.Feasibility,
+			VerifyWorkers: cfg.VerifyWorkers,
+		}),
 		sim:  fabricsim.NewSim(fabricsim.Config{DisableShaping: cfg.DisableShaping}),
 		prop: cfg.Propagation,
 	}
@@ -426,7 +448,7 @@ func (b *fabricBackend) metrics(id ChannelID) *ChannelMetrics {
 	if m == nil || m.Delivered+m.Misses == 0 {
 		return nil
 	}
-	return &ChannelMetrics{Delivered: m.Delivered, Misses: m.Misses, Delays: m.Delays}
+	return &ChannelMetrics{Delivered: m.Delivered, Misses: m.Misses, Delays: m.Delays.Clone()}
 }
 
 func (b *fabricBackend) guaranteedDelay(spec ChannelSpec) int64 {

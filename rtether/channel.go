@@ -3,7 +3,7 @@ package rtether
 import "errors"
 
 // ErrChannelClosed is returned by Channel methods after the channel has
-// been released or torn down through any path (handle or ID-based).
+// been released or torn down through any path.
 var ErrChannelClosed = errors.New("rtether: channel is closed")
 
 // Channel is the handle to one established RT channel. It is returned by
@@ -12,11 +12,18 @@ var ErrChannelClosed = errors.New("rtether: channel is closed")
 // ChannelIDs through Network methods.
 //
 // A Channel is bound to the Network that created it and shares its
-// single-goroutine discipline.
+// concurrency contract: the handle is safe to use from any goroutine.
+// Lifecycle methods (Start, Stop, Release, Teardown) serialize with the
+// Network's management/simulation plane; queries (Spec, Budgets,
+// Metrics, GuaranteedDelay) take the shared read lock.
 type Channel struct {
-	net    *Network
-	id     ChannelID
-	spec   ChannelSpec
+	net  *Network
+	id   ChannelID
+	spec ChannelSpec
+
+	// closed flips when the channel is released or torn down. It is
+	// written under the network's write lock and read under either lock
+	// side, so handle methods observe it coherently from any goroutine.
 	closed bool
 }
 
@@ -32,66 +39,37 @@ func (c *Channel) Spec() ChannelSpec { return c.spec }
 // on a fabric. The budgets may change when later admissions or releases
 // repartition the system; Budgets returns the committed values at the
 // time of the call.
-func (c *Channel) Budgets() []int64 {
-	if c.closed {
-		return nil
-	}
-	_, budgets, _ := c.net.be.channelInfo(c.id)
-	return budgets
-}
+func (c *Channel) Budgets() []int64 { return c.net.channelBudgets(c) }
 
 // Start attaches the channel's periodic traffic source: C maximal frames
 // every P slots, first release offset slots from now.
-func (c *Channel) Start(offset int64) error {
-	if c.closed {
-		return ErrChannelClosed
-	}
-	return c.net.be.startTraffic(c.id, offset)
-}
+func (c *Channel) Start(offset int64) error { return c.net.startChannel(c, offset) }
 
 // Stop detaches the traffic source without releasing the reservation;
 // Start may be called again later.
-func (c *Channel) Stop() error {
-	if c.closed {
-		return ErrChannelClosed
-	}
-	return c.net.be.stopTraffic(c.id)
-}
+func (c *Channel) Stop() error { return c.net.stopChannel(c) }
 
 // Release tears the channel down through the management plane: traffic
 // stops and the reservation is freed immediately, without consuming
 // virtual time.
-func (c *Channel) Release() error {
-	if c.closed {
-		return ErrChannelClosed
-	}
-	return c.net.releaseID(c.id)
-}
+func (c *Channel) Release() error { return c.net.releaseChannel(c) }
 
 // Teardown releases the channel over the wire: the source stops its
 // traffic and sends a Teardown control frame; the switch frees the
 // reservation when the frame arrives, so teardown consumes virtual time
 // (unlike Release). On a multi-switch network — which models RT traffic
 // only — Teardown is equivalent to Release.
-func (c *Channel) Teardown() error {
-	if c.closed {
-		return ErrChannelClosed
-	}
-	return c.net.teardownID(c.id)
-}
+func (c *Channel) Teardown() error { return c.net.teardownChannel(c) }
 
-// Metrics returns the channel's delivery measurements as of the call, or
-// nil when nothing has been measured yet — a channel with only deadline
-// misses on record still reports them. Measurements survive release and
-// teardown.
-func (c *Channel) Metrics() *ChannelMetrics {
-	return c.net.be.metrics(c.id)
-}
+// Metrics returns an independent snapshot of the channel's delivery
+// measurements as of the call, or nil when nothing has been measured yet
+// — a channel with only deadline misses on record still reports them.
+// Measurements survive release and teardown; the snapshot does not
+// change as the simulation continues.
+func (c *Channel) Metrics() *ChannelMetrics { return c.net.channelMetrics(c) }
 
 // GuaranteedDelay returns the delivery guarantee for this channel,
 // T_max = d + T_latency (Eq. 18.1). An established channel always has a
 // route, so the value is positive (see Network.GuaranteedDelay for the
 // 0 = "no route" convention on raw specs).
-func (c *Channel) GuaranteedDelay() int64 {
-	return c.net.be.guaranteedDelay(c.spec)
-}
+func (c *Channel) GuaranteedDelay() int64 { return c.net.GuaranteedDelay(c.spec) }

@@ -92,27 +92,6 @@ func ExampleWithTopology() {
 	// Output: hops=3 sum=42
 }
 
-// The deprecated Fabric shim still works for one release.
-func ExampleFabric() {
-	f := rtether.NewFabric(rtether.HADPS())
-	f.AddSwitch(0)
-	f.AddSwitch(1)
-	f.Trunk(0, 1)
-	f.AttachNode(1, 0)
-	f.AttachNode(2, 1)
-
-	_, budgets, err := f.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 42})
-	if err != nil {
-		panic(err)
-	}
-	sum := int64(0)
-	for _, b := range budgets {
-		sum += b
-	}
-	fmt.Printf("hops=%d sum=%d\n", len(budgets), sum)
-	// Output: hops=3 sum=42
-}
-
 // The flight recorder captures admission decisions and per-frame events.
 func ExampleNetwork_SetTracer() {
 	net := rtether.New()

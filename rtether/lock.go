@@ -1,0 +1,80 @@
+package rtether
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// netLock is the Network's reader/writer lock with one twist: it is
+// reentrant for the goroutine that holds the write side. Callbacks
+// registered with Network.Schedule run inside RunFor/RunUntil — on the
+// driving goroutine, with the write lock held — and are allowed to call
+// back into the Network (query metrics, establish or release channels);
+// a plain RWMutex would self-deadlock there.
+//
+// Only the write side records an owner: read acquisitions never reenter
+// each other (callbacks only ever run under the write lock), so readers
+// stay on the RWMutex fast path plus one atomic load.
+type netLock struct {
+	mu    sync.RWMutex
+	owner atomic.Int64 // goroutine ID of the write-lock holder, 0 when free
+}
+
+// lock acquires the write side unless the calling goroutine already
+// holds it. It reports whether the lock was actually taken — pass the
+// result to unlock.
+func (l *netLock) lock() bool {
+	id := goid()
+	if l.owner.Load() == id {
+		return false // reentrant: a Schedule callback calling back in
+	}
+	l.mu.Lock()
+	l.owner.Store(id)
+	return true
+}
+
+// unlock releases the write side when lock actually took it.
+func (l *netLock) unlock(acquired bool) {
+	if acquired {
+		l.owner.Store(0)
+		l.mu.Unlock()
+	}
+}
+
+// rlock acquires the read side unless the calling goroutine holds the
+// write side (reentrant read from a callback).
+func (l *netLock) rlock() bool {
+	if l.owner.Load() == goid() {
+		return false
+	}
+	l.mu.RLock()
+	return true
+}
+
+// runlock releases the read side when rlock actually took it.
+func (l *netLock) runlock(acquired bool) {
+	if acquired {
+		l.mu.RUnlock()
+	}
+}
+
+// goid returns the current goroutine's ID by parsing the first line of
+// its stack trace ("goroutine 123 [running]:"). Goroutine IDs are never
+// reused as 0, so 0 can mean "no owner". The parse costs on the order of
+// a microsecond — noise against a simulated establishment handshake, and
+// the price of letting simulation callbacks use the public API without a
+// special re-entrant variant of every method.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id int64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}

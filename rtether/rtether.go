@@ -39,10 +39,25 @@
 //	ch, err := net.Establish(rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 42})
 //
 // All times are integer timeslots (one slot = the transmission time of
-// one maximal Ethernet frame; see SlotNanos to convert). The simulation
-// is fully deterministic: identical call sequences produce identical
-// results. See README.md for a tour of the API and migration notes for
-// the deprecated ID-based methods.
+// one maximal Ethernet frame; see SlotNanos to convert).
+//
+// # Concurrency
+//
+// A Network and the *Channel handles it hands out are safe for use from
+// any goroutine. Mutating operations (Establish, EstablishAll, Release,
+// Teardown, Start, Stop, SendBestEffort, Schedule, RunFor, RunUntil) are
+// serialized by an internal lock — one management/simulation plane, as on
+// a real switch — while read-only queries (Metrics, Spec, Budgets,
+// GuaranteedDelay, AdmissionStats, Lookup, Now, Report, link loads) take
+// a shared read lock and proceed in parallel. Callbacks registered with
+// Schedule run on the goroutine driving the simulation with the lock
+// held, and may call freely back into the Network.
+//
+// Concurrency does not cost determinism where it matters: the virtual
+// clock only advances under the exclusive lock, admission decisions are
+// committed one at a time, and replaying the committed operation sequence
+// on a fresh Network reproduces identical channels, budgets and
+// measurements. See README.md ("Concurrency") for the contract in full.
 package rtether
 
 import (
@@ -142,6 +157,20 @@ func WithHDPS(h HDPS) Option {
 	return func(c *config) { c.hdps = h }
 }
 
+// WithVerifyWorkers bounds the worker pool the admission controller may
+// use to verify changed links in one decision: n <= 0 means
+// runtime.GOMAXPROCS(0) (the default), 1 forces the sequential sweep.
+// Sweeps below an internal threshold (a handful of links — the typical
+// single establishment) stay sequential regardless; sweeps touching
+// many links, as batch admissions and heavily repartitioning single
+// requests do, fan out. Decisions, diagnostics (including which
+// saturated link an *AdmissionError names — the first failure in the
+// deterministic link order wins) and the LinksChecked statistic are
+// identical for every worker count.
+func WithVerifyWorkers(n int) Option {
+	return func(c *config) { c.star.VerifyWorkers = n }
+}
+
 // WithShaping enables or disables the release-guard regulator at the
 // switches (enabled by default). Disabling reproduces the paper's plain
 // work-conserving switch.
@@ -185,9 +214,10 @@ func WithDiscipline(d Discipline) Option {
 
 // Network is one simulated real-time Ethernet network: a single-switch
 // star by default, or a routed multi-switch fabric when built with
-// WithTopology. Not safe for concurrent use — drive it from one
-// goroutine.
+// WithTopology. Safe for concurrent use; see the package-level
+// Concurrency section for the contract.
 type Network struct {
+	lk      netLock
 	be      backend
 	handles map[ChannelID]*Channel
 }
@@ -218,12 +248,13 @@ func New(opts ...Option) *Network {
 // multi-switch network nodes are attached via Topology.Attach before New
 // and AddNode returns an error.
 func (n *Network) AddNode(id NodeID) error {
+	defer n.lk.unlock(n.lk.lock())
 	return n.be.addNode(id)
 }
 
 // MustAddNode is AddNode panicking on error, for static topologies.
 func (n *Network) MustAddNode(id NodeID) {
-	if err := n.be.addNode(id); err != nil {
+	if err := n.AddNode(id); err != nil {
 		panic(err)
 	}
 }
@@ -237,6 +268,7 @@ func (n *Network) MustAddNode(id NodeID) {
 // A feasibility rejection is returned as an *AdmissionError naming the
 // saturated link; errors.Is(err, ErrInfeasible) matches it.
 func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
+	defer n.lk.unlock(n.lk.lock())
 	id, _, err := n.be.establish(spec)
 	if err != nil {
 		return nil, err
@@ -258,8 +290,10 @@ func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
 // establishment handshake crosses the wire and no virtual time elapses
 // even on star networks. It is also the scalable path — admitting N
 // channels one Establish at a time repartitions the system N times, while
-// EstablishAll does it once (see BenchmarkAdmissionScale).
+// EstablishAll does it once, and its verification sweep fans out over the
+// WithVerifyWorkers pool (see BenchmarkAdmissionScale).
 func (n *Network) EstablishAll(specs []ChannelSpec) ([]*Channel, error) {
+	defer n.lk.unlock(n.lk.lock())
 	ids, err := n.be.establishAll(specs)
 	if err != nil {
 		return nil, err
@@ -276,6 +310,7 @@ func (n *Network) EstablishAll(specs []ChannelSpec) ([]*Channel, error) {
 // Lookup returns the handle of an established channel, or nil. Handles
 // exist only for channels established through this Network value.
 func (n *Network) Lookup(id ChannelID) *Channel {
+	defer n.lk.runlock(n.lk.rlock())
 	ch := n.handles[id]
 	if ch == nil || ch.closed {
 		return nil
@@ -283,25 +318,67 @@ func (n *Network) Lookup(id ChannelID) *Channel {
 	return ch
 }
 
-// releaseID frees a channel through the management plane and closes its
-// handle.
-func (n *Network) releaseID(id ChannelID) error {
-	if err := n.be.release(id); err != nil {
+// releaseChannel frees a channel through the management plane and closes
+// its handle.
+func (n *Network) releaseChannel(c *Channel) error {
+	defer n.lk.unlock(n.lk.lock())
+	if c.closed {
+		return ErrChannelClosed
+	}
+	if err := n.be.release(c.id); err != nil {
 		return err
 	}
-	n.closeHandle(id)
+	n.closeHandle(c.id)
 	return nil
 }
 
-// teardownID initiates a wire-level teardown and closes the handle (the
-// reservation itself is freed when the Teardown frame reaches the
+// teardownChannel initiates a wire-level teardown and closes the handle
+// (the reservation itself is freed when the Teardown frame reaches the
 // switch).
-func (n *Network) teardownID(id ChannelID) error {
-	if err := n.be.teardown(id); err != nil {
+func (n *Network) teardownChannel(c *Channel) error {
+	defer n.lk.unlock(n.lk.lock())
+	if c.closed {
+		return ErrChannelClosed
+	}
+	if err := n.be.teardown(c.id); err != nil {
 		return err
 	}
-	n.closeHandle(id)
+	n.closeHandle(c.id)
 	return nil
+}
+
+// startChannel attaches a channel's periodic source.
+func (n *Network) startChannel(c *Channel, offset int64) error {
+	defer n.lk.unlock(n.lk.lock())
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return n.be.startTraffic(c.id, offset)
+}
+
+// stopChannel detaches a channel's periodic source.
+func (n *Network) stopChannel(c *Channel) error {
+	defer n.lk.unlock(n.lk.lock())
+	if c.closed {
+		return ErrChannelClosed
+	}
+	return n.be.stopTraffic(c.id)
+}
+
+// channelBudgets reads a channel's committed per-hop budgets.
+func (n *Network) channelBudgets(c *Channel) []int64 {
+	defer n.lk.runlock(n.lk.rlock())
+	if c.closed {
+		return nil
+	}
+	_, budgets, _ := n.be.channelInfo(c.id)
+	return budgets
+}
+
+// channelMetrics snapshots a channel's measurements.
+func (n *Network) channelMetrics(c *Channel) *ChannelMetrics {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.metrics(c.id)
 }
 
 func (n *Network) closeHandle(id ChannelID) {
@@ -316,27 +393,45 @@ func (n *Network) closeHandle(id ChannelID) {
 // or the network does not carry best-effort traffic (fabrics model RT
 // traffic only).
 func (n *Network) SendBestEffort(src, dst NodeID, payload []byte) bool {
+	defer n.lk.unlock(n.lk.lock())
 	return n.be.sendBestEffort(src, dst, payload)
 }
 
 // Schedule registers fn to run at the absolute slot t (clamped to the
 // current time), for custom traffic generators and experiment drivers.
+// fn runs on the goroutine driving the simulation with the network lock
+// held and may call back into the Network and its channel handles.
 func (n *Network) Schedule(t int64, fn func()) {
+	defer n.lk.unlock(n.lk.lock())
 	n.be.schedule(t, fn)
 }
 
 // Now returns the current virtual time in slots.
-func (n *Network) Now() int64 { return n.be.now() }
+func (n *Network) Now() int64 {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.now()
+}
 
 // RunFor advances the simulation by d slots.
-func (n *Network) RunFor(d int64) { n.be.run(n.be.now() + d) }
+func (n *Network) RunFor(d int64) {
+	defer n.lk.unlock(n.lk.lock())
+	n.be.run(n.be.now() + d)
+}
 
 // RunUntil advances the simulation to the absolute slot t.
-func (n *Network) RunUntil(t int64) { n.be.run(t) }
+func (n *Network) RunUntil(t int64) {
+	defer n.lk.unlock(n.lk.lock())
+	n.be.run(t)
+}
 
 // Report snapshots all measurements: per-channel delays and misses,
-// best-effort throughput and drops (star networks).
-func (n *Network) Report() *Report { return n.be.report() }
+// best-effort throughput and drops (star networks). The returned report
+// is an independent copy — it does not change as the simulation
+// continues.
+func (n *Network) Report() *Report {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.report()
+}
 
 // GuaranteedDelay returns the delivery guarantee T_max = d + T_latency
 // for a spec on this network (Eq. 18.1); on fabrics T_latency scales
@@ -344,78 +439,41 @@ func (n *Network) Report() *Report { return n.be.report() }
 // have no route on this network — no guarantee can be stated for a
 // channel admission control could never accept.
 func (n *Network) GuaranteedDelay(spec ChannelSpec) int64 {
+	defer n.lk.runlock(n.lk.rlock())
 	return n.be.guaranteedDelay(spec)
 }
 
 // LinkLoadUp returns the number of channels on a node's uplink — LL in
 // the paper's ADPS definition.
-func (n *Network) LinkLoadUp(id NodeID) int { return n.be.linkLoadUp(id) }
+func (n *Network) LinkLoadUp(id NodeID) int {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.linkLoadUp(id)
+}
 
 // LinkLoadDown returns the number of channels on a node's downlink.
-func (n *Network) LinkLoadDown(id NodeID) int { return n.be.linkLoadDown(id) }
+func (n *Network) LinkLoadDown(id NodeID) int {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.linkLoadDown(id)
+}
 
 // AdmissionStats summarizes admission-control activity so far.
-func (n *Network) AdmissionStats() AdmissionStats { return n.be.admissionStats() }
+func (n *Network) AdmissionStats() AdmissionStats {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.admissionStats()
+}
 
 // WriteSnapshot serializes the established channels as indented JSON
 // (star networks; see core snapshot format).
-func (n *Network) WriteSnapshot(w io.Writer) error { return n.be.writeSnapshot(w) }
-
-// ---------------------------------------------------------------------------
-// Deprecated ID-based methods. They remain as thin wrappers for one
-// release; new code should use the *Channel handle returned by Establish.
-
-// EstablishID is Establish returning the raw channel ID.
-//
-// Deprecated: use Establish and the returned *Channel handle.
-func (n *Network) EstablishID(spec ChannelSpec) (ChannelID, error) {
-	ch, err := n.Establish(spec)
-	if err != nil {
-		return 0, err
-	}
-	return ch.id, nil
-}
-
-// Release tears down an established channel through the management
-// plane.
-//
-// Deprecated: use Channel.Release.
-func (n *Network) Release(id ChannelID) error { return n.releaseID(id) }
-
-// Teardown releases a channel over the wire.
-//
-// Deprecated: use Channel.Teardown.
-func (n *Network) Teardown(id ChannelID) error { return n.teardownID(id) }
-
-// StartTraffic attaches the periodic source of a channel.
-//
-// Deprecated: use Channel.Start.
-func (n *Network) StartTraffic(id ChannelID, offset int64) error {
-	return n.be.startTraffic(id, offset)
-}
-
-// StopTraffic detaches the periodic source of a channel.
-//
-// Deprecated: use Channel.Stop.
-func (n *Network) StopTraffic(id ChannelID) error {
-	return n.be.stopTraffic(id)
-}
-
-// Channel returns the committed spec and current two-hop deadline
-// partition of an established channel. On routes longer than two hops
-// the partition reports the first and last hop budgets.
-//
-// Deprecated: use the *Channel handle (Spec, Budgets).
-func (n *Network) Channel(id ChannelID) (ChannelSpec, Partition, bool) {
-	spec, budgets, ok := n.be.channelInfo(id)
-	if !ok || len(budgets) == 0 {
-		return ChannelSpec{}, Partition{}, false
-	}
-	return spec, Partition{Up: budgets[0], Down: budgets[len(budgets)-1]}, true
+func (n *Network) WriteSnapshot(w io.Writer) error {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.writeSnapshot(w)
 }
 
 // Channels lists established channel IDs in establishment order.
-func (n *Network) Channels() []ChannelID { return n.be.channelIDs() }
+func (n *Network) Channels() []ChannelID {
+	defer n.lk.runlock(n.lk.rlock())
+	return n.be.channelIDs()
+}
 
 type errUnknownChannel ChannelID
 

@@ -71,17 +71,6 @@ func TestChannelIntrospection(t *testing.T) {
 	if len(budgets) != 2 || budgets[0]+budgets[1] != spec.D {
 		t.Errorf("budgets %v do not sum to D", budgets)
 	}
-	// Deprecated ID-based introspection keeps working.
-	gotSpec, part, ok := net.Channel(ch.ID())
-	if !ok || gotSpec != spec {
-		t.Fatalf("Channel() = %v,%v,%v", gotSpec, part, ok)
-	}
-	if part.Up != budgets[0] || part.Down != budgets[1] {
-		t.Errorf("partition %v does not match budgets %v", part, budgets)
-	}
-	if _, _, ok := net.Channel(999); ok {
-		t.Error("unknown channel introspected")
-	}
 	ids := net.Channels()
 	if len(ids) != 1 || ids[0] != ch.ID() {
 		t.Errorf("Channels() = %v", ids)
@@ -137,49 +126,11 @@ func TestTeardownViaHandle(t *testing.T) {
 	}
 }
 
-func TestDeprecatedIDMethods(t *testing.T) {
+func TestUnknownChannelLookup(t *testing.T) {
 	net := New()
 	net.MustAddNode(1)
 	net.MustAddNode(2)
-	id, err := net.EstablishID(ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := net.StartTraffic(id, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := net.StopTraffic(id); err != nil {
-		t.Fatal(err)
-	}
-	if err := net.Release(id); err != nil {
-		t.Fatal(err)
-	}
-	if err := net.StartTraffic(id, 0); err == nil {
-		t.Error("StartTraffic on released channel accepted")
-	}
-	// Releasing through the deprecated path closed the handle too.
-	if net.Lookup(id) != nil {
-		t.Error("handle survived ID-based release")
-	}
-}
-
-func TestUnknownChannelErrors(t *testing.T) {
-	net := New()
-	net.MustAddNode(1)
-	net.MustAddNode(2)
-	const ghost = ChannelID(999)
-	if err := net.StartTraffic(ghost, 0); err == nil {
-		t.Error("StartTraffic on unknown channel accepted")
-	} else if err.Error() != "rtether: unknown channel" {
-		t.Errorf("unexpected error text: %q", err.Error())
-	}
-	if err := net.Teardown(ghost); err == nil {
-		t.Error("Teardown on unknown channel accepted")
-	}
-	if err := net.StopTraffic(ghost); err == nil {
-		t.Error("StopTraffic on unknown channel accepted")
-	}
-	if net.Lookup(ghost) != nil {
+	if net.Lookup(ChannelID(999)) != nil {
 		t.Error("Lookup resolved an unknown channel")
 	}
 }

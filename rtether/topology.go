@@ -4,6 +4,21 @@ import (
 	"repro/internal/topo"
 )
 
+// SwitchID identifies a switch in a multi-switch topology.
+type SwitchID = topo.SwitchID
+
+// HDPS is a hop-general deadline partitioning scheme for multi-switch
+// topologies.
+type HDPS = topo.HDPS
+
+// HSDPS returns the equal-split hop partitioning scheme (SDPS
+// generalized to h hops).
+func HSDPS() HDPS { return topo.HSDPS{} }
+
+// HADPS returns the link-load-weighted hop partitioning scheme (ADPS
+// generalized to h hops).
+func HADPS() HDPS { return topo.HADPS{} }
+
 // Topology describes the physical layout of a network before it is
 // brought up: switches, the full-duplex trunks between them, and which
 // switch each end-node attaches to. Pass a completed Topology to New via

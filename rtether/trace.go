@@ -36,5 +36,9 @@ func NewRingTracer(capacity int) *RingTracer { return netsim.NewRingTracer(capac
 
 // SetTracer installs a tracer on the network; nil disables tracing. It
 // reports whether the network streams trace events — star networks do;
-// the multi-switch simulator does not (yet).
-func (n *Network) SetTracer(t Tracer) bool { return n.be.setTracer(t) }
+// the multi-switch simulator does not (yet). The tracer is invoked on
+// the goroutine driving the simulation, under the network lock.
+func (n *Network) SetTracer(t Tracer) bool {
+	defer n.lk.unlock(n.lk.lock())
+	return n.be.setTracer(t)
+}
