@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/frame"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -291,6 +293,79 @@ func BenchmarkAdmissionScaleVerifyWorkers(b *testing.B) {
 					b.Fatalf("accepted %d of %d", len(chs), len(specs))
 				}
 			}
+		})
+	}
+}
+
+// churnScenarioDoc builds a declarative churn scenario over the scale
+// workload's 100-source × 100-sink population: a seeded Poisson arrival
+// process establishes ~10k channels over the horizon, each held for an
+// exponential time and then released. On the fabric variant the
+// population is spread over the 4-switch line of scaleFabric, so routes
+// cross up to 5 hops and the trunks concentrate half the churn each.
+func churnScenarioDoc(fabric bool) string {
+	var b strings.Builder
+	b.WriteString(`{"name":"churn bench","slots":100000,"seed":7,`)
+	var sources, dests []string
+	for i := 0; i < 100; i++ {
+		sources = append(sources, strconv.Itoa(1+i))
+		dests = append(dests, strconv.Itoa(1001+i))
+	}
+	p, d := int64(10000), int64(2000)
+	if fabric {
+		// Trunk links carry half the channels each; relax the periods so
+		// the concentrated load stays EDF-feasible (see scaleFabricSpecs).
+		p, d = 100000, 50000
+		b.WriteString(`"dps":"sdps","topology":{"switches":[0,1,2,3],"trunks":[[0,1],[1,2],[2,3]],"attachments":[`)
+		for i := 0; i < 100; i++ {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `{"node":%d,"switch":%d},{"node":%d,"switch":%d}`,
+				1+i, i%2, 1001+i, 2+i%2)
+		}
+		b.WriteString(`]},`)
+	} else {
+		b.WriteString(`"dps":"adps","nodes":[`)
+		b.WriteString(strings.Join(append(append([]string(nil), sources...), dests...), ","))
+		b.WriteString(`],`)
+	}
+	fmt.Fprintf(&b, `"channels":[],"churn":[{"name":"load","rate":0.1,"holdMean":20000,`+
+		`"sources":[%s],"destinations":[%s],"c":1,"p":%d,"d":%d}]}`,
+		strings.Join(sources, ","), strings.Join(dests, ","), p, d)
+	return b.String()
+}
+
+// BenchmarkScenarioChurn replays a ~10k-arrival churn timeline against
+// admission control on both backends: sustained establish/release load
+// with a few thousand channels live at steady state — the regime the
+// incremental (copy-on-write, delta-repartitioning) engines exist for.
+// Synthesis of the event stream is deterministic and included in the
+// measured loop, matching what cmd/rtadmit -scenario does per run.
+func BenchmarkScenarioChurn(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		fabric bool
+	}{
+		{"star-ADPS", false},
+		{"fabric-HSDPS", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, err := scenario.Load(strings.NewReader(churnScenarioDoc(bc.fabric)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var events, accepted int
+			for i := 0; i < b.N; i++ {
+				res, err := s.Replay(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc, _, _ := res.EventCounts()
+				events, accepted = len(res.Events), acc
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(accepted), "applied/op")
 		})
 	}
 }

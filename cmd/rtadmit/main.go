@@ -13,9 +13,17 @@
 // verification worker pool for that sweep (0 = GOMAXPROCS, 1 =
 // sequential); decisions and diagnostics are identical at any count.
 //
+// With -scenario the tool replays a declarative scenario file's whole
+// timeline — static load, establish/release/reconfigure events, churn
+// streams — against admission control alone: no traffic is simulated and
+// no virtual time passes, so even 10k-channel churn workloads answer
+// "what would admission decide" in milliseconds. The scenario's own
+// topology (star or multi-switch fabric) and DPS apply; -dps is ignored.
+//
 //	echo "1 100 3 100 40" | rtadmit -dps adps
 //	rtadmit -dps sdps -f requests.txt
 //	rtadmit -dps adps -batch -workers 8 -f provisioning.txt
+//	rtadmit -scenario plant.json -q
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/scenario"
 	"repro/rtether"
 )
 
@@ -44,9 +53,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dump    = fs.Bool("dump", false, "emit the accepted channels as a JSON snapshot instead of the summary")
 		batch   = fs.Bool("batch", false, "admit all requests as one atomic batch (EstablishAll) instead of one by one")
 		workers = fs.Int("workers", 0, "verification worker pool for batch sweeps (0 = GOMAXPROCS, 1 = sequential); decisions are identical at any count")
+		scen    = fs.String("scenario", "", "replay a JSON scenario timeline against admission control only (ignores -dps and request input)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *scen != "" {
+		return replayScenario(*scen, *workers, *quiet, *dump, stdout, stderr)
 	}
 
 	dps, err := parseDPS(*dpsName)
@@ -178,6 +192,58 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\nsummary (%s): %d requests, %d accepted, %d rejected "+
 		"(%d invalid, %d utilization, %d demand), %d feasibility tests run\n",
 		dps.Name(), st.Requests, st.Accepted,
+		st.Requests-st.Accepted, st.RejectedInvalid,
+		st.RejectedUtilization, st.RejectedDemand, st.LinksChecked)
+	fmt.Fprintf(stdout, "mean link utilization: %.4f over %d loaded links\n",
+		st.MeanLinkUtilization, st.LoadedLinks)
+	return 0
+}
+
+// replayScenario plays a scenario file's timeline against the admission
+// kernel: per-event decisions, then the usual summary (or -dump
+// snapshot). Traffic, background flows and virtual time are skipped —
+// only the establish/release/reconfigure decisions run.
+func replayScenario(path string, workers int, quiet, dump bool, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtadmit: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	s, err := scenario.Load(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtadmit: %v\n", err)
+		return 1
+	}
+	// Snapshots are a star feature; reject the combination before
+	// replaying anything.
+	if dump && s.Fabric() {
+		fmt.Fprintf(stderr, "rtadmit: -dump needs a star scenario (snapshots are not supported on multi-switch networks yet)\n")
+		return 2
+	}
+	res, err := s.Replay(workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtadmit: %v\n", err)
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "static load: %d accepted, %d rejected (optional)\n",
+			len(res.Accepted), res.Rejected)
+		for _, ev := range res.Events {
+			fmt.Fprintln(stdout, ev)
+		}
+	}
+	if dump {
+		if err := res.Network.WriteSnapshot(stdout); err != nil {
+			fmt.Fprintf(stderr, "rtadmit: snapshot: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	st := res.Network.AdmissionStats()
+	fmt.Fprintf(stdout, "\nsummary (scenario %q): %d requests, %d accepted, %d rejected "+
+		"(%d invalid, %d utilization, %d demand), %d feasibility tests run\n",
+		s.Name, st.Requests, st.Accepted,
 		st.Requests-st.Accepted, st.RejectedInvalid,
 		st.RejectedUtilization, st.RejectedDemand, st.LinksChecked)
 	fmt.Fprintf(stdout, "mean link utilization: %.4f over %d loaded links\n",

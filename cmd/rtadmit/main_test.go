@@ -183,3 +183,59 @@ func TestWorkersFlagDecisionsIdentical(t *testing.T) {
 		t.Errorf("-workers changed the output:\n--- workers=1\n%s\n--- workers=8\n%s", one, many)
 	}
 }
+
+func TestScenarioReplay(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "../rtsim/testdata/dynamic.json"},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"static load: 2 accepted, 0 rejected",
+		"establish     video            ACCEPT",
+		"reconfigure   ctrl             ACCEPT",
+		`summary (scenario "two-cell line with churn")`,
+		"mean link utilization",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Admission-only replay never simulates traffic: no VERDICT line.
+	if strings.Contains(s, "VERDICT") {
+		t.Errorf("replay printed a simulation verdict:\n%s", s)
+	}
+}
+
+func TestScenarioReplayQuiet(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "../rtsim/testdata/dynamic.json", "-q"},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "slot ") {
+		t.Errorf("-q still printed per-event lines:\n%s", out.String())
+	}
+}
+
+func TestScenarioReplayMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "nope.json"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestScenarioReplayDumpRejectedOnFabric(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "../rtsim/testdata/dynamic.json", "-dump"},
+		strings.NewReader(""), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (up-front rejection)", code)
+	}
+	if !strings.Contains(errOut.String(), "star scenario") {
+		t.Errorf("missing star-only diagnostic: %s", errOut.String())
+	}
+}

@@ -3,8 +3,18 @@
 // per-channel worst-case delays against their guarantees, deadline
 // misses, and best-effort throughput.
 //
+// With -scenario the workload comes from a declarative JSON file
+// (internal/scenario, documented in docs/scenario-format.md) instead of
+// the flags: static channels, a multi-switch topology, an event timeline
+// (establish/release/reconfigure/setBackground at given slots) and churn
+// generators all play back deterministically, per-event admission
+// outcomes appear in the report, and -snapshot writes the final channel
+// table as JSON (star scenarios — multi-switch networks do not support
+// snapshots yet).
+//
 //	rtsim -masters 10 -slaves 50 -requests 200 -dps adps -slots 5000
 //	rtsim -dps sdps -bg-rate 0.2 -shaping=false -trace 20
+//	rtsim -scenario plant.json -events 0
 package main
 
 import (
@@ -44,13 +54,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		linkMbps = fs.Int64("mbps", 100, "link rate for real-time conversion of results")
 		traceN   = fs.Int("trace", 0, "print the last N trace events (0 = off)")
 		scenFile = fs.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
+		snapPath = fs.String("snapshot", "", "with -scenario: write the final channel snapshot as JSON to this file ('-' = stdout); star scenarios only")
+		eventCap = fs.Int("events", 25, "with -scenario: print at most N per-event outcome lines (0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *scenFile != "" {
-		return runScenario(*scenFile, stdout, stderr)
+		return runScenario(*scenFile, *snapPath, *eventCap, stdout, stderr)
 	}
 
 	var dps rtether.DPS
@@ -178,8 +190,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runScenario executes a declarative JSON scenario file.
-func runScenario(path string, stdout, stderr io.Writer) int {
+// runScenario executes a declarative JSON scenario file: static load,
+// event-timeline playback with per-event admission outcomes, measurement
+// summary, and optionally a final channel snapshot.
+func runScenario(path, snapPath string, eventCap int, stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "rtsim: %v\n", err)
@@ -191,6 +205,12 @@ func runScenario(path string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rtsim: %v\n", err)
 		return 1
 	}
+	// Snapshots are a star feature; fail before running the whole
+	// simulation only to disappoint at the end.
+	if snapPath != "" && scen.Fabric() {
+		fmt.Fprintf(stderr, "rtsim: -snapshot needs a star scenario (snapshots are not supported on multi-switch networks yet)\n")
+		return 2
+	}
 	res, err := scen.Run()
 	if err != nil {
 		fmt.Fprintf(stderr, "rtsim: %v\n", err)
@@ -200,11 +220,22 @@ func runScenario(path string, stdout, stderr io.Writer) int {
 	_, worst := rep.WorstDelay()
 	fmt.Fprintf(stdout, "scenario %q: %d channels accepted, %d rejected (optional)\n",
 		scen.Name, len(res.Accepted), res.Rejected)
+	if t := scen.Topology; t != nil {
+		fmt.Fprintf(stdout, "  topology: %d switches, %d trunks, %d nodes\n",
+			len(t.Switches), len(t.Trunks), len(t.Attachments))
+	}
+	printEventOutcomes(stdout, res, eventCap)
 	fmt.Fprintf(stdout, "  RT: delivered %d frames, %d deadline misses, worst delay %d slots\n",
 		rep.TotalDelivered(), rep.TotalMisses(), worst)
 	if res.BgSent > 0 {
 		fmt.Fprintf(stdout, "  non-RT: sent %d, delivered %d, dropped %d, mean delay %.1f slots\n",
 			res.BgSent, rep.NonRTDelivered, rep.NonRTDrops, rep.NonRTDelay.Mean())
+	}
+	if snapPath != "" {
+		if err := writeSnapshot(res, snapPath, stdout); err != nil {
+			fmt.Fprintf(stderr, "rtsim: snapshot: %v\n", err)
+			return 1
+		}
 	}
 	if rep.TotalMisses() > 0 {
 		fmt.Fprintln(stdout, "  VERDICT: GUARANTEE VIOLATED")
@@ -212,4 +243,38 @@ func runScenario(path string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "  VERDICT: all guarantees held")
 	return 0
+}
+
+// printEventOutcomes lists the timeline playback results, capped at
+// eventCap lines (0 = unlimited) with a deterministic tail summary.
+func printEventOutcomes(w io.Writer, res *scenario.Result, eventCap int) {
+	if len(res.Events) == 0 {
+		return
+	}
+	accepted, rejected, skipped := res.EventCounts()
+	fmt.Fprintf(w, "  events: %d played — %d applied, %d rejected (tolerated), %d skipped\n",
+		len(res.Events), accepted, rejected, skipped)
+	for i, ev := range res.Events {
+		if eventCap > 0 && i >= eventCap {
+			fmt.Fprintf(w, "    … %d more events (rerun with -events 0 for all)\n", len(res.Events)-i)
+			break
+		}
+		fmt.Fprintf(w, "    %s\n", ev)
+	}
+}
+
+// writeSnapshot serializes the run's final channel table ('-' = stdout).
+func writeSnapshot(res *scenario.Result, path string, stdout io.Writer) error {
+	if path == "-" {
+		return res.Network.WriteSnapshot(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Network.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -88,3 +88,79 @@ func TestScenarioFileMissing(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
+
+func TestDynamicScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "testdata/dynamic.json", "-events", "0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"topology: 3 switches, 2 trunks, 6 nodes",
+		"events:",
+		"establish     video            ACCEPT",
+		"establishAll  telemetry-a,telemetry-b ACCEPT",
+		"reconfigure   ctrl             ACCEPT",
+		"release       video            OK",
+		"establish     flows#0",
+		"VERDICT: all guarantees held",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestDynamicScenarioDeterministic is the acceptance bar for the
+// scenario subsystem: the same document (same seed) must produce a
+// byte-identical report, churn stream included.
+func TestDynamicScenarioDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-scenario", "testdata/dynamic.json", "-events", "0"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("scenario reports diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestScenarioSnapshotFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "testdata/cell.json", "-snapshot", "-"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"up":`) {
+		t.Errorf("snapshot JSON missing from output:\n%s", out.String())
+	}
+}
+
+func TestScenarioSnapshotRejectedOnFabric(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "testdata/dynamic.json", "-snapshot", "-"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (up-front rejection)", code)
+	}
+	if !strings.Contains(errOut.String(), "star scenario") {
+		t.Errorf("missing star-only diagnostic: %s", errOut.String())
+	}
+	// The simulation must not have run.
+	if strings.Contains(out.String(), "VERDICT") {
+		t.Errorf("simulation ran despite the rejected flag combination:\n%s", out.String())
+	}
+}
+
+func TestScenarioEventCap(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-scenario", "testdata/dynamic.json", "-events", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "more events") {
+		t.Errorf("event cap tail missing:\n%s", out.String())
+	}
+}

@@ -9,13 +9,37 @@
 // concurrency-safe Network type covering the paper's single-switch star
 // and the §18.5 multi-switch fabrics, with *Channel handles that are
 // safe to use from any goroutine and typed *AdmissionError rejection
-// diagnostics. Both topologies run their admission control on one
-// generic copy-on-write kernel (internal/admit) whose batch
-// verification sweep parallelizes across cores (rtether.
-// WithVerifyWorkers) without changing a single decision. This root
-// package only anchors the module documentation and the
+// diagnostics.
+//
+// The layers underneath (see docs/architecture.md for the full map and
+// an admission decision's end-to-end data flow):
+//
+//   - internal/netsim — cycle-accurate star simulator with the complete
+//     wire protocol: establishment handshakes, frame codecs, the
+//     release-guard shaper, best-effort FCFS coexistence, fault
+//     injection and tracing.
+//   - internal/fabricsim — hop-by-hop RT traffic simulator for routed
+//     multi-switch fabrics.
+//   - internal/core and internal/topo — the star and fabric admission
+//     adapters: specs, routing, SDPS/ADPS and their hop-general forms.
+//   - internal/admit — the generic copy-on-write admission kernel both
+//     adapters share: persistent per-link caches, delta repartitioning
+//     with undo-on-reject rollback, and a parallel verification sweep
+//     (rtether.WithVerifyWorkers) that never changes a decision.
+//   - internal/edf — the paper's two-constraint EDF feasibility test.
+//   - internal/scenario — declarative experiments as JSON data files:
+//     multi-switch topologies, event timelines (establish, atomic
+//     establishAll batches, release, reconfigure, background-rate
+//     changes at given slots) and seeded churn generators for 10k+
+//     channel add/remove workloads, all replaying deterministically.
+//     cmd/rtsim -scenario runs them; cmd/rtadmit -scenario replays the
+//     timeline against admission control alone. The schema reference is
+//     docs/scenario-format.md.
+//
+// This root package only anchors the module documentation and the
 // repository-level benchmarks (bench_test.go), which regenerate the
 // tables and figures of the paper's evaluation (cmd/rtexp runs them;
-// rtexp -list is the experiment index). See README.md for a tour of the
-// API and the concurrency contract.
+// rtexp -list is the experiment index) and exercise the admission hot
+// paths at fleet scale (BenchmarkAdmissionScale, BenchmarkScenarioChurn).
+// See README.md for a tour of the API and the concurrency contract.
 package repro

@@ -321,6 +321,22 @@ func (s *Sim) Channel(id core.ChannelID) *Metrics {
 	return nil
 }
 
+// ChannelIDs returns the distinct ID of every channel ever installed, in
+// first-install order. Released channels stay listed — their accumulated
+// metrics remain readable through Channel, which reports the newest
+// incarnation when an ID was reused.
+func (s *Sim) ChannelIDs() []core.ChannelID {
+	seen := make(map[core.ChannelID]bool, len(s.channels))
+	ids := make([]core.ChannelID, 0, len(s.channels))
+	for _, ch := range s.channels {
+		if !seen[ch.id] {
+			seen[ch.id] = true
+			ids = append(ids, ch.id)
+		}
+	}
+	return ids
+}
+
 // Totals sums delivered frames, misses and the worst observed delay.
 func (s *Sim) Totals() (delivered, misses, worst int64) {
 	for _, ch := range s.channels {

@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func churnDoc(gen string) string {
+	return `{"slots":5000,"seed":3,"nodes":[1,2,3,4],"channels":[],"churn":[` + gen + `]}`
+}
+
+func TestChurnValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  string
+		want string
+	}{
+		{"no name", `{"rate":0.1,"holdMean":100,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "needs a name"},
+		{"hash name", `{"name":"a#b","rate":0.1,"holdMean":100,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "'#'"},
+		{"bad rate", `{"name":"g","rate":0,"holdMean":100,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "rate must be positive"},
+		{"bad hold", `{"name":"g","rate":0.1,"holdMean":0,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "holdMean must be positive"},
+		{"bad window", `{"name":"g","rate":0.1,"holdMean":100,"start":400,"end":300,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "window"},
+		{"window past horizon", `{"name":"g","rate":0.1,"holdMean":100,"end":9000,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "window"},
+		{"no sources", `{"name":"g","rate":0.1,"holdMean":100,"sources":[],"destinations":[2],"c":1,"p":100,"d":40}`, "sources and destinations"},
+		{"unknown source", `{"name":"g","rate":0.1,"holdMean":100,"sources":[9],"destinations":[2],"c":1,"p":100,"d":40}`, "undeclared node"},
+		{"unknown destination", `{"name":"g","rate":0.1,"holdMean":100,"sources":[1],"destinations":[9],"c":1,"p":100,"d":40}`, "undeclared node"},
+		{"degenerate pools", `{"name":"g","rate":0.1,"holdMean":100,"sources":[1],"destinations":[1],"c":1,"p":100,"d":40}`, "source equals"},
+		{"invalid template", `{"name":"g","rate":0.1,"holdMean":100,"sources":[1],"destinations":[2],"c":3,"p":100,"d":4}`, "template"},
+		{"negative cap", `{"name":"g","rate":0.1,"holdMean":100,"maxConcurrent":-1,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`, "maxConcurrent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loadErr(t, churnDoc(tc.gen), tc.want)
+		})
+	}
+	t.Run("overlapping pools accepted", func(t *testing.T) {
+		// Sources[0] equals the only destination, but source 2 still has
+		// a valid pair — the generator must load (synthesis skips the
+		// degenerate draws).
+		doc := churnDoc(`{"name":"g","rate":0.1,"holdMean":100,"sources":[1,2],"destinations":[1],"c":1,"p":100,"d":40}`)
+		if _, err := Load(strings.NewReader(doc)); err != nil {
+			t.Errorf("overlapping pools rejected: %v", err)
+		}
+	})
+	t.Run("duplicate generator", func(t *testing.T) {
+		g := `{"name":"g","rate":0.1,"holdMean":100,"sources":[1],"destinations":[2],"c":1,"p":100,"d":40}`
+		loadErr(t, churnDoc(g+","+g), "duplicate generator")
+	})
+}
+
+func TestChurnSynthesisDeterministic(t *testing.T) {
+	doc := churnDoc(`{"name":"g","rate":0.05,"holdMean":400,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80}`)
+	expand := func() []timedEvent {
+		s, err := Load(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := s.timeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl.events
+	}
+	a, b := expand(), expand()
+	if len(a) == 0 {
+		t.Fatal("generator produced no events")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("same document expanded to different event streams")
+	}
+}
+
+func TestChurnSeedChangesStream(t *testing.T) {
+	gen := `{"name":"g","rate":0.05,"holdMean":400,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80`
+	load := func(extra string) []timedEvent {
+		s, err := Load(strings.NewReader(churnDoc(gen + extra + `}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := s.timeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl.events
+	}
+	if fmt.Sprint(load(``)) == fmt.Sprint(load(`,"seed":99`)) {
+		t.Error("explicit seed did not change the stream")
+	}
+}
+
+func TestChurnPairsEstablishAndRelease(t *testing.T) {
+	doc := churnDoc(`{"name":"g","rate":0.05,"holdMean":200,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80}`)
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := s.timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	established := make(map[string]int64)
+	for _, ev := range tl.events {
+		name := ev.names[0]
+		switch ev.kind {
+		case KindEstablish:
+			if !ev.optional {
+				t.Errorf("churn establish %q not optional by default", name)
+			}
+			if _, dup := established[name]; dup {
+				t.Errorf("channel %q established twice", name)
+			}
+			established[name] = ev.at
+			def, ok := tl.defs[name]
+			if !ok {
+				t.Fatalf("no definition for churn channel %q", name)
+			}
+			if def.Src == def.Dst {
+				t.Errorf("degenerate endpoints for %q", name)
+			}
+			if !tl.deferred[name] {
+				t.Errorf("churn channel %q not deferred", name)
+			}
+		case KindRelease:
+			at, ok := established[name]
+			if !ok {
+				t.Errorf("release of unestablished %q", name)
+			}
+			if ev.at <= at {
+				t.Errorf("channel %q held for %d slots", name, ev.at-at)
+			}
+			if ev.at >= s.Slots {
+				t.Errorf("release of %q past the horizon at %d", name, ev.at)
+			}
+		default:
+			t.Errorf("churn synthesized a %s event", ev.kind)
+		}
+	}
+	if len(established) == 0 {
+		t.Fatal("no churn arrivals")
+	}
+}
+
+func TestChurnMaxConcurrent(t *testing.T) {
+	doc := churnDoc(`{"name":"g","rate":0.2,"holdMean":600,"maxConcurrent":2,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80}`)
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := s.timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, peak := 0, 0
+	for _, ev := range tl.events {
+		switch ev.kind {
+		case KindEstablish:
+			active++
+		case KindRelease:
+			active--
+		}
+		if active > peak {
+			peak = active
+		}
+	}
+	// Channels never released before the horizon stay active; the cap
+	// bounds simultaneously-held channels at every instant.
+	if peak > 2 {
+		t.Errorf("concurrency peak %d exceeds cap 2", peak)
+	}
+}
+
+func TestChurnWindowRespected(t *testing.T) {
+	doc := churnDoc(`{"name":"g","rate":0.2,"holdMean":100,"start":1000,"end":2000,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80}`)
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := s.timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tl.events {
+		if ev.kind == KindEstablish && (ev.at < 1000 || ev.at >= 2000) {
+			t.Errorf("arrival at %d outside window [1000, 2000)", ev.at)
+		}
+	}
+}
+
+// TestChurnScenarioRuns drives a churn workload end to end on the star
+// backend: arrivals establish over the wire mid-simulation, hold, and
+// release, with admission rejections tolerated.
+func TestChurnScenarioRuns(t *testing.T) {
+	doc := `{"slots":3000,"seed":11,"nodes":[1,2,3,4],
+		"channels":[{"src":1,"dst":3,"c":1,"p":100,"d":40}],
+		"churn":[{"name":"g","rate":0.02,"holdMean":500,"sources":[1,2],"destinations":[3,4],"c":1,"p":200,"d":80}]}`
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no churn events played")
+	}
+	if res.Report.TotalMisses() != 0 {
+		t.Errorf("misses: %d", res.Report.TotalMisses())
+	}
+	accepted, _, _ := res.EventCounts()
+	if accepted == 0 {
+		t.Error("no churn arrival was admitted")
+	}
+}

@@ -1,15 +1,29 @@
-// Package scenario loads declarative simulation descriptions from JSON
-// and turns them into configured, loaded networks. It exists so that
-// experiments can be shared as data: cmd/rtsim -scenario plant.json runs
-// the exact same deterministic simulation everywhere.
+// Package scenario loads declarative experiment descriptions from JSON
+// and turns them into configured, loaded rtether networks. It exists so
+// that experiments can be shared as data: cmd/rtsim -scenario plant.json
+// runs the exact same deterministic simulation everywhere, and
+// cmd/rtadmit -scenario plant.json replays the same timeline against the
+// admission kernel alone.
 //
-// A scenario file:
+// A scenario file describes
+//
+//   - the physical layout: either a flat "nodes" list (the paper's
+//     single-switch star) or a "topology" section with switches, trunks
+//     and node attachments (a routed multi-switch fabric),
+//   - a static channel population established before time starts,
+//   - optional best-effort background flows (star networks),
+//   - an "events" timeline — establish, establishAll, release,
+//     reconfigure and setBackground actions applied at given slots
+//     mid-simulation, and
+//   - "churn" generators — seeded arrival/holding-time processes that
+//     synthesize establish/release event streams, for sustained
+//     add/remove workloads at 10k+ channel scale.
+//
+// A minimal static scenario:
 //
 //	{
 //	  "name": "packaging line",
 //	  "dps": "adps",
-//	  "discipline": "edf",
-//	  "nonRTQueueCap": 256,
 //	  "slots": 5000,
 //	  "nodes": [1, 2, 3],
 //	  "channels": [
@@ -20,35 +34,53 @@
 //	    {"src": 1, "dst": 3, "rate": 0.1}
 //	  ]
 //	}
+//
+// See docs/scenario-format.md for the complete schema reference,
+// including a runnable dynamic multi-hop example.
 package scenario
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/netsim"
 	"repro/internal/sched"
-	"repro/internal/traffic"
+	"repro/rtether"
 )
 
-// ChannelDef is one requested RT channel.
+// ChannelDef is one requested RT channel. Named channels can be referred
+// to by timeline events; a channel whose first referencing event is an
+// establishment is deferred to that event, every other channel is
+// established before the measurement horizon starts.
 type ChannelDef struct {
+	// Name makes the channel addressable from the events timeline. Names
+	// must be unique and must not contain '#' (reserved for channels
+	// synthesized by churn generators).
+	Name   string `json:"name,omitempty"`
 	Src    uint16 `json:"src"`
 	Dst    uint16 `json:"dst"`
 	C      int64  `json:"c"`
 	P      int64  `json:"p"`
 	D      int64  `json:"d"`
 	Offset int64  `json:"offset,omitempty"` // release phase, slots
-	// Optional toleration of rejection: by default a rejected channel
-	// fails the scenario (declared channels are presumed load-bearing).
+	// Optional tolerates rejection: by default a rejected channel fails
+	// the scenario (declared channels are presumed load-bearing).
 	Optional bool `json:"optional,omitempty"`
 }
 
-// BackgroundDef is one Poisson best-effort flow.
+// spec returns the channel's admission request.
+func (c ChannelDef) spec() core.ChannelSpec {
+	return core.ChannelSpec{
+		Src: core.NodeID(c.Src), Dst: core.NodeID(c.Dst),
+		C: c.C, P: c.P, D: c.D,
+	}
+}
+
+// BackgroundDef is one Poisson best-effort flow (star networks only; the
+// fabric simulator carries RT traffic exclusively). Its rate can be
+// changed mid-run by a setBackground event.
 type BackgroundDef struct {
 	Src  uint16  `json:"src"`
 	Dst  uint16  `json:"dst"`
@@ -57,17 +89,25 @@ type BackgroundDef struct {
 
 // Scenario is the root document.
 type Scenario struct {
-	Name          string          `json:"name"`
-	DPS           string          `json:"dps,omitempty"`        // "sdps" (default) | "adps"
-	Discipline    string          `json:"discipline,omitempty"` // "edf" (default) | "fifo" | "dm"
-	Shaping       *bool           `json:"shaping,omitempty"`    // default true
-	NonRTQueueCap int             `json:"nonRTQueueCap,omitempty"`
-	Propagation   int64           `json:"propagation,omitempty"`
-	Slots         int64           `json:"slots"`
-	Seed          int64           `json:"seed,omitempty"`
-	Nodes         []uint16        `json:"nodes"`
-	Channels      []ChannelDef    `json:"channels"`
-	Background    []BackgroundDef `json:"background,omitempty"`
+	Name          string `json:"name"`
+	DPS           string `json:"dps,omitempty"`        // "sdps" (default) | "adps"; maps to H-SDPS/H-ADPS on fabrics
+	Discipline    string `json:"discipline,omitempty"` // "edf" (default) | "fifo" | "dm"; star only
+	Shaping       *bool  `json:"shaping,omitempty"`    // default true
+	NonRTQueueCap int    `json:"nonRTQueueCap,omitempty"`
+	Propagation   int64  `json:"propagation,omitempty"`
+	Slots         int64  `json:"slots"`
+	Seed          int64  `json:"seed,omitempty"`
+
+	// Exactly one of Nodes and Topology describes the layout: a flat node
+	// list is the paper's single-switch star, a topology section routes
+	// channels across a fabric of switches.
+	Nodes    []uint16     `json:"nodes,omitempty"`
+	Topology *TopologyDef `json:"topology,omitempty"`
+
+	Channels   []ChannelDef    `json:"channels"`
+	Background []BackgroundDef `json:"background,omitempty"`
+	Events     []EventDef      `json:"events,omitempty"`
+	Churn      []ChurnDef      `json:"churn,omitempty"`
 }
 
 // Load parses and validates a scenario document.
@@ -84,51 +124,110 @@ func Load(r io.Reader) (*Scenario, error) {
 	return &s, nil
 }
 
-// Validate checks the document for internal consistency.
+// Validate checks the document for internal consistency: layout, channel
+// specs, background flows, the events timeline (kinds, references, and
+// the establish/release state machine) and the churn generators.
 func (s *Scenario) Validate() error {
+	_, err := s.compile()
+	return err
+}
+
+// compile validates the document and returns its compiled timeline —
+// validation and churn synthesis share the work, so runners pay for it
+// once per execution.
+func (s *Scenario) compile() (*timeline, error) {
 	if s.Slots <= 0 {
-		return fmt.Errorf("scenario: slots must be positive, got %d", s.Slots)
+		return nil, fmt.Errorf("scenario: slots must be positive, got %d", s.Slots)
 	}
-	if len(s.Nodes) == 0 {
-		return fmt.Errorf("scenario: no nodes")
-	}
-	nodeSet := make(map[uint16]bool, len(s.Nodes))
-	for _, n := range s.Nodes {
-		if nodeSet[n] {
-			return fmt.Errorf("scenario: duplicate node %d", n)
-		}
-		nodeSet[n] = true
+	nodeSet, err := s.nodeSet()
+	if err != nil {
+		return nil, err
 	}
 	if _, err := s.dps(); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := s.discipline(); err != nil {
-		return err
+		return nil, err
 	}
+	if s.Fabric() {
+		if s.Discipline != "" && strings.ToLower(s.Discipline) != "edf" {
+			return nil, fmt.Errorf("scenario: discipline %q: multi-switch topologies schedule EDF only", s.Discipline)
+		}
+		if s.NonRTQueueCap != 0 {
+			return nil, fmt.Errorf("scenario: nonRTQueueCap: multi-switch topologies carry RT traffic only")
+		}
+		if len(s.Background) > 0 {
+			return nil, fmt.Errorf("scenario: background flows need a star network (multi-switch topologies carry RT traffic only)")
+		}
+	}
+	names := make(map[string]bool, len(s.Channels))
 	for i, ch := range s.Channels {
 		if !nodeSet[ch.Src] || !nodeSet[ch.Dst] {
-			return fmt.Errorf("scenario: channel %d references undeclared node", i)
+			return nil, fmt.Errorf("scenario: channel %d references undeclared node", i)
 		}
-		spec := core.ChannelSpec{
-			Src: core.NodeID(ch.Src), Dst: core.NodeID(ch.Dst),
-			C: ch.C, P: ch.P, D: ch.D,
-		}
-		if err := spec.Validate(); err != nil {
-			return fmt.Errorf("scenario: channel %d: %w", i, err)
+		if err := ch.spec().Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
 		}
 		if ch.Offset < 0 {
-			return fmt.Errorf("scenario: channel %d: negative offset", i)
+			return nil, fmt.Errorf("scenario: channel %d: negative offset", i)
+		}
+		if ch.Name != "" {
+			if strings.Contains(ch.Name, "#") {
+				return nil, fmt.Errorf("scenario: channel %d: name %q contains '#' (reserved for churn channels)", i, ch.Name)
+			}
+			if names[ch.Name] {
+				return nil, fmt.Errorf("scenario: duplicate channel name %q", ch.Name)
+			}
+			names[ch.Name] = true
 		}
 	}
 	for i, bg := range s.Background {
 		if !nodeSet[bg.Src] || !nodeSet[bg.Dst] {
-			return fmt.Errorf("scenario: background flow %d references undeclared node", i)
+			return nil, fmt.Errorf("scenario: background flow %d references undeclared node", i)
 		}
 		if bg.Rate <= 0 {
-			return fmt.Errorf("scenario: background flow %d: rate must be positive", i)
+			return nil, fmt.Errorf("scenario: background flow %d: rate must be positive", i)
 		}
 	}
-	return nil
+	if err := s.validateEvents(names, nodeSet); err != nil {
+		return nil, err
+	}
+	if err := s.validateChurn(nodeSet); err != nil {
+		return nil, err
+	}
+	// The state machine needs the full synthesized timeline (declared
+	// events and churn streams interleave on the same channels table).
+	return s.timeline()
+}
+
+// Fabric reports whether the scenario runs on a routed multi-switch
+// topology rather than the degenerate single-switch star — and is
+// therefore subject to the fabric backend's limits: RT traffic only,
+// EDF only, and no channel snapshots.
+func (s *Scenario) Fabric() bool {
+	return s.Topology != nil && len(s.Topology.Switches) > 1
+}
+
+// nodeSet collects the declared end-nodes from whichever layout section
+// is present, validating the layout along the way.
+func (s *Scenario) nodeSet() (map[uint16]bool, error) {
+	if s.Topology != nil {
+		if len(s.Nodes) > 0 {
+			return nil, fmt.Errorf("scenario: nodes and topology are mutually exclusive (attach nodes in the topology section)")
+		}
+		return s.Topology.validate()
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("scenario: no nodes")
+	}
+	set := make(map[uint16]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if set[n] {
+			return nil, fmt.Errorf("scenario: duplicate node %d", n)
+		}
+		set[n] = true
+	}
+	return set, nil
 }
 
 func (s *Scenario) dps() (core.DPS, error) {
@@ -155,68 +254,42 @@ func (s *Scenario) discipline() (sched.Discipline, error) {
 	}
 }
 
-// Result is a completed scenario run.
-type Result struct {
-	Network  *netsim.Network
-	Accepted []core.ChannelID
-	Rejected int
-	BgSent   int
-	Report   *netsim.Report
-}
-
-// Run builds the network, establishes every channel over the wire,
-// schedules background traffic and runs to the configured horizon.
-func (s *Scenario) Run() (*Result, error) {
-	if err := s.Validate(); err != nil {
+// build constructs the configured (but still unloaded) network for this
+// scenario. verifyWorkers sizes the admission verification pool (0 =
+// GOMAXPROCS); it never changes a decision.
+func (s *Scenario) build(verifyWorkers int) (*rtether.Network, error) {
+	dps, err := s.dps()
+	if err != nil {
 		return nil, err
 	}
-	dps, _ := s.dps()
-	disc, _ := s.discipline()
-	cfg := netsim.Config{
-		DPS:           dps,
-		Discipline:    disc,
-		NonRTQueueCap: s.NonRTQueueCap,
-		Propagation:   s.Propagation,
+	disc, err := s.discipline()
+	if err != nil {
+		return nil, err
 	}
-	if s.Shaping != nil && !*s.Shaping {
-		cfg.DisableShaping = true
+	opts := []rtether.Option{
+		rtether.WithDPS(dps),
+		rtether.WithDiscipline(disc),
+		rtether.WithNonRTQueueCap(s.NonRTQueueCap),
+		rtether.WithPropagation(s.Propagation),
+		rtether.WithVerifyWorkers(verifyWorkers),
 	}
-	net := netsim.New(cfg)
-	for _, n := range s.Nodes {
-		net.MustAddNode(core.NodeID(n))
+	if s.Shaping != nil {
+		opts = append(opts, rtether.WithShaping(*s.Shaping))
 	}
-
-	res := &Result{Network: net}
-	for i, ch := range s.Channels {
-		spec := core.ChannelSpec{
-			Src: core.NodeID(ch.Src), Dst: core.NodeID(ch.Dst),
-			C: ch.C, P: ch.P, D: ch.D,
-		}
-		id, err := net.EstablishChannel(spec)
+	if s.Topology != nil {
+		top, err := s.Topology.build()
 		if err != nil {
-			if ch.Optional {
-				res.Rejected++
-				continue
+			return nil, err
+		}
+		opts = append(opts, rtether.WithTopology(top))
+	}
+	net := rtether.New(opts...)
+	if s.Topology == nil {
+		for _, n := range s.Nodes {
+			if err := net.AddNode(rtether.NodeID(n)); err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
 			}
-			return nil, fmt.Errorf("scenario: channel %d (%v) rejected: %w", i, spec, err)
-		}
-		if err := net.Node(spec.Src).StartTraffic(id, ch.Offset); err != nil {
-			return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
-		}
-		res.Accepted = append(res.Accepted, id)
-	}
-
-	start := net.Engine().Now()
-	rng := rand.New(rand.NewSource(s.Seed + 1))
-	for _, bg := range s.Background {
-		src, dst := core.NodeID(bg.Src), core.NodeID(bg.Dst)
-		for _, at := range traffic.PoissonArrivals(rng, bg.Rate, s.Slots) {
-			src, dst := src, dst
-			net.Engine().At(start+at, func() { net.Node(src).SendNonRT(dst, []byte("bg")) })
-			res.BgSent++
 		}
 	}
-	net.Run(start + s.Slots)
-	res.Report = net.Report()
-	return res, nil
+	return net, nil
 }

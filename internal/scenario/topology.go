@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/rtether"
+)
+
+// TopologyDef is the declarative form of rtether.Topology: the switches,
+// the full-duplex trunks between them, and which switch every end-node
+// attaches to. A topology with a single switch is the degenerate star; a
+// larger one turns the scenario into a routed multi-switch fabric whose
+// deadlines are partitioned per hop (the scenario's "dps" maps to the
+// hop-general H-SDPS/H-ADPS schemes).
+type TopologyDef struct {
+	Switches    []uint16    `json:"switches"`
+	Trunks      [][2]uint16 `json:"trunks,omitempty"`
+	Attachments []AttachDef `json:"attachments"`
+}
+
+// AttachDef homes one end-node on one switch.
+type AttachDef struct {
+	Node   uint16 `json:"node"`
+	Switch uint16 `json:"switch"`
+}
+
+// validate checks the section and returns the set of attached end-nodes.
+func (t *TopologyDef) validate() (map[uint16]bool, error) {
+	if len(t.Switches) == 0 {
+		return nil, fmt.Errorf("scenario: topology: no switches")
+	}
+	switches := make(map[uint16]bool, len(t.Switches))
+	for _, sw := range t.Switches {
+		if switches[sw] {
+			return nil, fmt.Errorf("scenario: topology: duplicate switch %d", sw)
+		}
+		switches[sw] = true
+	}
+	for i, tr := range t.Trunks {
+		if tr[0] == tr[1] {
+			return nil, fmt.Errorf("scenario: topology: trunk %d connects switch %d to itself", i, tr[0])
+		}
+		for _, sw := range tr {
+			if !switches[sw] {
+				return nil, fmt.Errorf("scenario: topology: trunk %d references unknown switch %d", i, sw)
+			}
+		}
+	}
+	if len(t.Attachments) == 0 {
+		return nil, fmt.Errorf("scenario: topology: no attachments (a scenario needs end-nodes)")
+	}
+	nodes := make(map[uint16]bool, len(t.Attachments))
+	for i, at := range t.Attachments {
+		if !switches[at.Switch] {
+			return nil, fmt.Errorf("scenario: topology: attachment %d references unknown switch %d", i, at.Switch)
+		}
+		if nodes[at.Node] {
+			return nil, fmt.Errorf("scenario: topology: node %d attached twice", at.Node)
+		}
+		nodes[at.Node] = true
+	}
+	return nodes, nil
+}
+
+// build materializes the section as an rtether.Topology.
+func (t *TopologyDef) build() (*rtether.Topology, error) {
+	top := rtether.NewTopology()
+	for _, sw := range t.Switches {
+		if err := top.AddSwitch(rtether.SwitchID(sw)); err != nil {
+			return nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+	}
+	for _, tr := range t.Trunks {
+		if err := top.Trunk(rtether.SwitchID(tr[0]), rtether.SwitchID(tr[1])); err != nil {
+			return nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+	}
+	for _, at := range t.Attachments {
+		if err := top.Attach(rtether.NodeID(at.Node), rtether.SwitchID(at.Switch)); err != nil {
+			return nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+	}
+	return top, nil
+}

@@ -1,0 +1,132 @@
+// Command doccheck enforces godoc coverage: every exported top-level
+// identifier (and every exported method on an exported receiver) in the
+// given package directories must carry a doc comment. It is the
+// revive/golint-style documentation gate of CI — go vet checks comment
+// placement, doccheck checks presence.
+//
+//	go run ./internal/tools/doccheck ./rtether ./internal/admit
+//
+// Exit status is non-zero when any identifier is undocumented; each
+// finding is printed as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> ...")
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", findings)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test Go file of one package directory and
+// reports undocumented exported declarations.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...))
+		findings++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkFunc flags exported functions, and exported methods whose
+// receiver type is itself exported, that carry no doc comment.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv != "" && !ast.IsExported(recv) {
+			return // method on an unexported type: internal detail
+		}
+		name = recv + "." + name
+	}
+	report(d.Pos(), "exported %s is undocumented", name)
+}
+
+// checkGen flags exported type, const and var specs documented neither
+// on the spec nor on the enclosing declaration group.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+				report(sp.Pos(), "exported type %s is undocumented", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			// A documented group (e.g. a const block with one header
+			// comment) covers all its members, matching godoc rendering.
+			if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+				continue
+			}
+			for _, name := range sp.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s is undocumented", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type expression to its base
+// type name.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // generic receiver T[K]
+			expr = t.X
+		case *ast.IndexListExpr: // generic receiver T[K, V]
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

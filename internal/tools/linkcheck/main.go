@@ -1,0 +1,120 @@
+// Command linkcheck validates the repository-local links in markdown
+// files: every inline link or image target that is not an external URL
+// or an in-page anchor must resolve to an existing file or directory,
+// relative to the markdown file that references it. It keeps README.md
+// and docs/ honest — a renamed file can no longer leave dangling
+// references behind.
+//
+//	go run ./internal/tools/linkcheck README.md docs
+//
+// Arguments are markdown files or directories (scanned recursively for
+// *.md). Exit status is non-zero when any target is missing; each
+// finding is printed as file:line: message.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) and
+// ![alt](target), with an optional "title" suffix inside the parens.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir> ...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		n, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		broken += n
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile scans one markdown file and reports local link targets that
+// do not exist on disk.
+func checkFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	broken := 0
+	sc := bufio.NewScanner(f)
+	inFence := false
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		// Skip fenced code blocks: their bracketed text is code, not links.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Drop an in-file fragment: docs/x.md#section checks docs/x.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %q (%s)\n", path, lineNo, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken, sc.Err()
+}
+
+// skippable reports whether a link target is out of scope: external
+// URLs, mail addresses and pure in-page anchors.
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -13,10 +13,10 @@ import (
 )
 
 // AdmissionStats summarizes admission-control activity: what was
-// requested, what was admitted, and why rejections happened. Rejection
-// breakdowns and LinksChecked are reported where the backend tracks them
-// (the star network's controller; the fabric controller counts requests
-// and acceptances only).
+// requested, what was admitted, and why rejections happened. Both
+// backends report the full rejection breakdown; LinksChecked counts
+// per-link feasibility tests where the controller tracks them (the star
+// network's — the fabric controller reports 0).
 type AdmissionStats struct {
 	Requests             int // establishment requests seen
 	Accepted             int // channels admitted
@@ -414,9 +414,13 @@ func (b *fabricBackend) report() *Report {
 		NonRTDelay: stats.NewDelay(0),
 		LinkBusy:   make(map[core.Link]float64),
 	}
-	for _, hch := range b.ctrl.State().Channels() {
-		if m := b.metrics(hch.ID); m != nil {
-			r.Channels[hch.ID] = m
+	// Enumerate the simulator's channels, not the admission state's:
+	// measurements survive release (the *Channel.Metrics contract), so a
+	// channel torn down mid-run must still appear in the final report,
+	// exactly as on the star backend.
+	for _, id := range b.sim.ChannelIDs() {
+		if m := b.metrics(id); m != nil {
+			r.Channels[id] = m
 		}
 	}
 	return r
