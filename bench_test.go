@@ -227,6 +227,20 @@ func BenchmarkAdmissionScale(b *testing.B) {
 				}
 			}
 		})
+		// The coalescing path: same merged workload, but with per-spec
+		// verdicts (rtetherd's front-end). All-feasible, so the greedy
+		// bisection resolves in one kernel pass like the atomic batch.
+		b.Run(name+"/star-each-ADPS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(core.Config{DPS: core.ADPS{}})
+				_, errs := ctrl.RequestEach(specs)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 		fabricSpecs := scaleFabricSpecs(n)
 		b.Run(name+"/fabric-sequential-HSDPS", func(b *testing.B) {
 			top := scaleFabric()

@@ -1,0 +1,128 @@
+// Command rtetherd is the admission-control daemon: it hosts one
+// rtether.Network — topology, partitioning scheme and simulator options
+// loaded from a scenario document's layout sections (docs/scenario-format.md;
+// the channel/event/churn sections are ignored, clients drive the
+// admission plane over the wire instead) — and serves establishment,
+// release, reconfiguration, stats, per-channel metrics and the
+// streaming /v1/watch event feed over HTTP/JSON (docs/server.md).
+//
+// Concurrent establish requests are coalesced into merged per-spec
+// admission passes, so N clients cost approximately one repartition and
+// one verification sweep instead of N (compare the repartitions counter
+// in GET /v1/stats).
+//
+//	rtetherd -scenario fabric.json -addr 127.0.0.1:8316
+//	rtetherd -scenario fabric.json -coalesce 200us -workers 8
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// drain, queued establishes fail with the "closed" error, and the
+// hosted network is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags, boots the daemon and serves until ctx is canceled.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtetherd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8316", "listen address (host:port; port 0 picks a free port)")
+		scenFile = fs.String("scenario", "", "scenario document providing the topology and network options (required)")
+		workers  = fs.Int("workers", 0, "admission verification workers (0 = GOMAXPROCS, 1 = sequential)")
+		coalesce = fs.Duration("coalesce", 0, "extra window to merge concurrent establishes (0 = merge in-flight only)")
+		maxBatch = fs.Int("maxbatch", 1024, "max establish requests merged into one admission pass")
+		quiet    = fs.Bool("quiet", false, "suppress request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scenFile == "" {
+		fmt.Fprintln(stderr, "rtetherd: -scenario is required")
+		return 2
+	}
+	f, err := os.Open(*scenFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+		return 1
+	}
+	sc, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+		return 1
+	}
+	network, err := sc.BuildNetwork(*workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+		return 1
+	}
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(stderr, "rtetherd: ", log.LstdFlags)
+	}
+	srv := server.New(server.Config{
+		Network:        network,
+		CoalesceWindow: *coalesce,
+		MaxBatch:       *maxBatch,
+		Log:            logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+		return 1
+	}
+	kind := "star"
+	if sc.Fabric() {
+		kind = fmt.Sprintf("fabric (%d switches)", len(sc.Topology.Switches))
+	}
+	fmt.Fprintf(stdout, "rtetherd: serving %q (%s) on http://%s\n", sc.Name, kind, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	err = httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		// Serve returns as soon as the listener closes; wait for
+		// Shutdown's handler drain before tearing the service down, so
+		// in-flight requests complete against a live coalescer/network.
+		<-shutdownDone
+	}
+	srv.Close()
+	_ = network.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "rtetherd: shut down")
+	return 0
+}

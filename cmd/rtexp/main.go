@@ -2,13 +2,17 @@
 // figure in the experiment index (rtexp -list). With no flags it runs
 // everything; -exp selects a comma-separated subset; -csv switches the
 // output to machine-readable CSV. -parsebench turns `go test -bench`
-// text output into a JSON artifact for CI benchmark trajectories.
+// text output into a JSON artifact for CI benchmark trajectories;
+// additional positional arguments name further input files — raw bench
+// text or previously emitted BENCH_*.json artifacts (rtload's output,
+// say) — merged into one JSON document in argument order.
 //
 //	rtexp                      # all experiments, aligned tables
 //	rtexp -exp fig18.5         # just the headline figure
 //	rtexp -exp fig18.5,dsweep -csv
 //	rtexp -list                # enumerate experiment IDs
 //	go test -bench A . | tee bench.txt && rtexp -parsebench bench.txt > BENCH_A.json
+//	rtexp -parsebench bench.txt BENCH_rtload.json > BENCH_all.json
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/benchfmt"
 	"repro/internal/exp"
 )
 
@@ -32,29 +37,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sel   = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		bench = fs.String("parsebench", "", "parse `go test -bench` output from the given file ('-' = stdin) and emit JSON")
+		bench = fs.String("parsebench", "", "parse `go test -bench` text or BENCH JSON from the given file ('-' = stdin) plus any positional files, merge, and emit JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *bench != "" {
-		in := io.Reader(os.Stdin)
-		if *bench != "-" {
-			f, err := os.Open(*bench)
+		reports := make([]*benchfmt.Report, 0, 1+fs.NArg())
+		for _, path := range append([]string{*bench}, fs.Args()...) {
+			rep, err := benchfmt.ParseFile(path)
 			if err != nil {
-				fmt.Fprintf(stderr, "rtexp: %v\n", err)
+				fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
 				return 1
 			}
-			defer f.Close()
-			in = f
+			reports = append(reports, rep)
 		}
-		rep, err := parseBench(in)
-		if err != nil {
-			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
-			return 1
-		}
-		if err := writeBenchJSON(stdout, rep); err != nil {
+		if err := benchfmt.Merge(reports...).WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
 			return 1
 		}

@@ -119,6 +119,46 @@ ok  	repro	2.313s
 	}
 }
 
+// TestParseBenchMergesMultipleFiles feeds -parsebench one bench-text
+// file plus one previously emitted JSON artifact (rtload's output
+// format) and checks they merge into a single document in argument
+// order.
+func TestParseBenchMergesMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(text, []byte("BenchmarkAlpha-4 \t 1 \t 100 ns/op\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonArtifact := filepath.Join(dir, "BENCH_rtload.json")
+	artifact := `{"pkg":"repro/cmd/rtload","benchmarks":[{"name":"BenchmarkRTLoad/total","runs":42,"metrics":{"ops/s":9000}}]}`
+	if err := os.WriteFile(jsonArtifact, []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-parsebench", text, jsonArtifact}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("merged %d benchmarks, want 2:\n%s", len(rep.Benchmarks), out.String())
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkAlpha" || rep.Benchmarks[1].Name != "BenchmarkRTLoad/total" {
+		t.Errorf("merge order wrong: %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[1].Metrics["ops/s"] != 9000 {
+		t.Errorf("JSON input metrics lost: %+v", rep.Benchmarks[1])
+	}
+}
+
 func TestParseBenchEmptyInputFails(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "empty.txt")

@@ -1,0 +1,279 @@
+// Command rtload is the load harness for rtetherd: it replays a
+// scenario document's establish/release workload — including the
+// synthesized churn-generator streams (docs/scenario-format.md) —
+// against a running daemon from many concurrent client goroutines, at
+// full speed, and emits latency/throughput percentiles as a BENCH JSON
+// artifact (internal/benchfmt, the same format `rtexp -parsebench`
+// produces, so CI merges both into one document).
+//
+//	rtload -addr 127.0.0.1:8316 -scenario fabric.json -clients 16 -out BENCH_rtload.json
+//
+// Workload items are sharded by channel name, so each channel's
+// establish→release order is preserved while shards proceed
+// independently — which is exactly the concurrent-client pattern the
+// daemon's coalescing front-end merges. Admission rejections are
+// expected outcomes (saturating the network is usually the point);
+// transport failures and unclassified server errors are protocol
+// errors, and any protocol error makes rtload exit non-zero — CI's
+// smoke job asserts a clean run that way.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/rtether"
+	"repro/rtether/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// opStats collects one worker's measurements for one operation kind.
+// Latencies go into the same reservoir-sampling Delay primitive the
+// simulator's measurements use (internal/stats), observed in
+// nanoseconds.
+type opStats struct {
+	lat      *stats.Delay
+	accepted int
+	rejected int
+	skipped  int
+	protoErr int
+}
+
+func newOpStats() *opStats { return &opStats{lat: stats.NewDelay(0)} }
+
+// observe records one operation's wall latency.
+func (s *opStats) observe(d time.Duration) { s.lat.Observe(d.Nanoseconds()) }
+
+// merge folds another worker's stats in.
+func (s *opStats) merge(o *opStats) {
+	s.lat.Merge(o.lat)
+	s.accepted += o.accepted
+	s.rejected += o.rejected
+	s.skipped += o.skipped
+	s.protoErr += o.protoErr
+}
+
+// run drives the whole load run and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8316", "rtetherd address (host:port or http:// URL)")
+		scenFile = fs.String("scenario", "", "scenario document providing the workload (required)")
+		clients  = fs.Int("clients", 8, "concurrent client goroutines")
+		maxOps   = fs.Int("maxops", 0, "cap on workload items (0 = whole workload)")
+		out      = fs.String("out", "-", "BENCH JSON output file ('-' = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scenFile == "" {
+		fmt.Fprintln(stderr, "rtload: -scenario is required")
+		return 2
+	}
+	if *clients < 1 {
+		*clients = 1
+	}
+	f, err := os.Open(*scenFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+	sc, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+	items, skippedKinds, err := sc.Workload()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+	if *maxOps > 0 && len(items) > *maxOps {
+		items = items[:*maxOps]
+	}
+	if len(items) == 0 {
+		fmt.Fprintln(stderr, "rtload: scenario has no establish/release workload")
+		return 1
+	}
+	if skippedKinds > 0 {
+		fmt.Fprintf(stderr, "rtload: note: %d timeline events have no wire equivalent (reconfigure/setBackground) and were skipped\n", skippedKinds)
+	}
+
+	cl := client.New(*addr)
+	defer cl.CloseIdleConnections()
+	if err := cl.Healthz(ctx); err != nil {
+		fmt.Fprintf(stderr, "rtload: daemon not reachable: %v\n", err)
+		return 1
+	}
+	statsBefore, err := cl.Stats(ctx)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+
+	// Shard by channel name so each channel's establish→release order is
+	// preserved within one worker; unnamed items spread round-robin.
+	shards := make([][]scenario.WorkItem, *clients)
+	for i, it := range items {
+		w := i % *clients
+		if it.Name != "" {
+			h := fnv.New32a()
+			_, _ = io.WriteString(h, it.Name)
+			w = int(h.Sum32() % uint32(*clients))
+		}
+		shards[w] = append(shards[w], it)
+	}
+
+	est := make([]*opStats, *clients)
+	rel := make([]*opStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		est[w], rel[w] = newOpStats(), newOpStats()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runShard(ctx, cl, shards[w], est[w], rel[w])
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	estAll, relAll := newOpStats(), newOpStats()
+	for w := 0; w < *clients; w++ {
+		estAll.merge(est[w])
+		relAll.merge(rel[w])
+	}
+	protoErrs := estAll.protoErr + relAll.protoErr
+	ops := int(estAll.lat.Count() + relAll.lat.Count())
+
+	statsAfter, statsErr := cl.Stats(ctx)
+	coalesced := ""
+	if statsErr == nil {
+		de := statsAfter.Server.Establishes - statsBefore.Server.Establishes
+		df := statsAfter.Server.Flights - statsBefore.Server.Flights
+		dr := statsAfter.Admission.Repartitions - statsBefore.Admission.Repartitions
+		coalesced = fmt.Sprintf(" · daemon merged %d establishes into %d flights (%d repartition passes)", de, df, dr)
+	}
+	fmt.Fprintf(stderr, "rtload: %d ops in %v (%.0f ops/s) · establish %d ok / %d rejected · release %d ok / %d skipped · %d protocol errors%s\n",
+		ops, wall.Round(time.Millisecond), float64(ops)/wall.Seconds(),
+		estAll.accepted, estAll.rejected, relAll.accepted, relAll.skipped, protoErrs, coalesced)
+
+	rep := &benchfmt.Report{Pkg: "repro/cmd/rtload", Benchmarks: []benchfmt.Result{
+		opResult("BenchmarkRTLoad/establish", estAll),
+		opResult("BenchmarkRTLoad/release", relAll),
+		{
+			Name: "BenchmarkRTLoad/total", Runs: int64(ops),
+			Metrics: map[string]float64{
+				"ops/s":           float64(ops) / wall.Seconds(),
+				"wall-ns":         float64(wall.Nanoseconds()),
+				"clients":         float64(*clients),
+				"protocol-errors": float64(protoErrs),
+			},
+		},
+	}}
+	if statsErr == nil {
+		m := rep.Benchmarks[2].Metrics
+		m["flights"] = float64(statsAfter.Server.Flights - statsBefore.Server.Flights)
+		m["repartitions"] = float64(statsAfter.Admission.Repartitions - statsBefore.Admission.Repartitions)
+	}
+
+	w := io.Writer(stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+	if protoErrs > 0 {
+		fmt.Fprintf(stderr, "rtload: FAILED: %d protocol errors\n", protoErrs)
+		return 1
+	}
+	return 0
+}
+
+// runShard replays one worker's items in order, tracking the channel
+// IDs its establishes were assigned so later releases find them.
+func runShard(ctx context.Context, cl *client.Client, items []scenario.WorkItem, est, rel *opStats) {
+	ids := make(map[string]rtether.ChannelID)
+	for _, it := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		if it.Release {
+			id, ok := ids[it.Name]
+			if !ok {
+				rel.skipped++ // its establish was rejected
+				continue
+			}
+			delete(ids, it.Name)
+			t0 := time.Now()
+			err := cl.Release(ctx, id)
+			rel.observe(time.Since(t0))
+			if err != nil {
+				rel.protoErr++
+				continue
+			}
+			rel.accepted++
+			continue
+		}
+		t0 := time.Now()
+		ch, err := cl.Establish(ctx, it.Spec)
+		est.observe(time.Since(t0))
+		switch {
+		case err == nil:
+			est.accepted++
+			if it.Name != "" {
+				ids[it.Name] = ch.ID
+			}
+		case errors.Is(err, rtether.ErrInfeasible):
+			est.rejected++ // an admission verdict, not a failure
+		default:
+			est.protoErr++
+		}
+	}
+}
+
+// opResult summarizes one operation kind as a benchmark entry.
+func opResult(name string, s *opStats) benchfmt.Result {
+	res := benchfmt.Result{Name: name, Runs: s.lat.Count(), Metrics: map[string]float64{
+		"accepted": float64(s.accepted),
+		"rejected": float64(s.rejected),
+	}}
+	if s.lat.Count() == 0 {
+		res.Metrics["ns/op"] = 0
+		return res
+	}
+	res.Metrics["ns/op"] = s.lat.Mean()
+	res.Metrics["p50-ns"] = float64(s.lat.Percentile(50))
+	res.Metrics["p90-ns"] = float64(s.lat.Percentile(90))
+	res.Metrics["p99-ns"] = float64(s.lat.Percentile(99))
+	res.Metrics["max-ns"] = float64(s.lat.Max())
+	return res
+}

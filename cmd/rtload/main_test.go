@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// bootDaemon serves the scenario's topology in-process.
+func bootDaemon(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := scenario.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sc.BuildNetwork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Network: net})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); _ = net.Close() })
+	return ts.URL
+}
+
+// TestLoadRunEmitsBenchJSON drives a short burst against an in-process
+// daemon and checks the artifact: zero protocol errors, parseable BENCH
+// JSON with the expected benchmark entries.
+func TestLoadRunEmitsBenchJSON(t *testing.T) {
+	url := bootDaemon(t, "testdata/fabric_churn.json")
+	out := filepath.Join(t.TempDir(), "BENCH_rtload.json")
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-addr", url,
+		"-scenario", "testdata/fabric_churn.json",
+		"-clients", "4",
+		"-maxops", "400",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "0 protocol errors") {
+		t.Errorf("summary missing: %s", stderr.String())
+	}
+
+	rep, err := benchfmt.ParseFile(out)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	names := map[string]benchfmt.Result{}
+	for _, b := range rep.Benchmarks {
+		names[b.Name] = b
+	}
+	est, ok := names["BenchmarkRTLoad/establish"]
+	if !ok || est.Runs == 0 || est.Metrics["p99-ns"] <= 0 {
+		t.Errorf("establish entry wrong: %+v", est)
+	}
+	total, ok := names["BenchmarkRTLoad/total"]
+	if !ok || total.Metrics["protocol-errors"] != 0 || total.Metrics["ops/s"] <= 0 {
+		t.Errorf("total entry wrong: %+v", total)
+	}
+
+	// The artifact merges with a bench-text report through the shared
+	// machinery — the CI combination path.
+	other := &benchfmt.Report{Benchmarks: []benchfmt.Result{{Name: "BenchmarkX", Runs: 1, Metrics: map[string]float64{"ns/op": 1}}}}
+	merged := benchfmt.Merge(other, rep)
+	if len(merged.Benchmarks) != 1+len(rep.Benchmarks) {
+		t.Errorf("merge lost entries: %d", len(merged.Benchmarks))
+	}
+}
+
+// TestLoadRunBadDaemon pins the unreachable-daemon failure mode.
+func TestLoadRunBadDaemon(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-addr", "127.0.0.1:1", // nothing listens there
+		"-scenario", "testdata/fabric_churn.json",
+	}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "not reachable") {
+		t.Errorf("exit %d, stderr %s", code, stderr.String())
+	}
+}

@@ -35,6 +35,13 @@
 //     cmd/rtsim -scenario runs them; cmd/rtadmit -scenario replays the
 //     timeline against admission control alone. The schema reference is
 //     docs/scenario-format.md.
+//   - internal/server, rtether/wire and rtether/client — the rtetherd
+//     admission service: one hosted Network served over HTTP/JSON with
+//     a coalescing establish front-end (concurrent clients merge into
+//     per-spec batch decisions, Network.EstablishEach), a streaming
+//     /v1/watch event feed, the shared wire schema and the typed Go
+//     client. cmd/rtetherd is the daemon, cmd/rtload the multi-client
+//     load harness. The protocol reference is docs/server.md.
 //
 // This root package only anchors the module documentation and the
 // repository-level benchmarks (bench_test.go), which regenerate the

@@ -67,6 +67,7 @@ type Engine[K comparable, Ch any, P any] struct {
 	state   *State[K, Ch, P]
 
 	linksChecked  int
+	repartitions  int
 	repartitioned []ID
 
 	scratch  edf.Scratch
@@ -95,6 +96,14 @@ func (e *Engine[K, Ch, P]) ReplaceState(st *State[K, Ch, P]) { e.state = st }
 // the tests a sequential early-exit sweep would have run, even if idle
 // workers raced ahead of the failure.
 func (e *Engine[K, Ch, P]) LinksChecked() int { return e.linksChecked }
+
+// Repartitions returns the cumulative number of repartition passes the
+// engine has run: one per scheme attempted per admission decision (an
+// Admit covering a whole batch counts once per scheme, which is what
+// makes batch admission scale) plus one per Release that repartitioned
+// the remaining channels. The count is deterministic and identical for
+// the delta and clone engines.
+func (e *Engine[K, Ch, P]) Repartitions() int { return e.repartitions }
 
 // Repartitioned returns the IDs (ascending) of the channels whose
 // partitions changed in the last successful Admit or Release —
@@ -146,6 +155,7 @@ func (e *Engine[K, Ch, P]) admitClone(n int, mk func(i int, id ID) Ch, schemes [
 			chs[i] = ch
 		}
 
+		e.repartitions++
 		parts := scheme.Partition(tentative)
 		changed, changedIDs := e.apply(tentative, parts)
 
@@ -183,6 +193,7 @@ func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes [
 		e.touchBuf = touched[:0]
 		touched = dedupKeys(touched)
 
+		e.repartitions++
 		parts := scheme.PartitionTouched(e.state, touched)
 		undo, changed, changedIDs := e.applyDelta(e.state, parts)
 
@@ -253,6 +264,7 @@ func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 	if scheme.PartitionTouched != nil && !e.cfg.FullRecheck {
 		links := entry.links
 		e.state.Remove(id)
+		e.repartitions++
 		parts := scheme.PartitionTouched(e.state, links)
 		undo, changed, changedIDs := e.applyDelta(e.state, parts)
 		if rej := e.verify(e.state, changed); rej != nil {
@@ -267,6 +279,7 @@ func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 	next.Remove(id)
 
 	repart := next.Clone()
+	e.repartitions++
 	parts := scheme.Partition(repart)
 	changed, changedIDs := e.apply(repart, parts)
 	if rej := e.verify(repart, changed); rej == nil {

@@ -1,0 +1,180 @@
+// Package benchfmt is the shared benchmark-artifact machinery behind
+// `rtexp -parsebench` and `rtload`: it parses `go test -bench` text
+// output into a machine-readable report, reads back previously emitted
+// JSON artifacts, merges several reports into one document (the CI
+// bench job combines admission-scale and rtload results this way) and
+// writes the canonical indented-JSON form (BENCH_*.json).
+package benchfmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the name (procs suffix stripped), the
+// iteration count, and every reported metric keyed by its unit (ns/op,
+// B/op, allocs/op, custom b.ReportMetric units).
+type Result struct {
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact: the run's environment header plus every
+// benchmark line, in input order.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output. Unrecognized lines (test
+// logs, PASS/ok trailers) are skipped — the parser is meant to run on a
+// `| tee` of the raw CI log.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, runs, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Runs: runs, Metrics: make(map[string]float64)}
+		res.Name = fields[0]
+		if i := strings.LastIndex(res.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Name = res.Name[:i]
+				res.Procs = procs
+			}
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if !ok || len(res.Metrics) == 0 {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// ParseAny reads either `go test -bench` text or a previously emitted
+// JSON artifact, sniffing the format from the first non-space byte — so
+// one CI step can merge raw bench logs with BENCH_*.json files other
+// tools (rtload) emitted directly.
+func ParseAny(r io.Reader) (*Report, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(buf); len(trimmed) > 0 && trimmed[0] == '{' {
+		rep := &Report{}
+		if err := json.Unmarshal(trimmed, rep); err != nil {
+			return nil, fmt.Errorf("parsing JSON report: %w", err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			return nil, fmt.Errorf("no benchmark entries found")
+		}
+		return rep, nil
+	}
+	return Parse(bytes.NewReader(buf))
+}
+
+// ParseFile is ParseAny over a file; "-" reads stdin.
+func ParseFile(path string) (*Report, error) {
+	if path == "-" {
+		return ParseAny(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ParseAny(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Merge combines reports into one document: benchmarks concatenate in
+// input order; each environment header field takes the first non-empty
+// value and is blanked when later reports disagree (a merged document
+// spanning two packages has no single pkg).
+func Merge(reports ...*Report) *Report {
+	out := &Report{}
+	conflict := make(map[*string]bool)
+	fold := func(dst *string, v string) {
+		switch {
+		case v == "" || conflict[dst]:
+		case *dst == "":
+			*dst = v
+		case *dst != v:
+			*dst = ""
+			conflict[dst] = true
+		}
+	}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		fold(&out.Goos, rep.Goos)
+		fold(&out.Goarch, rep.Goarch)
+		fold(&out.Pkg, rep.Pkg)
+		fold(&out.CPU, rep.CPU)
+		out.Benchmarks = append(out.Benchmarks, rep.Benchmarks...)
+	}
+	return out
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,86 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAdmissionScale/10k/star-batch-ADPS-4         	       1	  41000000 ns/op
+BenchmarkFig18_5-4 	       2	   7700000 ns/op	        110 accepted-ADPS@200
+PASS
+ok  	repro	2.313s
+`
+
+func TestParseText(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.CPU == "" || rep.Pkg != "repro" {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkAdmissionScale/10k/star-batch-ADPS" || b.Procs != 4 || b.Metrics["ns/op"] != 41000000 {
+		t.Errorf("benchmark 0: %+v", b)
+	}
+	if rep.Benchmarks[1].Metrics["accepted-ADPS@200"] != 110 {
+		t.Errorf("custom metric lost: %+v", rep.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseAnySniffsJSON(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAny(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("JSON artifact did not parse back: %v", err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) || back.Goos != rep.Goos {
+		t.Errorf("round trip changed the report: %+v", back)
+	}
+	// And text still parses through ParseAny.
+	txt, err := ParseAny(strings.NewReader(benchText))
+	if err != nil || len(txt.Benchmarks) != 2 {
+		t.Errorf("text through ParseAny: %v, %+v", err, txt)
+	}
+}
+
+func TestParseAnyRejectsEmpty(t *testing.T) {
+	if _, err := ParseAny(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("empty bench text parsed")
+	}
+	if _, err := ParseAny(strings.NewReader(`{"benchmarks":[]}`)); err == nil {
+		t.Error("empty JSON report parsed")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Report{Goos: "linux", Pkg: "repro", CPU: "X", Benchmarks: []Result{{Name: "A", Runs: 1, Metrics: map[string]float64{"ns/op": 1}}}}
+	b := &Report{Goos: "linux", Pkg: "repro/cmd/rtload", Benchmarks: []Result{{Name: "B", Runs: 2, Metrics: map[string]float64{"ops/s": 5}}}}
+	m := Merge(a, b)
+	if len(m.Benchmarks) != 2 || m.Benchmarks[0].Name != "A" || m.Benchmarks[1].Name != "B" {
+		t.Fatalf("merged benchmarks: %+v", m.Benchmarks)
+	}
+	if m.Goos != "linux" {
+		t.Errorf("agreeing header lost: %q", m.Goos)
+	}
+	if m.Pkg != "" {
+		t.Errorf("conflicting pkg should blank, got %q", m.Pkg)
+	}
+	if m.CPU != "X" {
+		t.Errorf("first non-empty cpu should win, got %q", m.CPU)
+	}
+}

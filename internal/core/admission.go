@@ -38,6 +38,7 @@ type Stats struct {
 	RejectedInconclusive int // analysis hit configured limits
 	Released             int // channels torn down
 	LinksChecked         int // cumulative feasibility tests run
+	Repartitions         int // repartition passes run by the kernel
 }
 
 // Config tunes the admission controller.
@@ -132,6 +133,7 @@ func (c *Controller) DPS() DPS { return c.cfg.DPS }
 func (c *Controller) Stats() Stats {
 	s := c.stats
 	s.LinksChecked = c.eng.LinksChecked()
+	s.Repartitions = c.eng.Repartitions()
 	return s
 }
 
@@ -208,6 +210,48 @@ func (c *Controller) RequestAll(specs []ChannelSpec) ([]*Channel, error) {
 	}
 	c.stats.Accepted += len(specs)
 	return chs, nil
+}
+
+// RequestEach runs per-spec admission for a merged batch: every spec
+// gets its own accept/reject verdict (unlike RequestAll's all-or-nothing
+// decision), while the kernel runs far fewer repartition passes than
+// len(specs) sequential Requests — greedy bisection tries the whole
+// group first and only narrows down around failures
+// (admit.Engine.AdmitEach). Verdicts are decision-equivalent to
+// submitting the specs one by one with Request; see AdmitEach for the
+// exactness contract per scheme.
+//
+// The returned slices are parallel to specs: chs[i] is the committed
+// channel when errs[i] is nil, and errs[i] is the spec's own validation
+// error or *RejectionError otherwise. Stats account the batch as
+// len(specs) requests with per-spec outcomes.
+func (c *Controller) RequestEach(specs []ChannelSpec) ([]*Channel, []error) {
+	c.stats.Requests += len(specs)
+	chs := make([]*Channel, len(specs))
+	errs := make([]error, len(specs))
+	valid := make([]int, 0, len(specs))
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			c.stats.RejectedInvalid++
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
+	}
+	got, rejs := c.eng.AdmitEach(len(valid), func(i int, id ChannelID) *Channel {
+		return &Channel{ID: id, Spec: specs[valid[i]]}
+	}, c.schemes)
+	for vi, i := range valid {
+		if rej := rejs[vi]; rej != nil {
+			re := &RejectionError{Link: rej.Link, Result: rej.Result}
+			c.noteRejection(re)
+			errs[i] = re
+			continue
+		}
+		c.stats.Accepted++
+		chs[i] = got[vi]
+	}
+	return chs, errs
 }
 
 // admit runs the kernel decision for pre-validated specs.

@@ -46,6 +46,12 @@ type Config struct {
 	VerifyWorkers int
 }
 
+// ErrUnknownNode is the sentinel wrapped by every establishment failure
+// caused by an endpoint that is not an attached end-node — the star
+// network's "no route" condition. errors.Is(err, ErrUnknownNode)
+// matches regardless of which endpoint was unknown.
+var ErrUnknownNode = errors.New("netsim: unknown end-node")
+
 // Network is one star network: a switch plus end-nodes, sharing a
 // deterministic event engine. Network itself is not safe for concurrent
 // use — every method must run under external serialization. The public
@@ -156,10 +162,10 @@ func (n *Network) Run(untilSlot int64) {
 func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error) {
 	src := n.nodes[spec.Src]
 	if src == nil {
-		return 0, fmt.Errorf("netsim: unknown source node %d", spec.Src)
+		return 0, fmt.Errorf("%w: source node %d", ErrUnknownNode, spec.Src)
 	}
 	if n.nodes[spec.Dst] == nil {
-		return 0, fmt.Errorf("netsim: unknown destination node %d", spec.Dst)
+		return 0, fmt.Errorf("%w: destination node %d", ErrUnknownNode, spec.Dst)
 	}
 	type outcome struct {
 		id  core.ChannelID
@@ -201,11 +207,8 @@ func (n *Network) EstablishChannel(spec core.ChannelSpec) (core.ChannelID, error
 // and registered with the switch dataplane, or none is.
 func (n *Network) EstablishChannels(specs []core.ChannelSpec) ([]core.ChannelID, error) {
 	for _, s := range specs {
-		if n.nodes[s.Src] == nil {
-			return nil, fmt.Errorf("netsim: unknown source node %d", s.Src)
-		}
-		if n.nodes[s.Dst] == nil {
-			return nil, fmt.Errorf("netsim: unknown destination node %d", s.Dst)
+		if err := n.checkEndpoints(s); err != nil {
+			return nil, err
 		}
 	}
 	chs, err := n.ctrl.RequestAll(specs)
@@ -218,6 +221,51 @@ func (n *Network) EstablishChannels(specs []core.ChannelSpec) ([]core.ChannelID,
 		ids[i] = ch.ID
 	}
 	return ids, nil
+}
+
+// checkEndpoints verifies both endpoints of a spec are attached nodes.
+func (n *Network) checkEndpoints(s core.ChannelSpec) error {
+	if n.nodes[s.Src] == nil {
+		return fmt.Errorf("%w: source node %d", ErrUnknownNode, s.Src)
+	}
+	if n.nodes[s.Dst] == nil {
+		return fmt.Errorf("%w: destination node %d", ErrUnknownNode, s.Dst)
+	}
+	return nil
+}
+
+// EstablishEachChannels admits a merged batch of channels through the
+// management plane with one verdict per spec (core.Controller.RequestEach):
+// unlike EstablishChannels, a rejected spec does not fail the others —
+// each accepted channel is committed and registered with the switch
+// dataplane, each rejected one carries its own error. The returned
+// slices are parallel to specs (ids[i] is valid iff errs[i] is nil).
+// Like the all-or-nothing batch path, no wire handshake runs and no
+// virtual time elapses.
+func (n *Network) EstablishEachChannels(specs []core.ChannelSpec) ([]core.ChannelID, []error) {
+	ids := make([]core.ChannelID, len(specs))
+	errs := make([]error, len(specs))
+	valid := make([]int, 0, len(specs))
+	routable := make([]core.ChannelSpec, 0, len(specs))
+	for i, s := range specs {
+		if err := n.checkEndpoints(s); err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
+		routable = append(routable, s)
+	}
+	chs, cerrs := n.ctrl.RequestEach(routable)
+	for vi, i := range valid {
+		if cerrs[vi] != nil {
+			errs[i] = cerrs[vi]
+			continue
+		}
+		ch := chs[vi]
+		n.sw.dataplane[ch.ID] = ch.Spec.Dst
+		ids[i] = ch.ID
+	}
+	return ids, errs
 }
 
 // StopTraffic detaches the periodic source of a channel without releasing

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"repro/rtether"
+)
+
+// BuildNetwork validates the document and constructs its configured —
+// but unloaded — network: the layout (nodes or topology section), the
+// partitioning scheme, discipline, shaping and propagation, with the
+// admission verification pool sized by verifyWorkers (0 = GOMAXPROCS).
+// No channel is established and no timeline event plays; this is how
+// cmd/rtetherd hosts a scenario-described topology and lets clients
+// drive the admission plane over the wire instead.
+func (s *Scenario) BuildNetwork(verifyWorkers int) (*rtether.Network, error) {
+	if _, err := s.compile(); err != nil {
+		return nil, err
+	}
+	return s.build(verifyWorkers)
+}
+
+// WorkItem is one flattened admission operation of a scenario: an
+// establish (with the full spec) or a release of an earlier establish,
+// identified by the channel's scenario name. Load generators
+// (cmd/rtload) replay these against a remote daemon.
+type WorkItem struct {
+	// At is the scenario slot the operation was scheduled for. Load
+	// generators are free to ignore it and replay at full speed; the
+	// relative order of items sharing a Name must be preserved.
+	At int64
+	// Release marks a release of the named channel; otherwise the item
+	// is an establish of Spec.
+	Release bool
+	// Name is the scenario channel name. It may be empty for statically
+	// declared unnamed channels, which are never released later.
+	Name string
+	// Spec is the requested channel (establish items).
+	Spec rtether.ChannelSpec
+	// Optional marks establishes whose rejection the scenario
+	// tolerates (churn arrivals, optional channels).
+	Optional bool
+}
+
+// Workload validates the document, synthesizes its churn generators and
+// flattens the result into a replayable establish/release stream: first
+// the static channel population in declaration order, then every
+// timeline establish, establishAll (one item per batch member) and
+// release in deterministic playback order. Reconfigure and
+// setBackground events have no wire-operation equivalent and are
+// counted in skipped instead.
+func (s *Scenario) Workload() (items []WorkItem, skipped int, err error) {
+	tl, err := s.compile()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, ch := range s.Channels {
+		if ch.Name != "" && tl.deferred[ch.Name] {
+			continue
+		}
+		items = append(items, WorkItem{
+			Name: ch.Name, Spec: ch.spec(), Optional: ch.Optional,
+		})
+	}
+	for _, ev := range tl.events {
+		switch ev.kind {
+		case KindEstablish, KindEstablishAll:
+			for _, name := range ev.names {
+				items = append(items, WorkItem{
+					At: ev.at, Name: name,
+					Spec:     tl.defs[name].spec(),
+					Optional: ev.optional || tl.defs[name].Optional,
+				})
+			}
+		case KindRelease:
+			items = append(items, WorkItem{At: ev.at, Release: true, Name: ev.names[0]})
+		default:
+			skipped++
+		}
+	}
+	return items, skipped, nil
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const exportDoc = `{
+  "name": "export",
+  "slots": 1000,
+  "seed": 3,
+  "nodes": [1, 2, 3],
+  "channels": [
+    {"name": "a", "src": 1, "dst": 2, "c": 1, "p": 100, "d": 40},
+    {"src": 2, "dst": 3, "c": 1, "p": 100, "d": 40},
+    {"name": "late", "src": 1, "dst": 3, "c": 1, "p": 100, "d": 40}
+  ],
+  "events": [
+    {"at": 100, "kind": "establish", "channel": "late"},
+    {"at": 200, "kind": "release", "channel": "a"},
+    {"at": 300, "kind": "reconfigure", "channel": "late", "d": 60}
+  ],
+  "churn": [
+    {"name": "g", "rate": 0.05, "holdMean": 100, "sources": [1], "destinations": [2, 3],
+     "c": 1, "p": 100, "d": 40}
+  ]
+}`
+
+func TestBuildNetwork(t *testing.T) {
+	sc, err := Load(strings.NewReader(exportDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sc.BuildNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	// The network is configured but unloaded: nodes exist, channels don't.
+	if got := len(net.Channels()); got != 0 {
+		t.Errorf("BuildNetwork established %d channels, want 0", got)
+	}
+	if _, err := net.Establish(sc.Channels[0].spec()); err != nil {
+		t.Errorf("declared node missing from built network: %v", err)
+	}
+}
+
+func TestBuildNetworkRejectsInvalidDoc(t *testing.T) {
+	sc := &Scenario{Slots: 100} // no nodes
+	if _, err := sc.BuildNetwork(0); err == nil {
+		t.Error("invalid document built a network")
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	sc, err := Load(strings.NewReader(exportDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, skipped, err := sc.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the reconfigure)", skipped)
+	}
+	// Static channels first: "a" and the unnamed one ("late" is deferred
+	// to its timeline establish).
+	if len(items) < 4 {
+		t.Fatalf("only %d items: %+v", len(items), items)
+	}
+	if items[0].Name != "a" || items[0].Release || items[1].Name != "" {
+		t.Errorf("static load items wrong: %+v", items[:2])
+	}
+	seenLate, seenReleaseA, churnItems := false, false, 0
+	established := map[string]bool{"a": true, "": true}
+	for _, it := range items[2:] {
+		if it.Release {
+			if !established[it.Name] {
+				t.Errorf("release of %q before its establish", it.Name)
+			}
+			established[it.Name] = false
+			if it.Name == "a" {
+				seenReleaseA = true
+			}
+			continue
+		}
+		established[it.Name] = true
+		if it.Name == "late" {
+			seenLate = true
+			if it.At != 100 || it.Optional {
+				t.Errorf("late item wrong: %+v", it)
+			}
+		}
+		if strings.HasPrefix(it.Name, "g#") {
+			churnItems++
+			if !it.Optional {
+				t.Errorf("churn arrival not optional: %+v", it)
+			}
+		}
+	}
+	if !seenLate || !seenReleaseA || churnItems == 0 {
+		t.Errorf("workload incomplete: late=%v releaseA=%v churn=%d", seenLate, seenReleaseA, churnItems)
+	}
+	// Items must be replayable in order: At never decreases after the
+	// static prefix.
+	last := int64(0)
+	for _, it := range items[2:] {
+		if it.At < last {
+			t.Fatalf("timeline out of order: %d after %d", it.At, last)
+		}
+		last = it.At
+	}
+}

@@ -1,0 +1,420 @@
+// Package server implements rtetherd's HTTP/JSON admission service: a
+// long-running daemon hosting one rtether.Network and serving channel
+// establishment, release, reconfiguration, stats, per-channel metrics
+// and a streaming event feed to many concurrent clients over the wire
+// schema of rtether/wire (prose reference: docs/server.md).
+//
+// The heart is the coalescing front-end: concurrent POST /v1/establish
+// requests that arrive while a merged admission pass is in flight (or
+// within Config.CoalesceWindow) are batched into one per-spec kernel
+// decision (Network.EstablishEach), so N clients cost approximately one
+// repartition and one verification sweep instead of N — while every
+// client still receives exactly its own verdict, with the full
+// *rtether.AdmissionError diagnostics round-tripped on rejection.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/rtether"
+	"repro/rtether/wire"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Network is the hosted network. The Server does not close it;
+	// ownership stays with the caller (cmd/rtetherd closes it after
+	// draining HTTP).
+	Network *rtether.Network
+	// CoalesceWindow additionally holds the first establish request of
+	// a batch back up to this long so more concurrent requests can
+	// join. 0 (the default, recommended) adds no idle latency: a batch
+	// merges exactly the requests that queued while the previous merged
+	// pass ran.
+	CoalesceWindow time.Duration
+	// MaxBatch caps how many establish requests merge into one pass
+	// (default 1024).
+	MaxBatch int
+	// Log receives one line per lifecycle event; nil disables logging.
+	Log *log.Logger
+}
+
+// Server is the HTTP admission service. Create it with New, mount
+// Handler, and Close it when done.
+type Server struct {
+	net       *rtether.Network
+	mux       *http.ServeMux
+	coal      *coalescer
+	hub       *hub
+	log       *log.Logger
+	closeOnce sync.Once
+}
+
+// New builds a Server over the given network and starts its coalescing
+// dispatcher.
+func New(cfg Config) *Server {
+	s := &Server{
+		net: cfg.Network,
+		mux: http.NewServeMux(),
+		hub: newHub(),
+		log: cfg.Log,
+	}
+	s.coal = newCoalescer(cfg.Network, cfg.CoalesceWindow, cfg.MaxBatch, s.noteVerdict, s.noteRelease)
+	s.mux.HandleFunc("POST /v1/establish", s.handleEstablish)
+	s.mux.HandleFunc("POST /v1/establishAll", s.handleEstablishAll)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/channels", s.handleChannels)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the coalescing dispatcher (queued establishes fail with
+// the "closed" error) and disconnects every watch stream. It does not
+// close the hosted Network. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.coal.close()
+		s.hub.close()
+		s.logf("closed: %d establishes in %d flights (max merged %d)",
+			s.coal.establishes.Load(), s.coal.flights.Load(), s.coal.maxMerged.Load())
+	})
+}
+
+// logf writes one log line when logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+// noteVerdict publishes one coalesced establish verdict on the watch
+// feed and the log.
+func (s *Server) noteVerdict(spec rtether.ChannelSpec, ch *rtether.Channel, err error) {
+	ws := wire.FromSpec(spec)
+	if ch != nil {
+		s.logf("admit RT#%d %v budgets=%v", ch.ID(), spec, ch.Budgets())
+		s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint16(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
+		return
+	}
+	s.logf("reject %v: %v", spec, err)
+	s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: errorBody(err)})
+}
+
+// noteRelease publishes one release on the watch feed and the log.
+func (s *Server) noteRelease(id rtether.ChannelID) {
+	s.logf("release RT#%d", id)
+	s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint16(id)})
+}
+
+// errorBody classifies an error into the wire envelope: the code, the
+// message, and — for feasibility rejections — the full admission
+// diagnostics.
+func errorBody(err error) *wire.Error {
+	var ae *rtether.AdmissionError
+	switch {
+	case errors.As(err, &ae):
+		return &wire.Error{Code: wire.CodeInfeasible, Message: err.Error(), Admission: wire.FromAdmissionError(ae)}
+	case errors.Is(err, rtether.ErrClosed):
+		return &wire.Error{Code: wire.CodeClosed, Message: err.Error()}
+	case errors.Is(err, rtether.ErrChannelClosed):
+		// A racing duplicate release/reconfigure lost to the winner after
+		// both passed Lookup — to the loser the channel is simply gone.
+		return &wire.Error{Code: wire.CodeUnknownChannel, Message: err.Error()}
+	case errors.Is(err, topo.ErrNoRoute), errors.Is(err, topo.ErrUnknownNode), errors.Is(err, netsim.ErrUnknownNode):
+		return &wire.Error{Code: wire.CodeNoRoute, Message: err.Error()}
+	case isSpecError(err):
+		return &wire.Error{Code: wire.CodeInvalidSpec, Message: err.Error()}
+	default:
+		return &wire.Error{Code: wire.CodeInternal, Message: err.Error()}
+	}
+}
+
+// isSpecError reports whether err is a channel-spec validation failure.
+func isSpecError(err error) bool {
+	for _, sentinel := range []error{
+		core.ErrSelfLoop, core.ErrNonPositiveC, core.ErrNonPositiveP,
+		core.ErrCExceedsP, core.ErrDeadlineTooShort,
+		topo.ErrDeadlineTooShortForRoute,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// statusOf maps a wire error code to its HTTP status (documented in
+// docs/server.md).
+func statusOf(code string) int {
+	switch code {
+	case wire.CodeBadRequest:
+		return http.StatusBadRequest
+	case wire.CodeInvalidSpec, wire.CodeNoRoute:
+		return http.StatusUnprocessableEntity
+	case wire.CodeInfeasible:
+		return http.StatusConflict
+	case wire.CodeUnknownChannel:
+		return http.StatusNotFound
+	case wire.CodeClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON emits a 200 response body.
+func writeJSON(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeErr emits the error envelope for err.
+func writeErr(w http.ResponseWriter, err error) {
+	writeWireErr(w, errorBody(err))
+}
+
+// writeWireErr emits a pre-built error envelope.
+func writeWireErr(w http.ResponseWriter, we *wire.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusOf(we.Code))
+	_ = json.NewEncoder(w).Encode(wire.Envelope{Err: we})
+}
+
+// decode parses a JSON request body, reporting a bad_request envelope
+// on failure.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeWireErr(w, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("parsing request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// channelReply assembles the wire description of an established handle.
+func channelReply(ch *rtether.Channel) wire.ChannelReply {
+	return wire.ChannelReply{
+		ID:              uint16(ch.ID()),
+		Budgets:         ch.Budgets(),
+		GuaranteedDelay: ch.GuaranteedDelay(),
+	}
+}
+
+// handleEstablish admits one channel through the coalescing front-end.
+func (s *Server) handleEstablish(w http.ResponseWriter, r *http.Request) {
+	var req wire.EstablishRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ch, err := s.coal.establish(r.Context(), req.Spec.ChannelSpec())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, channelReply(ch))
+}
+
+// handleEstablishAll admits an explicit atomic batch, bypassing the
+// coalescer: all-or-nothing is the caller's requested semantic.
+func (s *Server) handleEstablishAll(w http.ResponseWriter, r *http.Request) {
+	var req wire.EstablishAllRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	specs := make([]rtether.ChannelSpec, len(req.Specs))
+	for i, sp := range req.Specs {
+		specs[i] = sp.ChannelSpec()
+	}
+	chs, err := s.net.EstablishAll(specs)
+	if err != nil {
+		// Every rejection reaches the watch feed, whatever its class:
+		// feasibility failures name the attributed spec, other errors
+		// (no-route, invalid spec, closed) the batch's first.
+		rejected := rtether.ChannelSpec{}
+		if len(specs) > 0 {
+			rejected = specs[0]
+		}
+		var ae *rtether.AdmissionError
+		if errors.As(err, &ae) {
+			rejected = ae.Spec
+		}
+		ws := wire.FromSpec(rejected)
+		s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: errorBody(err)})
+		writeErr(w, err)
+		return
+	}
+	rep := wire.EstablishAllReply{Channels: make([]wire.ChannelReply, len(chs))}
+	for i, ch := range chs {
+		rep.Channels[i] = channelReply(ch)
+		s.noteVerdict(specs[i], ch, nil)
+	}
+	writeJSON(w, rep)
+}
+
+// handleRelease frees one channel by ID.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReleaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ch := s.net.Lookup(rtether.ChannelID(req.ID))
+	if ch == nil {
+		writeWireErr(w, unknownChannel(req.ID))
+		return
+	}
+	if err := ch.Release(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.noteRelease(rtether.ChannelID(req.ID))
+	writeJSON(w, wire.ReleaseReply{})
+}
+
+// handleReconfigure replaces a channel's {C, P, D}: release the old
+// reservation, then request the new spec through the coalescing
+// front-end. The two steps are not one atomic decision (see
+// wire.ReconfigureRequest); as with the scenario format's reconfigure
+// event, a rejected reconfiguration leaves the channel released — the
+// old bandwidth was already given up (the 409 envelope carries the
+// rejection; the release event precedes it on the watch feed).
+func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReconfigureRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ch := s.net.Lookup(rtether.ChannelID(req.ID))
+	if ch == nil {
+		writeWireErr(w, unknownChannel(req.ID))
+		return
+	}
+	spec := ch.Spec()
+	if req.C != 0 {
+		spec.C = req.C
+	}
+	if req.P != 0 {
+		spec.P = req.P
+	}
+	if req.D != 0 {
+		spec.D = req.D
+	}
+	if err := ch.Release(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.noteRelease(rtether.ChannelID(req.ID))
+	nch, err := s.coal.establish(r.Context(), spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, channelReply(nch))
+}
+
+// unknownChannel builds the 404 envelope for a channel ID.
+func unknownChannel(id uint16) *wire.Error {
+	return &wire.Error{Code: wire.CodeUnknownChannel, Message: fmt.Sprintf("rtetherd: unknown channel %d", id)}
+}
+
+// handleStats reports admission and daemon counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, wire.StatsReply{
+		Admission: s.net.AdmissionStats(),
+		Server: wire.ServerStats{
+			Establishes: s.coal.establishes.Load(),
+			Flights:     s.coal.flights.Load(),
+			MaxMerged:   s.coal.maxMerged.Load(),
+			Watchers:    int64(s.hub.count()),
+			Channels:    int64(len(s.net.Channels())),
+		},
+	})
+}
+
+// handleChannels lists established channels.
+func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
+	ids := s.net.Channels()
+	rep := wire.ChannelsReply{Channels: make([]wire.ChannelInfo, 0, len(ids))}
+	for _, id := range ids {
+		ch := s.net.Lookup(id)
+		if ch == nil {
+			continue // raced a release
+		}
+		rep.Channels = append(rep.Channels, wire.ChannelInfo{
+			ID:      uint16(id),
+			Spec:    wire.FromSpec(ch.Spec()),
+			Budgets: ch.Budgets(),
+		})
+	}
+	writeJSON(w, rep)
+}
+
+// handleMetrics reports one channel's delivery measurements.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(raw, 10, 16)
+	if err != nil {
+		writeWireErr(w, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: bad channel id %q", raw)})
+		return
+	}
+	ch := s.net.Lookup(rtether.ChannelID(id))
+	if ch == nil {
+		writeWireErr(w, unknownChannel(uint16(id)))
+		return
+	}
+	writeJSON(w, wire.FromMetrics(ch.ID(), ch.Metrics()))
+}
+
+// handleWatch streams admission events as newline-delimited JSON until
+// the client disconnects, the stream falls behind, or the server
+// closes.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	sub := s.hub.subscribe()
+	if sub == nil {
+		writeWireErr(w, &wire.Error{Code: wire.CodeClosed, Message: "rtetherd: server is closed"})
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev := <-sub.events:
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-sub.dropped:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+
+	"repro/rtether/wire"
+)
+
+// subBuffer is each /v1/watch subscriber's event buffer. A subscriber
+// that falls this far behind the live feed is disconnected rather than
+// allowed to backpressure the admission plane.
+const subBuffer = 256
+
+// subscriber is one connected watch stream.
+type subscriber struct {
+	events chan wire.WatchEvent
+	// dropped closes when the hub evicted the subscriber for falling
+	// behind; the handler terminates the response so the client can
+	// reconnect and observe the sequence gap.
+	dropped chan struct{}
+}
+
+// hub fans admission events out to the connected /v1/watch streams. It
+// assigns the daemon-wide event sequence numbers; publishing never
+// blocks on a slow subscriber.
+type hub struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers a new stream; it returns nil after close.
+func (h *hub) subscribe() *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	s := &subscriber{
+		events:  make(chan wire.WatchEvent, subBuffer),
+		dropped: make(chan struct{}),
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe removes a stream (idempotent).
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, s)
+}
+
+// publish stamps the event with the next sequence number and offers it
+// to every subscriber; full subscribers are evicted.
+func (h *hub) publish(ev wire.WatchEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	for s := range h.subs {
+		select {
+		case s.events <- ev:
+		default:
+			delete(h.subs, s)
+			close(s.dropped)
+		}
+	}
+}
+
+// count returns the number of connected streams.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// close evicts every subscriber and refuses new ones.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.dropped)
+	}
+}

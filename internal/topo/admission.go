@@ -97,10 +97,20 @@ func (c *Controller) Accepted() int { return c.accepted }
 func (c *Controller) Requests() int { return c.requests }
 
 // Repartitioned returns the IDs (ascending) of the channels whose hop
-// budgets changed in the last successful Request, RequestAll or Release —
-// the precise set a running simulation must re-sync. The slice is
-// invalidated by the next state mutation.
+// budgets changed in the last successful Request, RequestAll,
+// RequestEach or Release — the precise set a running simulation must
+// re-sync. The slice is invalidated by the next state mutation.
 func (c *Controller) Repartitioned() []core.ChannelID { return c.eng.Repartitioned() }
+
+// LinksChecked returns the cumulative number of per-edge feasibility
+// tests the controller has run (deterministic and worker-count
+// independent; see admit.Engine.LinksChecked).
+func (c *Controller) LinksChecked() int { return c.eng.LinksChecked() }
+
+// Repartitions returns the cumulative number of repartition passes the
+// controller has run — one per admission decision (a batch counts once)
+// plus one per release (see admit.Engine.Repartitions).
+func (c *Controller) Repartitions() int { return c.eng.Repartitions() }
 
 // validate routes a spec and checks the route-generalized deadline
 // condition, returning the route.
@@ -160,6 +170,46 @@ func (c *Controller) RequestAll(specs []core.ChannelSpec) ([]*HChannel, error) {
 	}
 	c.accepted += len(specs)
 	return chs, nil
+}
+
+// RequestEach runs per-spec admission for a merged batch: every spec is
+// validated, routed and decided on its own (unlike RequestAll's
+// all-or-nothing decision), while the kernel runs far fewer repartition
+// passes than len(specs) sequential Requests — greedy bisection tries
+// the whole group first and narrows down around failures
+// (admit.Engine.AdmitEach, which also states the decision-equivalence
+// contract with sequential submission).
+//
+// The returned slices are parallel to specs: chs[i] is the committed
+// channel when errs[i] is nil, and errs[i] is the spec's validation or
+// routing error, or a *RejectionError, otherwise.
+func (c *Controller) RequestEach(specs []core.ChannelSpec) ([]*HChannel, []error) {
+	c.requests += len(specs)
+	chs := make([]*HChannel, len(specs))
+	errs := make([]error, len(specs))
+	valid := make([]int, 0, len(specs))
+	routes := make([][]Edge, 0, len(specs))
+	for i, spec := range specs {
+		route, err := c.validate(spec)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
+		routes = append(routes, route)
+	}
+	got, rejs := c.eng.AdmitEach(len(valid), func(i int, id core.ChannelID) *HChannel {
+		return &HChannel{ID: id, Spec: specs[valid[i]], Route: routes[i]}
+	}, []admit.Scheme[Edge, *HChannel, []int64]{c.scheme})
+	for vi, i := range valid {
+		if rej := rejs[vi]; rej != nil {
+			errs[i] = &RejectionError{Edge: rej.Link, Result: rej.Result}
+			continue
+		}
+		c.accepted++
+		chs[i] = got[vi]
+	}
+	return chs, errs
 }
 
 // admit runs the kernel decision for pre-routed specs.

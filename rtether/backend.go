@@ -1,6 +1,7 @@
 package rtether
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -14,18 +15,25 @@ import (
 
 // AdmissionStats summarizes admission-control activity: what was
 // requested, what was admitted, and why rejections happened. Both
-// backends report the full rejection breakdown; LinksChecked counts
-// per-link feasibility tests where the controller tracks them (the star
-// network's — the fabric controller reports 0).
+// backends report the full rejection breakdown, the cumulative per-link
+// feasibility-test count and the repartition-pass count.
 type AdmissionStats struct {
 	Requests             int // establishment requests seen
 	Accepted             int // channels admitted
 	RejectedInvalid      int // spec validation failures
+	RejectedNoRoute      int // unroutable/unknown-endpoint rejections
 	RejectedUtilization  int // first-constraint (U > 1) rejections
 	RejectedDemand       int // second-constraint (h(t) > t) rejections
 	RejectedInconclusive int // analysis hit configured limits
 	Released             int // channels torn down
 	LinksChecked         int // cumulative per-link feasibility tests
+	// Repartitions counts the deadline-repartition passes the admission
+	// kernel has run: one per scheme attempted per decision — a whole
+	// batch (EstablishAll) counts once, and a merged EstablishEach group
+	// counts once when it verifies as a whole — plus one per release.
+	// It is the direct measure of how much work request coalescing saves
+	// over sequential establishment.
+	Repartitions int
 
 	MeanLinkUtilization float64 // mean utilization over loaded links
 	LoadedLinks         int     // links carrying at least one channel
@@ -38,6 +46,7 @@ type backend interface {
 	addNode(id NodeID) error
 	establish(spec ChannelSpec) (ChannelID, []int64, error)
 	establishAll(specs []ChannelSpec) ([]ChannelID, error)
+	establishEach(specs []ChannelSpec) ([]ChannelID, []error)
 	release(id ChannelID) error
 	teardown(id ChannelID) error
 	startTraffic(id ChannelID, offset int64) error
@@ -63,6 +72,11 @@ type backend interface {
 
 type starBackend struct {
 	inner *netsim.Network
+	// noRoute counts establishment attempts rejected before admission
+	// control because an endpoint is not an attached node — the star
+	// "no route" condition. The controller never sees these, so the
+	// backend accounts them (and folds them into Requests) itself.
+	noRoute int
 }
 
 func newStarBackend(cfg netsim.Config, nodes []NodeID) *starBackend {
@@ -81,6 +95,7 @@ func (b *starBackend) addNode(id NodeID) error {
 func (b *starBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
 	id, err := b.inner.EstablishChannel(spec)
 	if err != nil {
+		b.noteNoRoute(err)
 		return 0, nil, starAdmissionError(spec, err)
 	}
 	_, budgets, _ := b.channelInfo(id)
@@ -90,9 +105,30 @@ func (b *starBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
 func (b *starBackend) establishAll(specs []ChannelSpec) ([]ChannelID, error) {
 	ids, err := b.inner.EstablishChannels(specs)
 	if err != nil {
+		b.noteNoRoute(err)
 		return nil, batchAdmissionError(specs, err)
 	}
 	return ids, nil
+}
+
+func (b *starBackend) establishEach(specs []ChannelSpec) ([]ChannelID, []error) {
+	ids, errs := b.inner.EstablishEachChannels(specs)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		b.noteNoRoute(err)
+		errs[i] = starAdmissionError(specs[i], err)
+	}
+	return ids, errs
+}
+
+// noteNoRoute counts an unknown-endpoint rejection, which fails before
+// reaching the admission controller's own counters.
+func (b *starBackend) noteNoRoute(err error) {
+	if errors.Is(err, netsim.ErrUnknownNode) {
+		b.noRoute++
+	}
 }
 
 // batchAdmissionError attributes a batch rejection to the batch spec that
@@ -217,14 +253,16 @@ func (b *starBackend) admissionStats() AdmissionStats {
 	st := b.inner.Controller().Stats()
 	state := b.inner.Controller().State()
 	return AdmissionStats{
-		Requests:             st.Requests,
+		Requests:             st.Requests + b.noRoute,
 		Accepted:             st.Accepted,
 		RejectedInvalid:      st.RejectedInvalid,
+		RejectedNoRoute:      b.noRoute,
 		RejectedUtilization:  st.RejectedUtilization,
 		RejectedDemand:       st.RejectedDemand,
 		RejectedInconclusive: st.RejectedInconclusive,
 		Released:             st.Released,
 		LinksChecked:         st.LinksChecked,
+		Repartitions:         st.Repartitions,
 		MeanLinkUtilization:  state.MeanLinkUtilization(),
 		LoadedLinks:          len(state.Links()),
 	}
@@ -327,10 +365,40 @@ func (b *fabricBackend) fabricBatchError(specs []ChannelSpec, err error) error {
 	return fabricAdmissionError(spec, err, route)
 }
 
+// establishEach admits a merged batch with one verdict per spec
+// (topo.Controller.RequestEach): accepted channels are installed in the
+// running simulation and rejected specs carry their own *AdmissionError,
+// with a single budget re-sync for the whole group.
+func (b *fabricBackend) establishEach(specs []ChannelSpec) ([]ChannelID, []error) {
+	b.stats.Requests += len(specs)
+	chs, errs := b.ctrl.RequestEach(specs)
+	ids := make([]ChannelID, len(specs))
+	for i, err := range errs {
+		if err != nil {
+			b.noteRejection(err)
+			route, _ := b.top.inner.Route(specs[i].Src, specs[i].Dst)
+			errs[i] = fabricAdmissionError(specs[i], err, route)
+			continue
+		}
+		b.stats.Accepted++
+		ch := chs[i]
+		if err := b.sim.Install(ch); err != nil {
+			panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
+		}
+		ids[i] = ch.ID
+	}
+	b.syncBudgets(b.ctrl.Repartitioned())
+	return ids, errs
+}
+
 func (b *fabricBackend) noteRejection(err error) {
 	rej, ok := err.(*topo.RejectionError)
 	if !ok {
-		b.stats.RejectedInvalid++
+		if errors.Is(err, topo.ErrNoRoute) || errors.Is(err, topo.ErrUnknownNode) {
+			b.stats.RejectedNoRoute++
+		} else {
+			b.stats.RejectedInvalid++
+		}
 		return
 	}
 	switch rej.Result.Verdict {
@@ -489,6 +557,8 @@ func (b *fabricBackend) setTracer(Tracer) bool { return false }
 func (b *fabricBackend) admissionStats() AdmissionStats {
 	st := b.stats
 	state := b.ctrl.State()
+	st.LinksChecked = b.ctrl.LinksChecked()
+	st.Repartitions = b.ctrl.Repartitions()
 	st.LoadedLinks = len(state.Edges())
 	st.MeanLinkUtilization = state.MeanLinkUtilization()
 	return st

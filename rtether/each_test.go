@@ -1,0 +1,201 @@
+package rtether
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// coalesceSpecs draws count specs over 2*pairs nodes (1..pairs sources,
+// pairs+1..2*pairs destinations), all feasible together at light load:
+// long periods relative to the per-link channel count and deadlines
+// roomy enough that the demand test passes for every prefix.
+func coalesceSpecs(pairs, count int) []ChannelSpec {
+	perLink := int64(count / pairs)
+	p := 8 * perLink
+	specs := make([]ChannelSpec, count)
+	for i := range specs {
+		specs[i] = ChannelSpec{
+			Src: NodeID(1 + i%pairs), Dst: NodeID(pairs + 1 + (i/pairs)%pairs),
+			C: 1, P: p, D: 2*perLink + int64(i%int(perLink)),
+		}
+	}
+	return specs
+}
+
+// mixedSpecs draws a saturating workload with invalid and unroutable
+// specs sprinkled in.
+func mixedSpecs(rng *rand.Rand, nodes, count int) []ChannelSpec {
+	specs := make([]ChannelSpec, count)
+	for i := range specs {
+		src := NodeID(1 + rng.Intn(nodes))
+		dst := NodeID(1 + rng.Intn(nodes))
+		for dst == src {
+			dst = NodeID(1 + rng.Intn(nodes))
+		}
+		c := int64(1 + rng.Intn(2))
+		specs[i] = ChannelSpec{Src: src, Dst: dst, C: c, P: int64(15 + rng.Intn(60)), D: 4*c + int64(rng.Intn(30))}
+		switch rng.Intn(25) {
+		case 0:
+			specs[i].Dst = 99 // unknown node: no route
+		case 1:
+			specs[i].D = 1 // invalid
+		}
+	}
+	return specs
+}
+
+// starNet builds a star with nodes 1..n.
+func starNet(n int, opts ...Option) *Network {
+	net := New(opts...)
+	for i := 1; i <= n; i++ {
+		net.MustAddNode(NodeID(i))
+	}
+	return net
+}
+
+// fingerprint serializes the committed channels with budgets.
+func fingerprint(net *Network) string {
+	out := ""
+	for _, id := range net.Channels() {
+		ch := net.Lookup(id)
+		out += fmt.Sprintf("%d:%v:%v;", id, ch.Spec(), ch.Budgets())
+	}
+	return out
+}
+
+// TestEstablishEachMergedBatchCriterion is the PR acceptance criterion:
+// a merged batch of 1000 establishes performs at most 1/10th the
+// repartition passes of 1000 sequential establishes (asserted via
+// AdmissionStats), and the per-spec verdicts are decision-equivalent to
+// sequential submission — on the star and on a fabric.
+func TestEstablishEachMergedBatchCriterion(t *testing.T) {
+	// SDPS and H-SDPS partition each channel independently of the rest
+	// of the system, which makes merged-group admission provably
+	// decision-equivalent to sequential submission (the monotone-scheme
+	// contract of internal/admit.AdmitEach); the load-adaptive schemes
+	// are pinned separately in the core and topo equivalence suites.
+	const n = 1000
+	mkStar := func() *Network { return starNet(20) }
+	mkFabric := func() *Network { return testFabricNet(t) }
+	for _, tc := range []struct {
+		name  string
+		mk    func() *Network
+		specs []ChannelSpec
+	}{
+		{"star", mkStar, coalesceSpecs(10, n)},
+		{"fabric", mkFabric, coalesceSpecs(2, n)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			merged := tc.mk()
+			chs, errs := merged.EstablishEach(tc.specs)
+			mergedStats := merged.AdmissionStats()
+
+			seq := tc.mk()
+			accepted := 0
+			for i, spec := range tc.specs {
+				sch, serr := seq.EstablishAll([]ChannelSpec{spec}) // management plane, like the merged path
+				if (serr == nil) != (errs[i] == nil) {
+					t.Fatalf("spec %d (%v): merged err=%v, sequential err=%v", i, spec, errs[i], serr)
+				}
+				if serr != nil {
+					continue
+				}
+				accepted++
+				if chs[i].ID() != sch[0].ID() {
+					t.Fatalf("spec %d: merged ID %d, sequential ID %d", i, chs[i].ID(), sch[0].ID())
+				}
+			}
+			seqStats := seq.AdmissionStats()
+			if got, want := fingerprint(merged), fingerprint(seq); got != want {
+				t.Fatal("committed states differ between merged and sequential establishment")
+			}
+			if mergedStats.Requests != n || seqStats.Requests != n {
+				t.Fatalf("requests: merged %d, sequential %d, want %d", mergedStats.Requests, seqStats.Requests, n)
+			}
+			if mergedStats.Repartitions*10 > seqStats.Repartitions {
+				t.Fatalf("merged batch ran %d repartition passes, sequential %d — want <= 1/10th",
+					mergedStats.Repartitions, seqStats.Repartitions)
+			}
+			t.Logf("%s: accepted %d/%d; repartition passes merged=%d sequential=%d (%.1fx)",
+				tc.name, accepted, n, mergedStats.Repartitions, seqStats.Repartitions,
+				float64(seqStats.Repartitions)/float64(mergedStats.Repartitions))
+		})
+	}
+}
+
+// TestEstablishEachMixedVerdicts replays a saturating workload with
+// invalid and unroutable specs through EstablishEach and sequential
+// management-plane establishment, star and fabric, and requires
+// identical verdicts, error text, and rejection-reason counters.
+func TestEstablishEachMixedVerdicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Network
+	}{
+		// Monotone schemes (the Network defaults, SDPS/H-SDPS): exact
+		// sequential equivalence by construction.
+		{"star", func() *Network { return starNet(6) }},
+		{"fabric", func() *Network { return testFabricNet(t) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			nodes := 6
+			if tc.name == "fabric" {
+				nodes = 4
+			}
+			specs := mixedSpecs(rng, nodes, 300)
+
+			merged := tc.mk()
+			_, errs := merged.EstablishEach(specs)
+
+			seq := tc.mk()
+			var accepted, infeasible, noRoute, invalid int
+			for i, spec := range specs {
+				// Establish formats errors identically to the merged path
+				// (EstablishAll wraps them in a batch prefix instead); on
+				// stars it runs the wire handshake, whose admission
+				// decisions are the same as the management plane's.
+				_, serr := seq.Establish(spec)
+				if (serr == nil) != (errs[i] == nil) {
+					t.Fatalf("spec %d (%v): merged err=%v, sequential err=%v", i, spec, errs[i], serr)
+				}
+				if serr == nil {
+					accepted++
+					continue
+				}
+				if errs[i].Error() != serr.Error() {
+					t.Fatalf("spec %d: errors differ:\n  merged     %v\n  sequential %v", i, errs[i], serr)
+				}
+				var ae *AdmissionError
+				switch {
+				case errors.As(errs[i], &ae):
+					infeasible++
+					if !errors.Is(errs[i], ErrInfeasible) {
+						t.Fatalf("spec %d: AdmissionError does not unwrap to ErrInfeasible", i)
+					}
+				case spec.Dst == 99:
+					noRoute++
+				default:
+					invalid++
+				}
+			}
+			if accepted == 0 || infeasible == 0 || noRoute == 0 || invalid == 0 {
+				t.Fatalf("workload not mixed enough: %d accepted, %d infeasible, %d no-route, %d invalid",
+					accepted, infeasible, noRoute, invalid)
+			}
+			ms, ss := merged.AdmissionStats(), seq.AdmissionStats()
+			if ms.RejectedNoRoute != noRoute || ss.RejectedNoRoute != noRoute {
+				t.Errorf("RejectedNoRoute: merged %d, sequential %d, observed %d", ms.RejectedNoRoute, ss.RejectedNoRoute, noRoute)
+			}
+			if ms.Accepted != accepted || ms.Accepted != ss.Accepted {
+				t.Errorf("Accepted: merged %d, sequential %d, observed %d", ms.Accepted, ss.Accepted, accepted)
+			}
+			if ms.RejectedInvalid != ss.RejectedInvalid || ms.RejectedInvalid != invalid {
+				t.Errorf("RejectedInvalid: merged %d, sequential %d, observed %d", ms.RejectedInvalid, ss.RejectedInvalid, invalid)
+			}
+			t.Logf("%s: accepted %d infeasible %d no-route %d invalid %d", tc.name, accepted, infeasible, noRoute, invalid)
+		})
+	}
+}

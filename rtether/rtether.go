@@ -44,8 +44,9 @@
 // # Concurrency
 //
 // A Network and the *Channel handles it hands out are safe for use from
-// any goroutine. Mutating operations (Establish, EstablishAll, Release,
-// Teardown, Start, Stop, SendBestEffort, Schedule, RunFor, RunUntil) are
+// any goroutine. Mutating operations (Establish, EstablishAll,
+// EstablishEach, Release, Teardown, Start, Stop, SendBestEffort,
+// Schedule, RunFor, RunUntil, Close) are
 // serialized by an internal lock — one management/simulation plane, as on
 // a real switch — while read-only queries (Metrics, Spec, Budgets,
 // GuaranteedDelay, AdmissionStats, Lookup, Now, Report, link loads) take
@@ -61,6 +62,8 @@
 package rtether
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -220,7 +223,17 @@ type Network struct {
 	lk      netLock
 	be      backend
 	handles map[ChannelID]*Channel
+
+	// closed flips once in Close, under the write lock. Mutating calls
+	// check it and return ErrClosed; read-only queries keep serving the
+	// final state (measurements survive teardown by contract).
+	closed bool
 }
+
+// ErrClosed is returned by every mutating Network method after Close.
+// Read-only queries (Report, Metrics, AdmissionStats, ...) keep working
+// on the final state.
+var ErrClosed = errors.New("rtether: network is closed")
 
 // New creates a network. Without WithTopology (or with a single-switch
 // topology) it is the paper's star network, simulated cycle-accurately
@@ -249,6 +262,9 @@ func New(opts ...Option) *Network {
 // and AddNode returns an error.
 func (n *Network) AddNode(id NodeID) error {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return ErrClosed
+	}
 	return n.be.addNode(id)
 }
 
@@ -269,6 +285,9 @@ func (n *Network) MustAddNode(id NodeID) {
 // saturated link; errors.Is(err, ErrInfeasible) matches it.
 func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return nil, ErrClosed
+	}
 	id, _, err := n.be.establish(spec)
 	if err != nil {
 		return nil, err
@@ -294,6 +313,9 @@ func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
 // WithVerifyWorkers pool (see BenchmarkAdmissionScale).
 func (n *Network) EstablishAll(specs []ChannelSpec) ([]*Channel, error) {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return nil, ErrClosed
+	}
 	ids, err := n.be.establishAll(specs)
 	if err != nil {
 		return nil, err
@@ -305,6 +327,76 @@ func (n *Network) EstablishAll(specs []ChannelSpec) ([]*Channel, error) {
 		chs[i] = ch
 	}
 	return chs, nil
+}
+
+// EstablishEach requests a merged batch of RT channels with one verdict
+// per spec: unlike EstablishAll's all-or-nothing decision, each spec is
+// accepted or rejected on its own — the verdicts sequential Establish
+// calls would produce — while the whole group costs close to one
+// repartition and one verification sweep when it is feasible together,
+// instead of one per spec. Sequential equivalence is exact for schemes
+// that partition each channel independently of system state (SDPS,
+// H-SDPS, FixedDPS); under the load-adaptive schemes (ADPS, H-ADPS) a
+// merged group can occasionally admit a set of channels that some
+// sequential order would have partially rejected — the group's joint
+// repartition is what made them fit, and the committed state is
+// verified feasible either way (the kernel contract in full:
+// internal/admit.AdmitEach). This is the primitive behind the
+// admission server's request coalescing: many concurrent clients merge
+// into one kernel pass (compare AdmissionStats.Repartitions).
+//
+// The returned slices are parallel to specs: chs[i] is the established
+// handle when errs[i] is nil; a rejected spec gets a nil handle and its
+// own error (*AdmissionError for feasibility rejections). Like
+// EstablishAll, the batch runs through the management plane — no wire
+// handshake, no virtual time — on both topologies. On a closed network
+// every verdict is ErrClosed.
+func (n *Network) EstablishEach(specs []ChannelSpec) ([]*Channel, []error) {
+	defer n.lk.unlock(n.lk.lock())
+	chs := make([]*Channel, len(specs))
+	if n.closed {
+		errs := make([]error, len(specs))
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return chs, errs
+	}
+	ids, errs := n.be.establishEach(specs)
+	for i, err := range errs {
+		if err != nil {
+			continue
+		}
+		ch := &Channel{net: n, id: ids[i], spec: specs[i]}
+		n.handles[ids[i]] = ch
+		chs[i] = ch
+	}
+	return chs, errs
+}
+
+// Close shuts the network down: every established channel's traffic is
+// stopped and its reservation released (measurements survive, as they
+// do for any released channel), and every subsequent mutating call —
+// Establish, EstablishAll, EstablishEach, AddNode, channel lifecycle
+// methods — returns ErrClosed (handles also report ErrChannelClosed,
+// since Close released them). RunFor, RunUntil and Schedule become
+// no-ops and SendBestEffort reports false. Read-only queries keep
+// serving the final state. Close is idempotent and safe to call
+// concurrently with any other method; it always returns nil.
+func (n *Network) Close() error {
+	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, id := range n.be.channelIDs() {
+		if err := n.be.release(id); err != nil {
+			// channelIDs just listed it and we hold the lock; a failed
+			// release means admission state and the backend diverged.
+			panic(fmt.Sprintf("rtether: Close: releasing channel %d: %v", id, err))
+		}
+		n.closeHandle(id)
+	}
+	return nil
 }
 
 // Lookup returns the handle of an established channel, or nil. Handles
@@ -322,6 +414,9 @@ func (n *Network) Lookup(id ChannelID) *Channel {
 // its handle.
 func (n *Network) releaseChannel(c *Channel) error {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return ErrClosed
+	}
 	if c.closed {
 		return ErrChannelClosed
 	}
@@ -337,6 +432,9 @@ func (n *Network) releaseChannel(c *Channel) error {
 // switch).
 func (n *Network) teardownChannel(c *Channel) error {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return ErrClosed
+	}
 	if c.closed {
 		return ErrChannelClosed
 	}
@@ -350,6 +448,9 @@ func (n *Network) teardownChannel(c *Channel) error {
 // startChannel attaches a channel's periodic source.
 func (n *Network) startChannel(c *Channel, offset int64) error {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return ErrClosed
+	}
 	if c.closed {
 		return ErrChannelClosed
 	}
@@ -359,6 +460,9 @@ func (n *Network) startChannel(c *Channel, offset int64) error {
 // stopChannel detaches a channel's periodic source.
 func (n *Network) stopChannel(c *Channel) error {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return ErrClosed
+	}
 	if c.closed {
 		return ErrChannelClosed
 	}
@@ -394,6 +498,9 @@ func (n *Network) closeHandle(id ChannelID) {
 // traffic only).
 func (n *Network) SendBestEffort(src, dst NodeID, payload []byte) bool {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return false
+	}
 	return n.be.sendBestEffort(src, dst, payload)
 }
 
@@ -403,6 +510,9 @@ func (n *Network) SendBestEffort(src, dst NodeID, payload []byte) bool {
 // held and may call back into the Network and its channel handles.
 func (n *Network) Schedule(t int64, fn func()) {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return
+	}
 	n.be.schedule(t, fn)
 }
 
@@ -415,12 +525,18 @@ func (n *Network) Now() int64 {
 // RunFor advances the simulation by d slots.
 func (n *Network) RunFor(d int64) {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return
+	}
 	n.be.run(n.be.now() + d)
 }
 
 // RunUntil advances the simulation to the absolute slot t.
 func (n *Network) RunUntil(t int64) {
 	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return
+	}
 	n.be.run(t)
 }
 

@@ -1,0 +1,299 @@
+// Package wire defines the JSON wire schema of the rtetherd admission
+// service: the request/response bodies of every /v1 endpoint, the error
+// envelope, and the /v1/watch event stream. It is shared by the server
+// (internal/server), the typed Go client (rtether/client) and the load
+// generator (cmd/rtload), so the schema exists in exactly one place;
+// docs/server.md is the prose reference for the same contract.
+//
+// All channel quantities use the scenario-format field names (src, dst,
+// c, p, d — see docs/scenario-format.md) and all times are integer
+// timeslots, exactly as in the rtether API. Conversions to and from the
+// rtether types are lossless: in particular a feasibility rejection's
+// full *rtether.AdmissionError — link, direction, hop, utilization,
+// slack, reason — survives the encode/decode round trip bit for bit.
+package wire
+
+import (
+	"fmt"
+
+	"repro/rtether"
+)
+
+// Spec is the wire form of rtether.ChannelSpec.
+type Spec struct {
+	Src uint16 `json:"src"`
+	Dst uint16 `json:"dst"`
+	C   int64  `json:"c"`
+	P   int64  `json:"p"`
+	D   int64  `json:"d"`
+}
+
+// FromSpec converts a rtether.ChannelSpec to its wire form.
+func FromSpec(s rtether.ChannelSpec) Spec {
+	return Spec{Src: uint16(s.Src), Dst: uint16(s.Dst), C: s.C, P: s.P, D: s.D}
+}
+
+// ChannelSpec converts the wire form back to a rtether.ChannelSpec.
+func (s Spec) ChannelSpec() rtether.ChannelSpec {
+	return rtether.ChannelSpec{
+		Src: rtether.NodeID(s.Src), Dst: rtether.NodeID(s.Dst),
+		C: s.C, P: s.P, D: s.D,
+	}
+}
+
+// AdmissionError is the wire form of *rtether.AdmissionError, carried
+// inside the error envelope of a feasibility rejection.
+type AdmissionError struct {
+	Spec        Spec    `json:"spec"`
+	Link        string  `json:"link"`
+	Node        uint16  `json:"node"`
+	Dir         string  `json:"dir"` // "up" | "down" | "trunk"
+	Hop         int     `json:"hop"`
+	Utilization float64 `json:"utilization"`
+	Slack       int64   `json:"slack"`
+	Reason      string  `json:"reason"`
+}
+
+// FromAdmissionError converts a typed rejection to its wire form.
+func FromAdmissionError(e *rtether.AdmissionError) *AdmissionError {
+	return &AdmissionError{
+		Spec:        FromSpec(e.Spec),
+		Link:        e.Link,
+		Node:        uint16(e.Node),
+		Dir:         e.Dir.String(),
+		Hop:         e.Hop,
+		Utilization: e.Utilization,
+		Slack:       e.Slack,
+		Reason:      e.Reason,
+	}
+}
+
+// AdmissionError converts the wire form back to the typed rejection the
+// in-process API returns, so remote callers can errors.As / errors.Is
+// against it exactly as local ones do.
+func (w *AdmissionError) AdmissionError() *rtether.AdmissionError {
+	return &rtether.AdmissionError{
+		Spec:        w.Spec.ChannelSpec(),
+		Link:        w.Link,
+		Node:        rtether.NodeID(w.Node),
+		Dir:         dirFromString(w.Dir),
+		Hop:         w.Hop,
+		Utilization: w.Utilization,
+		Slack:       w.Slack,
+		Reason:      w.Reason,
+	}
+}
+
+// dirFromString parses a wire direction; unknown strings map to DirUp
+// (the zero value), matching how an unversioned peer would degrade.
+func dirFromString(s string) rtether.LinkDir {
+	switch s {
+	case "down":
+		return rtether.DirDown
+	case "trunk":
+		return rtether.DirTrunk
+	default:
+		return rtether.DirUp
+	}
+}
+
+// Error codes of the wire error envelope. docs/server.md maps each code
+// to its HTTP status.
+const (
+	// CodeBadRequest marks a malformed request body.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidSpec marks a channel spec that fails validation.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeNoRoute marks endpoints with no route between them.
+	CodeNoRoute = "no_route"
+	// CodeInfeasible marks a feasibility rejection; Admission is set.
+	CodeInfeasible = "infeasible"
+	// CodeUnknownChannel marks an operation on a channel ID that is not
+	// established.
+	CodeUnknownChannel = "unknown_channel"
+	// CodeClosed marks a request against a draining/closed daemon.
+	CodeClosed = "closed"
+	// CodeInternal marks an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the wire error envelope: every non-2xx response carries
+// {"error": {...}}. Admission is set if and only if Code is
+// CodeInfeasible.
+type Error struct {
+	Code      string          `json:"code"`
+	Message   string          `json:"message"`
+	Admission *AdmissionError `json:"admission,omitempty"`
+}
+
+// Error implements error for transport through Go call chains.
+func (e *Error) Error() string {
+	return fmt.Sprintf("rtetherd: %s: %s", e.Code, e.Message)
+}
+
+// Envelope is the top-level shape of an error response body.
+type Envelope struct {
+	Err *Error `json:"error"`
+}
+
+// EstablishRequest asks for one RT channel (POST /v1/establish). The
+// server may coalesce concurrent establish requests into one merged
+// admission pass; the verdict each caller receives is its own.
+type EstablishRequest struct {
+	Spec Spec `json:"spec"`
+}
+
+// ChannelReply describes one established channel: its network-unique
+// ID, committed per-hop deadline budgets (summing to D) and delivery
+// guarantee T_max.
+type ChannelReply struct {
+	ID              uint16  `json:"id"`
+	Budgets         []int64 `json:"budgets"`
+	GuaranteedDelay int64   `json:"guaranteedDelay"`
+}
+
+// EstablishAllRequest asks for an atomic all-or-nothing batch
+// (POST /v1/establishAll): either every spec is admitted or none is.
+type EstablishAllRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// EstablishAllReply lists the established channels in spec order.
+type EstablishAllReply struct {
+	Channels []ChannelReply `json:"channels"`
+}
+
+// ReleaseRequest frees one channel (POST /v1/release).
+type ReleaseRequest struct {
+	ID uint16 `json:"id"`
+}
+
+// ReleaseReply is the (empty) success body of a release.
+type ReleaseReply struct{}
+
+// ReconfigureRequest replaces a channel's parameters
+// (POST /v1/reconfigure): the old reservation is released and a new one
+// requested with the non-zero overrides applied (0 = keep). The two
+// steps are not one atomic decision — the freed capacity is briefly up
+// for grabs, so a concurrent establish can win it and make even a no-op
+// reconfiguration fail. As with the scenario format's reconfigure
+// event, a rejected reconfiguration leaves the channel released — the
+// bandwidth was already given up.
+type ReconfigureRequest struct {
+	ID uint16 `json:"id"`
+	C  int64  `json:"c,omitempty"`
+	P  int64  `json:"p,omitempty"`
+	D  int64  `json:"d,omitempty"`
+}
+
+// ChannelInfo is one established channel in a listing.
+type ChannelInfo struct {
+	ID      uint16  `json:"id"`
+	Spec    Spec    `json:"spec"`
+	Budgets []int64 `json:"budgets"`
+}
+
+// ChannelsReply lists established channels (GET /v1/channels) in
+// establishment order.
+type ChannelsReply struct {
+	Channels []ChannelInfo `json:"channels"`
+}
+
+// DelaySummary is the wire form of a delay distribution.
+type DelaySummary struct {
+	Count  int64   `json:"count"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	P50    int64   `json:"p50"`
+	P90    int64   `json:"p90"`
+	P99    int64   `json:"p99"`
+}
+
+// MetricsReply is one channel's delivery measurements
+// (GET /v1/metrics?id=N). A channel that has not delivered or
+// missed any frame yet reports all-zero metrics.
+type MetricsReply struct {
+	ID        uint16       `json:"id"`
+	Delivered int64        `json:"delivered"`
+	Misses    int64        `json:"misses"`
+	Delay     DelaySummary `json:"delay"`
+}
+
+// FromMetrics converts a measurement snapshot to its wire form. m may
+// be nil (nothing measured yet).
+func FromMetrics(id rtether.ChannelID, m *rtether.ChannelMetrics) MetricsReply {
+	rep := MetricsReply{ID: uint16(id)}
+	if m == nil {
+		return rep
+	}
+	rep.Delivered = m.Delivered
+	rep.Misses = m.Misses
+	if d := m.Delays; d != nil {
+		rep.Delay = DelaySummary{
+			Count:  d.Count(),
+			Min:    d.Min(),
+			Max:    d.Max(),
+			Mean:   d.Mean(),
+			StdDev: d.StdDev(),
+			P50:    d.Percentile(50),
+			P90:    d.Percentile(90),
+			P99:    d.Percentile(99),
+		}
+	}
+	return rep
+}
+
+// ServerStats counts daemon-side activity: how much the coalescing
+// front-end merged and what the server is carrying.
+type ServerStats struct {
+	// Establishes counts establish requests that entered the coalescer.
+	Establishes int64 `json:"establishes"`
+	// Flights counts merged admission passes the coalescer dispatched;
+	// Establishes/Flights is the effective merge factor.
+	Flights int64 `json:"flights"`
+	// MaxMerged is the largest number of establish requests merged into
+	// one flight so far.
+	MaxMerged int64 `json:"maxMerged"`
+	// Watchers is the number of currently connected /v1/watch streams.
+	Watchers int64 `json:"watchers"`
+	// Channels is the number of currently established channels.
+	Channels int64 `json:"channels"`
+}
+
+// StatsReply is the body of GET /v1/stats: the network's admission
+// counters (field names as in rtether.AdmissionStats) plus the daemon's
+// own counters.
+type StatsReply struct {
+	Admission rtether.AdmissionStats `json:"admission"`
+	Server    ServerStats            `json:"server"`
+}
+
+// Watch event types.
+const (
+	// EventAdmit reports an accepted establishment.
+	EventAdmit = "admit"
+	// EventReject reports a rejected establishment (Error is set; for
+	// feasibility rejections Error.Admission carries the diagnostics).
+	EventReject = "reject"
+	// EventRelease reports a released channel.
+	EventRelease = "release"
+)
+
+// WatchEvent is one line of the /v1/watch newline-delimited JSON feed.
+type WatchEvent struct {
+	// Seq is the event's position in the daemon's total event order;
+	// consecutive events on one stream have increasing Seq, and gaps
+	// mean the stream fell behind and was dropped by the server.
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+	// ID is the subject channel (admit, release).
+	ID uint16 `json:"id,omitempty"`
+	// Spec is the requested channel (admit, reject).
+	Spec *Spec `json:"spec,omitempty"`
+	// Budgets are the committed per-hop budgets (admit).
+	Budgets []int64 `json:"budgets,omitempty"`
+	// Error carries the rejection (reject).
+	Error *Error `json:"error,omitempty"`
+}

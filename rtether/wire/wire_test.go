@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/rtether"
+)
+
+// TestAdmissionErrorJSONRoundTrip proves the wire form is lossless
+// through an actual JSON encode/decode for every direction value.
+func TestAdmissionErrorJSONRoundTrip(t *testing.T) {
+	for _, dir := range []rtether.LinkDir{rtether.DirUp, rtether.DirDown, rtether.DirTrunk} {
+		orig := &rtether.AdmissionError{
+			Spec:        rtether.ChannelSpec{Src: 3, Dst: 7, C: 2, P: 50, D: 21},
+			Link:        "sw0→sw1",
+			Node:        3,
+			Dir:         dir,
+			Hop:         2,
+			Utilization: 0.9875,
+			Slack:       -4,
+			Reason:      "infeasible(demand) at t=40 (h=45), U=0.9875",
+		}
+		buf, err := json.Marshal(FromAdmissionError(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded AdmissionError
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		got := decoded.AdmissionError()
+		if *got != *orig {
+			t.Errorf("dir %v: round trip changed the error:\n  got  %+v\n  want %+v", dir, got, orig)
+		}
+	}
+}
+
+// TestSpecRoundTrip pins the scenario-format field names on the wire.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := rtether.ChannelSpec{Src: 1, Dst: 2, C: 3, P: 100, D: 40}
+	buf, err := json.Marshal(FromSpec(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"src":1,"dst":2,"c":3,"p":100,"d":40}`
+	if string(buf) != want {
+		t.Errorf("wire spec = %s, want %s", buf, want)
+	}
+	var decoded Spec
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ChannelSpec() != spec {
+		t.Errorf("round trip changed the spec: %+v", decoded.ChannelSpec())
+	}
+}
