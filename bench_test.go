@@ -267,6 +267,107 @@ func BenchmarkAdmissionScale(b *testing.B) {
 	}
 }
 
+// BenchmarkMulticastFanout quantifies what tree routing buys over
+// replicated unicast on a shared trunk. Two switches, publishers on
+// switch 0, 16 subscribers on switch 1: every fan-out must cross the
+// one trunk. A distribution tree puts ONE task on the trunk per
+// fan-out group (the shared prefix carries the stream once); N
+// independent unicasts at the same {C, P, D} put N. Both variants
+// admit fan-out groups until the first rejection and report the
+// admitted-group count and the trunk cost per group — the tree side
+// must sustain many times more groups at equal deadline.
+func BenchmarkMulticastFanout(b *testing.B) {
+	const (
+		nSinks    = 16
+		maxGroups = 64
+		cBudget   = 1
+		period    = 10000
+		deadline  = 90 // 3 hops, so H-SDPS gives each hop a 30-slot budget
+	)
+	sinks := make([]core.NodeID, nSinks)
+	for i := range sinks {
+		sinks[i] = core.NodeID(1001 + i)
+	}
+	fanTopo := func() *topo.Topology {
+		top := topo.Line(2)
+		for g := 0; g < maxGroups; g++ {
+			if err := top.AttachNode(core.NodeID(1+g), 0); err != nil {
+				panic(err)
+			}
+		}
+		for _, s := range sinks {
+			if err := top.AttachNode(s, 1); err != nil {
+				panic(err)
+			}
+		}
+		return top
+	}
+	trunk := topo.Edge{From: topo.SwitchEnd(0), To: topo.SwitchEnd(1)}
+
+	report := func(b *testing.B, st *topo.State, groups int) {
+		b.Helper()
+		if groups == 0 {
+			b.Fatal("no fan-out group admitted at all")
+		}
+		load := st.LinkLoad(trunk)
+		b.ReportMetric(float64(groups), "fanout-groups")
+		b.ReportMetric(float64(load)/float64(groups), "trunk-tasks/group")
+		b.ReportMetric(float64(groups*nSinks), "sinks-covered")
+	}
+
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctrl := topo.NewController(fanTopo(), topo.Config{DPS: topo.HSDPS{}})
+			groups := 0
+			for g := 0; g < maxGroups; g++ {
+				spec := core.MulticastSpec{
+					Src: core.NodeID(1 + g), Sinks: sinks,
+					C: cBudget, P: period, D: deadline,
+				}
+				if _, err := ctrl.RequestMulticast(spec); err != nil {
+					break
+				}
+				groups++
+			}
+			if i == b.N-1 {
+				report(b, ctrl.State(), groups)
+			}
+		}
+	})
+	b.Run("unicast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctrl := topo.NewController(fanTopo(), topo.Config{DPS: topo.HSDPS{}})
+			groups := 0
+		admitGroups:
+			for g := 0; g < maxGroups; g++ {
+				// A fan-out group is N separate channels; a rejected
+				// member voids the group, so roll its siblings back.
+				var admitted []*topo.HChannel
+				for _, sink := range sinks {
+					spec := core.ChannelSpec{
+						Src: core.NodeID(1 + g), Dst: sink,
+						C: cBudget, P: period, D: deadline,
+					}
+					ch, err := ctrl.Request(spec)
+					if err != nil {
+						for _, prev := range admitted {
+							if rerr := ctrl.Release(prev.ID); rerr != nil {
+								b.Fatal(rerr)
+							}
+						}
+						break admitGroups
+					}
+					admitted = append(admitted, ch)
+				}
+				groups++
+			}
+			if i == b.N-1 {
+				report(b, ctrl.State(), groups)
+			}
+		}
+	})
+}
+
 // verifyHeavySpecs generates n feasible channels concentrated on 4
 // sources and 4 sinks. Loads are exactly balanced (so ADPS splits every
 // deadline in half) and the deadlines are C-spaced, which makes every

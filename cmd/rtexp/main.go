@@ -5,7 +5,10 @@
 // text output into a JSON artifact for CI benchmark trajectories;
 // additional positional arguments name further input files — raw bench
 // text or previously emitted BENCH_*.json artifacts (rtload's output,
-// say) — merged into one JSON document in argument order.
+// say) — merged into one JSON document. Each entry is annotated with
+// its source file and the merged document is stably sorted by
+// benchmark name, then source, so one input set produces byte-identical
+// JSON regardless of argument order.
 //
 //	rtexp                      # all experiments, aligned tables
 //	rtexp -exp fig18.5         # just the headline figure
@@ -53,7 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			reports = append(reports, rep)
 		}
-		if err := benchfmt.Merge(reports...).WriteJSON(stdout); err != nil {
+		merged := benchfmt.Merge(reports...)
+		merged.Sort()
+		if err := merged.WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
 			return 1
 		}

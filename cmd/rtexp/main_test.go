@@ -121,8 +121,9 @@ ok  	repro	2.313s
 
 // TestParseBenchMergesMultipleFiles feeds -parsebench one bench-text
 // file plus one previously emitted JSON artifact (rtload's output
-// format) and checks they merge into a single document in argument
-// order.
+// format) and checks they merge into a single document, stably sorted
+// by benchmark name then source file — so the same input set yields
+// byte-identical JSON no matter how CI orders the arguments.
 func TestParseBenchMergesMultipleFiles(t *testing.T) {
 	dir := t.TempDir()
 	text := filepath.Join(dir, "bench.txt")
@@ -142,6 +143,7 @@ func TestParseBenchMergesMultipleFiles(t *testing.T) {
 		Benchmarks []struct {
 			Name    string             `json:"name"`
 			Runs    int64              `json:"runs"`
+			Source  string             `json:"source"`
 			Metrics map[string]float64 `json:"metrics"`
 		} `json:"benchmarks"`
 	}
@@ -154,8 +156,48 @@ func TestParseBenchMergesMultipleFiles(t *testing.T) {
 	if rep.Benchmarks[0].Name != "BenchmarkAlpha" || rep.Benchmarks[1].Name != "BenchmarkRTLoad/total" {
 		t.Errorf("merge order wrong: %+v", rep.Benchmarks)
 	}
+	if rep.Benchmarks[0].Source != text || rep.Benchmarks[1].Source != jsonArtifact {
+		t.Errorf("source annotations wrong: %+v", rep.Benchmarks)
+	}
 	if rep.Benchmarks[1].Metrics["ops/s"] != 9000 {
 		t.Errorf("JSON input metrics lost: %+v", rep.Benchmarks[1])
+	}
+
+	// Reversing the argument order must produce the identical document.
+	var swapped strings.Builder
+	if code := run([]string{"-parsebench", jsonArtifact, text}, &swapped, &errOut); code != 0 {
+		t.Fatalf("swapped exit %d: %s", code, errOut.String())
+	}
+	if swapped.String() != out.String() {
+		t.Errorf("merged JSON depends on argument order:\n--- a\n%s\n--- b\n%s", out.String(), swapped.String())
+	}
+}
+
+// TestParseBenchSameNameAcrossFiles pins the tie-breaker: two files
+// reporting the same benchmark name sort by source file.
+func TestParseBenchSameNameAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	fileA := filepath.Join(dir, "a.txt")
+	fileB := filepath.Join(dir, "b.txt")
+	for _, p := range []string{fileB, fileA} {
+		if err := os.WriteFile(p, []byte("BenchmarkShared-4 \t 1 \t 100 ns/op\nPASS\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-parsebench", fileB, fileA}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Source string `json:"source"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 2 || rep.Benchmarks[0].Source != fileA || rep.Benchmarks[1].Source != fileB {
+		t.Errorf("same-name entries not ordered by source: %+v", rep.Benchmarks)
 	}
 }
 

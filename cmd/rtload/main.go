@@ -244,7 +244,15 @@ func runShard(ctx context.Context, cl *client.Client, items []scenario.WorkItem,
 			continue
 		}
 		t0 := time.Now()
-		ch, err := cl.Establish(ctx, it.Spec)
+		var ch client.Channel
+		var err error
+		if len(it.Sinks) > 0 {
+			ch, err = cl.EstablishMulticast(ctx, rtether.MulticastSpec{
+				Src: it.Spec.Src, Sinks: it.Sinks, C: it.Spec.C, P: it.Spec.P, D: it.Spec.D,
+			})
+		} else {
+			ch, err = cl.Establish(ctx, it.Spec)
+		}
 		est.observe(time.Since(t0))
 		switch {
 		case err == nil:

@@ -1,0 +1,265 @@
+// Command sensorfanout demonstrates multicast RT channels end to end
+// on a two-switch fabric: one vibration sensor on the plant-cell
+// switch feeds four consumers behind a shared trunk.
+//
+// Part 1 establishes the fan-out as a single distribution tree and
+// as four independent unicast channels, and compares what each costs
+// the fabric: the tree pays for the shared trunk once, the unicasts
+// pay N times.
+//
+// Part 2 saturates one consumer's downlink and retries the tree — the
+// atomic admission rejects the whole tree and the *AdmissionError
+// names the failing branch and sink.
+//
+// Part 3 re-expresses the fan-out as a pub/sub topic over rtetherd:
+// consumers subscribe over HTTP (each new node re-admits the tree),
+// published payloads fan out to every live feed, and a subscriber the
+// RT contract cannot absorb is turned away while the existing ones
+// stay undisturbed. See docs/server.md for the protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/server"
+	"repro/rtether"
+	"repro/rtether/client"
+)
+
+// The plant layout: sensor node 1 homes on switch 0, consumer nodes
+// 11-14 on switch 1, one trunk between them. Every delivery crosses
+// uplink(1), the trunk, and the consumer's downlink — three hops.
+const (
+	sensor    = rtether.NodeID(1)
+	firstSink = rtether.NodeID(11)
+	nSinks    = 4
+)
+
+// contract is the RT contract of the sensor stream: 5 slots of
+// bandwidth every 50, delivered within 30 (10 per hop under H-SDPS).
+var contract = rtether.MulticastSpec{
+	Src: sensor, C: 5, P: 50, D: 30,
+	Sinks: sinks(nSinks),
+}
+
+func sinks(n int) []rtether.NodeID {
+	out := make([]rtether.NodeID, n)
+	for i := range out {
+		out[i] = firstSink + rtether.NodeID(i)
+	}
+	return out
+}
+
+func fabric() (*rtether.Network, error) {
+	top := rtether.NewTopology()
+	for sw := rtether.SwitchID(0); sw < 2; sw++ {
+		if err := top.AddSwitch(sw); err != nil {
+			return nil, err
+		}
+	}
+	if err := top.Trunk(0, 1); err != nil {
+		return nil, err
+	}
+	if err := top.Attach(sensor, 0); err != nil {
+		return nil, err
+	}
+	for _, s := range sinks(nSinks) {
+		if err := top.Attach(s, 1); err != nil {
+			return nil, err
+		}
+	}
+	return rtether.New(rtether.WithTopology(top), rtether.WithHDPS(rtether.HSDPS())), nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := treeVsUnicast(); err != nil {
+		return err
+	}
+	if err := rejectedBranch(); err != nil {
+		return err
+	}
+	return pubsubOverTheWire()
+}
+
+// treeVsUnicast admits the same fan-out both ways and compares the
+// fabric-wide cost.
+func treeVsUnicast() error {
+	fmt.Println("-- part 1: one tree vs four unicasts --")
+
+	nw, err := fabric()
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	fan, err := nw.EstablishMulticast(contract)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tree RT#%d: budgets=%v (one per tree link; the trunk appears once)\n",
+		fan.ID(), fan.Budgets())
+	st := nw.AdmissionStats()
+	fmt.Printf("tree loads %d directed links, mean utilization %.3f\n",
+		st.LoadedLinks, st.MeanLinkUtilization)
+
+	// Deliver a few periods: every frame reaches all four sinks.
+	fan.Start(0)
+	nw.RunFor(10 * contract.P)
+	m := fan.Metrics()
+	fmt.Printf("after %d slots: %d per-sink deliveries, %d deadline misses\n",
+		10*contract.P, m.Delivered, m.Misses)
+
+	// The same fan-out as independent unicasts: the sensor's uplink and
+	// the trunk must carry the stream once per sink, and at this
+	// deadline that doesn't even fit.
+	uni, err := fabric()
+	if err != nil {
+		return err
+	}
+	defer uni.Close()
+	admitted := 0
+	for _, s := range contract.Sinks {
+		if _, err := uni.Establish(rtether.ChannelSpec{
+			Src: sensor, Dst: s, C: contract.C, P: contract.P, D: contract.D,
+		}); err != nil {
+			var ae *rtether.AdmissionError
+			if !errors.As(err, &ae) {
+				return err
+			}
+			fmt.Printf("unicast to %d rejected at %s: the replicated stream saturates the shared prefix\n", s, ae.Link)
+			continue
+		}
+		admitted++
+	}
+	su := uni.AdmissionStats()
+	fmt.Printf("unicasts: only %d of %d sinks reachable at the same deadline, "+
+		"mean utilization %.3f — the tree serves all %d at %.3f\n\n",
+		admitted, nSinks, su.MeanLinkUtilization, nSinks, st.MeanLinkUtilization)
+	return nil
+}
+
+// rejectedBranch saturates one consumer's downlink, so the tree no
+// longer fits — the rejection names the branch that broke.
+func rejectedBranch() error {
+	fmt.Println("-- part 2: one saturated downlink rejects the whole tree --")
+
+	nw, err := fabric()
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	// A local bulk transfer hogs consumer 13's downlink.
+	blocker := rtether.ChannelSpec{Src: firstSink + 3, Dst: firstSink + 2, C: 19, P: 20, D: 40}
+	if _, err := nw.Establish(blocker); err != nil {
+		return err
+	}
+	_, err = nw.EstablishMulticast(contract)
+	var ae *rtether.AdmissionError
+	if !errors.As(err, &ae) {
+		return fmt.Errorf("expected an AdmissionError, got %v", err)
+	}
+	fmt.Printf("rejected: %s\n", ae.Reason)
+	fmt.Printf("branch %d (sink %d) failed at %s — the other %d branches were rolled back\n",
+		ae.Branch, ae.Sink, ae.Link, nSinks-1)
+	fmt.Printf("errors.Is(err, rtether.ErrInfeasible) = %v\n\n", errors.Is(err, rtether.ErrInfeasible))
+	return nil
+}
+
+// pubsubOverTheWire drives the same fan-out through rtetherd's topic
+// API: the daemon owns the tree and re-admits it as subscribers come
+// and go.
+func pubsubOverTheWire() error {
+	fmt.Println("-- part 3: the fan-out as a pub/sub topic over rtetherd --")
+
+	nw, err := fabric()
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	srv := server.New(server.Config{Network: nw})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+
+	cl := client.New(ln.Addr().String())
+	defer cl.CloseIdleConnections()
+	ctx := context.Background()
+
+	// Declare the topic: the name plus the RT contract every future
+	// subscriber set must be admitted under. No channel exists yet.
+	if err := cl.CreateTopic(ctx, "vibration", sensor, contract.C, contract.P, contract.D); err != nil {
+		return err
+	}
+
+	// Two consumers subscribe; each new node re-admits the tree over
+	// the grown sink set before its feed starts.
+	feeds := make([]*client.TopicFeed, 2)
+	for i := range feeds {
+		node := firstSink + rtether.NodeID(i)
+		if feeds[i], err = cl.SubscribeTopic(ctx, "vibration", node); err != nil {
+			return err
+		}
+		defer feeds[i].Close()
+		fmt.Printf("node %d subscribed\n", node)
+	}
+
+	var wg sync.WaitGroup
+	for i, f := range feeds {
+		wg.Add(1)
+		go func(i int, f *client.TopicFeed) {
+			defer wg.Done()
+			ev, err := f.Next()
+			if err != nil {
+				log.Printf("feed %d: %v", i, err)
+				return
+			}
+			fmt.Printf("node %d received seq %d: %q\n", firstSink+rtether.NodeID(i), ev.Seq, ev.Payload)
+		}(i, f)
+	}
+	rep, err := cl.Publish(ctx, "vibration", "amplitude=0.18g")
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+	fmt.Printf("publish seq %d fanned out to %d subscribers\n", rep.Seq, rep.Delivered)
+
+	// Saturate consumer 13's downlink, then try to join it: the
+	// re-admission fails with full diagnostics and the topic keeps
+	// serving its existing subscribers.
+	if _, err := cl.Establish(ctx, rtether.ChannelSpec{
+		Src: firstSink + 3, Dst: firstSink + 2, C: 19, P: 20, D: 40,
+	}); err != nil {
+		return err
+	}
+	_, err = cl.SubscribeTopic(ctx, "vibration", firstSink+2)
+	var ae *rtether.AdmissionError
+	if !errors.As(err, &ae) {
+		return fmt.Errorf("expected the join to be rejected, got %v", err)
+	}
+	fmt.Printf("node %d turned away: branch %d (sink %d) infeasible at %s\n",
+		firstSink+2, ae.Branch, ae.Sink, ae.Link)
+
+	topics, err := cl.Topics(ctx)
+	if err != nil {
+		return err
+	}
+	for _, t := range topics {
+		fmt.Printf("topic %q: subscribers %v, %d published — undisturbed\n",
+			t.Name, t.Subscribers, t.Published)
+	}
+	return nil
+}

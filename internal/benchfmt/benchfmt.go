@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -21,9 +22,14 @@ import (
 // iteration count, and every reported metric keyed by its unit (ns/op,
 // B/op, allocs/op, custom b.ReportMetric units).
 type Result struct {
-	Name    string             `json:"name"`
-	Procs   int                `json:"procs,omitempty"`
-	Runs    int64              `json:"runs"`
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+	Runs  int64  `json:"runs"`
+	// Source names the input file the line came from (annotated by
+	// ParseFile, preserved by the JSON round trip). It disambiguates
+	// same-named benchmarks from different artifacts in a merged
+	// document and is the Sort tie-breaker.
+	Source  string             `json:"source,omitempty"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -125,19 +131,33 @@ func ParseAny(r io.Reader) (*Report, error) {
 	return Parse(bytes.NewReader(buf))
 }
 
-// ParseFile is ParseAny over a file; "-" reads stdin.
+// ParseFile is ParseAny over a file; "-" reads stdin. Every result that
+// does not already carry a source annotation (a re-read merged
+// document keeps its original one) is stamped with the file's path, so
+// a later Sort can order same-named benchmarks from different inputs
+// deterministically.
 func ParseFile(path string) (*Report, error) {
+	var (
+		rep *Report
+		err error
+	)
 	if path == "-" {
-		return ParseAny(os.Stdin)
+		rep, err = ParseAny(os.Stdin)
+	} else {
+		var f *os.File
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		rep, err = ParseAny(f)
+		f.Close()
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	rep, err := ParseAny(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Source == "" {
+			rep.Benchmarks[i].Source = path
+		}
 	}
 	return rep, nil
 }
@@ -170,6 +190,20 @@ func Merge(reports ...*Report) *Report {
 		out.Benchmarks = append(out.Benchmarks, rep.Benchmarks...)
 	}
 	return out
+}
+
+// Sort orders the benchmarks by name, then by source file, with a
+// stable sort (same-key entries keep their input order). Merged
+// documents become a pure function of the input *set* rather than the
+// argument order, so repeated CI runs emit byte-identical JSON.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Benchmarks, func(i, j int) bool {
+		a, b := r.Benchmarks[i], r.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Source < b.Source
+	})
 }
 
 // WriteJSON emits the report as indented JSON.

@@ -67,6 +67,37 @@ func TestParseAnyRejectsEmpty(t *testing.T) {
 	}
 }
 
+func TestSortStable(t *testing.T) {
+	r := &Report{Benchmarks: []Result{
+		{Name: "B", Source: "y.txt", Runs: 1},
+		{Name: "A", Source: "y.txt", Runs: 2},
+		{Name: "A", Source: "x.txt", Runs: 3},
+		{Name: "A", Source: "x.txt", Runs: 4}, // same key as previous: order must hold
+	}}
+	r.Sort()
+	want := []int64{3, 4, 2, 1}
+	for i, runs := range want {
+		if r.Benchmarks[i].Runs != runs {
+			t.Fatalf("after Sort, entry %d = %+v, want runs %d", i, r.Benchmarks[i], runs)
+		}
+	}
+}
+
+func TestSourceSurvivesJSONRoundTrip(t *testing.T) {
+	r := &Report{Benchmarks: []Result{{Name: "A", Source: "bench.txt", Runs: 1, Metrics: map[string]float64{"ns/op": 1}}}}
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAny(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Source != "bench.txt" {
+		t.Errorf("source lost in round trip: %+v", back.Benchmarks[0])
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := &Report{Goos: "linux", Pkg: "repro", CPU: "X", Benchmarks: []Result{{Name: "A", Runs: 1, Metrics: map[string]float64{"ns/op": 1}}}}
 	b := &Report{Goos: "linux", Pkg: "repro/cmd/rtload", Benchmarks: []Result{{Name: "B", Runs: 2, Metrics: map[string]float64{"ops/s": 5}}}}

@@ -150,9 +150,17 @@ func (a ADPS) Partition(st *State) map[ChannelID]Partition {
 
 // partitionOf computes the load-weighted split of one channel (Eq. 18.16)
 // — shared by the full and incremental paths so they agree bit for bit.
+// For a multicast channel the downlink weight is the load of its most
+// loaded sink downlink: the shared d_id must hold on every branch, so
+// the bottleneck branch sets the asymmetry.
 func (ADPS) partitionOf(st *State, ch *Channel) Partition {
 	llUp := int64(st.LinkLoad(Uplink(ch.Spec.Src)))
 	llDown := int64(st.LinkLoad(Downlink(ch.Spec.Dst)))
+	for _, sink := range ch.Sinks {
+		if ll := int64(st.LinkLoad(Downlink(sink))); ll > llDown {
+			llDown = ll
+		}
+	}
 	total := llUp + llDown
 	var up int64
 	if total == 0 {

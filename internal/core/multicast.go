@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Multicast validation errors.
+var (
+	// ErrNoSinks marks a multicast spec with an empty sink set.
+	ErrNoSinks = errors.New("core: multicast spec needs at least one sink")
+	// ErrDuplicateSink marks a multicast spec listing the same sink twice.
+	ErrDuplicateSink = errors.New("core: multicast spec lists a sink twice")
+)
+
+// MulticastSpec is a request for a one-to-many RT channel: one source,
+// N sink end-nodes, and the {P_i, C_i, d_i} triple shared by every
+// branch. The paper's channels are strictly unicast; a multicast
+// channel generalizes them by fanning the same periodic data out at the
+// switch, so the source uplink carries the data once while every sink's
+// downlink carries its own copy. The deadline is end-to-end for every
+// sink: each sink must receive within D slots of release.
+type MulticastSpec struct {
+	Src   NodeID   // source end-node
+	Sinks []NodeID // sink end-nodes (at least one, no duplicates)
+	P     int64    // period of data
+	C     int64    // amount of data per period (in maximal-sized frames)
+	D     int64    // relative end-to-end deadline (per sink)
+}
+
+// Validate checks the spec against the paper's constraints, extended to
+// the multicast shape: a non-empty duplicate-free sink set that does not
+// include the source, and D >= 2C exactly as for unicast — on a star
+// every branch is the same two-hop store-and-forward path.
+func (s MulticastSpec) Validate() error {
+	if len(s.Sinks) == 0 {
+		return ErrNoSinks
+	}
+	seen := make(map[NodeID]bool, len(s.Sinks))
+	for _, sink := range s.Sinks {
+		if sink == s.Src {
+			return fmt.Errorf("%w (node %d)", ErrSelfLoop, s.Src)
+		}
+		if seen[sink] {
+			return fmt.Errorf("%w (node %d)", ErrDuplicateSink, sink)
+		}
+		seen[sink] = true
+	}
+	switch {
+	case s.C <= 0:
+		return fmt.Errorf("%w (C=%d)", ErrNonPositiveC, s.C)
+	case s.P <= 0:
+		return fmt.Errorf("%w (P=%d)", ErrNonPositiveP, s.P)
+	case s.C > s.P:
+		return fmt.Errorf("%w (C=%d > P=%d)", ErrCExceedsP, s.C, s.P)
+	case s.D < 2*s.C:
+		return fmt.Errorf("%w (D=%d < 2C=%d)", ErrDeadlineTooShort, s.D, 2*s.C)
+	}
+	return nil
+}
+
+// ChannelSpec projects the multicast spec onto the unicast shape the
+// rest of the state machinery stores: Dst is the first sink (the full
+// sink set lives on Channel.Sinks).
+func (s MulticastSpec) ChannelSpec() ChannelSpec {
+	return ChannelSpec{Src: s.Src, Dst: s.Sinks[0], C: s.C, P: s.P, D: s.D}
+}
+
+// String implements fmt.Stringer.
+func (s MulticastSpec) String() string {
+	return fmt.Sprintf("mcast{%d→%v C=%d P=%d D=%d}", s.Src, s.Sinks, s.C, s.P, s.D)
+}
+
+// RequestMulticast runs the admission test for a new multicast RT
+// channel and, if feasible, commits it. The whole sink tree — the
+// source uplink plus one downlink per sink — is one admission object:
+// the kernel builds a single tentative channel whose task appears on
+// every traversed link, verifies every affected link, and on any
+// rejection rolls the entire tree back, leaving the committed state
+// bit-identical to before the request. The partition is shared: the
+// uplink carries the data once with budget d_iu and every sink downlink
+// schedules its copy with the same d_id = D - d_iu, so shared capacity
+// is reserved once rather than once per sink.
+func (c *Controller) RequestMulticast(spec MulticastSpec) (*Channel, error) {
+	c.stats.Requests++
+	if err := spec.Validate(); err != nil {
+		c.stats.RejectedInvalid++
+		return nil, err
+	}
+	chs, rej := c.eng.Admit(1, func(_ int, id ChannelID) *Channel {
+		return &Channel{
+			ID:    id,
+			Spec:  spec.ChannelSpec(),
+			Sinks: append([]NodeID(nil), spec.Sinks...),
+		}
+	}, c.schemes)
+	if rej != nil {
+		re := &RejectionError{Link: rej.Link, Result: rej.Result}
+		c.noteRejection(re)
+		return nil, re
+	}
+	c.stats.Accepted++
+	return chs[0], nil
+}

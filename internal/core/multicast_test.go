@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/edf"
+)
+
+func TestMulticastSpecValidate(t *testing.T) {
+	ok := MulticastSpec{Src: 1, Sinks: []NodeID{2, 3}, C: 2, P: 20, D: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		spec MulticastSpec
+		want error
+	}{
+		{"no sinks", MulticastSpec{Src: 1, C: 2, P: 20, D: 10}, ErrNoSinks},
+		{"self loop", MulticastSpec{Src: 1, Sinks: []NodeID{2, 1}, C: 2, P: 20, D: 10}, ErrSelfLoop},
+		{"dup sink", MulticastSpec{Src: 1, Sinks: []NodeID{2, 3, 2}, C: 2, P: 20, D: 10}, ErrDuplicateSink},
+		{"bad C", MulticastSpec{Src: 1, Sinks: []NodeID{2}, C: 0, P: 20, D: 10}, ErrNonPositiveC},
+		{"bad P", MulticastSpec{Src: 1, Sinks: []NodeID{2}, C: 2, P: 0, D: 10}, ErrNonPositiveP},
+		{"C > P", MulticastSpec{Src: 1, Sinks: []NodeID{2}, C: 21, P: 20, D: 50}, ErrCExceedsP},
+		{"D < 2C", MulticastSpec{Src: 1, Sinks: []NodeID{2}, C: 3, P: 20, D: 5}, ErrDeadlineTooShort},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// starRef is a hand-built reference admission model for star multicast:
+// per-link task multisets with sequential per-branch admission — add the
+// uplink task once, then one downlink task per sink in order, testing
+// EDF feasibility after each addition, and roll everything back on the
+// first failure. RequestMulticast must make exactly the same decisions.
+type starRef struct {
+	tasks map[Link][]edf.Task
+}
+
+func newStarRef() *starRef { return &starRef{tasks: make(map[Link][]edf.Task)} }
+
+// admitMulticast runs the sequential per-branch reference decision.
+func (r *starRef) admitMulticast(spec MulticastSpec) (Partition, bool) {
+	part := clampPartition(spec.ChannelSpec(), spec.D/2) // SDPS
+	type add struct{ l Link }
+	var adds []add
+	addCheck := func(l Link, d int64) bool {
+		r.tasks[l] = append(r.tasks[l], edf.Task{C: spec.C, P: spec.P, D: d})
+		adds = append(adds, add{l})
+		return edf.Test(r.tasks[l], edf.Options{}).OK()
+	}
+	ok := addCheck(Uplink(spec.Src), part.Up)
+	if ok {
+		for _, sink := range spec.Sinks {
+			if !addCheck(Downlink(sink), part.Down) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		for i := len(adds) - 1; i >= 0; i-- {
+			s := r.tasks[adds[i].l]
+			r.tasks[adds[i].l] = s[:len(s)-1]
+		}
+		return Partition{}, false
+	}
+	return part, true
+}
+
+// linkFingerprint renders the admission-relevant state — link loads,
+// per-link task sets, channel count and the next channel ID — so tests
+// can assert bit-identity across a rejected request.
+func linkFingerprint(st *State) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "len=%d next=%d\n", st.Len(), st.k.NextID())
+	for _, l := range st.Links() {
+		fmt.Fprintf(&b, "%v load=%d tasks=%v\n", l, st.LinkLoad(l), st.TasksOn(l))
+	}
+	return b.String()
+}
+
+// TestRequestMulticastDecisionEquivalence drives a seeded random mix of
+// multicast requests through the controller under SDPS and checks every
+// verdict (and every committed partition) against the sequential
+// per-branch reference, plus bit-identity of the admission state across
+// each rejection.
+func TestRequestMulticastDecisionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewController(Config{DPS: SDPS{}})
+	ref := newStarRef()
+	const nodes = 6
+	accepted, rejected := 0, 0
+	for i := 0; i < 250; i++ {
+		src := NodeID(rng.Intn(nodes) + 1)
+		nSinks := rng.Intn(4) + 1
+		var sinks []NodeID
+		for _, p := range rng.Perm(nodes) {
+			id := NodeID(p + 1)
+			if id == src {
+				continue
+			}
+			sinks = append(sinks, id)
+			if len(sinks) == nSinks {
+				break
+			}
+		}
+		cap := int64(rng.Intn(3) + 1)
+		period := int64(rng.Intn(30) + 10)
+		d := 2*cap + int64(rng.Intn(20))
+		spec := MulticastSpec{Src: src, Sinks: sinks, C: cap, P: period, D: d}
+
+		before := linkFingerprint(c.State())
+		statsBefore := c.Stats()
+		ch, err := c.RequestMulticast(spec)
+		wantPart, wantOK := ref.admitMulticast(spec)
+
+		if wantOK != (err == nil) {
+			t.Fatalf("request %d %v: controller says err=%v, reference says ok=%v", i, spec, err, wantOK)
+		}
+		if err == nil {
+			if ch.Part != wantPart {
+				t.Fatalf("request %d %v: partition %+v, reference %+v", i, spec, ch.Part, wantPart)
+			}
+			if got := ch.Sinks; len(got) != len(sinks) {
+				t.Fatalf("request %d: channel records %d sinks, want %d", i, len(got), len(sinks))
+			}
+			accepted++
+			continue
+		}
+		var rej *RejectionError
+		if !errors.As(err, &rej) {
+			t.Fatalf("request %d: rejection is %T, want *RejectionError", i, err)
+		}
+		if after := linkFingerprint(c.State()); after != before {
+			t.Fatalf("request %d: rejected tree mutated admission state:\nbefore:\n%s\nafter:\n%s", i, before, after)
+		}
+		if st := c.Stats(); st.Accepted != statsBefore.Accepted || st.Released != statsBefore.Released {
+			t.Fatalf("request %d: rejection moved accept/release counters: %+v -> %+v", i, statsBefore, st)
+		}
+		rejected++
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate run: accepted=%d rejected=%d — want both outcomes exercised", accepted, rejected)
+	}
+}
+
+// TestRequestMulticastSharedUplinkBudget pins the tentpole property on
+// the star: N sinks consume one uplink task, not N.
+func TestRequestMulticastSharedUplinkBudget(t *testing.T) {
+	c := NewController(Config{DPS: SDPS{}})
+	spec := MulticastSpec{Src: 1, Sinks: []NodeID{2, 3, 4}, C: 2, P: 20, D: 12}
+	ch, err := c.RequestMulticast(spec)
+	if err != nil {
+		t.Fatalf("RequestMulticast: %v", err)
+	}
+	st := c.State()
+	if got := len(st.TasksOn(Uplink(1))); got != 1 {
+		t.Fatalf("uplink carries %d tasks, want 1 (shared trunk budget)", got)
+	}
+	if got := st.LinkLoad(Uplink(1)); got != 1 {
+		t.Fatalf("uplink load %d, want 1", got)
+	}
+	for _, sink := range spec.Sinks {
+		tasks := st.TasksOn(Downlink(sink))
+		if len(tasks) != 1 {
+			t.Fatalf("downlink %d carries %d tasks, want 1", sink, len(tasks))
+		}
+		if tasks[0].D != ch.Part.Down {
+			t.Fatalf("downlink %d budget %d, want %d", sink, tasks[0].D, ch.Part.Down)
+		}
+	}
+	if err := c.Release(ch.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := st.Len(); got != 0 {
+		t.Fatalf("after release %d channels remain", got)
+	}
+}
+
+// TestRequestMulticastADPSBottleneck checks the ADPS generalization:
+// the down budget is driven by the most loaded sink downlink.
+func TestRequestMulticastADPSBottleneck(t *testing.T) {
+	c := NewController(Config{DPS: ADPS{}})
+	// Preload downlink 3 so it is the bottleneck branch.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Request(ChannelSpec{Src: NodeID(10 + i), Dst: 3, C: 1, P: 40, D: 20}); err != nil {
+			t.Fatalf("preload %d: %v", i, err)
+		}
+	}
+	mc, err := c.RequestMulticast(MulticastSpec{Src: 1, Sinks: []NodeID{2, 3}, C: 2, P: 40, D: 20})
+	if err != nil {
+		t.Fatalf("RequestMulticast: %v", err)
+	}
+	if !mc.Multicast() {
+		t.Fatalf("channel does not report multicast")
+	}
+	// ADPS gives the loaded direction the larger share: LL(up)=1,
+	// LL(bottleneck down)=4 — the down budget must exceed the up budget.
+	if mc.Part.Down <= mc.Part.Up {
+		t.Fatalf("ADPS ignored the bottleneck sink: partition %+v", mc.Part)
+	}
+	if mc.Part.Up+mc.Part.Down != 20 || mc.Part.Up < 2 || mc.Part.Down < 2 {
+		t.Fatalf("invalid partition %+v", mc.Part)
+	}
+}
+
+// TestMulticastSnapshotRoundTrip checks that multicast channels survive
+// the snapshot/restore cycle with their sink sets intact.
+func TestMulticastSnapshotRoundTrip(t *testing.T) {
+	c := NewController(Config{DPS: SDPS{}})
+	if _, err := c.RequestMulticast(MulticastSpec{Src: 1, Sinks: []NodeID{2, 3}, C: 2, P: 20, D: 12}); err != nil {
+		t.Fatalf("RequestMulticast: %v", err)
+	}
+	if _, err := c.Request(ChannelSpec{Src: 4, Dst: 5, C: 1, P: 10, D: 6}); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	recs := c.Snapshot()
+	c2 := NewController(Config{DPS: SDPS{}})
+	if err := c2.Restore(recs); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, want := linkFingerprint(c2.State()), linkFingerprint(c.State()); got != want {
+		t.Fatalf("restored state differs:\n%s\nvs\n%s", got, want)
+	}
+	ch := c2.State().Channels()[0]
+	if !ch.Multicast() || len(ch.Sinks) != 2 {
+		t.Fatalf("restored channel lost its sinks: %+v", ch)
+	}
+}

@@ -20,6 +20,9 @@ type ChannelRecord struct {
 	D    int64     `json:"d"`
 	Up   int64     `json:"up"`   // committed d_iu
 	Down int64     `json:"down"` // committed d_id
+	// Sinks is the full sink set of a multicast channel (Dst is then
+	// Sinks[0]); absent for unicast channels.
+	Sinks []NodeID `json:"sinks,omitempty"`
 }
 
 // Snapshot exports all established channels in establishment order.
@@ -31,6 +34,7 @@ func (c *Controller) Snapshot() []ChannelRecord {
 			ID: ch.ID, Src: ch.Spec.Src, Dst: ch.Spec.Dst,
 			C: ch.Spec.C, P: ch.Spec.P, D: ch.Spec.D,
 			Up: ch.Part.Up, Down: ch.Part.Down,
+			Sinks: append([]NodeID(nil), ch.Sinks...),
 		})
 	}
 	return out
@@ -61,14 +65,22 @@ func (c *Controller) Restore(records []ChannelRecord) error {
 			return fmt.Errorf("core: record %d: duplicate channel ID %d", i, r.ID)
 		}
 		spec := ChannelSpec{Src: r.Src, Dst: r.Dst, C: r.C, P: r.P, D: r.D}
-		if err := spec.Validate(); err != nil {
+		if len(r.Sinks) > 0 {
+			ms := MulticastSpec{Src: r.Src, Sinks: r.Sinks, C: r.C, P: r.P, D: r.D}
+			if err := ms.Validate(); err != nil {
+				return fmt.Errorf("core: record %d: %w", i, err)
+			}
+			if r.Dst != r.Sinks[0] {
+				return fmt.Errorf("core: record %d: multicast dst %d is not sinks[0]=%d", i, r.Dst, r.Sinks[0])
+			}
+		} else if err := spec.Validate(); err != nil {
 			return fmt.Errorf("core: record %d: %w", i, err)
 		}
 		part := Partition{Up: r.Up, Down: r.Down}
 		if !part.ValidFor(spec) {
 			return fmt.Errorf("core: record %d: partition {%d %d} violates conditions (8)/(9)", i, r.Up, r.Down)
 		}
-		st.add(&Channel{ID: r.ID, Spec: spec, Part: part})
+		st.add(&Channel{ID: r.ID, Spec: spec, Part: part, Sinks: append([]NodeID(nil), r.Sinks...)})
 		if r.ID >= st.k.NextID() {
 			next := r.ID + 1
 			if next == 0 {

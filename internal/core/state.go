@@ -8,19 +8,30 @@ import (
 )
 
 // coreOps teaches the generic admission kernel (internal/admit) the star
-// vocabulary: a channel traverses exactly two links — its source uplink
-// (hop 0) and destination downlink (hop 1) — and its partition is the
-// two-way split {d_iu, d_id}.
+// vocabulary: a unicast channel traverses exactly two links — its source
+// uplink (hop 0) and destination downlink (hop 1) — and its partition is
+// the two-way split {d_iu, d_id}. A multicast channel traverses the
+// source uplink (hop 0) plus one downlink per sink (hops 1..N), all
+// sharing the same {d_iu, d_id} split — the data crosses the uplink once
+// and is copied onto every sink downlink by the switch.
 var coreOps = &admit.Ops[Link, *Channel, Partition]{
 	ID:     func(ch *Channel) admit.ID { return ch.ID },
 	UtilCP: func(ch *Channel) (int64, int64) { return ch.Spec.C, ch.Spec.P },
 	Links: func(ch *Channel) []Link {
-		ls := LinksOf(ch.Spec)
-		return ls[:]
+		if !ch.Multicast() {
+			ls := LinksOf(ch.Spec)
+			return ls[:]
+		}
+		links := make([]Link, 0, 1+len(ch.Sinks))
+		links = append(links, Uplink(ch.Spec.Src))
+		for _, sink := range ch.Sinks {
+			links = append(links, Downlink(sink))
+		}
+		return links
 	},
 	Task: func(ch *Channel, hop int) edf.Task {
 		d := ch.Part.Up
-		if hop == 1 {
+		if hop >= 1 {
 			d = ch.Part.Down
 		}
 		return edf.Task{C: ch.Spec.C, P: ch.Spec.P, D: d, Tag: ch.taskTag()}

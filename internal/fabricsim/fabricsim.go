@@ -28,21 +28,28 @@ import (
 	"repro/internal/topo"
 )
 
-// rtFrame is one in-flight maximal frame.
+// rtFrame is one in-flight maximal frame (or, past a multicast branch
+// point, one in-flight copy of it).
 type rtFrame struct {
 	ch      *channelRT
 	release int64
 	hop     int // index into the route currently being traversed
 }
 
-// channelRT is the runtime state of one admitted channel.
+// channelRT is the runtime state of one admitted channel. A unicast
+// route is the degenerate tree whose every edge has exactly one child;
+// a multicast channel's frames are replicated onto every child edge at
+// branch points and measured at every leaf (so Delivered counts
+// per-sink deliveries).
 type channelRT struct {
-	id      core.ChannelID
-	spec    core.ChannelSpec
-	route   []topo.Edge
-	cum     []int64 // cumulative hop deadlines: cum[i] = sum(Hops[0..i])
-	next    int64   // next release slot
-	metrics *Metrics
+	id       core.ChannelID
+	spec     core.ChannelSpec
+	route    []topo.Edge
+	parents  []int   // tree shape: edge feeding edge i (-1 = root)
+	children [][]int // inverse of parents; empty children = leaf edge
+	cum      []int64 // cumulative deadline at edge i: Hops[i] + cum[parents[i]]
+	next     int64   // next release slot
+	metrics  *Metrics
 
 	started bool // a periodic source has been attached
 	stopped bool // traffic stopped (Stop/Remove); in-flight frames drain
@@ -121,12 +128,15 @@ func (s *Sim) Install(hch *topo.HChannel) error {
 	if old := s.byID[hch.ID]; old != nil && !old.stopped {
 		return fmt.Errorf("fabricsim: channel %d already installed", hch.ID)
 	}
+	parents := treeParents(hch)
 	rt := &channelRT{
-		id:      hch.ID,
-		spec:    hch.Spec,
-		route:   append([]topo.Edge(nil), hch.Route...),
-		cum:     cumBudgets(hch.Hops),
-		metrics: &Metrics{Delays: stats.NewDelay(0)},
+		id:       hch.ID,
+		spec:     hch.Spec,
+		route:    append([]topo.Edge(nil), hch.Route...),
+		parents:  parents,
+		children: treeChildren(parents),
+		cum:      cumBudgets(hch.Hops, parents),
+		metrics:  &Metrics{Delays: stats.NewDelay(0)},
 	}
 	s.channels = append(s.channels, rt)
 	s.byID[hch.ID] = rt
@@ -152,7 +162,7 @@ func (s *Sim) SetBudgets(id core.ChannelID, hops []int64) error {
 	if len(hops) != len(ch.route) {
 		return fmt.Errorf("fabricsim: budget vector length %d for %d hops", len(hops), len(ch.route))
 	}
-	ch.cum = cumBudgets(hops)
+	ch.cum = cumBudgets(hops, ch.parents)
 	return nil
 }
 
@@ -205,12 +215,41 @@ func (s *Sim) Remove(id core.ChannelID) error {
 	return nil
 }
 
-func cumBudgets(hops []int64) []int64 {
+// treeParents extracts the parent-index form of a channel's route —
+// the explicit tree for multicast, the implicit chain for unicast.
+func treeParents(hch *topo.HChannel) []int {
+	if hch.Parents != nil {
+		return append([]int(nil), hch.Parents...)
+	}
+	parents := make([]int, len(hch.Route))
+	for i := range parents {
+		parents[i] = i - 1
+	}
+	return parents
+}
+
+// treeChildren inverts a parent-index vector (parents[i] < i holds by
+// construction, so child lists come out in edge order).
+func treeChildren(parents []int) [][]int {
+	children := make([][]int, len(parents))
+	for i, p := range parents {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	return children
+}
+
+// cumBudgets accumulates per-edge deadline budgets down the tree:
+// cum[i] = hops[i] + cum[parents[i]] is the frame's hop-local absolute
+// deadline offset at edge i. On a chain this is the plain prefix sum.
+func cumBudgets(hops []int64, parents []int) []int64 {
 	cum := make([]int64, len(hops))
-	var acc int64
 	for i, h := range hops {
-		acc += h
-		cum[i] = acc
+		cum[i] = h
+		if p := parents[i]; p >= 0 {
+			cum[i] += cum[p]
+		}
 	}
 	return cum
 }
@@ -286,10 +325,13 @@ func (l *link) decide() {
 }
 
 // arrive handles a frame completing one hop: final delivery measurement
-// or hand-off (optionally shaped) to the next hop.
+// at a leaf edge, or hand-off (optionally shaped) to every child edge —
+// at a multicast branch point the frame is replicated, one copy per
+// subtree, each measured independently at its own leaf.
 func (s *Sim) arrive(f *rtFrame) {
 	now := s.eng.Now()
-	if f.hop == len(f.ch.route)-1 {
+	kids := f.ch.children[f.hop]
+	if len(kids) == 0 {
 		delay := now - f.release
 		f.ch.metrics.Delivered++
 		f.ch.metrics.Delays.Observe(delay)
@@ -299,12 +341,19 @@ func (s *Sim) arrive(f *rtFrame) {
 		return
 	}
 	prevDeadline := f.release + f.ch.cum[f.hop]
-	f.hop++
-	if s.shaping && prevDeadline > now {
-		s.eng.At(prevDeadline, func() { s.inject(f) })
-		return
+	for i, next := range kids {
+		nf := f
+		if i > 0 {
+			nf = &rtFrame{ch: f.ch, release: f.release}
+		}
+		nf.hop = next
+		if s.shaping && prevDeadline > now {
+			held := nf
+			s.eng.At(prevDeadline, func() { s.inject(held) })
+			continue
+		}
+		s.inject(nf)
 	}
-	s.inject(f)
 }
 
 // Channel returns the metrics of one channel, or nil. For a removed

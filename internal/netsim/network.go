@@ -217,7 +217,7 @@ func (n *Network) EstablishChannels(specs []core.ChannelSpec) ([]core.ChannelID,
 	}
 	ids := make([]core.ChannelID, len(chs))
 	for i, ch := range chs {
-		n.sw.dataplane[ch.ID] = ch.Spec.Dst
+		n.sw.dataplane[ch.ID] = fanout(ch)
 		ids[i] = ch.ID
 	}
 	return ids, nil
@@ -262,10 +262,34 @@ func (n *Network) EstablishEachChannels(specs []core.ChannelSpec) ([]core.Channe
 			continue
 		}
 		ch := chs[vi]
-		n.sw.dataplane[ch.ID] = ch.Spec.Dst
+		n.sw.dataplane[ch.ID] = fanout(ch)
 		ids[i] = ch.ID
 	}
 	return ids, errs
+}
+
+// EstablishMulticastChannel admits a one-to-many channel through the
+// management plane as one atomic admission decision
+// (core.Controller.RequestMulticast): the source uplink plus every sink
+// downlink is verified against a single tentative state, and any
+// rejection rolls the whole tree back. On acceptance the switch
+// dataplane fans the channel's frames out to every sink. Like the batch
+// paths, no wire handshake runs and no virtual time elapses.
+func (n *Network) EstablishMulticastChannel(spec core.MulticastSpec) (core.ChannelID, error) {
+	if n.nodes[spec.Src] == nil {
+		return 0, fmt.Errorf("%w: source node %d", ErrUnknownNode, spec.Src)
+	}
+	for _, s := range spec.Sinks {
+		if n.nodes[s] == nil {
+			return 0, fmt.Errorf("%w: sink node %d", ErrUnknownNode, s)
+		}
+	}
+	ch, err := n.ctrl.RequestMulticast(spec)
+	if err != nil {
+		return 0, err
+	}
+	n.sw.dataplane[ch.ID] = fanout(ch)
+	return ch.ID, nil
 }
 
 // StopTraffic detaches the periodic source of a channel without releasing
@@ -284,15 +308,31 @@ func (n *Network) StopTraffic(id core.ChannelID) error {
 }
 
 // ChannelMetrics returns the receiver-side measurements of one channel,
-// or nil when it has not delivered any traffic yet. The returned struct
-// is live — it keeps accumulating as the simulation advances.
+// or nil when it has not delivered any traffic yet. With a single
+// receiver (unicast) the returned struct is live — it keeps
+// accumulating as the simulation advances. A multicast channel's
+// metrics aggregate every sink's deliveries (counters summed, delay
+// distributions merged) into a fresh snapshot.
 func (n *Network) ChannelMetrics(id core.ChannelID) *ChannelMetrics {
+	var found []*ChannelMetrics
 	for _, nid := range n.nodeIDs {
 		if m := n.nodes[nid].rxChannels[id]; m != nil {
-			return m
+			found = append(found, m)
 		}
 	}
-	return nil
+	switch len(found) {
+	case 0:
+		return nil
+	case 1:
+		return found[0]
+	}
+	agg := newChannelMetrics()
+	for _, m := range found {
+		agg.Delivered += m.Delivered
+		agg.Misses += m.Misses
+		agg.Delays.Merge(m.Delays)
+	}
+	return agg
 }
 
 // ForceChannel installs a channel in both the admission state and the
@@ -307,7 +347,7 @@ func (n *Network) ForceChannel(spec core.ChannelSpec, part core.Partition) (core
 	if err != nil {
 		return 0, err
 	}
-	n.sw.dataplane[ch.ID] = spec.Dst
+	n.sw.dataplane[ch.ID] = fanout(ch)
 	return ch.ID, nil
 }
 

@@ -56,6 +56,17 @@ func (n *Network) Report() *Report {
 	for _, id := range n.nodeIDs {
 		node := n.nodes[id]
 		for chID, m := range node.rxChannels {
+			if prev := r.Channels[chID]; prev != nil {
+				// Several receivers (multicast): aggregate into a snapshot
+				// instead of overwriting one sink's view with another's.
+				merged := newChannelMetrics()
+				merged.Delivered = prev.Delivered + m.Delivered
+				merged.Misses = prev.Misses + m.Misses
+				merged.Delays.Merge(prev.Delays)
+				merged.Delays.Merge(m.Delays)
+				r.Channels[chID] = merged
+				continue
+			}
 			r.Channels[chID] = m
 		}
 		r.NonRTDelivered += node.rxNonRTN

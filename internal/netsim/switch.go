@@ -20,8 +20,9 @@ type Switch struct {
 	// macs maps node MACs to IDs for forwarding.
 	macs map[frame.MAC]core.NodeID
 
-	// dataplane is the RT channel forwarding table: channel → destination.
-	dataplane map[core.ChannelID]core.NodeID
+	// dataplane is the RT channel forwarding table: channel → destination
+	// set (one entry for unicast, the sink set for multicast fan-out).
+	dataplane map[core.ChannelID][]core.NodeID
 	// pendingResp tracks establishment handshakes awaiting the
 	// destination's ResponseFrame: channel → requesting node.
 	pendingResp map[core.ChannelID]core.NodeID
@@ -39,7 +40,7 @@ func newSwitch(n *Network) *Switch {
 		net:         n,
 		down:        make(map[core.NodeID]*transmitter),
 		macs:        make(map[frame.MAC]core.NodeID),
-		dataplane:   make(map[core.ChannelID]core.NodeID),
+		dataplane:   make(map[core.ChannelID][]core.NodeID),
 		pendingResp: make(map[core.ChannelID]core.NodeID),
 	}
 }
@@ -87,20 +88,29 @@ func (sw *Switch) ingressTeardown(from *Node, b []byte) {
 		sw.badFrames++
 		return
 	}
-	dst := ch.Spec.Dst
+	dsts := fanout(ch)
 	sw.forget(id)
 	_ = sw.net.ctrl.Release(id)
-	if tx := sw.down[dst]; tx != nil {
-		tx.enqueueNonRT(b)
+	for i, dst := range dsts {
+		tx := sw.down[dst]
+		if tx == nil {
+			continue
+		}
+		copyB := b
+		if i > 0 {
+			copyB = append([]byte(nil), b...)
+		}
+		tx.enqueueNonRT(copyB)
 	}
 }
 
 // ingressRTData forwards an RT datagram to the destination port's EDF
-// queue under its stamped absolute deadline. With shaping enabled the
-// frame only becomes eligible at absDeadline - d_id — a frame that beat
-// its uplink budget waits out the difference, so the downlink never sees
-// a release pattern burstier than the periodic one its feasibility test
-// assumed.
+// queue under its stamped absolute deadline — for a multicast channel,
+// to every sink port, each copy scheduled independently under the
+// shared downlink budget. With shaping enabled the frame only becomes
+// eligible at absDeadline - d_id — a frame that beat its uplink budget
+// waits out the difference, so the downlink never sees a release
+// pattern burstier than the periodic one its feasibility test assumed.
 func (sw *Switch) ingressRTData(b []byte) {
 	deadline, chID, err := frame.PeekDeadline(b)
 	if err != nil {
@@ -108,32 +118,49 @@ func (sw *Switch) ingressRTData(b []byte) {
 		return
 	}
 	id := core.ChannelID(chID)
-	dst, ok := sw.dataplane[id]
+	dsts, ok := sw.dataplane[id]
 	if !ok {
 		sw.unroutable++
 		return
 	}
-	tx := sw.down[dst]
-	if tx == nil {
-		sw.unroutable++
-		return
-	}
-	sw.rtForwarded++
-
 	ch := sw.net.ctrl.State().Get(id)
 	if ch == nil {
 		sw.unroutable++
 		return
 	}
-	eligible := deadline - ch.Part.Down
 	now := sw.net.eng.Now()
-	if !sw.net.cfg.DisableShaping && eligible > now {
-		sw.shapedHolds++
-		sw.net.emit(EvShaperHold, dst, id, eligible)
-		sw.net.eng.At(eligible, func() { tx.enqueueRT(deadline, ch.Part.Down, b) })
-		return
+	eligible := deadline - ch.Part.Down
+	for i, dst := range dsts {
+		tx := sw.down[dst]
+		if tx == nil {
+			sw.unroutable++
+			continue
+		}
+		sw.rtForwarded++
+		copyB := b
+		if i > 0 {
+			// Fan-out replicates the frame; each sink's copy must be
+			// independent (delivery hooks may mutate the bytes).
+			copyB = append([]byte(nil), b...)
+		}
+		if !sw.net.cfg.DisableShaping && eligible > now {
+			sw.shapedHolds++
+			sw.net.emit(EvShaperHold, dst, id, eligible)
+			held := copyB
+			sw.net.eng.At(eligible, func() { tx.enqueueRT(deadline, ch.Part.Down, held) })
+			continue
+		}
+		tx.enqueueRT(deadline, ch.Part.Down, copyB)
 	}
-	tx.enqueueRT(deadline, ch.Part.Down, b)
+}
+
+// fanout returns a channel's destination set for the forwarding table:
+// the sink set of a multicast channel, the single destination otherwise.
+func fanout(ch *core.Channel) []core.NodeID {
+	if ch.Multicast() {
+		return ch.Sinks
+	}
+	return []core.NodeID{ch.Spec.Dst}
 }
 
 // ingressConnect is the RT channel management entry point (§18.2.2): run
@@ -198,7 +225,7 @@ func (sw *Switch) ingressResponse(b []byte) {
 	delete(sw.pendingResp, id)
 	if resp.Accept {
 		if ch := sw.net.ctrl.State().Get(id); ch != nil {
-			sw.dataplane[id] = ch.Spec.Dst
+			sw.dataplane[id] = fanout(ch)
 		}
 	} else {
 		_ = sw.net.ctrl.Release(id)

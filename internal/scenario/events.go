@@ -33,6 +33,13 @@ const (
 	// not declared in the background section starts at rate 0; rate 0
 	// silences a flow.
 	KindSetBackground = "setBackground"
+	// KindPublish releases a burst of count messages (default 1) on a
+	// named multicast channel, one per period starting at the event's
+	// slot (plus offset). The channel must be established and idle at
+	// that slot — multicast sources idle between publish bursts, so
+	// bursts on one channel must not overlap: the next may start no
+	// earlier than offset + count*P after this one.
+	KindPublish = "publish"
 )
 
 // EventDef is one timeline entry. Which fields apply depends on Kind;
@@ -58,6 +65,9 @@ type EventDef struct {
 	// channel's declared offset.
 	Offset int64 `json:"offset,omitempty"`
 
+	// Count sizes a publish burst (messages, one per period); 0 means 1.
+	Count int64 `json:"count,omitempty"`
+
 	// Optional tolerates an admission rejection: the outcome is recorded
 	// and the run continues. Default false — a rejected timeline event
 	// fails the scenario.
@@ -78,6 +88,7 @@ type timedEvent struct {
 
 	names    []string // subject channel name(s)
 	c, p, d  int64    // reconfigure overrides
+	count    int64    // publish burst size
 	offset   int64
 	optional bool
 
@@ -100,6 +111,12 @@ type timeline struct {
 // validateEvents checks every declared event in isolation (kinds, field
 // usage, references). The cross-event state machine runs in timeline().
 func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool) error {
+	defs := make(map[string]ChannelDef, len(s.Channels))
+	for _, ch := range s.Channels {
+		if ch.Name != "" {
+			defs[ch.Name] = ch
+		}
+	}
 	for i, ev := range s.Events {
 		fail := func(format string, args ...any) error {
 			return fmt.Errorf("scenario: event %d (at %d): %s", i, ev.At, fmt.Sprintf(format, args...))
@@ -119,6 +136,9 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 				return fail("%s takes one channel, not a channels list", ev.Kind)
 			}
 			if ev.Kind == KindReconfigure {
+				if defs[ev.Channel].multicast() {
+					return fail("multicast channel %q cannot be reconfigured (release and re-establish)", ev.Channel)
+				}
 				if ev.C < 0 || ev.P < 0 || ev.D < 0 {
 					return fail("negative channel parameter")
 				}
@@ -127,6 +147,25 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 				}
 			} else if ev.C != 0 || ev.P != 0 || ev.D != 0 {
 				return fail("%s does not take c/p/d (use reconfigure)", ev.Kind)
+			}
+		case KindPublish:
+			if ev.Channel == "" {
+				return fail("publish needs a channel name")
+			}
+			if !names[ev.Channel] {
+				return fail("references undefined channel %q", ev.Channel)
+			}
+			if !defs[ev.Channel].multicast() {
+				return fail("publish targets unicast channel %q (publish needs a sinks-bearing channel)", ev.Channel)
+			}
+			if len(ev.Channels) > 0 {
+				return fail("publish takes one channel, not a channels list")
+			}
+			if ev.C != 0 || ev.P != 0 || ev.D != 0 {
+				return fail("publish does not take c/p/d")
+			}
+			if ev.Count < 0 {
+				return fail("negative count")
 			}
 		case KindEstablishAll:
 			if len(ev.Channels) == 0 {
@@ -142,6 +181,9 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 				}
 				if seen[name] {
 					return fail("channel %q listed twice", name)
+				}
+				if defs[name].multicast() {
+					return fail("establishAll member %q is multicast (a tree is already one atomic decision; use establish)", name)
 				}
 				seen[name] = true
 			}
@@ -167,6 +209,9 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 		if ev.Offset < 0 {
 			return fail("negative offset")
 		}
+		if ev.Count != 0 && ev.Kind != KindPublish {
+			return fail("%s does not take count (publish only)", ev.Kind)
+		}
 	}
 	return nil
 }
@@ -190,7 +235,7 @@ func (s *Scenario) timeline() (*timeline, error) {
 	for i, ev := range s.Events {
 		te := timedEvent{
 			at: ev.At, seq: i, kind: ev.Kind,
-			c: ev.C, p: ev.P, d: ev.D,
+			c: ev.C, p: ev.P, d: ev.D, count: ev.Count,
 			offset: ev.Offset, optional: ev.Optional,
 			src: ev.Src, dst: ev.Dst, rate: ev.Rate,
 		}
@@ -238,6 +283,10 @@ func (s *Scenario) timeline() (*timeline, error) {
 	// addressable channel through the timeline.
 	established := make(map[string]bool, len(tl.defs))
 	specs := make(map[string]core.ChannelSpec, len(tl.defs))
+	// publishUntil tracks, per multicast channel, the first slot after
+	// its latest publish burst — bursts must not overlap because each
+	// (re)attaches the channel's single periodic source.
+	publishUntil := make(map[string]int64)
 	for name, def := range tl.defs {
 		established[name] = !tl.deferred[name]
 		specs[name] = def.spec()
@@ -261,6 +310,20 @@ func (s *Scenario) timeline() (*timeline, error) {
 				return nil, fmt.Errorf("scenario: timeline: slot %d releases channel %q, which is not established then", ev.at, name)
 			}
 			established[name] = false
+			delete(publishUntil, name) // releasing cuts any running burst short
+		case KindPublish:
+			name := ev.names[0]
+			if !established[name] {
+				return nil, fmt.Errorf("scenario: timeline: slot %d publishes on channel %q, which is not established then", ev.at, name)
+			}
+			if until, busy := publishUntil[name]; busy && ev.at < until {
+				return nil, fmt.Errorf("scenario: timeline: slot %d publishes on channel %q while its previous burst runs until slot %d", ev.at, name, until)
+			}
+			count := ev.count
+			if count == 0 {
+				count = 1
+			}
+			publishUntil[name] = ev.at + ev.offset + (count-1)*specs[name].P + 1
 		case KindReconfigure:
 			name := ev.names[0]
 			if !established[name] {

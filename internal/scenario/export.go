@@ -35,6 +35,9 @@ type WorkItem struct {
 	Name string
 	// Spec is the requested channel (establish items).
 	Spec rtether.ChannelSpec
+	// Sinks marks a multicast establish: one distribution tree from
+	// Spec.Src over every sink, requested atomically (Spec.Dst is 0).
+	Sinks []rtether.NodeID
 	// Optional marks establishes whose rejection the scenario
 	// tolerates (churn arrivals, optional channels).
 	Optional bool
@@ -57,17 +60,19 @@ func (s *Scenario) Workload() (items []WorkItem, skipped int, err error) {
 			continue
 		}
 		items = append(items, WorkItem{
-			Name: ch.Name, Spec: ch.spec(), Optional: ch.Optional,
+			Name: ch.Name, Spec: ch.spec(), Sinks: ch.mspec().Sinks, Optional: ch.Optional,
 		})
 	}
 	for _, ev := range tl.events {
 		switch ev.kind {
 		case KindEstablish, KindEstablishAll:
 			for _, name := range ev.names {
+				def := tl.defs[name]
 				items = append(items, WorkItem{
 					At: ev.at, Name: name,
-					Spec:     tl.defs[name].spec(),
-					Optional: ev.optional || tl.defs[name].Optional,
+					Spec:     def.spec(),
+					Sinks:    def.mspec().Sinks,
+					Optional: ev.optional || def.Optional,
 				})
 			}
 		case KindRelease:

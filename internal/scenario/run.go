@@ -121,7 +121,7 @@ func (s *Scenario) execute(verifyWorkers int, simulate bool) (*Result, error) {
 		if ch.Name != "" && tl.deferred[ch.Name] {
 			continue
 		}
-		h, err := s.establishOne(net, ch.spec(), simulate)
+		h, err := s.establishDef(net, ch, simulate)
 		if err != nil {
 			if ch.Optional {
 				res.Rejected++
@@ -132,7 +132,9 @@ func (s *Scenario) execute(verifyWorkers int, simulate bool) (*Result, error) {
 		if ch.Name != "" {
 			handles[ch.Name] = h
 		}
-		if simulate {
+		// Multicast sources stay idle until a publish event triggers a
+		// burst; unicast channels stream periodically from the start.
+		if simulate && !ch.multicast() {
 			if err := h.Start(ch.Offset); err != nil {
 				return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
 			}
@@ -179,6 +181,17 @@ func (s *Scenario) establishOne(net *rtether.Network, spec rtether.ChannelSpec, 
 	return chs[0], nil
 }
 
+// establishDef requests a declared channel, dispatching on its kind:
+// multicast definitions admit their whole distribution tree atomically
+// through the management plane (there is no wire handshake for trees,
+// so no virtual time passes in either mode).
+func (s *Scenario) establishDef(net *rtether.Network, def ChannelDef, simulate bool) (*rtether.Channel, error) {
+	if def.multicast() {
+		return net.EstablishMulticast(def.mspec())
+	}
+	return s.establishOne(net, def.spec(), simulate)
+}
+
 // applyEvent executes one timeline event against the live network. The
 // returned error is non-nil only for fatal conditions (a mandatory
 // rejection or an internal inconsistency); tolerated rejections land in
@@ -192,7 +205,8 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 	switch ev.kind {
 	case KindEstablish:
 		name := ev.names[0]
-		h, err := s.establishOne(net, tl.defs[name].spec(), simulate)
+		def := tl.defs[name]
+		h, err := s.establishDef(net, def, simulate)
 		if err != nil {
 			if !ev.optional {
 				return fatal(err)
@@ -201,8 +215,8 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 			return out, nil
 		}
 		handles[name] = h
-		if simulate {
-			if err := h.Start(startOffset(ev, tl.defs[name])); err != nil {
+		if simulate && !def.multicast() {
+			if err := h.Start(startOffset(ev, def)); err != nil {
 				return fatal(err)
 			}
 		}
@@ -278,6 +292,31 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 		}
 		out.Accepted = true
 		out.Detail = describe(nh)
+	case KindPublish:
+		name := ev.names[0]
+		h := handles[name]
+		if h == nil {
+			out.Skipped = true
+			out.Detail = "never established"
+			return out, nil
+		}
+		count := ev.count
+		if count == 0 {
+			count = 1
+		}
+		out.Detail = fmt.Sprintf("%d msg", count)
+		if simulate {
+			// A burst is the channel's periodic source running for count
+			// periods: attach it now, detach it after the last release.
+			// Validation guarantees bursts on one channel never overlap; a
+			// mid-burst release just makes the scheduled stop a no-op.
+			if err := h.Start(ev.offset); err != nil {
+				return fatal(err)
+			}
+			stopAt := net.Now() + ev.offset + (count-1)*h.Spec().P + 1
+			net.Schedule(stopAt, func() { _ = h.Stop() })
+		}
+		out.Accepted = true
 	case KindSetBackground:
 		// The rate change itself was folded into the pre-scheduled
 		// arrival processes (scheduleBackground); in replay mode there is

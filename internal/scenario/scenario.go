@@ -58,13 +58,18 @@ type ChannelDef struct {
 	// Name makes the channel addressable from the events timeline. Names
 	// must be unique and must not contain '#' (reserved for channels
 	// synthesized by churn generators).
-	Name   string `json:"name,omitempty"`
-	Src    uint16 `json:"src"`
-	Dst    uint16 `json:"dst"`
-	C      int64  `json:"c"`
-	P      int64  `json:"p"`
-	D      int64  `json:"d"`
-	Offset int64  `json:"offset,omitempty"` // release phase, slots
+	Name string `json:"name,omitempty"`
+	Src  uint16 `json:"src"`
+	Dst  uint16 `json:"dst"`
+	// Sinks turns the channel into a multicast channel: one distribution
+	// tree from Src to every listed sink, admitted atomically (dst must
+	// be omitted). Multicast channels model publisher-driven topics:
+	// their traffic source idles until a publish event triggers a burst.
+	Sinks  []uint16 `json:"sinks,omitempty"`
+	C      int64    `json:"c"`
+	P      int64    `json:"p"`
+	D      int64    `json:"d"`
+	Offset int64    `json:"offset,omitempty"` // release phase, slots
 	// Optional tolerates rejection: by default a rejected channel fails
 	// the scenario (declared channels are presumed load-bearing).
 	Optional bool `json:"optional,omitempty"`
@@ -76,6 +81,19 @@ func (c ChannelDef) spec() core.ChannelSpec {
 		Src: core.NodeID(c.Src), Dst: core.NodeID(c.Dst),
 		C: c.C, P: c.P, D: c.D,
 	}
+}
+
+// multicast reports whether the definition declares a sink set.
+func (c ChannelDef) multicast() bool { return len(c.Sinks) > 0 }
+
+// mspec returns the multicast admission request of a sinks-bearing
+// definition.
+func (c ChannelDef) mspec() core.MulticastSpec {
+	sinks := make([]core.NodeID, len(c.Sinks))
+	for i, s := range c.Sinks {
+		sinks[i] = core.NodeID(s)
+	}
+	return core.MulticastSpec{Src: core.NodeID(c.Src), Sinks: sinks, C: c.C, P: c.P, D: c.D}
 }
 
 // BackgroundDef is one Poisson best-effort flow (star networks only; the
@@ -162,11 +180,28 @@ func (s *Scenario) compile() (*timeline, error) {
 	}
 	names := make(map[string]bool, len(s.Channels))
 	for i, ch := range s.Channels {
-		if !nodeSet[ch.Src] || !nodeSet[ch.Dst] {
-			return nil, fmt.Errorf("scenario: channel %d references undeclared node", i)
-		}
-		if err := ch.spec().Validate(); err != nil {
-			return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
+		if ch.multicast() {
+			if ch.Dst != 0 {
+				return nil, fmt.Errorf("scenario: channel %d: dst and sinks are mutually exclusive", i)
+			}
+			if !nodeSet[ch.Src] {
+				return nil, fmt.Errorf("scenario: channel %d references undeclared node", i)
+			}
+			for _, sink := range ch.Sinks {
+				if !nodeSet[sink] {
+					return nil, fmt.Errorf("scenario: channel %d: undeclared sink %d", i, sink)
+				}
+			}
+			if err := ch.mspec().Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
+			}
+		} else {
+			if !nodeSet[ch.Src] || !nodeSet[ch.Dst] {
+				return nil, fmt.Errorf("scenario: channel %d references undeclared node", i)
+			}
+			if err := ch.spec().Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: channel %d: %w", i, err)
+			}
 		}
 		if ch.Offset < 0 {
 			return nil, fmt.Errorf("scenario: channel %d: negative offset", i)

@@ -19,12 +19,15 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/pubsub"
 	"repro/internal/topo"
 	"repro/rtether"
 	"repro/rtether/wire"
@@ -56,7 +59,9 @@ type Server struct {
 	mux       *http.ServeMux
 	coal      *coalescer
 	hub       *hub
+	topics    *pubsub.Registry
 	log       *log.Logger
+	start     time.Time
 	closeOnce sync.Once
 }
 
@@ -64,14 +69,29 @@ type Server struct {
 // dispatcher.
 func New(cfg Config) *Server {
 	s := &Server{
-		net: cfg.Network,
-		mux: http.NewServeMux(),
-		hub: newHub(),
-		log: cfg.Log,
+		net:   cfg.Network,
+		mux:   http.NewServeMux(),
+		hub:   newHub(),
+		log:   cfg.Log,
+		start: time.Now(),
 	}
 	s.coal = newCoalescer(cfg.Network, cfg.CoalesceWindow, cfg.MaxBatch, s.noteVerdict, s.noteRelease)
+	// Topic channel lifecycle republishes on the /v1/watch feed so a
+	// watcher sees membership-driven re-admissions like any other verdict.
+	s.topics = pubsub.NewRegistry(cfg.Network, pubsub.Hooks{
+		Admitted: func(topic string, ch *rtether.Channel) {
+			ws := wire.FromSpec(ch.Spec())
+			s.logf("admit RT#%d topic %q sinks=%v budgets=%v", ch.ID(), topic, ch.Sinks(), ch.Budgets())
+			s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint16(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
+		},
+		Released: func(topic string, id rtether.ChannelID) {
+			s.logf("release RT#%d topic %q", id, topic)
+			s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint16(id)})
+		},
+	})
 	s.mux.HandleFunc("POST /v1/establish", s.handleEstablish)
 	s.mux.HandleFunc("POST /v1/establishAll", s.handleEstablishAll)
+	s.mux.HandleFunc("POST /v1/multicast", s.handleEstablishMulticast)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -79,6 +99,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/topics", s.handleCreateTopic)
+	s.mux.HandleFunc("GET /v1/topics", s.handleListTopics)
+	s.mux.HandleFunc("POST /v1/topics/publish", s.handlePublish)
+	s.mux.HandleFunc("GET /v1/topics/subscribe", s.handleSubscribe)
 	return s
 }
 
@@ -91,6 +115,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.coal.close()
+		s.topics.Close()
 		s.hub.close()
 		s.logf("closed: %d establishes in %d flights (max merged %d)",
 			s.coal.establishes.Load(), s.coal.flights.Load(), s.coal.maxMerged.Load())
@@ -139,6 +164,12 @@ func errorBody(err error) *wire.Error {
 		return &wire.Error{Code: wire.CodeUnknownChannel, Message: err.Error()}
 	case errors.Is(err, topo.ErrNoRoute), errors.Is(err, topo.ErrUnknownNode), errors.Is(err, netsim.ErrUnknownNode):
 		return &wire.Error{Code: wire.CodeNoRoute, Message: err.Error()}
+	case errors.Is(err, pubsub.ErrUnknownTopic):
+		return &wire.Error{Code: wire.CodeUnknownTopic, Message: err.Error()}
+	case errors.Is(err, pubsub.ErrDuplicateTopic):
+		return &wire.Error{Code: wire.CodeDuplicateTopic, Message: err.Error()}
+	case errors.Is(err, pubsub.ErrClosed):
+		return &wire.Error{Code: wire.CodeClosed, Message: err.Error()}
 	case isSpecError(err):
 		return &wire.Error{Code: wire.CodeInvalidSpec, Message: err.Error()}
 	default:
@@ -151,6 +182,7 @@ func isSpecError(err error) bool {
 	for _, sentinel := range []error{
 		core.ErrSelfLoop, core.ErrNonPositiveC, core.ErrNonPositiveP,
 		core.ErrCExceedsP, core.ErrDeadlineTooShort,
+		core.ErrNoSinks, core.ErrDuplicateSink,
 		topo.ErrDeadlineTooShortForRoute,
 	} {
 		if errors.Is(err, sentinel) {
@@ -168,9 +200,9 @@ func statusOf(code string) int {
 		return http.StatusBadRequest
 	case wire.CodeInvalidSpec, wire.CodeNoRoute:
 		return http.StatusUnprocessableEntity
-	case wire.CodeInfeasible:
+	case wire.CodeInfeasible, wire.CodeDuplicateTopic:
 		return http.StatusConflict
-	case wire.CodeUnknownChannel:
+	case wire.CodeUnknownChannel, wire.CodeUnknownTopic:
 		return http.StatusNotFound
 	case wire.CodeClosed:
 		return http.StatusServiceUnavailable
@@ -223,6 +255,25 @@ func (s *Server) handleEstablish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ch, err := s.coal.establish(r.Context(), req.Spec.ChannelSpec())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, channelReply(ch))
+}
+
+// handleEstablishMulticast admits one multicast tree, bypassing the
+// coalescer: the tree is already one atomic kernel decision (all links
+// of all branches admit or roll back together), so there is no merged
+// pass to join. Verdicts reach the watch feed like unicast ones.
+func (s *Server) handleEstablishMulticast(w http.ResponseWriter, r *http.Request) {
+	var req wire.EstablishMulticastRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	spec := req.Spec.MulticastSpec()
+	ch, err := s.net.EstablishMulticast(spec)
+	s.noteVerdict(spec.ChannelSpec(), ch, err)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -413,8 +464,132 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz answers liveness probes.
+// handleHealthz answers liveness probes with a JSON operational
+// summary: uptime, build identity, the watch feed's sequence high-water
+// mark, and the open channel / topic counts.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, wire.HealthzReply{
+		Status:     "ok",
+		UptimeSecs: time.Since(s.start).Seconds(),
+		GoVersion:  runtime.Version(),
+		Build:      buildID(),
+		WatchSeq:   s.hub.lastSeq(),
+		Channels:   len(s.net.Channels()),
+		Topics:     s.topics.Len(),
+	})
+}
+
+// buildID describes the running binary from the embedded build info:
+// the main module version, plus the VCS revision when the binary was
+// built inside a checkout.
+func buildID() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	id := info.Main.Version
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			rev := kv.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			id += "+" + rev
+			break
+		}
+	}
+	return id
+}
+
+// handleCreateTopic declares a pub/sub topic (POST /v1/topics). The
+// topic reserves nothing until its first subscriber joins.
+func (s *Server) handleCreateTopic(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateTopicRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.topics.Create(req.Name, rtether.NodeID(req.Src), req.C, req.P, req.D); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("topic %q src=%d c=%d p=%d d=%d", req.Name, req.Src, req.C, req.P, req.D)
+	writeJSON(w, wire.TopicInfo{Name: req.Name, Src: req.Src, C: req.C, P: req.P, D: req.D})
+}
+
+// handleListTopics lists every topic sorted by name (GET /v1/topics).
+func (s *Server) handleListTopics(w http.ResponseWriter, r *http.Request) {
+	infos := s.topics.Snapshot()
+	rep := wire.TopicsReply{Topics: make([]wire.TopicInfo, len(infos))}
+	for i, info := range infos {
+		ti := wire.TopicInfo{
+			Name: info.Name, Src: uint16(info.Src),
+			C: info.C, P: info.P, D: info.D,
+			ChannelID: uint16(info.ChannelID),
+			Published: info.Published,
+		}
+		for _, n := range info.Subscribers {
+			ti.Subscribers = append(ti.Subscribers, uint16(n))
+		}
+		rep.Topics[i] = ti
+	}
+	writeJSON(w, rep)
+}
+
+// handlePublish pushes one message to a topic's subscribers
+// (POST /v1/topics/publish).
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req wire.PublishRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	seq, delivered, err := s.topics.Publish(req.Topic, req.Payload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, wire.PublishReply{Seq: seq, Delivered: delivered})
+}
+
+// handleSubscribe joins a node to a topic and streams its feed as
+// newline-delimited JSON (GET /v1/topics/subscribe?topic=T&node=N). The
+// join may grow the topic's multicast tree — the re-admission verdict
+// comes back as this response's status (409 with the failing branch on
+// rejection). Disconnecting unsubscribes, shrinking the tree again.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("topic")
+	rawNode := r.URL.Query().Get("node")
+	node, err := strconv.ParseUint(rawNode, 10, 16)
+	if err != nil {
+		writeWireErr(w, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: bad subscriber node %q", rawNode)})
+		return
+	}
+	sub, err := s.topics.Subscribe(name, rtether.NodeID(node))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.topics.Unsubscribe(sub)
+	s.logf("subscribe node %d to topic %q", node, name)
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev := <-sub.Events:
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-sub.Dropped:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

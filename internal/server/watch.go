@@ -76,6 +76,15 @@ func (h *hub) publish(ev wire.WatchEvent) {
 	}
 }
 
+// lastSeq returns the sequence number of the most recently published
+// event (0 before the first): the feed's high-water mark, reported by
+// /v1/healthz.
+func (h *hub) lastSeq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
 // count returns the number of connected streams.
 func (h *hub) count() int {
 	h.mu.Lock()

@@ -223,6 +223,56 @@ func (c *Controller) admit(specs []core.ChannelSpec, routes [][]Edge) ([]*HChann
 	return chs, nil
 }
 
+// RequestMulticast routes a shortest-path tree from the spec's source to
+// every sink and admission-tests the whole tree as one decision: a
+// single tentative channel whose task appears on every tree edge, one
+// repartition pass, one verification sweep over the affected edges, and
+// on any rejection a rollback that leaves the committed state
+// bit-identical to before the request. Each root→leaf path's budgets
+// sum to D (the deadline is end-to-end per sink), while shared-prefix
+// edges — the source uplink and any common trunks — carry a single
+// budget and a single task, not one per sink.
+func (c *Controller) RequestMulticast(spec core.MulticastSpec) (*HChannel, error) {
+	c.requests++
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	route, parents, leaves, err := c.topo.MulticastTree(spec.Src, spec.Sinks)
+	if err != nil {
+		return nil, err
+	}
+	// Generalized condition (9): every root→leaf path needs D >= hops*C.
+	maxDepth := 0
+	for _, leaf := range leaves {
+		depth := 0
+		for e := leaf; e >= 0; e = parents[e] {
+			depth++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if spec.D < int64(maxDepth)*spec.C {
+		return nil, fmt.Errorf("%w (D=%d, deepest path hops=%d, C=%d)",
+			ErrDeadlineTooShortForRoute, spec.D, maxDepth, spec.C)
+	}
+	chs, rej := c.eng.Admit(1, func(_ int, id core.ChannelID) *HChannel {
+		return &HChannel{
+			ID:      id,
+			Spec:    spec.ChannelSpec(),
+			Route:   route,
+			Parents: parents,
+			Sinks:   append([]core.NodeID(nil), spec.Sinks...),
+			Leaves:  leaves,
+		}
+	}, []admit.Scheme[Edge, *HChannel, []int64]{c.scheme})
+	if rej != nil {
+		return nil, &RejectionError{Edge: rej.Link, Result: rej.Result}
+	}
+	c.accepted++
+	return chs[0], nil
+}
+
 // Release tears down a channel; remaining channels are repartitioned when
 // that keeps every edge feasible, otherwise partitions stay as they were.
 func (c *Controller) Release(id core.ChannelID) error {
@@ -233,20 +283,36 @@ func (c *Controller) Release(id core.ChannelID) error {
 }
 
 // validateVector panics when a hop-budget vector violates the generalized
-// conditions (8)/(9) — an HDPS bug, not an admission rejection.
+// conditions (8)/(9) — an HDPS bug, not an admission rejection. On a
+// unicast chain the whole vector must sum to D; on a multicast tree
+// every root→leaf path must sum to D.
 func validateVector(ch *HChannel, v []int64) {
 	if len(v) != len(ch.Route) {
 		panic(fmt.Sprintf("topo: HDPS vector length %d for %d hops", len(v), len(ch.Route)))
 	}
-	var sum int64
 	for _, hop := range v {
 		if hop < ch.Spec.C {
 			panic(fmt.Sprintf("topo: hop budget %d below C=%d for %v", hop, ch.Spec.C, ch))
 		}
-		sum += hop
 	}
-	if sum != ch.Spec.D {
-		panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
+	if !ch.Multicast() {
+		var sum int64
+		for _, hop := range v {
+			sum += hop
+		}
+		if sum != ch.Spec.D {
+			panic(fmt.Sprintf("topo: hop budgets sum %d != D=%d for %v", sum, ch.Spec.D, ch))
+		}
+		return
+	}
+	for k := range ch.Sinks {
+		var sum int64
+		for e := ch.Leaves[k]; e >= 0; e = ch.parentOf(e) {
+			sum += v[e]
+		}
+		if sum != ch.Spec.D {
+			panic(fmt.Sprintf("topo: path budgets to sink %d sum %d != D=%d for %v", ch.Sinks[k], sum, ch.Spec.D, ch))
+		}
 	}
 }
 

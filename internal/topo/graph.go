@@ -165,6 +165,71 @@ func (t *Topology) Route(src, dst core.NodeID) ([]Edge, error) {
 	return edges, nil
 }
 
+// MulticastTree routes a shortest-path tree from src to every sink: one
+// BFS from home(src) fixes a deterministic shortest path to every
+// switch, each sink's path is read off the same predecessor map, and
+// shared prefixes therefore dedupe into single tree edges. It returns
+// the tree's directed edges (edge 0 is the source uplink), the parent
+// index of each edge (-1 for the root; always parents[i] < i), and for
+// each sink the index of its delivering leaf edge.
+func (t *Topology) MulticastTree(src core.NodeID, sinks []core.NodeID) (route []Edge, parents []int, leaves []int, err error) {
+	sSrc, ok := t.home[src]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: %d", ErrUnknownNode, src)
+	}
+	// Full BFS from the source switch; prev[s] is s's predecessor on the
+	// unique (deterministic, sorted-adjacency) shortest path from sSrc.
+	prev := map[SwitchID]SwitchID{sSrc: sSrc}
+	queue := []SwitchID{sSrc}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range t.adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	route = append(route, Edge{From: NodeEnd(src), To: SwitchEnd(sSrc)})
+	parents = append(parents, -1)
+	// treeAt maps a switch already spanned by the tree to the index of
+	// the edge that delivers into it.
+	treeAt := map[SwitchID]int{sSrc: 0}
+	for _, sink := range sinks {
+		if sink == src {
+			return nil, nil, nil, fmt.Errorf("topo: multicast from node %d to itself", src)
+		}
+		sDst, ok := t.home[sink]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("%w: %d", ErrUnknownNode, sink)
+		}
+		if _, reached := prev[sDst]; !reached {
+			return nil, nil, nil, fmt.Errorf("%w: sw%d to sw%d", ErrNoRoute, sSrc, sDst)
+		}
+		// Walk back to the source switch, then graft the not-yet-spanned
+		// suffix onto the tree front to back.
+		var path []SwitchID
+		for at := sDst; at != sSrc; at = prev[at] {
+			path = append(path, at)
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			s := path[i]
+			if _, spanned := treeAt[s]; spanned {
+				continue
+			}
+			route = append(route, Edge{From: SwitchEnd(prev[s]), To: SwitchEnd(s)})
+			parents = append(parents, treeAt[prev[s]])
+			treeAt[s] = len(route) - 1
+		}
+		route = append(route, Edge{From: SwitchEnd(sDst), To: NodeEnd(sink)})
+		parents = append(parents, treeAt[sDst])
+		leaves = append(leaves, len(route)-1)
+	}
+	return route, parents, leaves, nil
+}
+
 // switchPath runs BFS over the trunk graph.
 func (t *Topology) switchPath(from, to SwitchID) ([]SwitchID, error) {
 	if from == to {

@@ -9,12 +9,26 @@ import (
 )
 
 // HChannel is an RT channel routed across the fabric: the spec, its
-// route, and the per-hop deadline split d_i = sum(Hops).
+// route, and the per-hop deadline split. For a unicast channel Route is
+// a chain and d_i = sum(Hops); for a multicast channel Route is a
+// shortest-path tree (Parents gives its shape) and every root→leaf
+// path's budgets sum to d_i, so shared-prefix edges carry one budget
+// rather than one per sink.
 type HChannel struct {
 	ID    core.ChannelID
 	Spec  core.ChannelSpec
 	Route []Edge
 	Hops  []int64 // per-hop deadline budget, len == len(Route)
+
+	// Parents encodes the tree shape of a multicast route: Parents[i] is
+	// the index of the edge feeding Route[i], -1 for the root (source
+	// uplink). Edges are ordered so that Parents[i] < i. Nil for unicast
+	// chains (edge i-1 feeds edge i).
+	Parents []int
+	// Sinks is the sink set of a multicast channel (nil for unicast);
+	// Leaves[k] is the index of the edge delivering to Sinks[k].
+	Sinks  []core.NodeID
+	Leaves []int
 
 	// tags memoizes the per-hop task labels "HRT#<id>/<hop>" — formatting
 	// them on every per-edge task rebuild showed up in admission profiles.
@@ -24,6 +38,39 @@ type HChannel struct {
 // String implements fmt.Stringer.
 func (c *HChannel) String() string {
 	return fmt.Sprintf("HRT#%d %v hops=%v", c.ID, c.Spec, c.Hops)
+}
+
+// Multicast reports whether the channel is a one-to-many tree.
+func (c *HChannel) Multicast() bool { return len(c.Sinks) > 0 }
+
+// parentOf returns the index of the edge feeding Route[i], -1 at the
+// root — uniform over chains and trees.
+func (c *HChannel) parentOf(i int) int {
+	if c.Parents == nil {
+		return i - 1
+	}
+	return c.Parents[i]
+}
+
+// PathTo returns the edge indices of the root→leaf path delivering to
+// the k'th sink, in root-first order. For a unicast channel k must be 0
+// and the path is the whole route.
+func (c *HChannel) PathTo(k int) []int {
+	if !c.Multicast() {
+		path := make([]int, len(c.Route))
+		for i := range path {
+			path[i] = i
+		}
+		return path
+	}
+	var rev []int
+	for e := c.Leaves[k]; e >= 0; e = c.parentOf(e) {
+		rev = append(rev, e)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
 }
 
 // taskTag returns the cached task label of one hop.
@@ -179,11 +226,16 @@ type HSDPS struct{}
 func (HSDPS) Name() string { return "H-SDPS" }
 
 // vectorOf computes the equal split of one channel — shared by the full
-// and incremental paths so they agree bit for bit.
+// and incremental paths so they agree bit for bit. Unicast chains use
+// splitDeadline exactly as before; multicast trees use the tree
+// recursion with unit weights.
 func (HSDPS) vectorOf(ch *HChannel) []int64 {
 	weights := make([]int64, len(ch.Route))
 	for i := range weights {
 		weights[i] = 1
+	}
+	if ch.Multicast() {
+		return splitDeadlineTree(ch, weights)
 	}
 	return splitDeadline(ch.Spec.D, ch.Spec.C, weights)
 }
@@ -249,11 +301,16 @@ type HADPS struct{}
 func (HADPS) Name() string { return "H-ADPS" }
 
 // vectorOf computes the load-weighted split of one channel — shared by
-// the full and incremental paths so they agree bit for bit.
+// the full and incremental paths so they agree bit for bit. Unicast
+// chains use splitDeadline exactly as before; multicast trees use the
+// tree recursion with per-edge link-load weights.
 func (HADPS) vectorOf(st *State, ch *HChannel) []int64 {
 	weights := make([]int64, len(ch.Route))
 	for i, e := range ch.Route {
 		weights[i] = int64(st.LinkLoad(e))
+	}
+	if ch.Multicast() {
+		return splitDeadlineTree(ch, weights)
 	}
 	return splitDeadline(ch.Spec.D, ch.Spec.C, weights)
 }
@@ -314,5 +371,72 @@ func splitDeadline(d, c int64, weights []int64) []int64 {
 		out[i]++
 		acc++
 	}
+	return out
+}
+
+// splitDeadlineTree distributes D over the edges of a multicast tree so
+// that every root→leaf path's budgets sum exactly to D and every edge
+// gets at least C — the tree generalization of splitDeadline (to which
+// it reduces on a chain, up to rounding). It recurses top-down: at an
+// edge with remaining deadline R it splits R over the deepest
+// descendant chain through that edge (weight-proportionally, via
+// splitDeadline), keeps the chain's first share for itself, and hands
+// R minus that share to every child subtree; a leaf edge absorbs all
+// remaining deadline, which is what makes each path sum exact. Shared
+// prefix edges are budgeted once — the whole point of tree admission.
+// Requires D >= depth*C along every path (checked at validation) and
+// Parents[i] < i. Deterministic.
+func splitDeadlineTree(ch *HChannel, weights []int64) []int64 {
+	n := len(ch.Route)
+	children := make([][]int, n)
+	root := 0
+	for i := 0; i < n; i++ {
+		if p := ch.parentOf(i); p < 0 {
+			root = i
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	// depth[i] is the longest chain length from edge i to a leaf,
+	// inclusive; children have higher indices, so one reverse pass works.
+	depth := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		depth[i] = 1
+		for _, c := range children[i] {
+			if depth[c]+1 > depth[i] {
+				depth[i] = depth[c] + 1
+			}
+		}
+	}
+	out := make([]int64, n)
+	var assign func(e int, r int64)
+	assign = func(e int, r int64) {
+		if len(children[e]) == 0 {
+			out[e] = r
+			return
+		}
+		// Weight chain down the deepest descendant path (ties: first
+		// child in edge order) — the path that constrains e's share most.
+		chain := make([]int64, 0, depth[e])
+		for cur := e; ; {
+			chain = append(chain, weights[cur])
+			if len(children[cur]) == 0 {
+				break
+			}
+			best := children[cur][0]
+			for _, c := range children[cur][1:] {
+				if depth[c] > depth[best] {
+					best = c
+				}
+			}
+			cur = best
+		}
+		share := splitDeadline(r, ch.Spec.C, chain)[0]
+		out[e] = share
+		for _, c := range children[e] {
+			assign(c, r-share)
+		}
+	}
+	assign(root, ch.Spec.D)
 	return out
 }

@@ -45,6 +45,7 @@ type AdmissionStats struct {
 type backend interface {
 	addNode(id NodeID) error
 	establish(spec ChannelSpec) (ChannelID, []int64, error)
+	establishMulticast(spec MulticastSpec) (ChannelID, []int64, error)
 	establishAll(specs []ChannelSpec) ([]ChannelID, error)
 	establishEach(specs []ChannelSpec) ([]ChannelID, []error)
 	release(id ChannelID) error
@@ -97,6 +98,16 @@ func (b *starBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) {
 	if err != nil {
 		b.noteNoRoute(err)
 		return 0, nil, starAdmissionError(spec, err)
+	}
+	_, budgets, _ := b.channelInfo(id)
+	return id, budgets, nil
+}
+
+func (b *starBackend) establishMulticast(spec MulticastSpec) (ChannelID, []int64, error) {
+	id, err := b.inner.EstablishMulticastChannel(spec)
+	if err != nil {
+		b.noteNoRoute(err)
+		return 0, nil, starMulticastAdmissionError(spec, err)
 	}
 	_, budgets, _ := b.channelInfo(id)
 	return id, budgets, nil
@@ -316,6 +327,22 @@ func (b *fabricBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) 
 	if err := b.sim.Install(ch); err != nil {
 		// Admission and the simulator disagree on the channel's identity —
 		// a programming error, not a runtime condition.
+		panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
+	}
+	b.syncBudgets(b.ctrl.Repartitioned())
+	return ch.ID, append([]int64(nil), ch.Hops...), nil
+}
+
+func (b *fabricBackend) establishMulticast(spec MulticastSpec) (ChannelID, []int64, error) {
+	b.stats.Requests++
+	ch, err := b.ctrl.RequestMulticast(spec)
+	if err != nil {
+		b.noteRejection(err)
+		tree, parents, leaves, _ := b.top.inner.MulticastTree(spec.Src, spec.Sinks)
+		return 0, nil, fabricMulticastAdmissionError(spec, err, tree, parents, leaves, spec.Sinks)
+	}
+	b.stats.Accepted++
+	if err := b.sim.Install(ch); err != nil {
 		panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
 	}
 	b.syncBudgets(b.ctrl.Repartitioned())

@@ -20,6 +20,9 @@ type Channel struct {
 	net  *Network
 	id   ChannelID
 	spec ChannelSpec
+	// sinks is the full sink set of a multicast channel (nil for
+	// unicast); immutable after establishment.
+	sinks []NodeID
 
 	// closed flips when the channel is released or torn down. It is
 	// written under the network's write lock and read under either lock
@@ -31,8 +34,22 @@ type Channel struct {
 // wire), for logs and for correlating with Report.Channels.
 func (c *Channel) ID() ChannelID { return c.id }
 
-// Spec returns the committed channel spec {Src, Dst, P, C, D}.
+// Spec returns the committed channel spec {Src, Dst, P, C, D}. For a
+// multicast channel, Dst is the first sink; see Sinks for the full set.
 func (c *Channel) Spec() ChannelSpec { return c.spec }
+
+// Sinks returns the sink set of a multicast channel in request order,
+// or nil for a unicast channel. The returned slice is a copy.
+func (c *Channel) Sinks() []NodeID {
+	if len(c.sinks) == 0 {
+		return nil
+	}
+	return append([]NodeID(nil), c.sinks...)
+}
+
+// Multicast reports whether this channel was established with
+// EstablishMulticast.
+func (c *Channel) Multicast() bool { return len(c.sinks) > 0 }
 
 // Budgets returns the channel's current per-hop deadline budgets, which
 // sum to D: [d_up, d_down] on a star network, one entry per routed link

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/rtether"
 	"repro/rtether/wire"
@@ -43,8 +44,10 @@ type Channel struct {
 // Client talks to one rtetherd instance. It is safe for concurrent use;
 // the underlying http.Client reuses connections across calls.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	retries   int
+	retryBase time.Duration
 }
 
 // Option customizes a Client.
@@ -68,7 +71,12 @@ func New(addr string, opts ...Option) *Client {
 	// instead of churning through ephemeral ports.
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = 128
-	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: tr}}
+	c := &Client{
+		base:      strings.TrimRight(base, "/"),
+		hc:        &http.Client{Transport: tr},
+		retries:   defaultRetries,
+		retryBase: defaultRetryBase,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -89,6 +97,10 @@ func goError(we *wire.Error) error {
 		return fmt.Errorf("client: %s: %w", we.Message, rtether.ErrClosed)
 	case we.Code == wire.CodeUnknownChannel:
 		return fmt.Errorf("%w: %s", ErrUnknownChannel, we.Message)
+	case we.Code == wire.CodeUnknownTopic:
+		return fmt.Errorf("%w: %s", ErrUnknownTopic, we.Message)
+	case we.Code == wire.CodeDuplicateTopic:
+		return fmt.Errorf("%w: %s", ErrDuplicateTopic, we.Message)
 	default:
 		return we
 	}
@@ -119,8 +131,8 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var env wire.Envelope
-		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-			return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Err == nil {
+			return &httpStatusError{method: method, path: path, status: resp.StatusCode}
 		}
 		return goError(env.Err)
 	}
@@ -189,32 +201,45 @@ func (c *Client) Reconfigure(ctx context.Context, id rtether.ChannelID, override
 	return channelOf(rep), nil
 }
 
-// Stats reads the daemon's admission and coalescing counters.
+// Stats reads the daemon's admission and coalescing counters. Like all
+// idempotent reads it retries transient transport and 5xx failures with
+// jittered exponential backoff (see WithRetry).
 func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
 	var rep wire.StatsReply
-	err := c.call(ctx, http.MethodGet, "/v1/stats", nil, &rep)
+	err := c.getRetry(ctx, "/v1/stats", &rep)
 	return rep, err
 }
 
-// Channels lists the daemon's established channels.
+// Channels lists the daemon's established channels, retrying transient
+// failures.
 func (c *Client) Channels(ctx context.Context) ([]wire.ChannelInfo, error) {
 	var rep wire.ChannelsReply
-	if err := c.call(ctx, http.MethodGet, "/v1/channels", nil, &rep); err != nil {
+	if err := c.getRetry(ctx, "/v1/channels", &rep); err != nil {
 		return nil, err
 	}
 	return rep.Channels, nil
 }
 
-// Metrics reads one channel's delivery measurements.
+// Metrics reads one channel's delivery measurements, retrying transient
+// failures.
 func (c *Client) Metrics(ctx context.Context, id rtether.ChannelID) (wire.MetricsReply, error) {
 	var rep wire.MetricsReply
-	err := c.call(ctx, http.MethodGet, fmt.Sprintf("/v1/metrics?id=%d", id), nil, &rep)
+	err := c.getRetry(ctx, fmt.Sprintf("/v1/metrics?id=%d", id), &rep)
 	return rep, err
 }
 
-// Healthz probes daemon liveness.
+// Healthz probes daemon liveness, discarding the body. Use HealthzInfo
+// for the operational summary.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.call(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return c.getRetry(ctx, "/v1/healthz", nil)
+}
+
+// HealthzInfo reads the daemon's liveness summary: uptime, build
+// identity, watch-feed high-water mark and open channel/topic counts.
+func (c *Client) HealthzInfo(ctx context.Context) (wire.HealthzReply, error) {
+	var rep wire.HealthzReply
+	err := c.getRetry(ctx, "/v1/healthz", &rep)
+	return rep, err
 }
 
 // Watcher is an open /v1/watch stream.

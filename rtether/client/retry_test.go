@@ -1,0 +1,127 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/rtether/wire"
+)
+
+// flakyHandler fails the first fail requests, then serves stats.
+func flakyHandler(fail int, mode string) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= int64(fail) {
+			switch mode {
+			case "plain500":
+				// No wire envelope at all — a proxy error page.
+				http.Error(w, "upstream sad", http.StatusInternalServerError)
+			case "internal":
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				_ = json.NewEncoder(w).Encode(wire.Envelope{Err: &wire.Error{Code: wire.CodeInternal, Message: "transient"}})
+			case "hangup":
+				// Kill the connection mid-request: the client sees a
+				// transport error, not a status.
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					panic("no hijacker")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					panic(err)
+				}
+				conn.Close()
+			}
+			return
+		}
+		_ = json.NewEncoder(w).Encode(wire.StatsReply{})
+	}, &calls
+}
+
+// TestRetryTransient5xx proves idempotent reads survive a burst of
+// transient failures: naked 5xx, enveloped internal errors, and
+// connection hang-ups all retry until the daemon answers.
+func TestRetryTransient5xx(t *testing.T) {
+	for _, mode := range []string{"plain500", "internal", "hangup"} {
+		t.Run(mode, func(t *testing.T) {
+			h, calls := flakyHandler(2, mode)
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+			cl := New(ts.URL, WithRetry(3, time.Millisecond))
+			if _, err := cl.Stats(context.Background()); err != nil {
+				t.Fatalf("stats did not survive 2 transient failures: %v", err)
+			}
+			if got := calls.Load(); got != 3 {
+				t.Errorf("server saw %d calls, want 3 (2 failures + 1 success)", got)
+			}
+		})
+	}
+}
+
+// TestRetryGivesUp proves the retry budget is a cap, not a loop: a
+// persistently failing daemon costs exactly 1+retries attempts and the
+// last error surfaces.
+func TestRetryGivesUp(t *testing.T) {
+	h, calls := flakyHandler(1000, "plain500")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := New(ts.URL, WithRetry(2, time.Millisecond))
+	_, err := cl.Stats(context.Background())
+	var se *httpStatusError
+	if !errors.As(err, &se) || se.status != http.StatusInternalServerError {
+		t.Fatalf("persistent 500 = %v, want httpStatusError 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetrySkipsFinalVerdicts proves typed verdicts are never retried:
+// a 404 unknown-channel answer is final after exactly one attempt.
+func TestRetrySkipsFinalVerdicts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(wire.Envelope{Err: &wire.Error{Code: wire.CodeUnknownChannel, Message: "nope"}})
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithRetry(5, time.Millisecond))
+	if _, err := cl.Metrics(context.Background(), 7); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("metrics = %v, want ErrUnknownChannel", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls for a final verdict, want 1", got)
+	}
+}
+
+// TestRetryHonorsContext proves cancellation cuts the backoff short:
+// with a huge base delay, a canceled context returns promptly instead
+// of sleeping out the schedule.
+func TestRetryHonorsContext(t *testing.T) {
+	h, _ := flakyHandler(1000, "plain500")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := New(ts.URL, WithRetry(5, 10*time.Second))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := cl.Stats(ctx); err == nil {
+		t.Fatalf("stats succeeded against a dead daemon")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled retry took %v, want prompt return", elapsed)
+	}
+}

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/rtether"
+	"repro/rtether/wire"
+)
+
+// Topic errors mirrored from the daemon's envelope codes.
+var (
+	// ErrUnknownTopic is returned for operations on a topic the daemon
+	// does not have.
+	ErrUnknownTopic = errors.New("client: unknown topic")
+	// ErrDuplicateTopic is returned by CreateTopic when the name is
+	// taken.
+	ErrDuplicateTopic = errors.New("client: topic already exists")
+)
+
+// EstablishMulticast requests one multicast RT channel: a single
+// distribution tree from spec.Src to every sink, admitted atomically. A
+// feasibility rejection is a *rtether.AdmissionError whose Branch/Sink
+// name the failing branch.
+func (c *Client) EstablishMulticast(ctx context.Context, spec rtether.MulticastSpec) (Channel, error) {
+	var rep wire.ChannelReply
+	err := c.call(ctx, http.MethodPost, "/v1/multicast",
+		wire.EstablishMulticastRequest{Spec: wire.FromMulticastSpec(spec)}, &rep)
+	if err != nil {
+		return Channel{}, err
+	}
+	return channelOf(rep), nil
+}
+
+// CreateTopic declares a pub/sub topic: a named publisher endpoint at
+// src with the RT contract {C, P, D}. Nothing is reserved until the
+// first subscriber joins.
+func (c *Client) CreateTopic(ctx context.Context, name string, src rtether.NodeID, cBudget, period, deadline int64) error {
+	return c.call(ctx, http.MethodPost, "/v1/topics",
+		wire.CreateTopicRequest{Name: name, Src: uint16(src), C: cBudget, P: period, D: deadline}, nil)
+}
+
+// Topics lists the daemon's topics sorted by name.
+func (c *Client) Topics(ctx context.Context) ([]wire.TopicInfo, error) {
+	var rep wire.TopicsReply
+	if err := c.getRetry(ctx, "/v1/topics", &rep); err != nil {
+		return nil, err
+	}
+	return rep.Topics, nil
+}
+
+// Publish pushes one message to a topic's current subscribers and
+// returns its sequence number in the topic's publish order plus the
+// number of feeds it reached.
+func (c *Client) Publish(ctx context.Context, topic, payload string) (wire.PublishReply, error) {
+	var rep wire.PublishReply
+	err := c.call(ctx, http.MethodPost, "/v1/topics/publish",
+		wire.PublishRequest{Topic: topic, Payload: payload}, &rep)
+	return rep, err
+}
+
+// TopicFeed is an open topic subscription stream.
+type TopicFeed struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+// SubscribeTopic joins node to a topic and opens its message feed. The
+// join may grow the topic's multicast tree; a tree that does not fit
+// comes back as a *rtether.AdmissionError and nothing changes for the
+// existing subscribers. Cancel the context or Close the feed to leave
+// the topic (shrinking the tree again).
+func (c *Client) SubscribeTopic(ctx context.Context, topic string, node rtether.NodeID) (*TopicFeed, error) {
+	path := fmt.Sprintf("/v1/topics/subscribe?topic=%s&node=%d", url.QueryEscape(topic), node)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var env wire.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			return nil, fmt.Errorf("client: subscribe: HTTP %d", resp.StatusCode)
+		}
+		return nil, goError(env.Err)
+	}
+	return &TopicFeed{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Next blocks for the next published message. It returns io.EOF
+// (possibly wrapped) when the feed ends; a gap in Seq on resubscribe
+// means the feed fell behind and the daemon dropped it.
+func (f *TopicFeed) Next() (wire.TopicEvent, error) {
+	var ev wire.TopicEvent
+	err := f.dec.Decode(&ev)
+	return ev, err
+}
+
+// Close leaves the topic.
+func (f *TopicFeed) Close() error { return f.body.Close() }

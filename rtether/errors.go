@@ -64,6 +64,16 @@ type AdmissionError struct {
 	// link was asked for more service than time available). Zero when the
 	// first constraint (utilization > 1) failed instead.
 	Slack int64
+	// Branch is the index into a rejected multicast request's sink list of
+	// the branch whose delivery path traverses the rejecting link — the
+	// first such sink when the link is shared by several branches (the
+	// source uplink or a shared trunk). It is -1 for unicast rejections and
+	// when the failing link lies outside the requested tree (a
+	// repartitioned channel's link went infeasible).
+	Branch int
+	// Sink is the sink node of the failing branch; meaningful only when
+	// Branch >= 0.
+	Sink NodeID
 	// Reason is the feasibility verdict in the analysis' own words, e.g.
 	// "infeasible(demand) at t=40 (h=45), U=0.9750".
 	Reason string
@@ -76,6 +86,9 @@ func (e *AdmissionError) Error() string {
 		where = fmt.Sprintf("%s (hop %d, %s)", e.Link, e.Hop, e.Dir)
 	} else {
 		where = fmt.Sprintf("%s (%s, repartitioned channel)", e.Link, e.Dir)
+	}
+	if e.Branch >= 0 {
+		where = fmt.Sprintf("%s, branch %d to node %d", where, e.Branch, e.Sink)
 	}
 	return fmt.Sprintf("rtether: %v rejected at %s: %s", e.Spec, where, e.Reason)
 }
@@ -106,6 +119,7 @@ func starAdmissionError(spec ChannelSpec, err error) error {
 		Slack:       slackOf(rej.Result),
 		Reason:      rej.Result.String(),
 		Hop:         -1,
+		Branch:      -1,
 	}
 	switch rej.Link.Dir {
 	case core.Up:
@@ -137,6 +151,7 @@ func fabricAdmissionError(spec ChannelSpec, err error, route []topo.Edge) error 
 		Slack:       slackOf(rej.Result),
 		Reason:      rej.Result.String(),
 		Hop:         -1,
+		Branch:      -1,
 	}
 	switch {
 	case !rej.Edge.From.Switch:
@@ -152,6 +167,72 @@ func fabricAdmissionError(spec ChannelSpec, err error, route []topo.Edge) error 
 		if e == rej.Edge {
 			ae.Hop = i
 			break
+		}
+	}
+	return ae
+}
+
+// starMulticastAdmissionError converts a star-network rejection of a
+// multicast request into the typed public diagnostic, attributing the
+// failure to the tree branch that traverses the rejecting link: the
+// source uplink belongs to every branch (the first sink stands in), a
+// sink downlink to exactly one. Non-rejection errors pass through.
+func starMulticastAdmissionError(spec MulticastSpec, err error) error {
+	rej, ok := err.(*core.RejectionError)
+	if !ok {
+		return err
+	}
+	ae := starAdmissionError(spec.ChannelSpec(), err).(*AdmissionError)
+	ae.Hop = -1
+	switch rej.Link.Dir {
+	case core.Up:
+		if rej.Link.Node == spec.Src {
+			ae.Hop = 0
+			ae.Branch = 0
+			ae.Sink = spec.Sinks[0]
+		}
+	case core.Down:
+		for k, sink := range spec.Sinks {
+			if rej.Link.Node == sink {
+				ae.Hop = 1
+				ae.Branch = k
+				ae.Sink = sink
+				break
+			}
+		}
+	}
+	return ae
+}
+
+// fabricMulticastAdmissionError converts a fabric rejection of a
+// multicast request into the typed public diagnostic. tree, parents and
+// leaves describe the requested distribution tree (nil when routing
+// itself failed): Hop becomes the rejecting edge's tree-edge index and
+// Branch/Sink name the first sink whose root→leaf path traverses it.
+func fabricMulticastAdmissionError(spec MulticastSpec, err error, tree []topo.Edge, parents, leaves []int, sinks []NodeID) error {
+	rej, ok := err.(*topo.RejectionError)
+	if !ok {
+		return err
+	}
+	ae := fabricAdmissionError(spec.ChannelSpec(), err, nil).(*AdmissionError)
+	hop := -1
+	for i, e := range tree {
+		if e == rej.Edge {
+			hop = i
+			break
+		}
+	}
+	ae.Hop = hop
+	if hop < 0 {
+		return ae
+	}
+	for k, leaf := range leaves {
+		for e := leaf; e >= 0; e = parents[e] {
+			if e == hop {
+				ae.Branch = k
+				ae.Sink = sinks[k]
+				return ae
+			}
 		}
 	}
 	return ae

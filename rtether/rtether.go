@@ -83,6 +83,9 @@ type (
 	ChannelID = core.ChannelID
 	// ChannelSpec is a channel request {Src, Dst, P, C, D} in slots.
 	ChannelSpec = core.ChannelSpec
+	// MulticastSpec is a one-source, N-sink channel request
+	// {Src, Sinks, P, C, D} in slots; see Network.EstablishMulticast.
+	MulticastSpec = core.MulticastSpec
 	// Partition is a two-hop deadline split {Up, Down}.
 	Partition = core.Partition
 	// DPS is a deadline partitioning scheme for star networks.
@@ -293,6 +296,37 @@ func (n *Network) Establish(spec ChannelSpec) (*Channel, error) {
 		return nil, err
 	}
 	ch := &Channel{net: n, id: id, spec: spec}
+	n.handles[id] = ch
+	return ch, nil
+}
+
+// EstablishMulticast requests a multicast RT channel — one source, N
+// sinks, a single {P, C, D} contract — and returns its handle. The
+// channel is routed as a shortest-path distribution tree over the
+// topology (on a star: the source uplink plus one downlink per sink),
+// the end-to-end deadline D is partitioned over the tree so that every
+// root→leaf path sums to exactly D while links shared by several
+// branches carry a single budget (not one per sink), and every tree
+// link is admitted atomically: if any branch fails its per-link EDF
+// feasibility test, the whole tree is rolled back and nothing is
+// reserved. The rejection is the usual *AdmissionError, additionally
+// naming the failing branch and sink (Branch, Sink).
+//
+// The handle's Spec reports Sinks[0] as Dst; Sinks returns the full
+// sink set, and Metrics aggregates delivery measurements over all
+// sinks. Like Establish on a fabric, EstablishMulticast runs through
+// the management plane on both topologies — no wire handshake, no
+// virtual time.
+func (n *Network) EstablishMulticast(spec MulticastSpec) (*Channel, error) {
+	defer n.lk.unlock(n.lk.lock())
+	if n.closed {
+		return nil, ErrClosed
+	}
+	id, _, err := n.be.establishMulticast(spec)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{net: n, id: id, spec: spec.ChannelSpec(), sinks: append([]NodeID(nil), spec.Sinks...)}
 	n.handles[id] = ch
 	return ch, nil
 }

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/rtether"
+)
+
+// randMulticastSpec draws a random (not necessarily valid) multicast
+// spec — the wire layer must be lossless for anything the API layer can
+// construct, valid or not.
+func randMulticastSpec(rng *rand.Rand) rtether.MulticastSpec {
+	sinks := make([]rtether.NodeID, rng.Intn(6)+1)
+	for i := range sinks {
+		sinks[i] = rtether.NodeID(rng.Intn(1 << 16))
+	}
+	return rtether.MulticastSpec{
+		Src:   rtether.NodeID(rng.Intn(1 << 16)),
+		Sinks: sinks,
+		C:     rng.Int63n(1 << 20),
+		P:     rng.Int63n(1 << 20),
+		D:     rng.Int63n(1 << 20),
+	}
+}
+
+// TestMulticastSpecJSONRoundTripProperty encodes and decodes seeded
+// random multicast specs and requires bit-for-bit equality.
+func TestMulticastSpecJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		orig := randMulticastSpec(rng)
+		buf, err := json.Marshal(FromMulticastSpec(orig))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		var decoded MulticastSpec
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := decoded.MulticastSpec(); !reflect.DeepEqual(got, orig) {
+			t.Fatalf("iter %d: round trip changed the spec:\n  got  %+v\n  want %+v", i, got, orig)
+		}
+	}
+}
+
+// TestMulticastSpecWireShape pins the scenario-format field names.
+func TestMulticastSpecWireShape(t *testing.T) {
+	spec := rtether.MulticastSpec{Src: 1, Sinks: []rtether.NodeID{2, 3}, C: 3, P: 100, D: 40}
+	buf, err := json.Marshal(FromMulticastSpec(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"src":1,"sinks":[2,3],"c":3,"p":100,"d":40}`
+	if string(buf) != want {
+		t.Errorf("wire multicast spec = %s, want %s", buf, want)
+	}
+}
+
+// TestBranchAdmissionErrorJSONRoundTripProperty fuzzes the
+// branch-annotated rejection through encode/decode: every field of
+// *rtether.AdmissionError — including Branch and Sink — must survive
+// bit for bit.
+func TestBranchAdmissionErrorJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirs := []rtether.LinkDir{rtether.DirUp, rtether.DirDown, rtether.DirTrunk}
+	for i := 0; i < 500; i++ {
+		orig := &rtether.AdmissionError{
+			Spec: rtether.ChannelSpec{
+				Src: rtether.NodeID(rng.Intn(1 << 16)),
+				Dst: rtether.NodeID(rng.Intn(1 << 16)),
+				C:   rng.Int63n(1 << 20),
+				P:   rng.Int63n(1 << 20),
+				D:   rng.Int63n(1 << 20),
+			},
+			Link:        fmt.Sprintf("sw%d→sw%d", rng.Intn(8), rng.Intn(8)),
+			Node:        rtether.NodeID(rng.Intn(1 << 16)),
+			Dir:         dirs[rng.Intn(len(dirs))],
+			Hop:         rng.Intn(10) - 1,
+			Utilization: float64(rng.Intn(20000)) / 10000,
+			Slack:       rng.Int63n(2000) - 1000,
+			Reason:      fmt.Sprintf("infeasible(demand) at t=%d", rng.Intn(1000)),
+			Branch:      rng.Intn(8) - 1,
+			Sink:        rtether.NodeID(rng.Intn(1 << 16)),
+		}
+		buf, err := json.Marshal(FromAdmissionError(orig))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		var decoded AdmissionError
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := decoded.AdmissionError(); *got != *orig {
+			t.Fatalf("iter %d: round trip changed the error:\n  got  %+v\n  want %+v", i, got, orig)
+		}
+	}
+}
+
+// TestBranchErrorThroughEnvelope checks the full error-envelope path a
+// client exercises: a multicast rejection wrapped in the wire envelope
+// decodes back to an identical typed error.
+func TestBranchErrorThroughEnvelope(t *testing.T) {
+	orig := &rtether.AdmissionError{
+		Spec:        rtether.ChannelSpec{Src: 4, Dst: 2, C: 3, P: 10, D: 12},
+		Link:        "link(3,down)",
+		Node:        3,
+		Dir:         rtether.DirDown,
+		Hop:         1,
+		Utilization: 0.9,
+		Slack:       -3,
+		Reason:      "infeasible(demand) at t=6 (h=9), U=0.9000",
+		Branch:      1,
+		Sink:        3,
+	}
+	env := Envelope{Err: &Error{
+		Code:      CodeInfeasible,
+		Message:   orig.Error(),
+		Admission: FromAdmissionError(orig),
+	}}
+	buf, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Envelope
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Err == nil || decoded.Err.Admission == nil {
+		t.Fatalf("envelope lost the admission error: %s", buf)
+	}
+	if got := decoded.Err.Admission.AdmissionError(); *got != *orig {
+		t.Fatalf("envelope round trip changed the error:\n  got  %+v\n  want %+v", got, orig)
+	}
+}

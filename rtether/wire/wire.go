@@ -41,6 +41,35 @@ func (s Spec) ChannelSpec() rtether.ChannelSpec {
 	}
 }
 
+// MulticastSpec is the wire form of rtether.MulticastSpec: one source,
+// the ordered sink set, and a single {c, p, d} contract shared by the
+// whole distribution tree.
+type MulticastSpec struct {
+	Src   uint16   `json:"src"`
+	Sinks []uint16 `json:"sinks"`
+	C     int64    `json:"c"`
+	P     int64    `json:"p"`
+	D     int64    `json:"d"`
+}
+
+// FromMulticastSpec converts a rtether.MulticastSpec to its wire form.
+func FromMulticastSpec(s rtether.MulticastSpec) MulticastSpec {
+	sinks := make([]uint16, len(s.Sinks))
+	for i, n := range s.Sinks {
+		sinks[i] = uint16(n)
+	}
+	return MulticastSpec{Src: uint16(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D}
+}
+
+// MulticastSpec converts the wire form back to a rtether.MulticastSpec.
+func (s MulticastSpec) MulticastSpec() rtether.MulticastSpec {
+	sinks := make([]rtether.NodeID, len(s.Sinks))
+	for i, n := range s.Sinks {
+		sinks[i] = rtether.NodeID(n)
+	}
+	return rtether.MulticastSpec{Src: rtether.NodeID(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D}
+}
+
 // AdmissionError is the wire form of *rtether.AdmissionError, carried
 // inside the error envelope of a feasibility rejection.
 type AdmissionError struct {
@@ -52,6 +81,11 @@ type AdmissionError struct {
 	Utilization float64 `json:"utilization"`
 	Slack       int64   `json:"slack"`
 	Reason      string  `json:"reason"`
+	// Branch and Sink attribute a multicast rejection to the failing
+	// tree branch (-1 / 0 on unicast rejections); see
+	// rtether.AdmissionError.
+	Branch int    `json:"branch"`
+	Sink   uint16 `json:"sink"`
 }
 
 // FromAdmissionError converts a typed rejection to its wire form.
@@ -65,6 +99,8 @@ func FromAdmissionError(e *rtether.AdmissionError) *AdmissionError {
 		Utilization: e.Utilization,
 		Slack:       e.Slack,
 		Reason:      e.Reason,
+		Branch:      e.Branch,
+		Sink:        uint16(e.Sink),
 	}
 }
 
@@ -81,6 +117,8 @@ func (w *AdmissionError) AdmissionError() *rtether.AdmissionError {
 		Utilization: w.Utilization,
 		Slack:       w.Slack,
 		Reason:      w.Reason,
+		Branch:      w.Branch,
+		Sink:        rtether.NodeID(w.Sink),
 	}
 }
 
@@ -111,6 +149,11 @@ const (
 	// CodeUnknownChannel marks an operation on a channel ID that is not
 	// established.
 	CodeUnknownChannel = "unknown_channel"
+	// CodeUnknownTopic marks an operation on a topic that was never
+	// created.
+	CodeUnknownTopic = "unknown_topic"
+	// CodeDuplicateTopic marks creating a topic whose name is taken.
+	CodeDuplicateTopic = "duplicate_topic"
 	// CodeClosed marks a request against a draining/closed daemon.
 	CodeClosed = "closed"
 	// CodeInternal marks an unclassified server-side failure.
@@ -150,6 +193,14 @@ type ChannelReply struct {
 	ID              uint16  `json:"id"`
 	Budgets         []int64 `json:"budgets"`
 	GuaranteedDelay int64   `json:"guaranteedDelay"`
+}
+
+// EstablishMulticastRequest asks for one multicast RT channel
+// (POST /v1/multicast): the whole distribution tree is admitted
+// atomically, and a feasibility rejection's AdmissionError names the
+// failing branch and sink.
+type EstablishMulticastRequest struct {
+	Spec MulticastSpec `json:"spec"`
 }
 
 // EstablishAllRequest asks for an atomic all-or-nothing batch
@@ -296,4 +347,83 @@ type WatchEvent struct {
 	Budgets []int64 `json:"budgets,omitempty"`
 	// Error carries the rejection (reject).
 	Error *Error `json:"error,omitempty"`
+}
+
+// CreateTopicRequest declares a pub/sub topic (POST /v1/topics): a
+// named publisher endpoint with the RT contract every delivery will
+// honor. Declaring a topic reserves nothing — the multicast channel
+// materializes with the first subscriber and is re-admitted as the
+// subscriber set changes.
+type CreateTopicRequest struct {
+	Name string `json:"name"`
+	Src  uint16 `json:"src"`
+	C    int64  `json:"c"`
+	P    int64  `json:"p"`
+	D    int64  `json:"d"`
+}
+
+// TopicInfo is one topic in a listing (GET /v1/topics).
+type TopicInfo struct {
+	Name string `json:"name"`
+	Src  uint16 `json:"src"`
+	C    int64  `json:"c"`
+	P    int64  `json:"p"`
+	D    int64  `json:"d"`
+	// Subscribers is the current subscriber node set in join order.
+	Subscribers []uint16 `json:"subscribers,omitempty"`
+	// ChannelID is the live multicast channel carrying the topic; 0
+	// while the topic has no subscribers (no reservation exists).
+	ChannelID uint16 `json:"channelId,omitempty"`
+	// Published counts messages published to the topic so far.
+	Published uint64 `json:"published"`
+}
+
+// TopicsReply lists declared topics sorted by name.
+type TopicsReply struct {
+	Topics []TopicInfo `json:"topics"`
+}
+
+// PublishRequest pushes one message to a topic
+// (POST /v1/topics/publish). The payload is delivered to every current
+// subscriber's feed.
+type PublishRequest struct {
+	Topic   string `json:"topic"`
+	Payload string `json:"payload"`
+}
+
+// PublishReply acknowledges a publish with the message's sequence
+// number in the topic's total order and the subscriber count it was
+// fanned out to.
+type PublishReply struct {
+	Seq       uint64 `json:"seq"`
+	Delivered int    `json:"delivered"`
+}
+
+// TopicEvent is one line of a topic subscription's newline-delimited
+// JSON feed (GET /v1/topics/subscribe?topic=T&node=N). Seq is the
+// message's position in the topic's publish order; like /v1/watch, a
+// gap means the subscriber fell behind and the server dropped the
+// stream.
+type TopicEvent struct {
+	Seq     uint64 `json:"seq"`
+	Topic   string `json:"topic"`
+	Payload string `json:"payload"`
+}
+
+// HealthzReply is the body of GET /v1/healthz: liveness plus a small
+// operational summary, cheap enough for tight probe loops.
+type HealthzReply struct {
+	Status     string  `json:"status"` // always "ok" on a 200
+	UptimeSecs float64 `json:"uptimeSecs"`
+	GoVersion  string  `json:"goVersion"`
+	// Build identifies the binary (main module version, VCS revision
+	// when embedded).
+	Build string `json:"build,omitempty"`
+	// WatchSeq is the high-water sequence number of the /v1/watch event
+	// order (0 = no events yet).
+	WatchSeq uint64 `json:"watchSeq"`
+	// Channels is the number of currently established channels.
+	Channels int `json:"channels"`
+	// Topics is the number of declared pub/sub topics.
+	Topics int `json:"topics"`
 }
