@@ -26,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+	"repro/rtether"
 )
 
 // benchTable runs an experiment once per iteration, logging the table on
@@ -576,6 +577,70 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // BenchmarkEstablishment measures the full over-the-wire handshake
 // (request frame, admission, forward, response, commit).
+// BenchmarkFailover times the survivability core at fleet scale: 1000
+// established channels cross one trunk of a 4-switch ring, and failing
+// that trunk drops their in-flight frames, releases every reservation,
+// re-routes the whole group onto the detour and re-admits it as one
+// batch decision (rtether.Network.SetLinkUp). The measured op is the
+// complete recovery pass — graph flip, batch re-admission, simulator
+// reroute and budget re-sync — and every channel must survive as
+// Rerouted, so the number is the re-admit latency for 1k affected
+// channels, not a partial-loss shortcut.
+func BenchmarkFailover(b *testing.B) {
+	const n = 1000
+	build := func() *rtether.Network {
+		top := rtether.NewTopology()
+		for s := rtether.SwitchID(0); s < 4; s++ {
+			if err := top.AddSwitch(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range [][2]rtether.SwitchID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+			if err := top.Trunk(tr[0], tr[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if err := top.Attach(rtether.NodeID(1+i), 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := top.Attach(rtether.NodeID(1001+i), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net := rtether.New(rtether.WithTopology(top), rtether.WithHDPS(rtether.HADPS()))
+		specs := make([]rtether.ChannelSpec, n)
+		for i := range specs {
+			specs[i] = rtether.ChannelSpec{
+				Src: rtether.NodeID(1 + i%100), Dst: rtether.NodeID(1001 + i%100),
+				C: 1, P: 100000, D: 50000,
+			}
+		}
+		if _, err := net.EstablishAll(specs); err != nil {
+			b.Fatal(err)
+		}
+		return net
+	}
+
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := build()
+		b.StartTimer()
+		rep, err := net.SetLinkUp(0, 1, false)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Affected != n || rep.Count(rtether.Rerouted) != n {
+			b.Fatalf("recovery report: affected=%d rerouted=%d, want %d/%d",
+				rep.Affected, rep.Count(rtether.Rerouted), n, n)
+		}
+		_ = net.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(n, "affected-channels")
+}
+
 func BenchmarkEstablishment(b *testing.B) {
 	n := netsim.New(netsim.Config{DPS: core.ADPS{}})
 	for _, id := range traffic.PaperLayout.Nodes() {

@@ -1,0 +1,140 @@
+// Failover walks the survivability ladder on a 4-switch ring. Channels
+// cross the ring on shortest paths; when a trunk dies, every channel
+// routed over it is re-routed and batch re-admitted under its original
+// ID — in-flight frames drop as misses, but the reservation either
+// survives on a detour or goes through the policy ladder configured
+// with WithFailurePolicy: reject (the default) loses what no longer
+// fits, degrade retries once at twice the deadline, preempt evicts
+// strictly lower-priority channels to make room. Repair is a pure
+// flip: the trunk becomes routable again, nobody is moved back.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rtether"
+)
+
+// ring builds the 4-switch ring 0-1-2-3-0 with nodes 1..8, two per
+// switch (node n homes on switch (n-1)/2).
+func ring() *rtether.Topology {
+	top := rtether.NewTopology()
+	for s := rtether.SwitchID(0); s < 4; s++ {
+		if err := top.AddSwitch(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, t := range [][2]rtether.SwitchID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := top.Trunk(t[0], t[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for n := rtether.NodeID(1); n <= 8; n++ {
+		if err := top.Attach(n, rtether.SwitchID((n-1)/2)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return top
+}
+
+func newNet(opts ...rtether.Option) *rtether.Network {
+	return rtether.New(append([]rtether.Option{
+		rtether.WithTopology(ring()), rtether.WithHDPS(rtether.HADPS()),
+	}, opts...)...)
+}
+
+func must(ch *rtether.Channel, err error) *rtether.Channel {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ch
+}
+
+func printReport(rep *rtether.FailoverReport) {
+	fmt.Printf("  %d affected: %d rerouted, %d degraded, %d preempted, %d lost\n",
+		rep.Affected, rep.Count(rtether.Rerouted), rep.Count(rtether.Degraded),
+		rep.Count(rtether.Preempted), rep.Count(rtether.Lost))
+	for _, oc := range rep.Outcomes {
+		switch oc.Outcome {
+		case rtether.Degraded:
+			fmt.Printf("    RT#%d %-9s deadline relaxed to %d\n", oc.ID, oc.Outcome, oc.NewD)
+		case rtether.Lost:
+			fmt.Printf("    RT#%d %-9s %v\n", oc.ID, oc.Outcome, oc.Err)
+		default:
+			fmt.Printf("    RT#%d %s\n", oc.ID, oc.Outcome)
+		}
+	}
+}
+
+func main() {
+	// --- Reroute: a channel with deadline slack survives on the detour.
+	fmt.Println("reject policy (default) — trunk 0-1 fails under two channels:")
+	net := newNet()
+	agile := must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 3, C: 2, P: 100, D: 40}))
+	// The tight channel's deadline only covers the 3-hop shortest path
+	// (each hop needs a budget of at least C); the 5-hop detour around
+	// the ring cannot hold it.
+	tight := must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 3, C: 10, P: 100, D: 34}))
+	fmt.Printf("  before: agile budgets %v, tight budgets %v\n", agile.Budgets(), tight.Budgets())
+
+	rep, err := net.SetLinkUp(0, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	fmt.Printf("  after: agile budgets %v (same ID %d, 5 hops now)\n\n", agile.Budgets(), agile.ID())
+
+	// Repair: the trunk is routable again, survivors stay put.
+	rep, err = net.SetLinkUp(0, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair — empty report (affected=%d); agile still on %d hops\n\n",
+		rep.Affected, len(agile.Budgets()))
+	net.Close()
+
+	// --- Degrade: the same tight channel survives at twice the deadline.
+	fmt.Println("degrade policy — the same tight channel, same failure:")
+	net = newNet(rtether.WithFailurePolicy(rtether.FailDegrade))
+	tight = must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 3, C: 10, P: 100, D: 34}))
+	rep, err = net.SetLinkUp(0, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	fmt.Printf("  committed spec now guarantees D=%d\n\n", tight.Spec().D)
+	net.Close()
+
+	// --- Preempt: priority decides who keeps the saturated detour edge.
+	fmt.Println("preempt policy — the detour is full, priority breaks the tie:")
+	net = newNet(rtether.WithFailurePolicy(rtether.FailPreempt))
+	// The victim loads the detour edge sw0→sw3 to 90% on its own.
+	victim := must(net.Establish(rtether.ChannelSpec{Src: 2, Dst: 8, C: 9, P: 10, D: 40}))
+	vip := must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 3, C: 2, P: 10, D: 40, Priority: 5}))
+	rep, err = net.SetLinkUp(0, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	fmt.Printf("  vip rerouted to %d hops; victim handle closed: Release() = %v\n\n",
+		len(vip.Budgets()), victim.Release())
+	net.Close()
+
+	// --- Switch failure: everything homed on the switch goes with it.
+	fmt.Println("switch 1 fails — transit channels detour, its nodes are lost:")
+	net = newNet()
+	transit := must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 5, C: 2, P: 100, D: 40}))
+	must(net.Establish(rtether.ChannelSpec{Src: 1, Dst: 4, C: 2, P: 100, D: 40})) // sunk at switch 1
+	rep, err = net.SetSwitchUp(1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	st := net.AdmissionStats()
+	fmt.Printf("  transit now on %d hops; stats: %d rerouted, %d lost total this network\n",
+		len(transit.Budgets()), st.Rerouted, st.Lost)
+	net.Close()
+}

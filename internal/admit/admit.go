@@ -93,8 +93,13 @@ type State[K comparable, Ch any, P any] struct {
 
 	channels map[ID]entry[K, Ch]
 	order    []ID // insertion order, for deterministic iteration
-	loads    map[K]int
-	nextID   ID
+	// stale holds IDs of removed channels whose order entry has not been
+	// compacted away yet. Add consults it so that re-admitting a channel
+	// under its kept ID (failure recovery) purges the old entry instead
+	// of double-listing the channel in Channels().
+	stale  map[ID]bool
+	loads  map[K]int
+	nextID ID
 
 	byLink    map[K][]Ref[Ch]
 	taskCache map[K][]edf.Task
@@ -106,6 +111,7 @@ func NewState[K comparable, Ch any, P any](ops *Ops[K, Ch, P]) *State[K, Ch, P] 
 	return &State[K, Ch, P]{
 		ops:       ops,
 		channels:  make(map[ID]entry[K, Ch]),
+		stale:     make(map[ID]bool),
 		loads:     make(map[K]int),
 		nextID:    1,
 		byLink:    make(map[K][]Ref[Ch]),
@@ -195,6 +201,18 @@ func (st *State[K, Ch, P]) Add(ch Ch) {
 	id := st.ops.ID(ch)
 	if _, dup := st.channels[id]; dup {
 		panic(fmt.Sprintf("admit: duplicate channel ID %d", id))
+	}
+	if st.stale[id] {
+		// The channel lived before under this ID and its order entry is
+		// still pending compaction — purge it, or the entry would come
+		// alive again and Channels() would list the channel twice.
+		for i, oid := range st.order {
+			if oid == id {
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
+		delete(st.stale, id)
 	}
 	links := st.ops.Links(ch)
 	st.channels[id] = entry[K, Ch]{ch: ch, links: links}
@@ -293,6 +311,7 @@ func (st *State[K, Ch, P]) Remove(id ID) bool {
 		st.subUtil(l, c, p)
 	}
 	// Compact the order slice lazily: rebuild when over half are gone.
+	st.stale[id] = true
 	if len(st.order) >= 2*len(st.channels)+8 {
 		kept := st.order[:0]
 		for _, oid := range st.order {
@@ -301,6 +320,7 @@ func (st *State[K, Ch, P]) Remove(id ID) bool {
 			}
 		}
 		st.order = kept
+		clear(st.stale)
 	}
 	return true
 }
@@ -386,11 +406,15 @@ func (st *State[K, Ch, P]) Clone() *State[K, Ch, P] {
 		ops:       st.ops,
 		channels:  make(map[ID]entry[K, Ch], len(st.channels)),
 		order:     append([]ID(nil), st.order...),
+		stale:     make(map[ID]bool, len(st.stale)),
 		loads:     make(map[K]int, len(st.loads)),
 		nextID:    st.nextID,
 		byLink:    make(map[K][]Ref[Ch], len(st.byLink)),
 		taskCache: make(map[K][]edf.Task),
 		utilSum:   make(map[K]*big.Rat, len(st.utilSum)),
+	}
+	for id := range st.stale {
+		cp.stale[id] = true
 	}
 	for id, e := range st.channels {
 		cp.channels[id] = entry[K, Ch]{ch: st.ops.Clone(e.ch), links: e.links}

@@ -70,6 +70,14 @@ type Engine[K comparable, Ch any, P any] struct {
 	repartitions  int
 	repartitioned []ID
 
+	// staleParts holds the channels whose committed partition was kept
+	// back by a Release whose repartition failed verification. Their
+	// vectors differ from what the scheme's Partition would compute, so
+	// the incremental engine folds their links into every later touched
+	// set — the clone engine's full Partition pass heals them implicitly,
+	// and decision equivalence requires the delta engine to do the same.
+	staleParts map[ID]struct{}
+
 	scratch  edf.Scratch
 	touchBuf []K
 }
@@ -80,7 +88,13 @@ func NewEngine[K comparable, Ch any, P any](ops *Ops[K, Ch, P], cfg Config) *Eng
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine[K, Ch, P]{ops: ops, cfg: cfg, workers: workers, state: NewState(ops)}
+	return &Engine[K, Ch, P]{
+		ops:        ops,
+		cfg:        cfg,
+		workers:    workers,
+		state:      NewState(ops),
+		staleParts: make(map[ID]struct{}),
+	}
 }
 
 // State returns the live committed state. Callers must treat it as
@@ -163,6 +177,7 @@ func (e *Engine[K, Ch, P]) admitClone(n int, mk func(i int, id ID) Ch, schemes [
 		if rej == nil {
 			e.state = tentative
 			e.repartitioned = changedIDs
+			clear(e.staleParts) // full Partition healed any kept-back vectors
 			return chs, nil
 		}
 		if firstRej == nil {
@@ -190,6 +205,7 @@ func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes [
 			chs[i] = ch
 			touched = append(touched, e.state.LinksOf(ch)...)
 		}
+		touched = e.withStaleLinks(touched)
 		e.touchBuf = touched[:0]
 		touched = dedupKeys(touched)
 
@@ -200,6 +216,7 @@ func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes [
 		rej := e.verify(e.state, changed)
 		if rej == nil {
 			e.repartitioned = changedIDs
+			clear(e.staleParts) // touched covered every stale channel; all healed
 			return chs, nil
 		}
 		e.rollback(e.state, undo)
@@ -254,22 +271,29 @@ func dedupKeys[K comparable](keys []K) []K {
 // (a scheme is a function of the system state); in the unlikely event
 // that repartitioning a smaller system makes some link infeasible, the
 // previous partitions are kept — removing load can never invalidate the
-// schedule under unchanged partitions. It reports whether the channel
-// existed.
+// schedule under unchanged partitions. Kept-back channels are recorded
+// as stale so later incremental decisions widen their touched sets to
+// match the reference engine (see staleParts). It reports whether the
+// channel existed.
 func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 	entry, ok := e.state.channels[id]
 	if !ok {
 		return false
 	}
 	if scheme.PartitionTouched != nil && !e.cfg.FullRecheck {
-		links := entry.links
 		e.state.Remove(id)
+		delete(e.staleParts, id)
+		links := e.withStaleLinks(entry.links)
+		links = dedupKeys(links)
 		e.repartitions++
 		parts := scheme.PartitionTouched(e.state, links)
 		undo, changed, changedIDs := e.applyDelta(e.state, parts)
 		if rej := e.verify(e.state, changed); rej != nil {
 			e.rollback(e.state, undo)
+			e.markStale(changedIDs)
 			changedIDs = nil
+		} else {
+			clear(e.staleParts)
 		}
 		e.repartitioned = changedIDs
 		return true
@@ -285,11 +309,48 @@ func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 	if rej := e.verify(repart, changed); rej == nil {
 		e.state = repart
 		e.repartitioned = changedIDs
+		clear(e.staleParts)
 	} else {
 		e.state = next
 		e.repartitioned = nil
+		e.markStale(changedIDs)
 	}
 	return true
+}
+
+// markStale replaces the stale set with the channels whose kept-back
+// partitions now differ from canonical. The repartition covered every
+// previously stale channel (their links were in the touched set, or the
+// pass was a full Partition), so channels outside changedIDs are
+// canonical again and drop out of the set.
+func (e *Engine[K, Ch, P]) markStale(changedIDs []ID) {
+	clear(e.staleParts)
+	for _, id := range changedIDs {
+		e.staleParts[id] = struct{}{}
+	}
+}
+
+// withStaleLinks widens a touched link set with the routes of every
+// stale channel, so the next incremental repartition recomputes — and,
+// where the new values stick, re-verifies — exactly what the reference
+// engine's full Partition pass would heal. The input slice is not
+// mutated; a fresh slice is returned whenever anything is appended.
+func (e *Engine[K, Ch, P]) withStaleLinks(links []K) []K {
+	if len(e.staleParts) == 0 {
+		return links
+	}
+	ids := make([]ID, 0, len(e.staleParts))
+	for id := range e.staleParts {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	out := append([]K(nil), links...)
+	for _, id := range ids {
+		if ent, ok := e.state.channels[id]; ok {
+			out = append(out, ent.links...)
+		}
+	}
+	return out
 }
 
 // apply installs the computed partitions into the state's channels,

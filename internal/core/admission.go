@@ -254,6 +254,77 @@ func (c *Controller) RequestEach(specs []ChannelSpec) ([]*Channel, []error) {
 	return chs, errs
 }
 
+// Req is one entry of a mixed establishment batch handed to
+// RequestEachReq: a unicast channel when Sinks is nil, a multicast tree
+// otherwise (Spec is then the MulticastSpec's ChannelSpec projection,
+// Dst = Sinks[0]).
+type Req struct {
+	Spec  ChannelSpec
+	Sinks []NodeID
+	// ID, when KeepID is set, is committed as the channel's ID instead
+	// of a freshly allocated one. The ID must not be in use: failure
+	// recovery releases affected channels and re-admits them under their
+	// old IDs so handles held by callers stay valid.
+	ID     ChannelID
+	KeepID bool
+}
+
+// MulticastSpec reconstructs the multicast spec of a multicast Req.
+func (r Req) MulticastSpec() MulticastSpec {
+	return MulticastSpec{Src: r.Spec.Src, Sinks: r.Sinks, P: r.Spec.P, C: r.Spec.C, D: r.Spec.D, Priority: r.Spec.Priority}
+}
+
+// RequestEachReq is RequestEach over a mixed unicast/multicast batch:
+// every request is validated and decided on its own with the same
+// merged-batch kernel machinery (greedy bisection, undo-on-reject
+// rollback, decision-equivalence with sequential submission). It is the
+// primitive behind both multicast-aware request coalescing and
+// post-failure batch re-admission.
+//
+// The returned slices are parallel to reqs, exactly as in RequestEach.
+func (c *Controller) RequestEachReq(reqs []Req) ([]*Channel, []error) {
+	c.stats.Requests += len(reqs)
+	chs := make([]*Channel, len(reqs))
+	errs := make([]error, len(reqs))
+	valid := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		var err error
+		if len(r.Sinks) == 0 {
+			err = r.Spec.Validate()
+		} else {
+			err = r.MulticastSpec().Validate()
+		}
+		if err != nil {
+			c.stats.RejectedInvalid++
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
+	}
+	got, rejs := c.eng.AdmitEach(len(valid), func(vi int, id ChannelID) *Channel {
+		r := reqs[valid[vi]]
+		if r.KeepID {
+			id = r.ID
+		}
+		ch := &Channel{ID: id, Spec: r.Spec}
+		if len(r.Sinks) > 0 {
+			ch.Sinks = append([]NodeID(nil), r.Sinks...)
+		}
+		return ch
+	}, c.schemes)
+	for vi, i := range valid {
+		if rej := rejs[vi]; rej != nil {
+			re := &RejectionError{Link: rej.Link, Result: rej.Result}
+			c.noteRejection(re)
+			errs[i] = re
+			continue
+		}
+		c.stats.Accepted++
+		chs[i] = got[vi]
+	}
+	return chs, errs
+}
+
 // admit runs the kernel decision for pre-validated specs.
 func (c *Controller) admit(specs []ChannelSpec) ([]*Channel, *RejectionError) {
 	chs, rej := c.eng.Admit(len(specs), func(i int, id ChannelID) *Channel {

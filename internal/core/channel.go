@@ -39,6 +39,14 @@ type ChannelSpec struct {
 	P   int64  // period of data
 	C   int64  // amount of data per period (in maximal-sized frames)
 	D   int64  // relative end-to-end deadline
+
+	// Priority orders channels for the survivability policy ladder:
+	// after a link or switch failure, a preempting policy may evict
+	// strictly lower-priority channels to make room for re-routed ones.
+	// Higher is more important; 0 (the default) preserves the paper's
+	// priority-free behavior. Priority never influences admission or EDF
+	// scheduling on a healthy network.
+	Priority int32
 }
 
 // Validation errors for channel specs.
@@ -71,8 +79,12 @@ func (s ChannelSpec) Validate() error {
 	return nil
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Priority is shown only when set, so
+// priority-free specs render exactly as they always did.
 func (s ChannelSpec) String() string {
+	if s.Priority != 0 {
+		return fmt.Sprintf("chan{%d→%d C=%d P=%d D=%d pri=%d}", s.Src, s.Dst, s.C, s.P, s.D, s.Priority)
+	}
 	return fmt.Sprintf("chan{%d→%d C=%d P=%d D=%d}", s.Src, s.Dst, s.C, s.P, s.D)
 }
 

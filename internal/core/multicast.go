@@ -26,6 +26,10 @@ type MulticastSpec struct {
 	P     int64    // period of data
 	C     int64    // amount of data per period (in maximal-sized frames)
 	D     int64    // relative end-to-end deadline (per sink)
+
+	// Priority orders channels for the survivability policy ladder; see
+	// ChannelSpec.Priority. Defaults to 0.
+	Priority int32
 }
 
 // Validate checks the spec against the paper's constraints, extended to
@@ -63,11 +67,14 @@ func (s MulticastSpec) Validate() error {
 // rest of the state machinery stores: Dst is the first sink (the full
 // sink set lives on Channel.Sinks).
 func (s MulticastSpec) ChannelSpec() ChannelSpec {
-	return ChannelSpec{Src: s.Src, Dst: s.Sinks[0], C: s.C, P: s.P, D: s.D}
+	return ChannelSpec{Src: s.Src, Dst: s.Sinks[0], C: s.C, P: s.P, D: s.D, Priority: s.Priority}
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Priority is shown only when set.
 func (s MulticastSpec) String() string {
+	if s.Priority != 0 {
+		return fmt.Sprintf("mcast{%d→%v C=%d P=%d D=%d pri=%d}", s.Src, s.Sinks, s.C, s.P, s.D, s.Priority)
+	}
 	return fmt.Sprintf("mcast{%d→%v C=%d P=%d D=%d}", s.Src, s.Sinks, s.C, s.P, s.D)
 }
 

@@ -78,6 +78,7 @@ type link struct {
 type Sim struct {
 	eng      *sim.Engine
 	links    map[topo.Edge]*link
+	down     map[topo.Edge]bool // dead directed edges: frames on them drop
 	channels []*channelRT
 	byID     map[core.ChannelID]*channelRT
 	horizon  int64
@@ -97,6 +98,7 @@ func NewSim(cfg Config) *Sim {
 	return &Sim{
 		eng:     sim.NewEngine(),
 		links:   make(map[topo.Edge]*link),
+		down:    make(map[topo.Edge]bool),
 		byID:    make(map[core.ChannelID]*channelRT),
 		shaping: !cfg.DisableShaping,
 	}
@@ -215,6 +217,86 @@ func (s *Sim) Remove(id core.ChannelID) error {
 	return nil
 }
 
+// SetLinkUp marks one directed edge up or down. Downing an edge purges
+// its queued frames — each counts as a miss for its channel, the
+// paper-faithful accounting for data lost to a failure — and every frame
+// subsequently injected on, or arriving over, a dead edge is dropped the
+// same way. Repair (up=true) only clears the flag; traffic resumes with
+// the next release.
+func (s *Sim) SetLinkUp(e topo.Edge, up bool) {
+	if up {
+		delete(s.down, e)
+		return
+	}
+	if s.down[e] {
+		return
+	}
+	s.down[e] = true
+	if l := s.links[e]; l != nil {
+		for {
+			it, ok := l.queue.Pop()
+			if !ok {
+				break
+			}
+			s.drop(it.Payload.(*rtFrame))
+		}
+	}
+}
+
+// Reroute replaces the route and budgets of an installed channel after a
+// failure re-admission, keeping its identity and metrics: the old
+// incarnation's source is detached (in-flight frames drain — or die on
+// dead edges — under their old route), and a new incarnation adopts the
+// same Metrics aggregate plus the old periodic release schedule, so
+// delivery history and phase both survive the reroute.
+func (s *Sim) Reroute(hch *topo.HChannel) error {
+	old := s.byID[hch.ID]
+	if old == nil {
+		return fmt.Errorf("fabricsim: unknown channel %d", hch.ID)
+	}
+	if len(hch.Route) == 0 || len(hch.Hops) != len(hch.Route) {
+		return fmt.Errorf("fabricsim: channel %v has no installed hop budgets", hch)
+	}
+	pendingRelease := old.armed // a scheduled release the gen bump orphans
+	old.stopped = true
+	old.gen++
+	old.armed = false
+	delete(s.byID, hch.ID)
+
+	parents := treeParents(hch)
+	rt := &channelRT{
+		id:       hch.ID,
+		spec:     hch.Spec,
+		route:    append([]topo.Edge(nil), hch.Route...),
+		parents:  parents,
+		children: treeChildren(parents),
+		cum:      cumBudgets(hch.Hops, parents),
+		metrics:  old.metrics,
+	}
+	s.channels = append(s.channels, rt)
+	s.byID[hch.ID] = rt
+	for _, e := range rt.route {
+		if s.links[e] == nil {
+			s.links[e] = &link{eng: s.eng, sim: s}
+		}
+	}
+	if old.started {
+		rt.started = true
+		rt.next = old.next
+		if pendingRelease {
+			rt.next -= old.spec.P // re-arm the orphaned release
+		}
+		if rt.next < s.eng.Now() {
+			rt.next = s.eng.Now()
+		}
+		s.armRelease(rt)
+	}
+	return nil
+}
+
+// drop accounts one frame lost to a dead edge: a miss for its channel.
+func (s *Sim) drop(f *rtFrame) { f.ch.metrics.Misses++ }
+
 // treeParents extracts the parent-index form of a channel's route —
 // the explicit tree for multicast, the implicit chain for unicast.
 func treeParents(hch *topo.HChannel) []int {
@@ -292,8 +374,14 @@ func (s *Sim) armRelease(ch *channelRT) {
 }
 
 // inject enqueues a frame at its current hop under the hop-local EDF key.
+// Frames bound for a dead edge are dropped as misses.
 func (s *Sim) inject(f *rtFrame) {
-	l := s.links[f.ch.route[f.hop]]
+	e := f.ch.route[f.hop]
+	if s.down[e] {
+		s.drop(f)
+		return
+	}
+	l := s.links[e]
 	l.queue.Push(f.release+f.ch.cum[f.hop], f)
 	l.kick()
 }
@@ -329,6 +417,11 @@ func (l *link) decide() {
 // at a multicast branch point the frame is replicated, one copy per
 // subtree, each measured independently at its own leaf.
 func (s *Sim) arrive(f *rtFrame) {
+	if s.down[f.ch.route[f.hop]] {
+		// The edge died while the frame was in transit on it.
+		s.drop(f)
+		return
+	}
 	now := s.eng.Now()
 	kids := f.ch.children[f.hop]
 	if len(kids) == 0 {

@@ -68,6 +68,12 @@ type Network struct {
 	nodes   map[core.NodeID]*Node
 	nodeIDs []core.NodeID // insertion order for deterministic reports
 
+	// linkDown marks node↔switch links whose cable is "unplugged": frames
+	// crossing a dead link in either direction are dropped, with RT data
+	// counted as misses at the receivers that lose them.
+	linkDown    map[core.NodeID]bool
+	rtLinkDrops int64
+
 	tracer  Tracer
 	horizon int64
 
@@ -82,9 +88,10 @@ type Network struct {
 // New constructs an empty network.
 func New(cfg Config) *Network {
 	n := &Network{
-		cfg:   cfg,
-		eng:   sim.NewEngine(),
-		nodes: make(map[core.NodeID]*Node),
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		nodes:    make(map[core.NodeID]*Node),
+		linkDown: make(map[core.NodeID]bool),
 	}
 	n.ctrl = core.NewController(core.Config{
 		DPS:           cfg.DPS,
@@ -268,6 +275,46 @@ func (n *Network) EstablishEachChannels(specs []core.ChannelSpec) ([]core.Channe
 	return ids, errs
 }
 
+// EstablishEachReqChannels is EstablishEachChannels over a mixed
+// unicast/multicast batch (core.Controller.RequestEachReq): each Req
+// with a nil sink set is a unicast channel, the rest are multicast
+// trees, and every request is accepted or rejected on its own inside
+// one merged kernel pass. The returned slices are parallel to reqs.
+func (n *Network) EstablishEachReqChannels(reqs []core.Req) ([]core.ChannelID, []error) {
+	ids := make([]core.ChannelID, len(reqs))
+	errs := make([]error, len(reqs))
+	valid := make([]int, 0, len(reqs))
+	routable := make([]core.Req, 0, len(reqs))
+	for i, r := range reqs {
+		err := n.checkEndpoints(r.Spec)
+		if err == nil {
+			for _, s := range r.Sinks {
+				if n.nodes[s] == nil {
+					err = fmt.Errorf("%w: sink node %d", ErrUnknownNode, s)
+					break
+				}
+			}
+		}
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
+		routable = append(routable, r)
+	}
+	chs, cerrs := n.ctrl.RequestEachReq(routable)
+	for vi, i := range valid {
+		if cerrs[vi] != nil {
+			errs[i] = cerrs[vi]
+			continue
+		}
+		ch := chs[vi]
+		n.sw.dataplane[ch.ID] = fanout(ch)
+		ids[i] = ch.ID
+	}
+	return ids, errs
+}
+
 // EstablishMulticastChannel admits a one-to-many channel through the
 // management plane as one atomic admission decision
 // (core.Controller.RequestMulticast): the source uplink plus every sink
@@ -291,6 +338,35 @@ func (n *Network) EstablishMulticastChannel(spec core.MulticastSpec) (core.Chann
 	n.sw.dataplane[ch.ID] = fanout(ch)
 	return ch.ID, nil
 }
+
+// SetLinkUp marks the full-duplex link between a node and the switch as
+// up or down. While down, frames crossing the link in either direction —
+// including frames already queued on a transmitter — are dropped; RT
+// data losses are counted as misses on the receiving side's channel
+// metrics (the star analogue of a fabric trunk failure). Reservations
+// are untouched: a star has no alternate path, so re-routing is the
+// fabric's job and the star's failure story is honest loss accounting.
+func (n *Network) SetLinkUp(id core.NodeID, up bool) error {
+	if n.nodes[id] == nil {
+		return fmt.Errorf("%w: node %d", ErrUnknownNode, id)
+	}
+	if up {
+		delete(n.linkDown, id)
+	} else {
+		n.linkDown[id] = true
+	}
+	return nil
+}
+
+// LinkUp reports whether a node's link to the switch is up. Unknown
+// nodes report false.
+func (n *Network) LinkUp(id core.NodeID) bool {
+	return n.nodes[id] != nil && !n.linkDown[id]
+}
+
+// RTLinkDrops returns the cumulative count of RT data frames dropped on
+// dead links (each was also counted as a miss at its receiver).
+func (n *Network) RTLinkDrops() int64 { return n.rtLinkDrops }
 
 // StopTraffic detaches the periodic source of a channel without releasing
 // the reservation (the inverse of Node.StartTraffic).

@@ -243,6 +243,17 @@ func (nd *Node) SendNonRT(dst core.NodeID, payload []byte) bool {
 
 // receive handles a frame delivered on the node's downlink.
 func (nd *Node) receive(b []byte, _ sched.Class) {
+	if nd.net.linkDown[nd.id] {
+		// The link died with the frame in flight (or queued): drop it, and
+		// account RT data as a miss at this receiver.
+		if frame.Classify(b) == frame.KindRTData {
+			if _, chID, err := frame.PeekDeadline(b); err == nil {
+				nd.net.rtLinkDrops++
+				nd.noteLinkDrop(core.ChannelID(chID))
+			}
+		}
+		return
+	}
 	switch frame.Classify(b) {
 	case frame.KindRTData:
 		nd.receiveRTData(b)
@@ -256,6 +267,18 @@ func (nd *Node) receive(b []byte, _ sched.Class) {
 	default:
 		nd.receiveNonRT(b)
 	}
+}
+
+// noteLinkDrop counts a frame lost to a dead link as a missed deadline
+// of the channel at this receiver — data that never arrives is the
+// hardest possible deadline miss.
+func (nd *Node) noteLinkDrop(id core.ChannelID) {
+	m := nd.rxChannels[id]
+	if m == nil {
+		m = newChannelMetrics()
+		nd.rxChannels[id] = m
+	}
+	m.Misses++
 }
 
 // receiveRTData validates and measures an RT datagram against the

@@ -59,6 +59,10 @@ func (sw *Switch) forget(id core.ChannelID) {
 
 // ingress handles a frame arriving from a node's uplink.
 func (sw *Switch) ingress(from *Node, b []byte, _ sched.Class) {
+	if sw.net.linkDown[from.id] {
+		sw.dropDead(b)
+		return
+	}
 	switch frame.Classify(b) {
 	case frame.KindRTData:
 		sw.ingressRTData(b)
@@ -70,6 +74,26 @@ func (sw *Switch) ingress(from *Node, b []byte, _ sched.Class) {
 		sw.ingressTeardown(from, b)
 	default:
 		sw.ingressNonRT(b)
+	}
+}
+
+// dropDead accounts a frame lost crossing a dead uplink. RT data counts
+// as a miss at every destination it would have reached; control and
+// best-effort frames vanish, as they would on a real unplugged cable.
+func (sw *Switch) dropDead(b []byte) {
+	if frame.Classify(b) != frame.KindRTData {
+		return
+	}
+	_, chID, err := frame.PeekDeadline(b)
+	if err != nil {
+		return
+	}
+	id := core.ChannelID(chID)
+	sw.net.rtLinkDrops++
+	for _, dst := range sw.dataplane[id] {
+		if node := sw.net.nodes[dst]; node != nil {
+			node.noteLinkDrop(id)
+		}
 	}
 }
 

@@ -40,6 +40,21 @@ const (
 	// bursts on one channel must not overlap: the next may start no
 	// earlier than offset + count*P after this one.
 	KindPublish = "publish"
+	// KindLinkDown fails the trunk named by the event's link pair
+	// (multi-switch topologies only). Channels routed over the trunk are
+	// re-routed and re-admitted as a batch; the ones the residual
+	// network cannot carry go through the scenario's failurePolicy
+	// ladder. In-flight frames on the trunk are dropped and counted as
+	// deadline misses.
+	KindLinkDown = "linkDown"
+	// KindSwitchDown fails a whole switch: every trunk at the switch and
+	// every node attached to it go dark, with the same recovery pass as
+	// linkDown.
+	KindSwitchDown = "switchDown"
+	// KindRepair brings a failed trunk (link pair) or switch back up.
+	// Routes become available again for later admissions and failures;
+	// surviving channels are not moved back.
+	KindRepair = "repair"
 )
 
 // EventDef is one timeline entry. Which fields apply depends on Kind;
@@ -77,6 +92,13 @@ type EventDef struct {
 	Src  uint16  `json:"src,omitempty"`
 	Dst  uint16  `json:"dst,omitempty"`
 	Rate float64 `json:"rate,omitempty"`
+
+	// Link names the trunk of a linkDown or repair event as its [a, b]
+	// switch pair (either order).
+	Link []uint16 `json:"link,omitempty"`
+	// Switch names the subject of a switchDown or repair event. A
+	// pointer so switch 0 stays distinguishable from an absent field.
+	Switch *uint16 `json:"switch,omitempty"`
 }
 
 // timedEvent is one compiled timeline entry: a declared EventDef or one
@@ -94,6 +116,9 @@ type timedEvent struct {
 
 	src, dst uint16  // setBackground
 	rate     float64 // setBackground
+
+	link [2]uint16 // linkDown / link repair trunk pair
+	sw   *uint16   // switchDown / switch repair subject
 }
 
 // timeline is the compiled dynamic part of a scenario: every event in
@@ -203,6 +228,41 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 			if ev.Channel != "" || len(ev.Channels) > 0 {
 				return fail("setBackground takes src/dst/rate, not channels")
 			}
+		case KindLinkDown, KindSwitchDown, KindRepair:
+			if !s.Fabric() {
+				return fail("%s needs a multi-switch topology", ev.Kind)
+			}
+			if ev.Channel != "" || len(ev.Channels) > 0 {
+				return fail("%s takes link/switch, not channels", ev.Kind)
+			}
+			if ev.C != 0 || ev.P != 0 || ev.D != 0 {
+				return fail("%s does not take c/p/d", ev.Kind)
+			}
+			switch ev.Kind {
+			case KindLinkDown:
+				if len(ev.Link) == 0 || ev.Switch != nil {
+					return fail("linkDown takes a link pair (use switchDown for switches)")
+				}
+			case KindSwitchDown:
+				if ev.Switch == nil || len(ev.Link) > 0 {
+					return fail("switchDown takes a switch (use linkDown for trunks)")
+				}
+			case KindRepair:
+				if (len(ev.Link) > 0) == (ev.Switch != nil) {
+					return fail("repair takes exactly one of link and switch")
+				}
+			}
+			if len(ev.Link) > 0 {
+				if len(ev.Link) != 2 {
+					return fail("link must be an [a, b] switch pair")
+				}
+				if !s.hasTrunk(ev.Link[0], ev.Link[1]) {
+					return fail("no trunk between switches %d and %d", ev.Link[0], ev.Link[1])
+				}
+			}
+			if ev.Switch != nil && !s.hasSwitch(*ev.Switch) {
+				return fail("unknown switch %d", *ev.Switch)
+			}
 		default:
 			return fmt.Errorf("scenario: event %d: unknown event kind %q", i, ev.Kind)
 		}
@@ -212,8 +272,42 @@ func (s *Scenario) validateEvents(names map[string]bool, nodeSet map[uint16]bool
 		if ev.Count != 0 && ev.Kind != KindPublish {
 			return fail("%s does not take count (publish only)", ev.Kind)
 		}
+		if len(ev.Link) > 0 || ev.Switch != nil {
+			switch ev.Kind {
+			case KindLinkDown, KindSwitchDown, KindRepair:
+			default:
+				return fail("%s does not take link/switch", ev.Kind)
+			}
+		}
 	}
 	return nil
+}
+
+// hasTrunk reports whether the declared topology carries a trunk
+// between switches a and b (either order).
+func (s *Scenario) hasTrunk(a, b uint16) bool {
+	if s.Topology == nil {
+		return false
+	}
+	for _, tr := range s.Topology.Trunks {
+		if (tr[0] == a && tr[1] == b) || (tr[0] == b && tr[1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSwitch reports whether the declared topology contains switch sw.
+func (s *Scenario) hasSwitch(sw uint16) bool {
+	if s.Topology == nil {
+		return false
+	}
+	for _, have := range s.Topology.Switches {
+		if have == sw {
+			return true
+		}
+	}
+	return false
 }
 
 // timeline compiles the declared events and every churn generator into
@@ -238,11 +332,15 @@ func (s *Scenario) timeline() (*timeline, error) {
 			c: ev.C, p: ev.P, d: ev.D, count: ev.Count,
 			offset: ev.Offset, optional: ev.Optional,
 			src: ev.Src, dst: ev.Dst, rate: ev.Rate,
+			sw: ev.Switch,
+		}
+		if len(ev.Link) == 2 {
+			te.link = [2]uint16{ev.Link[0], ev.Link[1]}
 		}
 		switch ev.Kind {
 		case KindEstablishAll:
 			te.names = ev.Channels
-		case KindSetBackground:
+		case KindSetBackground, KindLinkDown, KindSwitchDown, KindRepair:
 		default:
 			te.names = []string{ev.Channel}
 		}

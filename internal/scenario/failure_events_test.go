@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// ringDoc is a 4-switch ring scenario skeleton: nodes 1..8, two per
+// switch, with %s slots for failurePolicy (may be empty), channel list
+// and event list.
+const ringDoc = `{
+	"name": "ring-failures",
+	"dps": "adps",
+	"slots": 1500,
+	%s
+	"topology": {
+		"switches": [0, 1, 2, 3],
+		"trunks": [[0, 1], [1, 2], [2, 3], [3, 0]],
+		"attachments": [
+			{"node": 1, "switch": 0}, {"node": 2, "switch": 0},
+			{"node": 3, "switch": 1}, {"node": 4, "switch": 1},
+			{"node": 5, "switch": 2}, {"node": 6, "switch": 2},
+			{"node": 7, "switch": 3}, {"node": 8, "switch": 3}
+		]
+	},
+	"channels": %s,
+	"events": %s
+}`
+
+// TestRunFailureTimeline drives a linkDown/repair cycle through a full
+// scenario run: the reroutable channel survives, the tight one is lost
+// under the default reject policy, later events on the lost channel are
+// skipped rather than failing the run, and repair applies cleanly.
+func TestRunFailureTimeline(t *testing.T) {
+	channels := `[
+		{"name": "agile", "src": 1, "dst": 3, "c": 2, "p": 100, "d": 40},
+		{"name": "doomed", "src": 2, "dst": 4, "c": 10, "p": 100, "d": 34}
+	]`
+	events := `[
+		{"at": 300, "kind": "linkDown", "link": [0, 1]},
+		{"at": 600, "kind": "release", "channel": "doomed"},
+		{"at": 900, "kind": "repair", "link": [0, 1]},
+		{"at": 1200, "kind": "release", "channel": "agile"}
+	]`
+	s, err := Load(strings.NewReader(sprintfDoc("", channels, events)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 2 {
+		t.Fatalf("static accepted %d, want 2", len(res.Accepted))
+	}
+	down := res.Events[0]
+	if !down.Accepted || down.Subject != "trunk 0-1" {
+		t.Fatalf("linkDown outcome = %+v", down)
+	}
+	if !strings.Contains(down.Detail, "2 affected") ||
+		!strings.Contains(down.Detail, "1 rerouted") ||
+		!strings.Contains(down.Detail, "1 lost") {
+		t.Fatalf("linkDown detail = %q, want 2 affected: 1 rerouted, 1 lost", down.Detail)
+	}
+	if rel := res.Events[1]; !rel.Skipped || !strings.Contains(rel.Detail, "closed by failure recovery") {
+		t.Fatalf("release of lost channel = %+v, want skip", rel)
+	}
+	if rep := res.Events[2]; !rep.Accepted || !strings.Contains(rep.Detail, "no channels affected") {
+		t.Fatalf("repair outcome = %+v", rep)
+	}
+	if rel := res.Events[3]; !rel.Accepted {
+		t.Fatalf("release of surviving channel = %+v", rel)
+	}
+}
+
+// TestRunFailurePolicies exercises the declared policy ladder: the same
+// squeeze degrades under "degrade" and preempts a lower-priority victim
+// under "preempt".
+func TestRunFailurePolicies(t *testing.T) {
+	t.Run("degrade", func(t *testing.T) {
+		channels := `[{"name": "tight", "src": 2, "dst": 4, "c": 10, "p": 100, "d": 34}]`
+		events := `[{"at": 300, "kind": "linkDown", "link": [0, 1]}]`
+		s, err := Load(strings.NewReader(sprintfDoc(`"failurePolicy": "degrade",`, channels, events)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.Events[0].Detail; !strings.Contains(d, "1 degraded") {
+			t.Fatalf("degrade detail = %q", d)
+		}
+	})
+	t.Run("preempt", func(t *testing.T) {
+		channels := `[
+			{"name": "victim", "src": 2, "dst": 8, "c": 9, "p": 10, "d": 40},
+			{"name": "vip", "src": 1, "dst": 3, "c": 2, "p": 10, "d": 40, "priority": 5}
+		]`
+		events := `[{"at": 300, "kind": "linkDown", "link": [0, 1]}]`
+		s, err := Load(strings.NewReader(sprintfDoc(`"failurePolicy": "preempt",`, channels, events)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.Events[0].Detail
+		if !strings.Contains(d, "1 rerouted") || !strings.Contains(d, "1 preempted") {
+			t.Fatalf("preempt detail = %q, want 1 rerouted + 1 preempted", d)
+		}
+	})
+}
+
+// sprintfDoc fills the ringDoc skeleton without pulling fmt's %-escape
+// rules into the JSON literals.
+func sprintfDoc(policy, channels, events string) string {
+	doc := strings.Replace(ringDoc, "%s", policy, 1)
+	doc = strings.Replace(doc, "%s", channels, 1)
+	return strings.Replace(doc, "%s", events, 1)
+}
+
+// TestFailureEventValidation table-drives the load-time checks on
+// failure events and the failurePolicy field.
+func TestFailureEventValidation(t *testing.T) {
+	okChannels := `[{"name": "a", "src": 1, "dst": 3, "c": 2, "p": 100, "d": 40}]`
+	cases := []struct {
+		name   string
+		policy string
+		events string
+		want   string
+	}{
+		{"linkDown without link", "", `[{"at":10,"kind":"linkDown"}]`, "link pair"},
+		{"linkDown with switch", "", `[{"at":10,"kind":"linkDown","switch":1}]`, "link pair"},
+		{"switchDown without switch", "", `[{"at":10,"kind":"switchDown"}]`, "takes a switch"},
+		{"switchDown with link", "", `[{"at":10,"kind":"switchDown","link":[0,1]}]`, "takes a switch"},
+		{"repair with both", "", `[{"at":10,"kind":"repair","link":[0,1],"switch":1}]`, "exactly one"},
+		{"repair with neither", "", `[{"at":10,"kind":"repair"}]`, "exactly one"},
+		{"unknown trunk", "", `[{"at":10,"kind":"linkDown","link":[0,2]}]`, "no trunk"},
+		{"malformed link", "", `[{"at":10,"kind":"linkDown","link":[0,1,2]}]`, "switch pair"},
+		{"unknown switch", "", `[{"at":10,"kind":"switchDown","switch":9}]`, "unknown switch"},
+		{"channel on failure", "", `[{"at":10,"kind":"linkDown","link":[0,1],"channel":"a"}]`, "not channels"},
+		{"link on establish", "", `[{"at":10,"kind":"release","channel":"a","link":[0,1]}]`, "does not take link"},
+		{"bad policy", `"failurePolicy": "panic",`, `[]`, "failurePolicy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loadErr(t, sprintfDoc(tc.policy, okChannels, tc.events), tc.want)
+		})
+	}
+
+	// Failure events need a fabric: the same timeline on a star is
+	// rejected at load time.
+	starDoc := `{"slots":1000,"nodes":[1,2],
+		"channels":[{"name":"a","src":1,"dst":2,"c":2,"p":100,"d":40}],
+		"events":[{"at":10,"kind":"linkDown","link":[0,1]}]}`
+	loadErr(t, starDoc, "multi-switch")
+}

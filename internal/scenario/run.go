@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -257,6 +258,14 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 			return out, nil
 		}
 		if err := h.Release(); err != nil {
+			// The channel was torn down behind the scenario's back by a
+			// failure-recovery pass (preempted or lost); nothing to free.
+			if errors.Is(err, rtether.ErrChannelClosed) {
+				delete(handles, name)
+				out.Skipped = true
+				out.Detail = "closed by failure recovery"
+				return out, nil
+			}
 			return fatal(err)
 		}
 		delete(handles, name)
@@ -271,6 +280,12 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 		}
 		spec := reconfigured(h.Spec(), ev)
 		if err := h.Release(); err != nil {
+			if errors.Is(err, rtether.ErrChannelClosed) {
+				delete(handles, name)
+				out.Skipped = true
+				out.Detail = "closed by failure recovery"
+				return out, nil
+			}
 			return fatal(err)
 		}
 		delete(handles, name)
@@ -311,6 +326,11 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 			// Validation guarantees bursts on one channel never overlap; a
 			// mid-burst release just makes the scheduled stop a no-op.
 			if err := h.Start(ev.offset); err != nil {
+				if errors.Is(err, rtether.ErrChannelClosed) {
+					out.Skipped = true
+					out.Detail = "closed by failure recovery"
+					return out, nil
+				}
 				return fatal(err)
 			}
 			stopAt := net.Now() + ev.offset + (count-1)*h.Spec().P + 1
@@ -324,8 +344,45 @@ func (s *Scenario) applyEvent(net *rtether.Network, tl *timeline, handles map[st
 		out.Subject = fmt.Sprintf("%d→%d", ev.src, ev.dst)
 		out.Accepted = true
 		out.Detail = fmt.Sprintf("rate=%g", ev.rate)
+	case KindLinkDown, KindSwitchDown, KindRepair:
+		up := ev.kind == KindRepair
+		var rep *rtether.FailoverReport
+		var err error
+		if ev.sw != nil {
+			out.Subject = fmt.Sprintf("switch %d", *ev.sw)
+			rep, err = net.SetSwitchUp(rtether.SwitchID(*ev.sw), up)
+		} else {
+			out.Subject = fmt.Sprintf("trunk %d-%d", ev.link[0], ev.link[1])
+			rep, err = net.SetLinkUp(rtether.SwitchID(ev.link[0]), rtether.SwitchID(ev.link[1]), up)
+		}
+		if err != nil {
+			return fatal(err)
+		}
+		// A failure event applies cleanly even when the policy ladder
+		// loses channels — that is the declared policy deciding, not the
+		// scenario failing. Handles closed here surface as SKIP on later
+		// events that reference them.
+		out.Accepted = true
+		out.Detail = summarizeFailover(rep)
 	}
 	return out, nil
+}
+
+// summarizeFailover condenses a recovery pass for the event log:
+// "3 affected: 2 rerouted, 1 lost".
+func summarizeFailover(rep *rtether.FailoverReport) string {
+	if rep.Affected == 0 {
+		return "no channels affected"
+	}
+	var parts []string
+	for _, o := range []rtether.FailoverOutcome{
+		rtether.Rerouted, rtether.Degraded, rtether.Preempted, rtether.Lost,
+	} {
+		if n := rep.Count(o); n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o))
+		}
+	}
+	return fmt.Sprintf("%d affected: %s", rep.Affected, strings.Join(parts, ", "))
 }
 
 // startOffset picks the traffic release phase for a (re)established

@@ -70,6 +70,12 @@ type ChannelDef struct {
 	P      int64    `json:"p"`
 	D      int64    `json:"d"`
 	Offset int64    `json:"offset,omitempty"` // release phase, slots
+	// Priority orders channels for failure recovery: a preempting
+	// failure policy may evict strictly lower-priority channels to
+	// re-home ones displaced by a linkDown/switchDown event. Higher is
+	// more important; 0 (the default) preserves the paper's
+	// priority-free behavior. Never consulted on a healthy network.
+	Priority int32 `json:"priority,omitempty"`
 	// Optional tolerates rejection: by default a rejected channel fails
 	// the scenario (declared channels are presumed load-bearing).
 	Optional bool `json:"optional,omitempty"`
@@ -79,7 +85,7 @@ type ChannelDef struct {
 func (c ChannelDef) spec() core.ChannelSpec {
 	return core.ChannelSpec{
 		Src: core.NodeID(c.Src), Dst: core.NodeID(c.Dst),
-		C: c.C, P: c.P, D: c.D,
+		C: c.C, P: c.P, D: c.D, Priority: c.Priority,
 	}
 }
 
@@ -93,7 +99,7 @@ func (c ChannelDef) mspec() core.MulticastSpec {
 	for i, s := range c.Sinks {
 		sinks[i] = core.NodeID(s)
 	}
-	return core.MulticastSpec{Src: core.NodeID(c.Src), Sinks: sinks, C: c.C, P: c.P, D: c.D}
+	return core.MulticastSpec{Src: core.NodeID(c.Src), Sinks: sinks, C: c.C, P: c.P, D: c.D, Priority: c.Priority}
 }
 
 // BackgroundDef is one Poisson best-effort flow (star networks only; the
@@ -115,6 +121,13 @@ type Scenario struct {
 	Propagation   int64  `json:"propagation,omitempty"`
 	Slots         int64  `json:"slots"`
 	Seed          int64  `json:"seed,omitempty"`
+
+	// FailurePolicy picks the network's degradation ladder for channels
+	// displaced by linkDown/switchDown events that no longer fit:
+	// "reject" (default) drops them, "degrade" retries each with a
+	// relaxed deadline, "preempt" additionally evicts strictly
+	// lower-priority channels to make room.
+	FailurePolicy string `json:"failurePolicy,omitempty"`
 
 	// Exactly one of Nodes and Topology describes the layout: a flat node
 	// list is the paper's single-switch star, a topology section routes
@@ -165,6 +178,9 @@ func (s *Scenario) compile() (*timeline, error) {
 		return nil, err
 	}
 	if _, err := s.discipline(); err != nil {
+		return nil, err
+	}
+	if _, err := s.failurePolicy(); err != nil {
 		return nil, err
 	}
 	if s.Fabric() {
@@ -289,6 +305,20 @@ func (s *Scenario) discipline() (sched.Discipline, error) {
 	}
 }
 
+// failurePolicy resolves the declared degradation ladder.
+func (s *Scenario) failurePolicy() (rtether.FailurePolicy, error) {
+	switch strings.ToLower(s.FailurePolicy) {
+	case "", "reject":
+		return rtether.FailReject, nil
+	case "degrade":
+		return rtether.FailDegrade, nil
+	case "preempt":
+		return rtether.FailPreempt, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown failurePolicy %q", s.FailurePolicy)
+	}
+}
+
 // build constructs the configured (but still unloaded) network for this
 // scenario. verifyWorkers sizes the admission verification pool (0 =
 // GOMAXPROCS); it never changes a decision.
@@ -301,9 +331,14 @@ func (s *Scenario) build(verifyWorkers int) (*rtether.Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy, err := s.failurePolicy()
+	if err != nil {
+		return nil, err
+	}
 	opts := []rtether.Option{
 		rtether.WithDPS(dps),
 		rtether.WithDiscipline(disc),
+		rtether.WithFailurePolicy(policy),
 		rtether.WithNonRTQueueCap(s.NonRTQueueCap),
 		rtether.WithPropagation(s.Propagation),
 		rtether.WithVerifyWorkers(verifyWorkers),

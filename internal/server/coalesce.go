@@ -9,11 +9,13 @@ import (
 	"repro/rtether"
 )
 
-// pending is one establish request waiting to be merged into a flight.
+// pending is one establish request waiting to be merged into a flight:
+// a unicast channel when sinks is nil, a multicast tree otherwise.
 type pending struct {
-	spec rtether.ChannelSpec
-	ctx  context.Context
-	out  chan verdict // buffered(1); the flight posts exactly one verdict
+	spec  rtether.ChannelSpec
+	sinks []rtether.NodeID
+	ctx   context.Context
+	out   chan verdict // buffered(1); the flight posts exactly one verdict
 }
 
 // verdict is the per-request outcome of a flight.
@@ -23,10 +25,10 @@ type verdict struct {
 }
 
 // coalescer is the merging front-end for establish requests: concurrent
-// requests that arrive while a merged admission pass ("flight") is in
-// progress — or within the configured window — are batched into one
-// Network.EstablishEach call, so N clients cost one repartition and one
-// verification sweep instead of N. Each request still receives its own
+// requests — unicast and multicast alike — that arrive while a merged
+// admission pass ("flight") is in progress, or within the configured
+// window, are batched into one Network.EstablishEachMixed call, so N
+// clients cost one repartition and one verification sweep instead of N. Each request still receives its own
 // accept/reject verdict (the kernel's per-spec batch admission), so
 // coalescing is invisible to callers except in latency and in
 // AdmissionStats.Repartitions.
@@ -42,7 +44,7 @@ type coalescer struct {
 	// note receives every verdict and noteRelease every
 	// released-after-cancel channel (for the watch feed); either may be
 	// nil.
-	note        func(spec rtether.ChannelSpec, ch *rtether.Channel, err error)
+	note        func(spec rtether.ChannelSpec, sinks []rtether.NodeID, ch *rtether.Channel, err error)
 	noteRelease func(id rtether.ChannelID)
 
 	reqs     chan *pending
@@ -59,7 +61,7 @@ type coalescer struct {
 // first request of a batch back up to that long to let more requests
 // join; window == 0 (the recommended default) merges exactly what
 // queued while the previous flight ran, adding no idle latency.
-func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note func(rtether.ChannelSpec, *rtether.Channel, error), noteRelease func(rtether.ChannelID)) *coalescer {
+func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note func(rtether.ChannelSpec, []rtether.NodeID, *rtether.Channel, error), noteRelease func(rtether.ChannelID)) *coalescer {
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
@@ -83,7 +85,21 @@ func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note
 // it — and releases the channel again if it was admitted, so a vanished
 // client cannot leak a reservation.
 func (c *coalescer) establish(ctx context.Context, spec rtether.ChannelSpec) (*rtether.Channel, error) {
-	p := &pending{spec: spec, ctx: ctx, out: make(chan verdict, 1)}
+	return c.submit(&pending{spec: spec, ctx: ctx, out: make(chan verdict, 1)})
+}
+
+// establishMulticast submits one multicast request into the same merge
+// queue as unicast establishes: the distribution tree joins the next
+// flight and is decided inside the merged kernel pass with its own
+// verdict (Network.EstablishEachMixed).
+func (c *coalescer) establishMulticast(ctx context.Context, spec rtether.MulticastSpec) (*rtether.Channel, error) {
+	return c.submit(&pending{spec: spec.ChannelSpec(), sinks: spec.Sinks, ctx: ctx, out: make(chan verdict, 1)})
+}
+
+// submit enqueues one request and blocks until its verdict arrives, the
+// context is canceled, or the coalescer shuts down.
+func (c *coalescer) submit(p *pending) (*rtether.Channel, error) {
+	ctx := p.ctx
 	c.establishes.Add(1)
 	select {
 	case <-c.quit:
@@ -217,19 +233,19 @@ func (c *coalescer) fly(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
-	specs := make([]rtether.ChannelSpec, len(live))
+	reqs := make([]rtether.EstablishReq, len(live))
 	for i, p := range live {
-		specs[i] = p.spec
+		reqs[i] = rtether.EstablishReq{Spec: p.spec, Sinks: p.sinks}
 	}
 	c.flights.Add(1)
 	if n := int64(len(live)); n > c.maxMerged.Load() {
 		c.maxMerged.Store(n)
 	}
-	chs, errs := c.net.EstablishEach(specs)
+	chs, errs := c.net.EstablishEachMixed(reqs)
 	for i, p := range live {
 		ch, err := chs[i], errs[i]
 		if c.note != nil {
-			c.note(p.spec, ch, err)
+			c.note(p.spec, p.sinks, ch, err)
 		}
 		if ch != nil && p.ctx.Err() != nil {
 			// Admitted for a client that hung up: give the bandwidth back.

@@ -1,0 +1,236 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/rtether"
+	"repro/rtether/client"
+	"repro/rtether/wire"
+)
+
+// ringNet builds a 4-switch ring fabric (0-1, 1-2, 2-3, 3-0) with two
+// nodes per switch (node n on switch (n-1)/2) behind HADPS, so a single
+// trunk failure always leaves a detour to re-route over.
+func ringNet(t *testing.T, opts ...rtether.Option) *rtether.Network {
+	t.Helper()
+	top := rtether.NewTopology()
+	for s := rtether.SwitchID(0); s < 4; s++ {
+		if err := top.AddSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range [][2]rtether.SwitchID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := top.Trunk(tr[0], tr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := rtether.NodeID(1); n <= 8; n++ {
+		if err := top.Attach(n, rtether.SwitchID((n-1)/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rtether.New(append([]rtether.Option{rtether.WithTopology(top), rtether.WithHDPS(rtether.HADPS())}, opts...)...)
+}
+
+// collectUntil drains watch events until pred is satisfied (or times
+// out), returning everything seen.
+func collectUntil(t *testing.T, w *client.Watcher, pred func([]wire.WatchEvent) bool) []wire.WatchEvent {
+	t.Helper()
+	var events []wire.WatchEvent
+	deadline := time.After(5 * time.Second)
+	for !pred(events) {
+		type res struct {
+			ev  wire.WatchEvent
+			err error
+		}
+		got := make(chan res, 1)
+		go func() {
+			ev, err := w.Next()
+			got <- res{ev, err}
+		}()
+		select {
+		case r := <-got:
+			if r.err != nil {
+				t.Fatalf("watch ended early: %v (events so far: %+v)", r.err, events)
+			}
+			events = append(events, r.ev)
+		case <-deadline:
+			t.Fatalf("timed out; events so far: %+v", events)
+		}
+	}
+	return events
+}
+
+// TestFailEndpointEndToEnd drives POST /v1/fail through the typed
+// client against a live fabric daemon: the recovery pass re-routes what
+// it can and loses what it cannot, the reply carries per-channel
+// verdicts, each outcome streams on /v1/watch with its failure cause,
+// and the survivability counters land in /v1/stats.
+func TestFailEndpointEndToEnd(t *testing.T) {
+	cl, _ := newTestServer(t, ringNet(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	w, err := cl.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Both cross trunk 0-1; only the first fits on the 5-hop detour.
+	agile, err := cl.Establish(ctx, rtether.ChannelSpec{Src: 1, Dst: 3, C: 2, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := cl.Establish(ctx, rtether.ChannelSpec{Src: 2, Dst: 4, C: 10, P: 100, D: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := cl.SetLinkUp(ctx, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 2 || len(rep.Outcomes) != 2 {
+		t.Fatalf("fail reply = %+v, want 2 affected with outcomes", rep)
+	}
+	fates := map[uint16]string{}
+	for _, oc := range rep.Outcomes {
+		fates[oc.ID] = oc.Outcome
+	}
+	if fates[uint16(agile.ID)] != "rerouted" || fates[uint16(doomed.ID)] != "lost" {
+		t.Fatalf("fates = %v, want %d rerouted and %d lost", fates, agile.ID, doomed.ID)
+	}
+
+	// Every outcome streams on the watch feed, tagged with its cause.
+	done := func(evs []wire.WatchEvent) bool {
+		seen := map[string]bool{}
+		for _, ev := range evs {
+			seen[ev.Type] = true
+		}
+		return seen[wire.EventReroute] && seen[wire.EventLost]
+	}
+	for _, ev := range collectUntil(t, w, done) {
+		switch ev.Type {
+		case wire.EventReroute:
+			if ev.ID != uint16(agile.ID) || ev.Cause != "trunk 0-1 down" {
+				t.Errorf("reroute event = %+v, want id %d cause \"trunk 0-1 down\"", ev, agile.ID)
+			}
+		case wire.EventLost:
+			if ev.ID != uint16(doomed.ID) || ev.Error == nil {
+				t.Errorf("lost event = %+v, want id %d with error", ev, doomed.ID)
+			}
+		}
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Rerouted != 1 || st.Admission.Lost != 1 {
+		t.Fatalf("stats = %+v, want Rerouted=1 Lost=1", st.Admission)
+	}
+
+	// Repair is a pure flip with an empty report; the lost channel is
+	// gone from the channel table, the survivor is not.
+	rep, err = cl.SetLinkUp(ctx, 0, 1, true)
+	if err != nil || rep.Affected != 0 {
+		t.Fatalf("repair = %+v, %v, want empty report", rep, err)
+	}
+	infos, err := cl.Channels(ctx)
+	if err != nil || len(infos) != 1 || infos[0].ID != uint16(agile.ID) {
+		t.Fatalf("channels after recovery = %+v, %v, want only %d", infos, err, agile.ID)
+	}
+}
+
+// TestFailEndpointSwitchAndErrors covers the switch kind plus the error
+// paths: bad kind, unknown trunk, and a star daemon without a fabric.
+func TestFailEndpointSwitchAndErrors(t *testing.T) {
+	ctx := context.Background()
+	cl, _ := newTestServer(t, ringNet(t))
+	rep, err := cl.SetSwitchUp(ctx, 2, false)
+	if err != nil || rep.Affected != 0 {
+		t.Fatalf("idle switch failure = %+v, %v, want clean empty report", rep, err)
+	}
+	if _, err := cl.SetLinkUp(ctx, 0, 2, false); err == nil {
+		t.Fatal("failing unknown trunk succeeded")
+	}
+
+	star, _ := newTestServer(t, starNet(4))
+	if _, err := star.SetLinkUp(ctx, 0, 1, false); err == nil {
+		t.Fatal("trunk failure on a star daemon succeeded")
+	}
+}
+
+// TestCoalescingMixedMulticast extends the 1000-concurrent-client
+// acceptance criterion to a mixed workload: unicast establishes and
+// multicast trees race into the same merge queue, every request gets
+// its own verdict, and the batch still collapses into a small number of
+// kernel passes.
+func TestCoalescingMixedMulticast(t *testing.T) {
+	const n = 1000
+	cl, _ := newTestServer(t, starNet(40), func(c *server.Config) {
+		c.CoalesceWindow = 5 * time.Millisecond
+	})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	multicasts := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		if i%4 == 3 {
+			multicasts++
+			spec := rtether.MulticastSpec{
+				Src:   rtether.NodeID(1 + i%20),
+				Sinks: []rtether.NodeID{rtether.NodeID(21 + i%20), rtether.NodeID(21 + (i+7)%20)},
+				C:     1, P: 800, D: int64(200 + i%100),
+			}
+			go func(i int) {
+				defer wg.Done()
+				ch, err := cl.EstablishMulticast(ctx, spec)
+				if err == nil && ch.ID == 0 {
+					err = errors.New("multicast reply without channel ID")
+				}
+				errs[i] = err
+			}(i)
+			continue
+		}
+		spec := rtether.ChannelSpec{
+			Src: rtether.NodeID(1 + i%20), Dst: rtether.NodeID(21 + i%20),
+			C: 1, P: 800, D: int64(200 + i%100),
+		}
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Establish(ctx, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d rejected: %v", i, err)
+		}
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Accepted != n {
+		t.Fatalf("accepted %d, want %d", st.Admission.Accepted, n)
+	}
+	if st.Admission.Repartitions*10 > n {
+		t.Fatalf("mixed burst cost %d repartition passes, want <= %d", st.Admission.Repartitions, n/10)
+	}
+	if st.Server.Flights >= st.Server.Establishes/10 {
+		t.Errorf("coalescer merged %d mixed establishes into %d flights — expected at least 10x merging",
+			st.Server.Establishes, st.Server.Flights)
+	}
+	t.Logf("merged %d establishes (%d multicast) into %d flights, %d repartition passes",
+		st.Server.Establishes, multicasts, st.Server.Flights, st.Admission.Repartitions)
+}

@@ -92,6 +92,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/establish", s.handleEstablish)
 	s.mux.HandleFunc("POST /v1/establishAll", s.handleEstablishAll)
 	s.mux.HandleFunc("POST /v1/multicast", s.handleEstablishMulticast)
+	s.mux.HandleFunc("POST /v1/fail", s.handleFail)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -130,16 +131,45 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // noteVerdict publishes one coalesced establish verdict on the watch
-// feed and the log.
-func (s *Server) noteVerdict(spec rtether.ChannelSpec, ch *rtether.Channel, err error) {
+// feed and the log. sinks is non-nil for multicast requests.
+func (s *Server) noteVerdict(spec rtether.ChannelSpec, sinks []rtether.NodeID, ch *rtether.Channel, err error) {
 	ws := wire.FromSpec(spec)
 	if ch != nil {
-		s.logf("admit RT#%d %v budgets=%v", ch.ID(), spec, ch.Budgets())
+		if len(sinks) > 0 {
+			s.logf("admit RT#%d %v sinks=%v budgets=%v", ch.ID(), spec, sinks, ch.Budgets())
+		} else {
+			s.logf("admit RT#%d %v budgets=%v", ch.ID(), spec, ch.Budgets())
+		}
 		s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint16(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
 		return
 	}
 	s.logf("reject %v: %v", spec, err)
 	s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: errorBody(err)})
+}
+
+// noteFailover publishes every channel outcome of a failure-recovery
+// pass on the watch feed and the log.
+func (s *Server) noteFailover(cause string, rep *rtether.FailoverReport) {
+	for _, oc := range rep.Outcomes {
+		ws := wire.FromSpec(oc.Spec)
+		ev := wire.WatchEvent{ID: uint16(oc.ID), Spec: &ws, Cause: cause}
+		switch oc.Outcome {
+		case rtether.Rerouted:
+			ev.Type = wire.EventReroute
+		case rtether.Degraded:
+			ev.Type = wire.EventDegrade
+			ev.NewD = oc.NewD
+		case rtether.Preempted:
+			ev.Type = wire.EventPreempt
+		case rtether.Lost:
+			ev.Type = wire.EventLost
+			if oc.Err != nil {
+				ev.Error = errorBody(oc.Err)
+			}
+		}
+		s.logf("%s RT#%d (%s)", ev.Type, oc.ID, cause)
+		s.hub.publish(ev)
+	}
 }
 
 // noteRelease publishes one release on the watch feed and the log.
@@ -164,6 +194,9 @@ func errorBody(err error) *wire.Error {
 		return &wire.Error{Code: wire.CodeUnknownChannel, Message: err.Error()}
 	case errors.Is(err, topo.ErrNoRoute), errors.Is(err, topo.ErrUnknownNode), errors.Is(err, netsim.ErrUnknownNode):
 		return &wire.Error{Code: wire.CodeNoRoute, Message: err.Error()}
+	case errors.Is(err, topo.ErrUnknownSwitch), errors.Is(err, topo.ErrUnknownLink),
+		errors.Is(err, rtether.ErrNoFabric), errors.Is(err, rtether.ErrNoNodeLinks):
+		return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}
 	case errors.Is(err, pubsub.ErrUnknownTopic):
 		return &wire.Error{Code: wire.CodeUnknownTopic, Message: err.Error()}
 	case errors.Is(err, pubsub.ErrDuplicateTopic):
@@ -262,23 +295,73 @@ func (s *Server) handleEstablish(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, channelReply(ch))
 }
 
-// handleEstablishMulticast admits one multicast tree, bypassing the
-// coalescer: the tree is already one atomic kernel decision (all links
-// of all branches admit or roll back together), so there is no merged
-// pass to join. Verdicts reach the watch feed like unicast ones.
+// handleEstablishMulticast admits one multicast tree through the same
+// coalescing front-end as unicast establishes: the tree joins the next
+// merged flight and is decided inside one mixed kernel pass
+// (Network.EstablishEachMixed) with its own atomic verdict — all links
+// of all branches admit or roll back together. Verdicts reach the
+// watch feed like unicast ones.
 func (s *Server) handleEstablishMulticast(w http.ResponseWriter, r *http.Request) {
 	var req wire.EstablishMulticastRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	spec := req.Spec.MulticastSpec()
-	ch, err := s.net.EstablishMulticast(spec)
-	s.noteVerdict(spec.ChannelSpec(), ch, err)
+	ch, err := s.coal.establishMulticast(r.Context(), req.Spec.MulticastSpec())
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, channelReply(ch))
+}
+
+// handleFail changes topology health (POST /v1/fail): failing a trunk
+// or switch triggers the batch re-route/re-admit recovery pass and the
+// configured policy ladder; every channel outcome is published on the
+// watch feed (reroute/degrade/preempt/lost) before the reply returns.
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req wire.FailRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var (
+		rep   *rtether.FailoverReport
+		err   error
+		cause string
+	)
+	switch req.Kind {
+	case "link":
+		rep, err = s.net.SetLinkUp(rtether.SwitchID(req.A), rtether.SwitchID(req.B), req.Up)
+		cause = fmt.Sprintf("trunk %d-%d %s", req.A, req.B, upDown(req.Up))
+	case "switch":
+		rep, err = s.net.SetSwitchUp(rtether.SwitchID(req.S), req.Up)
+		cause = fmt.Sprintf("switch %d %s", req.S, upDown(req.Up))
+	default:
+		writeWireErr(w, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: unknown fail kind %q (want \"link\" or \"switch\")", req.Kind)})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("%s: %d affected", cause, rep.Affected)
+	s.noteFailover(cause, rep)
+	reply := wire.FailReply{Affected: rep.Affected}
+	for _, oc := range rep.Outcomes {
+		reply.Outcomes = append(reply.Outcomes, wire.FailOutcome{
+			ID:      uint16(oc.ID),
+			Outcome: oc.Outcome.String(),
+			NewD:    oc.NewD,
+		})
+	}
+	writeJSON(w, reply)
+}
+
+// upDown renders a health flag for logs and watch causes.
+func upDown(up bool) string {
+	if up {
+		return "up"
+	}
+	return "down"
 }
 
 // handleEstablishAll admits an explicit atomic batch, bypassing the
@@ -313,7 +396,7 @@ func (s *Server) handleEstablishAll(w http.ResponseWriter, r *http.Request) {
 	rep := wire.EstablishAllReply{Channels: make([]wire.ChannelReply, len(chs))}
 	for i, ch := range chs {
 		rep.Channels[i] = channelReply(ch)
-		s.noteVerdict(specs[i], ch, nil)
+		s.noteVerdict(specs[i], nil, ch, nil)
 	}
 	writeJSON(w, rep)
 }

@@ -33,6 +33,12 @@ type Config struct {
 	DPS HDPS
 	// Feasibility passes through to the per-edge EDF test.
 	Feasibility edf.Options
+	// FullRecheck forces every loaded edge to be re-verified on each
+	// request instead of only edges whose task set changed — equivalent
+	// decisions, more checks. It exists for decision-equivalence tests
+	// and as a belt-and-braces mode, mirroring the star controller's
+	// core.Config.FullRecheck.
+	FullRecheck bool
 	// VerifyWorkers bounds the verification worker pool used for large
 	// changed-edge sweeps (batch admissions); 0 means GOMAXPROCS, 1
 	// forces the sequential sweep. Decisions and diagnostics are
@@ -69,6 +75,7 @@ func NewController(t *Topology, cfg Config) *Controller {
 	c := &Controller{topo: t, cfg: cfg}
 	c.eng = admit.NewEngine(topoOps, admit.Config{
 		Feasibility: cfg.Feasibility,
+		FullRecheck: cfg.FullRecheck,
 		Workers:     cfg.VerifyWorkers,
 	})
 	c.scheme = admit.Scheme[Edge, *HChannel, []int64]{
@@ -212,6 +219,101 @@ func (c *Controller) RequestEach(specs []core.ChannelSpec) ([]*HChannel, []error
 	return chs, errs
 }
 
+// validateMulticast validates a multicast spec, routes its distribution
+// tree via the active router and checks the tree-generalized deadline
+// condition: every root→leaf path needs D >= hops*C.
+func (c *Controller) validateMulticast(spec core.MulticastSpec) (route []Edge, parents []int, leaves []int, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	route, parents, leaves, err = c.topo.MulticastTree(spec.Src, spec.Sinks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	maxDepth := 0
+	for _, leaf := range leaves {
+		depth := 0
+		for e := leaf; e >= 0; e = parents[e] {
+			depth++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if spec.D < int64(maxDepth)*spec.C {
+		return nil, nil, nil, fmt.Errorf("%w (D=%d, deepest path hops=%d, C=%d)",
+			ErrDeadlineTooShortForRoute, spec.D, maxDepth, spec.C)
+	}
+	return route, parents, leaves, nil
+}
+
+// Req is one entry of a mixed establishment batch handed to
+// RequestEachReq: a unicast channel when Sinks is nil, a multicast tree
+// otherwise (Spec is then the MulticastSpec's ChannelSpec projection,
+// Dst = Sinks[0]). KeepID re-admits a released channel under its old ID
+// — see core.Req.
+type Req = core.Req
+
+// RequestEachReq is RequestEach over a mixed unicast/multicast batch:
+// every request is validated, routed via the active router and decided
+// on its own through the same merged-batch kernel machinery (greedy
+// bisection, undo-on-reject rollback, decision-equivalence with
+// sequential submission). It is the primitive behind multicast-aware
+// request coalescing and behind post-failure batch re-admission, where
+// KeepID keeps released channels' IDs stable across the re-route.
+//
+// The returned slices are parallel to reqs, exactly as in RequestEach.
+func (c *Controller) RequestEachReq(reqs []Req) ([]*HChannel, []error) {
+	c.requests += len(reqs)
+	chs := make([]*HChannel, len(reqs))
+	errs := make([]error, len(reqs))
+	type routed struct {
+		i       int // index into reqs
+		route   []Edge
+		parents []int
+		leaves  []int
+	}
+	valid := make([]routed, 0, len(reqs))
+	for i, r := range reqs {
+		if len(r.Sinks) == 0 {
+			rt, err := c.validate(r.Spec)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			valid = append(valid, routed{i: i, route: rt})
+			continue
+		}
+		rt, parents, leaves, err := c.validateMulticast(r.MulticastSpec())
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, routed{i: i, route: rt, parents: parents, leaves: leaves})
+	}
+	got, rejs := c.eng.AdmitEach(len(valid), func(vi int, id core.ChannelID) *HChannel {
+		v := valid[vi]
+		r := reqs[v.i]
+		if r.KeepID {
+			id = r.ID
+		}
+		hc := &HChannel{ID: id, Spec: r.Spec, Route: v.route, Parents: v.parents, Leaves: v.leaves}
+		if len(r.Sinks) > 0 {
+			hc.Sinks = append([]core.NodeID(nil), r.Sinks...)
+		}
+		return hc
+	}, []admit.Scheme[Edge, *HChannel, []int64]{c.scheme})
+	for vi, v := range valid {
+		if rej := rejs[vi]; rej != nil {
+			errs[v.i] = &RejectionError{Edge: rej.Link, Result: rej.Result}
+			continue
+		}
+		c.accepted++
+		chs[v.i] = got[vi]
+	}
+	return chs, errs
+}
+
 // admit runs the kernel decision for pre-routed specs.
 func (c *Controller) admit(specs []core.ChannelSpec, routes [][]Edge) ([]*HChannel, *RejectionError) {
 	chs, rej := c.eng.Admit(len(specs), func(i int, id core.ChannelID) *HChannel {
@@ -234,27 +336,9 @@ func (c *Controller) admit(specs []core.ChannelSpec, routes [][]Edge) ([]*HChann
 // budget and a single task, not one per sink.
 func (c *Controller) RequestMulticast(spec core.MulticastSpec) (*HChannel, error) {
 	c.requests++
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	route, parents, leaves, err := c.topo.MulticastTree(spec.Src, spec.Sinks)
+	route, parents, leaves, err := c.validateMulticast(spec)
 	if err != nil {
 		return nil, err
-	}
-	// Generalized condition (9): every root→leaf path needs D >= hops*C.
-	maxDepth := 0
-	for _, leaf := range leaves {
-		depth := 0
-		for e := leaf; e >= 0; e = parents[e] {
-			depth++
-		}
-		if depth > maxDepth {
-			maxDepth = depth
-		}
-	}
-	if spec.D < int64(maxDepth)*spec.C {
-		return nil, fmt.Errorf("%w (D=%d, deepest path hops=%d, C=%d)",
-			ErrDeadlineTooShortForRoute, spec.D, maxDepth, spec.C)
 	}
 	chs, rej := c.eng.Admit(1, func(_ int, id core.ChannelID) *HChannel {
 		return &HChannel{

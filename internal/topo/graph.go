@@ -1,268 +1,133 @@
 // Package topo extends the paper's star network to the multi-switch
 // topologies its future-work section calls for (§18.5: "networks
 // consisting of many interconnected Switches"). End-nodes attach to
-// switches, switches interconnect arbitrarily, channels are routed along
-// shortest paths, and the deadline of a channel is partitioned over every
-// directed link of its route — generalizing SDPS/ADPS from two hops to h
-// hops. Admission control tests EDF feasibility of every directed link,
-// exactly as in the star case.
+// switches, switches interconnect arbitrarily, channels are routed by a
+// pluggable route.Router (deterministic shortest paths by default), and
+// the deadline of a channel is partitioned over every directed link of
+// its route — generalizing SDPS/ADPS from two hops to h hops. Admission
+// control tests EDF feasibility of every directed link, exactly as in
+// the star case.
+//
+// All graph and path computation lives in internal/route; this package
+// re-exports the vocabulary types (SwitchID, Endpoint, Edge) as aliases
+// and layers deadline partitioning plus EDF admission on top. The
+// underlying route.Graph is mutable at runtime — SetLinkUp/SetSwitchUp
+// flip element availability for survivability scenarios — while the
+// admission state keeps the routes channels were admitted with until the
+// owner explicitly re-routes them.
 //
 // The package is analysis-level (like the paper's own evaluation): it
 // decides acceptance; the cycle-accurate simulator remains single-switch.
 package topo
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-
 	"repro/internal/core"
+	"repro/internal/route"
 )
 
 // SwitchID identifies a switch in the fabric.
-type SwitchID uint16
+type SwitchID = route.SwitchID
 
 // Endpoint is one end of a directed link: either an end-node or a switch.
-type Endpoint struct {
-	Switch bool
-	ID     uint16
-}
-
-// NodeEnd returns the endpoint of an end-node.
-func NodeEnd(n core.NodeID) Endpoint { return Endpoint{ID: uint16(n)} }
-
-// SwitchEnd returns the endpoint of a switch.
-func SwitchEnd(s SwitchID) Endpoint { return Endpoint{Switch: true, ID: uint16(s)} }
-
-// String implements fmt.Stringer.
-func (e Endpoint) String() string {
-	if e.Switch {
-		return fmt.Sprintf("sw%d", e.ID)
-	}
-	return fmt.Sprintf("n%d", e.ID)
-}
+type Endpoint = route.Endpoint
 
 // Edge is one directed link (one pseudo-processor, as in §18.3.2 — each
 // full-duplex physical link contributes two Edges).
-type Edge struct {
-	From, To Endpoint
-}
+type Edge = route.Edge
 
-// String implements fmt.Stringer.
-func (e Edge) String() string { return e.From.String() + "→" + e.To.String() }
+// NodeEnd returns the endpoint of an end-node.
+func NodeEnd(n core.NodeID) Endpoint { return route.NodeEnd(n) }
 
-// Topology is the physical layout: switches, inter-switch links and node
-// attachments. Construction is not safe for concurrent use.
-type Topology struct {
-	switches map[SwitchID]struct{}
-	adj      map[SwitchID][]SwitchID    // sorted adjacency, both directions
-	home     map[core.NodeID]SwitchID   // node → attachment switch
-	nodesAt  map[SwitchID][]core.NodeID // reverse, sorted
-}
+// SwitchEnd returns the endpoint of a switch.
+func SwitchEnd(s SwitchID) Endpoint { return route.SwitchEnd(s) }
 
-// Topology construction errors.
+// Topology construction errors, shared with internal/route (errors.Is
+// matches across both packages).
 var (
-	ErrUnknownSwitch = errors.New("topo: unknown switch")
-	ErrUnknownNode   = errors.New("topo: unknown node")
-	ErrDuplicate     = errors.New("topo: duplicate element")
-	ErrNoRoute       = errors.New("topo: no route between nodes")
+	// ErrUnknownSwitch marks an operation naming a switch that was never added.
+	ErrUnknownSwitch = route.ErrUnknownSwitch
+	// ErrUnknownNode marks a routing request for a node that was never attached.
+	ErrUnknownNode = route.ErrUnknownNode
+	// ErrDuplicate marks re-registration of an existing element.
+	ErrDuplicate = route.ErrDuplicate
+	// ErrNoRoute marks a (src, dst) pair with no connecting path left.
+	ErrNoRoute = route.ErrNoRoute
+	// ErrUnknownLink marks SetLinkUp on a trunk that does not exist.
+	ErrUnknownLink = route.ErrUnknownLink
 )
 
-// NewTopology returns an empty fabric.
+// Topology is the physical layout: switches, inter-switch links and node
+// attachments, owned by a route.Graph, plus the Router that picks paths
+// over it. Construction and mutation are not safe for concurrent use.
+type Topology struct {
+	graph  *route.Graph
+	router route.Router
+}
+
+// NewTopology returns an empty fabric routed by route.Shortest.
 func NewTopology() *Topology {
-	return &Topology{
-		switches: make(map[SwitchID]struct{}),
-		adj:      make(map[SwitchID][]SwitchID),
-		home:     make(map[core.NodeID]SwitchID),
-		nodesAt:  make(map[SwitchID][]core.NodeID),
+	return &Topology{graph: route.NewGraph(), router: route.Shortest{}}
+}
+
+// Graph exposes the underlying mutable route.Graph.
+func (t *Topology) Graph() *route.Graph { return t.graph }
+
+// Router returns the active routing policy.
+func (t *Topology) Router() route.Router { return t.router }
+
+// SetRouter swaps the routing policy. Existing admitted channels keep
+// the routes they were admitted with; only new routing calls change.
+func (t *Topology) SetRouter(r route.Router) {
+	if r == nil {
+		r = route.Shortest{}
 	}
+	t.router = r
 }
 
 // AddSwitch registers a switch.
-func (t *Topology) AddSwitch(id SwitchID) error {
-	if _, dup := t.switches[id]; dup {
-		return fmt.Errorf("%w: switch %d", ErrDuplicate, id)
-	}
-	t.switches[id] = struct{}{}
-	return nil
-}
+func (t *Topology) AddSwitch(id SwitchID) error { return t.graph.AddSwitch(id) }
 
 // ConnectSwitches adds a full-duplex trunk between two switches.
-func (t *Topology) ConnectSwitches(a, b SwitchID) error {
-	if _, ok := t.switches[a]; !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownSwitch, a)
-	}
-	if _, ok := t.switches[b]; !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownSwitch, b)
-	}
-	if a == b {
-		return fmt.Errorf("%w: self-link on switch %d", ErrDuplicate, a)
-	}
-	for _, n := range t.adj[a] {
-		if n == b {
-			return fmt.Errorf("%w: trunk %d-%d", ErrDuplicate, a, b)
-		}
-	}
-	t.adj[a] = insertSorted(t.adj[a], b)
-	t.adj[b] = insertSorted(t.adj[b], a)
-	return nil
-}
-
-func insertSorted(s []SwitchID, v SwitchID) []SwitchID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
-}
+func (t *Topology) ConnectSwitches(a, b SwitchID) error { return t.graph.ConnectSwitches(a, b) }
 
 // AttachNode homes an end-node on a switch.
-func (t *Topology) AttachNode(n core.NodeID, s SwitchID) error {
-	if _, ok := t.switches[s]; !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownSwitch, s)
-	}
-	if _, dup := t.home[n]; dup {
-		return fmt.Errorf("%w: node %d", ErrDuplicate, n)
-	}
-	t.home[n] = s
-	t.nodesAt[s] = append(t.nodesAt[s], n)
-	sort.Slice(t.nodesAt[s], func(i, j int) bool { return t.nodesAt[s][i] < t.nodesAt[s][j] })
-	return nil
-}
+func (t *Topology) AttachNode(n core.NodeID, s SwitchID) error { return t.graph.AttachNode(n, s) }
 
 // Home returns the switch a node attaches to.
-func (t *Topology) Home(n core.NodeID) (SwitchID, bool) {
-	s, ok := t.home[n]
-	return s, ok
+func (t *Topology) Home(n core.NodeID) (SwitchID, bool) { return t.graph.Home(n) }
+
+// SetLinkUp marks the trunk between a and b as up or down, reporting
+// whether the state changed. Routes computed before a flip are not
+// recomputed here; the admission owner decides what to re-route.
+func (t *Topology) SetLinkUp(a, b SwitchID, up bool) (bool, error) {
+	return t.graph.SetLinkUp(a, b, up)
 }
 
-// Route returns the directed links of the shortest path from src to dst:
-// src→home(src), a shortest switch-to-switch trunk sequence, and
-// home(dst)→dst. BFS with sorted adjacency makes the choice deterministic
-// among equal-length paths.
+// SetSwitchUp marks a switch as up or down, reporting whether the state
+// changed.
+func (t *Topology) SetSwitchUp(s SwitchID, up bool) (bool, error) {
+	return t.graph.SetSwitchUp(s, up)
+}
+
+// Version counts route-invalidating graph mutations (see route.Graph.Version).
+func (t *Topology) Version() uint64 { return t.graph.Version() }
+
+// Route returns the directed links of the active router's path from src
+// to dst: src→home(src), a trunk sequence, and home(dst)→dst. The
+// default route.Shortest uses BFS with sorted adjacency, making the
+// choice deterministic among equal-length paths.
 func (t *Topology) Route(src, dst core.NodeID) ([]Edge, error) {
-	if src == dst {
-		return nil, fmt.Errorf("topo: route from node %d to itself", src)
-	}
-	sSrc, ok := t.home[src]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, src)
-	}
-	sDst, ok := t.home[dst]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, dst)
-	}
-	swPath, err := t.switchPath(sSrc, sDst)
-	if err != nil {
-		return nil, err
-	}
-	edges := make([]Edge, 0, len(swPath)+1)
-	edges = append(edges, Edge{From: NodeEnd(src), To: SwitchEnd(sSrc)})
-	for i := 1; i < len(swPath); i++ {
-		edges = append(edges, Edge{From: SwitchEnd(swPath[i-1]), To: SwitchEnd(swPath[i])})
-	}
-	edges = append(edges, Edge{From: SwitchEnd(sDst), To: NodeEnd(dst)})
-	return edges, nil
+	return t.router.Route(t.graph, src, dst)
 }
 
-// MulticastTree routes a shortest-path tree from src to every sink: one
-// BFS from home(src) fixes a deterministic shortest path to every
-// switch, each sink's path is read off the same predecessor map, and
-// shared prefixes therefore dedupe into single tree edges. It returns
-// the tree's directed edges (edge 0 is the source uplink), the parent
-// index of each edge (-1 for the root; always parents[i] < i), and for
-// each sink the index of its delivering leaf edge.
+// MulticastTree routes a distribution tree from src to every sink via
+// the active router (deterministic shortest-path tree by default, with
+// shared prefixes deduped into single tree edges). It returns the tree's
+// directed edges (edge 0 is the source uplink), the parent index of each
+// edge (-1 for the root; always parents[i] < i), and for each sink the
+// index of its delivering leaf edge.
 func (t *Topology) MulticastTree(src core.NodeID, sinks []core.NodeID) (route []Edge, parents []int, leaves []int, err error) {
-	sSrc, ok := t.home[src]
-	if !ok {
-		return nil, nil, nil, fmt.Errorf("%w: %d", ErrUnknownNode, src)
-	}
-	// Full BFS from the source switch; prev[s] is s's predecessor on the
-	// unique (deterministic, sorted-adjacency) shortest path from sSrc.
-	prev := map[SwitchID]SwitchID{sSrc: sSrc}
-	queue := []SwitchID{sSrc}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range t.adj[cur] {
-			if _, seen := prev[next]; seen {
-				continue
-			}
-			prev[next] = cur
-			queue = append(queue, next)
-		}
-	}
-	route = append(route, Edge{From: NodeEnd(src), To: SwitchEnd(sSrc)})
-	parents = append(parents, -1)
-	// treeAt maps a switch already spanned by the tree to the index of
-	// the edge that delivers into it.
-	treeAt := map[SwitchID]int{sSrc: 0}
-	for _, sink := range sinks {
-		if sink == src {
-			return nil, nil, nil, fmt.Errorf("topo: multicast from node %d to itself", src)
-		}
-		sDst, ok := t.home[sink]
-		if !ok {
-			return nil, nil, nil, fmt.Errorf("%w: %d", ErrUnknownNode, sink)
-		}
-		if _, reached := prev[sDst]; !reached {
-			return nil, nil, nil, fmt.Errorf("%w: sw%d to sw%d", ErrNoRoute, sSrc, sDst)
-		}
-		// Walk back to the source switch, then graft the not-yet-spanned
-		// suffix onto the tree front to back.
-		var path []SwitchID
-		for at := sDst; at != sSrc; at = prev[at] {
-			path = append(path, at)
-		}
-		for i := len(path) - 1; i >= 0; i-- {
-			s := path[i]
-			if _, spanned := treeAt[s]; spanned {
-				continue
-			}
-			route = append(route, Edge{From: SwitchEnd(prev[s]), To: SwitchEnd(s)})
-			parents = append(parents, treeAt[prev[s]])
-			treeAt[s] = len(route) - 1
-		}
-		route = append(route, Edge{From: SwitchEnd(sDst), To: NodeEnd(sink)})
-		parents = append(parents, treeAt[sDst])
-		leaves = append(leaves, len(route)-1)
-	}
-	return route, parents, leaves, nil
-}
-
-// switchPath runs BFS over the trunk graph.
-func (t *Topology) switchPath(from, to SwitchID) ([]SwitchID, error) {
-	if from == to {
-		return []SwitchID{from}, nil
-	}
-	prev := map[SwitchID]SwitchID{from: from}
-	queue := []SwitchID{from}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range t.adj[cur] {
-			if _, seen := prev[next]; seen {
-				continue
-			}
-			prev[next] = cur
-			if next == to {
-				var path []SwitchID
-				for at := to; ; at = prev[at] {
-					path = append(path, at)
-					if at == from {
-						break
-					}
-				}
-				// Reverse in place.
-				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-					path[i], path[j] = path[j], path[i]
-				}
-				return path, nil
-			}
-			queue = append(queue, next)
-		}
-	}
-	return nil, fmt.Errorf("%w: sw%d to sw%d", ErrNoRoute, from, to)
+	return t.router.Tree(t.graph, src, sinks)
 }
 
 // Line builds a chain of k switches (IDs 0..k-1) with trunks between

@@ -58,7 +58,7 @@ func TestRouteSameSwitch(t *testing.T) {
 	if len(route) != 2 {
 		t.Fatalf("route = %v, want 2 hops", route)
 	}
-	if route[0] != (Edge{NodeEnd(1), SwitchEnd(0)}) || route[1] != (Edge{SwitchEnd(0), NodeEnd(2)}) {
+	if route[0] != (Edge{From: NodeEnd(1), To: SwitchEnd(0)}) || route[1] != (Edge{From: SwitchEnd(0), To: NodeEnd(2)}) {
 		t.Errorf("route = %v", route)
 	}
 }
@@ -75,7 +75,7 @@ func TestRouteAcrossLine(t *testing.T) {
 	if len(route) != 5 {
 		t.Fatalf("route = %v, want 5 hops", route)
 	}
-	if route[2] != (Edge{SwitchEnd(1), SwitchEnd(2)}) {
+	if route[2] != (Edge{From: SwitchEnd(1), To: SwitchEnd(2)}) {
 		t.Errorf("middle hop = %v", route[2])
 	}
 }
@@ -121,7 +121,7 @@ func TestRouteShortestAndDeterministic(t *testing.T) {
 		if len(route) != 4 {
 			t.Fatalf("route length %d, want 4", len(route))
 		}
-		if route[1] != (Edge{SwitchEnd(0), SwitchEnd(1)}) {
+		if route[1] != (Edge{From: SwitchEnd(0), To: SwitchEnd(1)}) {
 			t.Fatalf("non-deterministic or non-sorted route: %v", route)
 		}
 	}
@@ -290,7 +290,7 @@ func TestFabricCommittedStateAlwaysFeasible(t *testing.T) {
 }
 
 func TestEndpointAndEdgeStrings(t *testing.T) {
-	e := Edge{NodeEnd(3), SwitchEnd(1)}
+	e := Edge{From: NodeEnd(3), To: SwitchEnd(1)}
 	if e.String() != "n3→sw1" {
 		t.Errorf("Edge.String() = %q", e.String())
 	}

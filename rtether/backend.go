@@ -35,6 +35,14 @@ type AdmissionStats struct {
 	// over sequential establishment.
 	Repartitions int
 
+	// Survivability counters, advanced by failure recovery
+	// (Network.SetLinkUp, Network.SetSwitchUp; multi-switch networks
+	// only). Rerouted includes channels that needed preemption to fit.
+	Rerouted  int // channels re-admitted under their original contract
+	Degraded  int // channels re-admitted with a relaxed deadline (FailDegrade)
+	Preempted int // lower-priority victims evicted by FailPreempt
+	Lost      int // channels the residual network could not keep
+
 	MeanLinkUtilization float64 // mean utilization over loaded links
 	LoadedLinks         int     // links carrying at least one channel
 }
@@ -48,6 +56,10 @@ type backend interface {
 	establishMulticast(spec MulticastSpec) (ChannelID, []int64, error)
 	establishAll(specs []ChannelSpec) ([]ChannelID, error)
 	establishEach(specs []ChannelSpec) ([]ChannelID, []error)
+	establishEachReq(reqs []core.Req) ([]ChannelID, []error)
+	setLinkUp(a, b SwitchID, up bool) (*FailoverReport, error)
+	setSwitchUp(s SwitchID, up bool) (*FailoverReport, error)
+	setNodeLinkUp(id NodeID, up bool) error
 	release(id ChannelID) error
 	teardown(id ChannelID) error
 	startTraffic(id ChannelID, offset int64) error
@@ -130,6 +142,24 @@ func (b *starBackend) establishEach(specs []ChannelSpec) ([]ChannelID, []error) 
 		}
 		b.noteNoRoute(err)
 		errs[i] = starAdmissionError(specs[i], err)
+	}
+	return ids, errs
+}
+
+// establishEachReq admits a mixed unicast/multicast batch with one
+// verdict per request (netsim.Network.EstablishEachReqChannels).
+func (b *starBackend) establishEachReq(reqs []core.Req) ([]ChannelID, []error) {
+	ids, errs := b.inner.EstablishEachReqChannels(reqs)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		b.noteNoRoute(err)
+		if len(reqs[i].Sinks) > 0 {
+			errs[i] = starMulticastAdmissionError(reqs[i].MulticastSpec(), err)
+		} else {
+			errs[i] = starAdmissionError(reqs[i].Spec, err)
+		}
 	}
 	return ids, errs
 }
@@ -292,10 +322,18 @@ type fabricBackend struct {
 	sim  *fabricsim.Sim
 	prop int64
 
+	// policy is the survivability ladder rung applied when a
+	// failure-affected channel cannot be re-admitted (WithFailurePolicy).
+	policy FailurePolicy
+	// deadEdges mirrors the graph's failure state as directed edges, the
+	// granularity the simulator drops frames at. Maintained by
+	// failAndRecover (failures) and refreshDeadEdges (repairs).
+	deadEdges map[topo.Edge]bool
+
 	stats AdmissionStats
 }
 
-func newFabricBackend(top *Topology, hdps topo.HDPS, cfg netsim.Config) *fabricBackend {
+func newFabricBackend(top *Topology, hdps topo.HDPS, cfg netsim.Config, policy FailurePolicy) *fabricBackend {
 	if hdps == nil {
 		hdps = topo.HSDPS{}
 	}
@@ -306,8 +344,10 @@ func newFabricBackend(top *Topology, hdps topo.HDPS, cfg netsim.Config) *fabricB
 			Feasibility:   cfg.Feasibility,
 			VerifyWorkers: cfg.VerifyWorkers,
 		}),
-		sim:  fabricsim.NewSim(fabricsim.Config{DisableShaping: cfg.DisableShaping}),
-		prop: cfg.Propagation,
+		sim:       fabricsim.NewSim(fabricsim.Config{DisableShaping: cfg.DisableShaping}),
+		prop:      cfg.Propagation,
+		policy:    policy,
+		deadEdges: make(map[topo.Edge]bool),
 	}
 }
 
@@ -405,6 +445,37 @@ func (b *fabricBackend) establishEach(specs []ChannelSpec) ([]ChannelID, []error
 			b.noteRejection(err)
 			route, _ := b.top.inner.Route(specs[i].Src, specs[i].Dst)
 			errs[i] = fabricAdmissionError(specs[i], err, route)
+			continue
+		}
+		b.stats.Accepted++
+		ch := chs[i]
+		if err := b.sim.Install(ch); err != nil {
+			panic(fmt.Sprintf("rtether: installing admitted channel: %v", err))
+		}
+		ids[i] = ch.ID
+	}
+	b.syncBudgets(b.ctrl.Repartitioned())
+	return ids, errs
+}
+
+// establishEachReq admits a mixed unicast/multicast batch with one
+// verdict per request (topo.Controller.RequestEachReq), installing
+// accepted channels in the running simulation exactly as establishEach.
+func (b *fabricBackend) establishEachReq(reqs []core.Req) ([]ChannelID, []error) {
+	b.stats.Requests += len(reqs)
+	chs, errs := b.ctrl.RequestEachReq(reqs)
+	ids := make([]ChannelID, len(reqs))
+	for i, err := range errs {
+		if err != nil {
+			b.noteRejection(err)
+			if len(reqs[i].Sinks) > 0 {
+				spec := reqs[i].MulticastSpec()
+				tree, parents, leaves, _ := b.top.inner.MulticastTree(spec.Src, spec.Sinks)
+				errs[i] = fabricMulticastAdmissionError(spec, err, tree, parents, leaves, spec.Sinks)
+			} else {
+				route, _ := b.top.inner.Route(reqs[i].Spec.Src, reqs[i].Spec.Dst)
+				errs[i] = fabricAdmissionError(reqs[i].Spec, err, route)
+			}
 			continue
 		}
 		b.stats.Accepted++

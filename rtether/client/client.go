@@ -201,6 +201,28 @@ func (c *Client) Reconfigure(ctx context.Context, id rtether.ChannelID, override
 	return channelOf(rep), nil
 }
 
+// SetLinkUp fails (up=false) or repairs (up=true) the trunk between
+// switches a and b on the daemon's network (POST /v1/fail). Failing a
+// trunk triggers the server-side recovery pass — batch re-route and
+// re-admission under the daemon's failure policy — and the reply
+// summarizes every affected channel's fate; the same outcomes appear
+// on the watch feed as reroute/degrade/preempt/lost events.
+func (c *Client) SetLinkUp(ctx context.Context, a, b rtether.SwitchID, up bool) (wire.FailReply, error) {
+	var rep wire.FailReply
+	err := c.call(ctx, http.MethodPost, "/v1/fail",
+		wire.FailRequest{Kind: "link", A: uint16(a), B: uint16(b), Up: up}, &rep)
+	return rep, err
+}
+
+// SetSwitchUp fails or repairs a whole switch on the daemon's network
+// (POST /v1/fail), with the same recovery semantics as SetLinkUp.
+func (c *Client) SetSwitchUp(ctx context.Context, s rtether.SwitchID, up bool) (wire.FailReply, error) {
+	var rep wire.FailReply
+	err := c.call(ctx, http.MethodPost, "/v1/fail",
+		wire.FailRequest{Kind: "switch", S: uint16(s), Up: up}, &rep)
+	return rep, err
+}
+
 // Stats reads the daemon's admission and coalescing counters. Like all
 // idempotent reads it retries transient transport and 5xx failures with
 // jittered exponential backoff (see WithRetry).

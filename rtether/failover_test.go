@@ -1,0 +1,274 @@
+package rtether
+
+import (
+	"errors"
+	"testing"
+)
+
+// ringTopology is a 4-switch ring (0-1, 1-2, 2-3, 3-0) with two nodes on
+// each switch (node n homes on switch (n-1)/2), so every single trunk
+// failure leaves a detour.
+func ringTopology(t *testing.T) *Topology {
+	t.Helper()
+	top := NewTopology()
+	for s := SwitchID(0); s < 4; s++ {
+		if err := top.AddSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range [][2]SwitchID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := top.Trunk(tr[0], tr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := NodeID(1); n <= 8; n++ {
+		if err := top.Attach(n, SwitchID((n-1)/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return top
+}
+
+// TestFailoverReroutesAffected is the happy path: failing a trunk
+// re-admits exactly the channels routed over it, on the detour, under
+// their original IDs and contracts. Bystanders are untouched, repairs
+// return empty reports, and repeated mutations are no-ops.
+func TestFailoverReroutesAffected(t *testing.T) {
+	net := New(WithTopology(ringTopology(t)), WithHDPS(HADPS()))
+	ch, err := net.Establish(ChannelSpec{Src: 1, Dst: 3, C: 2, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := net.Establish(ChannelSpec{Src: 5, Dst: 7, C: 2, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ch.Budgets()); got != 3 {
+		t.Fatalf("pre-failure hops = %d, want 3", got)
+	}
+
+	rep, err := net.SetLinkUp(0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Count(Rerouted) != 1 {
+		t.Fatalf("report = %+v, want 1 affected, 1 rerouted", rep)
+	}
+	if rep.Outcomes[0].ID != ch.ID() {
+		t.Fatalf("rerouted channel %d, want %d", rep.Outcomes[0].ID, ch.ID())
+	}
+	// The survivor keeps its handle and now runs the 5-hop detour.
+	if got := len(ch.Budgets()); got != 5 {
+		t.Fatalf("post-failure hops = %d, want 5 (detour)", got)
+	}
+	if got := len(bystander.Budgets()); got != 3 {
+		t.Fatalf("bystander hops = %d, want 3 (untouched)", got)
+	}
+	st := net.AdmissionStats()
+	if st.Rerouted != 1 || st.Lost != 0 {
+		t.Fatalf("stats = %+v, want Rerouted=1 Lost=0", st)
+	}
+
+	// Repair is a pure flip: empty report, channels stay where recovery
+	// put them, and a repeated repair is a no-op.
+	for i := 0; i < 2; i++ {
+		rep, err = net.SetLinkUp(0, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Affected != 0 || len(rep.Outcomes) != 0 {
+			t.Fatalf("repair %d report = %+v, want empty", i, rep)
+		}
+	}
+	if got := len(ch.Budgets()); got != 5 {
+		t.Fatalf("hops after repair = %d, want 5 (no forced move-back)", got)
+	}
+	if _, err := net.SetLinkUp(0, 2, false); err == nil {
+		t.Fatal("failing an unknown trunk succeeded")
+	}
+}
+
+// tightSpec is feasible on its 3-hop primary route but not on the 5-hop
+// ring detour (five hop budgets of at least C need D >= 50), which is
+// exactly what forces the policy ladder to engage after a failure.
+var tightSpec = ChannelSpec{Src: 1, Dst: 3, C: 10, P: 100, D: 34}
+
+// TestFailoverRejectPolicyLosesChannel pins the default rung: a channel
+// the residual network cannot honor is lost — reservation gone, handle
+// closed — and nothing else is touched.
+func TestFailoverRejectPolicyLosesChannel(t *testing.T) {
+	net := New(WithTopology(ringTopology(t)), WithHDPS(HADPS()))
+	ch, err := net.Establish(tightSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.SetLinkUp(0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Count(Lost) != 1 {
+		t.Fatalf("report = %+v, want 1 affected, 1 lost", rep)
+	}
+	if rep.Outcomes[0].Err == nil {
+		t.Fatal("lost outcome carries no admission error")
+	}
+	if err := ch.Release(); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("release of lost channel: %v, want ErrChannelClosed", err)
+	}
+	st := net.AdmissionStats()
+	if st.Lost != 1 || st.Rerouted != 0 || st.Degraded != 0 {
+		t.Fatalf("stats = %+v, want Lost=1 only", st)
+	}
+}
+
+// TestFailoverDegradePolicy pins the middle rung: the same channel that
+// FailReject loses is kept with its deadline doubled — ID-stable, handle
+// open, committed spec reporting the relaxed contract.
+func TestFailoverDegradePolicy(t *testing.T) {
+	net := New(WithTopology(ringTopology(t)), WithHDPS(HADPS()), WithFailurePolicy(FailDegrade))
+	ch, err := net.Establish(tightSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.SetLinkUp(0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Count(Degraded) != 1 {
+		t.Fatalf("report = %+v, want 1 affected, 1 degraded", rep)
+	}
+	oc := rep.Outcomes[0]
+	if oc.ID != ch.ID() || oc.NewD != 2*tightSpec.D {
+		t.Fatalf("degraded outcome = %+v, want ID %d NewD %d", oc, ch.ID(), 2*tightSpec.D)
+	}
+	if got := ch.Spec().D; got != 2*tightSpec.D {
+		t.Fatalf("handle reports D=%d, want relaxed %d", got, 2*tightSpec.D)
+	}
+	if got := len(ch.Budgets()); got != 5 {
+		t.Fatalf("degraded channel hops = %d, want 5 (detour)", got)
+	}
+	if st := net.AdmissionStats(); st.Degraded != 1 || st.Lost != 0 {
+		t.Fatalf("stats = %+v, want Degraded=1 Lost=0", st)
+	}
+}
+
+// TestFailoverPreemptPolicy pins the top rung: a high-priority channel
+// displaced onto a saturated detour evicts the lowest-priority channel
+// on the blocking link — and an equal-priority bystander is safe, so the
+// same squeeze with flat priorities loses the affected channel instead.
+func TestFailoverPreemptPolicy(t *testing.T) {
+	run := func(t *testing.T, hiPriority int32) (*FailoverReport, *Channel, *Channel, *Network) {
+		t.Helper()
+		net := New(WithTopology(ringTopology(t)), WithHDPS(HADPS()), WithFailurePolicy(FailPreempt))
+		// victim occupies 0.9 of the detour trunk 0-3 (node 2 on switch
+		// 0, node 8 on switch 3).
+		victim, err := net.Establish(ChannelSpec{Src: 2, Dst: 8, C: 9, P: 10, D: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := net.Establish(ChannelSpec{Src: 1, Dst: 3, C: 2, P: 10, D: 40, Priority: hiPriority})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := net.SetLinkUp(0, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, hi, victim, net
+	}
+
+	t.Run("evicts lower priority", func(t *testing.T) {
+		rep, hi, victim, net := run(t, 5)
+		if rep.Affected != 1 || rep.Count(Rerouted) != 1 || rep.Count(Preempted) != 1 {
+			t.Fatalf("report = %+v, want 1 rerouted + 1 preempted", rep)
+		}
+		for _, oc := range rep.Outcomes {
+			if oc.Outcome == Preempted && oc.ID != victim.ID() {
+				t.Fatalf("preempted channel %d, want victim %d", oc.ID, victim.ID())
+			}
+		}
+		if err := victim.Release(); !errors.Is(err, ErrChannelClosed) {
+			t.Fatalf("victim release: %v, want ErrChannelClosed", err)
+		}
+		if got := len(hi.Budgets()); got != 5 {
+			t.Fatalf("survivor hops = %d, want 5 (detour)", got)
+		}
+		if st := net.AdmissionStats(); st.Preempted != 1 || st.Rerouted != 1 {
+			t.Fatalf("stats = %+v, want Preempted=1 Rerouted=1", st)
+		}
+	})
+
+	t.Run("equal priority is safe", func(t *testing.T) {
+		rep, hi, victim, net := run(t, 0)
+		if rep.Count(Preempted) != 0 || rep.Count(Lost) != 1 {
+			t.Fatalf("report = %+v, want 0 preempted, 1 lost", rep)
+		}
+		if err := hi.Release(); !errors.Is(err, ErrChannelClosed) {
+			t.Fatalf("lost channel release: %v, want ErrChannelClosed", err)
+		}
+		if got := len(victim.Budgets()); got != 3 {
+			t.Fatalf("equal-priority bystander hops = %d, want 3 (untouched)", got)
+		}
+		if st := net.AdmissionStats(); st.Preempted != 0 || st.Lost != 1 {
+			t.Fatalf("stats = %+v, want Preempted=0 Lost=1", st)
+		}
+	})
+}
+
+// TestFailoverTopologyGuards pins the error split between the two
+// network shapes: trunk/switch failures need a fabric, node-link
+// failures need a star.
+func TestFailoverTopologyGuards(t *testing.T) {
+	star := New()
+	star.MustAddNode(1)
+	star.MustAddNode(2)
+	if _, err := star.SetLinkUp(0, 1, false); !errors.Is(err, ErrNoFabric) {
+		t.Fatalf("star SetLinkUp: %v, want ErrNoFabric", err)
+	}
+	if _, err := star.SetSwitchUp(0, false); !errors.Is(err, ErrNoFabric) {
+		t.Fatalf("star SetSwitchUp: %v, want ErrNoFabric", err)
+	}
+	if err := star.SetNodeLinkUp(1, false); err != nil {
+		t.Fatalf("star SetNodeLinkUp: %v", err)
+	}
+	if err := star.SetNodeLinkUp(1, true); err != nil {
+		t.Fatalf("star node-link repair: %v", err)
+	}
+
+	fabric := New(WithTopology(ringTopology(t)), WithHDPS(HSDPS()))
+	if err := fabric.SetNodeLinkUp(1, false); !errors.Is(err, ErrNoNodeLinks) {
+		t.Fatalf("fabric SetNodeLinkUp: %v, want ErrNoNodeLinks", err)
+	}
+}
+
+// TestFailoverSwitchDownSinksLose verifies a dead switch takes its homed
+// nodes with it: a channel sunk there is lost no matter the policy,
+// while a channel merely transiting the switch reroutes.
+func TestFailoverSwitchDownSinksLose(t *testing.T) {
+	net := New(WithTopology(ringTopology(t)), WithHDPS(HADPS()), WithFailurePolicy(FailDegrade))
+	transit, err := net.Establish(ChannelSpec{Src: 1, Dst: 5, C: 2, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sunk, err := net.Establish(ChannelSpec{Src: 1, Dst: 4, C: 2, P: 100, D: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 4 homes on switch 1; the 1→5 route transits it (sw0→sw1→sw2).
+	rep, err := net.SetSwitchUp(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 2 {
+		t.Fatalf("affected = %d, want 2", rep.Affected)
+	}
+	if rep.Count(Lost) != 1 || rep.Count(Rerouted) != 1 {
+		t.Fatalf("report = %+v, want 1 lost (dead sink) + 1 rerouted", rep)
+	}
+	if err := sunk.Release(); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("dead-sink channel release: %v, want ErrChannelClosed", err)
+	}
+	if got := len(transit.Budgets()); got != 4 {
+		t.Fatalf("transit hops = %d, want 4 (sw0→sw3→sw2 detour)", got)
+	}
+}

@@ -123,6 +123,7 @@ type config struct {
 	star     netsim.Config
 	topology *Topology
 	hdps     HDPS
+	policy   FailurePolicy
 }
 
 // Option configures a Network.
@@ -200,6 +201,16 @@ func WithPropagation(slots int64) Option {
 	return func(c *config) { c.star.Propagation = slots }
 }
 
+// WithFailurePolicy selects what happens to a channel that cannot be
+// re-admitted on the residual network after a trunk or switch failure
+// (default FailReject; multi-switch networks only — star networks have
+// no alternate path to re-route over). See FailurePolicy for the
+// ladder: reject, degrade to a relaxed deadline, or preempt
+// strictly-lower-priority channels.
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(c *config) { c.policy = p }
+}
+
 // Discipline selects the real-time queue ordering on every link.
 type Discipline = sched.Discipline
 
@@ -255,7 +266,7 @@ func New(opts ...Option) *Network {
 		}
 		n.be = newStarBackend(cfg.star, nodes)
 	} else {
-		n.be = newFabricBackend(cfg.topology, cfg.hdps, cfg.star)
+		n.be = newFabricBackend(cfg.topology, cfg.hdps, cfg.star, cfg.policy)
 	}
 	return n
 }
@@ -401,6 +412,54 @@ func (n *Network) EstablishEach(specs []ChannelSpec) ([]*Channel, []error) {
 			continue
 		}
 		ch := &Channel{net: n, id: ids[i], spec: specs[i]}
+		n.handles[ids[i]] = ch
+		chs[i] = ch
+	}
+	return chs, errs
+}
+
+// EstablishReq is one entry of a mixed establishment batch
+// (EstablishEachMixed): a unicast channel request when Sinks is nil, a
+// multicast one otherwise — Spec.Dst is then ignored and the committed
+// channel reports Sinks[0] as Dst, exactly as EstablishMulticast.
+type EstablishReq struct {
+	Spec  ChannelSpec
+	Sinks []NodeID
+}
+
+// EstablishEachMixed is EstablishEach over a mixed unicast/multicast
+// batch: every request — point-to-point channel or distribution tree —
+// is accepted or rejected on its own inside one merged kernel pass,
+// with the same per-verdict semantics, decision-equivalence contract
+// and cost profile as EstablishEach. This is the primitive behind the
+// admission server's multicast-aware request coalescing: concurrent
+// unicast and multicast clients merge into a single admission decision.
+func (n *Network) EstablishEachMixed(reqs []EstablishReq) ([]*Channel, []error) {
+	defer n.lk.unlock(n.lk.lock())
+	chs := make([]*Channel, len(reqs))
+	if n.closed {
+		errs := make([]error, len(reqs))
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return chs, errs
+	}
+	creqs := make([]core.Req, len(reqs))
+	for i, r := range reqs {
+		creqs[i] = core.Req{Spec: r.Spec, Sinks: r.Sinks}
+		if len(r.Sinks) > 0 {
+			creqs[i].Spec.Dst = r.Sinks[0]
+		}
+	}
+	ids, errs := n.be.establishEachReq(creqs)
+	for i, err := range errs {
+		if err != nil {
+			continue
+		}
+		ch := &Channel{net: n, id: ids[i], spec: creqs[i].Spec}
+		if len(reqs[i].Sinks) > 0 {
+			ch.sinks = append([]NodeID(nil), reqs[i].Sinks...)
+		}
 		n.handles[ids[i]] = ch
 		chs[i] = ch
 	}

@@ -26,18 +26,22 @@ type Spec struct {
 	C   int64  `json:"c"`
 	P   int64  `json:"p"`
 	D   int64  `json:"d"`
+	// Priority orders channels for the survivability policy ladder
+	// (higher is more important; 0, the default, is lowest). Absent on
+	// the wire when zero, so pre-priority peers interoperate unchanged.
+	Priority int32 `json:"priority,omitempty"`
 }
 
 // FromSpec converts a rtether.ChannelSpec to its wire form.
 func FromSpec(s rtether.ChannelSpec) Spec {
-	return Spec{Src: uint16(s.Src), Dst: uint16(s.Dst), C: s.C, P: s.P, D: s.D}
+	return Spec{Src: uint16(s.Src), Dst: uint16(s.Dst), C: s.C, P: s.P, D: s.D, Priority: s.Priority}
 }
 
 // ChannelSpec converts the wire form back to a rtether.ChannelSpec.
 func (s Spec) ChannelSpec() rtether.ChannelSpec {
 	return rtether.ChannelSpec{
 		Src: rtether.NodeID(s.Src), Dst: rtether.NodeID(s.Dst),
-		C: s.C, P: s.P, D: s.D,
+		C: s.C, P: s.P, D: s.D, Priority: s.Priority,
 	}
 }
 
@@ -50,6 +54,8 @@ type MulticastSpec struct {
 	C     int64    `json:"c"`
 	P     int64    `json:"p"`
 	D     int64    `json:"d"`
+	// Priority is as in Spec: survivability ordering, 0 = lowest.
+	Priority int32 `json:"priority,omitempty"`
 }
 
 // FromMulticastSpec converts a rtether.MulticastSpec to its wire form.
@@ -58,7 +64,7 @@ func FromMulticastSpec(s rtether.MulticastSpec) MulticastSpec {
 	for i, n := range s.Sinks {
 		sinks[i] = uint16(n)
 	}
-	return MulticastSpec{Src: uint16(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D}
+	return MulticastSpec{Src: uint16(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D, Priority: s.Priority}
 }
 
 // MulticastSpec converts the wire form back to a rtether.MulticastSpec.
@@ -67,7 +73,7 @@ func (s MulticastSpec) MulticastSpec() rtether.MulticastSpec {
 	for i, n := range s.Sinks {
 		sinks[i] = rtether.NodeID(n)
 	}
-	return rtether.MulticastSpec{Src: rtether.NodeID(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D}
+	return rtether.MulticastSpec{Src: rtether.NodeID(s.Src), Sinks: sinks, C: s.C, P: s.P, D: s.D, Priority: s.Priority}
 }
 
 // AdmissionError is the wire form of *rtether.AdmissionError, carried
@@ -330,6 +336,18 @@ const (
 	EventReject = "reject"
 	// EventRelease reports a released channel.
 	EventRelease = "release"
+	// EventReroute reports a channel re-admitted on a new route after a
+	// failure, under its original contract (Cause names the failure).
+	EventReroute = "reroute"
+	// EventDegrade reports a channel re-admitted after a failure with a
+	// relaxed deadline (NewD).
+	EventDegrade = "degrade"
+	// EventPreempt reports a lower-priority channel evicted during
+	// failure recovery to make room for a higher-priority one.
+	EventPreempt = "preempt"
+	// EventLost reports a channel the residual network could not keep
+	// after a failure (Error carries the final admission error).
+	EventLost = "lost"
 )
 
 // WatchEvent is one line of the /v1/watch newline-delimited JSON feed.
@@ -339,14 +357,49 @@ type WatchEvent struct {
 	// mean the stream fell behind and was dropped by the server.
 	Seq  uint64 `json:"seq"`
 	Type string `json:"type"`
-	// ID is the subject channel (admit, release).
+	// ID is the subject channel (admit, release, and every failure
+	// outcome — survivors keep their ID across a reroute).
 	ID uint16 `json:"id,omitempty"`
-	// Spec is the requested channel (admit, reject).
+	// Spec is the requested channel (admit, reject) or the committed
+	// contract after recovery (failure outcomes).
 	Spec *Spec `json:"spec,omitempty"`
 	// Budgets are the committed per-hop budgets (admit).
 	Budgets []int64 `json:"budgets,omitempty"`
-	// Error carries the rejection (reject).
+	// Error carries the rejection (reject, lost).
 	Error *Error `json:"error,omitempty"`
+	// Cause names the failed or repaired element behind a failure
+	// outcome, e.g. "trunk 0-1 down" or "switch 2 down".
+	Cause string `json:"cause,omitempty"`
+	// NewD is the relaxed deadline committed for a degrade outcome.
+	NewD int64 `json:"newD,omitempty"`
+}
+
+// FailRequest changes topology health (POST /v1/fail): kind "link"
+// fails (up=false) or repairs (up=true) the trunk between switches A
+// and B; kind "switch" fails or repairs the switch S with every trunk
+// and node attachment it carries. Multi-switch topologies only.
+type FailRequest struct {
+	Kind string `json:"kind"` // "link" | "switch"
+	A    uint16 `json:"a,omitempty"`
+	B    uint16 `json:"b,omitempty"`
+	S    uint16 `json:"s,omitempty"`
+	Up   bool   `json:"up"`
+}
+
+// FailOutcome is one channel's fate in a FailReply.
+type FailOutcome struct {
+	ID      uint16 `json:"id"`
+	Outcome string `json:"outcome"` // "rerouted" | "degraded" | "preempted" | "lost"
+	NewD    int64  `json:"newD,omitempty"`
+}
+
+// FailReply summarizes the recovery pass a failure triggered
+// (rtether.FailoverReport): how many established channels the failed
+// element carried and what became of each. Repairs report zero
+// affected channels.
+type FailReply struct {
+	Affected int           `json:"affected"`
+	Outcomes []FailOutcome `json:"outcomes,omitempty"`
 }
 
 // CreateTopicRequest declares a pub/sub topic (POST /v1/topics): a
