@@ -13,6 +13,12 @@
 //
 //	rtetherd -scenario fabric.json -addr 127.0.0.1:8316
 //	rtetherd -scenario fabric.json -coalesce 200us -workers 8
+//	rtetherd -scenario fabric.json -binaddr 127.0.0.1:8317
+//
+// -binaddr opens a second listener speaking the length-prefixed binary
+// protocol (docs/server.md#binary-protocol) for the latency-critical
+// calls; rtether/client selects it with WithTransport(TransportBinary).
+// -pprof serves net/http/pprof profiles on a separate address.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
 // drain, queued establishes fail with the "closed" error, and the
@@ -28,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +42,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/rtether"
 )
 
 func main() {
@@ -49,8 +57,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8316", "listen address (host:port; port 0 picks a free port)")
+		binaddr  = fs.String("binaddr", "", "binary-protocol listen address (empty = HTTP/JSON only)")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 		scenFile = fs.String("scenario", "", "scenario document providing the topology and network options (required)")
 		workers  = fs.Int("workers", 0, "admission verification workers (0 = GOMAXPROCS, 1 = sequential)")
+		fullRe   = fs.Bool("fullrecheck", false, "re-verify every loaded link on each decision (bypasses the sweep verdict cache; decisions are identical, just slower)")
 		coalesce = fs.Duration("coalesce", 0, "extra window to merge concurrent establishes (0 = merge in-flight only)")
 		maxBatch = fs.Int("maxbatch", 1024, "max establish requests merged into one admission pass")
 		quiet    = fs.Bool("quiet", false, "suppress request logging")
@@ -73,7 +84,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
 		return 1
 	}
-	network, err := sc.BuildNetwork(*workers)
+	var extra []rtether.Option
+	if *fullRe {
+		extra = append(extra, rtether.WithFullRecheck())
+	}
+	network, err := sc.BuildNetwork(*workers, extra...)
 	if err != nil {
 		fmt.Fprintf(stderr, "rtetherd: %v\n", err)
 		return 1
@@ -101,6 +116,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "rtetherd: serving %q (%s) on http://%s\n", sc.Name, kind, ln.Addr())
 
+	var binDone chan struct{}
+	if *binaddr != "" {
+		binLn, err := net.Listen("tcp", *binaddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rtetherd: binary protocol on %s\n", binLn.Addr())
+		binDone = make(chan struct{})
+		go func() {
+			defer close(binDone)
+			if err := srv.ServeBinary(binLn); err != nil {
+				fmt.Fprintf(stderr, "rtetherd: binary listener: %v\n", err)
+			}
+		}()
+	}
+	if *pprof != "" {
+		pprofLn, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rtetherd: pprof on http://%s/debug/pprof/\n", pprofLn.Addr())
+		// http.DefaultServeMux carries the net/http/pprof handlers; the
+		// daemon's own API stays on its dedicated mux.
+		go func() { _ = http.Serve(pprofLn, nil) }()
+	}
+
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	shutdownDone := make(chan struct{})
 	go func() {
@@ -117,7 +162,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// in-flight requests complete against a live coalescer/network.
 		<-shutdownDone
 	}
-	srv.Close()
+	srv.Close() // also tears down the binary listener and its connections
+	if binDone != nil {
+		<-binDone
+	}
 	_ = network.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "rtetherd: %v\n", err)

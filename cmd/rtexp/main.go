@@ -14,8 +14,15 @@
 //	rtexp -exp fig18.5         # just the headline figure
 //	rtexp -exp fig18.5,dsweep -csv
 //	rtexp -list                # enumerate experiment IDs
+//
+// With -baseline the merged document is additionally compared against a
+// previous artifact: every benchmark present in both (matched by name)
+// gets a ns/op delta line on stderr, and any slowdown beyond -threshold
+// percent makes rtexp exit non-zero — CI's regression gate.
+//
 //	go test -bench A . | tee bench.txt && rtexp -parsebench bench.txt > BENCH_A.json
 //	rtexp -parsebench bench.txt BENCH_rtload.json > BENCH_all.json
+//	rtexp -parsebench bench.txt -baseline BENCH_prev.json -threshold 15 > BENCH_new.json
 package main
 
 import (
@@ -37,10 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sel   = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		bench = fs.String("parsebench", "", "parse `go test -bench` text or BENCH JSON from the given file ('-' = stdin) plus any positional files, merge, and emit JSON")
+		sel       = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		bench     = fs.String("parsebench", "", "parse `go test -bench` text or BENCH JSON from the given file ('-' = stdin) plus any positional files, merge, and emit JSON")
+		baseline  = fs.String("baseline", "", "with -parsebench: prior BENCH artifact to diff ns/op against (regressions beyond -threshold fail the run)")
+		threshold = fs.Float64("threshold", 15, "with -baseline: max tolerated ns/op slowdown, percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +70,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := merged.WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "rtexp: parsebench: %v\n", err)
 			return 1
+		}
+		if *baseline != "" {
+			prev, err := benchfmt.ParseFile(*baseline)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtexp: baseline: %v\n", err)
+				return 1
+			}
+			regressed := 0
+			for _, d := range benchfmt.Deltas(prev, merged) {
+				verdict := "ok"
+				if d.Pct > *threshold {
+					verdict = "REGRESSED"
+					regressed++
+				}
+				fmt.Fprintf(stderr, "rtexp: delta %-60s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
+					d.Name, d.Baseline, d.Current, d.Pct, verdict)
+			}
+			if regressed > 0 {
+				fmt.Fprintf(stderr, "rtexp: FAILED: %d benchmark(s) regressed more than %.0f%% over %s\n",
+					regressed, *threshold, *baseline)
+				return 1
+			}
 		}
 		return 0
 	}

@@ -212,3 +212,40 @@ func TestParseBenchEmptyInputFails(t *testing.T) {
 		t.Fatal("empty bench output parsed successfully")
 	}
 }
+
+// TestParseBenchBaselineGate pins the CI regression gate: a benchmark
+// that slowed beyond -threshold fails the run with a REGRESSED delta
+// line; within threshold it passes and still prints the deltas.
+func TestParseBenchBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "prev.json")
+	prev := `{"benchmarks":[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":100}},{"name":"BenchmarkY","runs":1,"metrics":{"ns/op":100}}]}`
+	if err := os.WriteFile(baseline, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(current, []byte("BenchmarkX-4 \t 1 \t 130 ns/op\nBenchmarkY-4 \t 1 \t 105 ns/op\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-parsebench", current, "-baseline", baseline, "-threshold", "15"}, &out, &errOut); code == 0 {
+		t.Fatalf("a +30%% slowdown passed the 15%% gate:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "REGRESSED") || !strings.Contains(errOut.String(), "BenchmarkX") {
+		t.Errorf("missing REGRESSED delta line:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-parsebench", current, "-baseline", baseline, "-threshold", "50"}, &out, &errOut); code != 0 {
+		t.Fatalf("within-threshold run failed: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkY") {
+		t.Errorf("deltas not reported on a passing run:\n%s", errOut.String())
+	}
+	// The JSON artifact on stdout is unaffected by the gate.
+	if !strings.Contains(out.String(), `"BenchmarkX"`) {
+		t.Errorf("stdout JSON missing benchmarks:\n%s", out.String())
+	}
+}

@@ -7,6 +7,12 @@
 // produces, so CI merges both into one document).
 //
 //	rtload -addr 127.0.0.1:8316 -scenario fabric.json -clients 16 -out BENCH_rtload.json
+//	rtload -proto binary -binaddr 127.0.0.1:8317 -scenario fabric.json -append -out BENCH_rtload.json
+//
+// -proto selects the transport (json over HTTP, or the daemon's binary
+// listener via -binaddr); benchmark names carry a proto=… suffix and
+// -append merges a run into an existing BENCH file, so one artifact can
+// hold both transports' percentiles side by side.
 //
 // Workload items are sharded by channel name, so each channel's
 // establish→release order is preserved while shards proceed
@@ -27,6 +33,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -76,10 +86,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8316", "rtetherd address (host:port or http:// URL)")
+		binaddr  = fs.String("binaddr", "", "daemon binary-protocol address (required with -proto binary)")
+		proto    = fs.String("proto", "json", "transport for the latency-critical calls: json or binary")
 		scenFile = fs.String("scenario", "", "scenario document providing the workload (required)")
 		clients  = fs.Int("clients", 8, "concurrent client goroutines")
 		maxOps   = fs.Int("maxops", 0, "cap on workload items (0 = whole workload)")
 		out      = fs.String("out", "-", "BENCH JSON output file ('-' = stdout)")
+		appendTo = fs.Bool("append", false, "merge this run into an existing -out file instead of overwriting it")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,7 +133,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rtload: note: %d timeline events have no wire equivalent (reconfigure/setBackground) and were skipped\n", skippedKinds)
 	}
 
-	cl := client.New(*addr)
+	var copts []client.Option
+	switch *proto {
+	case "json":
+	case "binary":
+		if *binaddr == "" {
+			fmt.Fprintln(stderr, "rtload: -proto binary requires -binaddr")
+			return 2
+		}
+		copts = append(copts, client.WithTransport(client.TransportBinary), client.WithBinaryAddr(*binaddr))
+	default:
+		fmt.Fprintf(stderr, "rtload: unknown -proto %q (want json or binary)\n", *proto)
+		return 2
+	}
+	cl := client.New(*addr, copts...)
 	defer cl.CloseIdleConnections()
 	if err := cl.Healthz(ctx); err != nil {
 		fmt.Fprintf(stderr, "rtload: daemon not reachable: %v\n", err)
@@ -141,6 +169,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			w = int(h.Sum32() % uint32(*clients))
 		}
 		shards[w] = append(shards[w], it)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	est := make([]*opStats, *clients)
@@ -178,11 +220,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ops, wall.Round(time.Millisecond), float64(ops)/wall.Seconds(),
 		estAll.accepted, estAll.rejected, relAll.accepted, relAll.skipped, protoErrs, coalesced)
 
+	// Benchmark names carry the workload and the transport so several
+	// runs can live side by side in one merged BENCH document.
+	scen := strings.TrimSuffix(filepath.Base(*scenFile), filepath.Ext(*scenFile))
+	suffix := "/scen=" + scen + "/proto=" + *proto
 	rep := &benchfmt.Report{Pkg: "repro/cmd/rtload", Benchmarks: []benchfmt.Result{
-		opResult("BenchmarkRTLoad/establish", estAll),
-		opResult("BenchmarkRTLoad/release", relAll),
+		opResult("BenchmarkRTLoad/establish"+suffix, estAll),
+		opResult("BenchmarkRTLoad/release"+suffix, relAll),
 		{
-			Name: "BenchmarkRTLoad/total", Runs: int64(ops),
+			Name: "BenchmarkRTLoad/total" + suffix, Runs: int64(ops),
 			Metrics: map[string]float64{
 				"ops/s":           float64(ops) / wall.Seconds(),
 				"wall-ns":         float64(wall.Nanoseconds()),
@@ -197,6 +243,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		m["repartitions"] = float64(statsAfter.Admission.Repartitions - statsBefore.Admission.Repartitions)
 	}
 
+	if *appendTo && *out != "-" {
+		if prev, err := benchfmt.ParseFile(*out); err == nil {
+			rep = benchfmt.Merge(prev, rep)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "rtload: -append: %v\n", err)
+			return 1
+		}
+	}
 	w := io.Writer(stdout)
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -210,6 +264,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintf(stderr, "rtload: %v\n", err)
 		return 1
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
 	}
 	if protoErrs > 0 {
 		fmt.Fprintf(stderr, "rtload: FAILED: %d protocol errors\n", protoErrs)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -13,8 +14,9 @@ import (
 	"repro/internal/server"
 )
 
-// bootDaemon serves the scenario's topology in-process.
-func bootDaemon(t *testing.T, path string) string {
+// bootDaemon serves the scenario's topology in-process over both
+// transports, returning the HTTP URL and the binary listener address.
+func bootDaemon(t *testing.T, path string) (httpURL, binAddr string) {
 	t.Helper()
 	f, err := os.Open(path)
 	if err != nil {
@@ -25,35 +27,47 @@ func bootDaemon(t *testing.T, path string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := sc.BuildNetwork(0)
+	rtnet, err := sc.BuildNetwork(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(server.Config{Network: net})
+	srv := server.New(server.Config{Network: rtnet})
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(func() { ts.Close(); srv.Close(); _ = net.Close() })
-	return ts.URL
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeBinary(ln) }()
+	t.Cleanup(func() { ts.Close(); srv.Close(); _ = rtnet.Close() })
+	return ts.URL, ln.Addr().String()
 }
 
-// TestLoadRunEmitsBenchJSON drives a short burst against an in-process
-// daemon and checks the artifact: zero protocol errors, parseable BENCH
-// JSON with the expected benchmark entries.
+// TestLoadRunEmitsBenchJSON drives a short burst over each transport
+// against an in-process daemon, -appending the second run into the
+// first artifact, and checks the result: zero protocol errors on both,
+// parseable BENCH JSON holding each transport's entries side by side
+// under their scen=…/proto=… names.
 func TestLoadRunEmitsBenchJSON(t *testing.T) {
-	url := bootDaemon(t, "testdata/fabric_churn.json")
+	url, binAddr := bootDaemon(t, "testdata/fabric_churn.json")
 	out := filepath.Join(t.TempDir(), "BENCH_rtload.json")
-	var stdout, stderr strings.Builder
-	code := run(context.Background(), []string{
-		"-addr", url,
-		"-scenario", "testdata/fabric_churn.json",
-		"-clients", "4",
-		"-maxops", "400",
-		"-out", out,
-	}, &stdout, &stderr)
-	if code != 0 {
-		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
-	}
-	if !strings.Contains(stderr.String(), "0 protocol errors") {
-		t.Errorf("summary missing: %s", stderr.String())
+	for _, proto := range []string{"json", "binary"} {
+		var stdout, stderr strings.Builder
+		code := run(context.Background(), []string{
+			"-addr", url,
+			"-proto", proto,
+			"-binaddr", binAddr,
+			"-scenario", "testdata/fabric_churn.json",
+			"-clients", "4",
+			"-maxops", "400",
+			"-append",
+			"-out", out,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("proto=%s: exit %d\nstderr: %s", proto, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "0 protocol errors") {
+			t.Errorf("proto=%s: summary missing: %s", proto, stderr.String())
+		}
 	}
 
 	rep, err := benchfmt.ParseFile(out)
@@ -64,13 +78,15 @@ func TestLoadRunEmitsBenchJSON(t *testing.T) {
 	for _, b := range rep.Benchmarks {
 		names[b.Name] = b
 	}
-	est, ok := names["BenchmarkRTLoad/establish"]
-	if !ok || est.Runs == 0 || est.Metrics["p99-ns"] <= 0 {
-		t.Errorf("establish entry wrong: %+v", est)
-	}
-	total, ok := names["BenchmarkRTLoad/total"]
-	if !ok || total.Metrics["protocol-errors"] != 0 || total.Metrics["ops/s"] <= 0 {
-		t.Errorf("total entry wrong: %+v", total)
+	for _, proto := range []string{"json", "binary"} {
+		est, ok := names["BenchmarkRTLoad/establish/scen=fabric_churn/proto="+proto]
+		if !ok || est.Runs == 0 || est.Metrics["p99-ns"] <= 0 {
+			t.Errorf("proto=%s establish entry wrong: %+v", proto, est)
+		}
+		total, ok := names["BenchmarkRTLoad/total/scen=fabric_churn/proto="+proto]
+		if !ok || total.Metrics["protocol-errors"] != 0 || total.Metrics["ops/s"] <= 0 {
+			t.Errorf("proto=%s total entry wrong: %+v", proto, total)
+		}
 	}
 
 	// The artifact merges with a bench-text report through the shared

@@ -104,6 +104,26 @@ type State[K comparable, Ch any, P any] struct {
 	byLink    map[K][]Ref[Ch]
 	taskCache map[K][]edf.Task
 	utilSum   map[K]*big.Rat
+	// utilOver caches the exact U > 1 answer per link, refreshed whenever
+	// utilSum changes — the verify sweep reads a bool instead of paying a
+	// big.Rat comparison (which allocates) per link per sweep.
+	utilOver map[K]bool
+
+	// gens assigns every loaded link a generation stamp: the value of the
+	// monotone genCtr at the moment the link's task-set CONTENT last
+	// changed. Add/UndoAdd/Remove/SetPart bump every affected link;
+	// SetPartDiff bumps only links whose materialized task actually
+	// differs, which is what lets the engine's feasibility-verdict cache
+	// skip links a repartition pass touched but did not move. genCtr is
+	// never rolled back (an undo bumps again rather than restoring), so a
+	// generation value is never reused for different content — the
+	// soundness invariant the verdict cache rests on.
+	genCtr uint64
+	gens   map[K]uint64
+
+	// oldTasks and diffLinks are scratch buffers for SetPartDiff.
+	oldTasks  []edf.Task
+	diffLinks []K
 }
 
 // NewState returns an empty state speaking the given adapter vocabulary.
@@ -117,8 +137,20 @@ func NewState[K comparable, Ch any, P any](ops *Ops[K, Ch, P]) *State[K, Ch, P] 
 		byLink:    make(map[K][]Ref[Ch]),
 		taskCache: make(map[K][]edf.Task),
 		utilSum:   make(map[K]*big.Rat),
+		utilOver:  make(map[K]bool),
+		gens:      make(map[K]uint64),
 	}
 }
+
+// bumpGen stamps a link with a fresh generation: its task-set content
+// (set membership or task parameters) just changed.
+func (st *State[K, Ch, P]) bumpGen(l K) {
+	st.genCtr++
+	st.gens[l] = st.genCtr
+}
+
+// Gen returns the link's current task-set generation stamp.
+func (st *State[K, Ch, P]) Gen(l K) uint64 { return st.gens[l] }
 
 // Len returns the number of active channels, size(K).
 func (st *State[K, Ch, P]) Len() int { return len(st.channels) }
@@ -222,6 +254,7 @@ func (st *State[K, Ch, P]) Add(ch Ch) {
 		st.loads[l]++
 		st.byLink[l] = append(st.byLink[l], Ref[Ch]{Ch: ch, Hop: hop})
 		delete(st.taskCache, l)
+		st.bumpGen(l)
 		st.addUtil(l, c, p)
 	}
 }
@@ -234,6 +267,7 @@ func (st *State[K, Ch, P]) addUtil(l K, c, p int64) {
 		st.utilSum[l] = u
 	}
 	u.Add(u, new(big.Rat).SetFrac64(c, p))
+	st.utilOver[l] = u.Cmp(ratOne) > 0
 }
 
 // subUtil removes one channel's C/P from a link's running sum, dropping
@@ -241,18 +275,19 @@ func (st *State[K, Ch, P]) addUtil(l K, c, p int64) {
 func (st *State[K, Ch, P]) subUtil(l K, c, p int64) {
 	if st.loads[l] == 0 {
 		delete(st.utilSum, l)
+		delete(st.utilOver, l)
 		return
 	}
 	if u := st.utilSum[l]; u != nil {
 		u.Sub(u, new(big.Rat).SetFrac64(c, p))
+		st.utilOver[l] = u.Cmp(ratOne) > 0
 	}
 }
 
 // UtilExceedsOne reports the exact first-constraint answer (U > 1) for a
 // link from the incrementally maintained sum.
 func (st *State[K, Ch, P]) UtilExceedsOne(l K) bool {
-	u := st.utilSum[l]
-	return u != nil && u.Cmp(ratOne) > 0
+	return st.utilOver[l]
 }
 
 // UndoAdd reverses the most recent Add exactly: the channel must be the
@@ -278,6 +313,7 @@ func (st *State[K, Ch, P]) UndoAdd(ch Ch) {
 			st.byLink[l] = refs[:len(refs)-1]
 		}
 		delete(st.taskCache, l)
+		st.bumpGen(l)
 		st.subUtil(l, c, p)
 	}
 }
@@ -308,6 +344,7 @@ func (st *State[K, Ch, P]) Remove(id ID) bool {
 			st.byLink[l] = kept
 		}
 		delete(st.taskCache, l)
+		st.bumpGen(l)
 		st.subUtil(l, c, p)
 	}
 	// Compact the order slice lazily: rebuild when over half are gone.
@@ -326,13 +363,47 @@ func (st *State[K, Ch, P]) Remove(id ID) bool {
 }
 
 // SetPart installs a new partition on a channel and invalidates the task
-// caches of its links. All repartitioning goes through here so the caches
-// can never go stale.
+// caches (and generation stamps) of all its links, whether or not the new
+// partition actually moves them. All repartitioning goes through here or
+// SetPartDiff so the caches can never go stale.
 func (st *State[K, Ch, P]) SetPart(ch Ch, p P) {
 	st.ops.SetPart(ch, p)
 	for _, l := range st.channels[st.ops.ID(ch)].links {
 		delete(st.taskCache, l)
+		st.bumpGen(l)
 	}
+}
+
+// SetPartDiff installs a new partition on a channel that already holds a
+// valid one and invalidates only the links whose materialized EDF task
+// actually changed, leaving the task cache and generation stamp of
+// content-stable links intact. A repartition pass frequently recomputes
+// identical deadline budgets for most hops (the scheme is a function of
+// per-link load, and most loads did not change); keeping their
+// generations lets the engine's verdict cache skip re-sweeping them.
+//
+// The returned slice lists the content-changed links in hop order; it is
+// a scratch buffer invalidated by the next SetPartDiff call. The channel
+// MUST already hold a partition under which Ops.Task is well-defined for
+// every hop — use SetPart for freshly constructed channels.
+func (st *State[K, Ch, P]) SetPartDiff(ch Ch, p P) []K {
+	links := st.channels[st.ops.ID(ch)].links
+	old := st.oldTasks[:0]
+	for hop := range links {
+		old = append(old, st.ops.Task(ch, hop))
+	}
+	st.oldTasks = old
+	st.ops.SetPart(ch, p)
+	diff := st.diffLinks[:0]
+	for hop, l := range links {
+		if st.ops.Task(ch, hop) != old[hop] {
+			delete(st.taskCache, l)
+			st.bumpGen(l)
+			diff = append(diff, l)
+		}
+	}
+	st.diffLinks = diff
+	return diff
 }
 
 // LinksOf returns the cached traversed-links sequence of an active
@@ -412,6 +483,12 @@ func (st *State[K, Ch, P]) Clone() *State[K, Ch, P] {
 		byLink:    make(map[K][]Ref[Ch], len(st.byLink)),
 		taskCache: make(map[K][]edf.Task),
 		utilSum:   make(map[K]*big.Rat, len(st.utilSum)),
+		utilOver:  make(map[K]bool, len(st.utilOver)),
+		genCtr:    st.genCtr,
+		gens:      make(map[K]uint64, len(st.gens)),
+	}
+	for l, g := range st.gens {
+		cp.gens[l] = g
 	}
 	for id := range st.stale {
 		cp.stale[id] = true
@@ -431,6 +508,9 @@ func (st *State[K, Ch, P]) Clone() *State[K, Ch, P] {
 	}
 	for l, u := range st.utilSum {
 		cp.utilSum[l] = new(big.Rat).Set(u)
+	}
+	for l, over := range st.utilOver {
+		cp.utilOver[l] = over
 	}
 	return cp
 }

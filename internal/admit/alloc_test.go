@@ -1,0 +1,112 @@
+package admit
+
+import (
+	"testing"
+)
+
+// loadVerifyState fills an engine with channels whose tasks have D < P
+// (so the demand sweep actually runs) spread over several links, and
+// returns the changed-set covering every loaded link.
+func loadVerifyState(t testing.TB, e *Engine[int, *toyChan, int64]) map[int]struct{} {
+	t.Helper()
+	schemes := []Scheme[int, *toyChan, int64]{constScheme(40)}
+	for i := 0; i < 64; i++ {
+		a, b := i%16, 16+(i%16)
+		_, rej := e.Admit(1, func(_ int, id ID) *toyChan {
+			return &toyChan{id: id, c: 2, p: 400, links: []int{a, b}}
+		}, schemes)
+		if rej != nil {
+			t.Fatalf("setup admit %d rejected: %v", i, rej.Result)
+		}
+	}
+	changed := make(map[int]struct{})
+	for _, l := range e.state.Links() {
+		changed[l] = struct{}{}
+	}
+	return changed
+}
+
+// TestVerifySweepZeroAllocs pins the steady-state sequential verify
+// sweep at 0 allocs/op: with the engine-owned scratch arena, the reused
+// sweep buffers and the warm task cache, re-verifying every loaded link
+// must not touch the heap. The cache-disabled engine is used so every
+// link runs the full EDF analysis rather than a verdict-cache skip.
+func TestVerifySweepZeroAllocs(t *testing.T) {
+	e := newToyEngine(Config{Workers: 1, NoSweepCache: true})
+	changed := loadVerifyState(t, e)
+
+	e.verify(e.state, changed) // warm buffers and the task cache
+	if avg := testing.AllocsPerRun(100, func() {
+		if rej := e.verify(e.state, changed); rej != nil {
+			t.Fatalf("sweep rejected: %v", rej.Result)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state verify sweep allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestVerifySweepCachedZeroAllocs pins the all-hits cache path too: a
+// sweep where every link's verdict comes from the generation cache must
+// also be allocation-free.
+func TestVerifySweepCachedZeroAllocs(t *testing.T) {
+	e := newToyEngine(Config{Workers: 1})
+	changed := loadVerifyState(t, e)
+
+	e.verify(e.state, changed) // records feasGen for every link
+	if avg := testing.AllocsPerRun(100, func() {
+		if rej := e.verify(e.state, changed); rej != nil {
+			t.Fatalf("sweep rejected: %v", rej.Result)
+		}
+	}); avg != 0 {
+		t.Errorf("cached verify sweep allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestSweepCacheSkipsUnchangedLinks proves the cache semantics at kernel
+// level: re-verifying an unchanged state is pure cache hits, and a
+// content change on one link invalidates exactly that link.
+func TestSweepCacheSkipsUnchangedLinks(t *testing.T) {
+	e := newToyEngine(Config{Workers: 1})
+	changed := loadVerifyState(t, e)
+
+	e.verify(e.state, changed)
+	before := e.sweepSkips
+	e.verify(e.state, changed)
+	if hits := e.sweepSkips - before; hits != len(changed) {
+		t.Fatalf("unchanged re-sweep: %d cache hits, want %d", hits, len(changed))
+	}
+
+	// Mutate one channel's partition: its links (and only its links) must
+	// be re-analyzed on the next sweep.
+	var victim *toyChan
+	for _, ch := range e.state.Channels() {
+		victim = ch
+		break
+	}
+	e.state.SetPart(victim, 39)
+	before = e.sweepSkips
+	e.verify(e.state, changed)
+	if hits := e.sweepSkips - before; hits != len(changed)-len(victim.links) {
+		t.Fatalf("after one-channel change: %d hits, want %d", hits, len(changed)-len(victim.links))
+	}
+}
+
+// BenchmarkVerifySweep measures the steady-state sweep with and without
+// the verdict cache (sequential, warm task cache).
+func BenchmarkVerifySweep(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"cached", false}, {"uncached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := newToyEngine(Config{Workers: 1, NoSweepCache: mode.noCache})
+			changed := loadVerifyState(b, e)
+			e.verify(e.state, changed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.verify(e.state, changed)
+			}
+		})
+	}
+}

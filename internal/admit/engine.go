@@ -2,7 +2,9 @@ package admit
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,8 +39,15 @@ type Config struct {
 	Feasibility edf.Options
 	// FullRecheck forces every loaded link to be re-verified on each
 	// mutation and disables the copy-on-write engine — the
-	// ablation/belt-and-braces reference mode.
+	// ablation/belt-and-braces reference mode. It also disables the
+	// feasibility-verdict cache.
 	FullRecheck bool
+	// NoSweepCache disables the generation-keyed feasibility-verdict
+	// cache, forcing every swept link through the full EDF test. Decisions
+	// are identical with the cache on or off (the equivalence replays pin
+	// this); the switch exists for ablation benchmarks and as a
+	// belt-and-braces escape hatch.
+	NoSweepCache bool
 	// Workers bounds the verification worker pool; 0 means
 	// runtime.GOMAXPROCS(0), 1 forces the sequential sweep. Decisions,
 	// diagnostics and the LinksChecked accounting are identical for every
@@ -78,8 +87,44 @@ type Engine[K comparable, Ch any, P any] struct {
 	// and decision equivalence requires the delta engine to do the same.
 	staleParts map[ID]struct{}
 
-	scratch  edf.Scratch
-	touchBuf []K
+	// Feasibility-verdict cache: feasGen[l] is the generation stamp
+	// (State.Gen) at which link l was last PROVEN feasible. A sweep skips
+	// any link whose current generation still equals its proven one — the
+	// link's task-set content has not changed, so the cached verdict
+	// stands. The cache is consulted and updated only for sweeps over the
+	// live committed state (st == e.state): tentative clones fork the
+	// generation counter, so verdicts recorded against a discarded clone
+	// could collide with later live generations. Generation stamps are
+	// never reused for different content (State.bumpGen is monotone and
+	// undo bumps again rather than restoring), which makes a stamp match
+	// a sound proof of content equality.
+	cacheOn    bool
+	feasGen    map[K]uint64
+	sweepSkips int
+
+	// slackHist[l] is the MinSlack (tightest demand-criterion margin) the
+	// link showed at its most recent COMMITTED sweep. Sweeps visit links
+	// in ascending recorded slack — historically tightest first — so an
+	// infeasible repartition fails as early as possible. Only committed
+	// sweeps update the history: every engine flavor (delta, clone,
+	// FullRecheck, cache on or off) then holds bit-identical histories
+	// after identical decision sequences, which keeps the sweep order —
+	// and therefore the named rejection link — identical across them.
+	slackHist map[K]int64
+
+	// Reusable sweep buffers: with these plus the per-worker Scratch
+	// arenas the steady-state sequential verify sweep allocates nothing.
+	scratch       edf.Scratch
+	workerScratch []edf.Scratch
+	touchBuf      []K
+	sweepLinks    []K
+	sweepSkip     []bool
+	sweepTasks    [][]edf.Task
+	sweepExceeds  []bool
+	exceedsBuf    bool
+	sweepResults  []edf.Result
+	sweepOK       int // feasible prefix length of the last sweep
+	freshIDs      map[ID]struct{}
 }
 
 // NewEngine returns an engine over an empty state.
@@ -89,11 +134,16 @@ func NewEngine[K comparable, Ch any, P any](ops *Ops[K, Ch, P], cfg Config) *Eng
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine[K, Ch, P]{
-		ops:        ops,
-		cfg:        cfg,
-		workers:    workers,
-		state:      NewState(ops),
-		staleParts: make(map[ID]struct{}),
+		ops:           ops,
+		cfg:           cfg,
+		workers:       workers,
+		state:         NewState(ops),
+		staleParts:    make(map[ID]struct{}),
+		cacheOn:       !cfg.FullRecheck && !cfg.NoSweepCache,
+		feasGen:       make(map[K]uint64),
+		slackHist:     make(map[K]int64),
+		workerScratch: make([]edf.Scratch, workers),
+		freshIDs:      make(map[ID]struct{}),
 	}
 }
 
@@ -102,14 +152,24 @@ func NewEngine[K comparable, Ch any, P any](ops *Ops[K, Ch, P], cfg Config) *Eng
 func (e *Engine[K, Ch, P]) State() *State[K, Ch, P] { return e.state }
 
 // ReplaceState swaps in a state assembled elsewhere (snapshot restore).
-func (e *Engine[K, Ch, P]) ReplaceState(st *State[K, Ch, P]) { e.state = st }
+// The verdict cache and slack history are reset: they describe the old
+// state's generations.
+func (e *Engine[K, Ch, P]) ReplaceState(st *State[K, Ch, P]) {
+	e.state = st
+	clear(e.feasGen)
+	clear(e.slackHist)
+}
 
 // LinksChecked returns the cumulative number of per-link feasibility
 // tests the engine accounts for. The count is deterministic and
-// independent of the worker count: a parallel sweep that rejects reports
-// the tests a sequential early-exit sweep would have run, even if idle
-// workers raced ahead of the failure.
+// independent of the worker count and of the verdict cache: a cache hit
+// counts as a check (the cached verdict answers the same question), so
+// cached and uncached engines report identical counts.
 func (e *Engine[K, Ch, P]) LinksChecked() int { return e.linksChecked }
+
+// SweepSkips returns the cumulative number of per-link feasibility tests
+// the verdict cache answered without running the EDF analysis.
+func (e *Engine[K, Ch, P]) SweepSkips() int { return e.sweepSkips }
 
 // Repartitions returns the cumulative number of repartition passes the
 // engine has run: one per scheme attempted per admission decision (an
@@ -163,21 +223,24 @@ func (e *Engine[K, Ch, P]) admitClone(n int, mk func(i int, id ID) Ch, schemes [
 	for _, scheme := range schemes {
 		tentative := e.state.Clone()
 		chs := make([]Ch, n)
+		clear(e.freshIDs)
 		for i := 0; i < n; i++ {
 			ch := mk(i, tentative.AllocID())
 			tentative.Add(ch)
 			chs[i] = ch
+			e.freshIDs[e.ops.ID(ch)] = struct{}{}
 		}
 
 		e.repartitions++
 		parts := scheme.Partition(tentative)
-		changed, changedIDs := e.apply(tentative, parts)
+		changed, changedIDs := e.apply(tentative, parts, e.freshIDs)
 
 		rej := e.verify(tentative, changed)
 		if rej == nil {
 			e.state = tentative
 			e.repartitioned = changedIDs
 			clear(e.staleParts) // full Partition healed any kept-back vectors
+			e.commitSlack()
 			return chs, nil
 		}
 		if firstRej == nil {
@@ -199,11 +262,13 @@ func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes [
 		savedNext := e.state.nextID
 		chs := make([]Ch, n)
 		touched := e.touchBuf[:0]
+		clear(e.freshIDs)
 		for i := 0; i < n; i++ {
 			ch := mk(i, e.state.AllocID())
 			e.state.Add(ch)
 			chs[i] = ch
 			touched = append(touched, e.state.LinksOf(ch)...)
+			e.freshIDs[e.ops.ID(ch)] = struct{}{}
 		}
 		touched = e.withStaleLinks(touched)
 		e.touchBuf = touched[:0]
@@ -211,12 +276,13 @@ func (e *Engine[K, Ch, P]) admitDelta(n int, mk func(i int, id ID) Ch, schemes [
 
 		e.repartitions++
 		parts := scheme.PartitionTouched(e.state, touched)
-		undo, changed, changedIDs := e.applyDelta(e.state, parts)
+		undo, changed, changedIDs := e.applyDelta(e.state, parts, e.freshIDs)
 
 		rej := e.verify(e.state, changed)
 		if rej == nil {
 			e.repartitioned = changedIDs
 			clear(e.staleParts) // touched covered every stale channel; all healed
+			e.commitSlack()
 			return chs, nil
 		}
 		e.rollback(e.state, undo)
@@ -287,13 +353,14 @@ func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 		links = dedupKeys(links)
 		e.repartitions++
 		parts := scheme.PartitionTouched(e.state, links)
-		undo, changed, changedIDs := e.applyDelta(e.state, parts)
+		undo, changed, changedIDs := e.applyDelta(e.state, parts, nil)
 		if rej := e.verify(e.state, changed); rej != nil {
 			e.rollback(e.state, undo)
 			e.markStale(changedIDs)
 			changedIDs = nil
 		} else {
 			clear(e.staleParts)
+			e.commitSlack()
 		}
 		e.repartitioned = changedIDs
 		return true
@@ -305,11 +372,12 @@ func (e *Engine[K, Ch, P]) Release(id ID, scheme Scheme[K, Ch, P]) bool {
 	repart := next.Clone()
 	e.repartitions++
 	parts := scheme.Partition(repart)
-	changed, changedIDs := e.apply(repart, parts)
+	changed, changedIDs := e.apply(repart, parts, nil)
 	if rej := e.verify(repart, changed); rej == nil {
 		e.state = repart
 		e.repartitioned = changedIDs
 		clear(e.staleParts)
+		e.commitSlack()
 	} else {
 		e.state = next
 		e.repartitioned = nil
@@ -354,12 +422,14 @@ func (e *Engine[K, Ch, P]) withStaleLinks(links []K) []K {
 }
 
 // apply installs the computed partitions into the state's channels,
-// returning the set of links whose task sets changed and the IDs of the
-// channels that moved (ascending). The reference-engine contract: a
-// partition must be present for every channel. Partition validation is
-// the adapter's Validate hook — a violation is a scheme implementation
-// bug and panics.
-func (e *Engine[K, Ch, P]) apply(st *State[K, Ch, P], parts map[ID]P) (map[K]struct{}, []ID) {
+// returning the set of links whose task-set CONTENT changed and the IDs
+// of the channels that moved (ascending). Channels in fresh hold no
+// prior partition, so all their links count as changed; for the rest the
+// per-hop diff in SetPartDiff keeps content-stable links out of the
+// sweep. The reference-engine contract: a partition must be present for
+// every channel. Partition validation is the adapter's Validate hook — a
+// violation is a scheme implementation bug and panics.
+func (e *Engine[K, Ch, P]) apply(st *State[K, Ch, P], parts map[ID]P, fresh map[ID]struct{}) (map[K]struct{}, []ID) {
 	changed := make(map[K]struct{})
 	var changedIDs []ID
 	for _, id := range st.order {
@@ -376,10 +446,16 @@ func (e *Engine[K, Ch, P]) apply(st *State[K, Ch, P], parts map[ID]P) (map[K]str
 		if e.ops.HasPart(ch, p) {
 			continue
 		}
-		st.SetPart(ch, p)
 		changedIDs = append(changedIDs, id)
-		for _, l := range entry.links {
-			changed[l] = struct{}{}
+		if _, isFresh := fresh[id]; isFresh {
+			st.SetPart(ch, p)
+			for _, l := range entry.links {
+				changed[l] = struct{}{}
+			}
+		} else {
+			for _, l := range st.SetPartDiff(ch, p) {
+				changed[l] = struct{}{}
+			}
 		}
 	}
 	sortIDs(changedIDs)
@@ -395,11 +471,12 @@ type partUndo[Ch any, P any] struct {
 
 // applyDelta installs the partitions of an incremental repartition
 // directly into the live state, returning an undo log (for rollback on
-// rejection), the set of links whose task sets changed, and the IDs of
-// the channels that moved (ascending). Channels absent from parts are
-// untouched by contract — an incremental scheme covers every channel
-// that can have moved.
-func (e *Engine[K, Ch, P]) applyDelta(st *State[K, Ch, P], parts map[ID]P) ([]partUndo[Ch, P], map[K]struct{}, []ID) {
+// rejection), the set of links whose task-set content changed, and the
+// IDs of the channels that moved (ascending). Channels absent from parts
+// are untouched by contract — an incremental scheme covers every channel
+// that can have moved. fresh marks channels with no prior partition
+// (establishment batches); nil means none (release).
+func (e *Engine[K, Ch, P]) applyDelta(st *State[K, Ch, P], parts map[ID]P, fresh map[ID]struct{}) ([]partUndo[Ch, P], map[K]struct{}, []ID) {
 	var undo []partUndo[Ch, P]
 	changed := make(map[K]struct{})
 	var changedIDs []ID
@@ -414,8 +491,21 @@ func (e *Engine[K, Ch, P]) applyDelta(st *State[K, Ch, P], parts map[ID]P) ([]pa
 			continue
 		}
 		undo = append(undo, partUndo[Ch, P]{ch: ch, old: e.ops.Part(ch)})
-		st.SetPart(ch, p)
 		changedIDs = append(changedIDs, id)
+		// The changed (= to-sweep) set is channel-granular: every link of
+		// every repartitioned channel, exactly as the reference engine
+		// sweeps it. The generation bumps underneath are finer: for a
+		// pre-existing channel SetPartDiff stamps only the hops whose
+		// materialized task actually moved, which is what lets the
+		// verdict cache skip the links a repartition pass touched but did
+		// not change — without ever shrinking the swept set itself, so
+		// cache on, cache off and the reference engine all sweep the same
+		// links in the same order.
+		if _, isFresh := fresh[id]; isFresh {
+			st.SetPart(ch, p) // no valid prior partition to diff against
+		} else {
+			st.SetPartDiff(ch, p)
+		}
 		for _, l := range entry.links {
 			changed[l] = struct{}{}
 		}
@@ -425,6 +515,8 @@ func (e *Engine[K, Ch, P]) applyDelta(st *State[K, Ch, P], parts map[ID]P) ([]pa
 }
 
 // rollback restores the previous partitions recorded by applyDelta.
+// SetPart (not SetPartDiff) on purpose: it bumps every affected link's
+// generation, invalidating any verdict the failed attempt recorded.
 func (e *Engine[K, Ch, P]) rollback(st *State[K, Ch, P], undo []partUndo[Ch, P]) {
 	for _, u := range undo {
 		st.SetPart(u.ch, u.old)
@@ -436,44 +528,132 @@ func sortIDs(ids []ID) {
 }
 
 // verify tests feasibility of the changed links — every loaded link under
-// FullRecheck — in the deterministic sorted order (the sorted restriction
-// of the full link sequence: links whose task sets did not change were
-// feasible at the previous commit and cannot have become infeasible,
-// which is what makes the restriction decision-preserving). The first
-// failure in that order is returned regardless of how many workers swept
-// the links.
+// FullRecheck — ordered by historically tightest slack first (ties: the
+// adapter's deterministic link order), so a repartition that breaks
+// something fails as early in the sweep as possible. Links whose task-set
+// content did not change were feasible at the previous commit and cannot
+// have become infeasible, which is what makes the restriction to the
+// changed set decision-preserving; the slack history is identical across
+// engine flavors (it advances only on commits), which makes the order —
+// and therefore the first failure — identical too, regardless of worker
+// count or cache mode.
 func (e *Engine[K, Ch, P]) verify(st *State[K, Ch, P], changed map[K]struct{}) *Rejection[K] {
-	var links []K
+	links := e.sweepLinks[:0]
 	if e.cfg.FullRecheck {
-		links = st.Links()
+		for l := range st.loads {
+			links = append(links, l)
+		}
 	} else {
-		links = make([]K, 0, len(changed))
 		for l := range changed {
 			links = append(links, l)
 		}
-		st.sortLinks(links)
 	}
+	slices.SortFunc(links, func(a, b K) int {
+		sa, oka := e.slackHist[a]
+		if !oka {
+			sa = math.MinInt64 // no history: assume tightest, sweep first
+		}
+		sb, okb := e.slackHist[b]
+		if !okb {
+			sb = math.MinInt64
+		}
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		case e.ops.Less(a, b):
+			return -1
+		case e.ops.Less(b, a):
+			return 1
+		}
+		return 0
+	})
+	e.sweepLinks = links
+
+	// Verdict cache: a link whose generation still equals the one it was
+	// last proven feasible at cannot have changed content — skip the test.
+	useCache := e.cacheOn && st == e.state
+	skip := growBuf(e.sweepSkip, len(links))
+	live := 0
+	for i, l := range links {
+		skip[i] = false
+		if useCache {
+			if g, ok := e.feasGen[l]; ok && g == st.gens[l] {
+				skip[i] = true
+				e.sweepSkips++
+				continue
+			}
+		}
+		live++
+	}
+	e.sweepSkip = skip
+
 	var checked int
 	var rej *Rejection[K]
-	if e.workers > 1 && len(links) >= minParallelLinks {
-		checked, rej = e.sweepParallel(st, links)
+	if e.workers > 1 && live >= minParallelLinks {
+		checked, rej = e.sweepParallel(st, links, skip)
 	} else {
-		checked, rej = e.sweepSequential(st, links)
+		checked, rej = e.sweepSequential(st, links, skip)
 	}
 	e.linksChecked += checked
+	e.sweepOK = checked
+	if rej != nil {
+		e.sweepOK = checked - 1
+	}
+	if useCache {
+		// Record fresh proofs for the deterministic feasible prefix. Sound
+		// even if this decision later rolls back: rollback bumps every
+		// swept link's generation, orphaning these entries harmlessly.
+		for i := 0; i < e.sweepOK; i++ {
+			if !skip[i] {
+				e.feasGen[links[i]] = st.gens[links[i]]
+			}
+		}
+	}
 	return rej
+}
+
+// commitSlack folds the last sweep's measured slacks into the history.
+// Called exactly when the decision the sweep verified commits; failed
+// attempts record nothing, keeping the history a pure function of the
+// committed decision sequence (see slackHist).
+func (e *Engine[K, Ch, P]) commitSlack() {
+	for i := 0; i < e.sweepOK; i++ {
+		if e.sweepSkip[i] {
+			continue // cache hit: content unchanged, recorded slack still exact
+		}
+		e.slackHist[e.sweepLinks[i]] = e.sweepResults[i].MinSlack
+	}
+}
+
+// growBuf returns buf resized to n, reallocating only on growth.
+func growBuf[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // sweepSequential checks the links in order, stopping at the first
 // failure. The first constraint (U > 1, exact) comes from the state's
 // incrementally maintained per-link sum — rational arithmetic is exact,
 // so the answer matches a fresh summation bit for bit.
-func (e *Engine[K, Ch, P]) sweepSequential(st *State[K, Ch, P], links []K) (int, *Rejection[K]) {
+func (e *Engine[K, Ch, P]) sweepSequential(st *State[K, Ch, P], links []K, skip []bool) (int, *Rejection[K]) {
 	opts := e.cfg.Feasibility
+	results := growBuf(e.sweepResults, len(links))
+	e.sweepResults = results
 	for i, l := range links {
-		exceeds := st.UtilExceedsOne(l)
-		opts.UtilizationExceeds = &exceeds
+		if skip[i] {
+			continue
+		}
+		// e.exceedsBuf lives on the (heap-resident) engine: taking its
+		// address does not force a per-link stack-to-heap escape the way
+		// &localBool would, keeping the sequential sweep allocation-free.
+		e.exceedsBuf = st.UtilExceedsOne(l)
+		opts.UtilizationExceeds = &e.exceedsBuf
 		res := edf.TestScratch(st.TasksShared(l), opts, &e.scratch)
+		results[i] = res
 		if !res.OK() {
 			return i + 1, &Rejection[K]{Link: l, Result: res}
 		}
@@ -484,20 +664,26 @@ func (e *Engine[K, Ch, P]) sweepSequential(st *State[K, Ch, P], links []K) (int,
 // sweepParallel fans the per-link tests out over the worker pool. Task
 // sets and utilization answers are materialized sequentially first (the
 // lazy task cache is not safe for concurrent rebuilds); the workers then
-// run pure feasibility tests with per-worker scratch buffers. Workers
-// skip links past the lowest failing index found so far, and the lowest
-// failing index wins — the verdict, the named link and the reported
-// check count are identical to the sequential sweep.
-func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K) (int, *Rejection[K]) {
+// run pure feasibility tests with engine-owned per-worker scratch arenas
+// (reused across flights). Workers skip links past the lowest failing
+// index found so far, and the lowest failing index wins — the verdict,
+// the named link and the reported check count are identical to the
+// sequential sweep.
+func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K, skip []bool) (int, *Rejection[K]) {
 	n := len(links)
-	tasks := make([][]edf.Task, n)
-	exceeds := make([]bool, n)
+	tasks := growBuf(e.sweepTasks, n)
+	exceeds := growBuf(e.sweepExceeds, n)
+	results := growBuf(e.sweepResults, n)
+	e.sweepTasks, e.sweepExceeds, e.sweepResults = tasks, exceeds, results
 	for i, l := range links {
+		if skip[i] {
+			tasks[i] = nil
+			continue
+		}
 		tasks[i] = st.TasksShared(l)
 		exceeds[i] = st.UtilExceedsOne(l)
 	}
 
-	results := make([]edf.Result, n)
 	var next atomic.Int64
 	var minFail atomic.Int64
 	minFail.Store(int64(n))
@@ -509,9 +695,8 @@ func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K) (int, *
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(scratch *edf.Scratch) {
 			defer wg.Done()
-			var scratch edf.Scratch
 			opts := e.cfg.Feasibility
 			for {
 				i := next.Add(1) - 1
@@ -520,11 +705,13 @@ func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K) (int, *
 				if i >= int64(n) || i >= minFail.Load() {
 					return
 				}
-				ex := exceeds[i]
-				opts.UtilizationExceeds = &ex
-				res := edf.TestScratch(tasks[i], opts, &scratch)
+				if skip[i] {
+					continue
+				}
+				opts.UtilizationExceeds = &exceeds[i]
+				res := edf.TestScratch(tasks[i], opts, scratch)
+				results[i] = res
 				if !res.OK() {
-					results[i] = res
 					for {
 						cur := minFail.Load()
 						if i >= cur || minFail.CompareAndSwap(cur, i) {
@@ -533,7 +720,7 @@ func (e *Engine[K, Ch, P]) sweepParallel(st *State[K, Ch, P], links []K) (int, *
 					}
 				}
 			}
-		}()
+		}(&e.workerScratch[w])
 	}
 	wg.Wait()
 

@@ -212,3 +212,47 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
+
+// Delta is one benchmark's ns/op movement between a baseline document
+// and a current one, matched by name. Pct is the relative change in
+// percent — positive means the current run is slower.
+type Delta struct {
+	Name     string
+	Baseline float64 // baseline ns/op
+	Current  float64 // current ns/op
+	Pct      float64 // (Current-Baseline)/Baseline * 100
+}
+
+// Deltas compares current against baseline on the ns/op metric,
+// matching benchmarks by name (a merged document's Source annotations
+// are ignored — the name is the identity). Benchmarks present on only
+// one side, or without a positive ns/op on both, are skipped: a delta
+// against nothing is noise, not a regression. Results come back in
+// current's benchmark order, deduplicated on first occurrence.
+func Deltas(baseline, current *Report) []Delta {
+	base := make(map[string]float64, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		if v := b.Metrics["ns/op"]; v > 0 {
+			if _, dup := base[b.Name]; !dup {
+				base[b.Name] = v
+			}
+		}
+	}
+	var out []Delta
+	seen := make(map[string]bool)
+	for _, b := range current.Benchmarks {
+		cur := b.Metrics["ns/op"]
+		old, ok := base[b.Name]
+		if !ok || cur <= 0 || seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		out = append(out, Delta{
+			Name:     b.Name,
+			Baseline: old,
+			Current:  cur,
+			Pct:      (cur - old) / old * 100,
+		})
+	}
+	return out
+}

@@ -115,3 +115,29 @@ func TestMerge(t *testing.T) {
 		t.Errorf("first non-empty cpu should win, got %q", m.CPU)
 	}
 }
+
+func TestDeltas(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 200}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "BenchmarkNoNs", Metrics: map[string]float64{"ops/s": 9}},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 130}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 150}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "BenchmarkNoNs", Metrics: map[string]float64{"ops/s": 9}},
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 999}}, // dup: first wins
+	}}
+	ds := Deltas(base, cur)
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(ds), ds)
+	}
+	if ds[0].Name != "BenchmarkA" || ds[0].Pct != 30 {
+		t.Errorf("delta A = %+v, want +30%%", ds[0])
+	}
+	if ds[1].Name != "BenchmarkB" || ds[1].Pct != -25 {
+		t.Errorf("delta B = %+v, want -25%%", ds[1])
+	}
+}

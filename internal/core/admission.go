@@ -61,6 +61,12 @@ type Config struct {
 	// channel), which is equivalent but cheaper; FullRecheck exists for the
 	// ablation benchmark and as a belt-and-braces mode.
 	FullRecheck bool
+	// NoSweepCache disables the kernel's generation-keyed feasibility-
+	// verdict cache (links whose task-set content is unchanged since they
+	// were last proven feasible are skipped by default). Decisions are
+	// identical either way; the switch exists for ablation benchmarks and
+	// the equivalence replays.
+	NoSweepCache bool
 	// Latency is T_latency of Eq. 18.1: the constant medium propagation
 	// plus access delay added to every guarantee, in slots.
 	Latency int64
@@ -99,9 +105,10 @@ func NewController(cfg Config) *Controller {
 	cfg.Feasibility.SkipValidation = true // specs are validated on entry
 	c := &Controller{cfg: cfg}
 	c.eng = admit.NewEngine(coreOps, admit.Config{
-		Feasibility: cfg.Feasibility,
-		FullRecheck: cfg.FullRecheck,
-		Workers:     cfg.VerifyWorkers,
+		Feasibility:  cfg.Feasibility,
+		FullRecheck:  cfg.FullRecheck,
+		NoSweepCache: cfg.NoSweepCache,
+		Workers:      cfg.VerifyWorkers,
 	})
 	for _, d := range append([]DPS{cfg.DPS}, cfg.Fallbacks...) {
 		c.schemes = append(c.schemes, kernelScheme(d))
@@ -136,6 +143,11 @@ func (c *Controller) Stats() Stats {
 	s.Repartitions = c.eng.Repartitions()
 	return s
 }
+
+// SweepSkips returns how many of the LinksChecked feasibility answers
+// came from the kernel's generation-keyed verdict cache instead of a
+// fresh EDF analysis. Always 0 with NoSweepCache or FullRecheck.
+func (c *Controller) SweepSkips() int { return c.eng.SweepSkips() }
 
 // State returns the live system state. Callers must treat it as read-only.
 func (c *Controller) State() *State { return &State{k: c.eng.State()} }

@@ -1,6 +1,34 @@
 package edf
 
-import "container/heap"
+import "math"
+
+// Saturating integer arithmetic. Demand analysis over adversarial task
+// parameters (P or C near the int64 ceiling) must never wrap silently:
+// a wrapped demand sum could make an infeasible set look feasible. All
+// accumulation below clamps at math.MaxInt64 instead; a clamped value
+// is a LOWER bound on the true quantity, so "h > t" conclusions drawn
+// from it remain sound, and the busy-period iteration reports the
+// overflow explicitly so the caller returns an Inconclusive verdict
+// rather than an unsound "feasible".
+
+// addSat returns a+b clamped to math.MaxInt64, for a, b >= 0.
+func addSat(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// mulSat returns a*b clamped to math.MaxInt64, for a, b >= 0.
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
 
 // Demand computes the processor demand function h(t) of the task set: the
 // total capacity of all jobs with both release and absolute deadline inside
@@ -9,14 +37,17 @@ import "container/heap"
 //
 //	h(t) = sum over tasks with D_i <= t of (1 + floor((t - D_i)/P_i)) * C_i
 //
-// Demand(tasks, t) is nondecreasing in t and Demand(tasks, 0) == 0.
+// Demand(tasks, t) is nondecreasing in t and Demand(tasks, 0) == 0. The sum
+// saturates at math.MaxInt64 instead of wrapping, so a returned h is always
+// a lower bound on the true demand.
 func Demand(tasks []Task, t int64) int64 {
 	var h int64
 	for _, task := range tasks {
 		if task.D > t {
 			continue
 		}
-		h += (1 + (t-task.D)/task.P) * task.C
+		jobs := addSat(1, (t-task.D)/task.P)
+		h = addSat(h, mulSat(jobs, task.C))
 	}
 	return h
 }
@@ -34,7 +65,9 @@ const BusyPeriodLimit = 1 << 20
 //
 // It is the interval during which the link is continuously non-idle when
 // every task releases a job at time 0. If the iteration does not converge
-// within BusyPeriodLimit rounds (only possible when U > 1), ok is false.
+// within BusyPeriodLimit rounds (only possible when U > 1), or the
+// workload sum overflows int64 (clamped, never wrapped), ok is false and
+// the caller must treat the analysis as inconclusive.
 //
 // Per Stankovic et al. (the paper's reference [6]), any EDF deadline miss
 // under the synchronous pattern occurs within this interval, so the demand
@@ -47,7 +80,12 @@ func BusyPeriod(tasks []Task) (length int64, ok bool) {
 	for iter := 0; iter < BusyPeriodLimit; iter++ {
 		var next int64
 		for _, t := range tasks {
-			next += ceilDiv(l, t.P) * t.C
+			next = addSat(next, mulSat(ceilDiv(l, t.P), t.C))
+		}
+		if next == math.MaxInt64 {
+			// Saturated: the true fixed point (if any) is beyond what the
+			// demand sweep can examine without wrapping.
+			return 0, false
 		}
 		if next == l {
 			return l, true
@@ -57,31 +95,55 @@ func BusyPeriod(tasks []Task) (length int64, ok bool) {
 	return 0, false
 }
 
-// ceilDiv returns ceil(a/b) for a >= 0, b > 0.
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0, without intermediate
+// overflow (the naive (a+b-1)/b wraps when a+b exceeds int64).
 func ceilDiv(a, b int64) int64 {
-	return (a + b - 1) / b
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
 }
 
-// deadlineHeap iterates the absolute-deadline checkpoints t = m*P_i + D_i
-// (Eq. 18.5) in increasing order, merging the per-task arithmetic
-// progressions without materializing them.
+// deadlineHeap merges the per-task arithmetic progressions of absolute
+// deadlines t = m*P_i + D_i (Eq. 18.5) in increasing order without
+// materializing them. It is a hand-rolled binary min-heap rather than
+// container/heap: the interface-based API boxes every popped cursor into
+// an interface value, which costs one allocation per checkpoint — fatal
+// for the admission sweep's 0 allocs/op budget.
 type deadlineHeap []deadlineCursor
 
 type deadlineCursor struct {
 	next   int64 // next checkpoint value for this task
 	period int64
+	c      int64 // task capacity, added to the running demand per instance
 }
 
-func (h deadlineHeap) Len() int            { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
-func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x interface{}) { *h = append(*h, x.(deadlineCursor)) }
-func (h *deadlineHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+// initHeap establishes the heap invariant over an arbitrary slice.
+func (h deadlineHeap) initHeap() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// down restores the invariant after h[i] grew.
+func (h deadlineHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].next < h[l].next {
+			m = r
+		}
+		if h[i].next <= h[m].next {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Scratch holds reusable buffers for repeated feasibility testing. A
@@ -98,11 +160,21 @@ type Scratch struct {
 // increases, so they are the only instants the demand criterion must be
 // evaluated at.
 func Checkpoints(tasks []Task, bound int64, fn func(t int64) bool) {
-	checkpoints(tasks, bound, fn, nil)
+	demandCheckpoints(tasks, bound, nil, func(t, _ int64) bool { return fn(t) })
 }
 
-// checkpoints is Checkpoints with an optional caller-owned heap buffer.
-func checkpoints(tasks []Task, bound int64, fn func(t int64) bool, s *Scratch) {
+// demandCheckpoints enumerates the distinct checkpoints t <= bound in
+// strictly increasing order and calls fn(t, h) with h == Demand(tasks, t),
+// maintained incrementally: every deadline instance popped off the merged
+// progressions adds its task's capacity to the running sum exactly once.
+// This turns the full feasibility sweep from O(m*n) (m checkpoints, each
+// recomputing the n-task demand sum) into O(m log n), which is the
+// difference between milliseconds and seconds on the admission
+// controller's verify-bound links (n ≈ m ≈ thousands).
+//
+// Iteration stops early when fn returns false. s may be nil; a non-nil
+// Scratch makes repeated sweeps allocation-free.
+func demandCheckpoints(tasks []Task, bound int64, s *Scratch, fn func(t, h int64) bool) {
 	var h deadlineHeap
 	if s != nil {
 		h = s.heap[:0]
@@ -111,33 +183,34 @@ func checkpoints(tasks []Task, bound int64, fn func(t int64) bool, s *Scratch) {
 	}
 	for _, t := range tasks {
 		if t.D <= bound {
-			h = append(h, deadlineCursor{next: t.D, period: t.P})
+			h = append(h, deadlineCursor{next: t.D, period: t.P, c: t.C})
 		}
 	}
 	if s != nil {
 		s.heap = h // retain the (possibly grown) buffer for reuse
 	}
-	heap.Init(&h)
-	last := int64(-1)
-	for h.Len() > 0 {
-		cur := h[0]
-		t := cur.next
+	h.initHeap()
+	var demand int64
+	for len(h) > 0 {
+		t := h[0].next
 		if t > bound {
-			heap.Pop(&h)
-			continue
+			return // min exceeds bound, so every cursor does
 		}
-		next := t + cur.period
-		if next <= bound {
-			h[0].next = next
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
+		// Consume every coincident instance at t before evaluating: h(t)
+		// includes all jobs whose deadline is exactly t.
+		for len(h) > 0 && h[0].next == t {
+			demand = addSat(demand, h[0].c)
+			if nxt := addSat(t, h[0].period); nxt <= bound {
+				h[0].next = nxt
+				h.down(0)
+			} else {
+				n := len(h) - 1
+				h[0] = h[n]
+				h = h[:n]
+				h.down(0)
+			}
 		}
-		if t == last {
-			continue // deduplicate coincident deadlines
-		}
-		last = t
-		if !fn(t) {
+		if !fn(t, demand) {
 			return
 		}
 	}

@@ -3,6 +3,7 @@ package edf
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Verdict classifies the outcome of a feasibility test.
@@ -48,6 +49,7 @@ type Result struct {
 	BusyPeriod   int64   // synchronous busy period, 0 when not computed
 	ViolationAt  int64   // first t with h(t) > t, when Verdict == InfeasibleDemand
 	DemandAt     int64   // h(ViolationAt)
+	MinSlack     int64   // min over evaluated checkpoints of t - h(t); math.MaxInt64 when none was evaluated
 	Checked      int     // number of checkpoints evaluated
 	ShortCircuit bool    // true when the Liu & Layland D==P shortcut applied
 }
@@ -115,10 +117,10 @@ func Test(tasks []Task, opts Options) Result {
 // repeated testing (one Scratch per verification worker); nil behaves
 // like Test. Results are identical either way.
 func TestScratch(tasks []Task, opts Options, scratch *Scratch) Result {
-	res := Result{Verdict: Feasible}
+	res := Result{Verdict: Feasible, MinSlack: math.MaxInt64}
 	if !opts.SkipValidation {
 		if err := ValidateTasks(tasks); err != nil {
-			return Result{Verdict: InvalidTask, Err: err}
+			return Result{Verdict: InvalidTask, Err: err, MinSlack: math.MaxInt64}
 		}
 	}
 	if len(tasks) == 0 {
@@ -149,7 +151,7 @@ func TestScratch(tasks []Task, opts Options, scratch *Scratch) Result {
 	// synchronous busy period, evaluated only at absolute deadlines.
 	bp, ok := BusyPeriod(tasks)
 	if !ok {
-		return Result{Verdict: Inconclusive, Err: ErrBusyPeriodDiverged, Utilization: res.Utilization}
+		return Result{Verdict: Inconclusive, Err: ErrBusyPeriodDiverged, Utilization: res.Utilization, MinSlack: math.MaxInt64}
 	}
 	res.BusyPeriod = bp
 
@@ -158,26 +160,33 @@ func TestScratch(tasks []Task, opts Options, scratch *Scratch) Result {
 		maxChecks = DefaultMaxCheckpoints
 	}
 	exceeded := false
-	checkpoints(tasks, bp, func(t int64) bool {
+	// The sweep maintains h(t) incrementally across checkpoints (each
+	// deadline instance contributes its C once), so the whole test is
+	// O(m log n) instead of O(m*n) calls into Demand.
+	demandCheckpoints(tasks, bp, scratch, func(t, h int64) bool {
 		if res.Checked >= maxChecks {
 			exceeded = true
 			return false
 		}
 		res.Checked++
-		if h := Demand(tasks, t); h > t {
+		if h > t {
 			res.Verdict = InfeasibleDemand
 			res.ViolationAt = t
 			res.DemandAt = h
 			return false
 		}
+		if slack := t - h; slack < res.MinSlack {
+			res.MinSlack = slack
+		}
 		return true
-	}, scratch)
+	})
 	if exceeded {
 		return Result{
 			Verdict:     Inconclusive,
 			Err:         fmt.Errorf("%w (limit %d, busy period %d)", ErrTooManyCheckpoints, maxChecks, bp),
 			Utilization: res.Utilization,
 			BusyPeriod:  bp,
+			MinSlack:    math.MaxInt64,
 			Checked:     res.Checked,
 		}
 	}

@@ -81,11 +81,11 @@ func ValidateTasks(tasks []Task) error {
 
 // TotalCapacity returns the sum of all task capacities, i.e. the length of
 // the initial synchronous workload burst L(0) used to seed the busy-period
-// iteration.
+// iteration. The sum saturates at math.MaxInt64 rather than wrapping.
 func TotalCapacity(tasks []Task) int64 {
 	var sum int64
 	for _, t := range tasks {
-		sum += t.C
+		sum = addSat(sum, t.C)
 	}
 	return sum
 }

@@ -134,11 +134,11 @@ func pairFrom(sources, dests []uint16) (src, dst uint16, ok bool) {
 // accounting during synthesis.
 type releaseHeap []int64
 
-func (h releaseHeap) Len() int            { return len(h) }
-func (h releaseHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x any)         { *h = append(*h, x.(int64)) }
-func (h *releaseHeap) Pop() any           { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h releaseHeap) Len() int           { return len(h) }
+func (h releaseHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *releaseHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // synthesize expands one generator (the gen'th, numbering events from
 // seq) into establish/release events and channel definitions appended to

@@ -8,14 +8,16 @@ import (
 // but unloaded — network: the layout (nodes or topology section), the
 // partitioning scheme, discipline, shaping and propagation, with the
 // admission verification pool sized by verifyWorkers (0 = GOMAXPROCS).
-// No channel is established and no timeline event plays; this is how
-// cmd/rtetherd hosts a scenario-described topology and lets clients
-// drive the admission plane over the wire instead.
-func (s *Scenario) BuildNetwork(verifyWorkers int) (*rtether.Network, error) {
+// extra options apply on top of the document's (cmd/rtetherd passes
+// rtether.WithFullRecheck for -fullrecheck). No channel is established
+// and no timeline event plays; this is how cmd/rtetherd hosts a
+// scenario-described topology and lets clients drive the admission
+// plane over the wire instead.
+func (s *Scenario) BuildNetwork(verifyWorkers int, extra ...rtether.Option) (*rtether.Network, error) {
 	if _, err := s.compile(); err != nil {
 		return nil, err
 	}
-	return s.build(verifyWorkers)
+	return s.build(verifyWorkers, extra...)
 }
 
 // WorkItem is one flattened admission operation of a scenario: an

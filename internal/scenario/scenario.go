@@ -321,8 +321,9 @@ func (s *Scenario) failurePolicy() (rtether.FailurePolicy, error) {
 
 // build constructs the configured (but still unloaded) network for this
 // scenario. verifyWorkers sizes the admission verification pool (0 =
-// GOMAXPROCS); it never changes a decision.
-func (s *Scenario) build(verifyWorkers int) (*rtether.Network, error) {
+// GOMAXPROCS); it never changes a decision. extra options apply after
+// the document's own.
+func (s *Scenario) build(verifyWorkers int, extra ...rtether.Option) (*rtether.Network, error) {
 	dps, err := s.dps()
 	if err != nil {
 		return nil, err
@@ -353,6 +354,7 @@ func (s *Scenario) build(verifyWorkers int) (*rtether.Network, error) {
 		}
 		opts = append(opts, rtether.WithTopology(top))
 	}
+	opts = append(opts, extra...)
 	net := rtether.New(opts...)
 	if s.Topology == nil {
 		for _, n := range s.Nodes {

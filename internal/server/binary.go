@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/rtether"
+	"repro/rtether/wire"
+)
+
+// ServeBinary accepts connections on l and serves the binary framing of
+// rtether/wire (the latency-critical subset: establish, establishAll,
+// multicast, release, reconfigure, stats) until the listener closes or
+// the server is Closed. Each connection carries pipelined frames: every
+// request frame is dispatched in its own goroutine — so concurrent
+// frames from one connection coalesce into merged admission flights
+// exactly like concurrent HTTP requests — and replies are written back
+// whenever their verdict lands, matched by request ID, not in request
+// order.
+//
+// Verdicts feed the same watch hub, log and counters as the HTTP
+// handlers; the two listeners are one service on one network.
+func (s *Server) ServeBinary(l net.Listener) error {
+	s.binMu.Lock()
+	if s.binClosed {
+		s.binMu.Unlock()
+		l.Close()
+		return rtether.ErrClosed
+	}
+	s.binListeners = append(s.binListeners, l)
+	s.binMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.binMu.Lock()
+		if s.binClosed {
+			s.binMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if s.binConns == nil {
+			s.binConns = make(map[net.Conn]struct{})
+		}
+		s.binConns[conn] = struct{}{}
+		s.binMu.Unlock()
+		go s.serveBinaryConn(conn)
+	}
+}
+
+// closeBinary tears down every binary listener and connection. Called
+// from Close.
+func (s *Server) closeBinary() {
+	s.binMu.Lock()
+	s.binClosed = true
+	ls, conns := s.binListeners, s.binConns
+	s.binListeners, s.binConns = nil, nil
+	s.binMu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for c := range conns {
+		c.Close()
+	}
+}
+
+// dropBinaryConn unregisters a finished connection.
+func (s *Server) dropBinaryConn(c net.Conn) {
+	s.binMu.Lock()
+	delete(s.binConns, c)
+	s.binMu.Unlock()
+}
+
+// binConn serializes reply writes for one connection: request handlers
+// run concurrently, so the write side is a mutex around one reused
+// encode buffer.
+type binConn struct {
+	s    *Server
+	conn net.Conn
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// send encodes one reply frame under the write lock and ships it. A
+// write failure kills the connection; the reader loop notices and winds
+// the connection down.
+func (bc *binConn) send(enc func(dst []byte) []byte) {
+	bc.wmu.Lock()
+	bc.wbuf = enc(bc.wbuf[:0])
+	_, err := bc.conn.Write(bc.wbuf)
+	bc.wmu.Unlock()
+	if err != nil {
+		bc.conn.Close()
+	}
+}
+
+// sendErr ships an error envelope reply.
+func (bc *binConn) sendErr(reqID uint32, we *wire.Error) {
+	bc.send(func(dst []byte) []byte { return wire.AppendError(dst, reqID, we) })
+}
+
+// serveBinaryConn runs one connection's read loop. The per-connection
+// context cancels when the connection goes away, so establishes queued
+// in the coalescer for a vanished peer are released like abandoned HTTP
+// requests.
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		conn.Close()
+		s.dropBinaryConn(conn)
+		wg.Wait()
+	}()
+	bc := &binConn{s: s, conn: conn}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		f, nbuf, err := wire.ReadFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			// Framing is stateful: after a bad or truncated frame the byte
+			// stream cannot be trusted, so the connection ends here. (A
+			// clean peer close lands here as io.EOF.)
+			return
+		}
+		// The payload aliases the read buffer, which the next ReadFrame
+		// reuses — copy before handing it to a concurrent handler.
+		payload := append([]byte(nil), f.Payload...)
+		wg.Add(1)
+		go func(t wire.MsgType, reqID uint32, p []byte) {
+			defer wg.Done()
+			bc.dispatch(ctx, t, reqID, p)
+		}(f.Type, f.ReqID, payload)
+	}
+}
+
+// badFrame builds the bad_request envelope for an undecodable payload.
+func badFrame(t wire.MsgType, err error) *wire.Error {
+	return &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: decoding %#x frame: %v", uint8(t), err)}
+}
+
+// dispatch decodes and executes one request frame, writing exactly one
+// reply frame with the same request ID.
+func (bc *binConn) dispatch(ctx context.Context, t wire.MsgType, reqID uint32, payload []byte) {
+	s := bc.s
+	switch t {
+	case wire.MsgEstablish:
+		spec, err := wire.DecodeEstablish(payload)
+		if err != nil {
+			bc.sendErr(reqID, badFrame(t, err))
+			return
+		}
+		ch, err := s.coal.establish(ctx, spec.ChannelSpec())
+		if err != nil {
+			bc.sendErr(reqID, errorBody(err))
+			return
+		}
+		rep := channelReply(ch)
+		bc.send(func(dst []byte) []byte { return wire.AppendChannelReply(dst, reqID, rep) })
+
+	case wire.MsgMulticast:
+		spec, err := wire.DecodeMulticast(payload)
+		if err != nil {
+			bc.sendErr(reqID, badFrame(t, err))
+			return
+		}
+		ch, err := s.coal.establishMulticast(ctx, spec.MulticastSpec())
+		if err != nil {
+			bc.sendErr(reqID, errorBody(err))
+			return
+		}
+		rep := channelReply(ch)
+		bc.send(func(dst []byte) []byte { return wire.AppendChannelReply(dst, reqID, rep) })
+
+	case wire.MsgEstablishAll:
+		wspecs, err := wire.DecodeEstablishAll(payload)
+		if err != nil {
+			bc.sendErr(reqID, badFrame(t, err))
+			return
+		}
+		specs := make([]rtether.ChannelSpec, len(wspecs))
+		for i, sp := range wspecs {
+			specs[i] = sp.ChannelSpec()
+		}
+		rep, we := s.doEstablishAll(specs)
+		if we != nil {
+			bc.sendErr(reqID, we)
+			return
+		}
+		bc.send(func(dst []byte) []byte { return wire.AppendChannelList(dst, reqID, rep) })
+
+	case wire.MsgRelease:
+		id, err := wire.DecodeRelease(payload)
+		if err != nil {
+			bc.sendErr(reqID, badFrame(t, err))
+			return
+		}
+		if we := s.doRelease(id); we != nil {
+			bc.sendErr(reqID, we)
+			return
+		}
+		bc.send(func(dst []byte) []byte { return wire.AppendReleased(dst, reqID) })
+
+	case wire.MsgReconfigure:
+		req, err := wire.DecodeReconfigure(payload)
+		if err != nil {
+			bc.sendErr(reqID, badFrame(t, err))
+			return
+		}
+		rep, we := s.doReconfigure(ctx, req)
+		if we != nil {
+			bc.sendErr(reqID, we)
+			return
+		}
+		bc.send(func(dst []byte) []byte { return wire.AppendChannelReply(dst, reqID, rep) })
+
+	case wire.MsgStats:
+		rep := s.statsReply()
+		bc.send(func(dst []byte) []byte { return wire.AppendStatsReply(dst, reqID, rep) })
+
+	default:
+		bc.sendErr(reqID, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: unknown message type %#x", uint8(t))})
+	}
+}

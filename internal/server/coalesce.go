@@ -71,9 +71,9 @@ func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note
 		maxBatch:    maxBatch,
 		note:        note,
 		noteRelease: noteRelease,
-		reqs:     make(chan *pending, maxBatch),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
+		reqs:        make(chan *pending, maxBatch),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	go c.run()
 	return c

@@ -14,10 +14,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -63,6 +65,13 @@ type Server struct {
 	log       *log.Logger
 	start     time.Time
 	closeOnce sync.Once
+
+	// Binary transport state (binary.go): the listeners ServeBinary is
+	// draining and the live connections, torn down on Close.
+	binMu        sync.Mutex
+	binListeners []net.Listener
+	binConns     map[net.Conn]struct{}
+	binClosed    bool
 }
 
 // New builds a Server over the given network and starts its coalescing
@@ -118,6 +127,7 @@ func (s *Server) Close() {
 		s.coal.close()
 		s.topics.Close()
 		s.hub.close()
+		s.closeBinary()
 		s.logf("closed: %d establishes in %d flights (max merged %d)",
 			s.coal.establishes.Load(), s.coal.flights.Load(), s.coal.maxMerged.Load())
 	})
@@ -375,6 +385,18 @@ func (s *Server) handleEstablishAll(w http.ResponseWriter, r *http.Request) {
 	for i, sp := range req.Specs {
 		specs[i] = sp.ChannelSpec()
 	}
+	rep, we := s.doEstablishAll(specs)
+	if we != nil {
+		writeWireErr(w, we)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// doEstablishAll decides an atomic batch and publishes the verdicts —
+// the transport-independent core shared by the HTTP handler and the
+// binary dispatcher.
+func (s *Server) doEstablishAll(specs []rtether.ChannelSpec) (wire.EstablishAllReply, *wire.Error) {
 	chs, err := s.net.EstablishAll(specs)
 	if err != nil {
 		// Every rejection reaches the watch feed, whatever its class:
@@ -389,16 +411,16 @@ func (s *Server) handleEstablishAll(w http.ResponseWriter, r *http.Request) {
 			rejected = ae.Spec
 		}
 		ws := wire.FromSpec(rejected)
-		s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: errorBody(err)})
-		writeErr(w, err)
-		return
+		we := errorBody(err)
+		s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: we})
+		return wire.EstablishAllReply{}, we
 	}
 	rep := wire.EstablishAllReply{Channels: make([]wire.ChannelReply, len(chs))}
 	for i, ch := range chs {
 		rep.Channels[i] = channelReply(ch)
 		s.noteVerdict(specs[i], nil, ch, nil)
 	}
-	writeJSON(w, rep)
+	return rep, nil
 }
 
 // handleRelease frees one channel by ID.
@@ -407,17 +429,25 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	ch := s.net.Lookup(rtether.ChannelID(req.ID))
-	if ch == nil {
-		writeWireErr(w, unknownChannel(req.ID))
+	if we := s.doRelease(req.ID); we != nil {
+		writeWireErr(w, we)
 		return
+	}
+	writeJSON(w, wire.ReleaseReply{})
+}
+
+// doRelease frees one channel by ID; nil means success. Shared by the
+// HTTP handler and the binary dispatcher.
+func (s *Server) doRelease(id uint16) *wire.Error {
+	ch := s.net.Lookup(rtether.ChannelID(id))
+	if ch == nil {
+		return unknownChannel(id)
 	}
 	if err := ch.Release(); err != nil {
-		writeErr(w, err)
-		return
+		return errorBody(err)
 	}
-	s.noteRelease(rtether.ChannelID(req.ID))
-	writeJSON(w, wire.ReleaseReply{})
+	s.noteRelease(rtether.ChannelID(id))
+	return nil
 }
 
 // handleReconfigure replaces a channel's {C, P, D}: release the old
@@ -432,10 +462,20 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	rep, we := s.doReconfigure(r.Context(), req)
+	if we != nil {
+		writeWireErr(w, we)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// doReconfigure runs the release-then-re-establish sequence. Shared by
+// the HTTP handler and the binary dispatcher.
+func (s *Server) doReconfigure(ctx context.Context, req wire.ReconfigureRequest) (wire.ChannelReply, *wire.Error) {
 	ch := s.net.Lookup(rtether.ChannelID(req.ID))
 	if ch == nil {
-		writeWireErr(w, unknownChannel(req.ID))
-		return
+		return wire.ChannelReply{}, unknownChannel(req.ID)
 	}
 	spec := ch.Spec()
 	if req.C != 0 {
@@ -448,16 +488,14 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 		spec.D = req.D
 	}
 	if err := ch.Release(); err != nil {
-		writeErr(w, err)
-		return
+		return wire.ChannelReply{}, errorBody(err)
 	}
 	s.noteRelease(rtether.ChannelID(req.ID))
-	nch, err := s.coal.establish(r.Context(), spec)
+	nch, err := s.coal.establish(ctx, spec)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return wire.ChannelReply{}, errorBody(err)
 	}
-	writeJSON(w, channelReply(nch))
+	return channelReply(nch), nil
 }
 
 // unknownChannel builds the 404 envelope for a channel ID.
@@ -467,7 +505,13 @@ func unknownChannel(id uint16) *wire.Error {
 
 // handleStats reports admission and daemon counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, wire.StatsReply{
+	writeJSON(w, s.statsReply())
+}
+
+// statsReply snapshots the admission and daemon counters. Shared by the
+// HTTP handler and the binary dispatcher.
+func (s *Server) statsReply() wire.StatsReply {
+	return wire.StatsReply{
 		Admission: s.net.AdmissionStats(),
 		Server: wire.ServerStats{
 			Establishes: s.coal.establishes.Load(),
@@ -476,7 +520,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Watchers:    int64(s.hub.count()),
 			Channels:    int64(len(s.net.Channels())),
 		},
-	})
+	}
 }
 
 // handleChannels lists established channels.

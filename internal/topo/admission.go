@@ -39,6 +39,10 @@ type Config struct {
 	// and as a belt-and-braces mode, mirroring the star controller's
 	// core.Config.FullRecheck.
 	FullRecheck bool
+	// NoSweepCache disables the kernel's generation-keyed feasibility-
+	// verdict cache, mirroring core.Config.NoSweepCache. Decisions are
+	// identical either way.
+	NoSweepCache bool
 	// VerifyWorkers bounds the verification worker pool used for large
 	// changed-edge sweeps (batch admissions); 0 means GOMAXPROCS, 1
 	// forces the sequential sweep. Decisions and diagnostics are
@@ -74,9 +78,10 @@ func NewController(t *Topology, cfg Config) *Controller {
 	cfg.Feasibility.SkipValidation = true
 	c := &Controller{topo: t, cfg: cfg}
 	c.eng = admit.NewEngine(topoOps, admit.Config{
-		Feasibility: cfg.Feasibility,
-		FullRecheck: cfg.FullRecheck,
-		Workers:     cfg.VerifyWorkers,
+		Feasibility:  cfg.Feasibility,
+		FullRecheck:  cfg.FullRecheck,
+		NoSweepCache: cfg.NoSweepCache,
+		Workers:      cfg.VerifyWorkers,
 	})
 	c.scheme = admit.Scheme[Edge, *HChannel, []int64]{
 		Partition: func(k *admit.State[Edge, *HChannel, []int64]) map[core.ChannelID][]int64 {
@@ -118,6 +123,11 @@ func (c *Controller) LinksChecked() int { return c.eng.LinksChecked() }
 // controller has run — one per admission decision (a batch counts once)
 // plus one per release (see admit.Engine.Repartitions).
 func (c *Controller) Repartitions() int { return c.eng.Repartitions() }
+
+// SweepSkips returns how many of the LinksChecked feasibility answers
+// came from the kernel's generation-keyed verdict cache instead of a
+// fresh EDF analysis (see admit.Engine.SweepSkips).
+func (c *Controller) SweepSkips() int { return c.eng.SweepSkips() }
 
 // validate routes a spec and checks the route-generalized deadline
 // condition, returning the route.

@@ -107,6 +107,85 @@ func TestFabricDecisionEquivalence(t *testing.T) {
 	}
 }
 
+// TestFabricSweepCacheEquivalence replays a churn workload through the
+// cached (default), cache-disabled and FullRecheck fabric controllers:
+// identical verdicts, diagnostics and committed states, with the cache
+// actually hitting. Releases that trigger kept-back partitions and
+// immediate re-establishes keep the same trunks' generations churning.
+func TestFabricSweepCacheEquivalence(t *testing.T) {
+	for _, scheme := range []HDPS{HSDPS{}, HADPS{}} {
+		t.Run(scheme.Name(), func(t *testing.T) {
+			cached := NewController(equivFabric(), Config{DPS: scheme})
+			uncached := NewController(equivFabric(), Config{DPS: scheme, NoSweepCache: true})
+			full := NewController(equivFabric(), Config{DPS: scheme, FullRecheck: true})
+			ctrls := []*Controller{cached, uncached, full}
+			names := []string{"cached", "uncached", "fullrecheck"}
+
+			var accepted []core.ChannelID
+			for i, spec := range equivRequests(300) {
+				errs := make([]error, len(ctrls))
+				ids := make([]core.ChannelID, len(ctrls))
+				for j, c := range ctrls {
+					ch, err := c.Request(spec)
+					errs[j] = err
+					if err == nil {
+						ids[j] = ch.ID
+					}
+				}
+				for j := 1; j < len(ctrls); j++ {
+					if (errs[0] == nil) != (errs[j] == nil) {
+						t.Fatalf("request %d: %s err=%v, %s err=%v", i, names[0], errs[0], names[j], errs[j])
+					}
+					if errs[0] != nil && errs[0].Error() != errs[j].Error() {
+						t.Fatalf("request %d: diagnostics diverge:\n  %s: %v\n  %s: %v",
+							i, names[0], errs[0], names[j], errs[j])
+					}
+					if errs[0] == nil && ids[0] != ids[j] {
+						t.Fatalf("request %d: IDs diverge: %d vs %d", i, ids[0], ids[j])
+					}
+				}
+				if errs[0] == nil {
+					accepted = append(accepted, ids[0])
+				}
+				if i%4 == 1 && len(accepted) > 2 {
+					victim := accepted[len(accepted)/2]
+					accepted = append(accepted[:len(accepted)/2], accepted[len(accepted)/2+1:]...)
+					for j, c := range ctrls {
+						if err := c.Release(victim); err != nil {
+							t.Fatalf("request %d: %s release: %v", i, names[j], err)
+						}
+					}
+				}
+			}
+
+			for j := 1; j < len(ctrls); j++ {
+				if got, want := fabricStateKey(ctrls[j].State()), fabricStateKey(ctrls[0].State()); got != want {
+					t.Fatalf("states diverge (%s vs %s):\n%s\nvs\n%s", names[j], names[0], got, want)
+				}
+				if ctrls[j].Accepted() != ctrls[0].Accepted() {
+					t.Fatalf("accept counts diverge: %s %d vs %s %d",
+						names[j], ctrls[j].Accepted(), names[0], ctrls[0].Accepted())
+				}
+			}
+			if cached.LinksChecked() != uncached.LinksChecked() {
+				t.Fatalf("LinksChecked diverge: cached %d, uncached %d",
+					cached.LinksChecked(), uncached.LinksChecked())
+			}
+			// H-SDPS is static: existing channels are never repartitioned,
+			// so a sweep never contains a content-unchanged link and zero
+			// cache hits is the correct (and desirable) outcome. Only the
+			// adaptive scheme produces touched-but-unmoved links to skip.
+			if _, adaptive := scheme.(HADPS); adaptive && cached.SweepSkips() == 0 {
+				t.Error("verdict cache never hit on the adaptive fabric workload")
+			}
+			if uncached.SweepSkips() != 0 || full.SweepSkips() != 0 {
+				t.Errorf("cache-disabled engines reported skips: uncached=%d full=%d",
+					uncached.SweepSkips(), full.SweepSkips())
+			}
+		})
+	}
+}
+
 // TestFabricRequestAllMatchesSequential verifies the fabric batch path
 // commits exactly the sequential state for a feasible batch.
 func TestFabricRequestAllMatchesSequential(t *testing.T) {

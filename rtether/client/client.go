@@ -48,6 +48,11 @@ type Client struct {
 	hc        *http.Client
 	retries   int
 	retryBase time.Duration
+
+	// transport and bin select the binary fast path for the
+	// latency-critical calls (binary.go); zero values mean HTTP/JSON.
+	transport Transport
+	bin       *binPool
 }
 
 // Option customizes a Client.
@@ -83,8 +88,13 @@ func New(addr string, opts ...Option) *Client {
 	return c
 }
 
-// CloseIdleConnections releases pooled connections.
-func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }
+// CloseIdleConnections releases pooled connections on both transports.
+func (c *Client) CloseIdleConnections() {
+	c.hc.CloseIdleConnections()
+	if c.bin != nil {
+		c.bin.closeIdle()
+	}
+}
 
 // goError maps a wire error envelope to the typed in-process error.
 func goError(we *wire.Error) error {
@@ -156,6 +166,9 @@ func channelOf(rep wire.ChannelReply) Channel {
 // admission pass; the verdict is this spec's own either way. A
 // feasibility rejection is a *rtether.AdmissionError.
 func (c *Client) Establish(ctx context.Context, spec rtether.ChannelSpec) (Channel, error) {
+	if c.transport == TransportBinary {
+		return c.binEstablish(ctx, spec)
+	}
 	var rep wire.ChannelReply
 	err := c.call(ctx, http.MethodPost, "/v1/establish", wire.EstablishRequest{Spec: wire.FromSpec(spec)}, &rep)
 	if err != nil {
@@ -167,6 +180,9 @@ func (c *Client) Establish(ctx context.Context, spec rtether.ChannelSpec) (Chann
 // EstablishAll requests an atomic all-or-nothing batch: either every
 // spec is admitted (channels returned in spec order) or none is.
 func (c *Client) EstablishAll(ctx context.Context, specs []rtether.ChannelSpec) ([]Channel, error) {
+	if c.transport == TransportBinary {
+		return c.binEstablishAll(ctx, specs)
+	}
 	req := wire.EstablishAllRequest{Specs: make([]wire.Spec, len(specs))}
 	for i, s := range specs {
 		req.Specs[i] = wire.FromSpec(s)
@@ -184,6 +200,9 @@ func (c *Client) EstablishAll(ctx context.Context, specs []rtether.ChannelSpec) 
 
 // Release frees an established channel.
 func (c *Client) Release(ctx context.Context, id rtether.ChannelID) error {
+	if c.transport == TransportBinary {
+		return c.binRelease(ctx, id)
+	}
 	return c.call(ctx, http.MethodPost, "/v1/release", wire.ReleaseRequest{ID: uint16(id)}, nil)
 }
 
@@ -192,6 +211,9 @@ func (c *Client) Release(ctx context.Context, id rtether.ChannelID) error {
 // not one atomic decision. A rejected (or raced; see
 // wire.ReconfigureRequest) reconfiguration leaves the channel released.
 func (c *Client) Reconfigure(ctx context.Context, id rtether.ChannelID, overrideC, overrideP, overrideD int64) (Channel, error) {
+	if c.transport == TransportBinary {
+		return c.binReconfigure(ctx, wire.ReconfigureRequest{ID: uint16(id), C: overrideC, P: overrideP, D: overrideD})
+	}
 	var rep wire.ChannelReply
 	err := c.call(ctx, http.MethodPost, "/v1/reconfigure",
 		wire.ReconfigureRequest{ID: uint16(id), C: overrideC, P: overrideP, D: overrideD}, &rep)
@@ -227,6 +249,9 @@ func (c *Client) SetSwitchUp(ctx context.Context, s rtether.SwitchID, up bool) (
 // idempotent reads it retries transient transport and 5xx failures with
 // jittered exponential backoff (see WithRetry).
 func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
+	if c.transport == TransportBinary {
+		return c.binStats(ctx)
+	}
 	var rep wire.StatsReply
 	err := c.getRetry(ctx, "/v1/stats", &rep)
 	return rep, err

@@ -28,6 +28,9 @@ var (
 // feasibility rejection is a *rtether.AdmissionError whose Branch/Sink
 // name the failing branch.
 func (c *Client) EstablishMulticast(ctx context.Context, spec rtether.MulticastSpec) (Channel, error) {
+	if c.transport == TransportBinary {
+		return c.binEstablishMulticast(ctx, spec)
+	}
 	var rep wire.ChannelReply
 	err := c.call(ctx, http.MethodPost, "/v1/multicast",
 		wire.EstablishMulticastRequest{Spec: wire.FromMulticastSpec(spec)}, &rep)
