@@ -23,17 +23,35 @@
 //	go test -bench A . | tee bench.txt && rtexp -parsebench bench.txt > BENCH_A.json
 //	rtexp -parsebench bench.txt BENCH_rtload.json > BENCH_all.json
 //	rtexp -parsebench bench.txt -baseline BENCH_prev.json -threshold 15 > BENCH_new.json
+//
+// -sweep makes rtexp an experiment platform: the argument is a grid
+// document (docs/experiments.md) declaring axes over scheme, scenario,
+// churn rate, verification workers, batching, transport and failure
+// policy. rtexp expands the grid into its cartesian product of cells,
+// executes every cell — in-process, or against rtetherd daemons it
+// boots and drains itself — and writes the merged per-cell BENCH
+// document to -out. With -baseline the same regression gate runs over
+// the cells: aligned delta lines on stderr, non-zero exit on any cell
+// slower than -threshold percent.
+//
+//	rtexp -sweep grid.json -out BENCH_sweep.json
+//	rtexp -sweep grid.json -baseline BENCH_sweep_prev.json -threshold 15
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/benchfmt"
 	"repro/internal/exp"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -48,11 +66,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
 		bench     = fs.String("parsebench", "", "parse `go test -bench` text or BENCH JSON from the given file ('-' = stdin) plus any positional files, merge, and emit JSON")
-		baseline  = fs.String("baseline", "", "with -parsebench: prior BENCH artifact to diff ns/op against (regressions beyond -threshold fail the run)")
+		sweepFile = fs.String("sweep", "", "grid document: expand the declared axes, execute every cell, emit the merged BENCH JSON")
+		out       = fs.String("out", "-", "with -sweep: BENCH JSON output file ('-' = stdout)")
+		baseline  = fs.String("baseline", "", "with -parsebench or -sweep: prior BENCH artifact to diff ns/op against (regressions beyond -threshold fail the run)")
 		threshold = fs.Float64("threshold", 15, "with -baseline: max tolerated ns/op slowdown, percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *sweepFile != "" && *bench != "" {
+		fmt.Fprintln(stderr, "rtexp: -sweep and -parsebench are mutually exclusive")
+		return 2
+	}
+
+	if *sweepFile != "" {
+		return runSweep(*sweepFile, *out, *baseline, *threshold, stdout, stderr)
 	}
 
 	if *bench != "" {
@@ -72,25 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if *baseline != "" {
-			prev, err := benchfmt.ParseFile(*baseline)
-			if err != nil {
-				fmt.Fprintf(stderr, "rtexp: baseline: %v\n", err)
-				return 1
-			}
-			regressed := 0
-			for _, d := range benchfmt.Deltas(prev, merged) {
-				verdict := "ok"
-				if d.Pct > *threshold {
-					verdict = "REGRESSED"
-					regressed++
-				}
-				fmt.Fprintf(stderr, "rtexp: delta %-60s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
-					d.Name, d.Baseline, d.Current, d.Pct, verdict)
-			}
-			if regressed > 0 {
-				fmt.Fprintf(stderr, "rtexp: FAILED: %d benchmark(s) regressed more than %.0f%% over %s\n",
-					regressed, *threshold, *baseline)
-				return 1
+			if code := gate(merged, *baseline, *threshold, stderr); code != 0 {
+				return code
 			}
 		}
 		return 0
@@ -133,6 +144,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ran == 0 {
 		fmt.Fprintln(stderr, "rtexp: nothing selected")
 		return 2
+	}
+	return 0
+}
+
+// runSweep executes a grid document end to end: expand, run every
+// cell, write the merged BENCH document, and optionally gate it against
+// a stored baseline.
+func runSweep(gridPath, out, baseline string, threshold float64, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	g, err := sweep.LoadGridFile(gridPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtexp: sweep: %v\n", err)
+		return 1
+	}
+	rep, err := g.Run(ctx, sweep.Options{Dir: filepath.Dir(gridPath), Progress: stderr})
+	if err != nil {
+		fmt.Fprintf(stderr, "rtexp: sweep: %v\n", err)
+		return 1
+	}
+	w := stdout
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtexp: sweep: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(stderr, "rtexp: sweep: %v\n", err)
+		return 1
+	}
+	if baseline != "" {
+		return gate(rep, baseline, threshold, stderr)
+	}
+	return 0
+}
+
+// gate diffs current against the stored baseline artifact and renders
+// the shared delta lines; non-zero means at least one benchmark slowed
+// down beyond the threshold (or the baseline was unreadable).
+func gate(current *benchfmt.Report, baseline string, threshold float64, stderr io.Writer) int {
+	prev, err := benchfmt.ParseFile(baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtexp: baseline: %v\n", err)
+		return 1
+	}
+	regressed := benchfmt.FormatDeltas(stderr, benchfmt.Deltas(prev, current), threshold, "rtexp: delta")
+	if regressed > 0 {
+		fmt.Fprintf(stderr, "rtexp: FAILED: %d benchmark(s) regressed more than %.0f%% over %s\n",
+			regressed, threshold, baseline)
+		return 1
 	}
 	return 0
 }

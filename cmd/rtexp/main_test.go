@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -247,5 +248,272 @@ func TestParseBenchBaselineGate(t *testing.T) {
 	// The JSON artifact on stdout is unaffected by the gate.
 	if !strings.Contains(out.String(), `"BenchmarkX"`) {
 		t.Errorf("stdout JSON missing benchmarks:\n%s", out.String())
+	}
+}
+
+// TestBaselineEdgeCases pins the gate's matching and threshold
+// semantics case by case: what gets a delta line, what is skipped, and
+// exactly where the pass/fail boundary sits.
+func TestBaselineEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		baseline  string // baseline BENCH JSON
+		current   string // current BENCH JSON (fed via -parsebench)
+		threshold string
+		wantCode  int
+		wantLines []string // substrings that must appear on stderr
+		skipLines []string // substrings that must NOT appear on stderr
+	}{
+		{
+			name:      "benchmark only in baseline is skipped",
+			baseline:  `{"benchmarks":[{"name":"BenchmarkGone","runs":1,"metrics":{"ns/op":100}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkNew","runs":1,"metrics":{"ns/op":100}}]}`,
+			threshold: "15",
+			wantCode:  0,
+			skipLines: []string{"BenchmarkGone", "REGRESSED"},
+		},
+		{
+			name:      "benchmark only in current is skipped",
+			baseline:  `{"benchmarks":[{"name":"BenchmarkA","runs":1,"metrics":{"ns/op":100}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkA","runs":1,"metrics":{"ns/op":100}},{"name":"BenchmarkFresh","runs":1,"metrics":{"ns/op":9999}}]}`,
+			threshold: "15",
+			wantCode:  0,
+			wantLines: []string{"BenchmarkA"},
+			skipLines: []string{"BenchmarkFresh", "REGRESSED"},
+		},
+		{
+			name: "exactly at threshold passes",
+			// 100 -> 125 is +25.0% sharp; the gate is strict (> threshold).
+			baseline:  `{"benchmarks":[{"name":"BenchmarkEdge","runs":1,"metrics":{"ns/op":100}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkEdge","runs":1,"metrics":{"ns/op":125}}]}`,
+			threshold: "25",
+			wantCode:  0,
+			wantLines: []string{"BenchmarkEdge", "+25.0%", "ok"},
+			skipLines: []string{"REGRESSED"},
+		},
+		{
+			name:      "one past threshold fails",
+			baseline:  `{"benchmarks":[{"name":"BenchmarkEdge","runs":1,"metrics":{"ns/op":100}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkEdge","runs":1,"metrics":{"ns/op":126}}]}`,
+			threshold: "25",
+			wantCode:  1,
+			wantLines: []string{"BenchmarkEdge", "REGRESSED", "FAILED: 1 benchmark(s)"},
+		},
+		{
+			name:      "zero ns/op baseline is skipped",
+			baseline:  `{"benchmarks":[{"name":"BenchmarkZero","runs":1,"metrics":{"ns/op":0}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkZero","runs":1,"metrics":{"ns/op":50}}]}`,
+			threshold: "15",
+			wantCode:  0,
+			skipLines: []string{"BenchmarkZero", "REGRESSED"},
+		},
+		{
+			name:      "zero ns/op current is skipped",
+			baseline:  `{"benchmarks":[{"name":"BenchmarkZero","runs":1,"metrics":{"ns/op":50}}]}`,
+			current:   `{"benchmarks":[{"name":"BenchmarkZero","runs":1,"metrics":{"ns/op":0}}]}`,
+			threshold: "15",
+			wantCode:  0,
+			skipLines: []string{"BenchmarkZero", "REGRESSED"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			basePath := filepath.Join(dir, "prev.json")
+			curPath := filepath.Join(dir, "cur.json")
+			if err := os.WriteFile(basePath, []byte(tc.baseline), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(curPath, []byte(tc.current), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out, errOut strings.Builder
+			code := run([]string{"-parsebench", curPath, "-baseline", basePath, "-threshold", tc.threshold}, &out, &errOut)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; stderr:\n%s", code, tc.wantCode, errOut.String())
+			}
+			for _, want := range tc.wantLines {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+			for _, skip := range tc.skipLines {
+				if strings.Contains(errOut.String(), skip) {
+					t.Errorf("stderr unexpectedly contains %q:\n%s", skip, errOut.String())
+				}
+			}
+		})
+	}
+}
+
+// sweepFixture writes a small scenario plus a grid over it into a temp
+// dir and returns the grid path.
+func sweepFixture(t *testing.T, gridDoc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	scenario := `{
+		"name": "cli star",
+		"dps": "adps",
+		"slots": 400,
+		"seed": 4,
+		"nodes": [1, 2, 3, 4, 5, 6],
+		"churn": [{
+			"name": "mix", "rate": 0.4, "holdMean": 60,
+			"sources": [1, 2, 3], "destinations": [4, 5, 6],
+			"c": 1, "p": 120, "d": 80, "maxConcurrent": 16
+		}]
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "star.json"), []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(gridDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return gridPath
+}
+
+// TestSweepCLIDeterministic drives the whole -sweep pipeline twice and
+// pins the platform contract at the CLI boundary: byte-identical BENCH
+// JSON on stdout for the same grid and seed.
+func TestSweepCLIDeterministic(t *testing.T) {
+	gridPath := sweepFixture(t, `{
+		"name": "cli",
+		"scenario": "star.json",
+		"seed": 11,
+		"axes": {"scheme": ["sdps", "adps"]}
+	}`)
+	var a, b, errOut strings.Builder
+	if code := run([]string{"-sweep", gridPath}, &a, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-sweep", gridPath}, &b, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same grid produced different documents:\n--- a\n%s\n--- b\n%s", a.String(), b.String())
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name string `json:"name"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &rep); err != nil {
+		t.Fatalf("stdout is not BENCH JSON: %v\n%s", err, a.String())
+	}
+	if len(rep.Benchmarks) != 2 ||
+		!strings.Contains(a.String(), "scheme=sdps") || !strings.Contains(a.String(), "scheme=adps") {
+		t.Errorf("cells missing or misnamed: %+v", rep.Benchmarks)
+	}
+	// Progress narration goes to stderr, never into the artifact.
+	if !strings.Contains(errOut.String(), "sweep: [") {
+		t.Errorf("no per-cell progress on stderr:\n%s", errOut.String())
+	}
+}
+
+// TestSweepCLIGate pins the trajectory gate on sweep output: a doctored
+// baseline that makes one cell look slower than -threshold fails the
+// run with a REGRESSED line naming the cell; a generous baseline
+// passes. Timing is enabled so cells carry ns/op.
+func TestSweepCLIGate(t *testing.T) {
+	gridPath := sweepFixture(t, `{
+		"name": "gate",
+		"scenario": "star.json",
+		"seed": 11,
+		"timing": true,
+		"axes": {"scheme": ["sdps", "adps"]}
+	}`)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_sweep.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-sweep", gridPath, "-out", outPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("-out artifact is not BENCH JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 || rep.Benchmarks[0].Metrics["ns/op"] <= 0 {
+		t.Fatalf("timing cells malformed: %+v", rep.Benchmarks)
+	}
+
+	// A baseline claiming each cell used to be 1000x faster: everything
+	// regresses far beyond any threshold.
+	doctor := func(scale float64) string {
+		type bench struct {
+			Name    string             `json:"name"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		var doc struct {
+			Benchmarks []bench `json:"benchmarks"`
+		}
+		for _, b := range rep.Benchmarks {
+			doc.Benchmarks = append(doc.Benchmarks, bench{
+				Name: b.Name, Runs: b.Runs,
+				Metrics: map[string]float64{"ns/op": b.Metrics["ns/op"] * scale},
+			})
+		}
+		buf, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("baseline_%g.json", scale))
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	errOut.Reset()
+	out.Reset()
+	if code := run([]string{"-sweep", gridPath, "-out", outPath, "-baseline", doctor(0.001)}, &out, &errOut); code != 1 {
+		t.Fatalf("regressed sweep exited %d, want 1:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "REGRESSED") || !strings.Contains(errOut.String(), "scheme=sdps") {
+		t.Errorf("missing REGRESSED cell line:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "FAILED") {
+		t.Errorf("missing FAILED summary:\n%s", errOut.String())
+	}
+
+	errOut.Reset()
+	out.Reset()
+	if code := run([]string{"-sweep", gridPath, "-out", outPath, "-baseline", doctor(1000)}, &out, &errOut); code != 0 {
+		t.Fatalf("fast run failed the gate:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "rtexp: delta") {
+		t.Errorf("passing gate printed no delta lines:\n%s", errOut.String())
+	}
+}
+
+// TestSweepCLIBadGrid: loader diagnostics surface through the CLI with
+// a non-zero exit.
+func TestSweepCLIBadGrid(t *testing.T) {
+	gridPath := sweepFixture(t, `{"name": "bad", "scenario": "star.json", "axes": {"scheme": ["edf"]}}`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-sweep", gridPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), `axis "scheme"`) {
+		t.Errorf("axis diagnostic lost: %s", errOut.String())
+	}
+}
+
+// TestSweepExclusiveWithParsebench: the two front-ends cannot combine.
+func TestSweepExclusiveWithParsebench(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-sweep", "g.json", "-parsebench", "b.txt"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }

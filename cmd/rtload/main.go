@@ -14,14 +14,14 @@
 // -append merges a run into an existing BENCH file, so one artifact can
 // hold both transports' percentiles side by side.
 //
-// Workload items are sharded by channel name, so each channel's
-// establish→release order is preserved while shards proceed
-// independently — which is exactly the concurrent-client pattern the
-// daemon's coalescing front-end merges. Admission rejections are
-// expected outcomes (saturating the network is usually the point);
-// transport failures and unclassified server errors are protocol
-// errors, and any protocol error makes rtload exit non-zero — CI's
-// smoke job asserts a clean run that way.
+// The replay machinery itself — workload sharding by channel name,
+// concurrent client goroutines, latency aggregation — lives in
+// internal/loadgen, shared with the sweep orchestrator's daemon mode
+// (rtexp -sweep). Admission rejections are expected outcomes
+// (saturating the network is usually the point); transport failures and
+// unclassified server errors are protocol errors, and any protocol
+// error makes rtload exit non-zero — CI's smoke job asserts a clean run
+// that way.
 package main
 
 import (
@@ -29,7 +29,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"os/signal"
@@ -37,14 +36,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/loadgen"
 	"repro/internal/scenario"
-	"repro/internal/stats"
-	"repro/rtether"
 	"repro/rtether/client"
 )
 
@@ -52,32 +49,6 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// opStats collects one worker's measurements for one operation kind.
-// Latencies go into the same reservoir-sampling Delay primitive the
-// simulator's measurements use (internal/stats), observed in
-// nanoseconds.
-type opStats struct {
-	lat      *stats.Delay
-	accepted int
-	rejected int
-	skipped  int
-	protoErr int
-}
-
-func newOpStats() *opStats { return &opStats{lat: stats.NewDelay(0)} }
-
-// observe records one operation's wall latency.
-func (s *opStats) observe(d time.Duration) { s.lat.Observe(d.Nanoseconds()) }
-
-// merge folds another worker's stats in.
-func (s *opStats) merge(o *opStats) {
-	s.lat.Merge(o.lat)
-	s.accepted += o.accepted
-	s.rejected += o.rejected
-	s.skipped += o.skipped
-	s.protoErr += o.protoErr
 }
 
 // run drives the whole load run and returns the process exit code.
@@ -158,19 +129,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Shard by channel name so each channel's establish→release order is
-	// preserved within one worker; unnamed items spread round-robin.
-	shards := make([][]scenario.WorkItem, *clients)
-	for i, it := range items {
-		w := i % *clients
-		if it.Name != "" {
-			h := fnv.New32a()
-			_, _ = io.WriteString(h, it.Name)
-			w = int(h.Sum32() % uint32(*clients))
-		}
-		shards[w] = append(shards[w], it)
-	}
-
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -185,28 +143,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	est := make([]*opStats, *clients)
-	rel := make([]*opStats, *clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *clients; w++ {
-		est[w], rel[w] = newOpStats(), newOpStats()
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			runShard(ctx, cl, shards[w], est[w], rel[w])
-		}(w)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-
-	estAll, relAll := newOpStats(), newOpStats()
-	for w := 0; w < *clients; w++ {
-		estAll.merge(est[w])
-		relAll.merge(rel[w])
-	}
-	protoErrs := estAll.protoErr + relAll.protoErr
-	ops := int(estAll.lat.Count() + relAll.lat.Count())
+	res := loadgen.Run(ctx, cl, items, *clients)
+	estAll, relAll := res.Establish, res.Release
+	protoErrs := res.ProtoErrs()
+	ops := res.Ops()
 
 	statsAfter, statsErr := cl.Stats(ctx)
 	coalesced := ""
@@ -217,21 +157,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coalesced = fmt.Sprintf(" · daemon merged %d establishes into %d flights (%d repartition passes)", de, df, dr)
 	}
 	fmt.Fprintf(stderr, "rtload: %d ops in %v (%.0f ops/s) · establish %d ok / %d rejected · release %d ok / %d skipped · %d protocol errors%s\n",
-		ops, wall.Round(time.Millisecond), float64(ops)/wall.Seconds(),
-		estAll.accepted, estAll.rejected, relAll.accepted, relAll.skipped, protoErrs, coalesced)
+		ops, res.Wall.Round(time.Millisecond), res.OpsPerSec(),
+		estAll.Accepted, estAll.Rejected, relAll.Accepted, relAll.Skipped, protoErrs, coalesced)
 
 	// Benchmark names carry the workload and the transport so several
 	// runs can live side by side in one merged BENCH document.
 	scen := strings.TrimSuffix(filepath.Base(*scenFile), filepath.Ext(*scenFile))
 	suffix := "/scen=" + scen + "/proto=" + *proto
 	rep := &benchfmt.Report{Pkg: "repro/cmd/rtload", Benchmarks: []benchfmt.Result{
-		opResult("BenchmarkRTLoad/establish"+suffix, estAll),
-		opResult("BenchmarkRTLoad/release"+suffix, relAll),
+		loadgen.BenchResult("BenchmarkRTLoad/establish"+suffix, estAll),
+		loadgen.BenchResult("BenchmarkRTLoad/release"+suffix, relAll),
 		{
 			Name: "BenchmarkRTLoad/total" + suffix, Runs: int64(ops),
 			Metrics: map[string]float64{
-				"ops/s":           float64(ops) / wall.Seconds(),
-				"wall-ns":         float64(wall.Nanoseconds()),
+				"ops/s":           res.OpsPerSec(),
+				"wall-ns":         float64(res.Wall.Nanoseconds()),
 				"clients":         float64(*clients),
 				"protocol-errors": float64(protoErrs),
 			},
@@ -284,72 +224,4 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-// runShard replays one worker's items in order, tracking the channel
-// IDs its establishes were assigned so later releases find them.
-func runShard(ctx context.Context, cl *client.Client, items []scenario.WorkItem, est, rel *opStats) {
-	ids := make(map[string]rtether.ChannelID)
-	for _, it := range items {
-		if ctx.Err() != nil {
-			return
-		}
-		if it.Release {
-			id, ok := ids[it.Name]
-			if !ok {
-				rel.skipped++ // its establish was rejected
-				continue
-			}
-			delete(ids, it.Name)
-			t0 := time.Now()
-			err := cl.Release(ctx, id)
-			rel.observe(time.Since(t0))
-			if err != nil {
-				rel.protoErr++
-				continue
-			}
-			rel.accepted++
-			continue
-		}
-		t0 := time.Now()
-		var ch client.Channel
-		var err error
-		if len(it.Sinks) > 0 {
-			ch, err = cl.EstablishMulticast(ctx, rtether.MulticastSpec{
-				Src: it.Spec.Src, Sinks: it.Sinks, C: it.Spec.C, P: it.Spec.P, D: it.Spec.D,
-			})
-		} else {
-			ch, err = cl.Establish(ctx, it.Spec)
-		}
-		est.observe(time.Since(t0))
-		switch {
-		case err == nil:
-			est.accepted++
-			if it.Name != "" {
-				ids[it.Name] = ch.ID
-			}
-		case errors.Is(err, rtether.ErrInfeasible):
-			est.rejected++ // an admission verdict, not a failure
-		default:
-			est.protoErr++
-		}
-	}
-}
-
-// opResult summarizes one operation kind as a benchmark entry.
-func opResult(name string, s *opStats) benchfmt.Result {
-	res := benchfmt.Result{Name: name, Runs: s.lat.Count(), Metrics: map[string]float64{
-		"accepted": float64(s.accepted),
-		"rejected": float64(s.rejected),
-	}}
-	if s.lat.Count() == 0 {
-		res.Metrics["ns/op"] = 0
-		return res
-	}
-	res.Metrics["ns/op"] = s.lat.Mean()
-	res.Metrics["p50-ns"] = float64(s.lat.Percentile(50))
-	res.Metrics["p90-ns"] = float64(s.lat.Percentile(90))
-	res.Metrics["p99-ns"] = float64(s.lat.Percentile(99))
-	res.Metrics["max-ns"] = float64(s.lat.Max())
-	return res
 }

@@ -223,6 +223,26 @@ type Delta struct {
 	Pct      float64 // (Current-Baseline)/Baseline * 100
 }
 
+// FormatDeltas renders deltas as aligned gate lines — one per matched
+// benchmark, verdict "ok" or "REGRESSED" — and returns how many
+// regressed, i.e. slowed down strictly beyond threshold percent (a
+// delta exactly at the threshold passes; speedups always pass). prefix
+// leads every line ("rtexp: delta" gives the classic CI gate output).
+// Both rtexp gate paths (-parsebench -baseline and -sweep -baseline)
+// share this renderer, so their stderr contract is identical.
+func FormatDeltas(w io.Writer, deltas []Delta, threshold float64, prefix string) (regressed int) {
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Pct > threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s %-60s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
+			prefix, d.Name, d.Baseline, d.Current, d.Pct, verdict)
+	}
+	return regressed
+}
+
 // Deltas compares current against baseline on the ns/op metric,
 // matching benchmarks by name (a merged document's Source annotations
 // are ignored — the name is the identity). Benchmarks present on only

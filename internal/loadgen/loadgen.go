@@ -1,0 +1,194 @@
+// Package loadgen is the library form of cmd/rtload's client machinery:
+// it shards a scenario's flattened establish/release workload across
+// concurrent client goroutines, replays it against a running rtetherd
+// over the typed client, and aggregates per-operation latency and
+// verdict counts. cmd/rtload wraps it in a CLI; the sweep orchestrator
+// (internal/sweep) drives it once per daemon-mode grid cell.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/rtether"
+	"repro/rtether/client"
+)
+
+// OpStats aggregates one operation kind's measurements. Latencies go
+// into the same reservoir-sampling Delay primitive the simulator's
+// measurements use (internal/stats), observed in nanoseconds.
+type OpStats struct {
+	Lat      *stats.Delay
+	Accepted int // operations the daemon applied
+	Rejected int // admission rejections (expected outcomes, not failures)
+	Skipped  int // releases whose establish was rejected
+	ProtoErr int // transport failures and unclassified server errors
+}
+
+// NewOpStats returns an empty aggregate.
+func NewOpStats() *OpStats { return &OpStats{Lat: stats.NewDelay(0)} }
+
+// Observe records one operation's wall latency.
+func (s *OpStats) Observe(d time.Duration) { s.Lat.Observe(d.Nanoseconds()) }
+
+// Merge folds another worker's stats in.
+func (s *OpStats) Merge(o *OpStats) {
+	s.Lat.Merge(o.Lat)
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Skipped += o.Skipped
+	s.ProtoErr += o.ProtoErr
+}
+
+// Result is one completed load run: the merged establish and release
+// aggregates plus the wall-clock span of the whole run.
+type Result struct {
+	Establish *OpStats
+	Release   *OpStats
+	Wall      time.Duration
+}
+
+// Ops counts the timed operations across both kinds.
+func (r *Result) Ops() int { return int(r.Establish.Lat.Count() + r.Release.Lat.Count()) }
+
+// ProtoErrs counts the protocol errors across both kinds — non-zero
+// means the wire contract broke somewhere, and load harnesses should
+// fail loudly.
+func (r *Result) ProtoErrs() int { return r.Establish.ProtoErr + r.Release.ProtoErr }
+
+// OpsPerSec is the run's aggregate operation throughput.
+func (r *Result) OpsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Ops()) / r.Wall.Seconds()
+}
+
+// Shard splits the workload across n workers, by channel name: each
+// channel's establish→release order is preserved within one worker
+// while shards proceed independently — exactly the concurrent-client
+// pattern the daemon's coalescing front-end merges. Unnamed items
+// spread round-robin.
+func Shard(items []scenario.WorkItem, n int) [][]scenario.WorkItem {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]scenario.WorkItem, n)
+	for i, it := range items {
+		w := i % n
+		if it.Name != "" {
+			h := fnv.New32a()
+			_, _ = io.WriteString(h, it.Name)
+			w = int(h.Sum32() % uint32(n))
+		}
+		shards[w] = append(shards[w], it)
+	}
+	return shards
+}
+
+// Run replays the workload against the daemon behind cl from clients
+// concurrent goroutines (sharded by Shard) at full speed and returns
+// the merged measurements. Admission rejections count as outcomes, not
+// errors; ctx cancellation stops the replay early (already-issued calls
+// still complete).
+func Run(ctx context.Context, cl *client.Client, items []scenario.WorkItem, clients int) *Result {
+	if clients < 1 {
+		clients = 1
+	}
+	shards := Shard(items, clients)
+	est := make([]*OpStats, clients)
+	rel := make([]*OpStats, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		est[w], rel[w] = NewOpStats(), NewOpStats()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runShard(ctx, cl, shards[w], est[w], rel[w])
+		}(w)
+	}
+	wg.Wait()
+	res := &Result{Establish: NewOpStats(), Release: NewOpStats(), Wall: time.Since(start)}
+	for w := 0; w < clients; w++ {
+		res.Establish.Merge(est[w])
+		res.Release.Merge(rel[w])
+	}
+	return res
+}
+
+// runShard replays one worker's items in order, tracking the channel
+// IDs its establishes were assigned so later releases find them.
+func runShard(ctx context.Context, cl *client.Client, items []scenario.WorkItem, est, rel *OpStats) {
+	ids := make(map[string]rtether.ChannelID)
+	for _, it := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		if it.Release {
+			id, ok := ids[it.Name]
+			if !ok {
+				rel.Skipped++ // its establish was rejected
+				continue
+			}
+			delete(ids, it.Name)
+			t0 := time.Now()
+			err := cl.Release(ctx, id)
+			rel.Observe(time.Since(t0))
+			if err != nil {
+				rel.ProtoErr++
+				continue
+			}
+			rel.Accepted++
+			continue
+		}
+		t0 := time.Now()
+		var ch client.Channel
+		var err error
+		if len(it.Sinks) > 0 {
+			ch, err = cl.EstablishMulticast(ctx, rtether.MulticastSpec{
+				Src: it.Spec.Src, Sinks: it.Sinks, C: it.Spec.C, P: it.Spec.P, D: it.Spec.D,
+			})
+		} else {
+			ch, err = cl.Establish(ctx, it.Spec)
+		}
+		est.Observe(time.Since(t0))
+		switch {
+		case err == nil:
+			est.Accepted++
+			if it.Name != "" {
+				ids[it.Name] = ch.ID
+			}
+		case errors.Is(err, rtether.ErrInfeasible):
+			est.Rejected++ // an admission verdict, not a failure
+		default:
+			est.ProtoErr++
+		}
+	}
+}
+
+// BenchResult summarizes one operation kind as a benchmark entry: mean
+// ns/op plus the p50/p90/p99/max latency spread and the verdict counts.
+func BenchResult(name string, s *OpStats) benchfmt.Result {
+	res := benchfmt.Result{Name: name, Runs: s.Lat.Count(), Metrics: map[string]float64{
+		"accepted": float64(s.Accepted),
+		"rejected": float64(s.Rejected),
+	}}
+	if s.Lat.Count() == 0 {
+		res.Metrics["ns/op"] = 0
+		return res
+	}
+	res.Metrics["ns/op"] = s.Lat.Mean()
+	res.Metrics["p50-ns"] = float64(s.Lat.Percentile(50))
+	res.Metrics["p90-ns"] = float64(s.Lat.Percentile(90))
+	res.Metrics["p99-ns"] = float64(s.Lat.Percentile(99))
+	res.Metrics["max-ns"] = float64(s.Lat.Max())
+	return res
+}

@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/rtether"
+)
+
+// TestShardPreservesPerNameOrder pins the sharding contract: every
+// named channel's establish precedes its release within one shard, and
+// nothing is lost or duplicated.
+func TestShardPreservesPerNameOrder(t *testing.T) {
+	var items []scenario.WorkItem
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, n := range names {
+		items = append(items, scenario.WorkItem{Name: n, Spec: rtether.ChannelSpec{Src: 1, Dst: 2, C: 1, P: 100, D: 40}})
+	}
+	for _, n := range names {
+		items = append(items, scenario.WorkItem{Name: n, Release: true})
+	}
+	items = append(items, scenario.WorkItem{Spec: rtether.ChannelSpec{Src: 1, Dst: 2, C: 1, P: 100, D: 40}}) // unnamed
+
+	shards := Shard(items, 3)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	total := 0
+	seen := make(map[string]int) // name -> establishes seen before release
+	for _, shard := range shards {
+		open := make(map[string]bool)
+		for _, it := range shard {
+			total++
+			if it.Name == "" {
+				continue
+			}
+			if it.Release {
+				if !open[it.Name] {
+					t.Errorf("release of %q before its establish in the same shard", it.Name)
+				}
+				open[it.Name] = false
+			} else {
+				open[it.Name] = true
+				seen[it.Name]++
+			}
+		}
+	}
+	if total != len(items) {
+		t.Errorf("sharding lost items: %d of %d", total, len(items))
+	}
+	for _, n := range names {
+		if seen[n] != 1 {
+			t.Errorf("channel %q established %d times across shards", n, seen[n])
+		}
+	}
+}
+
+// TestShardClampsWorkerCount covers the n<1 guard.
+func TestShardClampsWorkerCount(t *testing.T) {
+	shards := Shard([]scenario.WorkItem{{Name: "x"}}, 0)
+	if len(shards) != 1 || len(shards[0]) != 1 {
+		t.Fatalf("Shard(…, 0) = %v", shards)
+	}
+}
+
+// TestOpStatsMerge pins the aggregate arithmetic the sweep and rtload
+// summaries rely on.
+func TestOpStatsMerge(t *testing.T) {
+	a, b := NewOpStats(), NewOpStats()
+	a.Observe(10 * time.Millisecond)
+	a.Accepted = 1
+	b.Observe(20 * time.Millisecond)
+	b.Rejected, b.Skipped, b.ProtoErr = 2, 3, 4
+	a.Merge(b)
+	if a.Lat.Count() != 2 || a.Accepted != 1 || a.Rejected != 2 || a.Skipped != 3 || a.ProtoErr != 4 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	res := &Result{Establish: a, Release: NewOpStats(), Wall: time.Second}
+	if res.Ops() != 2 || res.ProtoErrs() != 4 || res.OpsPerSec() != 2 {
+		t.Errorf("result arithmetic wrong: ops=%d protoErrs=%d ops/s=%v", res.Ops(), res.ProtoErrs(), res.OpsPerSec())
+	}
+	br := BenchResult("BenchmarkX", a)
+	if br.Metrics["ns/op"] <= 0 || br.Metrics["p99-ns"] < br.Metrics["p50-ns"] {
+		t.Errorf("bench result wrong: %+v", br.Metrics)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/traffic"
 )
 
 // Event kinds of the timeline. All times are slots relative to the
@@ -131,6 +132,10 @@ type timeline struct {
 	// deferred marks channels established by a timeline event rather than
 	// during the static load phase.
 	deferred map[string]bool
+	// trace is the parsed backgroundTrace recording (nil without one);
+	// compile loads and validates it once so playback does not reread the
+	// file.
+	trace *traffic.Trace
 }
 
 // validateEvents checks every declared event in isolation (kinds, field

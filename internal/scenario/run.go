@@ -468,5 +468,19 @@ func (s *Scenario) scheduleBackground(net *rtether.Network, tl *timeline, start 
 			}
 		}
 	}
+	// Recorded load on top: the backgroundTrace arrivals replay at their
+	// recorded slots, no randomness involved — the same file always
+	// injects the identical frame sequence. Events past the horizon are
+	// dropped (they could never be delivered inside the run).
+	if tl.trace != nil {
+		for _, ev := range tl.trace.Events {
+			if ev.At >= s.Slots {
+				break // the trace is time-ordered; nothing later fits either
+			}
+			src, dst := rtether.NodeID(ev.Src), rtether.NodeID(ev.Dst)
+			net.Schedule(start+ev.At, func() { net.SendBestEffort(src, dst, []byte("bg")) })
+			sent++
+		}
+	}
 	return sent
 }

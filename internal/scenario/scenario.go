@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/traffic"
 	"repro/rtether"
 )
 
@@ -137,8 +138,16 @@ type Scenario struct {
 
 	Channels   []ChannelDef    `json:"channels"`
 	Background []BackgroundDef `json:"background,omitempty"`
-	Events     []EventDef      `json:"events,omitempty"`
-	Churn      []ChurnDef      `json:"churn,omitempty"`
+	// BackgroundTrace names a trace file (internal/traffic CSV or ndjson
+	// format) whose timestamped arrivals are replayed as best-effort
+	// frames on top of any declared Poisson flows — recorded load instead
+	// of (or alongside) synthetic load. Star networks only, like the
+	// background section. The path is resolved relative to the process
+	// working directory; events at or past the scenario horizon are
+	// dropped.
+	BackgroundTrace string     `json:"backgroundTrace,omitempty"`
+	Events          []EventDef `json:"events,omitempty"`
+	Churn           []ChurnDef `json:"churn,omitempty"`
 }
 
 // Load parses and validates a scenario document.
@@ -193,6 +202,9 @@ func (s *Scenario) compile() (*timeline, error) {
 		if len(s.Background) > 0 {
 			return nil, fmt.Errorf("scenario: background flows need a star network (multi-switch topologies carry RT traffic only)")
 		}
+		if s.BackgroundTrace != "" {
+			return nil, fmt.Errorf("scenario: backgroundTrace needs a star network (multi-switch topologies carry RT traffic only)")
+		}
 	}
 	names := make(map[string]bool, len(s.Channels))
 	for i, ch := range s.Channels {
@@ -240,6 +252,19 @@ func (s *Scenario) compile() (*timeline, error) {
 			return nil, fmt.Errorf("scenario: background flow %d: rate must be positive", i)
 		}
 	}
+	var trace *traffic.Trace
+	if s.BackgroundTrace != "" {
+		tr, err := traffic.ReadTraceFile(s.BackgroundTrace)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: backgroundTrace: %w", err)
+		}
+		for i, ev := range tr.Events {
+			if !nodeSet[ev.Src] || !nodeSet[ev.Dst] {
+				return nil, fmt.Errorf("scenario: backgroundTrace: event %d (slot %d) references undeclared node (%d→%d)", i, ev.At, ev.Src, ev.Dst)
+			}
+		}
+		trace = tr
+	}
 	if err := s.validateEvents(names, nodeSet); err != nil {
 		return nil, err
 	}
@@ -248,7 +273,12 @@ func (s *Scenario) compile() (*timeline, error) {
 	}
 	// The state machine needs the full synthesized timeline (declared
 	// events and churn streams interleave on the same channels table).
-	return s.timeline()
+	tl, err := s.timeline()
+	if err != nil {
+		return nil, err
+	}
+	tl.trace = trace
+	return tl, nil
 }
 
 // Fabric reports whether the scenario runs on a routed multi-switch

@@ -1,0 +1,425 @@
+// Package sweep turns cmd/rtexp into an experiment platform: one JSON
+// document declares a parameter grid over the admission kernel's
+// degrees of freedom — partitioning scheme, scenario file, churn rate,
+// verification workers, establishment batching, wire transport, failure
+// policy — and the orchestrator expands it into the cartesian product
+// of runs, executes every cell (in-process against the scenario
+// machinery, or against rtetherd daemons it boots and drains itself)
+// and merges the results into a single BENCH document
+// (internal/benchfmt) keyed by axis=value labels. A stored document
+// from a previous run becomes the baseline of a whole-trajectory
+// regression gate: every cell is compared by name and any slowdown
+// beyond a threshold fails the process.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Axis names, in canonical expansion order. Cells enumerate the product
+// in this order regardless of how the JSON document orders its axes
+// map, so the same grid always yields the same cell sequence.
+const (
+	// AxisScheme varies the deadline-partitioning scheme: "sdps" or
+	// "adps" (mapped to H-SDPS/H-ADPS on fabrics, like the scenario
+	// field it overrides).
+	AxisScheme = "scheme"
+	// AxisScenario varies the base scenario document itself — the
+	// topology axis of a sweep. Paths resolve relative to the grid file.
+	AxisScenario = "scenario"
+	// AxisChurnRate scales the workload: the value replaces the Rate of
+	// every churn generator in the scenario (which must declare at least
+	// one).
+	AxisChurnRate = "churnRate"
+	// AxisWorkers varies the admission verification pool size
+	// (0 = GOMAXPROCS). Decisions are identical at every setting; the
+	// axis measures the sweep's parallel speedup.
+	AxisWorkers = "workers"
+	// AxisBatch varies how in-process replay submits establishes:
+	// "sequential" (one management-plane decision each) or "each"
+	// (consecutive establishes merged into EstablishEach groups, the
+	// coalesced path). Replay mode only.
+	AxisBatch = "batch"
+	// AxisTransport varies the client transport of daemon mode: "json"
+	// (HTTP) or "binary" (the length-prefixed framing).
+	AxisTransport = "transport"
+	// AxisFailurePolicy varies the degradation ladder applied to
+	// channels displaced by failure events: "reject", "degrade" or
+	// "preempt".
+	AxisFailurePolicy = "failurePolicy"
+)
+
+// axisOrder fixes the canonical axis expansion order.
+var axisOrder = []string{
+	AxisScheme, AxisScenario, AxisChurnRate, AxisWorkers,
+	AxisBatch, AxisTransport, AxisFailurePolicy,
+}
+
+// Grid modes.
+const (
+	// ModeInProcess executes every cell inside the orchestrator process
+	// against the scenario machinery: an admission-plane workload replay
+	// by default, a full simulation with simulate: true. Deterministic —
+	// with timing off, the merged document is byte-identical run over
+	// run.
+	ModeInProcess = "inprocess"
+	// ModeDaemon boots one rtetherd-equivalent daemon per cell (an
+	// internal/server instance on an ephemeral localhost port, plus a
+	// binary listener when the transport axis asks for it), replays the
+	// workload over the wire from concurrent clients (internal/loadgen),
+	// then drains and tears the daemon down. parallel > 1 fans cells out
+	// across daemons running side by side.
+	ModeDaemon = "daemon"
+)
+
+// AxisError reports an invalid axis declaration, naming the offending
+// axis — the typed error the grid loader's fuzz contract pins.
+type AxisError struct {
+	Axis string // the axis at fault
+	Msg  string // what is wrong with it
+}
+
+// Error renders the diagnostic.
+func (e *AxisError) Error() string { return fmt.Sprintf("sweep: axis %q: %s", e.Axis, e.Msg) }
+
+// Grid is the declarative sweep document.
+type Grid struct {
+	// Name titles the sweep; it prefixes every cell's benchmark name.
+	Name string `json:"name"`
+	// Scenario is the base scenario document every cell derives from
+	// (resolved relative to the grid file). Omit it only when a
+	// "scenario" axis supplies one per cell.
+	Scenario string `json:"scenario,omitempty"`
+	// Mode picks the executor: "inprocess" (default) or "daemon".
+	Mode string `json:"mode,omitempty"`
+	// Simulate switches in-process cells from an admission-plane
+	// workload replay to the full simulation (scenario Run): virtual
+	// time passes, traffic flows, and cells report delivery/miss
+	// profiles. In-process mode only.
+	Simulate bool `json:"simulate,omitempty"`
+	// Timing adds wall-clock metrics (ns/op, wall-ns) to in-process
+	// cells. Off by default so in-process sweeps stay byte-identical run
+	// over run; daemon cells always carry latency metrics — measuring
+	// them is the point of booting a daemon.
+	Timing bool `json:"timing,omitempty"`
+	// Seed overrides the base scenario's seed when non-zero, so one grid
+	// document fully determines the synthesized workloads.
+	Seed int64 `json:"seed,omitempty"`
+	// Clients sizes daemon mode's concurrent client pool (default 8).
+	Clients int `json:"clients,omitempty"`
+	// MaxOps caps each cell's workload items (0 = whole workload).
+	MaxOps int `json:"maxOps,omitempty"`
+	// Parallel bounds how many cells execute concurrently (default 1 —
+	// sequential; raise it in daemon mode to fan out across daemons).
+	Parallel int `json:"parallel,omitempty"`
+	// Axes declares the grid dimensions: axis name → value list. Every
+	// combination of values (one per axis) becomes one cell.
+	Axes map[string][]json.RawMessage `json:"axes"`
+
+	// axes holds the validated axes in canonical order.
+	axes []axis
+}
+
+// axis is one validated grid dimension: canonical string labels plus
+// the typed values expansion assigns to cells.
+type axis struct {
+	name   string
+	labels []string // canonical per-value labels, e.g. "0.5", "adps"
+	values []any    // typed: string, float64 or int, matching the axis
+}
+
+// LoadGrid parses and validates a grid document. Any malformed input
+// returns an error — *AxisError for per-axis problems (unknown axis
+// name, empty range, invalid or duplicate value), a plain error for
+// document-level ones. It never panics, whatever the input (pinned by
+// FuzzLoadGrid).
+func LoadGrid(r io.Reader) (*Grid, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("sweep: parse: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// LoadGridFile is LoadGrid over a file.
+func LoadGridFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := LoadGrid(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Validate checks the document: mode, axis names, every axis range and
+// the cross-field constraints (transport needs daemon mode, batch and
+// workers need the replay executor, a scenario must come from
+// somewhere).
+func (g *Grid) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("sweep: grid needs a name")
+	}
+	switch g.Mode {
+	case "", ModeInProcess, ModeDaemon:
+	default:
+		return fmt.Errorf("sweep: unknown mode %q (want %q or %q)", g.Mode, ModeInProcess, ModeDaemon)
+	}
+	if g.Simulate && g.Mode == ModeDaemon {
+		return fmt.Errorf("sweep: simulate is an in-process option (daemon cells always run the live network)")
+	}
+	if g.Clients < 0 {
+		return fmt.Errorf("sweep: negative clients")
+	}
+	if g.MaxOps < 0 {
+		return fmt.Errorf("sweep: negative maxOps")
+	}
+	if g.Parallel < 0 {
+		return fmt.Errorf("sweep: negative parallel")
+	}
+
+	known := make(map[string]bool, len(axisOrder))
+	for _, name := range axisOrder {
+		known[name] = true
+	}
+	for name := range g.Axes {
+		if !known[name] {
+			return &AxisError{Axis: name, Msg: fmt.Sprintf("unknown axis (known: %s)", strings.Join(axisOrder, ", "))}
+		}
+	}
+	g.axes = g.axes[:0]
+	for _, name := range axisOrder {
+		raws, ok := g.Axes[name]
+		if !ok {
+			continue
+		}
+		ax := axis{name: name}
+		if len(raws) == 0 {
+			return &AxisError{Axis: name, Msg: "empty range"}
+		}
+		seen := make(map[string]bool, len(raws))
+		for _, raw := range raws {
+			label, value, err := parseAxisValue(name, raw)
+			if err != nil {
+				return err
+			}
+			if seen[label] {
+				return &AxisError{Axis: name, Msg: fmt.Sprintf("duplicate value %q (cells would collide)", label)}
+			}
+			seen[label] = true
+			ax.labels = append(ax.labels, label)
+			ax.values = append(ax.values, value)
+		}
+		g.axes = append(g.axes, ax)
+	}
+
+	if g.Scenario == "" && !g.hasAxis(AxisScenario) {
+		return fmt.Errorf("sweep: no scenario: set the grid's scenario field or declare a scenario axis")
+	}
+	if g.Scenario != "" && g.hasAxis(AxisScenario) {
+		return &AxisError{Axis: AxisScenario, Msg: "scenario axis and top-level scenario are mutually exclusive"}
+	}
+	if g.hasAxis(AxisTransport) && g.Mode != ModeDaemon {
+		return &AxisError{Axis: AxisTransport, Msg: "transport is a daemon-mode axis (set mode: daemon)"}
+	}
+	if g.hasAxis(AxisBatch) && (g.Mode == ModeDaemon || g.Simulate) {
+		return &AxisError{Axis: AxisBatch, Msg: "batch is an in-process replay axis (no daemon mode, no simulate)"}
+	}
+	if g.hasAxis(AxisWorkers) && g.Simulate {
+		return &AxisError{Axis: AxisWorkers, Msg: "workers is a replay/daemon axis (the full simulation sizes its own pool)"}
+	}
+	return nil
+}
+
+// hasAxis reports whether the validated axis set declares name.
+func (g *Grid) hasAxis(name string) bool {
+	for _, ax := range g.axes {
+		if ax.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAxisValue validates one raw JSON value against its axis' domain
+// and returns the canonical label plus the typed value.
+func parseAxisValue(axisName string, raw json.RawMessage) (string, any, error) {
+	bad := func(format string, args ...any) (string, any, error) {
+		return "", nil, &AxisError{Axis: axisName, Msg: fmt.Sprintf(format, args...)}
+	}
+	wantString := func(domain ...string) (string, any, error) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return bad("value %s: want a string", strings.TrimSpace(string(raw)))
+		}
+		s = strings.ToLower(strings.TrimSpace(s))
+		if s == "" {
+			return bad("empty value")
+		}
+		if len(domain) > 0 {
+			for _, d := range domain {
+				if s == d {
+					return s, s, nil
+				}
+			}
+			return bad("value %q not in {%s}", s, strings.Join(domain, ", "))
+		}
+		return s, s, nil
+	}
+	switch axisName {
+	case AxisScheme:
+		return wantString("sdps", "adps")
+	case AxisBatch:
+		return wantString("sequential", "each")
+	case AxisTransport:
+		return wantString("json", "binary")
+	case AxisFailurePolicy:
+		return wantString("reject", "degrade", "preempt")
+	case AxisScenario:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return bad("value %s: want a file path", strings.TrimSpace(string(raw)))
+		}
+		if strings.TrimSpace(s) == "" {
+			return bad("empty path")
+		}
+		// The label is the basename sans extension — readable cell names
+		// even for testdata/deep/path.json — but collisions on basename
+		// are still duplicates (cells must stay distinguishable).
+		return scenarioLabel(s), s, nil
+	case AxisChurnRate:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return bad("value %s: want a number", strings.TrimSpace(string(raw)))
+		}
+		if v <= 0 {
+			return bad("rate %v must be positive", v)
+		}
+		return formatFloat(v), v, nil
+	case AxisWorkers:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return bad("value %s: want an integer", strings.TrimSpace(string(raw)))
+		}
+		if v != float64(int(v)) || v < 0 || v > 4096 {
+			return bad("worker count %v must be an integer in [0, 4096]", v)
+		}
+		return fmt.Sprintf("%d", int(v)), int(v), nil
+	}
+	return bad("unknown axis")
+}
+
+// scenarioLabel derives a cell-label from a scenario path.
+func scenarioLabel(path string) string {
+	base := path
+	if i := strings.LastIndexAny(base, `/\`); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndex(base, "."); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+// formatFloat renders an axis number the way the labels stay shortest
+// and stable ("0.5", "2", "2.25").
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// Label is one axis=value coordinate of a cell.
+type Label struct {
+	Axis  string
+	Value string
+}
+
+// Cell is one expanded run of the grid: its coordinate labels (in
+// canonical axis order) plus the typed parameter overrides execution
+// applies to the base scenario.
+type Cell struct {
+	Labels []Label
+
+	Scheme        string  // "" = scenario default
+	Scenario      string  // "" = grid-level scenario
+	ChurnRate     float64 // 0 = scenario default
+	Workers       int     // verification pool size
+	HasWorkers    bool    // workers axis present (0 is a real value: GOMAXPROCS)
+	Batch         string  // "" = sequential
+	Transport     string  // "" = json
+	FailurePolicy string  // "" = scenario default
+}
+
+// Name renders the cell's identity: "scheme=adps/churnRate=0.5". The
+// grid name plus this string keys the cell in the merged BENCH document
+// and aligns it with its baseline across runs.
+func (c *Cell) Name() string {
+	parts := make([]string, len(c.Labels))
+	for i, l := range c.Labels {
+		parts[i] = l.Axis + "=" + l.Value
+	}
+	return strings.Join(parts, "/")
+}
+
+// Cells expands the grid into the cartesian product of its axis values,
+// in canonical axis order (the last-listed axis varies fastest). A grid
+// with no axes is one bare cell. Validate must have succeeded (LoadGrid
+// guarantees it).
+func (g *Grid) Cells() []Cell {
+	cells := []Cell{{}}
+	for _, ax := range g.axes {
+		next := make([]Cell, 0, len(cells)*len(ax.labels))
+		for _, base := range cells {
+			for i := range ax.labels {
+				c := base
+				c.Labels = append(append([]Label{}, base.Labels...), Label{Axis: ax.name, Value: ax.labels[i]})
+				c.apply(ax.name, ax.values[i])
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	return cells
+}
+
+// apply sets one typed axis value on the cell.
+func (c *Cell) apply(axisName string, v any) {
+	switch axisName {
+	case AxisScheme:
+		c.Scheme = v.(string)
+	case AxisScenario:
+		c.Scenario = v.(string)
+	case AxisChurnRate:
+		c.ChurnRate = v.(float64)
+	case AxisWorkers:
+		c.Workers = v.(int)
+		c.HasWorkers = true
+	case AxisBatch:
+		c.Batch = v.(string)
+	case AxisTransport:
+		c.Transport = v.(string)
+	case AxisFailurePolicy:
+		c.FailurePolicy = v.(string)
+	}
+}
+
+// AxisNames returns the declared axis names in canonical order — the
+// column set of a sweep comparison table.
+func (g *Grid) AxisNames() []string {
+	names := make([]string, len(g.axes))
+	for i, ax := range g.axes {
+		names[i] = ax.name
+	}
+	return names
+}
