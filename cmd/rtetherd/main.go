@@ -14,11 +14,19 @@
 //	rtetherd -scenario fabric.json -addr 127.0.0.1:8316
 //	rtetherd -scenario fabric.json -coalesce 200us -workers 8
 //	rtetherd -scenario fabric.json -binaddr 127.0.0.1:8317
+//	rtetherd -scenario fabric.json -metrics-addr 127.0.0.1:9316 -heartbeat 5s
 //
 // -binaddr opens a second listener speaking the length-prefixed binary
 // protocol (docs/server.md#binary-protocol) for the latency-critical
 // calls; rtether/client selects it with WithTransport(TransportBinary).
 // -pprof serves net/http/pprof profiles on a separate address.
+//
+// Observability (docs/observability.md): GET /metrics on the main
+// listener serves the Prometheus text exposition and GET /v1/spans the
+// admission flight recorder. -metrics-addr additionally serves the same
+// /metrics on a dedicated listener, so a scraper needs no access to the
+// admission API; -heartbeat publishes a periodic liveness event on the
+// /v1/watch feed.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
 // drain, queued establishes fail with the "closed" error, and the
@@ -65,6 +73,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coalesce = fs.Duration("coalesce", 0, "extra window to merge concurrent establishes (0 = merge in-flight only)")
 		maxBatch = fs.Int("maxbatch", 1024, "max establish requests merged into one admission pass")
 		quiet    = fs.Bool("quiet", false, "suppress request logging")
+		metrics  = fs.String("metrics-addr", "", "serve GET /metrics on a dedicated listener too (empty = main listener only; /metrics is always on -addr)")
+		hbEvery  = fs.Duration("heartbeat", 0, "publish a heartbeat event on /v1/watch at this interval (0 = disabled)")
+		spanCap  = fs.Int("spans", 0, "flight-recorder capacity served by GET /v1/spans (0 = default 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,10 +110,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logger = log.New(stderr, "rtetherd: ", log.LstdFlags)
 	}
 	srv := server.New(server.Config{
-		Network:        network,
-		CoalesceWindow: *coalesce,
-		MaxBatch:       *maxBatch,
-		Log:            logger,
+		Network:           network,
+		CoalesceWindow:    *coalesce,
+		MaxBatch:          *maxBatch,
+		HeartbeatInterval: *hbEvery,
+		SpanRingSize:      *spanCap,
+		Log:               logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -132,6 +145,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "rtetherd: binary listener: %v\n", err)
 			}
 		}()
+	}
+	if *metrics != "" {
+		metricsLn, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "rtetherd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rtetherd: metrics on http://%s/metrics\n", metricsLn.Addr())
+		// The side listener serves only the exposition — a scrape target
+		// with no reach into the admission API.
+		mm := http.NewServeMux()
+		mm.HandleFunc("GET /metrics", srv.MetricsHandler())
+		go func() { _ = http.Serve(metricsLn, mm) }()
 	}
 	if *pprof != "" {
 		pprofLn, err := net.Listen("tcp", *pprof)

@@ -128,6 +128,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rtload: %v\n", err)
 		return 1
 	}
+	// Scrape the Prometheus exposition around the run: differencing the
+	// two maps attributes server-side counters (cache hit-rate, flights,
+	// coalesce merges) to this run in the BENCH artifact. A daemon
+	// without /metrics (older build) degrades to the /v1/stats deltas.
+	promBefore, promErr := cl.MetricsProm(ctx)
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -181,6 +186,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		m := rep.Benchmarks[2].Metrics
 		m["flights"] = float64(statsAfter.Server.Flights - statsBefore.Server.Flights)
 		m["repartitions"] = float64(statsAfter.Admission.Repartitions - statsBefore.Admission.Repartitions)
+	}
+	if promErr == nil {
+		if promAfter, err := cl.MetricsProm(ctx); err == nil {
+			m := rep.Benchmarks[2].Metrics
+			delta := func(series string) float64 { return promAfter[series] - promBefore[series] }
+			linksChecked := delta("rtether_links_checked_total")
+			cacheHits := delta("rtether_verify_cache_hits_total")
+			m["srv-links-checked"] = linksChecked
+			m["srv-verify-cache-hits"] = cacheHits
+			if linksChecked > 0 {
+				m["srv-cache-hit-rate"] = cacheHits / linksChecked
+			}
+			m["srv-flights"] = delta("rtether_flights_total")
+			if f := delta("rtether_flights_total"); f > 0 {
+				m["srv-coalesce-merges"] = delta("rtether_establishes_total") / f
+			}
+			m["srv-sweep-seconds"] = delta("rtether_sweep_seconds_total")
+		}
 	}
 
 	if *appendTo && *out != "-" {

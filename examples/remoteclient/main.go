@@ -4,8 +4,10 @@
 // port, then talks to it exclusively through the typed client
 // (rtether/client) — concurrent coalesced establishes, a feasibility
 // rejection whose full *rtether.AdmissionError survives the wire, the
-// streaming watch feed, and the stats endpoint showing how many kernel
-// passes the coalescer saved. See docs/server.md for the protocol.
+// streaming watch feed, the stats endpoint showing how many kernel
+// passes the coalescer saved, the Prometheus exposition on GET /metrics
+// and the admission flight recorder on GET /v1/spans. See docs/server.md
+// for the protocol and docs/observability.md for the metric catalog.
 package main
 
 import (
@@ -143,5 +145,36 @@ func run() error {
 		st.Admission.Accepted, st.Admission.RejectedDemand, st.Admission.Released)
 	fmt.Printf("coalescer: %d establishes in %d flights (max merged %d); %d repartition passes total\n",
 		st.Server.Establishes, st.Server.Flights, st.Server.MaxMerged, st.Admission.Repartitions)
+
+	// The same numbers — and more — are on GET /metrics in Prometheus
+	// text form; MetricsProm parses the exposition into a flat map keyed
+	// by series name (labels included). See docs/observability.md.
+	mp, err := cl.MetricsProm(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- GET /metrics (scraped) --\n")
+	for _, series := range []string{
+		"rtether_admit_total",
+		"rtether_reject_total",
+		"rtether_flights_total",
+		"rtether_verify_cache_hits_total",
+		"rtether_mean_link_utilization",
+		`rtether_requests_total{endpoint="/v1/establish"}`,
+	} {
+		fmt.Printf("%s %g\n", series, mp[series])
+	}
+
+	// And the flight recorder shows where each coalesced admission pass
+	// spent its time.
+	spans, err := cl.Spans(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- GET /v1/spans (flight recorder, %d flights) --\n", len(spans.Spans))
+	for _, sp := range spans.Spans {
+		fmt.Printf("flight %d: merged=%d wait=%dns admit=%dns verify=%dns accepted=%d rejected=%d\n",
+			sp.Flight, sp.Merged, sp.WaitNs, sp.AdmitNs, sp.VerifyNs, sp.Accepted, sp.Rejected)
+	}
 	return nil
 }

@@ -22,9 +22,11 @@ import (
 	"repro/internal/edf"
 )
 
-// ID is the network-unique RT channel identifier (16 bits on the wire).
+// ID is the network-unique RT channel identifier (32 bits on the wire
+// schema; the simulated Ethernet frame format keeps the paper's 16-bit
+// field and is only exercised by scenarios far below that ceiling).
 // core.ChannelID is an alias of this type.
-type ID uint16
+type ID uint32
 
 // Ref locates one hop of one channel on a link's task list: the channel
 // and the index of the link within the channel's traversed-links sequence
@@ -210,11 +212,11 @@ func (st *State[K, Ch, P]) SetNextID(id ID) { st.nextID = id }
 func (st *State[K, Ch, P]) OrderLen() int { return len(st.order) }
 
 // AllocID returns the next unused network-unique channel ID. IDs wrap at
-// 16 bits (the width of the RT channel ID field); AllocID skips IDs still
-// in use. It panics when all 65535 IDs are active, which a real switch
-// could not handle either.
+// 32 bits (the width of the RT channel ID field on the wire schema);
+// AllocID skips IDs still in use. It panics when all 2^32-1 IDs are
+// active, which a real switch could not handle either.
 func (st *State[K, Ch, P]) AllocID() ID {
-	for i := 0; i < 1<<16; i++ {
+	for i := uint64(0); i < 1<<32; i++ {
 		id := st.nextID
 		st.nextID++
 		if st.nextID == 0 { // reserve 0 as "unset" (request frames carry 0)
@@ -224,7 +226,7 @@ func (st *State[K, Ch, P]) AllocID() ID {
 			return id
 		}
 	}
-	panic("admit: all 65535 RT channel IDs in use")
+	panic("admit: all RT channel IDs in use")
 }
 
 // Add inserts a channel and updates link loads and per-link caches. The

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/edf"
 )
@@ -102,6 +103,12 @@ type Engine[K comparable, Ch any, P any] struct {
 	feasGen    map[K]uint64
 	sweepSkips int
 
+	// sweepNs accumulates wall time spent inside verification sweeps
+	// (sequential or parallel, cache hits included). It is observability
+	// accounting only — never part of a decision — so unlike the
+	// deterministic counters above it varies run to run.
+	sweepNs int64
+
 	// slackHist[l] is the MinSlack (tightest demand-criterion margin) the
 	// link showed at its most recent COMMITTED sweep. Sweeps visit links
 	// in ascending recorded slack — historically tightest first — so an
@@ -170,6 +177,12 @@ func (e *Engine[K, Ch, P]) LinksChecked() int { return e.linksChecked }
 // SweepSkips returns the cumulative number of per-link feasibility tests
 // the verdict cache answered without running the EDF analysis.
 func (e *Engine[K, Ch, P]) SweepSkips() int { return e.sweepSkips }
+
+// SweepNs returns the cumulative wall-clock nanoseconds spent in
+// verification sweeps. Unlike LinksChecked this is measured, not
+// deterministic; it exists for the observability surface
+// (rtether.AdmissionStats, /metrics), never for decisions.
+func (e *Engine[K, Ch, P]) SweepNs() int64 { return e.sweepNs }
 
 // Repartitions returns the cumulative number of repartition passes the
 // engine has run: one per scheme attempted per admission decision (an
@@ -538,6 +551,7 @@ func sortIDs(ids []ID) {
 // and therefore the first failure — identical too, regardless of worker
 // count or cache mode.
 func (e *Engine[K, Ch, P]) verify(st *State[K, Ch, P], changed map[K]struct{}) *Rejection[K] {
+	sweepStart := time.Now()
 	links := e.sweepLinks[:0]
 	if e.cfg.FullRecheck {
 		for l := range st.loads {
@@ -611,6 +625,7 @@ func (e *Engine[K, Ch, P]) verify(st *State[K, Ch, P], changed map[K]struct{}) *
 			}
 		}
 	}
+	e.sweepNs += time.Since(sweepStart).Nanoseconds()
 	return rej
 }
 

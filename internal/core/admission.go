@@ -149,6 +149,11 @@ func (c *Controller) Stats() Stats {
 // fresh EDF analysis. Always 0 with NoSweepCache or FullRecheck.
 func (c *Controller) SweepSkips() int { return c.eng.SweepSkips() }
 
+// SweepNs returns the cumulative wall-clock nanoseconds the engine has
+// spent inside verification sweeps (observability accounting; measured,
+// not deterministic).
+func (c *Controller) SweepNs() int64 { return c.eng.SweepNs() }
+
 // State returns the live system state. Callers must treat it as read-only.
 func (c *Controller) State() *State { return &State{k: c.eng.State()} }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -83,6 +84,34 @@ type Sim struct {
 	byID     map[core.ChannelID]*channelRT
 	horizon  int64
 	shaping  bool
+	tracer   netsim.Tracer
+}
+
+// SetTracer installs a flight-recorder tracer; nil disables tracing
+// (the default). The fabric emits the same netsim.TraceEvent vocabulary
+// as the star simulator — releases, shaper holds, deliveries, misses,
+// admissions — so one consumer serves both topologies; the star≡fabric
+// event-kind parity is pinned by rtether's trace tests.
+func (s *Sim) SetTracer(t netsim.Tracer) { s.tracer = t }
+
+// emit sends one event to the installed tracer, if any.
+func (s *Sim) emit(kind netsim.EventKind, node core.NodeID, ch core.ChannelID, value int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Trace(netsim.TraceEvent{At: s.eng.Now(), Kind: kind, Node: node, Channel: ch, Value: value})
+}
+
+// TraceAdmission reports an establishment verdict to the tracer: the
+// star switch emits these from its wire handshake, which the fabric does
+// not model, so the fabric backend calls this at the same decision
+// points (admitted channels also trace on Install).
+func (s *Sim) TraceAdmission(src core.NodeID, ch core.ChannelID, accepted bool, firstHop int64) {
+	if accepted {
+		s.emit(netsim.EvAdmitted, src, ch, firstHop)
+		return
+	}
+	s.emit(netsim.EvRejected, src, 0, 0)
 }
 
 // Config tunes the fabric simulation.
@@ -147,6 +176,7 @@ func (s *Sim) Install(hch *topo.HChannel) error {
 			s.links[e] = &link{eng: s.eng, sim: s}
 		}
 	}
+	s.emit(netsim.EvAdmitted, rt.spec.Src, rt.id, hch.Hops[0])
 	return nil
 }
 
@@ -295,7 +325,10 @@ func (s *Sim) Reroute(hch *topo.HChannel) error {
 }
 
 // drop accounts one frame lost to a dead edge: a miss for its channel.
-func (s *Sim) drop(f *rtFrame) { f.ch.metrics.Misses++ }
+func (s *Sim) drop(f *rtFrame) {
+	f.ch.metrics.Misses++
+	s.emit(netsim.EvMiss, f.ch.spec.Dst, f.ch.id, -1)
+}
 
 // treeParents extracts the parent-index form of a channel's route —
 // the explicit tree for multicast, the implicit chain for unicast.
@@ -367,6 +400,7 @@ func (s *Sim) armRelease(ch *channelRT) {
 			return
 		}
 		for k := int64(0); k < ch.spec.C; k++ {
+			s.emit(netsim.EvRelease, ch.spec.Src, ch.id, release+ch.spec.D)
 			s.inject(&rtFrame{ch: ch, release: release, hop: 0})
 		}
 		s.armRelease(ch)
@@ -428,8 +462,14 @@ func (s *Sim) arrive(f *rtFrame) {
 		delay := now - f.release
 		f.ch.metrics.Delivered++
 		f.ch.metrics.Delays.Observe(delay)
+		sink := f.ch.spec.Dst
+		if leaf := f.ch.route[f.hop].To; !leaf.Switch {
+			sink = core.NodeID(leaf.ID) // multicast: attribute to the actual sink
+		}
+		s.emit(netsim.EvDeliver, sink, f.ch.id, delay)
 		if delay > f.ch.spec.D {
 			f.ch.metrics.Misses++
+			s.emit(netsim.EvMiss, sink, f.ch.id, delay)
 		}
 		return
 	}
@@ -442,6 +482,7 @@ func (s *Sim) arrive(f *rtFrame) {
 		nf.hop = next
 		if s.shaping && prevDeadline > now {
 			held := nf
+			s.emit(netsim.EvShaperHold, f.ch.spec.Dst, f.ch.id, prevDeadline)
 			s.eng.At(prevDeadline, func() { s.inject(held) })
 			continue
 		}

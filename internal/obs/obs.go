@@ -1,0 +1,275 @@
+// Package obs is the repository's dependency-free observability spine:
+// a metrics registry of atomic counters, gauges and fixed-bucket
+// latency histograms with Prometheus-text exposition (prom.go), plus a
+// bounded ring of admission spans (span.go) recording where each
+// coalesced flight spent its time.
+//
+// The hot-path contract is strict: once a metric is registered,
+// Counter.Add, Gauge.Set and Histogram.Observe perform no allocations
+// and take no locks — they are single atomic operations on
+// pre-allocated storage, cheap enough to live inside the admission
+// sweep that internal/admit pins at 0 allocs/op. All formatting,
+// labeling and map lookups happen at registration or scrape time,
+// never per observation.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable, but counters are normally created through Registry.Counter so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Allocation-free.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one. Allocation-free.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, subscriber
+// counts, high-water marks).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. Allocation-free.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease). Allocation-free.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Max ratchets the gauge up to n if n exceeds the current value.
+// Allocation-free; safe under concurrent ratchets.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current gauge value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of every Histogram: power-of-2
+// upper bounds 1, 2, 4, … 2^(histBuckets-2), plus a final +Inf bucket.
+// 2^38 ns ≈ 275 s, so the finite range covers every latency this
+// daemon can plausibly produce.
+const histBuckets = 40
+
+// histTopBound is the largest finite bucket bound; saturated
+// observations quantile to it.
+const histTopBound = int64(1) << (histBuckets - 2)
+
+// Histogram is a fixed-bucket latency histogram with power-of-2 bounds.
+// Observe is allocation-free and lock-free: the bucket index is a
+// single bits.Len64, and buckets/sum/count are atomics on pre-allocated
+// storage. Quantiles are extracted at read time from the cumulative
+// bucket counts.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf returns the index of the smallest bucket whose upper bound
+// holds v: bucket i spans (2^(i-1), 2^i]. Non-positive values land in
+// bucket 0; values beyond the finite range land in the +Inf bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value (conventionally nanoseconds, but any
+// non-negative magnitude works — flight sizes use it too).
+// Allocation-free.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns the upper bucket bound at quantile q in [0, 1]: the
+// smallest bucket bound b such that at least q of all observations are
+// ≤ b. Edge cases are pinned by tests: an empty histogram returns 0; a
+// single sample returns its bucket bound; observations saturating the
+// +Inf bucket return the largest finite bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == histBuckets-1 {
+				return histTopBound
+			}
+			return int64(1) << i
+		}
+	}
+	return histTopBound
+}
+
+// Label is one name="value" pair attached to a metric at registration
+// time. Labels are rendered once, at registration — never on the hot
+// path.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind discriminates the exposition TYPE of a registered series.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterFunc
+)
+
+// metric is one registered series: a family name, an optional rendered
+// label set, and exactly one of the typed value holders.
+type metric struct {
+	name   string
+	help   string
+	labels string // pre-rendered `k="v",k2="v2"`, "" when unlabeled
+	kind   metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFunc func() float64
+	hist      *Histogram
+}
+
+// Registry holds registered metrics and renders them in Prometheus text
+// format. Registration takes a lock; reading and writing metric values
+// does not. Register every series up front — series of the same family
+// (same name, different labels) should be registered consecutively so
+// the exposition groups them under one HELP/TYPE header.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, labels: renderLabels(labels), kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, labels: renderLabels(labels), kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is collected by calling f at
+// scrape time. It is how existing counters (rtether.AdmissionStats,
+// coalescer atomics) are promoted into the exposition with zero
+// hot-path cost: the instrumented code keeps its own counters and the
+// registry reads them only when scraped.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.add(&metric{name: name, help: help, labels: renderLabels(labels), kind: kindGaugeFunc, gaugeFunc: f})
+}
+
+// CounterFunc registers a counter whose value is collected by calling f
+// at scrape time — the monotonic twin of GaugeFunc, for promoting
+// counters that already exist elsewhere (admission totals, coalescer
+// flight counts) into the exposition under the counter TYPE.
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.add(&metric{name: name, help: help, labels: renderLabels(labels), kind: kindCounterFunc, gaugeFunc: f})
+}
+
+// Histogram registers and returns a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.add(&metric{name: name, help: help, labels: renderLabels(labels), kind: kindHistogram, hist: h})
+	return h
+}
+
+// add appends one series under the registration lock.
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// snapshot copies the series slice so exposition can run without
+// holding the registration lock.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}
+
+// renderLabels renders a label set once, at registration time.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b []byte
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Key...)
+		b = append(b, '=', '"')
+		b = appendEscaped(b, l.Value)
+		b = append(b, '"')
+	}
+	return string(b)
+}
+
+// appendEscaped escapes a label value per the Prometheus text format.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}

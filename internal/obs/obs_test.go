@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGauge exercises the scalar metrics' basic arithmetic.
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Max(5)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after Max(5) = %d, want 7 (ratchet must not lower)", got)
+	}
+	g.Max(42)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("gauge after Max(42) = %d, want 42", got)
+	}
+}
+
+// TestHistogramBuckets pins the power-of-2 bucketing: each observation
+// must land in the smallest bucket whose bound holds it.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {histTopBound, histBuckets - 2},
+		{histTopBound + 1, histBuckets - 1}, {1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the documented edge cases: empty
+// histogram, single sample, and observations saturating the top bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	// Empty: every quantile is 0.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// Single sample: every quantile is its bucket bound.
+	h.Observe(1000) // bucket bound 1024
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1024 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 1024", q, got)
+		}
+	}
+	// Saturated top bucket: values beyond the finite range quantile to
+	// the largest finite bound, never to a nonsense +Inf.
+	var sat Histogram
+	for i := 0; i < 10; i++ {
+		sat.Observe(histTopBound * 4)
+	}
+	if got := sat.Quantile(0.99); got != histTopBound {
+		t.Fatalf("saturated Quantile(0.99) = %d, want top bound %d", got, histTopBound)
+	}
+}
+
+// TestHistogramQuantileSpread checks quantile extraction over a known
+// distribution: 90 fast observations and 10 slow ones.
+func TestHistogramQuantileSpread(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket bound 128
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket bound 131072
+	}
+	if got := h.Quantile(0.50); got != 128 {
+		t.Fatalf("p50 = %d, want 128", got)
+	}
+	if got := h.Quantile(0.90); got != 128 {
+		t.Fatalf("p90 = %d, want 128 (rank 90 of 100 is the last fast sample)", got)
+	}
+	if got := h.Quantile(0.99); got != 131072 {
+		t.Fatalf("p99 = %d, want 131072", got)
+	}
+	if got, want := h.Count(), int64(100); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), int64(90*100+10*100000); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentMutation hammers one counter, gauge and histogram from
+// many goroutines; run under -race this is the data-race gate for the
+// whole hot path, and the final totals prove no increment was lost.
+func TestConcurrentMutation(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	r := NewRegistry()
+	c := r.Counter("obs_test_ops_total", "test counter")
+	g := r.Gauge("obs_test_depth", "test gauge")
+	h := r.Histogram("obs_test_latency_ns", "test histogram")
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(seed*100 + int64(j%7))
+				if j%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(goroutines*perG); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got, want := h.Count(), int64(goroutines*perG); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestSpanRing checks wraparound and oldest-first snapshots.
+func TestSpanRing(t *testing.T) {
+	r := NewSpanRing(3)
+	if got := r.Len(); got != 0 {
+		t.Fatalf("empty ring Len = %d", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Record(Span{Flight: int64(i)})
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	want := []int64{3, 4, 5}
+	for i, s := range snap {
+		if s.Flight != want[i] {
+			t.Fatalf("snapshot[%d].Flight = %d, want %d (got %v)", i, s.Flight, want[i], snap)
+		}
+	}
+}
+
+// TestHotPathZeroAllocs pins the registry's hot-path contract: once
+// registered, counter adds, gauge sets and histogram observations
+// allocate nothing. The admission sweep's own 0 allocs/op pin
+// (internal/admit) depends on this holding.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("obs_alloc_total", "pin", Label{Key: "k", Value: "v"})
+	g := r.Gauge("obs_alloc_depth", "pin")
+	h := r.Histogram("obs_alloc_ns", "pin")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(7)
+		g.Max(9)
+		h.Observe(12345)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

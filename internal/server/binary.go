@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/rtether"
 	"repro/rtether/wire"
@@ -152,6 +153,10 @@ func badFrame(t wire.MsgType, err error) *wire.Error {
 // reply frame with the same request ID.
 func (bc *binConn) dispatch(ctx context.Context, t wire.MsgType, reqID uint32, payload []byte) {
 	s := bc.s
+	if h := s.metrics.binDur[t]; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	switch t {
 	case wire.MsgEstablish:
 		spec, err := wire.DecodeEstablish(payload)

@@ -234,7 +234,7 @@ func TestBinaryVerdictsReachWatchFeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Type != wire.EventAdmit || ev.ID != uint16(ch.ID) {
+	if ev.Type != wire.EventAdmit || ev.ID != uint32(ch.ID) {
 		t.Fatalf("watch event = %+v, want admit of %d", ev, ch.ID)
 	}
 }

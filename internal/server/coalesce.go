@@ -16,6 +16,22 @@ type pending struct {
 	sinks []rtether.NodeID
 	ctx   context.Context
 	out   chan verdict // buffered(1); the flight posts exactly one verdict
+	enq   time.Time    // when the request entered the queue (coalesce-wait accounting)
+}
+
+// flightRecord summarizes one merged admission flight for the
+// observability layer: how many requests merged, the longest queue wait
+// among them, how long the kernel pass and verdict fan-out took, and
+// the accept/reject split. One record per flight — off the per-request
+// hot path.
+type flightRecord struct {
+	start     time.Time
+	merged    int
+	waitNs    int64
+	admitNs   int64
+	publishNs int64
+	accepted  int
+	rejected  int
 }
 
 // verdict is the per-request outcome of a flight.
@@ -46,6 +62,9 @@ type coalescer struct {
 	// nil.
 	note        func(spec rtether.ChannelSpec, sinks []rtether.NodeID, ch *rtether.Channel, err error)
 	noteRelease func(id rtether.ChannelID)
+	// noteFlight receives one record per merged flight, after its
+	// verdicts posted; nil disables flight recording.
+	noteFlight func(flightRecord)
 
 	reqs     chan *pending
 	quit     chan struct{}
@@ -61,7 +80,7 @@ type coalescer struct {
 // first request of a batch back up to that long to let more requests
 // join; window == 0 (the recommended default) merges exactly what
 // queued while the previous flight ran, adding no idle latency.
-func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note func(rtether.ChannelSpec, []rtether.NodeID, *rtether.Channel, error), noteRelease func(rtether.ChannelID)) *coalescer {
+func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note func(rtether.ChannelSpec, []rtether.NodeID, *rtether.Channel, error), noteRelease func(rtether.ChannelID), noteFlight func(flightRecord)) *coalescer {
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
@@ -71,6 +90,7 @@ func newCoalescer(net *rtether.Network, window time.Duration, maxBatch int, note
 		maxBatch:    maxBatch,
 		note:        note,
 		noteRelease: noteRelease,
+		noteFlight:  noteFlight,
 		reqs:        make(chan *pending, maxBatch),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -100,6 +120,7 @@ func (c *coalescer) establishMulticast(ctx context.Context, spec rtether.Multica
 // context is canceled, or the coalescer shuts down.
 func (c *coalescer) submit(p *pending) (*rtether.Channel, error) {
 	ctx := p.ctx
+	p.enq = time.Now()
 	c.establishes.Add(1)
 	select {
 	case <-c.quit:
@@ -234,16 +255,26 @@ func (c *coalescer) fly(batch []*pending) {
 		return
 	}
 	reqs := make([]rtether.EstablishReq, len(live))
+	start := time.Now()
+	var waitNs int64
 	for i, p := range live {
 		reqs[i] = rtether.EstablishReq{Spec: p.spec, Sinks: p.sinks}
+		if w := start.Sub(p.enq).Nanoseconds(); w > waitNs {
+			waitNs = w
+		}
 	}
 	c.flights.Add(1)
 	if n := int64(len(live)); n > c.maxMerged.Load() {
 		c.maxMerged.Store(n)
 	}
 	chs, errs := c.net.EstablishEachMixed(reqs)
+	admitDone := time.Now()
+	accepted := 0
 	for i, p := range live {
 		ch, err := chs[i], errs[i]
+		if ch != nil {
+			accepted++
+		}
 		if c.note != nil {
 			c.note(p.spec, p.sinks, ch, err)
 		}
@@ -257,6 +288,17 @@ func (c *coalescer) fly(batch []*pending) {
 			continue
 		}
 		p.out <- verdict{ch: ch, err: err}
+	}
+	if c.noteFlight != nil {
+		c.noteFlight(flightRecord{
+			start:     start,
+			merged:    len(live),
+			waitNs:    waitNs,
+			admitNs:   admitDone.Sub(start).Nanoseconds(),
+			publishNs: time.Since(admitDone).Nanoseconds(),
+			accepted:  accepted,
+			rejected:  len(live) - accepted,
+		})
 	}
 }
 

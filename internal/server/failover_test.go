@@ -99,11 +99,11 @@ func TestFailEndpointEndToEnd(t *testing.T) {
 	if rep.Affected != 2 || len(rep.Outcomes) != 2 {
 		t.Fatalf("fail reply = %+v, want 2 affected with outcomes", rep)
 	}
-	fates := map[uint16]string{}
+	fates := map[uint32]string{}
 	for _, oc := range rep.Outcomes {
 		fates[oc.ID] = oc.Outcome
 	}
-	if fates[uint16(agile.ID)] != "rerouted" || fates[uint16(doomed.ID)] != "lost" {
+	if fates[uint32(agile.ID)] != "rerouted" || fates[uint32(doomed.ID)] != "lost" {
 		t.Fatalf("fates = %v, want %d rerouted and %d lost", fates, agile.ID, doomed.ID)
 	}
 
@@ -118,11 +118,11 @@ func TestFailEndpointEndToEnd(t *testing.T) {
 	for _, ev := range collectUntil(t, w, done) {
 		switch ev.Type {
 		case wire.EventReroute:
-			if ev.ID != uint16(agile.ID) || ev.Cause != "trunk 0-1 down" {
+			if ev.ID != uint32(agile.ID) || ev.Cause != "trunk 0-1 down" {
 				t.Errorf("reroute event = %+v, want id %d cause \"trunk 0-1 down\"", ev, agile.ID)
 			}
 		case wire.EventLost:
-			if ev.ID != uint16(doomed.ID) || ev.Error == nil {
+			if ev.ID != uint32(doomed.ID) || ev.Error == nil {
 				t.Errorf("lost event = %+v, want id %d with error", ev, doomed.ID)
 			}
 		}
@@ -143,7 +143,7 @@ func TestFailEndpointEndToEnd(t *testing.T) {
 		t.Fatalf("repair = %+v, %v, want empty report", rep, err)
 	}
 	infos, err := cl.Channels(ctx)
-	if err != nil || len(infos) != 1 || infos[0].ID != uint16(agile.ID) {
+	if err != nil || len(infos) != 1 || infos[0].ID != uint32(agile.ID) {
 		t.Fatalf("channels after recovery = %+v, %v, want only %d", infos, err, agile.ID)
 	}
 }

@@ -50,6 +50,14 @@ type Config struct {
 	// MaxBatch caps how many establish requests merge into one pass
 	// (default 1024).
 	MaxBatch int
+	// HeartbeatInterval, when positive, publishes a periodic heartbeat
+	// event on the /v1/watch feed carrying the feed's sequence
+	// high-water mark and the current channel count. 0 disables
+	// heartbeats.
+	HeartbeatInterval time.Duration
+	// SpanRingSize caps the flight recorder served by GET /v1/spans
+	// (default 256).
+	SpanRingSize int
 	// Log receives one line per lifecycle event; nil disables logging.
 	Log *log.Logger
 }
@@ -62,8 +70,10 @@ type Server struct {
 	coal      *coalescer
 	hub       *hub
 	topics    *pubsub.Registry
+	metrics   *serverMetrics
 	log       *log.Logger
 	start     time.Time
+	hbQuit    chan struct{}
 	closeOnce sync.Once
 
 	// Binary transport state (binary.go): the listeners ServeBinary is
@@ -78,41 +88,55 @@ type Server struct {
 // dispatcher.
 func New(cfg Config) *Server {
 	s := &Server{
-		net:   cfg.Network,
-		mux:   http.NewServeMux(),
-		hub:   newHub(),
-		log:   cfg.Log,
-		start: time.Now(),
+		net:    cfg.Network,
+		mux:    http.NewServeMux(),
+		hub:    newHub(),
+		log:    cfg.Log,
+		start:  time.Now(),
+		hbQuit: make(chan struct{}),
 	}
-	s.coal = newCoalescer(cfg.Network, cfg.CoalesceWindow, cfg.MaxBatch, s.noteVerdict, s.noteRelease)
+	s.coal = newCoalescer(cfg.Network, cfg.CoalesceWindow, cfg.MaxBatch, s.noteVerdict, s.noteRelease, s.onFlight)
 	// Topic channel lifecycle republishes on the /v1/watch feed so a
 	// watcher sees membership-driven re-admissions like any other verdict.
 	s.topics = pubsub.NewRegistry(cfg.Network, pubsub.Hooks{
 		Admitted: func(topic string, ch *rtether.Channel) {
 			ws := wire.FromSpec(ch.Spec())
 			s.logf("admit RT#%d topic %q sinks=%v budgets=%v", ch.ID(), topic, ch.Sinks(), ch.Budgets())
-			s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint16(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
+			s.metrics.admits.Inc()
+			s.metrics.topicAdmits.Inc()
+			s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint32(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
 		},
 		Released: func(topic string, id rtether.ChannelID) {
 			s.logf("release RT#%d topic %q", id, topic)
-			s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint16(id)})
+			s.metrics.releases.Inc()
+			s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint32(id)})
 		},
 	})
-	s.mux.HandleFunc("POST /v1/establish", s.handleEstablish)
-	s.mux.HandleFunc("POST /v1/establishAll", s.handleEstablishAll)
-	s.mux.HandleFunc("POST /v1/multicast", s.handleEstablishMulticast)
-	s.mux.HandleFunc("POST /v1/fail", s.handleFail)
-	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
-	s.mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/channels", s.handleChannels)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/topics", s.handleCreateTopic)
-	s.mux.HandleFunc("GET /v1/topics", s.handleListTopics)
-	s.mux.HandleFunc("POST /v1/topics/publish", s.handlePublish)
-	s.mux.HandleFunc("GET /v1/topics/subscribe", s.handleSubscribe)
+	s.metrics = newServerMetrics(s, cfg.SpanRingSize)
+	s.mountRoutes([]route{
+		{"POST /v1/establish", s.handleEstablish},
+		{"POST /v1/establishAll", s.handleEstablishAll},
+		{"POST /v1/multicast", s.handleEstablishMulticast},
+		{"POST /v1/fail", s.handleFail},
+		{"POST /v1/release", s.handleRelease},
+		{"POST /v1/reconfigure", s.handleReconfigure},
+		{"GET /v1/stats", s.handleStats},
+		{"GET /v1/channels", s.handleChannels},
+		{"GET /v1/metrics", s.handleMetrics},
+		{"GET /v1/watch", s.handleWatch},
+		{"GET /v1/healthz", s.handleHealthz},
+		{"GET /v1/spans", s.handleSpans},
+		{"POST /v1/topics", s.handleCreateTopic},
+		{"GET /v1/topics", s.handleListTopics},
+		{"POST /v1/topics/publish", s.handlePublish},
+		{"GET /v1/topics/subscribe", s.handleSubscribe},
+	})
+	// The exposition endpoint itself is unwrapped: scrapes should not
+	// perturb the request metrics they read.
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	if cfg.HeartbeatInterval > 0 {
+		go s.heartbeatLoop(cfg.HeartbeatInterval)
+	}
 	return s
 }
 
@@ -124,6 +148,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // close the hosted Network. Close is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		close(s.hbQuit)
 		s.coal.close()
 		s.topics.Close()
 		s.hub.close()
@@ -150,10 +175,12 @@ func (s *Server) noteVerdict(spec rtether.ChannelSpec, sinks []rtether.NodeID, c
 		} else {
 			s.logf("admit RT#%d %v budgets=%v", ch.ID(), spec, ch.Budgets())
 		}
-		s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint16(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
+		s.metrics.admits.Inc()
+		s.hub.publish(wire.WatchEvent{Type: wire.EventAdmit, ID: uint32(ch.ID()), Spec: &ws, Budgets: ch.Budgets()})
 		return
 	}
 	s.logf("reject %v: %v", spec, err)
+	s.metrics.rejects.Inc()
 	s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: errorBody(err)})
 }
 
@@ -162,7 +189,7 @@ func (s *Server) noteVerdict(spec rtether.ChannelSpec, sinks []rtether.NodeID, c
 func (s *Server) noteFailover(cause string, rep *rtether.FailoverReport) {
 	for _, oc := range rep.Outcomes {
 		ws := wire.FromSpec(oc.Spec)
-		ev := wire.WatchEvent{ID: uint16(oc.ID), Spec: &ws, Cause: cause}
+		ev := wire.WatchEvent{ID: uint32(oc.ID), Spec: &ws, Cause: cause}
 		switch oc.Outcome {
 		case rtether.Rerouted:
 			ev.Type = wire.EventReroute
@@ -185,7 +212,8 @@ func (s *Server) noteFailover(cause string, rep *rtether.FailoverReport) {
 // noteRelease publishes one release on the watch feed and the log.
 func (s *Server) noteRelease(id rtether.ChannelID) {
 	s.logf("release RT#%d", id)
-	s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint16(id)})
+	s.metrics.releases.Inc()
+	s.hub.publish(wire.WatchEvent{Type: wire.EventRelease, ID: uint32(id)})
 }
 
 // errorBody classifies an error into the wire envelope: the code, the
@@ -285,7 +313,7 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 // channelReply assembles the wire description of an established handle.
 func channelReply(ch *rtether.Channel) wire.ChannelReply {
 	return wire.ChannelReply{
-		ID:              uint16(ch.ID()),
+		ID:              uint32(ch.ID()),
 		Budgets:         ch.Budgets(),
 		GuaranteedDelay: ch.GuaranteedDelay(),
 	}
@@ -358,7 +386,7 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	reply := wire.FailReply{Affected: rep.Affected}
 	for _, oc := range rep.Outcomes {
 		reply.Outcomes = append(reply.Outcomes, wire.FailOutcome{
-			ID:      uint16(oc.ID),
+			ID:      uint32(oc.ID),
 			Outcome: oc.Outcome.String(),
 			NewD:    oc.NewD,
 		})
@@ -412,6 +440,7 @@ func (s *Server) doEstablishAll(specs []rtether.ChannelSpec) (wire.EstablishAllR
 		}
 		ws := wire.FromSpec(rejected)
 		we := errorBody(err)
+		s.metrics.rejects.Inc()
 		s.hub.publish(wire.WatchEvent{Type: wire.EventReject, Spec: &ws, Error: we})
 		return wire.EstablishAllReply{}, we
 	}
@@ -438,7 +467,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 
 // doRelease frees one channel by ID; nil means success. Shared by the
 // HTTP handler and the binary dispatcher.
-func (s *Server) doRelease(id uint16) *wire.Error {
+func (s *Server) doRelease(id uint32) *wire.Error {
 	ch := s.net.Lookup(rtether.ChannelID(id))
 	if ch == nil {
 		return unknownChannel(id)
@@ -499,7 +528,7 @@ func (s *Server) doReconfigure(ctx context.Context, req wire.ReconfigureRequest)
 }
 
 // unknownChannel builds the 404 envelope for a channel ID.
-func unknownChannel(id uint16) *wire.Error {
+func unknownChannel(id uint32) *wire.Error {
 	return &wire.Error{Code: wire.CodeUnknownChannel, Message: fmt.Sprintf("rtetherd: unknown channel %d", id)}
 }
 
@@ -533,7 +562,7 @@ func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
 			continue // raced a release
 		}
 		rep.Channels = append(rep.Channels, wire.ChannelInfo{
-			ID:      uint16(id),
+			ID:      uint32(id),
 			Spec:    wire.FromSpec(ch.Spec()),
 			Budgets: ch.Budgets(),
 		})
@@ -544,14 +573,14 @@ func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
 // handleMetrics reports one channel's delivery measurements.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("id")
-	id, err := strconv.ParseUint(raw, 10, 16)
+	id, err := strconv.ParseUint(raw, 10, 32)
 	if err != nil {
 		writeWireErr(w, &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("rtetherd: bad channel id %q", raw)})
 		return
 	}
 	ch := s.net.Lookup(rtether.ChannelID(id))
 	if ch == nil {
-		writeWireErr(w, unknownChannel(uint16(id)))
+		writeWireErr(w, unknownChannel(uint32(id)))
 		return
 	}
 	writeJSON(w, wire.FromMetrics(ch.ID(), ch.Metrics()))
@@ -651,7 +680,7 @@ func (s *Server) handleListTopics(w http.ResponseWriter, r *http.Request) {
 		ti := wire.TopicInfo{
 			Name: info.Name, Src: uint16(info.Src),
 			C: info.C, P: info.P, D: info.D,
-			ChannelID: uint16(info.ChannelID),
+			ChannelID: uint32(info.ChannelID),
 			Published: info.Published,
 		}
 		for _, n := range info.Subscribers {

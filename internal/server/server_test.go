@@ -60,7 +60,7 @@ func TestEstablishReleaseRoundTrip(t *testing.T) {
 	}
 
 	infos, err := cl.Channels(ctx)
-	if err != nil || len(infos) != 1 || infos[0].ID != uint16(ch.ID) {
+	if err != nil || len(infos) != 1 || infos[0].ID != uint32(ch.ID) {
 		t.Fatalf("channels = %+v, %v", infos, err)
 	}
 	m, err := cl.Metrics(ctx, ch.ID)
@@ -323,7 +323,7 @@ func TestWatchFeed(t *testing.T) {
 			}
 		case wire.EventRelease:
 			releases++
-			if ev.ID != uint16(ch.ID) {
+			if ev.ID != uint32(ch.ID) {
 				t.Errorf("release names channel %d, want %d", ev.ID, ch.ID)
 			}
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/rtether/wire"
 )
@@ -28,6 +29,9 @@ type hub struct {
 	seq    uint64
 	subs   map[*subscriber]struct{}
 	closed bool
+	// evictions counts subscribers dropped for falling behind (not
+	// clean unsubscribes or shutdown) — promoted into /metrics.
+	evictions atomic.Int64
 }
 
 func newHub() *hub {
@@ -72,6 +76,7 @@ func (h *hub) publish(ev wire.WatchEvent) {
 		default:
 			delete(h.subs, s)
 			close(s.dropped)
+			h.evictions.Add(1)
 		}
 	}
 }

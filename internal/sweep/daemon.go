@@ -92,6 +92,10 @@ func (g *Grid) runDaemonCell(ctx context.Context, c *Cell, s *scenario.Scenario)
 	if err != nil {
 		return benchfmt.Result{}, err
 	}
+	promBefore, err := cl.MetricsProm(ctx)
+	if err != nil {
+		return benchfmt.Result{}, fmt.Errorf("scraping /metrics before run: %w", err)
+	}
 
 	clients := g.Clients
 	if clients < 1 {
@@ -104,6 +108,10 @@ func (g *Grid) runDaemonCell(ctx context.Context, c *Cell, s *scenario.Scenario)
 	statsAfter, err := cl.Stats(ctx)
 	if err != nil {
 		return benchfmt.Result{}, err
+	}
+	promAfter, err := cl.MetricsProm(ctx)
+	if err != nil {
+		return benchfmt.Result{}, fmt.Errorf("scraping /metrics after run: %w", err)
 	}
 	if n := res.ProtoErrs(); n > 0 {
 		return benchfmt.Result{}, fmt.Errorf("%d protocol errors during replay", n)
@@ -125,6 +133,23 @@ func (g *Grid) runDaemonCell(ctx context.Context, c *Cell, s *scenario.Scenario)
 			"repartitions": float64(statsAfter.Admission.Repartitions - statsBefore.Admission.Repartitions),
 		},
 	}
+	// Server-side counters attributed to this cell by differencing the
+	// /metrics scrape taken before and after the replay.
+	delta := func(series string) float64 { return promAfter[series] - promBefore[series] }
+	linksChecked := delta("rtether_links_checked_total")
+	cacheHits := delta("rtether_verify_cache_hits_total")
+	out.Metrics["srv-links-checked"] = linksChecked
+	out.Metrics["srv-verify-cache-hits"] = cacheHits
+	if linksChecked > 0 {
+		out.Metrics["srv-cache-hit-rate"] = cacheHits / linksChecked
+	}
+	out.Metrics["srv-flights"] = delta("rtether_flights_total")
+	if f := delta("rtether_flights_total"); f > 0 {
+		// Establishes per flight: the coalescer's effective merge factor.
+		out.Metrics["srv-coalesce-merges"] = delta("rtether_establishes_total") / f
+	}
+	out.Metrics["srv-watch-evictions"] = delta("rtether_watch_evictions_total")
+	out.Metrics["srv-sweep-seconds"] = delta("rtether_sweep_seconds_total")
 	if est.Lat.Count() > 0 {
 		out.Metrics["ns/op"] = est.Lat.Mean()
 		out.Metrics["est-p50-ns"] = float64(est.Lat.Percentile(50))

@@ -209,11 +209,11 @@ func (g *Grid) runReplayCell(c *Cell, s *scenario.Scenario) (benchfmt.Result, er
 		Name: cellTitle(g, c),
 		Runs: int64(m.ops),
 		Metrics: map[string]float64{
-			"accepted":     float64(m.accepted),
-			"rejected":     float64(m.rejected),
-			"released":     float64(m.released),
-			"skipped":      float64(m.skipped),
-			"repartitions": float64(stats.Repartitions),
+			"accepted":      float64(m.accepted),
+			"rejected":      float64(m.rejected),
+			"released":      float64(m.released),
+			"skipped":       float64(m.skipped),
+			"repartitions":  float64(stats.Repartitions),
 			"links-checked": float64(stats.LinksChecked),
 		},
 	}

@@ -224,6 +224,16 @@ func TestSweepDaemon2x2(t *testing.T) {
 		if b.Metrics["est-p99-ns"] < b.Metrics["est-p50-ns"] {
 			t.Errorf("%s: percentile order broken: %v", b.Name, b.Metrics)
 		}
+		// The /metrics scrape taken around the replay must land
+		// server-side counters in the merged document.
+		for _, key := range []string{"srv-links-checked", "srv-cache-hit-rate", "srv-flights", "srv-coalesce-merges"} {
+			if _, ok := b.Metrics[key]; !ok {
+				t.Errorf("%s: scraped metric %q missing: %v", b.Name, key, b.Metrics)
+			}
+		}
+		if b.Metrics["srv-flights"] == 0 {
+			t.Errorf("%s: scrape recorded no flights: %v", b.Name, b.Metrics)
+		}
 	}
 	// Both transports must appear — the axis is the point of the grid.
 	var buf bytes.Buffer

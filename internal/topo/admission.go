@@ -129,6 +129,11 @@ func (c *Controller) Repartitions() int { return c.eng.Repartitions() }
 // fresh EDF analysis (see admit.Engine.SweepSkips).
 func (c *Controller) SweepSkips() int { return c.eng.SweepSkips() }
 
+// SweepNs returns the cumulative wall-clock nanoseconds the engine has
+// spent inside verification sweeps (observability accounting; measured,
+// not deterministic).
+func (c *Controller) SweepNs() int64 { return c.eng.SweepNs() }
+
 // validate routes a spec and checks the route-generalized deadline
 // condition, returning the route.
 func (c *Controller) validate(spec core.ChannelSpec) ([]Edge, error) {

@@ -27,6 +27,15 @@ type AdmissionStats struct {
 	RejectedInconclusive int // analysis hit configured limits
 	Released             int // channels torn down
 	LinksChecked         int // cumulative per-link feasibility tests
+	// VerifyCacheHits counts the LinksChecked answers the kernel's
+	// generation-keyed verdict cache served without running the EDF
+	// analysis (LinksChecked includes them, so the cache hit-rate is
+	// VerifyCacheHits / LinksChecked).
+	VerifyCacheHits int
+	// SweepNs is the cumulative wall-clock time (nanoseconds) the kernel
+	// spent inside verification sweeps. Unlike the deterministic
+	// counters above it is measured, so it varies run to run.
+	SweepNs int64
 	// Repartitions counts the deadline-repartition passes the admission
 	// kernel has run: one per scheme attempted per decision — a whole
 	// batch (EstablishAll) counts once, and a merged EstablishEach group
@@ -303,6 +312,8 @@ func (b *starBackend) admissionStats() AdmissionStats {
 		RejectedInconclusive: st.RejectedInconclusive,
 		Released:             st.Released,
 		LinksChecked:         st.LinksChecked,
+		VerifyCacheHits:      b.inner.Controller().SweepSkips(),
+		SweepNs:              b.inner.Controller().SweepNs(),
 		Repartitions:         st.Repartitions,
 		MeanLinkUtilization:  state.MeanLinkUtilization(),
 		LoadedLinks:          len(state.Links()),
@@ -360,7 +371,7 @@ func (b *fabricBackend) establish(spec ChannelSpec) (ChannelID, []int64, error) 
 	b.stats.Requests++
 	ch, err := b.ctrl.Request(spec)
 	if err != nil {
-		b.noteRejection(err)
+		b.noteRejection(spec.Src, err)
 		route, _ := b.top.inner.Route(spec.Src, spec.Dst)
 		return 0, nil, fabricAdmissionError(spec, err, route)
 	}
@@ -378,7 +389,7 @@ func (b *fabricBackend) establishMulticast(spec MulticastSpec) (ChannelID, []int
 	b.stats.Requests++
 	ch, err := b.ctrl.RequestMulticast(spec)
 	if err != nil {
-		b.noteRejection(err)
+		b.noteRejection(spec.Src, err)
 		tree, parents, leaves, _ := b.top.inner.MulticastTree(spec.Src, spec.Sinks)
 		return 0, nil, fabricMulticastAdmissionError(spec, err, tree, parents, leaves, spec.Sinks)
 	}
@@ -394,7 +405,11 @@ func (b *fabricBackend) establishAll(specs []ChannelSpec) ([]ChannelID, error) {
 	b.stats.Requests += len(specs)
 	chs, err := b.ctrl.RequestAll(specs)
 	if err != nil {
-		b.noteRejection(err)
+		src := NodeID(0)
+		if len(specs) > 0 {
+			src = specs[0].Src
+		}
+		b.noteRejection(src, err)
 		return nil, b.fabricBatchError(specs, err)
 	}
 	b.stats.Accepted += len(specs)
@@ -443,7 +458,7 @@ func (b *fabricBackend) establishEach(specs []ChannelSpec) ([]ChannelID, []error
 	ids := make([]ChannelID, len(specs))
 	for i, err := range errs {
 		if err != nil {
-			b.noteRejection(err)
+			b.noteRejection(specs[i].Src, err)
 			route, _ := b.top.inner.Route(specs[i].Src, specs[i].Dst)
 			errs[i] = fabricAdmissionError(specs[i], err, route)
 			continue
@@ -468,7 +483,7 @@ func (b *fabricBackend) establishEachReq(reqs []core.Req) ([]ChannelID, []error)
 	ids := make([]ChannelID, len(reqs))
 	for i, err := range errs {
 		if err != nil {
-			b.noteRejection(err)
+			b.noteRejection(reqs[i].Spec.Src, err)
 			if len(reqs[i].Sinks) > 0 {
 				spec := reqs[i].MulticastSpec()
 				tree, parents, leaves, _ := b.top.inner.MulticastTree(spec.Src, spec.Sinks)
@@ -490,7 +505,8 @@ func (b *fabricBackend) establishEachReq(reqs []core.Req) ([]ChannelID, []error)
 	return ids, errs
 }
 
-func (b *fabricBackend) noteRejection(err error) {
+func (b *fabricBackend) noteRejection(src NodeID, err error) {
+	b.sim.TraceAdmission(src, 0, false, 0)
 	rej, ok := err.(*topo.RejectionError)
 	if !ok {
 		if errors.Is(err, topo.ErrNoRoute) || errors.Is(err, topo.ErrUnknownNode) {
@@ -649,14 +665,20 @@ func (b *fabricBackend) linkLoadDown(id NodeID) int {
 	return b.ctrl.State().LinkLoad(topo.Edge{From: topo.SwitchEnd(home), To: topo.NodeEnd(id)})
 }
 
-// setTracer reports false: the fabric simulator does not stream trace
-// events (flight recording is a star-network feature for now).
-func (b *fabricBackend) setTracer(Tracer) bool { return false }
+// setTracer installs the flight recorder on the fabric simulator: both
+// backends stream the same netsim.TraceEvent vocabulary, so one
+// consumer (rtether.RingTracer, rtetherd) serves either topology.
+func (b *fabricBackend) setTracer(t Tracer) bool {
+	b.sim.SetTracer(t)
+	return true
+}
 
 func (b *fabricBackend) admissionStats() AdmissionStats {
 	st := b.stats
 	state := b.ctrl.State()
 	st.LinksChecked = b.ctrl.LinksChecked()
+	st.VerifyCacheHits = b.ctrl.SweepSkips()
+	st.SweepNs = b.ctrl.SweepNs()
 	st.Repartitions = b.ctrl.Repartitions()
 	st.LoadedLinks = len(state.Edges())
 	st.MeanLinkUtilization = state.MeanLinkUtilization()

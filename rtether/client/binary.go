@@ -307,7 +307,7 @@ func (c *Client) binEstablishAll(ctx context.Context, specs []rtether.ChannelSpe
 
 func (c *Client) binRelease(ctx context.Context, id rtether.ChannelID) error {
 	_, err := c.binCall(ctx, wire.MsgReleased, func(dst []byte, req uint32) []byte {
-		return wire.AppendRelease(dst, req, uint16(id))
+		return wire.AppendRelease(dst, req, uint32(id))
 	})
 	return err
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/rtether"
 	"repro/rtether/wire"
 )
@@ -203,7 +204,7 @@ func (c *Client) Release(ctx context.Context, id rtether.ChannelID) error {
 	if c.transport == TransportBinary {
 		return c.binRelease(ctx, id)
 	}
-	return c.call(ctx, http.MethodPost, "/v1/release", wire.ReleaseRequest{ID: uint16(id)}, nil)
+	return c.call(ctx, http.MethodPost, "/v1/release", wire.ReleaseRequest{ID: uint32(id)}, nil)
 }
 
 // Reconfigure replaces a channel's parameters with the non-zero
@@ -212,11 +213,11 @@ func (c *Client) Release(ctx context.Context, id rtether.ChannelID) error {
 // wire.ReconfigureRequest) reconfiguration leaves the channel released.
 func (c *Client) Reconfigure(ctx context.Context, id rtether.ChannelID, overrideC, overrideP, overrideD int64) (Channel, error) {
 	if c.transport == TransportBinary {
-		return c.binReconfigure(ctx, wire.ReconfigureRequest{ID: uint16(id), C: overrideC, P: overrideP, D: overrideD})
+		return c.binReconfigure(ctx, wire.ReconfigureRequest{ID: uint32(id), C: overrideC, P: overrideP, D: overrideD})
 	}
 	var rep wire.ChannelReply
 	err := c.call(ctx, http.MethodPost, "/v1/reconfigure",
-		wire.ReconfigureRequest{ID: uint16(id), C: overrideC, P: overrideP, D: overrideD}, &rep)
+		wire.ReconfigureRequest{ID: uint32(id), C: overrideC, P: overrideP, D: overrideD}, &rep)
 	if err != nil {
 		return Channel{}, err
 	}
@@ -272,6 +273,42 @@ func (c *Client) Channels(ctx context.Context) ([]wire.ChannelInfo, error) {
 func (c *Client) Metrics(ctx context.Context, id rtether.ChannelID) (wire.MetricsReply, error) {
 	var rep wire.MetricsReply
 	err := c.getRetry(ctx, fmt.Sprintf("/v1/metrics?id=%d", id), &rep)
+	return rep, err
+}
+
+// MetricsProm scrapes the daemon's Prometheus text exposition
+// (GET /metrics) into a flat series → value map: the full
+// `name{labels}` string (or the bare name when unlabeled) keys each
+// sample. Scraping before and after a run and differencing the maps
+// attributes server-side counters — cache hit-rate, flights, coalesce
+// merges — to that run; the sweep daemon mode and rtload do exactly
+// this.
+func (c *Client) MetricsProm(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &httpStatusError{method: http.MethodGet, path: "/metrics", status: resp.StatusCode}
+	}
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing exposition: %w", err)
+	}
+	return m, nil
+}
+
+// Spans fetches the daemon's admission flight recorder (GET /v1/spans):
+// the most recent coalesced flights with their wait / admit / verify /
+// publish split, oldest first.
+func (c *Client) Spans(ctx context.Context) (wire.SpansReply, error) {
+	var rep wire.SpansReply
+	err := c.getRetry(ctx, "/v1/spans", &rep)
 	return rep, err
 }
 

@@ -91,7 +91,7 @@ func TestWatchStreamsAcrossClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Type != wire.EventAdmit || ev.ID != uint16(ch.ID) {
+	if ev.Type != wire.EventAdmit || ev.ID != uint32(ch.ID) {
 		t.Errorf("watch saw %+v, want admit of %d", ev, ch.ID)
 	}
 	if errors.Is(err, io.EOF) {

@@ -178,8 +178,8 @@ func TestFabricNetworkRestrictions(t *testing.T) {
 	if net.SendBestEffort(0, 100, []byte("x")) {
 		t.Error("best-effort send accepted on a fabric")
 	}
-	if net.SetTracer(NewRingTracer(8)) {
-		t.Error("fabric claims trace support")
+	if !net.SetTracer(NewRingTracer(8)) {
+		t.Error("fabric rejects trace support; both backends stream events now")
 	}
 	if err := net.WriteSnapshot(nil); err == nil {
 		t.Error("fabric snapshot accepted")

@@ -35,9 +35,11 @@ const (
 func NewRingTracer(capacity int) *RingTracer { return netsim.NewRingTracer(capacity) }
 
 // SetTracer installs a tracer on the network; nil disables tracing. It
-// reports whether the network streams trace events — star networks do;
-// the multi-switch simulator does not (yet). The tracer is invoked on
-// the goroutine driving the simulation, under the network lock.
+// reports whether the network streams trace events — both backends do
+// (star and multi-switch fabric emit the same event-kind vocabulary; a
+// parity test pins it), so the result is true on every current
+// topology. The tracer is invoked on the goroutine driving the
+// simulation, under the network lock.
 func (n *Network) SetTracer(t Tracer) bool {
 	defer n.lk.unlock(n.lk.lock())
 	return n.be.setTracer(t)

@@ -1,0 +1,97 @@
+package rtether
+
+import (
+	"sort"
+	"testing"
+)
+
+// traceKinds runs one identical workload — an admitted channel carrying
+// traffic, then establishes repeated until the admission kernel rejects
+// one — and returns the set of event kinds the tracer observed.
+func traceKinds(t *testing.T, net *Network) map[EventKind]bool {
+	t.Helper()
+	defer net.Close()
+	tr := NewRingTracer(4096)
+	if !net.SetTracer(tr) {
+		t.Fatal("SetTracer = false; every current topology streams trace events")
+	}
+	ch, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 1, P: 50, D: 40})
+	if err != nil {
+		t.Fatalf("establish: %v", err)
+	}
+	ch.Start(0)
+	net.RunFor(200)
+	// Pile on heavy channels until utilization overflows: the rejection
+	// must reach the tracer as EvRejected on both backends.
+	rejected := false
+	for i := 0; i < 10 && !rejected; i++ {
+		if _, err := net.Establish(ChannelSpec{Src: 1, Dst: 2, C: 20, P: 50, D: 45}); err != nil {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("no establish rejected; workload cannot exercise EvRejected")
+	}
+	kinds := map[EventKind]bool{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind] = true
+	}
+	return kinds
+}
+
+// kindNames renders a kind set for failure messages.
+func kindNames(ks map[EventKind]bool) []string {
+	var out []string
+	for k := range ks {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestTracerParityStarFabric pins the tracer contract across backends:
+// the star and the multi-switch fabric stream the same event-kind
+// vocabulary for the same workload — admissions, rejections, frame
+// releases and deliveries all reach the flight recorder on both.
+func TestTracerParityStarFabric(t *testing.T) {
+	star := New()
+	star.MustAddNode(1)
+	star.MustAddNode(2)
+	starKinds := traceKinds(t, star)
+
+	top := NewTopology()
+	for s := SwitchID(0); s < 2; s++ {
+		if err := top.AddSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.Trunk(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Attach(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Attach(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	fabKinds := traceKinds(t, New(WithTopology(top)))
+
+	for _, k := range []EventKind{EvAdmitted, EvRejected, EvRelease, EvDeliver} {
+		if !starKinds[k] {
+			t.Errorf("star tracer missing %v", k)
+		}
+		if !fabKinds[k] {
+			t.Errorf("fabric tracer missing %v", k)
+		}
+	}
+	if len(starKinds) != len(fabKinds) {
+		t.Fatalf("event-kind vocabulary diverged:\n  star   %v\n  fabric %v",
+			kindNames(starKinds), kindNames(fabKinds))
+	}
+	for k := range starKinds {
+		if !fabKinds[k] {
+			t.Fatalf("star emitted %v but fabric did not:\n  star   %v\n  fabric %v",
+				k, kindNames(starKinds), kindNames(fabKinds))
+		}
+	}
+}

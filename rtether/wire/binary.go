@@ -12,7 +12,7 @@
 //
 //	offset size  field
 //	0      2     magic "RT" (0x52 0x54)
-//	2      1     version (currently 1)
+//	2      1     version (currently 2; v2 widened channel IDs to 32 bits)
 //	3      1     message type (Msg* constants)
 //	4      4     request ID, big-endian (echoed verbatim in the reply)
 //	8      4     payload length, big-endian (≤ MaxFramePayload)
@@ -48,7 +48,10 @@ const (
 	Magic0 = 0x52
 	Magic1 = 0x54
 	// BinaryVersion is the framing version this package speaks.
-	BinaryVersion = 1
+	// Version 2 widened channel IDs from 16 to 32 bits (ChannelReply,
+	// Release, Reconfigure) and extended the stats reply with the
+	// verify-cache hit counter and sweep-time accumulator.
+	BinaryVersion = 2
 	// FrameHeaderLen is the fixed frame header size.
 	FrameHeaderLen = 12
 	// MaxFramePayload caps a frame's payload; ReadFrame rejects larger
@@ -350,23 +353,23 @@ func DecodeMulticast(p []byte) (MulticastSpec, error) {
 }
 
 // AppendRelease appends one MsgRelease frame.
-func AppendRelease(dst []byte, reqID uint32, id uint16) []byte {
+func AppendRelease(dst []byte, reqID uint32, id uint32) []byte {
 	dst, start := beginFrame(dst, MsgRelease, reqID)
-	dst = binary.BigEndian.AppendUint16(dst, id)
+	dst = binary.BigEndian.AppendUint32(dst, id)
 	return endFrame(dst, start)
 }
 
 // DecodeRelease parses a MsgRelease payload.
-func DecodeRelease(p []byte) (uint16, error) {
+func DecodeRelease(p []byte) (uint32, error) {
 	b := binReader{p: p}
-	id := b.u16()
+	id := b.u32()
 	return id, b.finish()
 }
 
 // AppendReconfigure appends one MsgReconfigure frame.
 func AppendReconfigure(dst []byte, reqID uint32, r ReconfigureRequest) []byte {
 	dst, start := beginFrame(dst, MsgReconfigure, reqID)
-	dst = binary.BigEndian.AppendUint16(dst, r.ID)
+	dst = binary.BigEndian.AppendUint32(dst, r.ID)
 	dst = appendI64(dst, r.C)
 	dst = appendI64(dst, r.P)
 	dst = appendI64(dst, r.D)
@@ -376,7 +379,7 @@ func AppendReconfigure(dst []byte, reqID uint32, r ReconfigureRequest) []byte {
 // DecodeReconfigure parses a MsgReconfigure payload.
 func DecodeReconfigure(p []byte) (ReconfigureRequest, error) {
 	b := binReader{p: p}
-	r := ReconfigureRequest{ID: b.u16(), C: b.i64(), P: b.i64(), D: b.i64()}
+	r := ReconfigureRequest{ID: b.u32(), C: b.i64(), P: b.i64(), D: b.i64()}
 	return r, b.finish()
 }
 
@@ -389,7 +392,7 @@ func AppendStats(dst []byte, reqID uint32) []byte {
 // ---- replies ----
 
 func appendChannelReplyBody(dst []byte, r ChannelReply) []byte {
-	dst = binary.BigEndian.AppendUint16(dst, r.ID)
+	dst = binary.BigEndian.AppendUint32(dst, r.ID)
 	dst = appendI64(dst, r.GuaranteedDelay)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Budgets)))
 	for _, bgt := range r.Budgets {
@@ -399,7 +402,7 @@ func appendChannelReplyBody(dst []byte, r ChannelReply) []byte {
 }
 
 func (b *binReader) channelReply() ChannelReply {
-	r := ChannelReply{ID: b.u16(), GuaranteedDelay: b.i64()}
+	r := ChannelReply{ID: b.u32(), GuaranteedDelay: b.i64()}
 	n := int(b.u16())
 	if b.bad || n > (len(b.p)-b.off)/8 {
 		b.bad = true
@@ -442,7 +445,7 @@ func AppendChannelList(dst []byte, reqID uint32, r EstablishAllReply) []byte {
 func DecodeChannelList(p []byte) (EstablishAllReply, error) {
 	b := binReader{p: p}
 	n := int(b.u32())
-	const minReplyLen = 2 + 8 + 2
+	const minReplyLen = 4 + 8 + 2
 	if b.bad || n > (len(p)-b.off)/minReplyLen {
 		return EstablishAllReply{}, ErrTruncated
 	}
@@ -467,9 +470,10 @@ func AppendStatsReply(dst []byte, reqID uint32, r StatsReply) []byte {
 		int64(a.Requests), int64(a.Accepted), int64(a.RejectedInvalid),
 		int64(a.RejectedNoRoute), int64(a.RejectedUtilization),
 		int64(a.RejectedDemand), int64(a.RejectedInconclusive),
-		int64(a.Released), int64(a.LinksChecked), int64(a.Repartitions),
+		int64(a.Released), int64(a.LinksChecked), int64(a.VerifyCacheHits),
+		int64(a.Repartitions),
 		int64(a.Rerouted), int64(a.Degraded), int64(a.Preempted),
-		int64(a.Lost), int64(a.LoadedLinks),
+		int64(a.Lost), int64(a.LoadedLinks), a.SweepNs,
 	} {
 		dst = appendI64(dst, v)
 	}
@@ -490,12 +494,14 @@ func DecodeStatsReply(p []byte) (StatsReply, error) {
 		&a.Requests, &a.Accepted, &a.RejectedInvalid,
 		&a.RejectedNoRoute, &a.RejectedUtilization,
 		&a.RejectedDemand, &a.RejectedInconclusive,
-		&a.Released, &a.LinksChecked, &a.Repartitions,
+		&a.Released, &a.LinksChecked, &a.VerifyCacheHits,
+		&a.Repartitions,
 		&a.Rerouted, &a.Degraded, &a.Preempted,
 		&a.Lost, &a.LoadedLinks,
 	} {
 		*dst = int(b.i64())
 	}
+	a.SweepNs = b.i64()
 	a.MeanLinkUtilization = b.f64()
 	s := &r.Server
 	for _, dst := range [...]*int64{&s.Establishes, &s.Flights, &s.MaxMerged, &s.Watchers, &s.Channels} {

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChannelIDWide32 is the regression test for the 16-bit channel-ID
+// truncation: IDs above 65535 must survive both wire encodings intact.
+// The chosen ID truncates to a small plausible value under the old
+// uint16 schema, so any reintroduced narrowing fails loudly here.
+func TestChannelIDWide32(t *testing.T) {
+	const id = uint32(1)<<16 + 5 // uint16(id) == 5: truncation would alias channel 5
+
+	// JSON: the watch feed is where the truncation bug lived.
+	ev := WatchEvent{Type: EventAdmit, ID: id}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got WatchEvent
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id {
+		t.Fatalf("watch event ID = %d after JSON round trip, want %d", got.ID, id)
+	}
+
+	// Binary framing, v2: ChannelReply, Release and Reconfigure all
+	// carry 32-bit IDs.
+	frame := AppendChannelReply(nil, 7, ChannelReply{ID: id, GuaranteedDelay: 9, Budgets: []int64{4, 5}})
+	f, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	rep, err := DecodeChannelReply(f.Payload)
+	if err != nil || rep.ID != id {
+		t.Fatalf("ChannelReply round trip = {ID %d}, %v; want ID %d", rep.ID, err, id)
+	}
+
+	frame = AppendRelease(nil, 8, id)
+	f, _, err = ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	rid, err := DecodeRelease(f.Payload)
+	if err != nil || rid != id {
+		t.Fatalf("Release round trip = %d, %v; want %d", rid, err, id)
+	}
+
+	frame = AppendReconfigure(nil, 9, ReconfigureRequest{ID: id, C: 1, P: 2, D: 3})
+	f, _, err = ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	rc, err := DecodeReconfigure(f.Payload)
+	if err != nil || rc.ID != id {
+		t.Fatalf("Reconfigure round trip = {ID %d}, %v; want ID %d", rc.ID, err, id)
+	}
+}

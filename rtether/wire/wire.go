@@ -196,7 +196,7 @@ type EstablishRequest struct {
 // ID, committed per-hop deadline budgets (summing to D) and delivery
 // guarantee T_max.
 type ChannelReply struct {
-	ID              uint16  `json:"id"`
+	ID              uint32  `json:"id"`
 	Budgets         []int64 `json:"budgets"`
 	GuaranteedDelay int64   `json:"guaranteedDelay"`
 }
@@ -222,7 +222,7 @@ type EstablishAllReply struct {
 
 // ReleaseRequest frees one channel (POST /v1/release).
 type ReleaseRequest struct {
-	ID uint16 `json:"id"`
+	ID uint32 `json:"id"`
 }
 
 // ReleaseReply is the (empty) success body of a release.
@@ -237,7 +237,7 @@ type ReleaseReply struct{}
 // event, a rejected reconfiguration leaves the channel released — the
 // bandwidth was already given up.
 type ReconfigureRequest struct {
-	ID uint16 `json:"id"`
+	ID uint32 `json:"id"`
 	C  int64  `json:"c,omitempty"`
 	P  int64  `json:"p,omitempty"`
 	D  int64  `json:"d,omitempty"`
@@ -245,7 +245,7 @@ type ReconfigureRequest struct {
 
 // ChannelInfo is one established channel in a listing.
 type ChannelInfo struct {
-	ID      uint16  `json:"id"`
+	ID      uint32  `json:"id"`
 	Spec    Spec    `json:"spec"`
 	Budgets []int64 `json:"budgets"`
 }
@@ -272,7 +272,7 @@ type DelaySummary struct {
 // (GET /v1/metrics?id=N). A channel that has not delivered or
 // missed any frame yet reports all-zero metrics.
 type MetricsReply struct {
-	ID        uint16       `json:"id"`
+	ID        uint32       `json:"id"`
 	Delivered int64        `json:"delivered"`
 	Misses    int64        `json:"misses"`
 	Delay     DelaySummary `json:"delay"`
@@ -281,7 +281,7 @@ type MetricsReply struct {
 // FromMetrics converts a measurement snapshot to its wire form. m may
 // be nil (nothing measured yet).
 func FromMetrics(id rtether.ChannelID, m *rtether.ChannelMetrics) MetricsReply {
-	rep := MetricsReply{ID: uint16(id)}
+	rep := MetricsReply{ID: uint32(id)}
 	if m == nil {
 		return rep
 	}
@@ -348,6 +348,11 @@ const (
 	// EventLost reports a channel the residual network could not keep
 	// after a failure (Error carries the final admission error).
 	EventLost = "lost"
+	// EventHeartbeat is the periodic liveness beacon of the watch feed
+	// (rtetherd -heartbeat): its Seq is the feed's high-water mark and
+	// Channels the established-channel count at emission, so a consumer
+	// can detect a stalled stream and a silently idle daemon alike.
+	EventHeartbeat = "heartbeat"
 )
 
 // WatchEvent is one line of the /v1/watch newline-delimited JSON feed.
@@ -358,8 +363,10 @@ type WatchEvent struct {
 	Seq  uint64 `json:"seq"`
 	Type string `json:"type"`
 	// ID is the subject channel (admit, release, and every failure
-	// outcome — survivors keep their ID across a reroute).
-	ID uint16 `json:"id,omitempty"`
+	// outcome — survivors keep their ID across a reroute). Channel IDs
+	// are 32 bits on the wire; they are never truncated to the simulated
+	// frame format's 16-bit field here.
+	ID uint32 `json:"id,omitempty"`
 	// Spec is the requested channel (admit, reject) or the committed
 	// contract after recovery (failure outcomes).
 	Spec *Spec `json:"spec,omitempty"`
@@ -372,6 +379,9 @@ type WatchEvent struct {
 	Cause string `json:"cause,omitempty"`
 	// NewD is the relaxed deadline committed for a degrade outcome.
 	NewD int64 `json:"newD,omitempty"`
+	// Channels is the established-channel count carried by heartbeat
+	// events (absent elsewhere).
+	Channels int `json:"channels,omitempty"`
 }
 
 // FailRequest changes topology health (POST /v1/fail): kind "link"
@@ -388,7 +398,7 @@ type FailRequest struct {
 
 // FailOutcome is one channel's fate in a FailReply.
 type FailOutcome struct {
-	ID      uint16 `json:"id"`
+	ID      uint32 `json:"id"`
 	Outcome string `json:"outcome"` // "rerouted" | "degraded" | "preempted" | "lost"
 	NewD    int64  `json:"newD,omitempty"`
 }
@@ -426,7 +436,7 @@ type TopicInfo struct {
 	Subscribers []uint16 `json:"subscribers,omitempty"`
 	// ChannelID is the live multicast channel carrying the topic; 0
 	// while the topic has no subscribers (no reservation exists).
-	ChannelID uint16 `json:"channelId,omitempty"`
+	ChannelID uint32 `json:"channelId,omitempty"`
 	// Published counts messages published to the topic so far.
 	Published uint64 `json:"published"`
 }
@@ -479,4 +489,39 @@ type HealthzReply struct {
 	Channels int `json:"channels"`
 	// Topics is the number of declared pub/sub topics.
 	Topics int `json:"topics"`
+}
+
+// SpanInfo is one admission-flight span from the server's flight
+// recorder (GET /v1/spans): where a coalesced establish flight spent
+// its time, split into the queue wait of its slowest member, the merged
+// kernel admission pass, the verification-sweep share of that pass, and
+// the verdict publication fan-out. All durations are nanoseconds.
+type SpanInfo struct {
+	// Flight numbers the flight (the server's monotonically increasing
+	// flight counter).
+	Flight int64 `json:"flight"`
+	// StartUnixNano is the wall-clock instant the flight launched.
+	StartUnixNano int64 `json:"startUnixNano"`
+	// Merged is how many establish requests the flight decided.
+	Merged int `json:"merged"`
+	// WaitNs is the longest coalesce-queue wait among the merged
+	// requests.
+	WaitNs int64 `json:"waitNs"`
+	// AdmitNs is the duration of the merged kernel admission pass.
+	AdmitNs int64 `json:"admitNs"`
+	// VerifyNs is the verification-sweep time the admission layer
+	// accumulated during this flight (attribution is approximate when
+	// non-coalesced passes run concurrently).
+	VerifyNs int64 `json:"verifyNs"`
+	// PublishNs is the time spent fanning the verdicts out.
+	PublishNs int64 `json:"publishNs"`
+	// Accepted and Rejected split the flight's verdicts.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// SpansReply is the GET /v1/spans body: the flight recorder's retained
+// spans, oldest first.
+type SpansReply struct {
+	Spans []SpanInfo `json:"spans"`
 }
